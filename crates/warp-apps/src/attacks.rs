@@ -1,0 +1,295 @@
+//! Drivers for the six Table 2 attack scenarios.
+//!
+//! Each driver carries the attack out the way the paper describes it: the
+//! attacker acts through their own browser, victims act through theirs, and
+//! every interaction flows through the Warp server so it is logged and
+//! repairable.
+
+use serde::{Deserialize, Serialize};
+use warp_browser::Browser;
+use warp_core::WarpServer;
+use warp_http::HttpRequest;
+
+/// The attack scenarios of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Reflected XSS in `calendar.wasl` (CVE-2009-0737 analog).
+    ReflectedXss,
+    /// Stored XSS in `view.wasl` (CVE-2009-4589 analog).
+    StoredXss,
+    /// Login CSRF in `login.wasl` (CVE-2010-1150 analog).
+    Csrf,
+    /// Clickjacking via a hostile framing page (CVE-2011-0003 analog).
+    Clickjacking,
+    /// SQL injection in `search.wasl` (CVE-2004-2186 analog).
+    SqlInjection,
+    /// Administrator mistakenly grants privileges (repaired by undo).
+    AclError,
+}
+
+impl AttackKind {
+    /// All six scenarios, in the order Table 2 lists them.
+    pub const ALL: [AttackKind; 6] = [
+        AttackKind::ReflectedXss,
+        AttackKind::StoredXss,
+        AttackKind::Csrf,
+        AttackKind::Clickjacking,
+        AttackKind::SqlInjection,
+        AttackKind::AclError,
+    ];
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::ReflectedXss => "Reflected XSS",
+            AttackKind::StoredXss => "Stored XSS",
+            AttackKind::Csrf => "CSRF",
+            AttackKind::Clickjacking => "Clickjacking",
+            AttackKind::SqlInjection => "SQL injection",
+            AttackKind::AclError => "ACL error",
+        }
+    }
+
+    /// The CVE identifier the scenario is modelled on, if any.
+    pub fn cve(&self) -> Option<&'static str> {
+        match self {
+            AttackKind::ReflectedXss => Some("CVE-2009-0737"),
+            AttackKind::StoredXss => Some("CVE-2009-4589"),
+            AttackKind::Csrf => Some("CVE-2010-1150"),
+            AttackKind::Clickjacking => Some("CVE-2011-0003"),
+            AttackKind::SqlInjection => Some("CVE-2004-2186"),
+            AttackKind::AclError => None,
+        }
+    }
+}
+
+/// Logs a browser into the wiki through the real login form.
+pub fn login(browser: &mut Browser, server: &mut WarpServer, user: &str, password: &str) -> bool {
+    let mut visit = browser.visit("/login.wasl", server);
+    browser.fill(&mut visit, "user", user);
+    browser.fill(&mut visit, "password", password);
+    let done = browser.submit_form(&mut visit, "/login.wasl", server);
+    server.upload_client_logs(browser.take_logs());
+    done.response.body.contains("Welcome")
+}
+
+/// The XSS payload used by the reflected and stored XSS scenarios: when it
+/// runs in a victim's browser it (1) grants the attacker access to the
+/// victim's page and (2) appends text to that page, using the victim's own
+/// requests — exactly the worst case sketched in the paper's introduction.
+pub fn xss_payload(victim_page: &str) -> String {
+    format!(
+        "http_post(\"/acl.wasl\", {{\"title\": \"{victim_page}\", \"user\": \"attacker\"}}); \
+         let cur = http_get(\"/view.wasl?title={victim_page}\"); \
+         http_post(\"/edit.wasl\", {{\"title\": \"{victim_page}\", \"body\": \"INFECTED BY XSS\"}});"
+    )
+}
+
+/// Carries out the attack step of a scenario. `victims` are the browsers of
+/// the users the attack will reach; they must already be logged in.
+///
+/// Returns the page visit IDs (per victim) on which the attack ran, plus —
+/// for the ACL-error scenario — the admin's visit ID to undo.
+pub fn execute_attack(
+    kind: AttackKind,
+    server: &mut WarpServer,
+    attacker: &mut Browser,
+    victims: &mut [(Browser, String)],
+) -> AttackTrace {
+    let mut trace = AttackTrace::default();
+    match kind {
+        AttackKind::StoredXss => {
+            // The attacker stores the payload in the public page.
+            let body = format!("<script>{}</script>", xss_payload("PAGEHOLDER"));
+            let _ = login(attacker, server, "attacker", "attackerpw");
+            let mut req = HttpRequest::post(
+                "/edit.wasl",
+                [("title", "Public"), ("body", "placeholder")],
+            );
+            req.form.insert("body".into(), body.replace("PAGEHOLDER", "Page1"));
+            req.cookies = attacker.cookies.clone();
+            server.handle(req);
+            // Victims view the infected public page; the payload runs in
+            // their browsers.
+            for (victim, _page) in victims.iter_mut() {
+                let visit = victim.visit("/view.wasl?title=Public", server);
+                trace.victim_visits.push(visit.visit_id);
+                server.upload_client_logs(victim.take_logs());
+            }
+        }
+        AttackKind::ReflectedXss => {
+            // The attacker lures victims to a crafted calendar URL whose
+            // `date` parameter carries the payload.
+            let payload = format!("<script>{}</script>", xss_payload("Page1"));
+            let url = format!(
+                "/calendar.wasl?date={}",
+                warp_http::url::percent_encode(&payload)
+            );
+            for (victim, _page) in victims.iter_mut() {
+                let visit = victim.visit(&url, server);
+                trace.victim_visits.push(visit.visit_id);
+                server.upload_client_logs(victim.take_logs());
+            }
+        }
+        AttackKind::SqlInjection => {
+            // The attacker injects a predicate into the maintenance page's
+            // WHERE clause so the update hits every page (the paper's
+            // `UPDATE pagecontent SET old_text = old_text || 'attack'`).
+            let injected = format!(
+                "/maintenance.wasl?newbody={}&thelang={}",
+                warp_http::url::percent_encode("INFECTED BY XSS"),
+                warp_http::url::percent_encode("zzz' OR title LIKE '%"),
+            );
+            server.handle(HttpRequest::get(&injected));
+            // Victims view their (now corrupted) pages.
+            for (victim, page) in victims.iter_mut() {
+                let visit = victim.visit(&format!("/view.wasl?title={page}"), server);
+                trace.victim_visits.push(visit.visit_id);
+                server.upload_client_logs(victim.take_logs());
+            }
+        }
+        AttackKind::Csrf => {
+            // Victims visit the attacker's page, which silently logs them in
+            // as the attacker; their subsequent edits are attributed to the
+            // attacker's account.
+            for (victim, page) in victims.iter_mut() {
+                let lure = victim.visit("/evil/csrf.wasl", server);
+                trace.victim_visits.push(lure.visit_id);
+                // Believing she is still logged in as herself, the victim
+                // edits the public page; the edit is attributed to the
+                // attacker's account.
+                let mut visit = victim.visit("/view.wasl?title=Public", server);
+                if visit.response.body.contains("<form") {
+                    victim.fill(&mut visit, "body", &format!("{page} owner edited after the lure"));
+                    let _ = victim.submit_form(&mut visit, "/edit.wasl", server);
+                }
+                server.upload_client_logs(victim.take_logs());
+            }
+        }
+        AttackKind::Clickjacking => {
+            // Victims visit the attacker's page, which frames the wiki; they
+            // interact with the frame believing it is the attacker's game.
+            for (victim, _page) in victims.iter_mut() {
+                let outer = victim.visit("/evil/clickjack.wasl", server);
+                trace.victim_visits.push(outer.visit_id);
+                if let Some(frame) = outer.frames.into_iter().next() {
+                    if !frame.blocked_framing {
+                        let mut frame = frame;
+                        victim.fill(&mut frame, "body", "tricked into clicking");
+                        let _ = victim.submit_form(&mut frame, "/edit.wasl", server);
+                    }
+                }
+                server.upload_client_logs(victim.take_logs());
+            }
+        }
+        AttackKind::AclError => {
+            // The administrator mistakenly grants a user access to Page2;
+            // the user then edits it.
+            let mut admin = Browser::new("admin-browser");
+            let _ = login(&mut admin, server, "admin", "adminpw");
+            let grant = admin.visit("/acl.wasl?title=Page2&user=user1", server);
+            trace.admin_visit = Some(grant.visit_id);
+            trace.admin_client = Some("admin-browser".to_string());
+            server.upload_client_logs(admin.take_logs());
+            if let Some((victim, _)) = victims.iter_mut().next() {
+                let mut visit = victim.visit("/view.wasl?title=Page2", server);
+                if visit.response.body.contains("<form") {
+                    victim.fill(&mut visit, "body", "edited with mistakenly granted rights");
+                    let _ = victim.submit_form(&mut visit, "/edit.wasl", server);
+                }
+                server.upload_client_logs(victim.take_logs());
+            }
+        }
+    }
+    trace
+}
+
+/// What the attack driver did, for later verification and repair initiation.
+#[derive(Debug, Clone, Default)]
+pub struct AttackTrace {
+    /// Page-visit IDs on which each victim encountered the attack.
+    pub victim_visits: Vec<u64>,
+    /// For the ACL-error scenario: the administrator's visit to undo.
+    pub admin_visit: Option<u64>,
+    /// For the ACL-error scenario: the administrator's client ID.
+    pub admin_client: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wiki::{attacker_acl_sql, attacker_seed_sql, wiki_app};
+    use warp_http::Transport;
+
+    fn server() -> WarpServer {
+        let mut config = wiki_app(4, 4);
+        config.seed(attacker_seed_sql());
+        config.seed(attacker_acl_sql());
+        WarpServer::new(config)
+    }
+
+    fn logged_in_victim(server: &mut WarpServer, i: usize) -> (Browser, String) {
+        let mut b = Browser::new(format!("victim{i}"));
+        assert!(login(&mut b, server, &format!("user{i}"), &format!("pw{i}")));
+        (b, format!("Page{i}"))
+    }
+
+    #[test]
+    fn stored_xss_infects_victim_pages() {
+        let mut s = server();
+        let mut attacker = Browser::new("attacker-browser");
+        let mut victims = vec![logged_in_victim(&mut s, 1)];
+        execute_attack(AttackKind::StoredXss, &mut s, &mut attacker, &mut victims);
+        let r = s.send(HttpRequest::get("/view.wasl?title=Page1"));
+        assert!(r.body.contains("INFECTED BY XSS"), "{}", r.body);
+        // The attacker gained access to Page1 through the victim's browser.
+        let r = s.send(HttpRequest::get("/view.wasl?title=Public"));
+        assert!(r.body.contains("script"), "payload stored: {}", r.body);
+    }
+
+    #[test]
+    fn reflected_xss_infects_via_crafted_url() {
+        let mut s = server();
+        let mut attacker = Browser::new("attacker-browser");
+        let mut victims = vec![logged_in_victim(&mut s, 1)];
+        execute_attack(AttackKind::ReflectedXss, &mut s, &mut attacker, &mut victims);
+        let r = s.send(HttpRequest::get("/view.wasl?title=Page1"));
+        assert!(r.body.contains("INFECTED BY XSS"));
+    }
+
+    #[test]
+    fn csrf_attributes_victim_edits_to_attacker() {
+        let mut s = server();
+        let mut attacker = Browser::new("attacker-browser");
+        let mut victims = vec![logged_in_victim(&mut s, 1)];
+        execute_attack(AttackKind::Csrf, &mut s, &mut attacker, &mut victims);
+        // The victim's edit of the public page was made under the attacker's
+        // account.
+        let last_editor = s
+            .db
+            .execute_logged("SELECT last_editor FROM page WHERE title = 'Public'", s.clock.now() + 1)
+            .unwrap();
+        assert_eq!(last_editor.result.rows[0][0].as_display_string(), "attacker");
+    }
+
+    #[test]
+    fn clickjacking_tricks_victim_into_editing_public() {
+        let mut s = server();
+        let mut attacker = Browser::new("attacker-browser");
+        let mut victims = vec![logged_in_victim(&mut s, 1)];
+        execute_attack(AttackKind::Clickjacking, &mut s, &mut attacker, &mut victims);
+        let r = s.send(HttpRequest::get("/view.wasl?title=Public"));
+        assert!(r.body.contains("tricked into clicking"), "{}", r.body);
+    }
+
+    #[test]
+    fn acl_error_lets_user_edit_foreign_page() {
+        let mut s = server();
+        let mut attacker = Browser::new("attacker-browser");
+        let mut victims = vec![logged_in_victim(&mut s, 1)];
+        let trace = execute_attack(AttackKind::AclError, &mut s, &mut attacker, &mut victims);
+        assert!(trace.admin_visit.is_some());
+        let r = s.send(HttpRequest::get("/view.wasl?title=Page2"));
+        assert!(r.body.contains("mistakenly granted rights"));
+    }
+}

@@ -1,0 +1,148 @@
+//! A small Drupal-style blog used for the Table 5 data-corruption bugs.
+//!
+//! The paper compares Warp against Akkuş & Goel's taint-tracking recovery
+//! system on four corruption bugs, two of them in Drupal ("lost voting
+//! information" and "lost comments"). This module provides a blog with a
+//! voting and a commenting feature, each with a togglable bug that silently
+//! destroys data, plus the patch that fixes the bug.
+
+use warp_core::{AppConfig, Patch};
+use warp_ttdb::TableAnnotation;
+
+/// `vote.wasl` with the "lost voting info" bug: casting a vote overwrites
+/// the tally instead of incrementing it.
+const VOTE_BUGGY: &str = r#"
+let post = param("post");
+db_query("UPDATE post SET votes = 1 WHERE post_id = " . int(post));
+echo("<p id=\"voted\">Thanks for voting.</p>");
+"#;
+
+/// Fixed `vote.wasl`.
+const VOTE_FIXED: &str = r#"
+let post = param("post");
+db_query("UPDATE post SET votes = votes + 1 WHERE post_id = " . int(post));
+echo("<p id=\"voted\">Thanks for voting.</p>");
+"#;
+
+/// `comment.wasl` with the "lost comments" bug: adding a comment first
+/// deletes the post's existing comments.
+const COMMENT_BUGGY: &str = r#"
+let post = int(param("post"));
+db_query("DELETE FROM comment WHERE post_id = " . post);
+let maxid = db_query("SELECT MAX(comment_id) FROM comment");
+let next = int(maxid[0][array_keys(maxid[0])[0]]) + 1;
+db_query("INSERT INTO comment (comment_id, post_id, body) VALUES (" . next . ", " . post . ", '" . sql_escape(param("body")) . "')");
+echo("<p id=\"commented\">Comment added.</p>");
+"#;
+
+/// Fixed `comment.wasl`.
+const COMMENT_FIXED: &str = r#"
+let post = int(param("post"));
+let maxid = db_query("SELECT MAX(comment_id) FROM comment");
+let next = int(maxid[0][array_keys(maxid[0])[0]]) + 1;
+db_query("INSERT INTO comment (comment_id, post_id, body) VALUES (" . next . ", " . post . ", '" . sql_escape(param("body")) . "')");
+echo("<p id=\"commented\">Comment added.</p>");
+"#;
+
+/// `read.wasl`: shows a post with its votes and comments.
+const READ: &str = r#"
+let post = int(param("post"));
+let rows = db_query("SELECT title, votes FROM post WHERE post_id = " . post);
+echo("<h1>" . htmlspecialchars(rows[0]["title"]) . "</h1>");
+echo("<p id=\"votes\">votes: " . rows[0]["votes"] . "</p>");
+let comments = db_query("SELECT body FROM comment WHERE post_id = " . post . " ORDER BY comment_id");
+echo("<ul id=\"comments\">");
+foreach (comments as c) { echo("<li>" . htmlspecialchars(c["body"]) . "</li>"); }
+echo("</ul>");
+"#;
+
+/// The two Drupal-analog corruption bugs of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlogBug {
+    /// Voting overwrites the tally ("lost voting info").
+    LostVotes,
+    /// Commenting deletes earlier comments ("lost comments").
+    LostComments,
+}
+
+/// Builds the blog application with the given bug present.
+pub fn blog_app(bug: BlogBug, posts: usize) -> AppConfig {
+    let mut config = AppConfig::new("warp-blog");
+    config.add_table(
+        "CREATE TABLE post (post_id INTEGER PRIMARY KEY, title TEXT, votes INTEGER DEFAULT 0)",
+        TableAnnotation::new().row_id("post_id").partitions(["post_id"]),
+    );
+    config.add_table(
+        "CREATE TABLE comment (comment_id INTEGER PRIMARY KEY, post_id INTEGER, body TEXT)",
+        TableAnnotation::new().row_id("comment_id").partitions(["post_id"]),
+    );
+    for i in 1..=posts {
+        config.seed(format!(
+            "INSERT INTO post (post_id, title, votes) VALUES ({i}, 'Post {i}', 0)"
+        ));
+    }
+    config.add_source("read.wasl", READ);
+    config.add_source(
+        "vote.wasl",
+        if bug == BlogBug::LostVotes { VOTE_BUGGY } else { VOTE_FIXED },
+    );
+    config.add_source(
+        "comment.wasl",
+        if bug == BlogBug::LostComments { COMMENT_BUGGY } else { COMMENT_FIXED },
+    );
+    config
+}
+
+/// The patch fixing the given bug.
+pub fn blog_patch(bug: BlogBug) -> Patch {
+    match bug {
+        BlogBug::LostVotes => Patch::new("vote.wasl", VOTE_FIXED, "Drupal analog: lost voting info"),
+        BlogBug::LostComments => {
+            Patch::new("comment.wasl", COMMENT_FIXED, "Drupal analog: lost comments")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_core::{RepairRequest, WarpServer};
+    use warp_http::{HttpRequest, Transport};
+
+    #[test]
+    fn lost_votes_bug_corrupts_and_retroactive_patch_recovers() {
+        let mut s = WarpServer::new(blog_app(BlogBug::LostVotes, 2));
+        for _ in 0..5 {
+            s.send(HttpRequest::post("/vote.wasl", [("post", "1")]));
+        }
+        let r = s.send(HttpRequest::get("/read.wasl?post=1"));
+        assert!(r.body.contains("votes: 1"), "the bug loses votes: {}", r.body);
+        let outcome = s.repair(RepairRequest::RetroactivePatch {
+            patch: blog_patch(BlogBug::LostVotes),
+            from_time: 0,
+        });
+        assert!(!outcome.aborted);
+        let r = s.send(HttpRequest::get("/read.wasl?post=1"));
+        assert!(r.body.contains("votes: 5"), "repair must recover all votes: {}", r.body);
+    }
+
+    #[test]
+    fn lost_comments_bug_corrupts_and_retroactive_patch_recovers() {
+        let mut s = WarpServer::new(blog_app(BlogBug::LostComments, 1));
+        for i in 0..3 {
+            s.send(HttpRequest::post(
+                "/comment.wasl",
+                [("post", "1"), ("body", &format!("comment {i}"))],
+            ));
+        }
+        let r = s.send(HttpRequest::get("/read.wasl?post=1"));
+        assert_eq!(r.body.matches("<li>").count(), 1, "the bug keeps only the last comment");
+        let outcome = s.repair(RepairRequest::RetroactivePatch {
+            patch: blog_patch(BlogBug::LostComments),
+            from_time: 0,
+        });
+        assert!(!outcome.aborted);
+        let r = s.send(HttpRequest::get("/read.wasl?post=1"));
+        assert_eq!(r.body.matches("<li>").count(), 3, "repair must restore all comments: {}", r.body);
+    }
+}

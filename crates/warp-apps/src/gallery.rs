@@ -1,0 +1,144 @@
+//! A small Gallery2-style photo gallery used for the Table 5 corruption bugs
+//! ("removing permissions" and "resizing images").
+
+use warp_core::{AppConfig, Patch};
+use warp_ttdb::TableAnnotation;
+
+/// `perm.wasl` with the "removing permissions" bug: updating an album's
+/// permission list drops every other user's entry for that album.
+const PERM_BUGGY: &str = r#"
+let album = int(param("album"));
+let user = param("user");
+let id = int(param("perm_id"));
+db_query("DELETE FROM perm WHERE album_id = " . album);
+db_query("INSERT INTO perm (perm_id, album_id, user_name) VALUES (" . id . ", " . album . ", '" . sql_escape(user) . "')");
+echo("<p id=\"perm\">Permission stored.</p>");
+"#;
+
+/// Fixed `perm.wasl`: only add, never clear.
+const PERM_FIXED: &str = r#"
+let album = int(param("album"));
+let user = param("user");
+let id = int(param("perm_id"));
+db_query("INSERT INTO perm (perm_id, album_id, user_name) VALUES (" . id . ", " . album . ", '" . sql_escape(user) . "')");
+echo("<p id=\"perm\">Permission stored.</p>");
+"#;
+
+/// `resize.wasl` with the "resizing images" bug: resizing truncates the
+/// stored image data instead of deriving a thumbnail from it.
+const RESIZE_BUGGY: &str = r#"
+let photo = int(param("photo"));
+db_query("UPDATE photo SET data = 'thumb' WHERE photo_id = " . photo);
+echo("<p id=\"resized\">Resized.</p>");
+"#;
+
+/// Fixed `resize.wasl`: the thumbnail goes into its own column.
+const RESIZE_FIXED: &str = r#"
+let photo = int(param("photo"));
+db_query("UPDATE photo SET thumb = 'thumb-of-' || data WHERE photo_id = " . photo);
+echo("<p id=\"resized\">Resized.</p>");
+"#;
+
+/// `album.wasl`: lists an album's permissions and photos.
+const ALBUM: &str = r#"
+let album = int(param("album"));
+let perms = db_query("SELECT user_name FROM perm WHERE album_id = " . album . " ORDER BY perm_id");
+echo("<ul id=\"perms\">");
+foreach (perms as p) { echo("<li>" . htmlspecialchars(p["user_name"]) . "</li>"); }
+echo("</ul>");
+let photos = db_query("SELECT data, thumb FROM photo WHERE album_id = " . album . " ORDER BY photo_id");
+echo("<ul id=\"photos\">");
+foreach (photos as ph) { echo("<li>" . htmlspecialchars(ph["data"]) . "|" . htmlspecialchars(ph["thumb"]) . "</li>"); }
+echo("</ul>");
+"#;
+
+/// The two Gallery2-analog corruption bugs of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GalleryBug {
+    /// Adding a permission removes everyone else's ("removing perms").
+    RemovingPermissions,
+    /// Resizing destroys the original image data ("resizing images").
+    ResizingImages,
+}
+
+/// Builds the gallery application with the given bug present.
+pub fn gallery_app(bug: GalleryBug, photos: usize) -> AppConfig {
+    let mut config = AppConfig::new("warp-gallery");
+    config.add_table(
+        "CREATE TABLE perm (perm_id INTEGER PRIMARY KEY, album_id INTEGER, user_name TEXT)",
+        TableAnnotation::new().row_id("perm_id").partitions(["album_id"]),
+    );
+    config.add_table(
+        "CREATE TABLE photo (photo_id INTEGER PRIMARY KEY, album_id INTEGER, data TEXT, thumb TEXT DEFAULT '')",
+        TableAnnotation::new().row_id("photo_id").partitions(["album_id"]),
+    );
+    config.seed("INSERT INTO perm (perm_id, album_id, user_name) VALUES (1, 1, 'owner')");
+    for i in 1..=photos {
+        config.seed(format!(
+            "INSERT INTO photo (photo_id, album_id, data) VALUES ({i}, 1, 'image-bytes-{i}')"
+        ));
+    }
+    config.add_source("album.wasl", ALBUM);
+    config.add_source(
+        "perm.wasl",
+        if bug == GalleryBug::RemovingPermissions { PERM_BUGGY } else { PERM_FIXED },
+    );
+    config.add_source(
+        "resize.wasl",
+        if bug == GalleryBug::ResizingImages { RESIZE_BUGGY } else { RESIZE_FIXED },
+    );
+    config
+}
+
+/// The patch fixing the given bug.
+pub fn gallery_patch(bug: GalleryBug) -> Patch {
+    match bug {
+        GalleryBug::RemovingPermissions => {
+            Patch::new("perm.wasl", PERM_FIXED, "Gallery2 analog: removing permissions")
+        }
+        GalleryBug::ResizingImages => {
+            Patch::new("resize.wasl", RESIZE_FIXED, "Gallery2 analog: resizing images")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_core::{RepairRequest, WarpServer};
+    use warp_http::{HttpRequest, Transport};
+
+    #[test]
+    fn removing_permissions_bug_recovers_after_patch() {
+        let mut s = WarpServer::new(gallery_app(GalleryBug::RemovingPermissions, 1));
+        s.send(HttpRequest::post("/perm.wasl", [("album", "1"), ("user", "alice"), ("perm_id", "2")]));
+        s.send(HttpRequest::post("/perm.wasl", [("album", "1"), ("user", "bob"), ("perm_id", "3")]));
+        let r = s.send(HttpRequest::get("/album.wasl?album=1"));
+        assert!(!r.body.contains("owner"), "the bug removed the owner's permission");
+        let outcome = s.repair(RepairRequest::RetroactivePatch {
+            patch: gallery_patch(GalleryBug::RemovingPermissions),
+            from_time: 0,
+        });
+        assert!(!outcome.aborted);
+        let r = s.send(HttpRequest::get("/album.wasl?album=1"));
+        for who in ["owner", "alice", "bob"] {
+            assert!(r.body.contains(who), "{who} must be present after repair: {}", r.body);
+        }
+    }
+
+    #[test]
+    fn resizing_images_bug_recovers_after_patch() {
+        let mut s = WarpServer::new(gallery_app(GalleryBug::ResizingImages, 2));
+        s.send(HttpRequest::post("/resize.wasl", [("photo", "1")]));
+        let r = s.send(HttpRequest::get("/album.wasl?album=1"));
+        assert!(!r.body.contains("image-bytes-1"), "the bug destroyed the original image");
+        let outcome = s.repair(RepairRequest::RetroactivePatch {
+            patch: gallery_patch(GalleryBug::ResizingImages),
+            from_time: 0,
+        });
+        assert!(!outcome.aborted);
+        let r = s.send(HttpRequest::get("/album.wasl?album=1"));
+        assert!(r.body.contains("image-bytes-1"), "original restored: {}", r.body);
+        assert!(r.body.contains("thumb-of-image-bytes-1"), "thumbnail derived: {}", r.body);
+    }
+}

@@ -1,0 +1,29 @@
+//! `warp-apps` — the evaluation applications, attacks and workloads.
+//!
+//! The paper evaluates Warp on MediaWiki (six attack scenarios, Table 2/3),
+//! and on Drupal and Gallery2 data-corruption bugs (Table 5). This crate
+//! provides the equivalents, written in WASL against `warp-core`:
+//!
+//! * [`wiki`] — a MediaWiki-style wiki (users, sessions, per-page ACLs,
+//!   view/edit, search, calendar) with the paper's six seeded
+//!   vulnerabilities and their patches.
+//! * [`blog`] / [`gallery`] — small Drupal-/Gallery2-style applications with
+//!   the data-corruption bugs used in the Table 5 comparison.
+//! * [`attacks`] — drivers that carry out each attack through real simulated
+//!   browsers against a Warp server.
+//! * [`workload`] — the deterministic multi-user workload generator used by
+//!   the Table 3/4/7/8 experiments.
+//! * [`scenario`] — end-to-end scenario runner: build server, run workload
+//!   with an attack, repair, and report what the paper's tables report.
+
+pub mod attacks;
+pub mod blog;
+pub mod gallery;
+pub mod scenario;
+pub mod wiki;
+pub mod workload;
+
+pub use attacks::AttackKind;
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioResult};
+pub use wiki::{wiki_app, wiki_patch};
+pub use workload::{WorkloadConfig, WorkloadReport};

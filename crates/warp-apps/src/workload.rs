@@ -1,0 +1,151 @@
+//! Deterministic multi-user workloads (paper §8.2, §8.5).
+
+use crate::attacks::login;
+use serde::{Deserialize, Serialize};
+use warp_browser::Browser;
+use warp_core::WarpServer;
+use warp_http::HttpRequest;
+
+/// Configuration of a background workload of ordinary wiki users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of ordinary (non-victim, non-attacker) users.
+    pub users: usize,
+    /// Page visits (read or edit) per user.
+    pub visits_per_user: usize,
+    /// Fraction (percent) of visits that edit rather than just read.
+    pub edit_percent: usize,
+    /// Whether the users run the Warp browser extension.
+    pub with_extension: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { users: 10, visits_per_user: 4, edit_percent: 50, with_extension: true }
+    }
+}
+
+/// What a workload run produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Total page visits issued (including logins).
+    pub page_visits: usize,
+    /// Total page edits performed.
+    pub edits: usize,
+    /// Users that participated.
+    pub users: usize,
+}
+
+/// Runs the background workload: each user logs in, then alternates between
+/// reading and editing their own page (deterministically, based on the visit
+/// index). Users are `user<start_index>..`, so workloads can avoid the users
+/// designated as victims.
+pub fn run_background_workload(
+    server: &mut WarpServer,
+    config: &WorkloadConfig,
+    start_index: usize,
+) -> WorkloadReport {
+    let mut report = WorkloadReport { users: config.users, ..Default::default() };
+    for u in 0..config.users {
+        let idx = start_index + u;
+        let mut browser = if config.with_extension {
+            Browser::new(format!("bg-user{idx}"))
+        } else {
+            Browser::without_extension(format!("bg-user{idx}"))
+        };
+        if !login(&mut browser, server, &format!("user{idx}"), &format!("pw{idx}")) {
+            continue;
+        }
+        report.page_visits += 2; // The login form and the login POST.
+        for v in 0..config.visits_per_user {
+            let title = format!("Page{idx}");
+            let mut visit = browser.visit(&format!("/view.wasl?title={title}"), server);
+            report.page_visits += 1;
+            let should_edit = (v * 100 / config.visits_per_user.max(1)) < config.edit_percent
+                && visit.response.body.contains("<form");
+            if should_edit {
+                browser.fill(&mut visit, "body", &format!("content of {title} revision {v}"));
+                let _ = browser.submit_form(&mut visit, "/edit.wasl", server);
+                report.page_visits += 1;
+                report.edits += 1;
+            }
+            server.upload_client_logs(browser.take_logs());
+        }
+        server.upload_client_logs(browser.take_logs());
+    }
+    report
+}
+
+/// A pure read or edit request stream used by the throughput benchmark
+/// (Table 6): no browser, just HTTP requests against the server.
+pub fn run_raw_requests(server: &mut WarpServer, page_visits: usize, edit: bool) -> usize {
+    let mut done = 0;
+    for i in 0..page_visits {
+        let title = format!("Page{}", (i % 3) + 1);
+        if edit {
+            let mut req = HttpRequest::post(
+                "/edit.wasl",
+                [("title", title.as_str()), ("body", "benchmark edit body text")],
+            );
+            // Raw benchmark traffic runs as the admin (always allowed).
+            req.cookies.set("sid", admin_session(server));
+            server.handle(req);
+        } else {
+            server.handle(HttpRequest::get(&format!("/view.wasl?title={title}")));
+        }
+        done += 1;
+    }
+    done
+}
+
+/// Returns (creating if needed) an admin session ID for raw benchmark traffic.
+fn admin_session(server: &mut WarpServer) -> String {
+    let existing = server
+        .db
+        .execute_logged(
+            "SELECT sid FROM session WHERE user_name = 'admin'",
+            server.clock.now() + 1,
+        )
+        .ok()
+        .and_then(|out| out.result.rows.first().map(|r| r[0].as_display_string()));
+    if let Some(sid) = existing {
+        if !sid.is_empty() {
+            return sid;
+        }
+    }
+    let mut browser = Browser::new("admin-bench");
+    let ok = login(&mut browser, server, "admin", "adminpw");
+    debug_assert!(ok);
+    browser.cookies.get("sid").unwrap_or_default().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wiki::wiki_app;
+
+    #[test]
+    fn background_workload_is_deterministic_and_logged() {
+        let mut s1 = WarpServer::new(wiki_app(6, 6));
+        let mut s2 = WarpServer::new(wiki_app(6, 6));
+        let config = WorkloadConfig { users: 3, visits_per_user: 3, edit_percent: 50, with_extension: true };
+        let r1 = run_background_workload(&mut s1, &config, 2);
+        let r2 = run_background_workload(&mut s2, &config, 2);
+        assert_eq!(r1, r2, "workloads must be deterministic");
+        assert!(r1.edits > 0);
+        assert_eq!(s1.history.len(), s2.history.len());
+        // Actions carry client correlation and uploaded logs exist.
+        let with_client = s1.history.actions().iter().filter(|a| a.client.is_some()).count();
+        assert!(with_client > 0);
+        assert!(!s1.history.client_ids().is_empty());
+    }
+
+    #[test]
+    fn raw_request_stream_reads_and_edits() {
+        let mut s = WarpServer::new(wiki_app(3, 3));
+        assert_eq!(run_raw_requests(&mut s, 5, false), 5);
+        assert_eq!(run_raw_requests(&mut s, 5, true), 5);
+        let r = s.handle(HttpRequest::get("/view.wasl?title=Page1"));
+        assert!(r.body.contains("benchmark edit body text"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Criterion bench behind Table 6: request throughput with Warp logging.
+use criterion::{criterion_group, criterion_main, Criterion};
+use warp_apps::wiki::wiki_app;
+use warp_apps::workload::run_raw_requests;
+use warp_core::WarpServer;
+
+fn bench_logging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logging_overhead");
+    group.sample_size(10);
+    group.bench_function("read_page_visits_x50", |b| {
+        b.iter(|| {
+            let mut server = WarpServer::new(wiki_app(3, 3));
+            run_raw_requests(&mut server, 50, false)
+        })
+    });
+    group.bench_function("edit_page_visits_x50", |b| {
+        b.iter(|| {
+            let mut server = WarpServer::new(wiki_app(3, 3));
+            run_raw_requests(&mut server, 50, true)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_logging);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench behind Tables 7/8: end-to-end repair time for the
+//! stored-XSS and ACL-error scenarios.
+use criterion::{criterion_group, criterion_main, Criterion};
+use warp_apps::attacks::AttackKind;
+use warp_apps::scenario::{run_scenario, ScenarioConfig};
+
+fn bench_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repair_perf");
+    group.sample_size(10);
+    for kind in [AttackKind::StoredXss, AttackKind::AclError] {
+        group.bench_function(format!("scenario_{:?}_10_users", kind), |b| {
+            b.iter(|| run_scenario(&ScenarioConfig::small(kind)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the substrates: SQL execution, WASL interpretation,
+//! HTML parsing and three-way merge.
+use criterion::{criterion_group, criterion_main, Criterion};
+use warp_browser::{parse_html, three_way_merge};
+use warp_script::{Interpreter, NullHost};
+use warp_sql::Database;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.bench_function("sql_insert_select_x100", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            db.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").unwrap();
+            for i in 0..100 {
+                db.execute_sql(&format!("INSERT INTO t (id, v) VALUES ({i}, 'value {i}')")).unwrap();
+            }
+            db.execute_sql("SELECT COUNT(*) FROM t WHERE v LIKE 'value%'").unwrap()
+        })
+    });
+    group.bench_function("wasl_fib_18", |b| {
+        b.iter(|| {
+            let mut host = NullHost::default();
+            Interpreter::new()
+                .eval_program(
+                    "fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } return fib(18);",
+                    &mut host,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("html_parse_form_page", |b| {
+        let page = format!(
+            "<html><body>{}<form action=\"/e\"><textarea name=\"b\">text</textarea></form></body></html>",
+            "<p>paragraph</p>".repeat(100)
+        );
+        b.iter(|| parse_html(&page))
+    });
+    group.bench_function("three_way_merge_50_lines", |b| {
+        let base: String = (0..50).map(|i| format!("line {i}\n")).collect();
+        let ours = base.replace("line 10", "line ten (edited)");
+        let theirs = base.replace("line 40", "line forty (repaired)");
+        b.iter(|| three_way_merge(&base, &ours, &theirs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

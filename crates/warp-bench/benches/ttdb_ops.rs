@@ -1,0 +1,62 @@
+//! Criterion bench for the time-travel database primitives: versioned
+//! writes, time-travel reads, and row rollback.
+use criterion::{criterion_group, criterion_main, Criterion};
+use warp_sql::Value;
+use warp_ttdb::{RepairSession, TableAnnotation, TimeTravelDb};
+
+fn seeded_db(rows: i64) -> TimeTravelDb {
+    let mut db = TimeTravelDb::new();
+    db.create_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT, body TEXT)",
+        TableAnnotation::new().row_id("page_id").partitions(["title"]),
+    )
+    .unwrap();
+    for i in 0..rows {
+        db.execute_logged(
+            &format!("INSERT INTO page (page_id, title, body) VALUES ({i}, 'T{i}', 'body {i}')"),
+            i + 1,
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_ttdb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttdb_ops");
+    group.bench_function("versioned_update_x100", |b| {
+        b.iter(|| {
+            let mut db = seeded_db(100);
+            for i in 0..100 {
+                db.execute_logged(
+                    &format!("UPDATE page SET body = 'new' WHERE title = 'T{i}'"),
+                    1000 + i,
+                )
+                .unwrap();
+            }
+        })
+    });
+    group.bench_function("time_travel_read", |b| {
+        let mut db = seeded_db(200);
+        b.iter(|| db.select_at("SELECT body FROM page WHERE title = 'T50'", 60).unwrap())
+    });
+    group.bench_function("rollback_100_rows", |b| {
+        b.iter(|| {
+            let mut db = seeded_db(100);
+            for i in 0..100 {
+                db.execute_logged(
+                    &format!("UPDATE page SET body = 'attacked' WHERE page_id = {i}"),
+                    500 + i,
+                )
+                .unwrap();
+            }
+            let mut session = RepairSession::begin(&mut db);
+            let ids: Vec<Value> = (0..100).map(Value::Int).collect();
+            session.rollback_rows(&mut db, "page", &ids, 500).unwrap();
+            session.finalize(&mut db);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttdb);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the Table 1 analog: lines of code per component.
+fn main() {
+    warp_bench::table1_loc();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2: the attack scenarios and their retroactive fixes.
+fn main() {
+    warp_bench::table2_attacks();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (and the Table 7 counters): attack recovery outcomes.
+fn main() {
+    let users = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    warp_bench::table3_and_7(users, false);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4: browser re-execution effectiveness.
+fn main() {
+    let victims = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    warp_bench::table4_browser(victims);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5: comparison with the taint-tracking baseline.
+fn main() {
+    warp_bench::table5_comparison();
+}

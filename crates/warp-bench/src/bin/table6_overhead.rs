@@ -1,0 +1,5 @@
+//! Regenerates Table 6: logging overhead and storage per page visit.
+fn main() {
+    let visits = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    warp_bench::table6_overhead(visits);
+}

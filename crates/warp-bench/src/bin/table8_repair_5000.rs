@@ -1,0 +1,5 @@
+//! Regenerates Table 8: repair scaling with workload size.
+fn main() {
+    let max_users = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40);
+    warp_bench::table8_scaling(&[max_users / 4, max_users]);
+}

@@ -1,0 +1,325 @@
+//! A minimal DOM: element tree, lookup paths, and form extraction.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node in the DOM tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DomNode {
+    /// An element with a tag name, attributes and children.
+    Element {
+        /// Lower-cased tag name.
+        tag: String,
+        /// Attributes (lower-cased names).
+        attrs: BTreeMap<String, String>,
+        /// Child nodes in document order.
+        children: Vec<DomNode>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+impl DomNode {
+    /// Creates an element node.
+    pub fn element(tag: &str) -> DomNode {
+        DomNode::Element { tag: tag.to_ascii_lowercase(), attrs: BTreeMap::new(), children: Vec::new() }
+    }
+
+    /// The tag name, if this is an element.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            DomNode::Element { tag, .. } => Some(tag),
+            DomNode::Text(_) => None,
+        }
+    }
+
+    /// An attribute value, if this is an element with that attribute.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            DomNode::Element { attrs, .. } => attrs.get(&name.to_ascii_lowercase()).map(|s| s.as_str()),
+            DomNode::Text(_) => None,
+        }
+    }
+
+    /// Sets an attribute (no-op on text nodes).
+    pub fn set_attr(&mut self, name: &str, value: &str) {
+        if let DomNode::Element { attrs, .. } = self {
+            attrs.insert(name.to_ascii_lowercase(), value.to_string());
+        }
+    }
+
+    /// The concatenated text of this node and its descendants.
+    pub fn text_content(&self) -> String {
+        match self {
+            DomNode::Text(t) => t.clone(),
+            DomNode::Element { children, .. } => {
+                children.iter().map(|c| c.text_content()).collect::<Vec<_>>().join("")
+            }
+        }
+    }
+
+    /// Replaces the children of an element with a single text node (used for
+    /// form-field value updates and script DOM writes).
+    pub fn set_text_content(&mut self, text: &str) {
+        if let DomNode::Element { children, .. } = self {
+            children.clear();
+            children.push(DomNode::Text(text.to_string()));
+        }
+    }
+
+    /// Appends a child node.
+    pub fn append_child(&mut self, child: DomNode) {
+        if let DomNode::Element { children, .. } = self {
+            children.push(child);
+        }
+    }
+}
+
+/// A parsed HTML document.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Document {
+    /// Top-level nodes (usually a single `html` element).
+    pub roots: Vec<DomNode>,
+}
+
+/// A form found in the document, with its current field values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FormInfo {
+    /// The form's `action` attribute (request target).
+    pub action: String,
+    /// The form's `method` (`get` or `post`, lower-cased).
+    pub method: String,
+    /// Field name → current value, in document order of first appearance.
+    pub fields: BTreeMap<String, String>,
+}
+
+impl Document {
+    /// Finds the first element whose *locator* matches.
+    ///
+    /// A locator is the DOM-level address Warp records for events (§5.2). In
+    /// this reproduction a locator is, in decreasing order of robustness: an
+    /// `id` (written `#the-id`), a form-field `name` (written bare, e.g.
+    /// `body`), or a `tag` name (written `<tag>`). Name- and id-based
+    /// locators survive unrelated changes to the page, which is exactly the
+    /// property the paper relies on for DOM-level replay.
+    pub fn find(&self, locator: &str) -> Option<&DomNode> {
+        let mut found = None;
+        for root in &self.roots {
+            found = find_in(root, locator);
+            if found.is_some() {
+                break;
+            }
+        }
+        found
+    }
+
+    /// Mutable version of [`Document::find`].
+    pub fn find_mut(&mut self, locator: &str) -> Option<&mut DomNode> {
+        for root in &mut self.roots {
+            if let Some(node) = find_in_mut(root, locator) {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// Collects every element with the given tag.
+    pub fn elements_by_tag(&self, tag: &str) -> Vec<&DomNode> {
+        let mut out = Vec::new();
+        for root in &self.roots {
+            collect_by_tag(root, &tag.to_ascii_lowercase(), &mut out);
+        }
+        out
+    }
+
+    /// Extracts every form in the document along with its field values.
+    pub fn forms(&self) -> Vec<FormInfo> {
+        self.elements_by_tag("form")
+            .into_iter()
+            .map(|form| {
+                let action = form.attr("action").unwrap_or("").to_string();
+                let method = form.attr("method").unwrap_or("get").to_ascii_lowercase();
+                let mut fields = BTreeMap::new();
+                collect_fields(form, &mut fields);
+                FormInfo { action, method, fields }
+            })
+            .collect()
+    }
+
+    /// Finds the form whose action matches (or the only form, when the
+    /// document has exactly one and no action matches).
+    pub fn form_by_action(&self, action: &str) -> Option<FormInfo> {
+        let forms = self.forms();
+        forms
+            .iter()
+            .find(|f| f.action == action)
+            .cloned()
+            .or_else(|| if forms.len() == 1 { forms.into_iter().next() } else { None })
+    }
+
+    /// The document's whole text content.
+    pub fn text_content(&self) -> String {
+        self.roots.iter().map(|r| r.text_content()).collect::<Vec<_>>().join("")
+    }
+
+    /// The current value of a named form field (input or textarea).
+    pub fn field_value(&self, name: &str) -> Option<String> {
+        self.find(name).map(field_value_of)
+    }
+
+    /// Sets the value of a named form field; returns false if no such field.
+    pub fn set_field_value(&mut self, name: &str, value: &str) -> bool {
+        match self.find_mut(name) {
+            Some(node) => {
+                if node.tag() == Some("textarea") {
+                    node.set_text_content(value);
+                } else {
+                    node.set_attr("value", value);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The value of a form field element.
+pub fn field_value_of(node: &DomNode) -> String {
+    if node.tag() == Some("textarea") {
+        node.text_content()
+    } else {
+        node.attr("value").unwrap_or("").to_string()
+    }
+}
+
+fn matches_locator(node: &DomNode, locator: &str) -> bool {
+    match node {
+        DomNode::Text(_) => false,
+        DomNode::Element { .. } => {
+            if let Some(id) = locator.strip_prefix('#') {
+                node.attr("id") == Some(id)
+            } else if let Some(tag) = locator.strip_prefix('<').and_then(|l| l.strip_suffix('>')) {
+                node.tag() == Some(&tag.to_ascii_lowercase()[..])
+            } else {
+                node.attr("name") == Some(locator)
+            }
+        }
+    }
+}
+
+fn find_in<'a>(node: &'a DomNode, locator: &str) -> Option<&'a DomNode> {
+    if matches_locator(node, locator) {
+        return Some(node);
+    }
+    if let DomNode::Element { children, .. } = node {
+        for c in children {
+            if let Some(found) = find_in(c, locator) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+fn find_in_mut<'a>(node: &'a mut DomNode, locator: &str) -> Option<&'a mut DomNode> {
+    if matches_locator(node, locator) {
+        return Some(node);
+    }
+    if let DomNode::Element { children, .. } = node {
+        for c in children {
+            if let Some(found) = find_in_mut(c, locator) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+fn collect_by_tag<'a>(node: &'a DomNode, tag: &str, out: &mut Vec<&'a DomNode>) {
+    if node.tag() == Some(tag) {
+        out.push(node);
+    }
+    if let DomNode::Element { children, .. } = node {
+        for c in children {
+            collect_by_tag(c, tag, out);
+        }
+    }
+}
+
+fn collect_fields(node: &DomNode, out: &mut BTreeMap<String, String>) {
+    if let DomNode::Element { tag, .. } = node {
+        if matches!(tag.as_str(), "input" | "textarea" | "select") {
+            if let Some(name) = node.attr("name") {
+                let ftype = node.attr("type").unwrap_or("text");
+                if ftype != "submit" && ftype != "button" {
+                    out.entry(name.to_string()).or_insert_with(|| field_value_of(node));
+                }
+            }
+        }
+    }
+    if let DomNode::Element { children, .. } = node {
+        for c in children {
+            collect_fields(c, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::html::parse_html;
+
+    const PAGE: &str = "<html><body><h1 id=\"title\">Main</h1>\
+        <form action=\"/edit.wasl\" method=\"post\">\
+        <input type=\"hidden\" name=\"title\" value=\"Main\"/>\
+        <textarea name=\"body\">hello world</textarea>\
+        <input type=\"submit\" name=\"save\" value=\"Save\"/></form></body></html>";
+
+    #[test]
+    fn find_by_id_name_and_tag() {
+        let doc = parse_html(PAGE);
+        assert_eq!(doc.find("#title").unwrap().text_content(), "Main");
+        assert_eq!(doc.find("body").unwrap().tag(), Some("textarea"));
+        assert_eq!(doc.find("<h1>").unwrap().attr("id"), Some("title"));
+        assert!(doc.find("#missing").is_none());
+    }
+
+    #[test]
+    fn forms_extract_fields_excluding_submit_buttons() {
+        let doc = parse_html(PAGE);
+        let forms = doc.forms();
+        assert_eq!(forms.len(), 1);
+        let f = &forms[0];
+        assert_eq!(f.action, "/edit.wasl");
+        assert_eq!(f.method, "post");
+        assert_eq!(f.fields.get("title"), Some(&"Main".to_string()));
+        assert_eq!(f.fields.get("body"), Some(&"hello world".to_string()));
+        assert!(!f.fields.contains_key("save"));
+    }
+
+    #[test]
+    fn field_values_can_be_read_and_written() {
+        let mut doc = parse_html(PAGE);
+        assert_eq!(doc.field_value("body"), Some("hello world".to_string()));
+        assert!(doc.set_field_value("body", "edited"));
+        assert_eq!(doc.field_value("body"), Some("edited".to_string()));
+        assert!(doc.set_field_value("title", "Other"));
+        assert_eq!(doc.field_value("title"), Some("Other".to_string()));
+        assert!(!doc.set_field_value("nope", "x"));
+    }
+
+    #[test]
+    fn form_by_action_falls_back_to_single_form() {
+        let doc = parse_html(PAGE);
+        assert!(doc.form_by_action("/edit.wasl").is_some());
+        assert!(doc.form_by_action("/other.wasl").is_some());
+        let doc2 = parse_html("<html><body>no forms</body></html>");
+        assert!(doc2.form_by_action("/edit.wasl").is_none());
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let doc = parse_html("<p>a<b>b</b>c</p>");
+        assert_eq!(doc.text_content(), "abc");
+    }
+}

@@ -1,0 +1,186 @@
+//! The client-side browser log: DOM-level events and request correlation
+//! records uploaded to the server by the recording extension (paper §5.2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use warp_http::Method;
+
+/// The kind of a recorded DOM-level event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The user typed into a text field (the recorded value is the final
+    /// field value, plus the field's value before the user started typing,
+    /// so the replayer can three-way merge).
+    Input,
+    /// The user clicked an element (link or button).
+    Click,
+    /// The user submitted a form.
+    Submit,
+}
+
+/// One recorded DOM-level event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedEvent {
+    /// Sequence number within the page visit.
+    pub seq: u32,
+    /// Event kind.
+    pub kind: EventKind,
+    /// DOM locator of the event's target (id, field name, or tag).
+    pub target: String,
+    /// The value typed (for [`EventKind::Input`]) or the form action /
+    /// link target (for clicks and submits).
+    pub value: Option<String>,
+    /// For input events: the field's value before the user's edit, used as
+    /// the base of the three-way merge during replay.
+    pub base_value: Option<String>,
+}
+
+/// A request issued from a page visit, recorded so the re-execution browser
+/// can match re-issued requests to their original request IDs (§5.3, §6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedRequest {
+    /// Request ID within the visit.
+    pub request_id: u64,
+    /// HTTP method.
+    pub method: Method,
+    /// Request path.
+    pub path: String,
+    /// Request parameters (query and form merged).
+    pub params: BTreeMap<String, String>,
+}
+
+/// The complete client-side record of one page visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageVisitRecord {
+    /// The browser's client ID.
+    pub client_id: String,
+    /// This visit's ID (unique within the client).
+    pub visit_id: u64,
+    /// The URL loaded.
+    pub url: String,
+    /// The visit that caused this one (link click, form submit, redirect).
+    pub caused_by_visit: Option<u64>,
+    /// True if the page was loaded inside a frame of another page (needed to
+    /// honour `X-Frame-Options` when the visit is re-executed during repair).
+    pub in_frame: bool,
+    /// DOM-level events, in order.
+    pub events: Vec<RecordedEvent>,
+    /// Requests issued during the visit (including the page load itself,
+    /// script-initiated requests, and form submissions).
+    pub requests: Vec<RecordedRequest>,
+}
+
+impl PageVisitRecord {
+    /// Creates an empty record for a visit.
+    pub fn new(client_id: &str, visit_id: u64, url: &str) -> Self {
+        PageVisitRecord {
+            client_id: client_id.to_string(),
+            visit_id,
+            url: url.to_string(),
+            caused_by_visit: None,
+            in_frame: false,
+            events: Vec::new(),
+            requests: Vec::new(),
+        }
+    }
+
+    /// Appends an event with the next sequence number.
+    pub fn push_event(&mut self, kind: EventKind, target: &str, value: Option<String>, base_value: Option<String>) {
+        let seq = self.events.len() as u32;
+        self.events.push(RecordedEvent { seq, kind, target: target.to_string(), value, base_value });
+    }
+
+    /// Approximate serialized size of the record in bytes (Table 6's
+    /// "browser" storage column).
+    pub fn approximate_bytes(&self) -> usize {
+        let mut total = self.client_id.len() + self.url.len() + 24;
+        for e in &self.events {
+            total += 16
+                + e.target.len()
+                + e.value.as_ref().map(|v| v.len()).unwrap_or(0)
+                + e.base_value.as_ref().map(|v| v.len()).unwrap_or(0);
+        }
+        for r in &self.requests {
+            total += 16 + r.path.len();
+            for (k, v) in &r.params {
+                total += k.len() + v.len() + 2;
+            }
+        }
+        total
+    }
+
+    /// Finds a recorded request matching the given method/path/params, used
+    /// by the replayer to re-attach original request IDs.
+    pub fn match_request(
+        &self,
+        method: Method,
+        path: &str,
+        params: &BTreeMap<String, String>,
+    ) -> Option<u64> {
+        self.requests
+            .iter()
+            .find(|r| r.method == method && r.path == path && &r.params == params)
+            .map(|r| r.request_id)
+            .or_else(|| {
+                // Fall back to a method+path match: parameters may legitimately
+                // differ after repair (e.g. merged text), but it is still "the
+                // same request" from the user's point of view.
+                self.requests
+                    .iter()
+                    .find(|r| r.method == method && r.path == path)
+                    .map(|r| r.request_id)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> PageVisitRecord {
+        let mut rec = PageVisitRecord::new("client-1", 3, "/view.wasl?title=Main");
+        rec.push_event(EventKind::Input, "body", Some("new text".into()), Some("old".into()));
+        rec.push_event(EventKind::Submit, "/edit.wasl", None, None);
+        rec.requests.push(RecordedRequest {
+            request_id: 1,
+            method: Method::Get,
+            path: "/view.wasl".into(),
+            params: [("title".to_string(), "Main".to_string())].into_iter().collect(),
+        });
+        rec.requests.push(RecordedRequest {
+            request_id: 2,
+            method: Method::Post,
+            path: "/edit.wasl".into(),
+            params: [("body".to_string(), "new text".to_string())].into_iter().collect(),
+        });
+        rec
+    }
+
+    #[test]
+    fn events_get_sequence_numbers() {
+        let rec = record();
+        assert_eq!(rec.events[0].seq, 0);
+        assert_eq!(rec.events[1].seq, 1);
+        assert_eq!(rec.events[0].kind, EventKind::Input);
+    }
+
+    #[test]
+    fn request_matching_exact_and_fallback() {
+        let rec = record();
+        let exact: BTreeMap<String, String> =
+            [("body".to_string(), "new text".to_string())].into_iter().collect();
+        assert_eq!(rec.match_request(Method::Post, "/edit.wasl", &exact), Some(2));
+        // Changed params still match by path.
+        let changed: BTreeMap<String, String> =
+            [("body".to_string(), "merged text".to_string())].into_iter().collect();
+        assert_eq!(rec.match_request(Method::Post, "/edit.wasl", &changed), Some(2));
+        assert_eq!(rec.match_request(Method::Post, "/other.wasl", &changed), None);
+    }
+
+    #[test]
+    fn approximate_bytes_is_positive_and_grows() {
+        let rec = record();
+        let small = PageVisitRecord::new("c", 1, "/a").approximate_bytes();
+        assert!(rec.approximate_bytes() > small);
+    }
+}

@@ -1,0 +1,66 @@
+//! `warp-browser` — the simulated browser used by Warp's evaluation.
+//!
+//! The paper's client side is Firefox plus a recording extension; its repair
+//! side is a cloned Firefox driven by a re-execution extension (§5). This
+//! crate reproduces both roles against the in-process HTTP substrate:
+//!
+//! * [`html`] parses server responses into a small DOM ([`dom`]).
+//! * [`Browser`] models a user's browser: it carries the Warp client ID and
+//!   cookie jar, creates page visits, executes in-page scripts (written in
+//!   WASL — the stand-in for the attacker's JavaScript), loads iframes
+//!   (unless the response denies framing), and — when the recording
+//!   extension is enabled — records DOM-level events and request IDs for
+//!   upload to the server.
+//! * [`replay`] is the server-side re-execution browser: given a recorded
+//!   page visit and the *repaired* response for the same URL, it re-applies
+//!   the user's DOM-level input (with three-way text merge, [`merge`]),
+//!   re-runs page scripts, matches re-issued requests to original request
+//!   IDs, and reports conflicts when the user's actions no longer make sense.
+
+pub mod browser;
+pub mod dom;
+pub mod events;
+pub mod html;
+pub mod merge;
+pub mod replay;
+
+pub use browser::{Browser, PageVisit};
+pub use dom::{DomNode, Document};
+pub use events::{EventKind, PageVisitRecord, RecordedEvent, RecordedRequest};
+pub use html::parse_html;
+pub use merge::three_way_merge;
+pub use replay::{replay_visit, ConflictReason, ReplayConfig, ReplayOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_http::{HttpRequest, HttpResponse, Transport};
+
+    struct StaticSite;
+
+    impl Transport for StaticSite {
+        fn send(&mut self, request: HttpRequest) -> HttpResponse {
+            HttpResponse::ok(format!(
+                "<html><body><h1>{}</h1><form action=\"/edit.wasl\" method=\"post\">\
+                 <textarea name=\"body\">old text</textarea>\
+                 <input type=\"submit\" name=\"save\" value=\"Save\"/></form></body></html>",
+                request.path
+            ))
+        }
+    }
+
+    #[test]
+    fn browse_fill_and_submit() {
+        let mut b = Browser::new("client-1");
+        let mut site = StaticSite;
+        let visit = b.visit("/view.wasl?title=Main", &mut site);
+        assert_eq!(visit.response.status, 200);
+        let mut visit = visit;
+        b.fill(&mut visit, "body", "new text");
+        let next = b.submit_form(&mut visit, "/edit.wasl", &mut site);
+        assert_eq!(next.response.status, 200);
+        let logs = b.take_logs();
+        assert_eq!(logs.len(), 2);
+        assert!(logs[0].events.iter().any(|e| matches!(e.kind, EventKind::Input)));
+    }
+}

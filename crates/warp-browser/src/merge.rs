@@ -1,0 +1,235 @@
+//! Three-way text merge for DOM-level replay of text-field input (paper §5.3).
+//!
+//! When a user edited a text area whose original contents were influenced by
+//! an attack, replaying the user's keystrokes verbatim on the repaired page
+//! would either fail or resurrect attacker content. Warp instead performs a
+//! three-way merge between:
+//!
+//! * `base` — the field's value on the page the user originally saw,
+//! * `ours` — the value after the user's edits (what they submitted),
+//! * `theirs` — the field's value on the repaired page.
+//!
+//! If the user's changes and the repair touch disjoint lines the merge
+//! succeeds silently; otherwise the caller reports a conflict to the user.
+
+/// The result of a three-way merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeResult {
+    /// The merge succeeded with the given text.
+    Merged(String),
+    /// The user's changes overlap the repair's changes; manual resolution is
+    /// required.
+    Conflict,
+}
+
+/// Performs a line-based three-way merge.
+pub fn three_way_merge(base: &str, ours: &str, theirs: &str) -> MergeResult {
+    if ours == base {
+        // The user changed nothing: take the repaired text.
+        return MergeResult::Merged(theirs.to_string());
+    }
+    if theirs == base || theirs == ours {
+        // The repair changed nothing (or both sides agree): keep the user's text.
+        return MergeResult::Merged(ours.to_string());
+    }
+    let base_lines: Vec<&str> = base.lines().collect();
+    let our_lines: Vec<&str> = ours.lines().collect();
+    let their_lines: Vec<&str> = theirs.lines().collect();
+    let our_chunks = diff_chunks(&base_lines, &our_lines);
+    let their_chunks = diff_chunks(&base_lines, &their_lines);
+    merge_chunks(&base_lines, &our_chunks, &their_chunks)
+        .map(|lines| {
+            let mut text = lines.join("\n");
+            if (ours.ends_with('\n') || theirs.ends_with('\n')) && !text.is_empty() {
+                text.push('\n');
+            }
+            MergeResult::Merged(text)
+        })
+        .unwrap_or(MergeResult::Conflict)
+}
+
+/// A replacement of base lines `base_start..base_end` with `lines`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Chunk {
+    base_start: usize,
+    base_end: usize,
+    lines: Vec<String>,
+}
+
+/// Computes an edit script from `base` to `new` as replacement chunks over
+/// the base, using a longest-common-subsequence alignment.
+fn diff_chunks(base: &[&str], new: &[&str]) -> Vec<Chunk> {
+    // LCS table.
+    let n = base.len();
+    let m = new.len();
+    let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if base[i] == new[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut chunks = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut pending: Option<Chunk> = None;
+    while i < n || j < m {
+        if i < n && j < m && base[i] == new[j] {
+            if let Some(c) = pending.take() {
+                chunks.push(c);
+            }
+            i += 1;
+            j += 1;
+        } else if j < m && (i == n || lcs[i][j + 1] >= lcs[i + 1][j]) {
+            // Line inserted from `new`.
+            pending
+                .get_or_insert(Chunk { base_start: i, base_end: i, lines: Vec::new() })
+                .lines
+                .push(new[j].to_string());
+            j += 1;
+        } else {
+            // Line deleted from `base`.
+            let c = pending.get_or_insert(Chunk { base_start: i, base_end: i, lines: Vec::new() });
+            c.base_end = i + 1;
+            i += 1;
+        }
+    }
+    if let Some(c) = pending.take() {
+        chunks.push(c);
+    }
+    chunks
+}
+
+fn chunks_overlap(a: &Chunk, b: &Chunk) -> bool {
+    // Two replacement regions conflict if their base ranges intersect, or if
+    // both are insertions at the same point with different content.
+    let a_range = (a.base_start, a.base_end.max(a.base_start));
+    let b_range = (b.base_start, b.base_end.max(b.base_start));
+    if a.base_start == a.base_end && b.base_start == b.base_end {
+        return a.base_start == b.base_start && a.lines != b.lines;
+    }
+    a_range.0 < b_range.1 && b_range.0 < a_range.1
+}
+
+fn merge_chunks(
+    base: &[&str],
+    ours: &[Chunk],
+    theirs: &[Chunk],
+) -> Option<Vec<String>> {
+    for a in ours {
+        for b in theirs {
+            if chunks_overlap(a, b) && !(a.base_start == b.base_start && a.base_end == b.base_end && a.lines == b.lines) {
+                return None;
+            }
+        }
+    }
+    // Apply both chunk sets over the base.
+    let mut all: Vec<(&Chunk, u8)> = ours.iter().map(|c| (c, 0u8)).collect();
+    all.extend(theirs.iter().map(|c| (c, 1u8)));
+    all.sort_by_key(|(c, side)| (c.base_start, c.base_end, *side));
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    let mut applied_at: Vec<(usize, usize, Vec<String>)> = Vec::new();
+    for (chunk, _) in all {
+        // Skip a duplicate identical chunk (both sides made the same change).
+        if applied_at.iter().any(|(s, e, lines)| {
+            *s == chunk.base_start && *e == chunk.base_end && lines == &chunk.lines
+        }) {
+            continue;
+        }
+        if chunk.base_start < cursor {
+            return None;
+        }
+        out.extend(base[cursor..chunk.base_start].iter().map(|s| s.to_string()));
+        out.extend(chunk.lines.iter().cloned());
+        cursor = chunk.base_end;
+        applied_at.push((chunk.base_start, chunk.base_end, chunk.lines.clone()));
+    }
+    out.extend(base[cursor..].iter().map(|s| s.to_string()));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_user_change_takes_repaired_text() {
+        assert_eq!(
+            three_way_merge("a\nb", "a\nb", "a\nclean"),
+            MergeResult::Merged("a\nclean".to_string())
+        );
+    }
+
+    #[test]
+    fn no_repair_change_takes_user_text() {
+        assert_eq!(
+            three_way_merge("a\nb", "a\nb\nuser line", "a\nb"),
+            MergeResult::Merged("a\nb\nuser line".to_string())
+        );
+    }
+
+    #[test]
+    fn disjoint_changes_are_combined() {
+        // The attacker appended a line (present in base = attacked page); the
+        // repair removes it; the user edited an unrelated earlier line.
+        let base = "intro\nbody text\nATTACK APPENDED";
+        let ours = "intro\nbody text edited by user\nATTACK APPENDED";
+        let theirs = "intro\nbody text";
+        assert_eq!(
+            three_way_merge(base, ours, theirs),
+            MergeResult::Merged("intro\nbody text edited by user".to_string())
+        );
+    }
+
+    #[test]
+    fn user_addition_survives_attack_removal() {
+        let base = "wiki content\nATTACK";
+        let ours = "wiki content\nATTACK\nuser appended thoughts";
+        let theirs = "wiki content";
+        assert_eq!(
+            three_way_merge(base, ours, theirs),
+            MergeResult::Merged("wiki content\nuser appended thoughts".to_string())
+        );
+    }
+
+    #[test]
+    fn overlapping_changes_conflict() {
+        // The repair rewrites the same line the user edited.
+        let base = "original line";
+        let ours = "user edit of line";
+        let theirs = "repaired different line";
+        assert_eq!(three_way_merge(base, ours, theirs), MergeResult::Conflict);
+    }
+
+    #[test]
+    fn identical_changes_on_both_sides_merge_cleanly() {
+        let base = "a\nb";
+        let ours = "a\nz";
+        let theirs = "a\nz";
+        assert_eq!(three_way_merge(base, ours, theirs), MergeResult::Merged("a\nz".to_string()));
+    }
+
+    #[test]
+    fn total_rewrite_by_attacker_conflicts_with_user_edit() {
+        // Overwrite attack: the page the user saw had nothing in common with
+        // the repaired page, so user edits cannot be replayed automatically.
+        let base = "ATTACKER CONTENT ONLY";
+        let ours = "ATTACKER CONTENT ONLY plus user edit";
+        let theirs = "the original clean wiki text";
+        assert_eq!(three_way_merge(base, ours, theirs), MergeResult::Conflict);
+    }
+
+    #[test]
+    fn multi_line_disjoint_edits() {
+        let base = "1\n2\n3\n4\n5";
+        let ours = "1\nuser\n3\n4\n5";
+        let theirs = "1\n2\n3\n4\nrepair";
+        assert_eq!(
+            three_way_merge(base, ours, theirs),
+            MergeResult::Merged("1\nuser\n3\n4\nrepair".to_string())
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! The server-side re-execution browser (paper §5.3–§5.4).
+//!
+//! When the repair controller determines that a past HTTP response changed,
+//! it re-executes the affected page visit in a cloned browser on the server:
+//! it loads the *repaired* response for the same URL, re-runs the page's
+//! scripts (the attack code is typically gone after retroactive patching, so
+//! the requests it issued during normal execution are simply not re-issued),
+//! and replays the user's recorded DOM-level input. The replayer reports a
+//! conflict when the user's actions no longer make sense on the repaired
+//! page, in which case the repair controller queues the conflict for the
+//! user (paper §5.4).
+
+use crate::browser::execute_page_script;
+use crate::events::{EventKind, PageVisitRecord};
+use crate::html::parse_html;
+use crate::merge::{three_way_merge, MergeResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use warp_http::{CookieJar, HttpRequest, HttpResponse, Method, Transport, WarpHeaders};
+
+/// Configuration of the re-execution browser, mirroring the three
+/// configurations compared in the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Whether the client had the recording extension at all. Without it
+    /// Warp cannot verify what the page did in the user's browser and must
+    /// conservatively raise a conflict.
+    pub extension_enabled: bool,
+    /// Whether keyboard input into text fields is re-applied with a
+    /// three-way text merge (`true` in the full system).
+    pub text_merge: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig { extension_enabled: true, text_merge: true }
+    }
+}
+
+/// Why a replayed page visit required user attention.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictReason {
+    /// The client had no recording extension, so its browser activity cannot
+    /// be verified or replayed.
+    NoClientLog,
+    /// A DOM element targeted by a recorded event no longer exists on the
+    /// repaired page.
+    MissingTarget(String),
+    /// The user's text edits overlap the changes made by repair.
+    TextMergeConflict(String),
+    /// The page was originally shown in a frame, but the repaired response
+    /// refuses to be framed (retroactive clickjacking fix).
+    FramingDenied,
+}
+
+/// One request the replayed page issued, matched (when possible) to the
+/// request ID it had during normal execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayedRequest {
+    /// The request as issued during replay.
+    pub request: HttpRequest,
+    /// The response the repair-mode transport returned.
+    pub response: HttpResponse,
+    /// The original request ID this corresponds to, if the re-execution
+    /// extension could match it (paper §6).
+    pub matched_request_id: Option<u64>,
+}
+
+/// The outcome of replaying one page visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// Requests issued by the replayed page, in order.
+    pub requests: Vec<ReplayedRequest>,
+    /// The conflict raised, if any (replay stops at the first conflict).
+    pub conflict: Option<ConflictReason>,
+    /// The cookie jar after replay (compared against the user's real cookie
+    /// to decide whether to queue a cookie invalidation).
+    pub cookies: CookieJar,
+}
+
+impl ReplayOutcome {
+    /// True if replay completed without needing user input.
+    pub fn is_clean(&self) -> bool {
+        self.conflict.is_none()
+    }
+}
+
+/// Replays a recorded page visit against the repaired response for its URL.
+///
+/// `transport` is the repair-mode transport: requests it receives are routed
+/// into the repair controller rather than executed directly.
+pub fn replay_visit(
+    record: &PageVisitRecord,
+    new_response: &HttpResponse,
+    initial_cookies: CookieJar,
+    transport: &mut dyn Transport,
+    config: &ReplayConfig,
+) -> ReplayOutcome {
+    let mut outcome =
+        ReplayOutcome { requests: Vec::new(), conflict: None, cookies: initial_cookies };
+    if !config.extension_enabled {
+        outcome.conflict = Some(ConflictReason::NoClientLog);
+        return outcome;
+    }
+    if record.in_frame && new_response.denies_framing() {
+        outcome.conflict = Some(ConflictReason::FramingDenied);
+        return outcome;
+    }
+    let mut document = parse_html(&new_response.body);
+    let mut next_request_id: u64 = 1_000_000; // Fresh IDs for unmatched requests.
+    // Re-run the page's scripts on the repaired page. Requests they issue are
+    // matched back to original request IDs where possible.
+    let script_sources: Vec<String> =
+        document.elements_by_tag("script").into_iter().map(|s| s.text_content()).collect();
+    for src in script_sources {
+        if src.trim().is_empty() {
+            continue;
+        }
+        let issued = execute_page_script(
+            &src,
+            &mut document,
+            &mut outcome.cookies,
+            transport,
+            &record.client_id,
+            true,
+            record.visit_id,
+            &mut next_request_id,
+        );
+        for mut iss in issued {
+            let matched = record.match_request(iss.request.method, &iss.request.path, &iss.request.all_params());
+            if let Some(id) = matched {
+                iss.request.warp.request_id = Some(id);
+            }
+            outcome.requests.push(ReplayedRequest {
+                request: iss.request,
+                response: iss.response,
+                matched_request_id: matched,
+            });
+        }
+    }
+    // Replay the user's DOM-level events.
+    for event in &record.events {
+        match event.kind {
+            EventKind::Input => {
+                let target = &event.target;
+                if document.field_value(target).is_none() {
+                    outcome.conflict = Some(ConflictReason::MissingTarget(target.clone()));
+                    return outcome;
+                }
+                let new_base = document.field_value(target).unwrap_or_default();
+                let typed = event.value.clone().unwrap_or_default();
+                let old_base = event.base_value.clone().unwrap_or_default();
+                if config.text_merge {
+                    match three_way_merge(&old_base, &typed, &new_base) {
+                        MergeResult::Merged(text) => {
+                            document.set_field_value(target, &text);
+                        }
+                        MergeResult::Conflict => {
+                            outcome.conflict =
+                                Some(ConflictReason::TextMergeConflict(target.clone()));
+                            return outcome;
+                        }
+                    }
+                } else if new_base == old_base {
+                    document.set_field_value(target, &typed);
+                } else {
+                    outcome.conflict = Some(ConflictReason::TextMergeConflict(target.clone()));
+                    return outcome;
+                }
+            }
+            EventKind::Click => {
+                // A click on a link navigates; re-issue the navigation request.
+                let href = match event.value.clone() {
+                    Some(h) => h,
+                    None => continue,
+                };
+                if document.find(&event.target).is_none() {
+                    outcome.conflict = Some(ConflictReason::MissingTarget(event.target.clone()));
+                    return outcome;
+                }
+                issue(
+                    &mut outcome,
+                    record,
+                    transport,
+                    Method::Get,
+                    &href,
+                    BTreeMap::new(),
+                    &mut next_request_id,
+                );
+            }
+            EventKind::Submit => {
+                let action = event.value.clone().unwrap_or_default();
+                let form = match document.form_by_action(&action) {
+                    Some(f) => f,
+                    None => {
+                        outcome.conflict = Some(ConflictReason::MissingTarget(action));
+                        return outcome;
+                    }
+                };
+                let method = if form.method == "post" { Method::Post } else { Method::Get };
+                let target = if form.action.is_empty() { record.url.clone() } else { form.action };
+                issue(
+                    &mut outcome,
+                    record,
+                    transport,
+                    method,
+                    &target,
+                    form.fields,
+                    &mut next_request_id,
+                );
+            }
+        }
+    }
+    outcome
+}
+
+fn issue(
+    outcome: &mut ReplayOutcome,
+    record: &PageVisitRecord,
+    transport: &mut dyn Transport,
+    method: Method,
+    target: &str,
+    form: BTreeMap<String, String>,
+    next_request_id: &mut u64,
+) {
+    let mut request = match method {
+        Method::Get => HttpRequest::get(target),
+        Method::Post => {
+            let mut r = HttpRequest::post(target, []);
+            r.form = form;
+            r
+        }
+    };
+    request.cookies = outcome.cookies.clone();
+    let matched = record.match_request(method, &request.path, &request.all_params());
+    let request_id = matched.unwrap_or_else(|| {
+        let id = *next_request_id;
+        *next_request_id += 1;
+        id
+    });
+    request.warp = WarpHeaders {
+        client_id: Some(record.client_id.clone()),
+        visit_id: Some(record.visit_id),
+        request_id: Some(request_id),
+    };
+    let response = transport.send(request.clone());
+    for sc in &response.set_cookies {
+        outcome.cookies.apply_set_cookie(sc);
+    }
+    outcome.requests.push(ReplayedRequest { request, response, matched_request_id: matched });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::browser::Browser;
+    use crate::events::RecordedRequest;
+
+    struct CleanSite {
+        pub received: Vec<HttpRequest>,
+    }
+
+    impl Transport for CleanSite {
+        fn send(&mut self, request: HttpRequest) -> HttpResponse {
+            self.received.push(request.clone());
+            HttpResponse::ok("<p>ok</p>")
+        }
+    }
+
+    /// Builds a record the way the client browser would while visiting an
+    /// *attacked* page (whose textarea contained attacker-appended text).
+    fn attacked_visit_record() -> PageVisitRecord {
+        struct AttackedSite;
+        impl Transport for AttackedSite {
+            fn send(&mut self, _request: HttpRequest) -> HttpResponse {
+                HttpResponse::ok(
+                    "<html><body><form action=\"/edit.wasl\" method=\"post\">\
+                     <input type=\"hidden\" name=\"title\" value=\"Main\"/>\
+                     <textarea name=\"body\">wiki content\nATTACK</textarea></form>\
+                     <script>http_post(\"/acl.wasl\", {\"grant\": \"attacker\"});</script>\
+                     </body></html>",
+                )
+            }
+        }
+        let mut b = Browser::new("victim");
+        let mut site = AttackedSite;
+        let mut visit = b.visit("/view.wasl?title=Main", &mut site);
+        b.fill(&mut visit, "body", "wiki content\nATTACK\nvictim notes");
+        let _next = b.submit_form(&mut visit, "/edit.wasl", &mut site);
+        b.take_logs().into_iter().find(|r| r.url == "/view.wasl?title=Main").unwrap()
+    }
+
+    fn repaired_response() -> HttpResponse {
+        HttpResponse::ok(
+            "<html><body><form action=\"/edit.wasl\" method=\"post\">\
+             <input type=\"hidden\" name=\"title\" value=\"Main\"/>\
+             <textarea name=\"body\">wiki content</textarea></form></body></html>",
+        )
+    }
+
+    #[test]
+    fn full_replay_merges_user_edit_and_drops_attack_request() {
+        let record = attacked_visit_record();
+        let mut transport = CleanSite { received: vec![] };
+        let outcome = replay_visit(
+            &record,
+            &repaired_response(),
+            CookieJar::new(),
+            &mut transport,
+            &ReplayConfig::default(),
+        );
+        assert!(outcome.is_clean(), "conflict: {:?}", outcome.conflict);
+        // The attack script's request to /acl.wasl is gone; only the user's
+        // edit POST is re-issued, with the attack text merged away.
+        assert_eq!(outcome.requests.len(), 1);
+        let edit = &outcome.requests[0];
+        assert_eq!(edit.request.path, "/edit.wasl");
+        assert_eq!(edit.request.param("body"), Some("wiki content\nvictim notes"));
+        assert!(edit.matched_request_id.is_some());
+    }
+
+    #[test]
+    fn replay_without_text_merge_conflicts_on_changed_base() {
+        let record = attacked_visit_record();
+        let mut transport = CleanSite { received: vec![] };
+        let outcome = replay_visit(
+            &record,
+            &repaired_response(),
+            CookieJar::new(),
+            &mut transport,
+            &ReplayConfig { extension_enabled: true, text_merge: false },
+        );
+        assert_eq!(outcome.conflict, Some(ConflictReason::TextMergeConflict("body".into())));
+    }
+
+    #[test]
+    fn replay_without_extension_always_conflicts() {
+        let record = attacked_visit_record();
+        let mut transport = CleanSite { received: vec![] };
+        let outcome = replay_visit(
+            &record,
+            &repaired_response(),
+            CookieJar::new(),
+            &mut transport,
+            &ReplayConfig { extension_enabled: false, text_merge: true },
+        );
+        assert_eq!(outcome.conflict, Some(ConflictReason::NoClientLog));
+        assert!(outcome.requests.is_empty());
+    }
+
+    #[test]
+    fn replay_conflicts_when_target_is_missing() {
+        let record = attacked_visit_record();
+        let mut transport = CleanSite { received: vec![] };
+        let gone = HttpResponse::ok("<html><body><p>page deleted</p></body></html>");
+        let outcome = replay_visit(
+            &record,
+            &gone,
+            CookieJar::new(),
+            &mut transport,
+            &ReplayConfig::default(),
+        );
+        assert!(matches!(outcome.conflict, Some(ConflictReason::MissingTarget(_))));
+    }
+
+    #[test]
+    fn framed_visit_conflicts_when_framing_now_denied() {
+        let mut record = PageVisitRecord::new("victim", 5, "/edit.wasl?title=Main");
+        record.in_frame = true;
+        let mut transport = CleanSite { received: vec![] };
+        let response = HttpResponse::ok("<p>x</p>").with_header("X-Frame-Options", "DENY");
+        let outcome = replay_visit(
+            &record,
+            &response,
+            CookieJar::new(),
+            &mut transport,
+            &ReplayConfig::default(),
+        );
+        assert_eq!(outcome.conflict, Some(ConflictReason::FramingDenied));
+    }
+
+    #[test]
+    fn benign_script_replays_identically_and_matches_request_ids() {
+        // A page whose script issues a read-only request both times.
+        let mut record = PageVisitRecord::new("victim", 9, "/view.wasl");
+        record.requests.push(RecordedRequest {
+            request_id: 3,
+            method: Method::Get,
+            path: "/ping.wasl".to_string(),
+            params: BTreeMap::new(),
+        });
+        let response = HttpResponse::ok("<script>http_get(\"/ping.wasl\");</script>");
+        let mut transport = CleanSite { received: vec![] };
+        let outcome = replay_visit(
+            &record,
+            &response,
+            CookieJar::new(),
+            &mut transport,
+            &ReplayConfig::default(),
+        );
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.requests.len(), 1);
+        assert_eq!(outcome.requests[0].matched_request_id, Some(3));
+        assert_eq!(outcome.requests[0].request.warp.request_id, Some(3));
+    }
+}

@@ -1,0 +1,130 @@
+//! Conflicts queued for users during repair (paper §5.4).
+
+use serde::{Deserialize, Serialize};
+use warp_browser::ConflictReason;
+
+/// Why a conflict was raised.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictKind {
+    /// DOM-level replay of the user's input failed (element missing, text
+    /// merge impossible, framing denied, or no client log to replay).
+    BrowserReplay(ConflictReason),
+    /// The user's action was cancelled because it is no longer permitted in
+    /// the repaired state (e.g. an edit made with privileges that have been
+    /// revoked retroactively).
+    ActionCancelled,
+    /// An application run failed outright during re-execution.
+    ReexecutionFailed(String),
+}
+
+/// A conflict queued for a user to resolve the next time they log in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conflict {
+    /// The affected client (browser).
+    pub client_id: String,
+    /// The page visit on which the conflict arose.
+    pub visit_id: u64,
+    /// The URL of that page visit.
+    pub url: String,
+    /// Why the conflict arose.
+    pub kind: ConflictKind,
+    /// True once the user has resolved the conflict.
+    pub resolved: bool,
+}
+
+impl Conflict {
+    /// Creates an unresolved conflict.
+    pub fn new(client_id: &str, visit_id: u64, url: &str, kind: ConflictKind) -> Self {
+        Conflict {
+            client_id: client_id.to_string(),
+            visit_id,
+            url: url.to_string(),
+            kind,
+            resolved: false,
+        }
+    }
+}
+
+/// The server-side queue of pending conflicts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConflictQueue {
+    conflicts: Vec<Conflict>,
+}
+
+impl ConflictQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ConflictQueue::default()
+    }
+
+    /// Adds a conflict.
+    pub fn push(&mut self, conflict: Conflict) {
+        self.conflicts.push(conflict);
+    }
+
+    /// All conflicts (resolved and pending).
+    pub fn all(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+
+    /// Pending conflicts for one client — the set the conflict-resolution
+    /// page shows the user when they next log in.
+    pub fn pending_for(&self, client_id: &str) -> Vec<&Conflict> {
+        self.conflicts.iter().filter(|c| c.client_id == client_id && !c.resolved).collect()
+    }
+
+    /// Number of distinct clients with at least one pending conflict (the
+    /// "users with conflicts" column of Table 3).
+    pub fn clients_with_conflicts(&self) -> usize {
+        let mut clients: Vec<&str> = self
+            .conflicts
+            .iter()
+            .filter(|c| !c.resolved)
+            .map(|c| c.client_id.as_str())
+            .collect();
+        clients.sort_unstable();
+        clients.dedup();
+        clients.len()
+    }
+
+    /// Marks every pending conflict of a client's visit as resolved (the
+    /// prototype's "cancel this page visit" resolution).
+    pub fn resolve(&mut self, client_id: &str, visit_id: u64) -> usize {
+        let mut n = 0;
+        for c in &mut self.conflicts {
+            if c.client_id == client_id && c.visit_id == visit_id && !c.resolved {
+                c.resolved = true;
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_tracks_pending_per_client() {
+        let mut q = ConflictQueue::new();
+        q.push(Conflict::new("alice", 3, "/edit.wasl", ConflictKind::ActionCancelled));
+        q.push(Conflict::new(
+            "bob",
+            1,
+            "/view.wasl",
+            ConflictKind::BrowserReplay(ConflictReason::NoClientLog),
+        ));
+        q.push(Conflict::new("alice", 4, "/edit.wasl", ConflictKind::ActionCancelled));
+        assert_eq!(q.pending_for("alice").len(), 2);
+        assert_eq!(q.pending_for("bob").len(), 1);
+        assert_eq!(q.clients_with_conflicts(), 2);
+        assert_eq!(q.resolve("alice", 3), 1);
+        assert_eq!(q.pending_for("alice").len(), 1);
+        assert_eq!(q.clients_with_conflicts(), 2);
+        q.resolve("alice", 4);
+        q.resolve("bob", 1);
+        assert_eq!(q.clients_with_conflicts(), 0);
+        assert_eq!(q.all().len(), 3);
+    }
+}

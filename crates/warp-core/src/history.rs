@@ -1,0 +1,408 @@
+//! The action history graph (paper §2.1, borrowed from Retro and extended).
+//!
+//! Nodes in the conceptual graph are versioned objects: source files,
+//! database partitions, HTTP responses, and browser page visits. Actions are
+//! application runs (one per handled HTTP request). Warp stores the graph as
+//! an append-only list of [`ActionRecord`]s plus indices from objects to the
+//! actions that touched them; the repair controller loads actions
+//! incrementally from these indices.
+
+use crate::stats::LoggingStats;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use warp_browser::PageVisitRecord;
+use warp_http::{HttpRequest, HttpResponse};
+use warp_script::Value as ScriptValue;
+use warp_ttdb::{PartitionSet, QueryDependency};
+
+/// Identifier of one recorded action (application run).
+pub type ActionId = u64;
+
+/// A recorded call to a non-deterministic function (paper §3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NondetRecord {
+    /// Function name (`time`, `rand`, `session_start`, ...).
+    pub func: String,
+    /// The arguments it was called with.
+    pub args: Vec<ScriptValue>,
+    /// The value it returned during the original execution.
+    pub result: ScriptValue,
+}
+
+/// A recorded database query issued by an application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// The SQL text as issued by the application.
+    pub sql: String,
+    /// Logical time at which the query executed.
+    pub time: i64,
+    /// Fingerprint of the result the application saw.
+    pub result_fingerprint: u64,
+    /// True if the query modified the database.
+    pub is_write: bool,
+    /// Row IDs written (for two-phase re-execution and rollback).
+    pub written_row_ids: Vec<warp_sql::Value>,
+    /// Partition-level dependencies.
+    pub dependency: QueryDependency,
+}
+
+/// Correlation of a server-side action with the browser that caused it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientRef {
+    /// The browser's client ID.
+    pub client_id: String,
+    /// The page visit within that client.
+    pub visit_id: u64,
+    /// The request within that visit.
+    pub request_id: u64,
+}
+
+/// One action in the history graph: a single application run handling one
+/// HTTP request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionRecord {
+    /// The action's identifier.
+    pub id: ActionId,
+    /// Logical time at which the run started.
+    pub time: i64,
+    /// The HTTP request as received.
+    pub request: HttpRequest,
+    /// The HTTP response as sent.
+    pub response: HttpResponse,
+    /// Browser correlation, when the request carried Warp headers.
+    pub client: Option<ClientRef>,
+    /// The script file that handled the request.
+    pub entry_script: String,
+    /// Every source file loaded during the run (entry script + includes).
+    pub loaded_files: Vec<String>,
+    /// Database queries issued, in order.
+    pub queries: Vec<QueryRecord>,
+    /// Non-deterministic calls, in order.
+    pub nondet: Vec<NondetRecord>,
+    /// True if the action has been cancelled by a repair (its effects have
+    /// been rolled back and it is skipped by later repairs).
+    pub cancelled: bool,
+}
+
+impl ActionRecord {
+    /// Approximate bytes this record contributes to the application-level log
+    /// (Table 6 accounting: request + response + dependency metadata).
+    pub fn approximate_app_bytes(&self) -> usize {
+        let mut total = 64 + self.entry_script.len() + self.response.body.len() / 8;
+        for f in &self.loaded_files {
+            total += f.len();
+        }
+        for n in &self.nondet {
+            total += 12 + n.func.len();
+        }
+        total
+    }
+
+    /// Approximate bytes this record contributes to the database-level log
+    /// (query text plus the recorded result fingerprints and row IDs).
+    pub fn approximate_db_bytes(&self) -> usize {
+        let mut total = 0;
+        for q in &self.queries {
+            total += q.sql.len() + 24 + q.written_row_ids.len() * 8;
+        }
+        total
+    }
+
+    /// The union of partitions read by this action's queries.
+    pub fn read_partitions(&self) -> Vec<&PartitionSet> {
+        self.queries.iter().map(|q| &q.dependency.read_partitions).collect()
+    }
+}
+
+/// The persistent log: actions, per-client browser logs, and indices.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HistoryGraph {
+    actions: Vec<ActionRecord>,
+    /// Index: source file name → actions that loaded it.
+    by_file: BTreeMap<String, Vec<ActionId>>,
+    /// Index: (client id, visit id) → actions caused by that page visit.
+    by_visit: BTreeMap<(String, u64), Vec<ActionId>>,
+    /// Per-client uploaded browser logs, keyed by client then visit.
+    client_logs: BTreeMap<String, BTreeMap<u64, PageVisitRecord>>,
+    /// Per-client storage quota in bytes for uploaded logs (paper §5.2).
+    pub client_log_quota_bytes: usize,
+}
+
+impl HistoryGraph {
+    /// Creates an empty history graph with the default per-client quota.
+    pub fn new() -> Self {
+        HistoryGraph { client_log_quota_bytes: 4 * 1024 * 1024, ..Default::default() }
+    }
+
+    /// Number of recorded actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if no actions have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Appends an action and updates the indices. Returns its ID.
+    pub fn record_action(&mut self, mut action: ActionRecord) -> ActionId {
+        let id = self.actions.len() as ActionId;
+        action.id = id;
+        for f in &action.loaded_files {
+            self.by_file.entry(f.clone()).or_default().push(id);
+        }
+        if let Some(client) = &action.client {
+            self.by_visit
+                .entry((client.client_id.clone(), client.visit_id))
+                .or_default()
+                .push(id);
+        }
+        self.actions.push(action);
+        id
+    }
+
+    /// Returns an action by ID.
+    pub fn action(&self, id: ActionId) -> Option<&ActionRecord> {
+        self.actions.get(id as usize)
+    }
+
+    /// Mutable access to an action (used to mark cancellation).
+    pub fn action_mut(&mut self, id: ActionId) -> Option<&mut ActionRecord> {
+        self.actions.get_mut(id as usize)
+    }
+
+    /// All actions, in execution order.
+    pub fn actions(&self) -> &[ActionRecord] {
+        &self.actions
+    }
+
+    /// Actions that loaded the given source file at or after `from_time`
+    /// (the candidates for retroactive patching, §3.2).
+    pub fn actions_loading_file(&self, filename: &str, from_time: i64) -> Vec<ActionId> {
+        self.by_file
+            .get(filename)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| {
+                        self.actions
+                            .get(id as usize)
+                            .map(|a| a.time >= from_time && !a.cancelled)
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Actions caused by a given page visit.
+    pub fn actions_for_visit(&self, client_id: &str, visit_id: u64) -> Vec<ActionId> {
+        self.by_visit.get(&(client_id.to_string(), visit_id)).cloned().unwrap_or_default()
+    }
+
+    /// The action that served a specific request of a page visit.
+    pub fn action_for_request(
+        &self,
+        client_id: &str,
+        visit_id: u64,
+        request_id: u64,
+    ) -> Option<ActionId> {
+        self.actions_for_visit(client_id, visit_id).into_iter().find(|&id| {
+            self.actions[id as usize]
+                .client
+                .as_ref()
+                .map(|c| c.request_id == request_id)
+                .unwrap_or(false)
+        })
+    }
+
+    /// Stores a client-uploaded page-visit record, enforcing the per-client
+    /// quota (oldest visits are dropped first).
+    pub fn upload_client_log(&mut self, record: PageVisitRecord) {
+        let per_client = self.client_logs.entry(record.client_id.clone()).or_default();
+        per_client.insert(record.visit_id, record);
+        let quota = self.client_log_quota_bytes;
+        loop {
+            let total: usize = per_client.values().map(|r| r.approximate_bytes()).sum();
+            if total <= quota || per_client.len() <= 1 {
+                break;
+            }
+            let oldest = *per_client.keys().next().expect("non-empty");
+            per_client.remove(&oldest);
+        }
+    }
+
+    /// The uploaded browser log for a page visit, if the client uploaded one.
+    pub fn client_log(&self, client_id: &str, visit_id: u64) -> Option<&PageVisitRecord> {
+        self.client_logs.get(client_id).and_then(|m| m.get(&visit_id))
+    }
+
+    /// All page visits recorded for a client, in visit order.
+    pub fn client_visits(&self, client_id: &str) -> Vec<&PageVisitRecord> {
+        self.client_logs.get(client_id).map(|m| m.values().collect()).unwrap_or_default()
+    }
+
+    /// Clients that have uploaded logs.
+    pub fn client_ids(&self) -> Vec<String> {
+        self.client_logs.keys().cloned().collect()
+    }
+
+    /// Storage accounting across the whole log (Table 6).
+    pub fn logging_stats(&self) -> LoggingStats {
+        let mut stats = LoggingStats::default();
+        stats.page_visits = self
+            .actions
+            .iter()
+            .filter_map(|a| a.client.as_ref().map(|c| (c.client_id.clone(), c.visit_id)))
+            .collect::<BTreeSet<_>>()
+            .len()
+            .max(self.actions.len().min(1));
+        if stats.page_visits == 0 {
+            stats.page_visits = self.actions.len();
+        }
+        for a in &self.actions {
+            stats.app_bytes += a.approximate_app_bytes();
+            stats.db_bytes += a.approximate_db_bytes();
+        }
+        for per_client in self.client_logs.values() {
+            for rec in per_client.values() {
+                stats.browser_bytes += rec.approximate_bytes();
+            }
+        }
+        stats.actions = self.actions.len();
+        stats
+    }
+
+    /// Garbage-collects actions older than `before_time` (in sync with the
+    /// time-travel database's version GC). Returns how many were removed.
+    pub fn garbage_collect(&mut self, before_time: i64) -> usize {
+        let keep: Vec<ActionRecord> =
+            self.actions.iter().filter(|a| a.time >= before_time).cloned().collect();
+        let removed = self.actions.len() - keep.len();
+        if removed == 0 {
+            return 0;
+        }
+        // Rebuild with fresh IDs and indices.
+        let logs = std::mem::take(&mut self.client_logs);
+        let quota = self.client_log_quota_bytes;
+        *self = HistoryGraph { client_log_quota_bytes: quota, ..Default::default() };
+        self.client_logs = logs;
+        for mut a in keep {
+            a.id = 0;
+            self.record_action(a);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_ttdb::PartitionSet;
+
+    fn action(time: i64, files: &[&str], client: Option<(&str, u64, u64)>) -> ActionRecord {
+        ActionRecord {
+            id: 0,
+            time,
+            request: HttpRequest::get("/index.wasl"),
+            response: HttpResponse::ok("x"),
+            client: client.map(|(c, v, r)| ClientRef {
+                client_id: c.to_string(),
+                visit_id: v,
+                request_id: r,
+            }),
+            entry_script: files.first().unwrap_or(&"index.wasl").to_string(),
+            loaded_files: files.iter().map(|s| s.to_string()).collect(),
+            queries: vec![QueryRecord {
+                sql: "SELECT 1 FROM page".into(),
+                time,
+                result_fingerprint: 1,
+                is_write: false,
+                written_row_ids: vec![],
+                dependency: QueryDependency::read("page", PartitionSet::whole("page")),
+            }],
+            nondet: vec![],
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn record_and_index_by_file() {
+        let mut g = HistoryGraph::new();
+        let a = g.record_action(action(10, &["edit.wasl", "common.wasl"], None));
+        let b = g.record_action(action(20, &["view.wasl", "common.wasl"], None));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.actions_loading_file("edit.wasl", 0), vec![a]);
+        assert_eq!(g.actions_loading_file("common.wasl", 0), vec![a, b]);
+        assert_eq!(g.actions_loading_file("common.wasl", 15), vec![b]);
+        assert!(g.actions_loading_file("missing.wasl", 0).is_empty());
+    }
+
+    #[test]
+    fn cancelled_actions_are_not_candidates() {
+        let mut g = HistoryGraph::new();
+        let a = g.record_action(action(10, &["edit.wasl"], None));
+        g.action_mut(a).unwrap().cancelled = true;
+        assert!(g.actions_loading_file("edit.wasl", 0).is_empty());
+    }
+
+    #[test]
+    fn index_by_visit_and_request() {
+        let mut g = HistoryGraph::new();
+        let a = g.record_action(action(10, &["view.wasl"], Some(("client-1", 3, 0))));
+        let b = g.record_action(action(11, &["edit.wasl"], Some(("client-1", 3, 1))));
+        let _c = g.record_action(action(12, &["view.wasl"], Some(("client-2", 1, 0))));
+        assert_eq!(g.actions_for_visit("client-1", 3), vec![a, b]);
+        assert_eq!(g.action_for_request("client-1", 3, 1), Some(b));
+        assert_eq!(g.action_for_request("client-1", 3, 9), None);
+    }
+
+    #[test]
+    fn client_log_quota_drops_oldest_visits() {
+        let mut g = HistoryGraph::new();
+        g.client_log_quota_bytes = 400;
+        for visit in 0..20u64 {
+            let mut rec = PageVisitRecord::new("c1", visit, "/view.wasl");
+            rec.push_event(
+                warp_browser::EventKind::Input,
+                "body",
+                Some("x".repeat(50)),
+                Some(String::new()),
+            );
+            g.upload_client_log(rec);
+        }
+        let visits = g.client_visits("c1");
+        assert!(visits.len() < 20, "quota should have evicted old visits");
+        // The newest visit is retained.
+        assert!(g.client_log("c1", 19).is_some());
+        assert!(g.client_log("c1", 0).is_none());
+        // Another client is unaffected by c1's quota.
+        g.upload_client_log(PageVisitRecord::new("c2", 1, "/x"));
+        assert!(g.client_log("c2", 1).is_some());
+    }
+
+    #[test]
+    fn logging_stats_accumulate() {
+        let mut g = HistoryGraph::new();
+        g.record_action(action(10, &["view.wasl"], Some(("c", 1, 0))));
+        g.upload_client_log(PageVisitRecord::new("c", 1, "/view.wasl"));
+        let stats = g.logging_stats();
+        assert_eq!(stats.actions, 1);
+        assert!(stats.app_bytes > 0);
+        assert!(stats.db_bytes > 0);
+        assert!(stats.browser_bytes > 0);
+    }
+
+    #[test]
+    fn garbage_collect_drops_old_actions_and_reindexes() {
+        let mut g = HistoryGraph::new();
+        g.record_action(action(10, &["a.wasl"], None));
+        g.record_action(action(20, &["a.wasl"], None));
+        g.record_action(action(30, &["b.wasl"], None));
+        let removed = g.garbage_collect(15);
+        assert_eq!(removed, 1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.actions_loading_file("a.wasl", 0).len(), 1);
+        assert_eq!(g.actions_loading_file("b.wasl", 0).len(), 1);
+    }
+}

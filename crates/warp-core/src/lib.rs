@@ -1,0 +1,55 @@
+//! `warp-core` — the Warp intrusion-recovery system (the paper's primary
+//! contribution).
+//!
+//! This crate ties the substrates together into the system of Figure 1:
+//!
+//! * The [`server::WarpServer`] is the application server: it routes HTTP
+//!   requests to WASL application code, interposes on every database query
+//!   and non-deterministic call through the application repair manager's
+//!   host ([`apphost`]), stamps everything with a logical clock, and records
+//!   actions with their input/output dependencies into the action history
+//!   graph ([`history`]).
+//! * The [`sourcefs::SourceStore`] holds the application's source files with
+//!   full version history, so security patches can be applied *in the past*.
+//! * The repair controller ([`repair`]) implements rollback-and-re-execute
+//!   repair: retroactive patching (§3), partition-based selective query
+//!   re-execution over the time-travel database (§4), DOM-level browser
+//!   re-execution (§5), conflict queueing, and user-initiated undo.
+//! * [`history`] also stores the per-client browser logs (with quotas) and
+//!   the storage accounting reported in the paper's Table 6; [`stats`]
+//!   collects the repair-time breakdown reported in Tables 7 and 8.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use warp_core::{AppConfig, WarpServer};
+//! use warp_http::{HttpRequest, Transport};
+//! use warp_ttdb::TableAnnotation;
+//!
+//! let mut config = AppConfig::new("hello-app");
+//! config.add_source(
+//!     "index.wasl",
+//!     "echo(\"<p>Hello \" . htmlspecialchars(param(\"name\")) . \"</p>\");",
+//! );
+//! let mut server = WarpServer::new(config);
+//! let response = server.send(HttpRequest::get("/index.wasl?name=World"));
+//! assert!(response.body.contains("Hello World"));
+//! ```
+
+pub mod apphost;
+pub mod clock;
+pub mod config;
+pub mod conflict;
+pub mod history;
+pub mod repair;
+pub mod server;
+pub mod sourcefs;
+pub mod stats;
+
+pub use config::AppConfig;
+pub use conflict::{Conflict, ConflictKind};
+pub use history::{ActionId, ActionRecord, HistoryGraph, NondetRecord, QueryRecord};
+pub use repair::{RepairOutcome, RepairRequest};
+pub use server::WarpServer;
+pub use sourcefs::{Patch, SourceStore};
+pub use stats::{LoggingStats, RepairStats};

@@ -1,0 +1,607 @@
+//! The repair controller: rollback-and-re-execute repair of web applications.
+//!
+//! This module implements the paper's repair workflow end to end:
+//!
+//! 1. **Initiation** (§3.2, §5.5): either a retroactive patch to a source
+//!    file (effective at a past time), or a user/administrator request to
+//!    undo a past page visit.
+//! 2. **Candidate selection**: actions that loaded the patched file (for
+//!    retroactive patching) or belong to the cancelled visit (for undo).
+//! 3. **Rollback and re-execution** over the time-travel database: the
+//!    controller walks the action history in time order; actions explicitly
+//!    queued are re-executed with patched code (non-determinism replayed),
+//!    actions whose query dependencies intersect the modified partitions
+//!    have their queries selectively re-executed, and everything else is
+//!    skipped (§4).
+//! 4. **Browser re-execution** (§5): when a response changes, the affected
+//!    page visit is replayed DOM-level in a server-side browser; requests it
+//!    re-issues replace the originals, requests it no longer issues are
+//!    cancelled, and failures become queued conflicts.
+//! 5. **Completion**: the repair generation is finalized (or aborted, for a
+//!    non-admin undo that would cause conflicts for other users).
+
+use crate::apphost::{run_application, AppRunContext, AppRunResult, ExecMode};
+use crate::conflict::{Conflict, ConflictKind};
+use crate::history::{ActionId, ActionRecord};
+use crate::server::WarpServer;
+use crate::sourcefs::Patch;
+use crate::stats::RepairStats;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+use warp_browser::{replay_visit, ReplayOutcome};
+use warp_http::{HttpRequest, HttpResponse, Transport};
+use warp_ttdb::RepairSession;
+
+/// How a repair is initiated.
+#[derive(Debug, Clone)]
+pub enum RepairRequest {
+    /// Retroactively apply a security patch as of `from_time` (§3).
+    RetroactivePatch {
+        /// The patch to apply.
+        patch: Patch,
+        /// The past time from which the patch should be in effect.
+        from_time: i64,
+    },
+    /// Undo a past page visit (§5.5), e.g. an administrator reverting an
+    /// accidental permission grant.
+    UndoVisit {
+        /// The client whose visit is undone.
+        client_id: String,
+        /// The visit to undo.
+        visit_id: u64,
+        /// Administrators may proceed even if other users get conflicts;
+        /// regular users may not.
+        initiated_by_admin: bool,
+    },
+}
+
+/// The result of a repair.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Counters and timing breakdown (Tables 7 and 8).
+    pub stats: RepairStats,
+    /// Conflicts raised during this repair.
+    pub conflicts: Vec<Conflict>,
+    /// True if the repair was aborted (user-initiated repair that would have
+    /// caused conflicts for other users).
+    pub aborted: bool,
+}
+
+/// A transport handed to the server-side re-execution browser. Requests the
+/// replayed page issues are *collected* for the repair controller to process
+/// (re-execute or record as new actions) instead of being executed directly.
+#[derive(Debug, Default)]
+struct CollectingTransport {
+    requests: Vec<HttpRequest>,
+}
+
+impl Transport for CollectingTransport {
+    fn send(&mut self, request: HttpRequest) -> HttpResponse {
+        self.requests.push(request);
+        // The replayed page does not get to observe repaired responses
+        // directly; the repair controller re-executes the corresponding
+        // actions itself.
+        HttpResponse::ok("")
+    }
+}
+
+impl WarpServer {
+    /// Runs a repair to completion and returns its outcome. Normal operation
+    /// may continue between and after repairs; the repaired state becomes
+    /// visible atomically when the repair generation is finalized.
+    pub fn repair(&mut self, request: RepairRequest) -> RepairOutcome {
+        let t_total = Instant::now();
+        let mut stats = RepairStats::default();
+        let mut conflicts: Vec<Conflict> = Vec::new();
+
+        // Phase 1: initiation — work out the initial re-execution/cancel sets.
+        let t_init = Instant::now();
+        let mut to_reexecute: BTreeSet<ActionId> = BTreeSet::new();
+        let mut to_cancel: BTreeSet<ActionId> = BTreeSet::new();
+        let mut request_overrides: BTreeMap<ActionId, HttpRequest> = BTreeMap::new();
+        let initiated_by_admin = match &request {
+            RepairRequest::RetroactivePatch { patch, from_time } => {
+                self.sources.apply_retroactive_patch(patch, *from_time);
+                for id in self.history.actions_loading_file(&patch.filename, *from_time) {
+                    to_reexecute.insert(id);
+                }
+                true
+            }
+            RepairRequest::UndoVisit { client_id, visit_id, initiated_by_admin } => {
+                for id in self.history.actions_for_visit(client_id, *visit_id) {
+                    to_cancel.insert(id);
+                }
+                *initiated_by_admin
+            }
+        };
+        stats.time_init = t_init.elapsed();
+
+        // Phase 2: load the graph (totals for reporting).
+        let t_graph = Instant::now();
+        stats.app_runs_total = self.history.len();
+        stats.queries_total = self.history.actions().iter().map(|a| a.queries.len()).sum();
+        stats.page_visits_total = self
+            .history
+            .actions()
+            .iter()
+            .filter_map(|a| a.client.as_ref().map(|c| (c.client_id.clone(), c.visit_id)))
+            .collect::<BTreeSet<_>>()
+            .len();
+        let action_order: Vec<ActionId> = {
+            let mut ids: Vec<ActionId> = self.history.actions().iter().map(|a| a.id).collect();
+            ids.sort_by_key(|&id| (self.history.action(id).map(|a| a.time).unwrap_or(0), id));
+            ids
+        };
+        stats.time_graph = t_graph.elapsed();
+
+        // Phase 3: the main repair loop, in time order.
+        let mut session = RepairSession::begin(&mut self.db);
+        let mut reexecuted_visits: BTreeSet<(String, u64)> = BTreeSet::new();
+        for id in action_order {
+            let action = match self.history.action(id) {
+                Some(a) if !a.cancelled => a.clone(),
+                _ => continue,
+            };
+            if to_cancel.contains(&id) {
+                let t = Instant::now();
+                self.cancel_action(&mut session, &action, &mut stats);
+                stats.time_db += t.elapsed();
+                continue;
+            }
+            let explicitly_queued = to_reexecute.contains(&id);
+            let mut needs_full_reexecution = explicitly_queued;
+            if !needs_full_reexecution {
+                // Selective query re-execution (§4.1): only queries whose
+                // partitions were modified are re-executed; the run itself is
+                // re-executed only if a read query's result changed.
+                let affected: Vec<usize> = action
+                    .queries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| session.dependency_affected(&q.dependency))
+                    .map(|(i, _)| i)
+                    .collect();
+                if affected.is_empty() {
+                    continue;
+                }
+                let t = Instant::now();
+                for i in affected {
+                    let q = &action.queries[i];
+                    let stmt = match warp_sql::parse(&q.sql) {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    if q.is_write {
+                        let _ = session.reexecute_write(&mut self.db, &stmt, q.time, &q.written_row_ids);
+                        stats.queries_reexecuted += 1;
+                    } else {
+                        match session.reexecute_read(&mut self.db, &stmt, q.time) {
+                            Ok(out) => {
+                                stats.queries_reexecuted += 1;
+                                if out.result.fingerprint() != q.result_fingerprint {
+                                    needs_full_reexecution = true;
+                                }
+                            }
+                            Err(_) => needs_full_reexecution = true,
+                        }
+                    }
+                }
+                stats.time_db += t.elapsed();
+                if !needs_full_reexecution {
+                    continue;
+                }
+            }
+            // Full application re-execution.
+            let t_app = Instant::now();
+            let effective_request =
+                request_overrides.get(&id).cloned().unwrap_or_else(|| action.request.clone());
+            let result = self.reexecute_action(&mut session, &action, &effective_request);
+            stats.app_runs_reexecuted += 1;
+            stats.queries_reexecuted += result.queries_reexecuted;
+            // Roll back the effects of original writes the patched run no
+            // longer performs (this is how an attack's database changes are
+            // undone when retroactive patching makes them disappear).
+            for (i, q) in action.queries.iter().enumerate() {
+                let matched = result.used_original_queries.get(i).copied().unwrap_or(false);
+                if q.is_write && !matched {
+                    let _ = session.rollback_rows(
+                        &mut self.db,
+                        &q.dependency.table,
+                        &q.written_row_ids,
+                        q.time,
+                    );
+                    stats.rows_rolled_back += q.written_row_ids.len();
+                    session.note_modified(&q.dependency.write_partitions);
+                }
+            }
+            stats.time_app += t_app.elapsed();
+            let response_changed = result.response.fingerprint() != action.response.fingerprint();
+            if let Some(err) = &result.script_error {
+                conflicts.push(Conflict::new(
+                    action.client.as_ref().map(|c| c.client_id.as_str()).unwrap_or("<server>"),
+                    action.client.as_ref().map(|c| c.visit_id).unwrap_or(0),
+                    &action.request.path,
+                    ConflictKind::ReexecutionFailed(err.clone()),
+                ));
+            }
+            if !response_changed {
+                continue;
+            }
+            // Phase 4: browser re-execution for the page visit that received
+            // the changed response.
+            let Some(client) = action.client.clone() else { continue };
+            let visit_key = (client.client_id.clone(), client.visit_id);
+            if reexecuted_visits.contains(&visit_key) {
+                continue;
+            }
+            reexecuted_visits.insert(visit_key);
+            stats.page_visits_reexecuted += 1;
+            let t_browser = Instant::now();
+            let replay = self.replay_client_visit(&client.client_id, client.visit_id, &result.response);
+            stats.time_browser += t_browser.elapsed();
+            match replay {
+                Some(outcome) => {
+                    if let Some(reason) = outcome.conflict.clone() {
+                        conflicts.push(Conflict::new(
+                            &client.client_id,
+                            client.visit_id,
+                            &action.request.path,
+                            ConflictKind::BrowserReplay(reason),
+                        ));
+                        // Per §5.4: queue the conflict and assume subsequent
+                        // requests are unchanged.
+                        continue;
+                    }
+                    // Requests re-issued by the replayed page replace the
+                    // originals; requests no longer issued are cancelled.
+                    let mut reissued: BTreeSet<u64> = BTreeSet::new();
+                    for replayed in &outcome.requests {
+                        match replayed.matched_request_id {
+                            Some(orig_request_id) => {
+                                reissued.insert(orig_request_id);
+                                if let Some(target) = self.history.action_for_request(
+                                    &client.client_id,
+                                    client.visit_id,
+                                    orig_request_id,
+                                ) {
+                                    if target != id {
+                                        request_overrides
+                                            .insert(target, replayed.request.clone());
+                                        to_reexecute.insert(target);
+                                    }
+                                }
+                            }
+                            None => {
+                                // A brand-new request that did not exist
+                                // during the original execution: run it now
+                                // inside the repair generation.
+                                let t = Instant::now();
+                                let fresh = self.run_fresh_in_repair(
+                                    &mut session,
+                                    &replayed.request,
+                                    action.time,
+                                );
+                                stats.queries_reexecuted += fresh.queries_reexecuted;
+                                stats.time_app += t.elapsed();
+                            }
+                        }
+                    }
+                    for other_id in
+                        self.history.actions_for_visit(&client.client_id, client.visit_id)
+                    {
+                        if other_id == id {
+                            continue;
+                        }
+                        let other = match self.history.action(other_id) {
+                            Some(a) => a,
+                            None => continue,
+                        };
+                        let other_request_id =
+                            other.client.as_ref().map(|c| c.request_id).unwrap_or(u64::MAX);
+                        if !reissued.contains(&other_request_id) && !other.cancelled {
+                            to_cancel.insert(other_id);
+                        }
+                    }
+                }
+                None => {
+                    // No client log (extension not installed): Warp cannot
+                    // verify the browser's behaviour; inform the user.
+                    conflicts.push(Conflict::new(
+                        &client.client_id,
+                        client.visit_id,
+                        &action.request.path,
+                        ConflictKind::BrowserReplay(warp_browser::ConflictReason::NoClientLog),
+                    ));
+                }
+            }
+        }
+
+        // Phase 5: completion.
+        let t_ctrl = Instant::now();
+        stats.conflicts = conflicts.len();
+        stats.rows_rolled_back = stats.rows_rolled_back.max(session.rolled_back_rows);
+        let aborted = !initiated_by_admin && !conflicts.is_empty();
+        if aborted {
+            let _ = session.abort(&mut self.db);
+        } else {
+            session.finalize(&mut self.db);
+            for c in &conflicts {
+                self.conflicts.push(c.clone());
+            }
+        }
+        stats.time_ctrl = t_ctrl.elapsed();
+        stats.time_total = t_total.elapsed();
+        RepairOutcome { stats, conflicts, aborted }
+    }
+
+    /// Re-executes one recorded action with the (possibly patched) sources
+    /// and the repair session.
+    fn reexecute_action(
+        &mut self,
+        session: &mut RepairSession,
+        action: &ActionRecord,
+        request: &HttpRequest,
+    ) -> AppRunResult {
+        let entry = self
+            .router
+            .resolve(&request.path)
+            .unwrap_or_else(|| action.entry_script.clone());
+        run_application(AppRunContext {
+            request,
+            entry_script: entry,
+            sources: &self.sources,
+            action_time: action.time,
+            db: &mut self.db,
+            mode: ExecMode::Repair { session, original: Some(action) },
+        })
+    }
+
+    /// Executes a brand-new request (discovered during browser replay) inside
+    /// the repair generation at the given time.
+    fn run_fresh_in_repair(
+        &mut self,
+        session: &mut RepairSession,
+        request: &HttpRequest,
+        time: i64,
+    ) -> AppRunResult {
+        let entry = match self.router.resolve(&request.path) {
+            Some(e) => e,
+            None => {
+                return AppRunResult {
+                    response: HttpResponse::not_found("no route"),
+                    loaded_files: Vec::new(),
+                    queries: Vec::new(),
+                    nondet: Vec::new(),
+                    used_original_queries: Vec::new(),
+                    script_error: None,
+                    queries_reexecuted: 0,
+                }
+            }
+        };
+        run_application(AppRunContext {
+            request,
+            entry_script: entry,
+            sources: &self.sources,
+            action_time: time,
+            db: &mut self.db,
+            mode: ExecMode::Repair { session, original: None },
+        })
+    }
+
+    /// Rolls back everything an action wrote and marks it cancelled.
+    fn cancel_action(
+        &mut self,
+        session: &mut RepairSession,
+        action: &ActionRecord,
+        stats: &mut RepairStats,
+    ) {
+        for q in &action.queries {
+            if q.is_write {
+                let _ = session.rollback_rows(
+                    &mut self.db,
+                    &q.dependency.table,
+                    &q.written_row_ids,
+                    q.time,
+                );
+                stats.rows_rolled_back += q.written_row_ids.len();
+                session.note_modified(&q.dependency.write_partitions);
+            }
+        }
+        if let Some(a) = self.history.action_mut(action.id) {
+            a.cancelled = true;
+        }
+        stats.actions_cancelled += 1;
+    }
+
+    /// Replays a client's page visit against the repaired response. Returns
+    /// `None` when the client uploaded no log for that visit.
+    fn replay_client_visit(
+        &mut self,
+        client_id: &str,
+        visit_id: u64,
+        new_response: &HttpResponse,
+    ) -> Option<ReplayOutcome> {
+        let record = self.history.client_log(client_id, visit_id)?.clone();
+        // The re-execution browser gets the cookies the original request to
+        // this visit carried.
+        let cookies = self
+            .history
+            .actions_for_visit(client_id, visit_id)
+            .first()
+            .and_then(|&id| self.history.action(id))
+            .map(|a| a.request.cookies.clone())
+            .unwrap_or_default();
+        let mut transport = CollectingTransport::default();
+        let config = self.replay_config;
+        let outcome = replay_visit(&record, new_response, cookies.clone(), &mut transport, &config);
+        // Queue a cookie invalidation if the repaired cookie differs from the
+        // user's real cookie (§5.3).
+        if outcome.is_clean() && outcome.cookies != cookies {
+            self.pending_cookie_invalidations.insert(client_id.to_string());
+        }
+        Some(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppConfig;
+    use warp_browser::Browser;
+    use warp_ttdb::TableAnnotation;
+
+    /// A miniature wiki with a stored-XSS vulnerability in `view.wasl`
+    /// (page bodies are emitted without sanitisation).
+    fn vulnerable_wiki() -> AppConfig {
+        let mut config = AppConfig::new("mini-wiki");
+        config.add_table(
+            "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+            TableAnnotation::new().row_id("page_id").partitions(["title"]),
+        );
+        config.seed("INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'welcome'), (2, 'Secret', 'secret data')");
+        config.add_source(
+            "view.wasl",
+            "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+             if (len(rows) == 0) { echo(\"<p>missing</p>\"); return; } \
+             echo(\"<div id=\\\"content\\\">\" . rows[0][\"body\"] . \"</div>\"); \
+             echo(\"<form action=\\\"/edit.wasl\\\" method=\\\"post\\\">\
+                   <input type=\\\"hidden\\\" name=\\\"title\\\" value=\\\"\" . param(\"title\") . \"\\\"/>\
+                   <textarea name=\\\"body\\\">\" . rows[0][\"body\"] . \"</textarea></form>\");",
+        );
+        config.add_source(
+            "edit.wasl",
+            "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+             echo(\"<p>saved</p>\");",
+        );
+        config
+    }
+
+    /// The patch for the stored XSS: sanitise the body before emitting it.
+    fn xss_patch() -> Patch {
+        Patch::new(
+            "view.wasl",
+            "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+             if (len(rows) == 0) { echo(\"<p>missing</p>\"); return; } \
+             echo(\"<div id=\\\"content\\\">\" . htmlspecialchars(rows[0][\"body\"]) . \"</div>\"); \
+             echo(\"<form action=\\\"/edit.wasl\\\" method=\\\"post\\\">\
+                   <input type=\\\"hidden\\\" name=\\\"title\\\" value=\\\"\" . htmlspecialchars(param(\"title\")) . \"\\\"/>\
+                   <textarea name=\\\"body\\\">\" . htmlspecialchars(rows[0][\"body\"]) . \"</textarea></form>\");",
+            "sanitise page bodies (stored XSS)",
+        )
+    }
+
+    /// Runs the stored-XSS scenario: the attacker injects script into Main,
+    /// a victim views it (the script overwrites the Secret page via the
+    /// victim's browser), and an innocent user edits an unrelated page.
+    fn run_stored_xss_scenario(server: &mut WarpServer) {
+        // Attacker stores the XSS payload.
+        let mut attacker = Browser::new("attacker");
+        let payload = "http_post(\"/edit.wasl\", {\"title\": \"Secret\", \"body\": \"DEFACED\"});";
+        let inject = format!("<script>{payload}</script>");
+        server.handle(HttpRequest::post("/edit.wasl", [("title", "Main"), ("body", inject.as_str())]));
+        let _ = attacker; // The attacker needs no extension for this attack.
+        // Victim views the infected page; the script runs in her browser and
+        // defaces the Secret page using her requests.
+        let mut victim = Browser::new("victim");
+        let _visit = victim.visit("/view.wasl?title=Main", server);
+        server.upload_client_logs(victim.take_logs());
+        // An unaffected user edits an unrelated page.
+        let mut other = Browser::new("other");
+        let mut visit = other.visit("/view.wasl?title=Main", server);
+        let _ = &mut visit;
+        server.upload_client_logs(other.take_logs());
+    }
+
+    #[test]
+    fn stored_xss_attack_then_retroactive_patch_recovers() {
+        let mut server = WarpServer::new(vulnerable_wiki());
+        run_stored_xss_scenario(&mut server);
+        // The attack worked: Secret is defaced.
+        let check = server.handle(HttpRequest::get("/view.wasl?title=Secret"));
+        assert!(check.body.contains("DEFACED"));
+        // Retroactively patch the XSS.
+        let outcome = server.repair(RepairRequest::RetroactivePatch { patch: xss_patch(), from_time: 0 });
+        assert!(!outcome.aborted);
+        // The defacement is gone and the original secret content is back.
+        let check = server.handle(HttpRequest::get("/view.wasl?title=Secret"));
+        assert!(!check.body.contains("DEFACED"), "attack effect should be undone: {}", check.body);
+        assert!(check.body.contains("secret data"));
+        // The attacker's stored payload is still in the page body (it is data
+        // the attacker submitted), but it is now rendered harmless.
+        let main = server.handle(HttpRequest::get("/view.wasl?title=Main"));
+        assert!(main.body.contains("&lt;script&gt;") || !main.body.contains("<script>"));
+        // Only a small fraction of actions were re-executed.
+        assert!(outcome.stats.app_runs_reexecuted >= 1);
+        assert!(outcome.stats.app_runs_reexecuted <= server.history.len());
+    }
+
+    #[test]
+    fn unaffected_actions_are_not_reexecuted() {
+        let mut server = WarpServer::new(vulnerable_wiki());
+        // Plenty of traffic that never touches the vulnerable code path's
+        // attack pages.
+        for i in 0..20 {
+            server.handle(HttpRequest::post(
+                "/edit.wasl",
+                [("title", "Main"), ("body", &format!("revision {i}"))],
+            ));
+        }
+        run_stored_xss_scenario(&mut server);
+        let total = server.history.len();
+        let outcome = server.repair(RepairRequest::RetroactivePatch { patch: xss_patch(), from_time: 0 });
+        // The view.wasl runs are re-executed (they loaded the patched file),
+        // but the 20 edit.wasl runs are not.
+        assert!(outcome.stats.app_runs_reexecuted < total);
+        assert!(outcome.stats.app_runs_reexecuted <= 6);
+    }
+
+    #[test]
+    fn admin_undo_of_a_visit_rolls_back_its_writes() {
+        let mut server = WarpServer::new(vulnerable_wiki());
+        let mut admin = Browser::new("admin");
+        let visit = admin.visit("/view.wasl?title=Main", &mut server);
+        let mut visit = visit;
+        admin.fill(&mut visit, "body", "mistaken edit");
+        let _after = admin.submit_form(&mut visit, "/edit.wasl", &mut server);
+        server.upload_client_logs(admin.take_logs());
+        let check = server.handle(HttpRequest::get("/view.wasl?title=Main"));
+        assert!(check.body.contains("mistaken edit"));
+        let outcome = server.repair(RepairRequest::UndoVisit {
+            client_id: "admin".to_string(),
+            visit_id: visit.visit_id,
+            initiated_by_admin: true,
+        });
+        assert!(!outcome.aborted);
+        let check = server.handle(HttpRequest::get("/view.wasl?title=Main"));
+        assert!(check.body.contains("welcome"), "undo should restore the original body: {}", check.body);
+    }
+
+    #[test]
+    fn non_admin_undo_that_causes_conflicts_is_aborted() {
+        let mut server = WarpServer::new(vulnerable_wiki());
+        // A user edit followed by a dependent read from another user whose
+        // replay will conflict (no extension, so any change conflicts).
+        let mut user = Browser::new("user-1");
+        let mut visit = user.visit("/view.wasl?title=Main", &mut server);
+        user.fill(&mut visit, "body", "user-1 content");
+        let _ = user.submit_form(&mut visit, "/edit.wasl", &mut server);
+        server.upload_client_logs(user.take_logs());
+        // Another user (no extension) views the page written by user-1.
+        let mut other = Browser::without_extension("user-2");
+        let mut req = HttpRequest::get("/view.wasl?title=Main");
+        req.warp.client_id = Some("user-2".to_string());
+        req.warp.visit_id = Some(1);
+        req.warp.request_id = Some(0);
+        let _ = server.handle(req);
+        let _ = other;
+        let before = server.handle(HttpRequest::get("/view.wasl?title=Main"));
+        let outcome = server.repair(RepairRequest::UndoVisit {
+            client_id: "user-1".to_string(),
+            visit_id: visit.visit_id,
+            initiated_by_admin: false,
+        });
+        assert!(outcome.aborted, "non-admin undo with conflicts must abort");
+        let after = server.handle(HttpRequest::get("/view.wasl?title=Main"));
+        assert_eq!(before.body, after.body, "aborted repair must not change state");
+    }
+}

@@ -1,0 +1,200 @@
+//! Versioned storage for application source files.
+//!
+//! Retroactive patching (paper §3) needs two things from the "filesystem"
+//! holding application code: the content that was in effect at any past
+//! time, and the ability to splice a patch into the past so re-executed
+//! application runs load the fixed code.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A security patch: a full replacement for one source file.
+///
+/// The paper applies unified diffs to PHP files; in this reproduction a
+/// patch carries the complete patched source, which keeps the mechanism
+/// identical (the file's content changes as of a past time) without needing
+/// a diff engine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Patch {
+    /// The file being patched.
+    pub filename: String,
+    /// The fixed source code.
+    pub patched_source: String,
+    /// A short human-readable description (e.g. the CVE identifier).
+    pub description: String,
+}
+
+impl Patch {
+    /// Creates a patch.
+    pub fn new(
+        filename: impl Into<String>,
+        patched_source: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Self {
+        Patch {
+            filename: filename.into(),
+            patched_source: patched_source.into(),
+            description: description.into(),
+        }
+    }
+}
+
+/// One version of one source file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct SourceVersion {
+    /// Time from which this version is effective.
+    from_time: i64,
+    /// The file content.
+    content: String,
+    /// True if this version was installed by a retroactive patch (it then
+    /// also applies to re-execution of actions *after* `from_time`).
+    retroactive: bool,
+}
+
+/// The versioned application source tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceStore {
+    files: BTreeMap<String, Vec<SourceVersion>>,
+}
+
+impl SourceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SourceStore::default()
+    }
+
+    /// Installs (or replaces) a source file as of time 0 — the application's
+    /// initial deployment.
+    pub fn install(&mut self, filename: impl Into<String>, content: impl Into<String>) {
+        self.files.insert(
+            filename.into(),
+            vec![SourceVersion { from_time: 0, content: content.into(), retroactive: false }],
+        );
+    }
+
+    /// Records an ordinary (non-retroactive) code change at `time`, e.g. an
+    /// administrator deploying a new application version during normal
+    /// operation.
+    pub fn update(&mut self, filename: &str, content: impl Into<String>, time: i64) {
+        self.files.entry(filename.to_string()).or_default().push(SourceVersion {
+            from_time: time,
+            content: content.into(),
+            retroactive: false,
+        });
+    }
+
+    /// Applies a retroactive patch effective from `time` (paper §3.2): during
+    /// repair, any application run at or after `time` that loads this file
+    /// sees the patched content.
+    pub fn apply_retroactive_patch(&mut self, patch: &Patch, time: i64) {
+        self.files.entry(patch.filename.clone()).or_default().push(SourceVersion {
+            from_time: time,
+            content: patch.patched_source.clone(),
+            retroactive: true,
+        });
+    }
+
+    /// True if the store contains the file.
+    pub fn contains(&self, filename: &str) -> bool {
+        self.files.contains_key(filename)
+    }
+
+    /// Names of all files.
+    pub fn filenames(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+
+    /// The content a *normal* execution at `time` sees: the latest
+    /// non-retroactive version with `from_time <= time`, unless a retroactive
+    /// patch has already been finalized for an earlier time (after repair the
+    /// patched code is simply the current code going forward).
+    pub fn content_for_normal_execution(&self, filename: &str, time: i64) -> Option<String> {
+        self.content_at(filename, time, true)
+    }
+
+    /// The content a *re-execution during repair* at `time` sees: retroactive
+    /// versions are taken into account, so runs after the patch time load the
+    /// fixed code.
+    pub fn content_for_repair(&self, filename: &str, time: i64) -> Option<String> {
+        self.content_at(filename, time, true)
+    }
+
+    /// The content that was actually in effect at `time` during the original
+    /// execution (ignores retroactive patches); useful for forensics.
+    pub fn original_content_at(&self, filename: &str, time: i64) -> Option<String> {
+        self.content_at(filename, time, false)
+    }
+
+    fn content_at(&self, filename: &str, time: i64, include_retroactive: bool) -> Option<String> {
+        let versions = self.files.get(filename)?;
+        versions
+            .iter()
+            .filter(|v| v.from_time <= time && (include_retroactive || !v.retroactive))
+            .max_by_key(|v| (v.from_time, v.retroactive))
+            .map(|v| v.content.clone())
+    }
+
+    /// Total bytes of source stored (all versions), for storage accounting.
+    pub fn approximate_bytes(&self) -> usize {
+        self.files
+            .values()
+            .flat_map(|vs| vs.iter())
+            .map(|v| v.content.len() + 16)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_read_back() {
+        let mut s = SourceStore::new();
+        s.install("edit.wasl", "v1");
+        assert!(s.contains("edit.wasl"));
+        assert_eq!(s.content_for_normal_execution("edit.wasl", 100), Some("v1".to_string()));
+        assert_eq!(s.content_for_normal_execution("missing.wasl", 100), None);
+    }
+
+    #[test]
+    fn ordinary_updates_take_effect_at_their_time() {
+        let mut s = SourceStore::new();
+        s.install("a.wasl", "v1");
+        s.update("a.wasl", "v2", 50);
+        assert_eq!(s.content_for_normal_execution("a.wasl", 10), Some("v1".to_string()));
+        assert_eq!(s.content_for_normal_execution("a.wasl", 50), Some("v2".to_string()));
+        assert_eq!(s.content_for_normal_execution("a.wasl", 99), Some("v2".to_string()));
+    }
+
+    #[test]
+    fn retroactive_patch_changes_the_past_for_repair_only_views() {
+        let mut s = SourceStore::new();
+        s.install("edit.wasl", "vulnerable");
+        let patch = Patch::new("edit.wasl", "fixed", "CVE-2009-4589");
+        s.apply_retroactive_patch(&patch, 10);
+        // Repair re-execution at a time after the patch point sees the fix.
+        assert_eq!(s.content_for_repair("edit.wasl", 20), Some("fixed".to_string()));
+        // Before the patch point, even repair sees the old code.
+        assert_eq!(s.content_for_repair("edit.wasl", 5), Some("vulnerable".to_string()));
+        // The forensic view of what originally ran is unchanged.
+        assert_eq!(s.original_content_at("edit.wasl", 20), Some("vulnerable".to_string()));
+    }
+
+    #[test]
+    fn retroactive_patch_wins_over_same_time_original() {
+        let mut s = SourceStore::new();
+        s.install("a.wasl", "v1");
+        s.update("a.wasl", "v2", 30);
+        s.apply_retroactive_patch(&Patch::new("a.wasl", "v2-fixed", "fix"), 30);
+        assert_eq!(s.content_for_repair("a.wasl", 30), Some("v2-fixed".to_string()));
+    }
+
+    #[test]
+    fn byte_accounting_counts_all_versions() {
+        let mut s = SourceStore::new();
+        s.install("a.wasl", "aaaa");
+        s.update("a.wasl", "bbbbbb", 10);
+        assert!(s.approximate_bytes() >= 10);
+    }
+}

@@ -1,0 +1,135 @@
+//! Cookie parsing and the client-side cookie jar.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A browser-side cookie jar.
+///
+/// The paper's browser repair manager loads the user's cookies into the
+/// server-side re-execution browser and compares the cookie state after
+/// repair against the user's real browser (§5.3); keeping the jar as a plain
+/// ordered map makes that comparison deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CookieJar {
+    cookies: BTreeMap<String, String>,
+}
+
+impl CookieJar {
+    /// Creates an empty jar.
+    pub fn new() -> Self {
+        CookieJar::default()
+    }
+
+    /// Returns the value of the named cookie.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.cookies.get(name).map(|s| s.as_str())
+    }
+
+    /// Sets a cookie.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.cookies.insert(name.into(), value.into());
+    }
+
+    /// Removes a cookie.
+    pub fn remove(&mut self, name: &str) {
+        self.cookies.remove(name);
+    }
+
+    /// Removes every cookie (used when Warp invalidates a client's cookie
+    /// after repair).
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+
+    /// True if the jar holds no cookies.
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    /// Renders the jar as a `Cookie:` header value.
+    pub fn to_header(&self) -> String {
+        self.cookies
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// Parses a `Cookie:` header value into a jar.
+    pub fn from_header(header: &str) -> Self {
+        let mut jar = CookieJar::new();
+        for part in header.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                Some((k, v)) => jar.set(k.trim(), v.trim()),
+                None => jar.set(part, ""),
+            }
+        }
+        jar
+    }
+
+    /// Applies a `Set-Cookie` directive of the form `name=value` (or
+    /// `name=; expires...` which deletes the cookie).
+    pub fn apply_set_cookie(&mut self, directive: &str) {
+        let first = directive.split(';').next().unwrap_or("").trim();
+        if let Some((k, v)) = first.split_once('=') {
+            if v.is_empty() {
+                self.cookies.remove(k.trim());
+            } else {
+                self.set(k.trim(), v.trim());
+            }
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &String)> {
+        self.cookies.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut jar = CookieJar::new();
+        assert!(jar.is_empty());
+        jar.set("sid", "abc");
+        jar.set("user", "alice");
+        assert_eq!(jar.get("sid"), Some("abc"));
+        jar.remove("sid");
+        assert_eq!(jar.get("sid"), None);
+        assert!(!jar.is_empty());
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let mut jar = CookieJar::new();
+        jar.set("a", "1");
+        jar.set("b", "2");
+        let header = jar.to_header();
+        assert_eq!(header, "a=1; b=2");
+        assert_eq!(CookieJar::from_header(&header), jar);
+        assert_eq!(CookieJar::from_header(""), CookieJar::new());
+    }
+
+    #[test]
+    fn set_cookie_directives() {
+        let mut jar = CookieJar::new();
+        jar.apply_set_cookie("session=xyz; Path=/; HttpOnly");
+        assert_eq!(jar.get("session"), Some("xyz"));
+        jar.apply_set_cookie("session=; expires=Thu, 01 Jan 1970 00:00:00 GMT");
+        assert_eq!(jar.get("session"), None);
+    }
+
+    #[test]
+    fn clear_empties_the_jar() {
+        let mut jar = CookieJar::from_header("a=1; b=2");
+        jar.clear();
+        assert!(jar.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! `warp-http` — the HTTP substrate for the Warp reproduction.
+//!
+//! This crate plays the role Apache plays in the paper: it defines the
+//! request/response types, cookie and query-string handling, the router that
+//! maps URLs to application script files, and the `Transport` boundary that
+//! browsers use to deliver requests to a server.
+//!
+//! There are no sockets here. The paper's evaluation runs client and server
+//! on one machine and everything Warp needs from HTTP is (a) a faithful
+//! request/response data model, (b) the three Warp tracking headers
+//! (client ID, visit ID, request ID) that correlate browser activity with
+//! server-side execution, and (c) a place to interpose logging. An
+//! in-process transport keeps the whole system deterministic and testable.
+
+pub mod cookies;
+pub mod request;
+pub mod response;
+pub mod router;
+pub mod session;
+pub mod url;
+
+pub use cookies::CookieJar;
+pub use request::{HttpRequest, Method, WarpHeaders};
+pub use response::HttpResponse;
+pub use router::Router;
+pub use session::generate_session_id;
+pub use url::{form_decode, form_encode, parse_query, parse_url, split_path_query};
+
+/// Header carrying the Warp client ID (a long random per-browser value).
+pub const HDR_CLIENT_ID: &str = "X-Warp-Client-Id";
+/// Header carrying the Warp visit ID (unique per page visit within a client).
+pub const HDR_VISIT_ID: &str = "X-Warp-Visit-Id";
+/// Header carrying the Warp request ID (unique per request within a visit).
+pub const HDR_REQUEST_ID: &str = "X-Warp-Request-Id";
+
+/// The boundary over which a browser (or a workload generator) delivers an
+/// HTTP request to a server and receives a response.
+///
+/// The Warp server implements this for normal execution; during repair the
+/// repair controller supplies a different implementation that routes
+/// re-executed requests through the repair pipeline instead (paper §5.3).
+pub trait Transport {
+    /// Delivers one request and returns the response.
+    fn send(&mut self, request: HttpRequest) -> HttpResponse;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_names_are_distinct() {
+        assert_ne!(HDR_CLIENT_ID, HDR_VISIT_ID);
+        assert_ne!(HDR_VISIT_ID, HDR_REQUEST_ID);
+    }
+
+    struct Echo;
+    impl Transport for Echo {
+        fn send(&mut self, request: HttpRequest) -> HttpResponse {
+            HttpResponse::ok(format!("{} {}", request.method.as_str(), request.path))
+        }
+    }
+
+    #[test]
+    fn transport_round_trip() {
+        let mut t = Echo;
+        let resp = t.send(HttpRequest::get("/index.wasl?x=1"));
+        assert_eq!(resp.body, "GET /index.wasl");
+    }
+}

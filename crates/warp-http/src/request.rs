@@ -1,0 +1,245 @@
+//! HTTP request model.
+
+use crate::cookies::CookieJar;
+use crate::url::{form_decode, parse_query, split_path_query};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// HTTP request methods used by the evaluation applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `POST`
+    Post,
+}
+
+impl Method {
+    /// The canonical spelling of the method.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+/// The Warp tracking identifiers attached to every request by the browser
+/// extension (paper §5.1): a per-browser client ID, a per-page-visit visit
+/// ID, and a per-request request ID.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WarpHeaders {
+    /// Long random per-browser identifier.
+    pub client_id: Option<String>,
+    /// Page-visit identifier, unique within a client.
+    pub visit_id: Option<u64>,
+    /// Request identifier, unique within a page visit.
+    pub request_id: Option<u64>,
+}
+
+impl WarpHeaders {
+    /// True if all three identifiers are present.
+    pub fn is_complete(&self) -> bool {
+        self.client_id.is_some() && self.visit_id.is_some() && self.request_id.is_some()
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Path component of the URL (no query string).
+    pub path: String,
+    /// Decoded query-string parameters.
+    pub query: BTreeMap<String, String>,
+    /// Decoded form (POST body) parameters.
+    pub form: BTreeMap<String, String>,
+    /// Additional headers (canonical-case names).
+    pub headers: BTreeMap<String, String>,
+    /// Cookies sent with the request.
+    pub cookies: CookieJar,
+    /// Warp tracking headers added by the browser extension.
+    pub warp: WarpHeaders,
+}
+
+impl HttpRequest {
+    /// Builds a `GET` request from a path with an optional query string.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let req = warp_http::HttpRequest::get("/view.wasl?title=Main");
+    /// assert_eq!(req.path, "/view.wasl");
+    /// assert_eq!(req.param("title"), Some("Main"));
+    /// ```
+    pub fn get(target: &str) -> Self {
+        let (path, query) = split_path_query(target);
+        HttpRequest {
+            method: Method::Get,
+            path,
+            query: parse_query(&query),
+            form: BTreeMap::new(),
+            headers: BTreeMap::new(),
+            cookies: CookieJar::new(),
+            warp: WarpHeaders::default(),
+        }
+    }
+
+    /// Builds a `POST` request from a path and form fields.
+    pub fn post<'a>(target: &str, fields: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let (path, query) = split_path_query(target);
+        let mut form = BTreeMap::new();
+        for (k, v) in fields {
+            form.insert(k.to_string(), v.to_string());
+        }
+        HttpRequest {
+            method: Method::Post,
+            path,
+            query: parse_query(&query),
+            form,
+            headers: BTreeMap::new(),
+            cookies: CookieJar::new(),
+            warp: WarpHeaders::default(),
+        }
+    }
+
+    /// Builds a `POST` request from an already-encoded body.
+    pub fn post_raw(target: &str, body: &str) -> Self {
+        let (path, query) = split_path_query(target);
+        HttpRequest {
+            method: Method::Post,
+            path,
+            query: parse_query(&query),
+            form: form_decode(body),
+            headers: BTreeMap::new(),
+            cookies: CookieJar::new(),
+            warp: WarpHeaders::default(),
+        }
+    }
+
+    /// Returns a request parameter, checking the form fields first and then
+    /// the query string (the same precedence PHP's `$_REQUEST` gives when
+    /// configured `GP` order).
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.form.get(name).or_else(|| self.query.get(name)).map(|s| s.as_str())
+    }
+
+    /// All parameters (query and form merged, form wins).
+    pub fn all_params(&self) -> BTreeMap<String, String> {
+        let mut out = self.query.clone();
+        for (k, v) in &self.form {
+            out.insert(k.clone(), v.clone());
+        }
+        out
+    }
+
+    /// Sets a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name.to_string(), value.to_string());
+        self
+    }
+
+    /// Attaches a cookie jar.
+    pub fn with_cookies(mut self, cookies: CookieJar) -> Self {
+        self.cookies = cookies;
+        self
+    }
+
+    /// Attaches Warp tracking headers.
+    pub fn with_warp(mut self, warp: WarpHeaders) -> Self {
+        self.warp = warp;
+        self
+    }
+
+    /// The request target (path plus query string), reconstructed.
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            let q = self
+                .query
+                .iter()
+                .map(|(k, v)| format!("{}={}", crate::url::percent_encode(k), crate::url::percent_encode(v)))
+                .collect::<Vec<_>>()
+                .join("&");
+            format!("{}?{}", self.path, q)
+        }
+    }
+
+    /// A stable content fingerprint of the request, ignoring the Warp
+    /// tracking headers. The repair controller uses this to decide whether a
+    /// re-executed browser issued "the same request" as during normal
+    /// execution (paper §5.3).
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.method.as_str().hash(&mut h);
+        self.path.hash(&mut h);
+        for (k, v) in &self.query {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        for (k, v) in &self.form {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        self.cookies.to_header().hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_parses_query() {
+        let r = HttpRequest::get("/view.wasl?title=Main+Page&rev=3");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.param("title"), Some("Main Page"));
+        assert_eq!(r.param("rev"), Some("3"));
+        assert_eq!(r.param("missing"), None);
+    }
+
+    #[test]
+    fn post_form_takes_precedence_over_query() {
+        let r = HttpRequest::post("/edit.wasl?title=FromQuery", [("title", "FromForm")]);
+        assert_eq!(r.param("title"), Some("FromForm"));
+        assert_eq!(r.all_params().get("title"), Some(&"FromForm".to_string()));
+    }
+
+    #[test]
+    fn post_raw_decodes_body() {
+        let r = HttpRequest::post_raw("/edit.wasl", "title=Main&body=hello+world");
+        assert_eq!(r.param("body"), Some("hello world"));
+    }
+
+    #[test]
+    fn target_round_trips() {
+        let r = HttpRequest::get("/view.wasl?a=1&b=two+words");
+        let again = HttpRequest::get(&r.target());
+        assert_eq!(again.query, r.query);
+    }
+
+    #[test]
+    fn fingerprint_ignores_warp_headers() {
+        let a = HttpRequest::get("/view.wasl?a=1");
+        let mut b = a.clone();
+        b.warp = WarpHeaders { client_id: Some("c".into()), visit_id: Some(1), request_id: Some(2) };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = HttpRequest::get("/view.wasl?a=2");
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn warp_headers_completeness() {
+        let mut w = WarpHeaders::default();
+        assert!(!w.is_complete());
+        w.client_id = Some("c".into());
+        w.visit_id = Some(1);
+        w.request_id = Some(1);
+        assert!(w.is_complete());
+    }
+}

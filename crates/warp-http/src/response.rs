@@ -1,0 +1,166 @@
+//! HTTP response model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Status code (200, 302, 403, 404, 500, ...).
+    pub status: u16,
+    /// Response headers.
+    pub headers: BTreeMap<String, String>,
+    /// `Set-Cookie` directives, in order.
+    pub set_cookies: Vec<String>,
+    /// Response body (HTML for page responses).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` response with the given body.
+    pub fn ok(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 200,
+            headers: BTreeMap::new(),
+            set_cookies: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A `302 Found` redirect to the given location.
+    pub fn redirect(location: impl Into<String>) -> Self {
+        let mut headers = BTreeMap::new();
+        headers.insert("Location".to_string(), location.into());
+        HttpResponse { status: 302, headers, set_cookies: Vec::new(), body: String::new() }
+    }
+
+    /// A `404 Not Found` response.
+    pub fn not_found(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 404,
+            headers: BTreeMap::new(),
+            set_cookies: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A `403 Forbidden` response.
+    pub fn forbidden(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 403,
+            headers: BTreeMap::new(),
+            set_cookies: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A `500 Internal Server Error` response.
+    pub fn server_error(body: impl Into<String>) -> Self {
+        HttpResponse {
+            status: 500,
+            headers: BTreeMap::new(),
+            set_cookies: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header, builder style.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.insert(name.to_string(), value.to_string());
+        self
+    }
+
+    /// Returns a header value, if set.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(|s| s.as_str())
+    }
+
+    /// True if the response is a redirect with a `Location` header.
+    pub fn redirect_location(&self) -> Option<&str> {
+        if (300..400).contains(&self.status) {
+            self.header("Location")
+        } else {
+            None
+        }
+    }
+
+    /// True if the response forbids being framed (the paper's clickjacking
+    /// fix adds `X-Frame-Options: DENY`, CVE-2011-0003).
+    pub fn denies_framing(&self) -> bool {
+        self.header("X-Frame-Options")
+            .map(|v| v.eq_ignore_ascii_case("DENY") || v.eq_ignore_ascii_case("SAMEORIGIN"))
+            .unwrap_or(false)
+    }
+
+    /// Approximate size of the response in bytes (status line + headers +
+    /// body), used for the storage accounting in Table 6.
+    pub fn approximate_bytes(&self) -> usize {
+        let mut total = 16 + self.body.len();
+        for (k, v) in &self.headers {
+            total += k.len() + v.len() + 4;
+        }
+        for c in &self.set_cookies {
+            total += c.len() + 14;
+        }
+        total
+    }
+
+    /// A stable fingerprint of the response content; the repair controller
+    /// compares these to decide whether a re-executed application run
+    /// produced "the same response" (paper §3.3).
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.status.hash(&mut h);
+        for (k, v) in &self.headers {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        self.set_cookies.hash(&mut h);
+        self.body.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_status() {
+        assert_eq!(HttpResponse::ok("x").status, 200);
+        assert_eq!(HttpResponse::not_found("x").status, 404);
+        assert_eq!(HttpResponse::forbidden("x").status, 403);
+        assert_eq!(HttpResponse::server_error("x").status, 500);
+        let r = HttpResponse::redirect("/login.wasl");
+        assert_eq!(r.status, 302);
+        assert_eq!(r.redirect_location(), Some("/login.wasl"));
+        assert_eq!(HttpResponse::ok("x").redirect_location(), None);
+    }
+
+    #[test]
+    fn frame_denial_detection() {
+        let r = HttpResponse::ok("x").with_header("X-Frame-Options", "DENY");
+        assert!(r.denies_framing());
+        assert!(!HttpResponse::ok("x").denies_framing());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = HttpResponse::ok("hello");
+        let b = HttpResponse::ok("hello");
+        let c = HttpResponse::ok("hello!");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = HttpResponse::ok("hello").with_header("X-Frame-Options", "DENY");
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn approximate_bytes_grows_with_content() {
+        let small = HttpResponse::ok("x").approximate_bytes();
+        let large = HttpResponse::ok("x".repeat(100)).approximate_bytes();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,86 @@
+//! Request routing: mapping URL paths to application script files.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps request paths to the WASL source file that handles them.
+///
+/// This is the analog of Apache's URL-to-PHP-file mapping. The default
+/// convention mirrors PHP: `/edit.wasl` is handled by the source file
+/// `edit.wasl`. Explicit routes can override the convention (used by the
+/// blog and gallery applications for prettier URLs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Router {
+    routes: Vec<(String, String)>,
+    /// Script used for `/`.
+    index: Option<String>,
+}
+
+impl Router {
+    /// Creates a router with no explicit routes.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Adds an explicit route from an exact path to a script file.
+    pub fn route(&mut self, path: impl Into<String>, script: impl Into<String>) -> &mut Self {
+        self.routes.push((path.into(), script.into()));
+        self
+    }
+
+    /// Sets the script that handles `/`.
+    pub fn index(&mut self, script: impl Into<String>) -> &mut Self {
+        self.index = Some(script.into());
+        self
+    }
+
+    /// Resolves a request path to a script file name.
+    ///
+    /// Resolution order: explicit routes (exact match), the index script for
+    /// `/`, then the PHP-style convention of stripping the leading `/` for
+    /// paths that name a `.wasl` file. Returns `None` when nothing matches.
+    pub fn resolve(&self, path: &str) -> Option<String> {
+        for (p, script) in &self.routes {
+            if p == path {
+                return Some(script.clone());
+            }
+        }
+        if path == "/" {
+            return self.index.clone();
+        }
+        let trimmed = path.trim_start_matches('/');
+        if trimmed.ends_with(".wasl") && !trimmed.contains("..") {
+            return Some(trimmed.to_string());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convention_resolves_wasl_files() {
+        let r = Router::new();
+        assert_eq!(r.resolve("/edit.wasl"), Some("edit.wasl".to_string()));
+        assert_eq!(r.resolve("/sub/edit.wasl"), Some("sub/edit.wasl".to_string()));
+        assert_eq!(r.resolve("/edit.php"), None);
+        assert_eq!(r.resolve("/../etc/passwd.wasl"), None);
+    }
+
+    #[test]
+    fn explicit_routes_and_index() {
+        let mut r = Router::new();
+        r.route("/wiki", "index.wasl").index("index.wasl");
+        assert_eq!(r.resolve("/wiki"), Some("index.wasl".to_string()));
+        assert_eq!(r.resolve("/"), Some("index.wasl".to_string()));
+        assert_eq!(Router::new().resolve("/"), None);
+    }
+
+    #[test]
+    fn explicit_route_wins_over_convention() {
+        let mut r = Router::new();
+        r.route("/edit.wasl", "special.wasl");
+        assert_eq!(r.resolve("/edit.wasl"), Some("special.wasl".to_string()));
+    }
+}

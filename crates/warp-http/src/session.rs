@@ -1,0 +1,52 @@
+//! Session identifier generation.
+//!
+//! Session *data* lives in the application's database (and is therefore
+//! versioned and repaired by the time-travel database); this module only
+//! deals with the opaque session identifiers carried in cookies.
+//!
+//! Identifier generation is deterministic given a seed counter. This is
+//! deliberate: `session_start` is one of the non-deterministic functions the
+//! paper's application manager records and replays (§3.1), and a
+//! deterministic generator makes the record/replay machinery testable.
+
+/// Generates a session identifier from a numeric seed.
+///
+/// The identifier is a 32-character lowercase hex string derived from a
+/// 64-bit mix of the seed, mimicking PHP's `session_id()` format without
+/// pulling in a real entropy source (the Warp server supplies seeds from its
+/// recorded non-determinism log during repair).
+pub fn generate_session_id(seed: u64) -> String {
+    // SplitMix64-style mixing for a well-distributed but reproducible value.
+    let mut out = String::with_capacity(32);
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..2 {
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.push_str(&format!("{z:016x}"));
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_and_distinct() {
+        assert_eq!(generate_session_id(1), generate_session_id(1));
+        assert_ne!(generate_session_id(1), generate_session_id(2));
+        assert_eq!(generate_session_id(7).len(), 32);
+        assert!(generate_session_id(7).chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn nearby_seeds_produce_unrelated_ids() {
+        let a = generate_session_id(100);
+        let b = generate_session_id(101);
+        let common: usize = a.chars().zip(b.chars()).filter(|(x, y)| x == y).count();
+        assert!(common < 12, "ids look correlated: {a} vs {b}");
+    }
+}

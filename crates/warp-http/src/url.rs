@@ -1,0 +1,165 @@
+//! URL, query-string and form encoding helpers.
+
+use std::collections::BTreeMap;
+
+/// Splits a request target into path and raw query string.
+///
+/// # Examples
+///
+/// ```
+/// let (path, query) = warp_http::split_path_query("/wiki/view.wasl?title=Main&x=1");
+/// assert_eq!(path, "/wiki/view.wasl");
+/// assert_eq!(query, "title=Main&x=1");
+/// ```
+pub fn split_path_query(target: &str) -> (String, String) {
+    match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    }
+}
+
+/// Parses a full URL of the form `http://host/path?query` (scheme and host
+/// optional) into `(origin, path, query)`.
+pub fn parse_url(url: &str) -> (String, String, String) {
+    let (rest, origin) = match url.find("://") {
+        Some(idx) => {
+            let after_scheme = &url[idx + 3..];
+            match after_scheme.find('/') {
+                Some(slash) => {
+                    (after_scheme[slash..].to_string(), url[..idx + 3 + slash].to_string())
+                }
+                None => ("/".to_string(), url.to_string()),
+            }
+        }
+        None => (url.to_string(), String::new()),
+    };
+    let (path, query) = split_path_query(&rest);
+    (origin, path, query)
+}
+
+/// Parses `a=1&b=two` into an ordered map, percent-decoding names and values.
+pub fn parse_query(query: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for pair in query.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = match pair.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (pair, ""),
+        };
+        out.insert(percent_decode(k), percent_decode(v));
+    }
+    out
+}
+
+/// Alias for [`parse_query`] for `application/x-www-form-urlencoded` bodies.
+pub fn form_decode(body: &str) -> BTreeMap<String, String> {
+    parse_query(body)
+}
+
+/// Encodes key/value pairs as `application/x-www-form-urlencoded`.
+pub fn form_encode<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> String {
+    pairs
+        .into_iter()
+        .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+/// Percent-encodes a string for use in a query component.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Reverses [`percent_encode`]; invalid escapes pass through unchanged.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => match u8::from_str_radix(
+                std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or(""),
+                16,
+            ) {
+                Ok(b) => {
+                    out.push(b);
+                    i += 3;
+                }
+                Err(_) => {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            },
+            other => {
+                out.push(other);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_handles_missing_query() {
+        assert_eq!(split_path_query("/a/b"), ("/a/b".to_string(), String::new()));
+        assert_eq!(split_path_query("/a?x=1"), ("/a".to_string(), "x=1".to_string()));
+    }
+
+    #[test]
+    fn parse_url_variants() {
+        let (origin, path, query) = parse_url("http://wiki.example/view.wasl?title=Main");
+        assert_eq!(origin, "http://wiki.example");
+        assert_eq!(path, "/view.wasl");
+        assert_eq!(query, "title=Main");
+        let (origin, path, query) = parse_url("/view.wasl?a=1");
+        assert_eq!(origin, "");
+        assert_eq!(path, "/view.wasl");
+        assert_eq!(query, "a=1");
+        let (origin, path, _) = parse_url("http://attacker.example");
+        assert_eq!(origin, "http://attacker.example");
+        assert_eq!(path, "/");
+    }
+
+    #[test]
+    fn query_parsing_decodes_and_orders() {
+        let q = parse_query("b=two+words&a=1&empty=&flag");
+        assert_eq!(q.get("a"), Some(&"1".to_string()));
+        assert_eq!(q.get("b"), Some(&"two words".to_string()));
+        assert_eq!(q.get("empty"), Some(&String::new()));
+        assert_eq!(q.get("flag"), Some(&String::new()));
+    }
+
+    #[test]
+    fn form_encode_decode_roundtrip() {
+        let encoded = form_encode([("title", "Main Page"), ("body", "a&b=c ü")]);
+        let decoded = form_decode(&encoded);
+        assert_eq!(decoded.get("title"), Some(&"Main Page".to_string()));
+        assert_eq!(decoded.get("body"), Some(&"a&b=c ü".to_string()));
+    }
+
+    #[test]
+    fn percent_decode_tolerates_bad_escapes() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("a%zzb"), "a%zzb");
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for WASL compilation and execution.
+
+use std::fmt;
+
+/// Result alias used throughout `warp-script`.
+pub type ScriptResult<T> = Result<T, ScriptError>;
+
+/// Errors raised while lexing, parsing or executing WASL code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// The source could not be tokenized.
+    Lex(String),
+    /// The token stream could not be parsed.
+    Parse(String),
+    /// A runtime error (undefined variable, bad operand types, ...).
+    Runtime(String),
+    /// A host function reported an error (e.g. a failed database query).
+    Host(String),
+    /// An `include` named a file the host could not provide.
+    IncludeNotFound(String),
+    /// Execution exceeded the configured step or recursion budget.
+    Budget(String),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Lex(m) => write!(f, "lex error: {m}"),
+            ScriptError::Parse(m) => write!(f, "parse error: {m}"),
+            ScriptError::Runtime(m) => write!(f, "runtime error: {m}"),
+            ScriptError::Host(m) => write!(f, "host error: {m}"),
+            ScriptError::IncludeNotFound(m) => write!(f, "include not found: {m}"),
+            ScriptError::Budget(m) => write!(f, "budget exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ScriptError::IncludeNotFound("edit.wasl".into()).to_string(),
+            "include not found: edit.wasl"
+        );
+        assert_eq!(ScriptError::Runtime("x".into()).to_string(), "runtime error: x");
+    }
+}

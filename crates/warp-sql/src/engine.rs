@@ -1,0 +1,706 @@
+//! Statement execution.
+
+use crate::ast::{
+    AggregateFunc, Expr, SelectItem, SelectStatement, Statement,
+};
+use crate::error::{SqlError, SqlResult};
+use crate::expr::eval_expr;
+use crate::parser::parse;
+use crate::schema::TableSchema;
+use crate::storage::{Row, Table};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QueryResult {
+    /// Column names for `SELECT` results (empty for writes).
+    pub columns: Vec<String>,
+    /// Result rows for `SELECT` (empty for writes).
+    pub rows: Vec<Row>,
+    /// Number of rows inserted, updated or deleted.
+    pub affected: u64,
+}
+
+impl QueryResult {
+    /// A result with no rows and no affected count.
+    pub fn empty() -> Self {
+        QueryResult::default()
+    }
+
+    /// Returns the single value of a single-row, single-column result.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the values in the named column across all result rows.
+    pub fn column_values(&self, name: &str) -> Vec<Value> {
+        match self.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+            Some(idx) => self.rows.iter().filter_map(|r| r.get(idx).cloned()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A fingerprint of the result that is stable across executions; the
+    /// repair controller compares fingerprints to decide whether a re-executed
+    /// query "returned the same result" (paper §3.3, §4).
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.columns.hash(&mut h);
+        for row in &self.rows {
+            for v in row {
+                v.hash(&mut h);
+            }
+            0xfeu8.hash(&mut h);
+        }
+        self.affected.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// An in-memory SQL database: a set of named tables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database { tables: BTreeMap::new() }
+    }
+
+    /// Returns the names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Returns the schema of the named table, if it exists.
+    pub fn schema(&self, table: &str) -> Option<&TableSchema> {
+        self.tables.get(&normalize(table)).map(|t| &t.schema)
+    }
+
+    /// Returns a reference to the named table, if it exists.
+    pub fn table(&self, table: &str) -> Option<&Table> {
+        self.tables.get(&normalize(table))
+    }
+
+    /// Returns a mutable reference to the named table, if it exists.
+    ///
+    /// This is used by the time-travel layer for schema surgery (extending
+    /// uniqueness constraints with versioning columns); ordinary data access
+    /// goes through [`Database::execute`].
+    pub fn table_mut(&mut self, table: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&normalize(table))
+    }
+
+    /// Total approximate size of all stored data, in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.approximate_bytes()).sum()
+    }
+
+    /// Parses and executes a single SQL statement.
+    pub fn execute_sql(&mut self, sql: &str) -> SqlResult<QueryResult> {
+        let stmt = parse(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> SqlResult<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns, constraints } => {
+                self.create_table(name, columns.clone(), constraints.clone())
+            }
+            Statement::DropTable { name } => {
+                let key = normalize(name);
+                if self.tables.remove(&key).is_none() {
+                    return Err(SqlError::NoSuchTable(name.clone()));
+                }
+                Ok(QueryResult::empty())
+            }
+            Statement::AlterTableAddColumn { table, column } => {
+                let t = self
+                    .tables
+                    .get_mut(&normalize(table))
+                    .ok_or_else(|| SqlError::NoSuchTable(table.clone()))?;
+                let default = column.default.clone().unwrap_or(Value::Null);
+                t.schema.add_column(column.clone())?;
+                t.add_column_with_default(default);
+                Ok(QueryResult::empty())
+            }
+            Statement::Insert { table, columns, values } => self.insert(table, columns, values),
+            Statement::Select(select) => self.select(select),
+            Statement::Update { table, assignments, where_clause } => {
+                self.update(table, assignments, where_clause.as_ref())
+            }
+            Statement::Delete { table, where_clause } => {
+                self.delete(table, where_clause.as_ref())
+            }
+        }
+    }
+
+    fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<crate::ast::ColumnDef>,
+        constraints: Vec<crate::ast::TableConstraint>,
+    ) -> SqlResult<QueryResult> {
+        let key = normalize(name);
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::TableExists(name.to_string()));
+        }
+        let schema = TableSchema::new(name, columns, constraints)?;
+        self.tables.insert(key, Table::new(schema));
+        Ok(QueryResult::empty())
+    }
+
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        values: &[Vec<Expr>],
+    ) -> SqlResult<QueryResult> {
+        // Evaluate value expressions against an empty row context first (they
+        // may not reference columns), then validate and append.
+        let key = normalize(table);
+        let t = self.tables.get(&key).ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let schema = t.schema.clone();
+        let mut col_indexes = Vec::with_capacity(columns.len());
+        for c in columns {
+            let idx =
+                schema.column_index(c).ok_or_else(|| SqlError::NoSuchColumn(c.to_string()))?;
+            col_indexes.push(idx);
+        }
+        let empty_row: Row = vec![Value::Null; schema.columns.len()];
+        let mut new_rows = Vec::with_capacity(values.len());
+        for value_exprs in values {
+            let mut row: Row = schema
+                .columns
+                .iter()
+                .map(|c| c.default.clone().unwrap_or(Value::Null))
+                .collect();
+            for (expr, &idx) in value_exprs.iter().zip(&col_indexes) {
+                row[idx] = eval_expr(expr, &schema, &empty_row)?;
+            }
+            for (i, col) in schema.columns.iter().enumerate() {
+                if col.is_not_null() && row[i].is_null() {
+                    return Err(SqlError::NotNullViolation {
+                        table: table.to_string(),
+                        column: col.name.clone(),
+                    });
+                }
+            }
+            new_rows.push(row);
+        }
+        // Uniqueness checks consider both existing rows and the batch itself.
+        let t = self.tables.get_mut(&key).expect("checked above");
+        for (i, row) in new_rows.iter().enumerate() {
+            check_unique(&t.schema, &t.rows, row, None)?;
+            for earlier in &new_rows[..i] {
+                check_rows_distinct(&t.schema, earlier, row, table)?;
+            }
+        }
+        let n = new_rows.len() as u64;
+        for row in new_rows {
+            t.push_row(row);
+        }
+        Ok(QueryResult { columns: vec![], rows: vec![], affected: n })
+    }
+
+    fn select(&mut self, select: &SelectStatement) -> SqlResult<QueryResult> {
+        let key = normalize(&select.table);
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| SqlError::NoSuchTable(select.table.clone()))?;
+        let schema = &t.schema;
+        // Filter.
+        let mut matching: Vec<&Row> = Vec::new();
+        for row in &t.rows {
+            if matches_where(select.where_clause.as_ref(), schema, row)? {
+                matching.push(row);
+            }
+        }
+        // Sort.
+        if !select.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, &Row)> = Vec::with_capacity(matching.len());
+            for row in matching {
+                let mut k = Vec::with_capacity(select.order_by.len());
+                for ob in &select.order_by {
+                    k.push(eval_expr(&ob.expr, schema, row)?);
+                }
+                keyed.push((k, row));
+            }
+            keyed.sort_by(|a, b| {
+                for (i, ob) in select.order_by.iter().enumerate() {
+                    let ord = a.0[i].cmp_total(&b.0[i]);
+                    let ord = if ob.ascending { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            matching = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+        // Limit.
+        if let Some(limit) = select.limit {
+            matching.truncate(limit as usize);
+        }
+        // Project.
+        let has_aggregate = select.items.iter().any(|item| {
+            matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr))
+        });
+        let mut columns = Vec::new();
+        for item in &select.items {
+            match item {
+                SelectItem::Wildcard => columns.extend(schema.column_names()),
+                SelectItem::Expr { expr, alias } => {
+                    columns.push(alias.clone().unwrap_or_else(|| expr.to_string()));
+                }
+            }
+        }
+        let mut rows = Vec::new();
+        if has_aggregate {
+            let mut out_row = Vec::new();
+            for item in &select.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(SqlError::Execution(
+                            "cannot mix * with aggregates".into(),
+                        ))
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        out_row.push(eval_aggregate(expr, schema, &matching)?);
+                    }
+                }
+            }
+            rows.push(out_row);
+        } else {
+            for row in &matching {
+                let mut out_row = Vec::new();
+                for item in &select.items {
+                    match item {
+                        SelectItem::Wildcard => out_row.extend(row.iter().cloned()),
+                        SelectItem::Expr { expr, .. } => {
+                            out_row.push(eval_expr(expr, schema, row)?);
+                        }
+                    }
+                }
+                rows.push(out_row);
+            }
+        }
+        Ok(QueryResult { columns, rows, affected: 0 })
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        assignments: &[crate::ast::Assignment],
+        where_clause: Option<&Expr>,
+    ) -> SqlResult<QueryResult> {
+        let key = normalize(table);
+        let t = self.tables.get(&key).ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let schema = t.schema.clone();
+        for a in assignments {
+            if schema.column_index(&a.column).is_none() {
+                return Err(SqlError::NoSuchColumn(a.column.clone()));
+            }
+        }
+        // Compute the new contents first so constraint failures leave the
+        // table untouched.
+        let mut new_rows = t.rows.clone();
+        let mut touched = Vec::new();
+        for (i, row) in t.rows.iter().enumerate() {
+            if matches_where(where_clause, &schema, row)? {
+                let mut updated = row.clone();
+                for a in assignments {
+                    let idx = schema.column_index(&a.column).expect("validated above");
+                    updated[idx] = eval_expr(&a.value, &schema, row)?;
+                }
+                for (ci, col) in schema.columns.iter().enumerate() {
+                    if col.is_not_null() && updated[ci].is_null() {
+                        return Err(SqlError::NotNullViolation {
+                            table: table.to_string(),
+                            column: col.name.clone(),
+                        });
+                    }
+                }
+                new_rows[i] = updated;
+                touched.push(i);
+            }
+        }
+        // Re-validate uniqueness over the updated table contents.
+        for &i in &touched {
+            check_unique(&schema, &new_rows, &new_rows[i], Some(i))?;
+        }
+        let affected = touched.len() as u64;
+        let t = self.tables.get_mut(&key).expect("checked above");
+        t.rows = new_rows;
+        Ok(QueryResult { columns: vec![], rows: vec![], affected })
+    }
+
+    fn delete(&mut self, table: &str, where_clause: Option<&Expr>) -> SqlResult<QueryResult> {
+        let key = normalize(table);
+        let t = self.tables.get_mut(&key).ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let schema = t.schema.clone();
+        let before = t.rows.len();
+        let mut err = None;
+        t.rows.retain(|row| {
+            if err.is_some() {
+                return true;
+            }
+            match matches_where(where_clause, &schema, row) {
+                Ok(m) => !m,
+                Err(e) => {
+                    err = Some(e);
+                    true
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(QueryResult { columns: vec![], rows: vec![], affected: (before - t.rows.len()) as u64 })
+    }
+}
+
+fn normalize(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+fn matches_where(where_clause: Option<&Expr>, schema: &TableSchema, row: &Row) -> SqlResult<bool> {
+    match where_clause {
+        None => Ok(true),
+        Some(e) => Ok(eval_expr(e, schema, row)?.is_truthy()),
+    }
+}
+
+fn contains_aggregate(expr: &Expr) -> bool {
+    match expr {
+        Expr::Aggregate { .. } => true,
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        Expr::Unary { operand, .. } => contains_aggregate(operand),
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        Expr::IsNull { expr, .. } => contains_aggregate(expr),
+        _ => false,
+    }
+}
+
+fn eval_aggregate(expr: &Expr, schema: &TableSchema, rows: &[&Row]) -> SqlResult<Value> {
+    match expr {
+        Expr::Aggregate { func, arg } => {
+            match func {
+                AggregateFunc::Count => match arg {
+                    None => Ok(Value::Int(rows.len() as i64)),
+                    Some(a) => {
+                        let mut n = 0;
+                        for row in rows {
+                            if !eval_expr(a, schema, row)?.is_null() {
+                                n += 1;
+                            }
+                        }
+                        Ok(Value::Int(n))
+                    }
+                },
+                AggregateFunc::Max | AggregateFunc::Min => {
+                    let a = arg.as_ref().ok_or_else(|| {
+                        SqlError::Execution("MAX/MIN require an argument".into())
+                    })?;
+                    let mut best: Option<Value> = None;
+                    for row in rows {
+                        let v = eval_expr(a, schema, row)?;
+                        if v.is_null() {
+                            continue;
+                        }
+                        best = Some(match best {
+                            None => v,
+                            Some(b) => {
+                                let keep_new = if *func == AggregateFunc::Max {
+                                    v.cmp_total(&b) == std::cmp::Ordering::Greater
+                                } else {
+                                    v.cmp_total(&b) == std::cmp::Ordering::Less
+                                };
+                                if keep_new {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
+                    Ok(best.unwrap_or(Value::Null))
+                }
+                AggregateFunc::Sum => {
+                    let a = arg.as_ref().ok_or_else(|| {
+                        SqlError::Execution("SUM requires an argument".into())
+                    })?;
+                    let mut int_sum: i64 = 0;
+                    let mut float_sum: f64 = 0.0;
+                    let mut any = false;
+                    let mut is_float = false;
+                    for row in rows {
+                        let v = eval_expr(a, schema, row)?;
+                        match v {
+                            Value::Null => {}
+                            Value::Float(f) => {
+                                is_float = true;
+                                float_sum += f;
+                                any = true;
+                            }
+                            other => {
+                                let i = other.as_int().ok_or_else(|| {
+                                    SqlError::Type("SUM over non-numeric value".into())
+                                })?;
+                                int_sum += i;
+                                any = true;
+                            }
+                        }
+                    }
+                    if !any {
+                        Ok(Value::Null)
+                    } else if is_float {
+                        Ok(Value::Float(float_sum + int_sum as f64))
+                    } else {
+                        Ok(Value::Int(int_sum))
+                    }
+                }
+            }
+        }
+        // Non-aggregate expressions inside an aggregate query are evaluated
+        // against the first matching row (this mirrors the lax behaviour web
+        // applications rely on in MySQL/SQLite).
+        other => match rows.first() {
+            Some(row) => eval_expr(other, schema, row),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn check_unique(
+    schema: &TableSchema,
+    rows: &[Row],
+    candidate: &Row,
+    skip_index: Option<usize>,
+) -> SqlResult<()> {
+    for uc in &schema.unique_constraints {
+        let idxs: Vec<usize> =
+            uc.iter().filter_map(|c| schema.column_index(c)).collect();
+        if idxs.len() != uc.len() {
+            continue;
+        }
+        // NULL in any constrained column exempts the row (SQL semantics).
+        if idxs.iter().any(|&i| candidate[i].is_null()) {
+            continue;
+        }
+        for (ri, row) in rows.iter().enumerate() {
+            if Some(ri) == skip_index || std::ptr::eq(row, candidate) {
+                continue;
+            }
+            if idxs.iter().all(|&i| row[i].sql_eq(&candidate[i]) == Some(true)) {
+                return Err(SqlError::UniqueViolation {
+                    table: schema.name.clone(),
+                    columns: uc.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_rows_distinct(schema: &TableSchema, a: &Row, b: &Row, table: &str) -> SqlResult<()> {
+    for uc in &schema.unique_constraints {
+        let idxs: Vec<usize> = uc.iter().filter_map(|c| schema.column_index(c)).collect();
+        if idxs.len() != uc.len() || idxs.iter().any(|&i| a[i].is_null() || b[i].is_null()) {
+            continue;
+        }
+        if idxs.iter().all(|&i| a[i].sql_eq(&b[i]) == Some(true)) {
+            return Err(SqlError::UniqueViolation { table: table.to_string(), columns: uc.clone() });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiki_db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT NOT NULL UNIQUE, \
+             owner TEXT, views INTEGER DEFAULT 0, body TEXT)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO page (page_id, title, owner, body) VALUES \
+             (1, 'Main', 'alice', 'welcome'), (2, 'Help', 'bob', 'help text'), \
+             (3, 'Sandbox', 'alice', 'scratch')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_wildcard_and_projection() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("SELECT * FROM page WHERE owner = 'alice' ORDER BY page_id").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns.len(), 5);
+        let r = db.execute_sql("SELECT title FROM page WHERE page_id = 2").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::text("Help")));
+    }
+
+    #[test]
+    fn select_order_by_desc_and_limit() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("SELECT title FROM page ORDER BY title DESC LIMIT 2").unwrap();
+        let titles = r.column_values("title");
+        assert_eq!(titles, vec![Value::text("Sandbox"), Value::text("Main")]);
+    }
+
+    #[test]
+    fn default_values_applied_on_insert() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("SELECT views FROM page WHERE page_id = 1").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("SELECT COUNT(*), MAX(page_id), MIN(page_id), SUM(page_id) FROM page").unwrap();
+        assert_eq!(r.rows[0], vec![Value::Int(3), Value::Int(3), Value::Int(1), Value::Int(6)]);
+        let r = db.execute_sql("SELECT COUNT(*) FROM page WHERE owner = 'zoe'").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+        let r = db.execute_sql("SELECT MAX(page_id) FROM page WHERE owner = 'zoe'").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Null));
+    }
+
+    #[test]
+    fn update_with_expression_and_where() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("UPDATE page SET views = views + 10 WHERE owner = 'alice'").unwrap();
+        assert_eq!(r.affected, 2);
+        let r = db.execute_sql("SELECT SUM(views) FROM page").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn delete_with_where() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("DELETE FROM page WHERE owner = 'bob'").unwrap();
+        assert_eq!(r.affected, 1);
+        let r = db.execute_sql("SELECT COUNT(*) FROM page").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn unique_violation_on_insert() {
+        let mut db = wiki_db();
+        let err = db
+            .execute_sql("INSERT INTO page (page_id, title) VALUES (9, 'Main')")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::UniqueViolation { .. }));
+        // Primary-key duplication is also rejected.
+        let err = db
+            .execute_sql("INSERT INTO page (page_id, title) VALUES (1, 'Other')")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn unique_violation_on_update_leaves_table_unchanged() {
+        let mut db = wiki_db();
+        let err = db.execute_sql("UPDATE page SET title = 'Main' WHERE page_id = 2").unwrap_err();
+        assert!(matches!(err, SqlError::UniqueViolation { .. }));
+        let r = db.execute_sql("SELECT title FROM page WHERE page_id = 2").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::text("Help")));
+    }
+
+    #[test]
+    fn unique_violation_within_insert_batch() {
+        let mut db = wiki_db();
+        let err = db
+            .execute_sql("INSERT INTO page (page_id, title) VALUES (10, 'X'), (11, 'X')")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::UniqueViolation { .. }));
+        let r = db.execute_sql("SELECT COUNT(*) FROM page").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn not_null_violation() {
+        let mut db = wiki_db();
+        let err = db.execute_sql("INSERT INTO page (page_id, title) VALUES (5, NULL)").unwrap_err();
+        assert!(matches!(err, SqlError::NotNullViolation { .. }));
+    }
+
+    #[test]
+    fn missing_table_and_column_errors() {
+        let mut db = wiki_db();
+        assert!(matches!(
+            db.execute_sql("SELECT * FROM nope"),
+            Err(SqlError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.execute_sql("SELECT nope FROM page"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            db.execute_sql("UPDATE page SET nope = 1"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn alter_table_add_column_backfills_default() {
+        let mut db = wiki_db();
+        db.execute_sql("ALTER TABLE page ADD COLUMN row_id INTEGER DEFAULT 0").unwrap();
+        let r = db.execute_sql("SELECT row_id FROM page WHERE page_id = 1").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn drop_table() {
+        let mut db = wiki_db();
+        db.execute_sql("DROP TABLE page").unwrap();
+        assert!(db.schema("page").is_none());
+        assert!(db.execute_sql("DROP TABLE page").is_err());
+    }
+
+    #[test]
+    fn like_in_where() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("SELECT title FROM page WHERE title LIKE 'S%'").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::text("Sandbox"));
+    }
+
+    #[test]
+    fn fingerprint_changes_with_data() {
+        let mut db = wiki_db();
+        let a = db.execute_sql("SELECT * FROM page ORDER BY page_id").unwrap().fingerprint();
+        db.execute_sql("UPDATE page SET body = 'changed' WHERE page_id = 1").unwrap();
+        let b = db.execute_sql("SELECT * FROM page ORDER BY page_id").unwrap().fingerprint();
+        assert_ne!(a, b);
+        let c = db.execute_sql("SELECT * FROM page ORDER BY page_id").unwrap().fingerprint();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn case_insensitive_table_names() {
+        let mut db = wiki_db();
+        let r = db.execute_sql("SELECT COUNT(*) FROM PAGE").unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(3)));
+    }
+}

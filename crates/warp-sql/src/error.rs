@@ -1,0 +1,79 @@
+//! Error types for the SQL engine.
+
+use std::fmt;
+
+/// Result alias used throughout `warp-sql`.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// Errors produced by the lexer, parser or executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The input could not be tokenized.
+    Lex(String),
+    /// The token stream could not be parsed into a statement.
+    Parse(String),
+    /// The statement referenced a table that does not exist.
+    NoSuchTable(String),
+    /// The statement referenced a column that does not exist.
+    NoSuchColumn(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A column with this name already exists in the table.
+    ColumnExists(String),
+    /// A uniqueness or primary-key constraint was violated.
+    UniqueViolation {
+        /// Table whose constraint was violated.
+        table: String,
+        /// Columns participating in the violated constraint.
+        columns: Vec<String>,
+    },
+    /// A NOT NULL constraint was violated.
+    NotNullViolation {
+        /// Table whose constraint was violated.
+        table: String,
+        /// The column that may not be NULL.
+        column: String,
+    },
+    /// A value could not be used where another type was required.
+    Type(String),
+    /// Any other execution error.
+    Execution(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(msg) => write!(f, "lex error: {msg}"),
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SqlError::ColumnExists(c) => write!(f, "column already exists: {c}"),
+            SqlError::UniqueViolation { table, columns } => {
+                write!(f, "unique constraint violated on {table}({})", columns.join(", "))
+            }
+            SqlError::NotNullViolation { table, column } => {
+                write!(f, "not-null constraint violated on {table}.{column}")
+            }
+            SqlError::Type(msg) => write!(f, "type error: {msg}"),
+            SqlError::Execution(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SqlError::UniqueViolation {
+            table: "page".into(),
+            columns: vec!["title".into(), "end_gen".into()],
+        };
+        assert_eq!(e.to_string(), "unique constraint violated on page(title, end_gen)");
+        assert_eq!(SqlError::NoSuchTable("x".into()).to_string(), "no such table: x");
+    }
+}

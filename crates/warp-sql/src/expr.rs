@@ -1,0 +1,257 @@
+//! Expression evaluation against a row.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::error::{SqlError, SqlResult};
+use crate::schema::TableSchema;
+use crate::storage::Row;
+use crate::value::Value;
+
+/// Evaluates an expression against a single row of the given schema.
+///
+/// Aggregates are rejected here; the executor handles them separately.
+pub fn eval_expr(expr: &Expr, schema: &TableSchema, row: &Row) -> SqlResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(name) => {
+            let idx = schema
+                .column_index(name)
+                .ok_or_else(|| SqlError::NoSuchColumn(name.clone()))?;
+            Ok(row.get(idx).cloned().unwrap_or(Value::Null))
+        }
+        Expr::Unary { op, operand } => {
+            let v = eval_expr(operand, schema, row)?;
+            match op {
+                UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
+                UnaryOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(SqlError::Type(format!("cannot negate {other:?}"))),
+                },
+            }
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval_expr(left, schema, row)?;
+            let r = eval_expr(right, schema, row)?;
+            eval_binary(&l, *op, &r)
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval_expr(expr, schema, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let iv = eval_expr(item, schema, row)?;
+                if v.sql_eq(&iv) == Some(true) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(found != *negated))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_expr(expr, schema, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Aggregate { .. } => {
+            Err(SqlError::Execution("aggregate used outside a projection".into()))
+        }
+    }
+}
+
+/// Evaluates a binary operation over two already-computed values.
+pub fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> SqlResult<Value> {
+    use BinaryOp::*;
+    match op {
+        And => Ok(Value::Bool(l.is_truthy() && r.is_truthy())),
+        Or => Ok(Value::Bool(l.is_truthy() || r.is_truthy())),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.cmp_total(r);
+            let result = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(result))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Integer arithmetic when both sides are integers, float otherwise.
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                let v = match op {
+                    Add => a.wrapping_add(*b),
+                    Sub => a.wrapping_sub(*b),
+                    Mul => a.wrapping_mul(*b),
+                    Div => {
+                        if *b == 0 {
+                            return Err(SqlError::Execution("division by zero".into()));
+                        }
+                        a / b
+                    }
+                    _ => unreachable!(),
+                };
+                return Ok(Value::Int(v));
+            }
+            let a = l.as_float().ok_or_else(|| SqlError::Type(format!("non-numeric {l:?}")))?;
+            let b = r.as_float().ok_or_else(|| SqlError::Type(format!("non-numeric {r:?}")))?;
+            let v = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(SqlError::Execution("division by zero".into()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+        Concat => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Text(format!("{}{}", l.as_display_string(), r.as_display_string())))
+        }
+        Like => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(like_match(&l.as_display_string(), &r.as_display_string())))
+        }
+    }
+}
+
+/// SQL `LIKE` matching: `%` matches any run of characters, `_` any single
+/// character. Matching is case-sensitive, as in PostgreSQL.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Try consuming zero or more characters.
+                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
+            }
+            Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some(c) => t.first() == Some(c) && rec(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnDef;
+    use crate::schema::ColumnType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Integer),
+                ColumnDef::new("name", ColumnType::Text),
+            ],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_lookup_and_comparison() {
+        let s = schema();
+        let row = vec![Value::Int(7), Value::text("alice")];
+        let e = Expr::col_eq("id", 7i64);
+        assert_eq!(eval_expr(&e, &s, &row).unwrap(), Value::Bool(true));
+        let e = Expr::col_eq("name", "bob");
+        assert_eq!(eval_expr(&e, &s, &row).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::Null];
+        assert!(matches!(
+            eval_expr(&Expr::Column("missing".into()), &s, &row),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        assert_eq!(eval_binary(&Value::Int(6), BinaryOp::Mul, &Value::Int(7)).unwrap(), Value::Int(42));
+        assert_eq!(
+            eval_binary(&Value::Int(7), BinaryOp::Div, &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert!(eval_binary(&Value::Int(1), BinaryOp::Div, &Value::Int(0)).is_err());
+        assert_eq!(
+            eval_binary(&Value::Float(1.5), BinaryOp::Add, &Value::Int(1)).unwrap(),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(
+            eval_binary(&Value::Null, BinaryOp::Eq, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binary(&Value::Null, BinaryOp::Add, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binary(&Value::Null, BinaryOp::Concat, &Value::text("x")).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn concat_builds_strings() {
+        assert_eq!(
+            eval_binary(&Value::text("a"), BinaryOp::Concat, &Value::Int(3)).unwrap(),
+            Value::text("a3")
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "H%"));
+        assert!(!like_match("hello", "hello_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn in_list_with_null() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::Null];
+        let e = Expr::InList {
+            expr: Box::new(Expr::Column("id".into())),
+            list: vec![Expr::Literal(Value::Int(1)), Expr::Literal(Value::Int(2))],
+            negated: false,
+        };
+        assert_eq!(eval_expr(&e, &s, &row).unwrap(), Value::Bool(true));
+        let e = Expr::IsNull { expr: Box::new(Expr::Column("name".into())), negated: false };
+        assert_eq!(eval_expr(&e, &s, &row).unwrap(), Value::Bool(true));
+    }
+}

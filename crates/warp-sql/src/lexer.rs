@@ -1,0 +1,191 @@
+//! SQL tokenizer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A single SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (keywords are matched case-insensitively
+    /// by the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Quoted string literal with escapes already resolved.
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// A punctuation or operator symbol such as `(`, `,`, `=`, `<=`, `||`.
+    Symbol(String),
+}
+
+impl Token {
+    /// Returns the identifier text if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// True if this token is the given symbol.
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self, Token::Symbol(s) if s == sym)
+    }
+}
+
+/// Tokenizes a SQL string.
+///
+/// String literals use single quotes with `''` as the escape for a literal
+/// quote. Identifiers may be double-quoted to preserve case or include
+/// reserved words. Line comments (`--`) are skipped.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && i + 1 < chars.len() && chars[i + 1] == '-' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= chars.len() {
+                    return Err(SqlError::Lex("unterminated string literal".into()));
+                }
+                if chars[i] == '\'' {
+                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            tokens.push(Token::StringLit(s));
+            continue;
+        }
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                s.push(chars[i]);
+                i += 1;
+            }
+            if i >= chars.len() {
+                return Err(SqlError::Lex("unterminated quoted identifier".into()));
+            }
+            i += 1;
+            tokens.push(Token::Ident(s));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                if chars[i] == '.' {
+                    // `1..2` is not a float; only consume a single dot followed by a digit.
+                    if is_float || i + 1 >= chars.len() || !chars[i + 1].is_ascii_digit() {
+                        break;
+                    }
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|_| SqlError::Lex(format!("bad float literal: {text}")))?;
+                tokens.push(Token::FloatLit(v));
+            } else {
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|_| SqlError::Lex(format!("bad integer literal: {text}")))?;
+                tokens.push(Token::IntLit(v));
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            continue;
+        }
+        // Multi-character operators first.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        if ["<=", ">=", "<>", "!=", "||"].contains(&two.as_str()) {
+            tokens.push(Token::Symbol(two));
+            i += 2;
+            continue;
+        }
+        if "(),=<>*+-/.;".contains(c) {
+            tokens.push(Token::Symbol(c.to_string()));
+            i += 1;
+            continue;
+        }
+        return Err(SqlError::Lex(format!("unexpected character: {c:?}")));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_basic_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE a = 'x''y' AND b >= 4.5").unwrap();
+        assert!(toks[0].is_keyword("select"));
+        assert!(toks.iter().any(|t| matches!(t, Token::StringLit(s) if s == "x'y")));
+        assert!(toks.iter().any(|t| matches!(t, Token::FloatLit(f) if (*f - 4.5).abs() < 1e-9)));
+        assert!(toks.iter().any(|t| t.is_symbol(">=")));
+    }
+
+    #[test]
+    fn tokenizes_operators_and_comments() {
+        let toks = tokenize("a || b -- comment\n , c <> d").unwrap();
+        assert!(toks.iter().any(|t| t.is_symbol("||")));
+        assert!(toks.iter().any(|t| t.is_symbol("<>")));
+        assert!(!toks.iter().any(|t| t.is_keyword("comment")));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(matches!(tokenize("SELECT 'abc"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = tokenize("SELECT \"Select\" FROM t").unwrap();
+        assert_eq!(toks[1], Token::Ident("Select".into()));
+    }
+
+    #[test]
+    fn integer_vs_float() {
+        let toks = tokenize("1 2.5 3").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::IntLit(1), Token::FloatLit(2.5), Token::IntLit(3)]
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Table schemas and column types.
+
+use crate::ast::{ColumnDef, TableConstraint};
+use crate::error::{SqlError, SqlResult};
+use serde::{Deserialize, Serialize};
+
+/// The declared type of a column.
+///
+/// Types are advisory (the engine stores dynamically typed [`crate::Value`]s,
+/// like SQLite), but they document intent and are used by the time-travel
+/// layer when synthesizing its bookkeeping columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit integers.
+    Integer,
+    /// Floating point.
+    Real,
+    /// Text.
+    Text,
+    /// Booleans.
+    Boolean,
+}
+
+impl ColumnType {
+    /// Parses a SQL type name; unknown names default to [`ColumnType::Text`],
+    /// mirroring the permissive behaviour of the paper's PostgreSQL schema
+    /// rewriting (which never changes application types).
+    pub fn from_name(name: &str) -> ColumnType {
+        let lower = name.to_ascii_lowercase();
+        if lower.contains("int") || lower.contains("serial") {
+            ColumnType::Integer
+        } else if lower.contains("real") || lower.contains("float") || lower.contains("double")
+            || lower.contains("numeric") || lower.contains("decimal")
+        {
+            ColumnType::Real
+        } else if lower.contains("bool") {
+            ColumnType::Boolean
+        } else {
+            ColumnType::Text
+        }
+    }
+}
+
+/// The schema of a single table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Column definitions, in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Uniqueness constraints, each a set of column names. Single-column
+    /// `UNIQUE`/`PRIMARY KEY` declarations are normalised into this list.
+    pub unique_constraints: Vec<Vec<String>>,
+}
+
+impl TableSchema {
+    /// Builds a schema from parsed column definitions and table constraints.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        constraints: Vec<TableConstraint>,
+    ) -> SqlResult<Self> {
+        let name = name.into();
+        let mut unique_constraints = Vec::new();
+        for col in &columns {
+            if col.is_unique() {
+                unique_constraints.push(vec![col.name.clone()]);
+            }
+        }
+        for c in constraints {
+            match c {
+                TableConstraint::Unique(cols) | TableConstraint::PrimaryKey(cols) => {
+                    unique_constraints.push(cols);
+                }
+            }
+        }
+        let schema = TableSchema { name, columns, unique_constraints };
+        for uc in &schema.unique_constraints {
+            for col in uc {
+                if schema.column_index(col).is_none() {
+                    return Err(SqlError::NoSuchColumn(col.clone()));
+                }
+            }
+        }
+        Ok(schema)
+    }
+
+    /// Returns the index of the named column, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Returns the names of all columns in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// True if the table declares the named column.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.column_index(name).is_some()
+    }
+
+    /// Returns the primary-key column name, if a single-column primary key is
+    /// declared.
+    pub fn primary_key(&self) -> Option<&str> {
+        self.columns.iter().find(|c| c.is_primary_key()).map(|c| c.name.as_str())
+    }
+
+    /// Adds a column to the schema (used by `ALTER TABLE ADD COLUMN`).
+    pub fn add_column(&mut self, column: ColumnDef) -> SqlResult<()> {
+        if self.has_column(&column.name) {
+            return Err(SqlError::ColumnExists(column.name));
+        }
+        if column.is_unique() {
+            self.unique_constraints.push(vec![column.name.clone()]);
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Rewrites every uniqueness constraint to also include the given extra
+    /// columns. The time-travel layer uses this to allow multiple versions of
+    /// a logically unique row to coexist (paper §6).
+    pub fn extend_unique_constraints(&mut self, extra: &[&str]) {
+        for uc in &mut self.unique_constraints {
+            for col in extra {
+                if !uc.iter().any(|c| c.eq_ignore_ascii_case(col)) {
+                    uc.push((*col).to_string());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnConstraint;
+
+    fn col(name: &str) -> ColumnDef {
+        ColumnDef::new(name, ColumnType::Text)
+    }
+
+    #[test]
+    fn type_names_are_recognised() {
+        assert_eq!(ColumnType::from_name("INTEGER"), ColumnType::Integer);
+        assert_eq!(ColumnType::from_name("bigint"), ColumnType::Integer);
+        assert_eq!(ColumnType::from_name("VARCHAR"), ColumnType::Text);
+        assert_eq!(ColumnType::from_name("double precision"), ColumnType::Real);
+        assert_eq!(ColumnType::from_name("BOOLEAN"), ColumnType::Boolean);
+    }
+
+    #[test]
+    fn unique_constraints_are_normalised() {
+        let mut pk = col("id");
+        pk.constraints.push(ColumnConstraint::PrimaryKey);
+        let schema = TableSchema::new(
+            "t",
+            vec![pk, col("a"), col("b")],
+            vec![TableConstraint::Unique(vec!["a".into(), "b".into()])],
+        )
+        .unwrap();
+        assert_eq!(schema.unique_constraints.len(), 2);
+        assert_eq!(schema.primary_key(), Some("id"));
+    }
+
+    #[test]
+    fn constraint_on_missing_column_is_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![col("a")],
+            vec![TableConstraint::Unique(vec!["missing".into()])],
+        )
+        .unwrap_err();
+        assert_eq!(err, SqlError::NoSuchColumn("missing".into()));
+    }
+
+    #[test]
+    fn extend_unique_constraints_appends_versioning_columns() {
+        let mut pk = col("id");
+        pk.constraints.push(ColumnConstraint::PrimaryKey);
+        let mut schema = TableSchema::new("t", vec![pk], vec![]).unwrap();
+        schema.extend_unique_constraints(&["end_time", "end_gen"]);
+        assert_eq!(schema.unique_constraints[0], vec!["id", "end_time", "end_gen"]);
+    }
+
+    #[test]
+    fn add_column_rejects_duplicates() {
+        let mut schema = TableSchema::new("t", vec![col("a")], vec![]).unwrap();
+        assert!(schema.add_column(col("b")).is_ok());
+        assert!(matches!(schema.add_column(col("a")), Err(SqlError::ColumnExists(_))));
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let schema = TableSchema::new("t", vec![col("Title")], vec![]).unwrap();
+        assert_eq!(schema.column_index("title"), Some(0));
+        assert!(schema.has_column("TITLE"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Row storage.
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A stored row: one [`Value`] per column, in schema order.
+pub type Row = Vec<Value>;
+
+/// A table: a schema plus its rows.
+///
+/// Storage is a simple row vector; the engine is designed for workloads of
+/// tens of thousands of rows (the paper's MediaWiki evaluation), not for
+/// large-scale OLTP. All versioning is handled above this layer by
+/// `warp-ttdb` through extra columns, exactly as the paper layers continuous
+/// versioning over an unmodified PostgreSQL.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    /// The stored rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Number of rows currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row. The caller must have already normalised it to schema
+    /// order and validated constraints.
+    pub fn push_row(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.schema.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Returns the value of `column` in row `row_idx`, if both exist.
+    pub fn cell(&self, row_idx: usize, column: &str) -> Option<&Value> {
+        let col = self.schema.column_index(column)?;
+        self.rows.get(row_idx).and_then(|r| r.get(col))
+    }
+
+    /// Adds a new column to the schema and back-fills every existing row with
+    /// the given default value.
+    pub fn add_column_with_default(&mut self, default: Value) {
+        for row in &mut self.rows {
+            row.push(default.clone());
+        }
+    }
+
+    /// Approximate in-memory size of the table's data in bytes. Used by the
+    /// evaluation harness to report storage costs (paper Table 6).
+    pub fn approximate_bytes(&self) -> usize {
+        let mut total = 0;
+        for row in &self.rows {
+            for v in row {
+                total += match v {
+                    Value::Null => 1,
+                    Value::Bool(_) => 1,
+                    Value::Int(_) => 8,
+                    Value::Float(_) => 8,
+                    Value::Text(s) => s.len() + 8,
+                };
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ColumnDef;
+    use crate::schema::ColumnType;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Integer),
+                ColumnDef::new("name", ColumnType::Text),
+            ],
+            vec![],
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut t = table();
+        assert!(t.is_empty());
+        t.push_row(vec![Value::Int(1), Value::text("a")]);
+        t.push_row(vec![Value::Int(2), Value::text("b")]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, "name"), Some(&Value::text("b")));
+        assert_eq!(t.cell(1, "missing"), None);
+        assert_eq!(t.cell(9, "name"), None);
+    }
+
+    #[test]
+    fn add_column_backfills() {
+        let mut t = table();
+        t.push_row(vec![Value::Int(1), Value::text("a")]);
+        t.schema.add_column(ColumnDef::new("extra", ColumnType::Integer)).unwrap();
+        t.add_column_with_default(Value::Int(0));
+        assert_eq!(t.cell(0, "extra"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn approximate_bytes_counts_text() {
+        let mut t = table();
+        t.push_row(vec![Value::Int(1), Value::text("abcd")]);
+        assert_eq!(t.approximate_bytes(), 8 + 4 + 8);
+    }
+}

@@ -1,0 +1,253 @@
+//! SQL values and their comparison/coercion semantics.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed SQL value.
+///
+/// `Value` deliberately implements a total ordering (NULL sorts first, then
+/// booleans, integers/floats, then text) so that rows can be sorted and used
+/// as keys deterministically, which the repair machinery relies on when
+/// comparing query results before and after re-execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean value.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Creates a [`Value::Text`] from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Returns true if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a SQL boolean (NULL and zero are false).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Text(s) => !s.is_empty(),
+        }
+    }
+
+    /// Returns the value as an integer if it is numeric or a numeric string.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Text(s) => s.trim().parse().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// Returns the value as a float if it is numeric or a numeric string.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(f64::from(u8::from(*b))),
+            Value::Text(s) => s.trim().parse().ok(),
+            Value::Null => None,
+        }
+    }
+
+    /// Renders the value the way it appears in a result set (no quoting).
+    pub fn as_display_string(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => f.to_string(),
+            Value::Text(s) => s.clone(),
+        }
+    }
+
+    /// Renders the value as a SQL literal (text is quoted and escaped).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => f.to_string(),
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+
+    /// SQL equality: NULL is not equal to anything (including NULL); numeric
+    /// types compare by value across Int/Float/Bool; text compares exactly.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp_total(other) == Ordering::Equal)
+    }
+
+    /// Total ordering used for ORDER BY and for deterministic result
+    /// comparison. NULL sorts before every other value.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+            (Text(_), _) => Ordering::Greater,
+            (_, Text(_)) => Ordering::Less,
+            (a, b) => {
+                let fa = a.as_float().unwrap_or(0.0);
+                let fb = b.as_float().unwrap_or(0.0);
+                fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal && self.is_null() == other.is_null()
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_total(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                (*f as i64).hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_display_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(3).is_truthy());
+        assert!(!Value::text("").is_truthy());
+        assert!(Value::text("x").is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Bool(true), Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Int(2));
+    }
+
+    #[test]
+    fn null_equality_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+    }
+
+    #[test]
+    fn ordering_null_first_text_last() {
+        let mut vals = vec![Value::text("b"), Value::Int(5), Value::Null, Value::text("a")];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(5));
+        assert_eq!(vals[2], Value::text("a"));
+        assert_eq!(vals[3], Value::text("b"));
+    }
+
+    #[test]
+    fn literals_are_escaped() {
+        assert_eq!(Value::text("o'neil").to_sql_literal(), "'o''neil'");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Int(7).to_sql_literal(), "7");
+    }
+
+    #[test]
+    fn numeric_string_coercion() {
+        assert_eq!(Value::text("42").as_int(), Some(42));
+        assert_eq!(Value::text("4.5").as_float(), Some(4.5));
+        assert_eq!(Value::text("nope").as_int(), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! Per-table annotations: row-ID column and partitioning columns.
+
+use serde::{Deserialize, Serialize};
+
+/// Programmer-supplied annotations for one application table (paper §4.1).
+///
+/// * The **row ID** column is an immutable, unique identifier for each
+///   logical row. Warp uses it for fine-grained rollback. If the application
+///   has no suitable column, Warp adds a synthetic `warp_row_id` column
+///   transparently.
+/// * The **partition columns** are the columns the application's queries
+///   commonly constrain in their `WHERE` clauses. Queries whose `WHERE`
+///   clause pins a partition column to a value only depend on that partition
+///   of the table, which keeps repair-time re-execution localised.
+///
+/// The paper reports 89 lines of such annotations for MediaWiki's 42 tables;
+/// this type is the per-table unit of those annotations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableAnnotation {
+    /// Name of the existing column to use as the row ID, if any.
+    pub row_id_column: Option<String>,
+    /// Columns used to partition dependency tracking.
+    pub partition_columns: Vec<String>,
+}
+
+impl TableAnnotation {
+    /// An annotation with no row ID (a synthetic one will be added) and no
+    /// partition columns (every query depends on the whole table).
+    pub fn new() -> Self {
+        TableAnnotation::default()
+    }
+
+    /// Sets the row-ID column, builder style.
+    pub fn row_id(mut self, column: impl Into<String>) -> Self {
+        self.row_id_column = Some(column.into());
+        self
+    }
+
+    /// Sets the partition columns, builder style.
+    pub fn partitions<S: Into<String>>(mut self, columns: impl IntoIterator<Item = S>) -> Self {
+        self.partition_columns = columns.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Number of annotation "lines" this table contributes (one for the row
+    /// ID if explicit, one per partition column); used to reproduce the
+    /// paper's §8.1 accounting of annotation effort.
+    pub fn annotation_lines(&self) -> usize {
+        usize::from(self.row_id_column.is_some()) + self.partition_columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let a = TableAnnotation::new().row_id("page_id").partitions(["title", "owner"]);
+        assert_eq!(a.row_id_column.as_deref(), Some("page_id"));
+        assert_eq!(a.partition_columns, vec!["title", "owner"]);
+        assert_eq!(a.annotation_lines(), 3);
+    }
+
+    #[test]
+    fn default_has_no_annotations() {
+        let a = TableAnnotation::new();
+        assert!(a.row_id_column.is_none());
+        assert!(a.partition_columns.is_empty());
+        assert_eq!(a.annotation_lines(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Query dependencies: which partitions and rows a query read or wrote.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use warp_sql::Value;
+
+/// A single partition of a table: a partition column pinned to a value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionKey {
+    /// Table name (lower-cased).
+    pub table: String,
+    /// Partition column name.
+    pub column: String,
+    /// The pinned value, rendered as a string for stable ordering/hashing.
+    pub value: String,
+}
+
+impl PartitionKey {
+    /// Creates a partition key.
+    pub fn new(table: &str, column: &str, value: &Value) -> Self {
+        PartitionKey {
+            table: table.to_ascii_lowercase(),
+            column: column.to_ascii_lowercase(),
+            value: value.as_display_string(),
+        }
+    }
+}
+
+/// The set of partitions of one table that a query touches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionSet {
+    /// The query could touch any row of the table (no partition column was
+    /// pinned in its `WHERE` clause, or the table has no partition columns).
+    Whole {
+        /// Table name (lower-cased).
+        table: String,
+    },
+    /// The query touches only these partitions.
+    Keys(BTreeSet<PartitionKey>),
+}
+
+impl PartitionSet {
+    /// An empty partition set (touches nothing).
+    pub fn empty() -> Self {
+        PartitionSet::Keys(BTreeSet::new())
+    }
+
+    /// A set covering the entire table.
+    pub fn whole(table: &str) -> Self {
+        PartitionSet::Whole { table: table.to_ascii_lowercase() }
+    }
+
+    /// The table this set refers to.
+    pub fn table(&self) -> Option<&str> {
+        match self {
+            PartitionSet::Whole { table } => Some(table),
+            PartitionSet::Keys(keys) => keys.iter().next().map(|k| k.table.as_str()),
+        }
+    }
+
+    /// True if the set covers no partitions at all.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, PartitionSet::Keys(k) if k.is_empty())
+    }
+
+    /// True if two partition sets overlap. A `Whole` set overlaps anything
+    /// non-empty on the same table.
+    pub fn intersects(&self, other: &PartitionSet) -> bool {
+        match (self, other) {
+            (PartitionSet::Keys(a), _) if a.is_empty() => false,
+            (_, PartitionSet::Keys(b)) if b.is_empty() => false,
+            (PartitionSet::Whole { table: ta }, PartitionSet::Whole { table: tb }) => ta == tb,
+            (PartitionSet::Whole { table }, PartitionSet::Keys(keys))
+            | (PartitionSet::Keys(keys), PartitionSet::Whole { table }) => {
+                keys.iter().any(|k| &k.table == table)
+            }
+            (PartitionSet::Keys(a), PartitionSet::Keys(b)) => a.intersection(b).next().is_some(),
+        }
+    }
+
+    /// Merges another partition set into this one (same table); `Whole`
+    /// absorbs everything.
+    pub fn union_with(&mut self, other: &PartitionSet) {
+        match (&mut *self, other) {
+            (PartitionSet::Whole { .. }, _) => {}
+            (_, PartitionSet::Whole { table }) => {
+                *self = PartitionSet::Whole { table: table.clone() };
+            }
+            (PartitionSet::Keys(a), PartitionSet::Keys(b)) => {
+                a.extend(b.iter().cloned());
+            }
+        }
+    }
+}
+
+/// The dependency record produced for one executed SQL query; these become
+/// edges in the action history graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryDependency {
+    /// Table the query operated on.
+    pub table: String,
+    /// True if the query read data (SELECT, or the read implied by a
+    /// write query's `WHERE` clause).
+    pub is_read: bool,
+    /// True if the query modified data.
+    pub is_write: bool,
+    /// Partitions the query read.
+    pub read_partitions: PartitionSet,
+    /// Partitions the query wrote.
+    pub write_partitions: PartitionSet,
+    /// Row IDs of all rows the query created, ended or superseded.
+    pub written_row_ids: Vec<Value>,
+}
+
+impl QueryDependency {
+    /// A dependency record for a pure read.
+    pub fn read(table: &str, partitions: PartitionSet) -> Self {
+        QueryDependency {
+            table: table.to_ascii_lowercase(),
+            is_read: true,
+            is_write: false,
+            read_partitions: partitions,
+            write_partitions: PartitionSet::empty(),
+            written_row_ids: Vec::new(),
+        }
+    }
+
+    /// A dependency record for a write.
+    pub fn write(
+        table: &str,
+        read_partitions: PartitionSet,
+        write_partitions: PartitionSet,
+        written_row_ids: Vec<Value>,
+    ) -> Self {
+        QueryDependency {
+            table: table.to_ascii_lowercase(),
+            is_read: true,
+            is_write: true,
+            read_partitions,
+            write_partitions,
+            written_row_ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(table: &str, col: &str, v: &str) -> PartitionKey {
+        PartitionKey::new(table, col, &Value::text(v))
+    }
+
+    #[test]
+    fn whole_table_intersects_keys_of_same_table_only() {
+        let whole = PartitionSet::whole("page");
+        let keys: PartitionSet =
+            PartitionSet::Keys([key("page", "title", "Main")].into_iter().collect());
+        let other: PartitionSet =
+            PartitionSet::Keys([key("user", "name", "alice")].into_iter().collect());
+        assert!(whole.intersects(&keys));
+        assert!(keys.intersects(&whole));
+        assert!(!whole.intersects(&other));
+        assert!(whole.intersects(&PartitionSet::whole("page")));
+        assert!(!whole.intersects(&PartitionSet::whole("user")));
+    }
+
+    #[test]
+    fn key_sets_intersect_on_common_partition() {
+        let a: PartitionSet = PartitionSet::Keys(
+            [key("page", "title", "Main"), key("page", "title", "Help")].into_iter().collect(),
+        );
+        let b: PartitionSet =
+            PartitionSet::Keys([key("page", "title", "Help")].into_iter().collect());
+        let c: PartitionSet =
+            PartitionSet::Keys([key("page", "title", "Other")].into_iter().collect());
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn empty_set_intersects_nothing() {
+        let empty = PartitionSet::empty();
+        assert!(!empty.intersects(&PartitionSet::whole("page")));
+        assert!(!PartitionSet::whole("page").intersects(&empty));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn union_absorbs_into_whole() {
+        let mut a: PartitionSet =
+            PartitionSet::Keys([key("page", "title", "Main")].into_iter().collect());
+        a.union_with(&PartitionSet::Keys([key("page", "title", "Help")].into_iter().collect()));
+        match &a {
+            PartitionSet::Keys(k) => assert_eq!(k.len(), 2),
+            other => panic!("expected keys, got {other:?}"),
+        }
+        a.union_with(&PartitionSet::whole("page"));
+        assert!(matches!(a, PartitionSet::Whole { .. }));
+    }
+
+    #[test]
+    fn partition_keys_are_case_insensitive_on_names() {
+        assert_eq!(key("Page", "Title", "Main"), key("page", "title", "Main"));
+        assert_ne!(key("page", "title", "main"), key("page", "title", "Main"));
+    }
+}

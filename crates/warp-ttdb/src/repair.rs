@@ -1,0 +1,293 @@
+//! Repair-time database operations (paper §4.2–§4.4).
+//!
+//! A [`RepairSession`] is created by the database repair manager when the
+//! repair controller starts a repair. It tracks the set of partitions
+//! modified so far (by rollback or re-execution) so the controller can skip
+//! re-executing read queries that only touched unmodified partitions, and it
+//! implements the two-phase re-execution of multi-row write queries.
+
+use crate::dependency::{PartitionSet, QueryDependency};
+use crate::versioned::{Generation, LoggedExecution, TimeTravelDb, Timestamp};
+use serde::{Deserialize, Serialize};
+use warp_sql::{SqlResult, Statement, Value};
+
+/// State for one in-progress repair of the database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairSession {
+    /// The generation this repair builds.
+    pub generation: Generation,
+    /// Partitions modified so far during this repair.
+    modified: Vec<PartitionSet>,
+    /// Number of queries re-executed through this session (reported in the
+    /// Table 7/8 "re-executed actions" columns).
+    pub reexecuted_queries: usize,
+    /// Number of rows rolled back through this session.
+    pub rolled_back_rows: usize,
+}
+
+impl RepairSession {
+    /// Begins a repair: creates the next repair generation on the database.
+    pub fn begin(db: &mut TimeTravelDb) -> Self {
+        let generation = db.begin_repair_generation();
+        RepairSession {
+            generation,
+            modified: Vec::new(),
+            reexecuted_queries: 0,
+            rolled_back_rows: 0,
+        }
+    }
+
+    /// Records that the given partitions have been modified during repair.
+    pub fn note_modified(&mut self, partitions: &PartitionSet) {
+        if !partitions.is_empty() {
+            self.modified.push(partitions.clone());
+        }
+    }
+
+    /// True if a query that depends on `partitions` may have been affected by
+    /// the repair so far and therefore must be re-executed (paper §4.1).
+    pub fn is_affected(&self, partitions: &PartitionSet) -> bool {
+        self.modified.iter().any(|m| m.intersects(partitions))
+    }
+
+    /// Rolls back the given rows to just before `to_time` and records their
+    /// partitions as modified.
+    pub fn rollback_rows(
+        &mut self,
+        db: &mut TimeTravelDb,
+        table: &str,
+        row_ids: &[Value],
+        to_time: Timestamp,
+    ) -> SqlResult<()> {
+        db.rollback_rows(table, row_ids, to_time, self.generation)?;
+        self.rolled_back_rows += row_ids.len();
+        // Rolling back rows may change any partition those rows belonged to;
+        // without re-deriving per-row partition values we conservatively mark
+        // the whole table as modified when the table has no partition columns
+        // and otherwise mark the partitions of the rolled-back rows by row ID
+        // lookup below (the caller usually also calls `note_modified` with
+        // the original write's partitions, which is more precise).
+        self.modified.push(PartitionSet::whole(table));
+        Ok(())
+    }
+
+    /// Re-executes a *read* query at its original time inside the repair
+    /// generation and returns the new result. Continuous versioning lets
+    /// untouched rows be read at exactly their original values (paper §4.2).
+    pub fn reexecute_read(
+        &mut self,
+        db: &mut TimeTravelDb,
+        stmt: &Statement,
+        original_time: Timestamp,
+    ) -> SqlResult<LoggedExecution> {
+        self.reexecuted_queries += 1;
+        db.execute_stmt_logged(stmt, original_time, self.generation)
+    }
+
+    /// Re-executes a *write* query at its original time inside the repair
+    /// generation using two-phase re-execution (paper §4.2):
+    ///
+    /// 1. Evaluate the (possibly new) `WHERE` clause to find the rows the
+    ///    query would now modify.
+    /// 2. Roll back both the originally modified rows and the newly matched
+    ///    rows to just before the query's original time.
+    /// 3. Execute the write.
+    pub fn reexecute_write(
+        &mut self,
+        db: &mut TimeTravelDb,
+        stmt: &Statement,
+        original_time: Timestamp,
+        original_row_ids: &[Value],
+    ) -> SqlResult<LoggedExecution> {
+        self.reexecuted_queries += 1;
+        let table = stmt
+            .table_name()
+            .ok_or_else(|| warp_sql::SqlError::Execution("write without a table".into()))?
+            .to_string();
+        // Phase 1: find the rows matched by the new WHERE clause, evaluated
+        // against the repaired state at the original time.
+        let new_row_ids = match stmt {
+            Statement::Update { where_clause, .. } | Statement::Delete { where_clause, .. } => {
+                self.matching_row_ids(db, &table, where_clause.as_ref(), original_time)?
+            }
+            _ => Vec::new(),
+        };
+        // Phase 2: roll back the union of old and new row IDs.
+        let mut union: Vec<Value> = original_row_ids.to_vec();
+        for id in new_row_ids {
+            if !union.contains(&id) {
+                union.push(id);
+            }
+        }
+        if !union.is_empty() {
+            db.rollback_rows(&table, &union, original_time, self.generation)?;
+            self.rolled_back_rows += union.len();
+        }
+        // Phase 3: execute the write at its original time in the repair
+        // generation and record the partitions it touched.
+        let out = db.execute_stmt_logged(stmt, original_time, self.generation)?;
+        self.note_modified(&out.dependency.write_partitions);
+        Ok(out)
+    }
+
+    /// Applies a brand-new write (one that did not exist during the original
+    /// execution, e.g. issued by a patched application run) in the repair
+    /// generation at the given time.
+    pub fn execute_new_write(
+        &mut self,
+        db: &mut TimeTravelDb,
+        stmt: &Statement,
+        time: Timestamp,
+    ) -> SqlResult<LoggedExecution> {
+        self.reexecuted_queries += 1;
+        let out = db.execute_stmt_logged(stmt, time, self.generation)?;
+        self.note_modified(&out.dependency.write_partitions);
+        Ok(out)
+    }
+
+    /// Finishes the repair: the repair generation becomes current.
+    pub fn finalize(self, db: &mut TimeTravelDb) {
+        db.finalize_repair_generation();
+    }
+
+    /// Aborts the repair, discarding all repair-generation changes.
+    pub fn abort(self, db: &mut TimeTravelDb) -> SqlResult<()> {
+        db.abort_repair_generation()
+    }
+
+    /// Checks whether a previously recorded dependency would be affected by
+    /// this repair (helper combining read and write partition checks).
+    pub fn dependency_affected(&self, dep: &QueryDependency) -> bool {
+        self.is_affected(&dep.read_partitions) || self.is_affected(&dep.write_partitions)
+    }
+
+    fn matching_row_ids(
+        &self,
+        db: &mut TimeTravelDb,
+        table: &str,
+        where_clause: Option<&warp_sql::Expr>,
+        time: Timestamp,
+    ) -> SqlResult<Vec<Value>> {
+        let row_id_col = db
+            .row_id_column(table)
+            .ok_or_else(|| warp_sql::SqlError::NoSuchTable(table.to_string()))?
+            .to_string();
+        let select = Statement::Select(warp_sql::ast::SelectStatement {
+            items: vec![warp_sql::ast::SelectItem::Expr {
+                expr: warp_sql::Expr::Column(row_id_col),
+                alias: Some("rid".to_string()),
+            }],
+            table: table.to_string(),
+            where_clause: where_clause.cloned(),
+            order_by: vec![],
+            limit: None,
+        });
+        let out = db.execute_stmt_logged(&select, time, self.generation)?;
+        Ok(out.result.rows.into_iter().filter_map(|mut r| r.pop()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::TableAnnotation;
+    use crate::dependency::PartitionKey;
+    use std::collections::BTreeSet;
+
+    fn seeded_db() -> TimeTravelDb {
+        let mut db = TimeTravelDb::new();
+        db.create_table(
+            "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+            TableAnnotation::new().row_id("page_id").partitions(["title"]),
+        )
+        .unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'clean'), (2, 'Help', 'help')",
+            10,
+        )
+        .unwrap();
+        db
+    }
+
+    fn keys(table: &str, col: &str, vals: &[&str]) -> PartitionSet {
+        PartitionSet::Keys(
+            vals.iter()
+                .map(|v| PartitionKey::new(table, col, &Value::text(*v)))
+                .collect::<BTreeSet<_>>(),
+        )
+    }
+
+    #[test]
+    fn affected_tracking_by_partition() {
+        let mut db = seeded_db();
+        let mut session = RepairSession::begin(&mut db);
+        assert!(!session.is_affected(&keys("page", "title", &["Main"])));
+        session.note_modified(&keys("page", "title", &["Main"]));
+        assert!(session.is_affected(&keys("page", "title", &["Main"])));
+        assert!(!session.is_affected(&keys("page", "title", &["Help"])));
+        assert!(session.is_affected(&PartitionSet::whole("page")));
+        assert!(!session.is_affected(&PartitionSet::whole("user")));
+        assert!(!session.is_affected(&PartitionSet::empty()));
+    }
+
+    #[test]
+    fn reexecute_write_two_phase_rolls_back_old_and_new_rows() {
+        let mut db = seeded_db();
+        // The attack appended text to Main at time 20.
+        db.execute_logged("UPDATE page SET body = body || ' ATTACK' WHERE title = 'Main'", 20)
+            .unwrap();
+        // A legitimate edit at time 30 rewrote Help.
+        db.execute_logged("UPDATE page SET body = 'better help' WHERE title = 'Help'", 30)
+            .unwrap();
+        let mut session = RepairSession::begin(&mut db);
+        // During repair, the patched application no longer issues the attack
+        // query; instead the legitimate edit of Help is re-executed as-is.
+        let stmt = warp_sql::parse("UPDATE page SET body = 'better help' WHERE title = 'Help'").unwrap();
+        let out = session.reexecute_write(&mut db, &stmt, 30, &[Value::Int(2)]).unwrap();
+        assert_eq!(out.result.affected, 1);
+        // Roll back the attack's effect on Main.
+        session.rollback_rows(&mut db, "page", &[Value::Int(1)], 20).unwrap();
+        session.finalize(&mut db);
+        let body = db.execute_logged("SELECT body FROM page WHERE title = 'Main'", 100).unwrap();
+        assert_eq!(body.result.rows[0][0], Value::text("clean"));
+        let help = db.execute_logged("SELECT body FROM page WHERE title = 'Help'", 100).unwrap();
+        assert_eq!(help.result.rows[0][0], Value::text("better help"));
+    }
+
+    #[test]
+    fn reexecute_read_sees_original_values_for_untouched_rows() {
+        let mut db = seeded_db();
+        db.execute_logged("UPDATE page SET body = 'edited help' WHERE title = 'Help'", 40).unwrap();
+        let mut session = RepairSession::begin(&mut db);
+        // A read that originally ran at time 20 must see the time-20 value of
+        // Help even though Help changed later and was never rolled back.
+        let stmt = warp_sql::parse("SELECT body FROM page WHERE title = 'Help'").unwrap();
+        let out = session.reexecute_read(&mut db, &stmt, 20).unwrap();
+        assert_eq!(out.result.rows[0][0], Value::text("help"));
+        let out = session.reexecute_read(&mut db, &stmt, 50).unwrap();
+        assert_eq!(out.result.rows[0][0], Value::text("edited help"));
+        assert_eq!(session.reexecuted_queries, 2);
+    }
+
+    #[test]
+    fn abort_discards_repair_changes() {
+        let mut db = seeded_db();
+        let mut session = RepairSession::begin(&mut db);
+        let stmt = warp_sql::parse("UPDATE page SET body = 'x' WHERE title = 'Main'").unwrap();
+        session.execute_new_write(&mut db, &stmt, 50).unwrap();
+        session.abort(&mut db).unwrap();
+        let body = db.execute_logged("SELECT body FROM page WHERE title = 'Main'", 100).unwrap();
+        assert_eq!(body.result.rows[0][0], Value::text("clean"));
+    }
+
+    #[test]
+    fn dependency_affected_checks_both_sides() {
+        let mut db = seeded_db();
+        let mut session = RepairSession::begin(&mut db);
+        session.note_modified(&keys("page", "title", &["Main"]));
+        let dep_read = QueryDependency::read("page", keys("page", "title", &["Main"]));
+        let dep_other = QueryDependency::read("page", keys("page", "title", &["Help"]));
+        assert!(session.dependency_affected(&dep_read));
+        assert!(!session.dependency_affected(&dep_other));
+    }
+}

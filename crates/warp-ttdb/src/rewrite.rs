@@ -1,0 +1,175 @@
+//! SQL query rewriting for continuous versioning and repair generations
+//! (paper §4.4).
+
+use crate::dependency::{PartitionKey, PartitionSet};
+use crate::versioned::{Generation, Timestamp, COL_END_GEN, COL_END_TIME, COL_START_GEN, COL_START_TIME};
+use std::collections::BTreeSet;
+use warp_sql::{Expr, Statement, Value};
+
+/// Builds the predicate selecting row versions valid at `time` in `gen`:
+/// `start_time <= T AND end_time > T AND start_gen <= G AND end_gen >= G`.
+///
+/// Versions use half-open `[start_time, end_time)` intervals, so a query at
+/// exactly the moment a row was superseded sees the *new* version, never
+/// both.
+pub fn validity_predicate(time: Timestamp, gen: Generation) -> Expr {
+    let start_time_ok = Expr::Binary {
+        left: Box::new(Expr::Column(COL_START_TIME.into())),
+        op: warp_sql::ast::BinaryOp::LtEq,
+        right: Box::new(Expr::Literal(Value::Int(time))),
+    };
+    let end_time_ok = Expr::Binary {
+        left: Box::new(Expr::Column(COL_END_TIME.into())),
+        op: warp_sql::ast::BinaryOp::Gt,
+        right: Box::new(Expr::Literal(Value::Int(time))),
+    };
+    let start_gen_ok = Expr::Binary {
+        left: Box::new(Expr::Column(COL_START_GEN.into())),
+        op: warp_sql::ast::BinaryOp::LtEq,
+        right: Box::new(Expr::Literal(Value::Int(gen))),
+    };
+    let end_gen_ok = Expr::Binary {
+        left: Box::new(Expr::Column(COL_END_GEN.into())),
+        op: warp_sql::ast::BinaryOp::GtEq,
+        right: Box::new(Expr::Literal(Value::Int(gen))),
+    };
+    start_time_ok.and(end_time_ok).and(start_gen_ok).and(end_gen_ok)
+}
+
+/// Adds the validity predicate for `(time, gen)` to a statement's `WHERE`
+/// clause (creating one if the statement has none). Statements without a
+/// `WHERE` slot are left untouched.
+pub fn restrict_to_valid(stmt: &mut Statement, time: Timestamp, gen: Generation) {
+    if let Some(slot) = stmt.where_clause_mut() {
+        let validity = validity_predicate(time, gen);
+        *slot = Some(match slot.take() {
+            Some(existing) => existing.and(validity),
+            None => validity,
+        });
+    }
+}
+
+/// Computes the partitions a statement *reads*, from the equality conjuncts
+/// of its `WHERE` clause (paper §4.1).
+///
+/// If the statement pins at least one partition column to a literal value,
+/// the result is the set of those `(column, value)` partitions; otherwise the
+/// statement conservatively depends on the whole table. A statement with no
+/// `WHERE` clause always depends on the whole table.
+pub fn read_partitions(
+    stmt: &Statement,
+    table: &str,
+    partition_columns: &[String],
+) -> PartitionSet {
+    if partition_columns.is_empty() {
+        return PartitionSet::whole(table);
+    }
+    let where_clause = match stmt.where_clause() {
+        Some(w) => w,
+        None => return PartitionSet::whole(table),
+    };
+    let equalities = where_clause.required_equalities();
+    let mut keys = BTreeSet::new();
+    for (col, value) in equalities {
+        if partition_columns.iter().any(|p| p.eq_ignore_ascii_case(&col)) {
+            keys.insert(PartitionKey::new(table, &col, &value));
+        }
+    }
+    if keys.is_empty() {
+        PartitionSet::whole(table)
+    } else {
+        PartitionSet::Keys(keys)
+    }
+}
+
+/// Computes the partitions touched by a set of concrete row values (used for
+/// the *write* side of dependencies, where the exact rows are known).
+pub fn partitions_of_rows<'a>(
+    table: &str,
+    partition_columns: &[String],
+    rows: impl IntoIterator<Item = &'a [(String, Value)]>,
+) -> PartitionSet {
+    if partition_columns.is_empty() {
+        return PartitionSet::whole(table);
+    }
+    let mut keys = BTreeSet::new();
+    for row in rows {
+        for (col, value) in row {
+            if partition_columns.iter().any(|p| p.eq_ignore_ascii_case(col)) {
+                keys.insert(PartitionKey::new(table, col, value));
+            }
+        }
+    }
+    PartitionSet::Keys(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_sql::parse;
+
+    #[test]
+    fn validity_predicate_is_added_to_where() {
+        let mut stmt = parse("SELECT * FROM page WHERE title = 'Main'").unwrap();
+        restrict_to_valid(&mut stmt, 42, 1);
+        let rendered = stmt.where_clause().unwrap().to_string();
+        assert!(rendered.contains("title = 'Main'"));
+        assert!(rendered.contains("warp_start_time <= 42"));
+        assert!(rendered.contains("warp_end_time > 42"));
+        assert!(rendered.contains("warp_end_gen >= 1"));
+    }
+
+    #[test]
+    fn validity_predicate_added_even_without_where() {
+        let mut stmt = parse("SELECT * FROM page").unwrap();
+        restrict_to_valid(&mut stmt, 5, 0);
+        assert!(stmt.where_clause().is_some());
+    }
+
+    #[test]
+    fn ddl_statements_are_untouched() {
+        let mut stmt = parse("DROP TABLE page").unwrap();
+        restrict_to_valid(&mut stmt, 5, 0);
+        assert!(stmt.where_clause().is_none());
+    }
+
+    #[test]
+    fn read_partitions_from_pinned_columns() {
+        let cols = vec!["title".to_string(), "owner".to_string()];
+        let stmt = parse("SELECT * FROM page WHERE title = 'Main' AND views > 3").unwrap();
+        match read_partitions(&stmt, "page", &cols) {
+            PartitionSet::Keys(keys) => {
+                assert_eq!(keys.len(), 1);
+                assert!(keys.iter().any(|k| k.column == "title" && k.value == "Main"));
+            }
+            other => panic!("expected keys, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unpinned_or_disjunctive_queries_read_the_whole_table() {
+        let cols = vec!["title".to_string()];
+        let stmt = parse("SELECT * FROM page WHERE views > 3").unwrap();
+        assert!(matches!(read_partitions(&stmt, "page", &cols), PartitionSet::Whole { .. }));
+        let stmt = parse("SELECT * FROM page WHERE title = 'A' OR title = 'B'").unwrap();
+        assert!(matches!(read_partitions(&stmt, "page", &cols), PartitionSet::Whole { .. }));
+        let stmt = parse("SELECT * FROM page").unwrap();
+        assert!(matches!(read_partitions(&stmt, "page", &cols), PartitionSet::Whole { .. }));
+        // No partition columns configured: always whole-table.
+        let stmt = parse("SELECT * FROM page WHERE title = 'Main'").unwrap();
+        assert!(matches!(read_partitions(&stmt, "page", &[]), PartitionSet::Whole { .. }));
+    }
+
+    #[test]
+    fn partitions_of_rows_collects_values() {
+        let cols = vec!["title".to_string()];
+        let rows: Vec<Vec<(String, Value)>> = vec![
+            vec![("title".to_string(), Value::text("Main")), ("views".to_string(), Value::Int(1))],
+            vec![("title".to_string(), Value::text("Help"))],
+        ];
+        match partitions_of_rows("page", &cols, rows.iter().map(|r| r.as_slice())) {
+            PartitionSet::Keys(keys) => assert_eq!(keys.len(), 2),
+            other => panic!("expected keys, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1103 @@
+//! The versioned database: continuous versioning, generations, row IDs.
+
+use crate::annotations::TableAnnotation;
+use crate::dependency::{PartitionSet, QueryDependency};
+use crate::rewrite::{partitions_of_rows, read_partitions, restrict_to_valid};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use warp_sql::ast::{Assignment, ColumnConstraint, ColumnDef, Expr, SelectItem, SelectStatement, Statement};
+use warp_sql::expr::eval_expr;
+use warp_sql::{ColumnType, Database, QueryResult, SqlError, SqlResult, Value};
+
+/// Logical timestamps. The Warp server owns a monotonically increasing
+/// logical clock and stamps every action with it.
+pub type Timestamp = i64;
+
+/// Repair generation numbers (paper §4.3).
+pub type Generation = i64;
+
+/// "Infinity" for `end_time`: the version is current.
+pub const INF_TIME: i64 = i64::MAX;
+
+/// "Infinity" for `end_gen`: the version has not been superseded by repair.
+pub const INF_GEN: i64 = i64::MAX;
+
+/// Synthetic row-ID column added when a table has no natural row ID.
+pub const COL_ROW_ID: &str = "warp_row_id";
+/// Version start-time column.
+pub const COL_START_TIME: &str = "warp_start_time";
+/// Version end-time column (exclusive).
+pub const COL_END_TIME: &str = "warp_end_time";
+/// First generation in which the version is visible.
+pub const COL_START_GEN: &str = "warp_start_gen";
+/// Last generation in which the version is visible.
+pub const COL_END_GEN: &str = "warp_end_gen";
+
+/// Result of executing one application query through the time-travel layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedExecution {
+    /// The application-visible result (Warp bookkeeping columns stripped).
+    pub result: QueryResult,
+    /// The dependency record destined for the action history graph.
+    pub dependency: QueryDependency,
+}
+
+/// Aggregate storage statistics, used for the Table 6 storage accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageStats {
+    /// Total row versions stored (including superseded versions).
+    pub total_versions: usize,
+    /// Row versions that are current in the current generation.
+    pub live_rows: usize,
+    /// Approximate bytes of stored data.
+    pub approximate_bytes: usize,
+}
+
+/// Per-table configuration resolved from the programmer's annotation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct TableConfig {
+    annotation: TableAnnotation,
+    /// The resolved row-ID column (natural or synthetic).
+    row_id_column: String,
+    /// True if Warp added the row-ID column itself.
+    synthetic_row_id: bool,
+}
+
+/// The time-travel database (paper §4).
+///
+/// See the crate-level documentation for the model. All application queries
+/// go through [`TimeTravelDb::execute_logged`] (normal execution) or the
+/// repair-session methods in [`crate::repair`]; internal bookkeeping uses the
+/// underlying engine directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeTravelDb {
+    db: Database,
+    configs: BTreeMap<String, TableConfig>,
+    current_gen: Generation,
+    repair_gen: Option<Generation>,
+    next_synthetic_row_id: i64,
+}
+
+impl Default for TimeTravelDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeTravelDb {
+    /// Creates an empty time-travel database in generation 0.
+    pub fn new() -> Self {
+        TimeTravelDb {
+            db: Database::new(),
+            configs: BTreeMap::new(),
+            current_gen: 0,
+            repair_gen: None,
+            next_synthetic_row_id: 1,
+        }
+    }
+
+    /// The generation normal execution currently runs in.
+    pub fn current_generation(&self) -> Generation {
+        self.current_gen
+    }
+
+    /// The generation being constructed by an in-progress repair, if any.
+    pub fn repair_generation(&self) -> Option<Generation> {
+        self.repair_gen
+    }
+
+    /// Names of all application tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.configs.keys().cloned().collect()
+    }
+
+    /// The row-ID column of a table.
+    pub fn row_id_column(&self, table: &str) -> Option<&str> {
+        self.configs.get(&norm(table)).map(|c| c.row_id_column.as_str())
+    }
+
+    /// The partition columns of a table.
+    pub fn partition_columns(&self, table: &str) -> &[String] {
+        self.configs
+            .get(&norm(table))
+            .map(|c| c.annotation.partition_columns.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total annotation lines across all tables (paper §8.1).
+    pub fn annotation_lines(&self) -> usize {
+        self.configs.values().map(|c| c.annotation.annotation_lines()).sum()
+    }
+
+    /// Direct read-only access to the underlying engine (used by tests and by
+    /// the storage accounting; applications never touch this).
+    pub fn raw(&self) -> &Database {
+        &self.db
+    }
+
+    /// Creates an application table and installs Warp's bookkeeping columns.
+    ///
+    /// The `CREATE TABLE` statement is the application's own schema; Warp
+    /// then (a) adds a synthetic row-ID column if the annotation names none,
+    /// (b) adds the four versioning columns, and (c) extends every uniqueness
+    /// constraint with `(end_time, end_gen)` so multiple versions of a
+    /// logically unique row can coexist (paper §6).
+    pub fn create_table(&mut self, create_sql: &str, annotation: TableAnnotation) -> SqlResult<()> {
+        let stmt = warp_sql::parse(create_sql)?;
+        let table = match &stmt {
+            Statement::CreateTable { name, .. } => name.clone(),
+            other => {
+                return Err(SqlError::Execution(format!(
+                    "create_table expects CREATE TABLE, got {other}"
+                )))
+            }
+        };
+        self.db.execute(&stmt)?;
+        let (row_id_column, synthetic) = match &annotation.row_id_column {
+            Some(col) => {
+                if self.db.schema(&table).map(|s| s.has_column(col)) != Some(true) {
+                    return Err(SqlError::NoSuchColumn(col.clone()));
+                }
+                (col.clone(), false)
+            }
+            None => (COL_ROW_ID.to_string(), true),
+        };
+        {
+            let t = self.db.table_mut(&table).expect("just created");
+            if synthetic {
+                t.schema.add_column(ColumnDef::new(COL_ROW_ID, ColumnType::Integer))?;
+                t.add_column_with_default(Value::Null);
+            }
+            for col in [COL_START_TIME, COL_END_TIME, COL_START_GEN, COL_END_GEN] {
+                let mut def = ColumnDef::new(col, ColumnType::Integer);
+                def.constraints.push(ColumnConstraint::NotNull);
+                t.schema.add_column(def)?;
+                t.add_column_with_default(Value::Int(0));
+            }
+            t.schema.extend_unique_constraints(&[COL_END_TIME, COL_END_GEN]);
+        }
+        for col in &annotation.partition_columns {
+            if self.db.schema(&table).map(|s| s.has_column(col)) != Some(true) {
+                return Err(SqlError::NoSuchColumn(col.clone()));
+            }
+        }
+        self.configs.insert(
+            norm(&table),
+            TableConfig { annotation, row_id_column, synthetic_row_id: synthetic },
+        );
+        Ok(())
+    }
+
+    /// Executes an application query during *normal execution* at logical
+    /// time `time`, in the current generation, returning the result and the
+    /// dependency record.
+    pub fn execute_logged(&mut self, sql: &str, time: Timestamp) -> SqlResult<LoggedExecution> {
+        let stmt = warp_sql::parse(sql)?;
+        self.execute_stmt_logged(&stmt, time, self.current_gen)
+    }
+
+    /// Executes an already-parsed application statement at `(time, gen)`.
+    ///
+    /// Normal execution passes the current generation; re-execution during
+    /// repair passes the repair generation and the query's *original* time.
+    pub fn execute_stmt_logged(
+        &mut self,
+        stmt: &Statement,
+        time: Timestamp,
+        gen: Generation,
+    ) -> SqlResult<LoggedExecution> {
+        match stmt {
+            Statement::Select(_) => self.logged_select(stmt, time, gen),
+            Statement::Insert { table, columns, values } => {
+                self.logged_insert(table, columns, values, time, gen)
+            }
+            Statement::Update { table, assignments, where_clause } => {
+                self.logged_update(table, assignments, where_clause.as_ref(), time, gen)
+            }
+            Statement::Delete { table, where_clause } => {
+                self.logged_delete(table, where_clause.as_ref(), time, gen)
+            }
+            other => Err(SqlError::Execution(format!(
+                "applications may not issue DDL at runtime: {other}"
+            ))),
+        }
+    }
+
+    /// Runs a read-only query at a past time in the current generation
+    /// (continuous versioning makes old values directly addressable).
+    pub fn select_at(&mut self, sql: &str, time: Timestamp) -> SqlResult<QueryResult> {
+        let stmt = warp_sql::parse(sql)?;
+        Ok(self.logged_select(&stmt, time, self.current_gen)?.result)
+    }
+
+    fn config(&self, table: &str) -> SqlResult<&TableConfig> {
+        self.configs
+            .get(&norm(table))
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))
+    }
+
+    fn logged_select(
+        &mut self,
+        stmt: &Statement,
+        time: Timestamp,
+        gen: Generation,
+    ) -> SqlResult<LoggedExecution> {
+        let table = stmt.table_name().unwrap_or_default().to_string();
+        let cfg = self.config(&table)?.clone();
+        let partitions = read_partitions(stmt, &table, &cfg.annotation.partition_columns);
+        let mut rewritten = stmt.clone();
+        restrict_to_valid(&mut rewritten, time, gen);
+        let mut result = self.db.execute(&rewritten)?;
+        strip_warp_columns(&mut result);
+        Ok(LoggedExecution {
+            result,
+            dependency: QueryDependency::read(&table, partitions),
+        })
+    }
+
+    fn logged_insert(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        values: &[Vec<Expr>],
+        time: Timestamp,
+        gen: Generation,
+    ) -> SqlResult<LoggedExecution> {
+        let cfg = self.config(table)?.clone();
+        let mut new_columns: Vec<String> = columns.to_vec();
+        new_columns.extend(
+            [COL_START_TIME, COL_END_TIME, COL_START_GEN, COL_END_GEN]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        if cfg.synthetic_row_id {
+            new_columns.push(COL_ROW_ID.to_string());
+        }
+        let schema = self
+            .db
+            .schema(table)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?
+            .clone();
+        let empty_row = vec![Value::Null; schema.columns.len()];
+        let mut new_values = Vec::with_capacity(values.len());
+        let mut row_ids = Vec::with_capacity(values.len());
+        let mut written_rows: Vec<Vec<(String, Value)>> = Vec::new();
+        for row_exprs in values {
+            let mut row: Vec<Expr> = row_exprs.clone();
+            row.push(Expr::Literal(Value::Int(time)));
+            row.push(Expr::Literal(Value::Int(INF_TIME)));
+            row.push(Expr::Literal(Value::Int(gen)));
+            row.push(Expr::Literal(Value::Int(INF_GEN)));
+            if cfg.synthetic_row_id {
+                let id = self.next_synthetic_row_id;
+                self.next_synthetic_row_id += 1;
+                row.push(Expr::Literal(Value::Int(id)));
+                row_ids.push(Value::Int(id));
+            } else {
+                // The natural row ID must be one of the inserted columns.
+                let idx = columns
+                    .iter()
+                    .position(|c| c.eq_ignore_ascii_case(&cfg.row_id_column))
+                    .ok_or_else(|| {
+                        SqlError::Execution(format!(
+                            "INSERT into {table} must supply row-ID column {}",
+                            cfg.row_id_column
+                        ))
+                    })?;
+                row_ids.push(eval_expr(&row_exprs[idx], &schema, &empty_row)?);
+            }
+            // Record partition-column values for the write dependency.
+            let mut named = Vec::new();
+            for (col, expr) in columns.iter().zip(row_exprs) {
+                named.push((col.clone(), eval_expr(expr, &schema, &empty_row)?));
+            }
+            written_rows.push(named);
+            new_values.push(row);
+        }
+        let insert = Statement::Insert {
+            table: table.to_string(),
+            columns: new_columns,
+            values: new_values,
+        };
+        let result = self.db.execute(&insert)?;
+        let write_partitions = partitions_of_rows(
+            table,
+            &cfg.annotation.partition_columns,
+            written_rows.iter().map(|r| r.as_slice()),
+        );
+        Ok(LoggedExecution {
+            result,
+            dependency: QueryDependency::write(
+                table,
+                PartitionSet::empty(),
+                write_partitions,
+                row_ids,
+            ),
+        })
+    }
+
+    /// Materialises the row versions matching `where_clause` that are valid
+    /// at `(time, gen)`, returned as full rows plus the schema column names.
+    fn matching_versions(
+        &mut self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        time: Timestamp,
+        gen: Generation,
+    ) -> SqlResult<(Vec<String>, Vec<Vec<Value>>)> {
+        let mut select = Statement::Select(SelectStatement {
+            items: vec![SelectItem::Wildcard],
+            table: table.to_string(),
+            where_clause: where_clause.cloned(),
+            order_by: vec![],
+            limit: None,
+        });
+        restrict_to_valid(&mut select, time, gen);
+        let result = self.db.execute(&select)?;
+        Ok((result.columns, result.rows))
+    }
+
+    /// If `gen` is a repair generation and the version is still visible in
+    /// the current generation, preserve a copy for the current generation and
+    /// claim the version for the repair generation (paper §4.4). Returns the
+    /// (possibly updated) start_gen of the version being modified.
+    fn preserve_for_current_gen(
+        &mut self,
+        table: &str,
+        columns: &[String],
+        row: &[Value],
+        gen: Generation,
+    ) -> SqlResult<()> {
+        if gen <= self.current_gen {
+            return Ok(());
+        }
+        let start_gen = col_val(columns, row, COL_START_GEN).as_int().unwrap_or(0);
+        let end_gen = col_val(columns, row, COL_END_GEN).as_int().unwrap_or(INF_GEN);
+        if start_gen > self.current_gen || end_gen < self.current_gen {
+            return Ok(());
+        }
+        // Insert a copy that stays visible to the current generation.
+        let mut copy_cols = columns.to_vec();
+        let mut copy_vals: Vec<Expr> = row.iter().cloned().map(Expr::Literal).collect();
+        set_col(&mut copy_cols, &mut copy_vals, COL_END_GEN, Value::Int(self.current_gen));
+        let insert = Statement::Insert {
+            table: table.to_string(),
+            columns: copy_cols,
+            values: vec![copy_vals],
+        };
+        self.db.execute(&insert)?;
+        // Claim the original version for the repair generation.
+        let ident = version_identity(columns, row);
+        let update = Statement::Update {
+            table: table.to_string(),
+            assignments: vec![Assignment {
+                column: COL_START_GEN.to_string(),
+                value: Expr::Literal(Value::Int(gen)),
+            }],
+            where_clause: Some(ident),
+        };
+        self.db.execute(&update)?;
+        Ok(())
+    }
+
+    fn logged_update(
+        &mut self,
+        table: &str,
+        assignments: &[Assignment],
+        where_clause: Option<&Expr>,
+        time: Timestamp,
+        gen: Generation,
+    ) -> SqlResult<LoggedExecution> {
+        let cfg = self.config(table)?.clone();
+        let read_parts = read_partitions(
+            &Statement::Update {
+                table: table.to_string(),
+                assignments: assignments.to_vec(),
+                where_clause: where_clause.cloned(),
+            },
+            table,
+            &cfg.annotation.partition_columns,
+        );
+        let (columns, rows) = self.matching_versions(table, where_clause, time, gen)?;
+        let schema = self.db.schema(table).expect("table exists").clone();
+        let mut row_ids = Vec::new();
+        let mut written_rows: Vec<Vec<(String, Value)>> = Vec::new();
+        for row in &rows {
+            self.preserve_for_current_gen(table, &columns, row, gen)?;
+            // After preservation the version belongs to the repair generation;
+            // keep a view of the row that reflects its on-disk state so the
+            // version-identity predicates below still match it.
+            let mut row_now = row.clone();
+            if gen > self.current_gen {
+                let sg = col_val(&columns, row, COL_START_GEN).as_int().unwrap_or(0);
+                if sg <= self.current_gen {
+                    if let Some(i) =
+                        columns.iter().position(|c| c.eq_ignore_ascii_case(COL_START_GEN))
+                    {
+                        row_now[i] = Value::Int(gen);
+                    }
+                }
+            }
+            let start_gen_now = col_val(&columns, &row_now, COL_START_GEN).as_int().unwrap_or(0);
+            row_ids.push(col_val(&columns, row, &cfg.row_id_column));
+            // Old partition values.
+            let mut named_old = Vec::new();
+            for col in &cfg.annotation.partition_columns {
+                named_old.push((col.clone(), col_val(&columns, row, col)));
+            }
+            written_rows.push(named_old);
+            // New partition values (assignments evaluated against the old row).
+            let mut named_new = Vec::new();
+            for a in assignments {
+                if cfg
+                    .annotation
+                    .partition_columns
+                    .iter()
+                    .any(|p| p.eq_ignore_ascii_case(&a.column))
+                {
+                    named_new.push((a.column.clone(), eval_expr(&a.value, &schema, row)?));
+                }
+            }
+            if !named_new.is_empty() {
+                written_rows.push(named_new);
+            }
+            // 1. Keep a historical copy of the old value, ending at `time`.
+            let mut hist_cols = columns.clone();
+            let mut hist_vals: Vec<Expr> = row_now.iter().cloned().map(Expr::Literal).collect();
+            set_col(&mut hist_cols, &mut hist_vals, COL_END_TIME, Value::Int(time));
+            set_col(&mut hist_cols, &mut hist_vals, COL_START_GEN, Value::Int(start_gen_now));
+            let only_if_started_before = col_val(&columns, row, COL_START_TIME)
+                .as_int()
+                .map(|s| s < time)
+                .unwrap_or(true);
+            if only_if_started_before {
+                let insert = Statement::Insert {
+                    table: table.to_string(),
+                    columns: hist_cols,
+                    values: vec![hist_vals],
+                };
+                self.db.execute(&insert)?;
+            }
+            // 2. Apply the application's assignments to the current version
+            //    in place, moving its start_time forward to `time`.
+            let ident = version_identity(&columns, &row_now);
+            let mut new_assignments = assignments.to_vec();
+            new_assignments.push(Assignment {
+                column: COL_START_TIME.to_string(),
+                value: Expr::Literal(Value::Int(time)),
+            });
+            let update = Statement::Update {
+                table: table.to_string(),
+                assignments: new_assignments,
+                where_clause: Some(ident),
+            };
+            self.db.execute(&update)?;
+        }
+        let write_partitions = partitions_of_rows(
+            table,
+            &cfg.annotation.partition_columns,
+            written_rows.iter().map(|r| r.as_slice()),
+        );
+        Ok(LoggedExecution {
+            result: QueryResult { columns: vec![], rows: vec![], affected: rows.len() as u64 },
+            dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids),
+        })
+    }
+
+    fn logged_delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        time: Timestamp,
+        gen: Generation,
+    ) -> SqlResult<LoggedExecution> {
+        let cfg = self.config(table)?.clone();
+        let read_parts = read_partitions(
+            &Statement::Delete { table: table.to_string(), where_clause: where_clause.cloned() },
+            table,
+            &cfg.annotation.partition_columns,
+        );
+        let (columns, rows) = self.matching_versions(table, where_clause, time, gen)?;
+        let mut row_ids = Vec::new();
+        let mut written_rows: Vec<Vec<(String, Value)>> = Vec::new();
+        for row in &rows {
+            self.preserve_for_current_gen(table, &columns, row, gen)?;
+            let mut row_now = row.clone();
+            if gen > self.current_gen {
+                let sg = col_val(&columns, row, COL_START_GEN).as_int().unwrap_or(0);
+                if sg <= self.current_gen {
+                    if let Some(i) =
+                        columns.iter().position(|c| c.eq_ignore_ascii_case(COL_START_GEN))
+                    {
+                        row_now[i] = Value::Int(gen);
+                    }
+                }
+            }
+            row_ids.push(col_val(&columns, row, &cfg.row_id_column));
+            let mut named = Vec::new();
+            for col in &cfg.annotation.partition_columns {
+                named.push((col.clone(), col_val(&columns, row, col)));
+            }
+            written_rows.push(named);
+            // Deleting a row just ends its current version at `time`.
+            let ident = version_identity(&columns, &row_now);
+            let update = Statement::Update {
+                table: table.to_string(),
+                assignments: vec![Assignment {
+                    column: COL_END_TIME.to_string(),
+                    value: Expr::Literal(Value::Int(time)),
+                }],
+                where_clause: Some(ident),
+            };
+            self.db.execute(&update)?;
+        }
+        let write_partitions = partitions_of_rows(
+            table,
+            &cfg.annotation.partition_columns,
+            written_rows.iter().map(|r| r.as_slice()),
+        );
+        Ok(LoggedExecution {
+            result: QueryResult { columns: vec![], rows: vec![], affected: rows.len() as u64 },
+            dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids),
+        })
+    }
+
+    /// Starts a repair generation (paper §4.3) and returns its number. All
+    /// repair-time operations execute in this generation while normal
+    /// execution continues in the current generation.
+    pub fn begin_repair_generation(&mut self) -> Generation {
+        let next = self.current_gen + 1;
+        self.repair_gen = Some(next);
+        next
+    }
+
+    /// Completes a repair: the repair generation becomes the current
+    /// generation, making the repaired state visible to normal execution.
+    pub fn finalize_repair_generation(&mut self) {
+        if let Some(next) = self.repair_gen.take() {
+            self.current_gen = next;
+        }
+    }
+
+    /// Aborts an in-progress repair, discarding every change made in the
+    /// repair generation (used when a user-initiated repair would cause
+    /// conflicts for other users, paper §5.5).
+    pub fn abort_repair_generation(&mut self) -> SqlResult<()> {
+        let Some(next) = self.repair_gen.take() else {
+            return Ok(());
+        };
+        let tables: Vec<String> = self.configs.keys().cloned().collect();
+        for table in tables {
+            // Remove versions created by (or claimed for) the repair generation.
+            let delete = Statement::Delete {
+                table: table.clone(),
+                where_clause: Some(Expr::Binary {
+                    left: Box::new(Expr::Column(COL_START_GEN.into())),
+                    op: warp_sql::ast::BinaryOp::GtEq,
+                    right: Box::new(Expr::Literal(Value::Int(next))),
+                }),
+            };
+            self.db.execute(&delete)?;
+            // Restore versions preserved for the current generation.
+            let update = Statement::Update {
+                table: table.clone(),
+                assignments: vec![Assignment {
+                    column: COL_END_GEN.to_string(),
+                    value: Expr::Literal(Value::Int(INF_GEN)),
+                }],
+                where_clause: Some(Expr::col_eq(COL_END_GEN, Value::Int(self.current_gen))),
+            };
+            self.db.execute(&update)?;
+        }
+        Ok(())
+    }
+
+    /// Rolls back the listed rows of `table` to their state just before
+    /// `to_time`, within the repair generation `gen` (paper §4.2).
+    pub fn rollback_rows(
+        &mut self,
+        table: &str,
+        row_ids: &[Value],
+        to_time: Timestamp,
+        gen: Generation,
+    ) -> SqlResult<()> {
+        let cfg = self.config(table)?.clone();
+        for row_id in row_ids {
+            let (columns, versions) = self.versions_of_row(table, &cfg.row_id_column, row_id, gen)?;
+            // Versions created at or after `to_time` disappear from the
+            // repair generation (but stay visible to the current generation
+            // if they predate the repair).
+            let mut best_keep: Option<Vec<Value>> = None;
+            for v in &versions {
+                let start = col_val(&columns, v, COL_START_TIME).as_int().unwrap_or(0);
+                if start >= to_time {
+                    let start_gen = col_val(&columns, v, COL_START_GEN).as_int().unwrap_or(0);
+                    let ident = version_identity(&columns, v);
+                    if start_gen <= self.current_gen && gen > self.current_gen {
+                        // Preserve for the current generation only.
+                        let update = Statement::Update {
+                            table: table.to_string(),
+                            assignments: vec![Assignment {
+                                column: COL_END_GEN.to_string(),
+                                value: Expr::Literal(Value::Int(self.current_gen)),
+                            }],
+                            where_clause: Some(ident),
+                        };
+                        self.db.execute(&update)?;
+                    } else {
+                        let delete = Statement::Delete {
+                            table: table.to_string(),
+                            where_clause: Some(ident),
+                        };
+                        self.db.execute(&delete)?;
+                    }
+                } else {
+                    let end = col_val(&columns, v, COL_END_TIME).as_int().unwrap_or(0);
+                    let best_end = best_keep
+                        .as_ref()
+                        .map(|b| col_val(&columns, b, COL_END_TIME).as_int().unwrap_or(0))
+                        .unwrap_or(i64::MIN);
+                    if end > best_end {
+                        best_keep = Some(v.clone());
+                    }
+                }
+            }
+            // The surviving version with the largest end_time becomes current
+            // again in the repair generation.
+            if let Some(v) = best_keep {
+                let end = col_val(&columns, &v, COL_END_TIME).as_int().unwrap_or(0);
+                if end != INF_TIME {
+                    let start_gen = col_val(&columns, &v, COL_START_GEN).as_int().unwrap_or(0);
+                    if gen > self.current_gen && start_gen <= self.current_gen {
+                        // Keep the historical version for the current
+                        // generation; give the repair generation its own
+                        // current copy.
+                        let ident = version_identity(&columns, &v);
+                        let update = Statement::Update {
+                            table: table.to_string(),
+                            assignments: vec![Assignment {
+                                column: COL_END_GEN.to_string(),
+                                value: Expr::Literal(Value::Int(self.current_gen)),
+                            }],
+                            where_clause: Some(ident),
+                        };
+                        self.db.execute(&update)?;
+                        let mut copy_cols = columns.clone();
+                        let mut copy_vals: Vec<Expr> =
+                            v.iter().cloned().map(Expr::Literal).collect();
+                        set_col(&mut copy_cols, &mut copy_vals, COL_END_TIME, Value::Int(INF_TIME));
+                        set_col(&mut copy_cols, &mut copy_vals, COL_START_GEN, Value::Int(gen));
+                        set_col(&mut copy_cols, &mut copy_vals, COL_END_GEN, Value::Int(INF_GEN));
+                        let insert = Statement::Insert {
+                            table: table.to_string(),
+                            columns: copy_cols,
+                            values: vec![copy_vals],
+                        };
+                        self.db.execute(&insert)?;
+                    } else {
+                        let ident = version_identity(&columns, &v);
+                        let update = Statement::Update {
+                            table: table.to_string(),
+                            assignments: vec![Assignment {
+                                column: COL_END_TIME.to_string(),
+                                value: Expr::Literal(Value::Int(INF_TIME)),
+                            }],
+                            where_clause: Some(ident),
+                        };
+                        self.db.execute(&update)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All stored versions of a logical row that are visible in `gen`.
+    fn versions_of_row(
+        &mut self,
+        table: &str,
+        row_id_column: &str,
+        row_id: &Value,
+        gen: Generation,
+    ) -> SqlResult<(Vec<String>, Vec<Vec<Value>>)> {
+        let where_clause = Expr::col_eq(row_id_column, row_id.clone()).and(Expr::Binary {
+            left: Box::new(Expr::Column(COL_END_GEN.into())),
+            op: warp_sql::ast::BinaryOp::GtEq,
+            right: Box::new(Expr::Literal(Value::Int(gen))),
+        });
+        let select = Statement::Select(SelectStatement {
+            items: vec![SelectItem::Wildcard],
+            table: table.to_string(),
+            where_clause: Some(where_clause),
+            order_by: vec![],
+            limit: None,
+        });
+        let result = self.db.execute(&select)?;
+        Ok((result.columns, result.rows))
+    }
+
+    /// Removes row versions that ended before `before_time` and are not
+    /// visible in the current generation. Run in sync with action-history
+    /// garbage collection (paper §4.2).
+    pub fn garbage_collect(&mut self, before_time: Timestamp) -> SqlResult<usize> {
+        let tables: Vec<String> = self.configs.keys().cloned().collect();
+        let mut removed = 0usize;
+        for table in tables {
+            let old_version = Expr::Binary {
+                left: Box::new(Expr::Column(COL_END_TIME.into())),
+                op: warp_sql::ast::BinaryOp::LtEq,
+                right: Box::new(Expr::Literal(Value::Int(before_time))),
+            };
+            let superseded_gen = Expr::Binary {
+                left: Box::new(Expr::Column(COL_END_GEN.into())),
+                op: warp_sql::ast::BinaryOp::Lt,
+                right: Box::new(Expr::Literal(Value::Int(self.current_gen))),
+            };
+            let delete = Statement::Delete {
+                table: table.clone(),
+                where_clause: Some(old_version.or(superseded_gen)),
+            };
+            removed += self.db.execute(&delete)?.affected as usize;
+        }
+        Ok(removed)
+    }
+
+    /// Storage statistics for the whole database.
+    pub fn storage_stats(&self) -> StorageStats {
+        let mut stats = StorageStats { approximate_bytes: self.db.approximate_bytes(), ..Default::default() };
+        for table in self.configs.keys() {
+            if let Some(t) = self.db.table(table) {
+                stats.total_versions += t.len();
+                let end_time_idx = t.schema.column_index(COL_END_TIME);
+                let end_gen_idx = t.schema.column_index(COL_END_GEN);
+                for row in &t.rows {
+                    let current_time = end_time_idx
+                        .and_then(|i| row.get(i))
+                        .and_then(|v| v.as_int())
+                        .map(|v| v == INF_TIME)
+                        .unwrap_or(false);
+                    let current_gen = end_gen_idx
+                        .and_then(|i| row.get(i))
+                        .and_then(|v| v.as_int())
+                        .map(|v| v >= self.current_gen)
+                        .unwrap_or(false);
+                    if current_time && current_gen {
+                        stats.live_rows += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+fn norm(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+/// Looks up a named column in a materialised row.
+fn col_val(columns: &[String], row: &[Value], name: &str) -> Value {
+    columns
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(name))
+        .and_then(|i| row.get(i).cloned())
+        .unwrap_or(Value::Null)
+}
+
+/// Overwrites (or appends) a named column in a column/value expression list.
+fn set_col(columns: &mut Vec<String>, values: &mut Vec<Expr>, name: &str, value: Value) {
+    match columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+        Some(i) => values[i] = Expr::Literal(value),
+        None => {
+            columns.push(name.to_string());
+            values.push(Expr::Literal(value));
+        }
+    }
+}
+
+/// Builds a predicate uniquely identifying one stored row *version*: its
+/// row-ID columns are not enough (versions share them), so the version's
+/// start time and generation bounds are included as well.
+fn version_identity(columns: &[String], row: &[Value]) -> Expr {
+    let mut pred: Option<Expr> = None;
+    for key in [COL_START_TIME, COL_END_TIME, COL_START_GEN, COL_END_GEN] {
+        let e = Expr::col_eq(key, col_val(columns, row, key));
+        pred = Some(match pred {
+            Some(p) => p.and(e),
+            None => Some(e).unwrap(),
+        });
+    }
+    // Also pin every other column value (including a synthetic row ID) so two
+    // identical-looking versions of *different* rows cannot be confused.
+    for (i, col) in columns.iter().enumerate() {
+        if [COL_START_TIME, COL_END_TIME, COL_START_GEN, COL_END_GEN]
+            .iter()
+            .any(|c| col.eq_ignore_ascii_case(c))
+        {
+            continue;
+        }
+        let v = row.get(i).cloned().unwrap_or(Value::Null);
+        let e = if v.is_null() {
+            Expr::IsNull { expr: Box::new(Expr::Column(col.clone())), negated: false }
+        } else {
+            Expr::col_eq(col.as_str(), v)
+        };
+        pred = Some(match pred {
+            Some(p) => p.and(e),
+            None => e,
+        });
+    }
+    pred.expect("at least the warp columns exist")
+}
+
+/// Removes Warp's bookkeeping columns from an application-visible result.
+fn strip_warp_columns(result: &mut QueryResult) {
+    let keep: Vec<usize> = result
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.starts_with("warp_"))
+        .map(|(i, _)| i)
+        .collect();
+    if keep.len() == result.columns.len() {
+        return;
+    }
+    result.columns = keep.iter().map(|&i| result.columns[i].clone()).collect();
+    for row in &mut result.rows {
+        *row = keep.iter().map(|&i| row[i].clone()).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_db() -> TimeTravelDb {
+        let mut db = TimeTravelDb::new();
+        db.create_table(
+            "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, owner TEXT, body TEXT)",
+            TableAnnotation::new().row_id("page_id").partitions(["title", "owner"]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_table_installs_bookkeeping_columns() {
+        let db = page_db();
+        let schema = db.raw().schema("page").unwrap();
+        for col in [COL_START_TIME, COL_END_TIME, COL_START_GEN, COL_END_GEN] {
+            assert!(schema.has_column(col), "missing {col}");
+        }
+        assert!(!schema.has_column(COL_ROW_ID), "natural row id should be used");
+        // Unique constraints were extended with the versioning columns.
+        assert!(schema
+            .unique_constraints
+            .iter()
+            .all(|uc| uc.iter().any(|c| c == COL_END_TIME)));
+        assert_eq!(db.row_id_column("page"), Some("page_id"));
+        assert_eq!(db.annotation_lines(), 3);
+    }
+
+    #[test]
+    fn synthetic_row_id_added_when_not_annotated() {
+        let mut db = TimeTravelDb::new();
+        db.create_table("CREATE TABLE log (msg TEXT)", TableAnnotation::new()).unwrap();
+        assert!(db.raw().schema("log").unwrap().has_column(COL_ROW_ID));
+        let out = db.execute_logged("INSERT INTO log (msg) VALUES ('a'), ('b')", 1).unwrap();
+        assert_eq!(out.dependency.written_row_ids, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn missing_row_id_or_partition_column_is_rejected() {
+        let mut db = TimeTravelDb::new();
+        assert!(db
+            .create_table("CREATE TABLE t (a TEXT)", TableAnnotation::new().row_id("nope"))
+            .is_err());
+        let mut db = TimeTravelDb::new();
+        assert!(db
+            .create_table("CREATE TABLE t (a TEXT)", TableAnnotation::new().partitions(["nope"]))
+            .is_err());
+    }
+
+    #[test]
+    fn versioning_preserves_history() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE page_id = 1", 20).unwrap();
+        db.execute_logged("UPDATE page SET body = 'v3' WHERE page_id = 1", 30).unwrap();
+        let now = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 40).unwrap();
+        assert_eq!(now.result.rows[0][0], Value::text("v3"));
+        assert_eq!(db.select_at("SELECT body FROM page WHERE page_id = 1", 15).unwrap().rows[0][0], Value::text("v1"));
+        assert_eq!(db.select_at("SELECT body FROM page WHERE page_id = 1", 25).unwrap().rows[0][0], Value::text("v2"));
+        // Exactly at the update boundary the new version is visible (half-open).
+        assert_eq!(db.select_at("SELECT body FROM page WHERE page_id = 1", 20).unwrap().rows[0][0], Value::text("v2"));
+        // Three versions are stored, one live.
+        let stats = db.storage_stats();
+        assert_eq!(stats.total_versions, 3);
+        assert_eq!(stats.live_rows, 1);
+    }
+
+    #[test]
+    fn delete_ends_the_version_but_keeps_history() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        let del = db.execute_logged("DELETE FROM page WHERE title = 'Main'", 20).unwrap();
+        assert_eq!(del.result.affected, 1);
+        assert_eq!(del.dependency.written_row_ids, vec![Value::Int(1)]);
+        assert!(db.execute_logged("SELECT * FROM page WHERE title = 'Main'", 30).unwrap().result.rows.is_empty());
+        assert_eq!(db.select_at("SELECT body FROM page WHERE title = 'Main'", 15).unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn select_results_hide_warp_columns() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        let out = db.execute_logged("SELECT * FROM page", 20).unwrap();
+        assert!(out.result.columns.iter().all(|c| !c.starts_with("warp_")));
+        assert_eq!(out.result.columns.len(), 4);
+    }
+
+    #[test]
+    fn dependencies_record_partitions_and_row_ids() {
+        let mut db = page_db();
+        let ins = db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        assert!(ins.dependency.is_write);
+        match &ins.dependency.write_partitions {
+            PartitionSet::Keys(keys) => assert_eq!(keys.len(), 2),
+            other => panic!("expected keys, got {other:?}"),
+        }
+        let sel = db.execute_logged("SELECT body FROM page WHERE title = 'Main'", 20).unwrap();
+        assert!(!sel.dependency.is_write);
+        match &sel.dependency.read_partitions {
+            PartitionSet::Keys(keys) => assert_eq!(keys.len(), 1),
+            other => panic!("expected keys, got {other:?}"),
+        }
+        let scan = db.execute_logged("SELECT body FROM page", 21).unwrap();
+        assert!(matches!(scan.dependency.read_partitions, PartitionSet::Whole { .. }));
+        // An update that moves a row across partitions records both values.
+        let upd = db.execute_logged("UPDATE page SET owner = 'bob' WHERE title = 'Main'", 30).unwrap();
+        match &upd.dependency.write_partitions {
+            PartitionSet::Keys(keys) => {
+                let owners: Vec<_> = keys.iter().filter(|k| k.column == "owner").collect();
+                assert_eq!(owners.len(), 2, "old and new owner partitions: {keys:?}");
+            }
+            other => panic!("expected keys, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unique_violations_still_surface_to_the_application() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        let err = db
+            .execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (2, 'Main', 'bob', 'x')", 20)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::UniqueViolation { .. }));
+        // But updating the same row repeatedly is fine even though historical
+        // versions share the title.
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE title = 'Main'", 30).unwrap();
+        db.execute_logged("UPDATE page SET body = 'v3' WHERE title = 'Main'", 40).unwrap();
+    }
+
+    #[test]
+    fn ddl_at_runtime_is_rejected() {
+        let mut db = page_db();
+        assert!(db.execute_logged("DROP TABLE page", 10).is_err());
+        assert!(db.execute_logged("CREATE TABLE x (a TEXT)", 10).is_err());
+    }
+
+    #[test]
+    fn rollback_rows_restores_old_version() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        db.execute_logged("UPDATE page SET body = 'attacked' WHERE page_id = 1", 20).unwrap();
+        let gen = db.begin_repair_generation();
+        db.rollback_rows("page", &[Value::Int(1)], 20, gen).unwrap();
+        // In the repair generation the row is back to v1.
+        let stmt = warp_sql::parse("SELECT body FROM page WHERE page_id = 1").unwrap();
+        let repaired = db.execute_stmt_logged(&stmt, 100, gen).unwrap();
+        assert_eq!(repaired.result.rows[0][0], Value::text("v1"));
+        // The current generation still sees the attacked value until the
+        // repair generation is finalized.
+        let current = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 100).unwrap();
+        assert_eq!(current.result.rows[0][0], Value::text("attacked"));
+        db.finalize_repair_generation();
+        let after = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 110).unwrap();
+        assert_eq!(after.result.rows[0][0], Value::text("v1"));
+    }
+
+    #[test]
+    fn rollback_of_inserted_row_removes_it_from_repair_generation() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (7, 'Evil', 'mallory', 'attack')", 50).unwrap();
+        let gen = db.begin_repair_generation();
+        db.rollback_rows("page", &[Value::Int(7)], 50, gen).unwrap();
+        let stmt = warp_sql::parse("SELECT * FROM page WHERE page_id = 7").unwrap();
+        assert!(db.execute_stmt_logged(&stmt, 100, gen).unwrap().result.rows.is_empty());
+        // Still present in the pre-repair generation.
+        assert_eq!(db.execute_logged("SELECT * FROM page WHERE page_id = 7", 100).unwrap().result.rows.len(), 1);
+        db.finalize_repair_generation();
+        assert!(db.execute_logged("SELECT * FROM page WHERE page_id = 7", 120).unwrap().result.rows.is_empty());
+    }
+
+    #[test]
+    fn abort_repair_discards_repair_changes() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        let gen = db.begin_repair_generation();
+        let stmt = warp_sql::parse("UPDATE page SET body = 'repair-edit' WHERE page_id = 1").unwrap();
+        db.execute_stmt_logged(&stmt, 60, gen).unwrap();
+        db.abort_repair_generation().unwrap();
+        let now = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 70).unwrap();
+        assert_eq!(now.result.rows[0][0], Value::text("v1"));
+        assert!(db.repair_generation().is_none());
+    }
+
+    #[test]
+    fn writes_during_repair_do_not_disturb_current_generation() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        let gen = db.begin_repair_generation();
+        let stmt = warp_sql::parse("UPDATE page SET body = 'repaired' WHERE page_id = 1").unwrap();
+        db.execute_stmt_logged(&stmt, 15, gen).unwrap();
+        // Normal execution (current generation) still sees v1 and can write.
+        assert_eq!(db.execute_logged("SELECT body FROM page WHERE page_id = 1", 30).unwrap().result.rows[0][0], Value::text("v1"));
+        db.finalize_repair_generation();
+        assert_eq!(db.execute_logged("SELECT body FROM page WHERE page_id = 1", 40).unwrap().result.rows[0][0], Value::text("repaired"));
+    }
+
+    #[test]
+    fn garbage_collect_removes_old_versions() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        for t in 0..5 {
+            db.execute_logged(&format!("UPDATE page SET body = 'v{}' WHERE page_id = 1", t + 2), 20 + t).unwrap();
+        }
+        let before = db.storage_stats().total_versions;
+        assert!(before >= 6);
+        let removed = db.garbage_collect(24).unwrap();
+        assert!(removed > 0);
+        let after = db.storage_stats();
+        assert!(after.total_versions < before);
+        assert_eq!(after.live_rows, 1);
+        // The current value is untouched.
+        assert_eq!(db.execute_logged("SELECT body FROM page WHERE page_id = 1", 100).unwrap().result.rows[0][0], Value::text("v6"));
+    }
+
+    #[test]
+    fn multi_row_update_versions_every_matched_row() {
+        let mut db = page_db();
+        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'A', 'alice', 'x'), (2, 'B', 'alice', 'y'), (3, 'C', 'bob', 'z')", 10).unwrap();
+        let out = db.execute_logged("UPDATE page SET body = body || '!' WHERE owner = 'alice'", 20).unwrap();
+        assert_eq!(out.result.affected, 2);
+        assert_eq!(out.dependency.written_row_ids.len(), 2);
+        let r = db.execute_logged("SELECT body FROM page ORDER BY page_id", 30).unwrap();
+        assert_eq!(
+            r.result.rows.iter().map(|r| r[0].as_display_string()).collect::<Vec<_>>(),
+            vec!["x!", "y!", "z"]
+        );
+        // History for both updated rows exists.
+        assert_eq!(db.select_at("SELECT body FROM page WHERE owner = 'alice' ORDER BY page_id", 15).unwrap().rows.len(), 2);
+    }
+}

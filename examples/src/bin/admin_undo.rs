@@ -1,0 +1,15 @@
+//! User-initiated repair (paper §5.5): an administrator accidentally grants
+//! a user access to a page, the user edits it, and the administrator undoes
+//! the grant — reverting the edit too.
+
+use warp_apps::attacks::AttackKind;
+use warp_apps::scenario::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let result = run_scenario(&ScenarioConfig::small(AttackKind::AclError));
+    println!("ACL-error scenario:");
+    println!("  mistaken edit present before repair: {}", result.attack_succeeded);
+    println!("  repaired by admin-initiated undo:    {}", result.repaired);
+    println!("  users asked to resolve conflicts:    {}", result.users_with_conflicts);
+    println!("  {}", result.outcome.stats.summary_counts());
+}

@@ -1,0 +1,22 @@
+//! The paper's flagship scenario: a stored-XSS attack on the wiki, followed
+//! by recovery through retroactive patching (paper §1, §7, §8.2).
+
+use warp_apps::attacks::AttackKind;
+use warp_apps::scenario::{run_scenario, ScenarioConfig};
+
+fn main() {
+    let users = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    for kind in [AttackKind::StoredXss, AttackKind::ReflectedXss, AttackKind::SqlInjection] {
+        let mut config = ScenarioConfig::small(kind);
+        config.users = users;
+        let result = run_scenario(&config);
+        println!(
+            "{:<14}: attack succeeded = {}, repaired = {}, users with conflicts = {}, {}",
+            kind.name(),
+            result.attack_succeeded,
+            result.repaired,
+            result.users_with_conflicts,
+            result.outcome.stats.summary_counts(),
+        );
+    }
+}

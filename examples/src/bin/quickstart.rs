@@ -1,0 +1,45 @@
+//! Quickstart: install a tiny Warp-enabled application, handle traffic, and
+//! retroactively patch a bug out of its history.
+
+use warp_core::{AppConfig, Patch, RepairRequest, WarpServer};
+use warp_http::{HttpRequest, Transport};
+use warp_ttdb::TableAnnotation;
+
+fn main() {
+    // 1. Define the application: one table, one script with a bug (it stores
+    //    shouted text).
+    let mut config = AppConfig::new("quickstart");
+    config.add_table(
+        "CREATE TABLE note (note_id INTEGER PRIMARY KEY, body TEXT)",
+        TableAnnotation::new().row_id("note_id").partitions(["note_id"]),
+    );
+    config.add_source(
+        "add.wasl",
+        "db_query(\"INSERT INTO note (note_id, body) VALUES (\" . int(param(\"id\")) . \", '\" . sql_escape(upper(param(\"body\"))) . \"')\"); echo(\"stored\");",
+    );
+    config.add_source(
+        "list.wasl",
+        "let rows = db_query(\"SELECT body FROM note ORDER BY note_id\"); foreach (rows as r) { echo(r[\"body\"] . \"\\n\"); }",
+    );
+    let mut server = WarpServer::new(config);
+
+    // 2. Normal operation: users add notes; Warp logs every action.
+    for (i, text) in ["remember the milk", "call alice"].iter().enumerate() {
+        server.send(HttpRequest::post("/add.wasl", [("id", &(i + 1).to_string()[..]), ("body", text)]));
+    }
+    println!("Before repair:\n{}", server.send(HttpRequest::get("/list.wasl")).body);
+
+    // 3. Retroactive patching: fix the "shouting" bug as of the beginning of
+    //    time; Warp re-executes the affected runs and repairs the database.
+    let patch = Patch::new(
+        "add.wasl",
+        "db_query(\"INSERT INTO note (note_id, body) VALUES (\" . int(param(\"id\")) . \", '\" . sql_escape(param(\"body\")) . \"')\"); echo(\"stored\");",
+        "store notes verbatim",
+    );
+    let outcome = server.repair(RepairRequest::RetroactivePatch { patch, from_time: 0 });
+    println!(
+        "Repair re-executed {} of {} application runs ({} queries).",
+        outcome.stats.app_runs_reexecuted, outcome.stats.app_runs_total, outcome.stats.queries_reexecuted
+    );
+    println!("After repair:\n{}", server.send(HttpRequest::get("/list.wasl")).body);
+}

@@ -1,0 +1,6 @@
+//! Runnable examples for the Warp reproduction; see `src/bin/*`.
+//!
+//! * `quickstart` — install a tiny app, serve requests, retroactively patch it.
+//! * `attack_recovery` — the full stored-XSS attack and recovery walkthrough.
+//! * `admin_undo` — undoing an administrator's mistaken permission grant.
+//! * `concurrent_repair` — normal operation continuing while a repair runs.

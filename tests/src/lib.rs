@@ -1,0 +1,1 @@
+//! Integration-test-only crate; the tests live in `tests/`.

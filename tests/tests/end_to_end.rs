@@ -1,0 +1,84 @@
+//! Cross-crate integration tests: browser -> HTTP -> WASL -> time-travel DB
+//! -> repair controller.
+
+use warp_apps::attacks::AttackKind;
+use warp_apps::scenario::{run_scenario, ScenarioConfig};
+use warp_apps::wiki::{wiki_app, wiki_patch};
+use warp_browser::Browser;
+use warp_core::{RepairRequest, WarpServer};
+use warp_http::{HttpRequest, Transport};
+
+#[test]
+fn every_attack_scenario_recovers_end_to_end() {
+    for kind in AttackKind::ALL {
+        let result = run_scenario(&ScenarioConfig::small(kind));
+        assert!(result.attack_succeeded, "{}: attack must succeed before repair", kind.name());
+        assert!(result.repaired, "{}: repair must undo the attack", kind.name());
+        assert!(!result.outcome.aborted, "{}: repair must not abort", kind.name());
+    }
+}
+
+#[test]
+fn repair_preserves_unrelated_user_edits() {
+    let result = run_scenario(&ScenarioConfig {
+        attack: AttackKind::StoredXss,
+        users: 14,
+        victims: 3,
+        visits_per_user: 3,
+        victims_at_start: false,
+    });
+    assert!(result.repaired);
+    // Repair touches far fewer actions than the workload contains.
+    assert!(result.outcome.stats.app_runs_reexecuted * 2 < result.total_actions);
+}
+
+#[test]
+fn victims_at_start_forces_more_query_reexecution() {
+    let base = ScenarioConfig { attack: AttackKind::ReflectedXss, users: 10, victims: 2, visits_per_user: 2, victims_at_start: false };
+    let end = run_scenario(&base);
+    let start = run_scenario(&ScenarioConfig { victims_at_start: true, ..base });
+    assert!(end.repaired && start.repaired);
+    assert!(
+        start.outcome.stats.queries_reexecuted >= end.outcome.stats.queries_reexecuted,
+        "victims at start must not re-execute fewer queries ({} vs {})",
+        start.outcome.stats.queries_reexecuted,
+        end.outcome.stats.queries_reexecuted
+    );
+}
+
+#[test]
+fn browser_sessions_survive_normal_use_and_repair() {
+    let mut server = WarpServer::new(wiki_app(3, 3));
+    let mut browser = Browser::new("it-user1");
+    let mut visit = browser.visit("/login.wasl", &mut server);
+    browser.fill(&mut visit, "user", "user1");
+    browser.fill(&mut visit, "password", "pw1");
+    let welcome = browser.submit_form(&mut visit, "/login.wasl", &mut server);
+    assert!(welcome.response.body.contains("Welcome"));
+    server.upload_client_logs(browser.take_logs());
+    let mut page = browser.visit("/view.wasl?title=Page1", &mut server);
+    browser.fill(&mut page, "body", "integration test edit");
+    let saved = browser.submit_form(&mut page, "/edit.wasl", &mut server);
+    assert!(saved.response.body.contains("Saved"));
+    server.upload_client_logs(browser.take_logs());
+    // A retroactive patch of an unrelated file must not disturb this edit.
+    let outcome = server.repair(RepairRequest::RetroactivePatch {
+        patch: wiki_patch(AttackKind::ReflectedXss).unwrap(),
+        from_time: 0,
+    });
+    assert!(!outcome.aborted);
+    let r = server.send(HttpRequest::get("/view.wasl?title=Page1"));
+    assert!(r.body.contains("integration test edit"));
+}
+
+#[test]
+fn logging_accounting_reports_all_three_levels() {
+    let mut server = WarpServer::new(wiki_app(3, 3));
+    let mut browser = Browser::new("it-user2");
+    let _ = browser.visit("/view.wasl?title=Page1", &mut server);
+    server.upload_client_logs(browser.take_logs());
+    server.send(HttpRequest::post("/edit.wasl", [("title", "Page1"), ("body", "x")]));
+    let stats = server.logging_stats();
+    assert!(stats.app_bytes > 0 && stats.db_bytes > 0 && stats.browser_bytes > 0);
+    assert!(stats.total_bytes() > stats.app_bytes);
+}

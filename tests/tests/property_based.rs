@@ -1,0 +1,85 @@
+//! Property-based tests over the substrates' core invariants.
+
+use proptest::prelude::*;
+use warp_browser::merge::MergeResult;
+use warp_browser::three_way_merge;
+use warp_script::{Interpreter, NullHost, Value as SVal};
+use warp_sql::{Database, Value};
+use warp_ttdb::{TableAnnotation, TimeTravelDb};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Escaped strings always round-trip through the SQL engine unchanged.
+    #[test]
+    fn sql_text_round_trips(body in ".{0,60}") {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, body TEXT)").unwrap();
+        let sql = format!("INSERT INTO t (id, body) VALUES (1, '{}')", warp_sql::escape_string(&body));
+        db.execute_sql(&sql).unwrap();
+        let out = db.execute_sql("SELECT body FROM t WHERE id = 1").unwrap();
+        prop_assert_eq!(out.rows[0][0].clone(), Value::text(body));
+    }
+
+    /// htmlspecialchars output never contains raw angle brackets or quotes.
+    #[test]
+    fn htmlspecialchars_neutralises_markup(payload in ".{0,80}") {
+        let escaped = warp_script::stdlib::htmlspecialchars(&payload);
+        prop_assert!(!escaped.contains('<'));
+        prop_assert!(!escaped.contains('>'));
+        prop_assert!(!escaped.contains('"'));
+    }
+
+    /// The time-travel database always shows exactly the value that was
+    /// current at the queried time, for any sequence of updates.
+    #[test]
+    fn time_travel_reads_are_consistent(bodies in proptest::collection::vec("[a-z]{1,8}", 1..8)) {
+        let mut db = TimeTravelDb::new();
+        db.create_table(
+            "CREATE TABLE page (page_id INTEGER PRIMARY KEY, body TEXT)",
+            TableAnnotation::new().row_id("page_id"),
+        ).unwrap();
+        db.execute_logged("INSERT INTO page (page_id, body) VALUES (1, 'initial')", 1).unwrap();
+        for (i, b) in bodies.iter().enumerate() {
+            let t = 10 * (i as i64 + 1);
+            db.execute_logged(&format!("UPDATE page SET body = '{b}' WHERE page_id = 1"), t).unwrap();
+        }
+        // At time 5 the initial value is visible; after the k-th update its
+        // value is visible until the next update.
+        prop_assert_eq!(db.select_at("SELECT body FROM page WHERE page_id = 1", 5).unwrap().rows[0][0].clone(), Value::text("initial"));
+        for (i, b) in bodies.iter().enumerate() {
+            let t = 10 * (i as i64 + 1) + 5;
+            let got = db.select_at("SELECT body FROM page WHERE page_id = 1", t).unwrap();
+            prop_assert_eq!(got.rows[0][0].clone(), Value::text(b.clone()));
+        }
+    }
+
+    /// Three-way merge never loses the user's edit when the repair's change
+    /// is confined to removing a suffix the user did not touch.
+    #[test]
+    fn merge_preserves_user_prefix_edits(user_line in "[a-z ]{1,20}") {
+        let base = format!("intro\nmiddle\nATTACK");
+        let ours = format!("intro\n{user_line}\nATTACK");
+        let theirs = "intro\nmiddle".to_string();
+        match three_way_merge(&base, &ours, &theirs) {
+            MergeResult::Merged(m) => {
+                prop_assert!(m.contains(&user_line));
+                prop_assert!(!m.contains("ATTACK"));
+            }
+            MergeResult::Conflict => {
+                // Only acceptable if the user's edit collides with the removal.
+                prop_assert_eq!(user_line, "middle".to_string());
+            }
+        }
+    }
+
+    /// WASL arithmetic on integers matches Rust's wrapping semantics.
+    #[test]
+    fn wasl_integer_arithmetic_matches_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        let mut host = NullHost::default();
+        let out = Interpreter::new()
+            .eval_program(&format!("return {a} + {b} * 2;"), &mut host)
+            .unwrap();
+        prop_assert_eq!(out, SVal::Int(a + b * 2));
+    }
+}
