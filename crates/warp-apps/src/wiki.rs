@@ -428,6 +428,19 @@ pub fn wiki_patch(kind: AttackKind) -> Option<Patch> {
     }
 }
 
+/// Returns the patch for the *read-only* SQL-injection hole in
+/// `search.wasl` (the other half of the CVE-2004-2186 analog;
+/// [`wiki_patch`] patches the write path in `maintenance.wasl`). Useful for
+/// demonstrating repair over read-only history: re-executing patched
+/// searches changes responses but writes nothing back.
+pub fn wiki_search_patch() -> Patch {
+    Patch::new(
+        "search.wasl",
+        SEARCH_PATCHED,
+        "CVE-2004-2186 analog: escape the q parameter in search",
+    )
+}
+
 /// Seeds the attacker's account (used by scenarios where the attacker logs
 /// in as a regular wiki user).
 pub fn attacker_seed_sql() -> String {

@@ -1,4 +1,8 @@
 //! Regenerates the Table 1 analog: lines of code per component.
 fn main() {
+    warp_bench::cli::handle_help(
+        "loc_report",
+        "Regenerates the Table 1 analog: lines of code per component.",
+    );
     warp_bench::table1_loc();
 }

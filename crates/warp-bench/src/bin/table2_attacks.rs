@@ -1,4 +1,8 @@
 //! Regenerates Table 2: the attack scenarios and their retroactive fixes.
 fn main() {
+    warp_bench::cli::handle_help(
+        "table2_attacks",
+        "Regenerates Table 2: the attack scenarios and their retroactive fixes.",
+    );
     warp_bench::table2_attacks();
 }

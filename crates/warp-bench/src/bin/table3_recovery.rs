@@ -1,5 +1,10 @@
 //! Regenerates Table 3 (and the Table 7 counters): attack recovery outcomes.
 fn main() {
-    let users = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let users = warp_bench::cli::scale_arg(
+        "table3_recovery",
+        "Regenerates Table 3 (and the Table 7 counters): attack recovery outcomes.",
+        "USERS",
+        12,
+    );
     warp_bench::table3_and_7(users, false);
 }

@@ -1,5 +1,10 @@
 //! Regenerates Table 4: browser re-execution effectiveness.
 fn main() {
-    let victims = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let victims = warp_bench::cli::scale_arg(
+        "table4_browser",
+        "Regenerates Table 4: browser re-execution effectiveness.",
+        "VICTIMS",
+        8,
+    );
     warp_bench::table4_browser(victims);
 }

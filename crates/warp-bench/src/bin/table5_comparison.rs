@@ -1,4 +1,8 @@
 //! Regenerates Table 5: comparison with the taint-tracking baseline.
 fn main() {
+    warp_bench::cli::handle_help(
+        "table5_comparison",
+        "Regenerates Table 5: comparison with the taint-tracking baseline.",
+    );
     warp_bench::table5_comparison();
 }

@@ -1,5 +1,10 @@
 //! Regenerates Table 6: logging overhead and storage per page visit.
 fn main() {
-    let visits = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200);
+    let visits = warp_bench::cli::scale_arg(
+        "table6_overhead",
+        "Regenerates Table 6: logging overhead and storage per page visit.",
+        "VISITS",
+        200,
+    );
     warp_bench::table6_overhead(visits);
 }

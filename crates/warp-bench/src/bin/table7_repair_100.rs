@@ -1,6 +1,11 @@
 //! Regenerates Table 7: repair performance, including the victims-at-start variant.
 fn main() {
-    let users = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let users = warp_bench::cli::scale_arg(
+        "table7_repair_100",
+        "Regenerates Table 7: repair performance, including the victims-at-start variant.",
+        "USERS",
+        20,
+    );
     warp_bench::table3_and_7(users, false);
     warp_bench::table3_and_7(users, true);
 }

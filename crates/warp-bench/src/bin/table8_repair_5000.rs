@@ -1,5 +1,10 @@
 //! Regenerates Table 8: repair scaling with workload size.
 fn main() {
-    let max_users = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(40);
+    let max_users = warp_bench::cli::scale_arg(
+        "table8_repair_5000",
+        "Regenerates Table 8: repair scaling with workload size.",
+        "MAX_USERS",
+        40,
+    );
     warp_bench::table8_scaling(&[max_users / 4, max_users]);
 }

@@ -373,6 +373,42 @@ pub fn table8_scaling(user_counts: &[usize]) {
     }
 }
 
+/// Shared argument handling for the `table*` report binaries so every one
+/// of them supports `--help` (exercised by `tests/bin_smoke.rs`, which keeps
+/// the report binaries from silently rotting).
+pub mod cli {
+    use std::str::FromStr;
+
+    fn print_help(bin: &str, about: &str, scale_arg: Option<&str>) {
+        match scale_arg {
+            Some(name) => println!("usage: {bin} [{name}]"),
+            None => println!("usage: {bin}"),
+        }
+        println!("\n{about}");
+        if let Some(name) = scale_arg {
+            println!("\n{name} scales the workload; the default finishes in seconds.");
+        }
+    }
+
+    /// Handles `--help`/`-h` for a binary that takes no arguments.
+    pub fn handle_help(bin: &str, about: &str) {
+        if std::env::args().any(|a| a == "--help" || a == "-h") {
+            print_help(bin, about, None);
+            std::process::exit(0);
+        }
+    }
+
+    /// Handles `--help`/`-h` and parses the optional scale argument
+    /// (falling back to `default` when absent or unparseable).
+    pub fn scale_arg<T: FromStr>(bin: &str, about: &str, arg_name: &str, default: T) -> T {
+        if std::env::args().any(|a| a == "--help" || a == "-h") {
+            print_help(bin, about, Some(arg_name));
+            std::process::exit(0);
+        }
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(default)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

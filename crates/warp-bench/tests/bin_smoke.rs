@@ -1,0 +1,44 @@
+//! Smoke tests for the report binaries: every `table*` bin (and
+//! `loc_report`) must answer `--help` with exit status 0, and the
+//! scale-taking bins must complete a trivial-size run. This keeps the
+//! binaries that regenerate the paper's tables from silently rotting — they
+//! are compiled and executed on every `cargo test`.
+
+use std::process::Command;
+
+/// `(path, trivial-mode args)` for every report binary in this crate.
+/// `CARGO_BIN_EXE_*` is set by cargo for the package's own binaries.
+const BINS: &[(&str, &[&str])] = &[
+    (env!("CARGO_BIN_EXE_loc_report"), &[]),
+    (env!("CARGO_BIN_EXE_table2_attacks"), &[]),
+    (env!("CARGO_BIN_EXE_table3_recovery"), &["2"]),
+    (env!("CARGO_BIN_EXE_table4_browser"), &["1"]),
+    (env!("CARGO_BIN_EXE_table5_comparison"), &[]),
+    (env!("CARGO_BIN_EXE_table6_overhead"), &["3"]),
+    (env!("CARGO_BIN_EXE_table7_repair_100"), &["2"]),
+    (env!("CARGO_BIN_EXE_table8_repair_5000"), &["4"]),
+];
+
+#[test]
+fn every_table_bin_answers_help() {
+    for (bin, _) in BINS {
+        let out = Command::new(bin).arg("--help").output().expect("spawn");
+        assert!(out.status.success(), "{bin} --help exited {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{bin} --help printed no usage: {stdout}");
+    }
+}
+
+#[test]
+fn every_table_bin_runs_in_trivial_mode() {
+    for (bin, args) in BINS {
+        let out = Command::new(bin).args(*args).output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{bin} {args:?} exited {:?}\nstderr: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stdout.is_empty(), "{bin} {args:?} printed nothing");
+    }
+}

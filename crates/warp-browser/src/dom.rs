@@ -266,7 +266,6 @@ fn collect_fields(node: &DomNode, out: &mut BTreeMap<String, String>) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::html::parse_html;
 
     const PAGE: &str = "<html><body><h1 id=\"title\">Main</h1>\

@@ -249,17 +249,14 @@ impl HistoryGraph {
 
     /// Storage accounting across the whole log (Table 6).
     pub fn logging_stats(&self) -> LoggingStats {
-        let mut stats = LoggingStats::default();
-        stats.page_visits = self
+        let page_visits = self
             .actions
             .iter()
             .filter_map(|a| a.client.as_ref().map(|c| (c.client_id.clone(), c.visit_id)))
             .collect::<BTreeSet<_>>()
             .len()
             .max(self.actions.len().min(1));
-        if stats.page_visits == 0 {
-            stats.page_visits = self.actions.len();
-        }
+        let mut stats = LoggingStats { page_visits, ..LoggingStats::default() };
         for a in &self.actions {
             stats.app_bytes += a.approximate_app_bytes();
             stats.db_bytes += a.approximate_db_bytes();

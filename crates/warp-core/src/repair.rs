@@ -495,7 +495,7 @@ mod tests {
     /// victim's browser), and an innocent user edits an unrelated page.
     fn run_stored_xss_scenario(server: &mut WarpServer) {
         // Attacker stores the XSS payload.
-        let mut attacker = Browser::new("attacker");
+        let attacker = Browser::new("attacker");
         let payload = "http_post(\"/edit.wasl\", {\"title\": \"Secret\", \"body\": \"DEFACED\"});";
         let inject = format!("<script>{payload}</script>");
         server.handle(HttpRequest::post("/edit.wasl", [("title", "Main"), ("body", inject.as_str())]));
@@ -587,7 +587,7 @@ mod tests {
         let _ = user.submit_form(&mut visit, "/edit.wasl", &mut server);
         server.upload_client_logs(user.take_logs());
         // Another user (no extension) views the page written by user-1.
-        let mut other = Browser::without_extension("user-2");
+        let other = Browser::without_extension("user-2");
         let mut req = HttpRequest::get("/view.wasl?title=Main");
         req.warp.client_id = Some("user-2".to_string());
         req.warp.visit_id = Some(1);

@@ -342,7 +342,7 @@ mod tests {
     fn collection_builtins() {
         let arr = call("push", &[Value::Null, Value::Int(1)]);
         let arr = call("push", &[arr, Value::Int(2)]);
-        assert_eq!(call("len", &[arr.clone()]), Value::Int(2));
+        assert_eq!(call("len", std::slice::from_ref(&arr)), Value::Int(2));
         let m = call("map_set", &[Value::Null, Value::str("k"), Value::Int(5)]);
         assert_eq!(call("map_has", &[m.clone(), Value::str("k")]), Value::Bool(true));
         let m2 = call("map_remove", &[m.clone(), Value::str("k")]);

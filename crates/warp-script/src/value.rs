@@ -109,6 +109,11 @@ impl Value {
         }
     }
 
+    /// True when the value has a length and that length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+
     /// Index into an array (by int) or map (by string), returning Null when
     /// the key is missing, PHP-style.
     pub fn index(&self, key: &Value) -> Value {

@@ -129,7 +129,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_total(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn ordering_null_first_text_last() {
-        let mut vals = vec![Value::text("b"), Value::Int(5), Value::Null, Value::text("a")];
+        let mut vals = [Value::text("b"), Value::Int(5), Value::Null, Value::text("a")];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(5));

@@ -824,7 +824,7 @@ fn version_identity(columns: &[String], row: &[Value]) -> Expr {
         let e = Expr::col_eq(key, col_val(columns, row, key));
         pred = Some(match pred {
             Some(p) => p.and(e),
-            None => Some(e).unwrap(),
+            None => e,
         });
     }
     // Also pin every other column value (including a synthetic row ID) so two

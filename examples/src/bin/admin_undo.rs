@@ -6,6 +6,11 @@ use warp_apps::attacks::AttackKind;
 use warp_apps::scenario::{run_scenario, ScenarioConfig};
 
 fn main() {
+    warp_examples::handle_help(
+        "admin_undo",
+        "User-initiated repair: an administrator undoes a mistaken permission grant.",
+        None,
+    );
     let result = run_scenario(&ScenarioConfig::small(AttackKind::AclError));
     println!("ACL-error scenario:");
     println!("  mistaken edit present before repair: {}", result.attack_succeeded);

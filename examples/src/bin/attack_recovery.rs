@@ -5,7 +5,12 @@ use warp_apps::attacks::AttackKind;
 use warp_apps::scenario::{run_scenario, ScenarioConfig};
 
 fn main() {
-    let users = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(12);
+    let users = warp_examples::scale_arg(
+        "attack_recovery",
+        "Stored-XSS, reflected-XSS and SQL-injection attacks on the wiki, each recovered by retroactive patching.",
+        "USERS",
+        12,
+    );
     for kind in [AttackKind::StoredXss, AttackKind::ReflectedXss, AttackKind::SqlInjection] {
         let mut config = ScenarioConfig::small(kind);
         config.users = users;

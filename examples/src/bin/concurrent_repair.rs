@@ -2,15 +2,19 @@
 //! pre-repair state while a repair builds the next generation, then switches
 //! over atomically.
 
-use warp_apps::wiki::{wiki_app, wiki_patch};
-use warp_apps::attacks::AttackKind;
+use warp_apps::wiki::{wiki_app, wiki_search_patch};
 use warp_core::{RepairRequest, WarpServer};
 use warp_http::{HttpRequest, Transport};
 
 fn main() {
+    warp_examples::handle_help(
+        "concurrent_repair",
+        "Repair generations: the wiki keeps serving requests while a repair builds the next generation.",
+        None,
+    );
     let mut server = WarpServer::new(wiki_app(3, 3));
-    // Seed some history, including an "attack-like" edit via SQL injection
-    // of the search page (it only reads here, but it exercises the patch).
+    // Seed some history through the injectable search page (it only reads
+    // here, but the patch below makes those runs re-execute).
     for i in 0..5 {
         server.send(HttpRequest::get(&format!("/search.wasl?q=page {i}")));
     }
@@ -19,7 +23,7 @@ fn main() {
     // repair API in this reproduction runs to completion synchronously, so
     // we demonstrate the generation switch instead.
     let outcome = server.repair(RepairRequest::RetroactivePatch {
-        patch: wiki_patch(AttackKind::SqlInjection).expect("patch exists"),
+        patch: wiki_search_patch(),
         from_time: 0,
     });
     let gen_after = server.db.current_generation();

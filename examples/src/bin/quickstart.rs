@@ -6,6 +6,11 @@ use warp_http::{HttpRequest, Transport};
 use warp_ttdb::TableAnnotation;
 
 fn main() {
+    warp_examples::handle_help(
+        "quickstart",
+        "Install a tiny Warp-enabled application, handle traffic, and retroactively patch a bug out of its history.",
+        None,
+    );
     // 1. Define the application: one table, one script with a bug (it stores
     //    shouted text).
     let mut config = AppConfig::new("quickstart");

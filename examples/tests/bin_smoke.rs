@@ -1,0 +1,38 @@
+//! Smoke tests for the example binaries: each must answer `--help` with
+//! exit status 0 and complete a full run (they are all sized to finish in
+//! well under a second), so the documented walkthroughs can't silently rot.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    env!("CARGO_BIN_EXE_quickstart"),
+    env!("CARGO_BIN_EXE_attack_recovery"),
+    env!("CARGO_BIN_EXE_admin_undo"),
+    env!("CARGO_BIN_EXE_concurrent_repair"),
+];
+
+#[test]
+fn every_example_answers_help() {
+    for bin in BINS {
+        let out = Command::new(bin).arg("--help").output().expect("spawn");
+        assert!(out.status.success(), "{bin} --help exited {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{bin} --help printed no usage: {stdout}");
+    }
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    for bin in BINS {
+        // attack_recovery takes an optional USERS argument; 2 keeps it fast.
+        let args: &[&str] = if bin.ends_with("attack_recovery") { &["2"] } else { &[] };
+        let out = Command::new(bin).args(args).output().expect("spawn");
+        assert!(
+            out.status.success(),
+            "{bin} exited {:?}\nstderr: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stdout.is_empty(), "{bin} printed nothing");
+    }
+}

@@ -58,7 +58,7 @@ proptest! {
     /// is confined to removing a suffix the user did not touch.
     #[test]
     fn merge_preserves_user_prefix_edits(user_line in "[a-z ]{1,20}") {
-        let base = format!("intro\nmiddle\nATTACK");
+        let base = "intro\nmiddle\nATTACK".to_string();
         let ours = format!("intro\n{user_line}\nATTACK");
         let theirs = "intro\nmiddle".to_string();
         match three_way_merge(&base, &ours, &theirs) {

@@ -1,0 +1,289 @@
+//! Shim for `proptest` (no-network build environment).
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//!
+//! * the `proptest!` macro with an optional `#![proptest_config(..)]` header,
+//! * `ProptestConfig::with_cases`,
+//! * `prop_assert!` / `prop_assert_eq!`,
+//! * string strategies written as a regex subset (`.`, `[a-z0-9 ]` classes
+//!   with ranges, literals, and `{m}` / `{m,n}` repetition),
+//! * integer `Range` strategies and `proptest::collection::vec`.
+//!
+//! Sampling is deterministic: the RNG is a xorshift64* seeded from the test
+//! function's name, so a failing case reproduces on every run. There is no
+//! shrinking — the failing input is printed as-is by the assert macros.
+
+use std::ops::Range;
+
+/// Deterministic xorshift64* RNG seeded from the test name.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable non-zero seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Pattern strategies: a `&str` is interpreted as a regex subset and
+/// generates matching strings.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// One repeated character class from the pattern, e.g. `[a-z]{1,8}`.
+struct Atom {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+enum CharClass {
+    /// `.` — any char except newline, drawn from a pool that includes the
+    /// characters most likely to break quoting/escaping logic.
+    Any,
+    /// `[...]` — an explicit set.
+    Set(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Lit(c) => *c,
+            CharClass::Set(set) => set[rng.below(set.len() as u64) as usize],
+            CharClass::Any => {
+                // Weighted pool: mostly printable ASCII, with the hostile
+                // characters (quotes, backslash, NUL, percent, unicode)
+                // appearing often enough that every run exercises them.
+                const HOSTILE: &[char] =
+                    &['\'', '"', '\\', '\0', '%', '_', ';', '\t', 'é', '→', '本', '\u{1F600}'];
+                if rng.below(4) == 0 {
+                    HOSTILE[rng.below(HOSTILE.len() as u64) as usize]
+                } else {
+                    // Printable ASCII 0x20..0x7f.
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let class = match chars[i] {
+            '.' => {
+                i += 1;
+                CharClass::Any
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        assert!(lo <= hi, "bad range in pattern {pat:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pat:?}");
+                i += 1; // closing ']'
+                CharClass::Set(set)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                CharClass::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                CharClass::Lit(c)
+            }
+        };
+        // Optional {m} / {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pat:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition bound"),
+                    hi.trim().parse().expect("bad repetition bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition bound");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pat:?}");
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}

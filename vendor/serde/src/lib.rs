@@ -1,0 +1,21 @@
+//! Shim for the `serde` facade crate (no-network build environment).
+//!
+//! Mirrors the real crate's shape: the `Serialize`/`Deserialize` names
+//! resolve to a trait in the type namespace and a derive macro in the macro
+//! namespace, so `use serde::{Deserialize, Serialize};` followed by
+//! `#[derive(Serialize, Deserialize)]` compiles unchanged. Blanket impls
+//! make every type satisfy the traits, since nothing in this workspace
+//! performs real wire serialization.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

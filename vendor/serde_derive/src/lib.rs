@@ -1,0 +1,18 @@
+//! Shim derive macros for the vendored `serde` facade.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (nothing is actually serialized to a wire format in-tree), so the
+//! derives accept the input — including `#[serde(...)]` helper attributes
+//! like `#[serde(skip)]` — and expand to nothing. The blanket impls in the
+//! `serde` facade crate make every type satisfy the trait bounds.
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
