@@ -102,11 +102,10 @@ pub fn execute_attack(
             // The attacker stores the payload in the public page.
             let body = format!("<script>{}</script>", xss_payload("PAGEHOLDER"));
             let _ = login(attacker, server, "attacker", "attackerpw");
-            let mut req = HttpRequest::post(
-                "/edit.wasl",
-                [("title", "Public"), ("body", "placeholder")],
-            );
-            req.form.insert("body".into(), body.replace("PAGEHOLDER", "Page1"));
+            let mut req =
+                HttpRequest::post("/edit.wasl", [("title", "Public"), ("body", "placeholder")]);
+            req.form
+                .insert("body".into(), body.replace("PAGEHOLDER", "Page1"));
             req.cookies = attacker.cookies.clone();
             server.handle(req);
             // Victims view the infected public page; the payload runs in
@@ -160,7 +159,11 @@ pub fn execute_attack(
                 // attacker's account.
                 let mut visit = victim.visit("/view.wasl?title=Public", server);
                 if visit.response.body.contains("<form") {
-                    victim.fill(&mut visit, "body", &format!("{page} owner edited after the lure"));
+                    victim.fill(
+                        &mut visit,
+                        "body",
+                        &format!("{page} owner edited after the lure"),
+                    );
                     let _ = victim.submit_form(&mut visit, "/edit.wasl", server);
                 }
                 server.upload_client_logs(victim.take_logs());
@@ -230,7 +233,12 @@ mod tests {
 
     fn logged_in_victim(server: &mut WarpServer, i: usize) -> (Browser, String) {
         let mut b = Browser::new(format!("victim{i}"));
-        assert!(login(&mut b, server, &format!("user{i}"), &format!("pw{i}")));
+        assert!(login(
+            &mut b,
+            server,
+            &format!("user{i}"),
+            &format!("pw{i}")
+        ));
         (b, format!("Page{i}"))
     }
 
@@ -252,7 +260,12 @@ mod tests {
         let mut s = server();
         let mut attacker = Browser::new("attacker-browser");
         let mut victims = vec![logged_in_victim(&mut s, 1)];
-        execute_attack(AttackKind::ReflectedXss, &mut s, &mut attacker, &mut victims);
+        execute_attack(
+            AttackKind::ReflectedXss,
+            &mut s,
+            &mut attacker,
+            &mut victims,
+        );
         let r = s.send(HttpRequest::get("/view.wasl?title=Page1"));
         assert!(r.body.contains("INFECTED BY XSS"));
     }
@@ -265,11 +278,16 @@ mod tests {
         execute_attack(AttackKind::Csrf, &mut s, &mut attacker, &mut victims);
         // The victim's edit of the public page was made under the attacker's
         // account.
-        let last_editor = s
-            .db
-            .execute_logged("SELECT last_editor FROM page WHERE title = 'Public'", s.clock.now() + 1)
+        let last_editor =
+            s.db.execute_logged(
+                "SELECT last_editor FROM page WHERE title = 'Public'",
+                s.clock.now() + 1,
+            )
             .unwrap();
-        assert_eq!(last_editor.result.rows[0][0].as_display_string(), "attacker");
+        assert_eq!(
+            last_editor.result.rows[0][0].as_display_string(),
+            "attacker"
+        );
     }
 
     #[test]
@@ -277,7 +295,12 @@ mod tests {
         let mut s = server();
         let mut attacker = Browser::new("attacker-browser");
         let mut victims = vec![logged_in_victim(&mut s, 1)];
-        execute_attack(AttackKind::Clickjacking, &mut s, &mut attacker, &mut victims);
+        execute_attack(
+            AttackKind::Clickjacking,
+            &mut s,
+            &mut attacker,
+            &mut victims,
+        );
         let r = s.send(HttpRequest::get("/view.wasl?title=Public"));
         assert!(r.body.contains("tricked into clicking"), "{}", r.body);
     }

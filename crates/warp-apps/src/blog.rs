@@ -70,11 +70,15 @@ pub fn blog_app(bug: BlogBug, posts: usize) -> AppConfig {
     let mut config = AppConfig::new("warp-blog");
     config.add_table(
         "CREATE TABLE post (post_id INTEGER PRIMARY KEY, title TEXT, votes INTEGER DEFAULT 0)",
-        TableAnnotation::new().row_id("post_id").partitions(["post_id"]),
+        TableAnnotation::new()
+            .row_id("post_id")
+            .partitions(["post_id"]),
     );
     config.add_table(
         "CREATE TABLE comment (comment_id INTEGER PRIMARY KEY, post_id INTEGER, body TEXT)",
-        TableAnnotation::new().row_id("comment_id").partitions(["post_id"]),
+        TableAnnotation::new()
+            .row_id("comment_id")
+            .partitions(["post_id"]),
     );
     for i in 1..=posts {
         config.seed(format!(
@@ -84,11 +88,19 @@ pub fn blog_app(bug: BlogBug, posts: usize) -> AppConfig {
     config.add_source("read.wasl", READ);
     config.add_source(
         "vote.wasl",
-        if bug == BlogBug::LostVotes { VOTE_BUGGY } else { VOTE_FIXED },
+        if bug == BlogBug::LostVotes {
+            VOTE_BUGGY
+        } else {
+            VOTE_FIXED
+        },
     );
     config.add_source(
         "comment.wasl",
-        if bug == BlogBug::LostComments { COMMENT_BUGGY } else { COMMENT_FIXED },
+        if bug == BlogBug::LostComments {
+            COMMENT_BUGGY
+        } else {
+            COMMENT_FIXED
+        },
     );
     config
 }
@@ -96,10 +108,14 @@ pub fn blog_app(bug: BlogBug, posts: usize) -> AppConfig {
 /// The patch fixing the given bug.
 pub fn blog_patch(bug: BlogBug) -> Patch {
     match bug {
-        BlogBug::LostVotes => Patch::new("vote.wasl", VOTE_FIXED, "Drupal analog: lost voting info"),
-        BlogBug::LostComments => {
-            Patch::new("comment.wasl", COMMENT_FIXED, "Drupal analog: lost comments")
+        BlogBug::LostVotes => {
+            Patch::new("vote.wasl", VOTE_FIXED, "Drupal analog: lost voting info")
         }
+        BlogBug::LostComments => Patch::new(
+            "comment.wasl",
+            COMMENT_FIXED,
+            "Drupal analog: lost comments",
+        ),
     }
 }
 
@@ -116,14 +132,22 @@ mod tests {
             s.send(HttpRequest::post("/vote.wasl", [("post", "1")]));
         }
         let r = s.send(HttpRequest::get("/read.wasl?post=1"));
-        assert!(r.body.contains("votes: 1"), "the bug loses votes: {}", r.body);
+        assert!(
+            r.body.contains("votes: 1"),
+            "the bug loses votes: {}",
+            r.body
+        );
         let outcome = s.repair(RepairRequest::RetroactivePatch {
             patch: blog_patch(BlogBug::LostVotes),
             from_time: 0,
         });
         assert!(!outcome.aborted);
         let r = s.send(HttpRequest::get("/read.wasl?post=1"));
-        assert!(r.body.contains("votes: 5"), "repair must recover all votes: {}", r.body);
+        assert!(
+            r.body.contains("votes: 5"),
+            "repair must recover all votes: {}",
+            r.body
+        );
     }
 
     #[test]
@@ -136,13 +160,22 @@ mod tests {
             ));
         }
         let r = s.send(HttpRequest::get("/read.wasl?post=1"));
-        assert_eq!(r.body.matches("<li>").count(), 1, "the bug keeps only the last comment");
+        assert_eq!(
+            r.body.matches("<li>").count(),
+            1,
+            "the bug keeps only the last comment"
+        );
         let outcome = s.repair(RepairRequest::RetroactivePatch {
             patch: blog_patch(BlogBug::LostComments),
             from_time: 0,
         });
         assert!(!outcome.aborted);
         let r = s.send(HttpRequest::get("/read.wasl?post=1"));
-        assert_eq!(r.body.matches("<li>").count(), 3, "repair must restore all comments: {}", r.body);
+        assert_eq!(
+            r.body.matches("<li>").count(),
+            3,
+            "repair must restore all comments: {}",
+            r.body
+        );
     }
 }

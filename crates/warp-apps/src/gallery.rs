@@ -66,7 +66,9 @@ pub fn gallery_app(bug: GalleryBug, photos: usize) -> AppConfig {
     let mut config = AppConfig::new("warp-gallery");
     config.add_table(
         "CREATE TABLE perm (perm_id INTEGER PRIMARY KEY, album_id INTEGER, user_name TEXT)",
-        TableAnnotation::new().row_id("perm_id").partitions(["album_id"]),
+        TableAnnotation::new()
+            .row_id("perm_id")
+            .partitions(["album_id"]),
     );
     config.add_table(
         "CREATE TABLE photo (photo_id INTEGER PRIMARY KEY, album_id INTEGER, data TEXT, thumb TEXT DEFAULT '')",
@@ -81,11 +83,19 @@ pub fn gallery_app(bug: GalleryBug, photos: usize) -> AppConfig {
     config.add_source("album.wasl", ALBUM);
     config.add_source(
         "perm.wasl",
-        if bug == GalleryBug::RemovingPermissions { PERM_BUGGY } else { PERM_FIXED },
+        if bug == GalleryBug::RemovingPermissions {
+            PERM_BUGGY
+        } else {
+            PERM_FIXED
+        },
     );
     config.add_source(
         "resize.wasl",
-        if bug == GalleryBug::ResizingImages { RESIZE_BUGGY } else { RESIZE_FIXED },
+        if bug == GalleryBug::ResizingImages {
+            RESIZE_BUGGY
+        } else {
+            RESIZE_FIXED
+        },
     );
     config
 }
@@ -93,12 +103,16 @@ pub fn gallery_app(bug: GalleryBug, photos: usize) -> AppConfig {
 /// The patch fixing the given bug.
 pub fn gallery_patch(bug: GalleryBug) -> Patch {
     match bug {
-        GalleryBug::RemovingPermissions => {
-            Patch::new("perm.wasl", PERM_FIXED, "Gallery2 analog: removing permissions")
-        }
-        GalleryBug::ResizingImages => {
-            Patch::new("resize.wasl", RESIZE_FIXED, "Gallery2 analog: resizing images")
-        }
+        GalleryBug::RemovingPermissions => Patch::new(
+            "perm.wasl",
+            PERM_FIXED,
+            "Gallery2 analog: removing permissions",
+        ),
+        GalleryBug::ResizingImages => Patch::new(
+            "resize.wasl",
+            RESIZE_FIXED,
+            "Gallery2 analog: resizing images",
+        ),
     }
 }
 
@@ -111,10 +125,19 @@ mod tests {
     #[test]
     fn removing_permissions_bug_recovers_after_patch() {
         let mut s = WarpServer::new(gallery_app(GalleryBug::RemovingPermissions, 1));
-        s.send(HttpRequest::post("/perm.wasl", [("album", "1"), ("user", "alice"), ("perm_id", "2")]));
-        s.send(HttpRequest::post("/perm.wasl", [("album", "1"), ("user", "bob"), ("perm_id", "3")]));
+        s.send(HttpRequest::post(
+            "/perm.wasl",
+            [("album", "1"), ("user", "alice"), ("perm_id", "2")],
+        ));
+        s.send(HttpRequest::post(
+            "/perm.wasl",
+            [("album", "1"), ("user", "bob"), ("perm_id", "3")],
+        ));
         let r = s.send(HttpRequest::get("/album.wasl?album=1"));
-        assert!(!r.body.contains("owner"), "the bug removed the owner's permission");
+        assert!(
+            !r.body.contains("owner"),
+            "the bug removed the owner's permission"
+        );
         let outcome = s.repair(RepairRequest::RetroactivePatch {
             patch: gallery_patch(GalleryBug::RemovingPermissions),
             from_time: 0,
@@ -122,7 +145,11 @@ mod tests {
         assert!(!outcome.aborted);
         let r = s.send(HttpRequest::get("/album.wasl?album=1"));
         for who in ["owner", "alice", "bob"] {
-            assert!(r.body.contains(who), "{who} must be present after repair: {}", r.body);
+            assert!(
+                r.body.contains(who),
+                "{who} must be present after repair: {}",
+                r.body
+            );
         }
     }
 
@@ -131,14 +158,25 @@ mod tests {
         let mut s = WarpServer::new(gallery_app(GalleryBug::ResizingImages, 2));
         s.send(HttpRequest::post("/resize.wasl", [("photo", "1")]));
         let r = s.send(HttpRequest::get("/album.wasl?album=1"));
-        assert!(!r.body.contains("image-bytes-1"), "the bug destroyed the original image");
+        assert!(
+            !r.body.contains("image-bytes-1"),
+            "the bug destroyed the original image"
+        );
         let outcome = s.repair(RepairRequest::RetroactivePatch {
             patch: gallery_patch(GalleryBug::ResizingImages),
             from_time: 0,
         });
         assert!(!outcome.aborted);
         let r = s.send(HttpRequest::get("/album.wasl?album=1"));
-        assert!(r.body.contains("image-bytes-1"), "original restored: {}", r.body);
-        assert!(r.body.contains("thumb-of-image-bytes-1"), "thumbnail derived: {}", r.body);
+        assert!(
+            r.body.contains("image-bytes-1"),
+            "original restored: {}",
+            r.body
+        );
+        assert!(
+            r.body.contains("thumb-of-image-bytes-1"),
+            "thumbnail derived: {}",
+            r.body
+        );
     }
 }

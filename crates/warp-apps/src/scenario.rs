@@ -6,7 +6,7 @@ use crate::wiki::{attacker_acl_sql, attacker_seed_sql, wiki_app, wiki_patch};
 use crate::workload::{run_background_workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 use warp_browser::Browser;
-use warp_core::{RepairOutcome, RepairRequest, WarpServer};
+use warp_core::{RepairOutcome, RepairRequest, RepairStrategy, WarpServer};
 use warp_http::HttpRequest;
 
 /// Configuration of one attack-recovery scenario (Table 3 / 7 / 8).
@@ -24,6 +24,9 @@ pub struct ScenarioConfig {
     /// If true, victims act at the start of the workload (the paper's
     /// "victims at start" variant of Table 7); otherwise at the end.
     pub victims_at_start: bool,
+    /// Worker threads for the partitioned parallel repair engine; `0` runs
+    /// the classic sequential engine.
+    pub repair_workers: usize,
 }
 
 impl ScenarioConfig {
@@ -35,6 +38,18 @@ impl ScenarioConfig {
             victims: if attack == AttackKind::AclError { 1 } else { 3 },
             visits_per_user: 2,
             victims_at_start: false,
+            repair_workers: 0,
+        }
+    }
+
+    /// The repair strategy this configuration selects.
+    pub fn repair_strategy(&self) -> RepairStrategy {
+        if self.repair_workers == 0 {
+            RepairStrategy::Sequential
+        } else {
+            RepairStrategy::Partitioned {
+                workers: self.repair_workers,
+            }
         }
     }
 }
@@ -112,13 +127,26 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
     let total_actions = server.history.len();
 
     // Initiate repair: retroactive patch, or admin-initiated undo.
+    let strategy = config.repair_strategy();
     let outcome = match wiki_patch(config.attack) {
-        Some(patch) => server.repair(RepairRequest::RetroactivePatch { patch, from_time: 0 }),
-        None => server.repair(RepairRequest::UndoVisit {
-            client_id: trace.admin_client.clone().unwrap_or_else(|| "admin-browser".into()),
-            visit_id: trace.admin_visit.unwrap_or(1),
-            initiated_by_admin: true,
-        }),
+        Some(patch) => server.repair_with(
+            RepairRequest::RetroactivePatch {
+                patch,
+                from_time: 0,
+            },
+            strategy,
+        ),
+        None => server.repair_with(
+            RepairRequest::UndoVisit {
+                client_id: trace
+                    .admin_client
+                    .clone()
+                    .unwrap_or_else(|| "admin-browser".into()),
+                visit_id: trace.admin_visit.unwrap_or(1),
+                initiated_by_admin: true,
+            },
+            strategy,
+        ),
     };
 
     // Conflict resolution (paper §5.4): users whose page visits could not be
@@ -134,11 +162,14 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
         .map(|c| (c.client_id.clone(), c.visit_id))
         .collect();
     for (client, visit) in pending {
-        let _ = server.repair(RepairRequest::UndoVisit {
-            client_id: client.clone(),
-            visit_id: visit,
-            initiated_by_admin: true,
-        });
+        let _ = server.repair_with(
+            RepairRequest::UndoVisit {
+                client_id: client.clone(),
+                visit_id: visit,
+                initiated_by_admin: true,
+            },
+            strategy,
+        );
         server.conflicts.resolve(&client, visit);
     }
 
@@ -209,8 +240,14 @@ mod tests {
     #[test]
     fn stored_xss_scenario_recovers_with_retroactive_patching() {
         let result = run_scenario(&ScenarioConfig::small(AttackKind::StoredXss));
-        assert!(result.attack_succeeded, "the attack must succeed before repair");
-        assert!(result.repaired, "repair must remove the attack and keep legitimate edits");
+        assert!(
+            result.attack_succeeded,
+            "the attack must succeed before repair"
+        );
+        assert!(
+            result.repaired,
+            "repair must remove the attack and keep legitimate edits"
+        );
         assert!(!result.outcome.aborted);
         assert!(result.outcome.stats.app_runs_reexecuted < result.total_actions);
     }
@@ -219,7 +256,10 @@ mod tests {
     fn acl_error_scenario_recovers_with_admin_undo() {
         let result = run_scenario(&ScenarioConfig::small(AttackKind::AclError));
         assert!(result.attack_succeeded);
-        assert!(result.repaired, "the mistaken grant's effects must be reverted");
+        assert!(
+            result.repaired,
+            "the mistaken grant's effects must be reverted"
+        );
     }
 
     #[test]
@@ -227,5 +267,33 @@ mod tests {
         let result = run_scenario(&ScenarioConfig::small(AttackKind::ReflectedXss));
         assert!(result.attack_succeeded);
         assert!(result.repaired);
+    }
+
+    #[test]
+    fn parallel_repair_scenario_matches_sequential() {
+        let seq_cfg = ScenarioConfig::small(AttackKind::StoredXss);
+        let mut par_cfg = seq_cfg;
+        par_cfg.repair_workers = 2;
+        let seq = run_scenario(&seq_cfg);
+        let par = run_scenario(&par_cfg);
+        assert!(
+            par.repaired,
+            "partitioned repair must recover the attack too"
+        );
+        assert_eq!(seq.repaired, par.repaired);
+        assert_eq!(seq.users_with_conflicts, par.users_with_conflicts);
+        assert_eq!(
+            seq.outcome.stats.app_runs_reexecuted, par.outcome.stats.app_runs_reexecuted,
+            "both engines must re-execute the same number of application runs"
+        );
+        assert_eq!(
+            seq.outcome.stats.actions_cancelled,
+            par.outcome.stats.actions_cancelled
+        );
+        assert!(
+            par.outcome.stats.partitions_total > 1,
+            "the wiki workload must decompose into multiple partitions: {}",
+            par.outcome.stats.partitions_total
+        );
     }
 }

@@ -315,7 +315,9 @@ pub fn wiki_app(n_users: usize, n_pages: usize) -> AppConfig {
     );
     config.add_table(
         "CREATE TABLE acl (acl_id INTEGER PRIMARY KEY, title TEXT, user_name TEXT)",
-        TableAnnotation::new().row_id("acl_id").partitions(["title", "user_name"]),
+        TableAnnotation::new()
+            .row_id("acl_id")
+            .partitions(["title", "user_name"]),
     );
     config.add_table(
         "CREATE TABLE session (sid TEXT PRIMARY KEY, user_name TEXT)",
@@ -473,7 +475,11 @@ mod tests {
         browser.fill(&mut visit, "user", user);
         browser.fill(&mut visit, "password", pw);
         let done = browser.submit_form(&mut visit, "/login.wasl", server);
-        assert!(done.response.body.contains("Welcome"), "login failed: {}", done.response.body);
+        assert!(
+            done.response.body.contains("Welcome"),
+            "login failed: {}",
+            done.response.body
+        );
     }
 
     #[test]
@@ -481,8 +487,14 @@ mod tests {
         let mut s = server();
         let r = s.send(HttpRequest::get("/view.wasl?title=Page1"));
         assert!(r.body.contains("original content of page 1"));
-        assert!(!r.body.contains("<form"), "anonymous users must not see the edit form");
-        let r = s.send(HttpRequest::post("/edit.wasl", [("title", "Page1"), ("body", "hacked")]));
+        assert!(
+            !r.body.contains("<form"),
+            "anonymous users must not see the edit form"
+        );
+        let r = s.send(HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Page1"), ("body", "hacked")],
+        ));
         assert_eq!(r.status, 403);
     }
 
@@ -520,7 +532,10 @@ mod tests {
         let r = s.handle({
             let mut req = HttpRequest::post(
                 "/edit.wasl",
-                [("title", "Public"), ("body", "<script>http_get(\"/ping\");</script>")],
+                [
+                    ("title", "Public"),
+                    ("body", "<script>http_get(\"/ping\");</script>"),
+                ],
             );
             req.cookies = b.cookies.clone();
             req
@@ -537,28 +552,48 @@ mod tests {
         let injected = "/maintenance.wasl?newbody=INJECTED&thelang=zzz%27+OR+title+LIKE+%27%25";
         s.send(HttpRequest::get(injected));
         let r = s.send(HttpRequest::get("/view.wasl?title=Page1"));
-        assert!(r.body.contains("INJECTED"), "injection should hit every page: {}", r.body);
+        assert!(
+            r.body.contains("INJECTED"),
+            "injection should hit every page: {}",
+            r.body
+        );
         // After patching, the same request touches nothing: no page that was
         // not already corrupted picks up the payload. Applying the patch as a
         // normal (non-retroactive) code change first, then re-running the
         // injection, must leave the maintenance run with zero matched rows.
         let patched = wiki_patch(AttackKind::SqlInjection).unwrap();
-        s.sources.update("maintenance.wasl", patched.patched_source.clone(), s.clock.now());
+        s.sources.update(
+            "maintenance.wasl",
+            patched.patched_source.clone(),
+            s.clock.now(),
+        );
         let before = s.history.len();
         s.send(HttpRequest::get(injected));
         let after_action = &s.history.actions()[before];
-        let touched: u64 = after_action.queries.iter().map(|q| q.written_row_ids.len() as u64).sum();
+        let touched: u64 = after_action
+            .queries
+            .iter()
+            .map(|q| q.written_row_ids.len() as u64)
+            .sum();
         assert_eq!(touched, 0, "patched maintenance must not match any page");
     }
 
     #[test]
     fn calendar_reflects_parameter_and_patch_sanitises() {
         let mut s = server();
-        let r = s.send(HttpRequest::get("/calendar.wasl?date=%3Cscript%3Ex()%3C/script%3E"));
+        let r = s.send(HttpRequest::get(
+            "/calendar.wasl?date=%3Cscript%3Ex()%3C/script%3E",
+        ));
         assert!(r.body.contains("<script>x()</script>"));
         let patched = wiki_patch(AttackKind::ReflectedXss).unwrap();
-        s.sources.update("calendar.wasl", patched.patched_source.clone(), s.clock.now());
-        let r = s.send(HttpRequest::get("/calendar.wasl?date=%3Cscript%3Ex()%3C/script%3E"));
+        s.sources.update(
+            "calendar.wasl",
+            patched.patched_source.clone(),
+            s.clock.now(),
+        );
+        let r = s.send(HttpRequest::get(
+            "/calendar.wasl?date=%3Cscript%3Ex()%3C/script%3E",
+        ));
         assert!(!r.body.contains("<script>x()"));
     }
 

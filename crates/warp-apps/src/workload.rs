@@ -21,7 +21,12 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        WorkloadConfig { users: 10, visits_per_user: 4, edit_percent: 50, with_extension: true }
+        WorkloadConfig {
+            users: 10,
+            visits_per_user: 4,
+            edit_percent: 50,
+            with_extension: true,
+        }
     }
 }
 
@@ -45,7 +50,10 @@ pub fn run_background_workload(
     config: &WorkloadConfig,
     start_index: usize,
 ) -> WorkloadReport {
-    let mut report = WorkloadReport { users: config.users, ..Default::default() };
+    let mut report = WorkloadReport {
+        users: config.users,
+        ..Default::default()
+    };
     for u in 0..config.users {
         let idx = start_index + u;
         let mut browser = if config.with_extension {
@@ -53,7 +61,12 @@ pub fn run_background_workload(
         } else {
             Browser::without_extension(format!("bg-user{idx}"))
         };
-        if !login(&mut browser, server, &format!("user{idx}"), &format!("pw{idx}")) {
+        if !login(
+            &mut browser,
+            server,
+            &format!("user{idx}"),
+            &format!("pw{idx}"),
+        ) {
             continue;
         }
         report.page_visits += 2; // The login form and the login POST.
@@ -64,7 +77,11 @@ pub fn run_background_workload(
             let should_edit = (v * 100 / config.visits_per_user.max(1)) < config.edit_percent
                 && visit.response.body.contains("<form");
             if should_edit {
-                browser.fill(&mut visit, "body", &format!("content of {title} revision {v}"));
+                browser.fill(
+                    &mut visit,
+                    "body",
+                    &format!("content of {title} revision {v}"),
+                );
                 let _ = browser.submit_form(&mut visit, "/edit.wasl", server);
                 report.page_visits += 1;
                 report.edits += 1;
@@ -85,7 +102,10 @@ pub fn run_raw_requests(server: &mut WarpServer, page_visits: usize, edit: bool)
         if edit {
             let mut req = HttpRequest::post(
                 "/edit.wasl",
-                [("title", title.as_str()), ("body", "benchmark edit body text")],
+                [
+                    ("title", title.as_str()),
+                    ("body", "benchmark edit body text"),
+                ],
             );
             // Raw benchmark traffic runs as the admin (always allowed).
             req.cookies.set("sid", admin_session(server));
@@ -128,14 +148,24 @@ mod tests {
     fn background_workload_is_deterministic_and_logged() {
         let mut s1 = WarpServer::new(wiki_app(6, 6));
         let mut s2 = WarpServer::new(wiki_app(6, 6));
-        let config = WorkloadConfig { users: 3, visits_per_user: 3, edit_percent: 50, with_extension: true };
+        let config = WorkloadConfig {
+            users: 3,
+            visits_per_user: 3,
+            edit_percent: 50,
+            with_extension: true,
+        };
         let r1 = run_background_workload(&mut s1, &config, 2);
         let r2 = run_background_workload(&mut s2, &config, 2);
         assert_eq!(r1, r2, "workloads must be deterministic");
         assert!(r1.edits > 0);
         assert_eq!(s1.history.len(), s2.history.len());
         // Actions carry client correlation and uploaded logs exist.
-        let with_client = s1.history.actions().iter().filter(|a| a.client.is_some()).count();
+        let with_client = s1
+            .history
+            .actions()
+            .iter()
+            .filter(|a| a.client.is_some())
+            .count();
         assert!(with_client > 0);
         assert!(!s1.history.client_ids().is_empty());
     }

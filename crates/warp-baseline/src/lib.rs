@@ -44,7 +44,10 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { policy: DependencyPolicy::TableLevel, whitelisted_tables: Vec::new() }
+        BaselineConfig {
+            policy: DependencyPolicy::TableLevel,
+            whitelisted_tables: Vec::new(),
+        }
     }
 }
 
@@ -85,10 +88,15 @@ pub fn analyze(
     corrupted: &BTreeSet<FlaggedRow>,
 ) -> BaselineReport {
     let mut flagged: BTreeSet<FlaggedRow> = BTreeSet::new();
-    let whitelist: BTreeSet<String> =
-        config.whitelisted_tables.iter().map(|t| t.to_ascii_lowercase()).collect();
+    let whitelist: BTreeSet<String> = config
+        .whitelisted_tables
+        .iter()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     for &id in trigger_actions {
-        let Some(action) = server.history.action(id) else { continue };
+        let Some(action) = server.history.action(id) else {
+            continue;
+        };
         // Rows directly written by the triggering request.
         let mut touched_tables: BTreeSet<String> = BTreeSet::new();
         for q in &action.queries {
@@ -116,17 +124,30 @@ pub fn analyze(
     flagged.retain(|f| !whitelist.contains(&f.table));
     let false_positives = flagged.iter().filter(|f| !corrupted.contains(f)).count();
     let false_negatives = corrupted.iter().filter(|c| !flagged.contains(c)).count();
-    BaselineReport { flagged, false_positives, false_negatives, requires_user_input: true }
+    BaselineReport {
+        flagged,
+        false_positives,
+        false_negatives,
+        requires_user_input: true,
+    }
 }
 
 fn row(table: &str, row_id: &Value) -> FlaggedRow {
-    FlaggedRow { table: table.to_ascii_lowercase(), row_id: row_id.as_display_string() }
+    FlaggedRow {
+        table: table.to_ascii_lowercase(),
+        row_id: row_id.as_display_string(),
+    }
 }
 
 /// Convenience: the ground-truth corrupted-row set for scoring.
-pub fn corrupted_rows<'a>(rows: impl IntoIterator<Item = (&'a str, &'a str)>) -> BTreeSet<FlaggedRow> {
+pub fn corrupted_rows<'a>(
+    rows: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> BTreeSet<FlaggedRow> {
     rows.into_iter()
-        .map(|(t, r)| FlaggedRow { table: t.to_ascii_lowercase(), row_id: r.to_string() })
+        .map(|(t, r)| FlaggedRow {
+            table: t.to_ascii_lowercase(),
+            row_id: r.to_string(),
+        })
         .collect()
 }
 
@@ -134,8 +155,8 @@ pub fn corrupted_rows<'a>(rows: impl IntoIterator<Item = (&'a str, &'a str)>) ->
 mod tests {
     use super::*;
     use warp_apps::blog::{blog_app, BlogBug};
-    use warp_http::{HttpRequest, Transport};
     use warp_core::WarpServer;
+    use warp_http::{HttpRequest, Transport};
 
     /// Sets up the lost-votes bug workload: 5 votes on post 1, plus comments
     /// on post 2 as unrelated legitimate traffic.
@@ -162,7 +183,10 @@ mod tests {
         let report = analyze(
             &server,
             &triggers,
-            &BaselineConfig { policy: DependencyPolicy::TableLevel, whitelisted_tables: vec![] },
+            &BaselineConfig {
+                policy: DependencyPolicy::TableLevel,
+                whitelisted_tables: vec![],
+            },
             &corrupted,
         );
         assert_eq!(report.false_negatives, 0);
@@ -187,7 +211,10 @@ mod tests {
             &corrupted,
         );
         assert_eq!(report.flagged.len(), 0);
-        assert_eq!(report.false_negatives, 1, "whitelisting the table hides the corruption");
+        assert_eq!(
+            report.false_negatives, 1,
+            "whitelisting the table hides the corruption"
+        );
     }
 
     #[test]
@@ -197,7 +224,10 @@ mod tests {
         let report = analyze(
             &server,
             &triggers,
-            &BaselineConfig { policy: DependencyPolicy::DirectWritesOnly, whitelisted_tables: vec![] },
+            &BaselineConfig {
+                policy: DependencyPolicy::DirectWritesOnly,
+                whitelisted_tables: vec![],
+            },
             &corrupted,
         );
         assert_eq!(report.false_negatives, 0);

@@ -10,11 +10,14 @@ fn bench_substrates(c: &mut Criterion) {
     group.bench_function("sql_insert_select_x100", |b| {
         b.iter(|| {
             let mut db = Database::new();
-            db.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").unwrap();
+            db.execute_sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+                .unwrap();
             for i in 0..100 {
-                db.execute_sql(&format!("INSERT INTO t (id, v) VALUES ({i}, 'value {i}')")).unwrap();
+                db.execute_sql(&format!("INSERT INTO t (id, v) VALUES ({i}, 'value {i}')"))
+                    .unwrap();
             }
-            db.execute_sql("SELECT COUNT(*) FROM t WHERE v LIKE 'value%'").unwrap()
+            db.execute_sql("SELECT COUNT(*) FROM t WHERE v LIKE 'value%'")
+                .unwrap()
         })
     });
     group.bench_function("wasl_fib_18", |b| {

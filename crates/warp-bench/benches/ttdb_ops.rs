@@ -8,7 +8,9 @@ fn seeded_db(rows: i64) -> TimeTravelDb {
     let mut db = TimeTravelDb::new();
     db.create_table(
         "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT, body TEXT)",
-        TableAnnotation::new().row_id("page_id").partitions(["title"]),
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
     )
     .unwrap();
     for i in 0..rows {
@@ -37,7 +39,10 @@ fn bench_ttdb(c: &mut Criterion) {
     });
     group.bench_function("time_travel_read", |b| {
         let mut db = seeded_db(200);
-        b.iter(|| db.select_at("SELECT body FROM page WHERE title = 'T50'", 60).unwrap())
+        b.iter(|| {
+            db.select_at("SELECT body FROM page WHERE title = 'T50'", 60)
+                .unwrap()
+        })
     });
     group.bench_function("rollback_100_rows", |b| {
         b.iter(|| {

@@ -1,0 +1,57 @@
+//! The CI benchmark-regression gate.
+//!
+//! Reads the `BENCH_repair.json` report produced by
+//! `table7_repair_100 --workers N --json BENCH_repair.json` and fails (exit
+//! code 1) if partitioned parallel repair was slower than sequential repair
+//! by more than the allowed slowdown on the 100-user workload. Exit code 2
+//! means the report was missing or incomplete — the gate never passes
+//! silently on missing data.
+
+use std::path::PathBuf;
+use warp_bench::report::{evaluate_gate, load_records, GATE_WORKLOAD};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: bench_gate BENCH_repair.json [MAX_SLOWDOWN_PERCENT]");
+        println!();
+        println!("Fails (exit 1) if parallel repair is slower than sequential by more than");
+        println!("MAX_SLOWDOWN_PERCENT (default 10) on the `{GATE_WORKLOAD}` workload.");
+        println!("Exit 2: the report is missing or holds no comparable records.");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let path = PathBuf::from(&args[0]);
+    let max_slowdown: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10.0);
+    let records = match load_records(&path) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    match evaluate_gate(&records, max_slowdown) {
+        Ok(verdict) => {
+            println!(
+                "bench_gate: {GATE_WORKLOAD}: sequential {:.2} ms, parallel {:.2} ms \
+                 (ratio {:.3}, limit {:.3})",
+                verdict.sequential_ms,
+                verdict.parallel_ms,
+                verdict.ratio,
+                1.0 + max_slowdown / 100.0,
+            );
+            if verdict.pass {
+                println!("bench_gate: PASS — parallel repair within {max_slowdown}% of sequential");
+            } else {
+                println!(
+                    "bench_gate: FAIL — parallel repair regressed more than {max_slowdown}% \
+                     against sequential"
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    }
+}

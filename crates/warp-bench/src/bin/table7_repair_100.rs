@@ -1,11 +1,21 @@
 //! Regenerates Table 7: repair performance, including the victims-at-start variant.
 fn main() {
-    let users = warp_bench::cli::scale_arg(
+    let args = warp_bench::cli::bench_args(
         "table7_repair_100",
-        "Regenerates Table 7: repair performance, including the victims-at-start variant.",
+        "Regenerates Table 7: repair performance, including the victims-at-start variant. \
+         With --workers, also times sequential vs partitioned parallel repair.",
         "USERS",
         20,
     );
-    warp_bench::table3_and_7(users, false);
-    warp_bench::table3_and_7(users, true);
+    warp_bench::table3_and_7(args.scale, false);
+    warp_bench::table3_and_7(args.scale, true);
+    if args.workers.is_some() || args.json.is_some() {
+        let workers = args.workers.unwrap_or(4);
+        let records = warp_bench::repair_benchmark("table7_repair_100", &[args.scale], workers);
+        if let Some(path) = args.json {
+            warp_bench::report::append_records(&path, &records)
+                .unwrap_or_else(|e| panic!("writing benchmark report: {e}"));
+            println!("wrote {} records to {}", records.len(), path.display());
+        }
+    }
 }

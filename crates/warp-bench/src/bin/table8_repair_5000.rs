@@ -1,10 +1,24 @@
 //! Regenerates Table 8: repair scaling with workload size.
 fn main() {
-    let max_users = warp_bench::cli::scale_arg(
+    let args = warp_bench::cli::bench_args(
         "table8_repair_5000",
-        "Regenerates Table 8: repair scaling with workload size.",
+        "Regenerates Table 8: repair scaling with workload size. \
+         With --workers, also times sequential vs partitioned parallel repair.",
         "MAX_USERS",
         40,
     );
-    warp_bench::table8_scaling(&[max_users / 4, max_users]);
+    warp_bench::table8_scaling(&[args.scale / 4, args.scale]);
+    if args.workers.is_some() || args.json.is_some() {
+        let workers = args.workers.unwrap_or(4);
+        let records = warp_bench::repair_benchmark(
+            "table8_repair_5000",
+            &[args.scale / 4, args.scale],
+            workers,
+        );
+        if let Some(path) = args.json {
+            warp_bench::report::append_records(&path, &records)
+                .unwrap_or_else(|e| panic!("writing benchmark report: {e}"));
+            println!("wrote {} records to {}", records.len(), path.display());
+        }
+    }
 }

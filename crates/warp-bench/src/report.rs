@@ -1,0 +1,255 @@
+//! The machine-readable repair benchmark report (`BENCH_repair.json`).
+//!
+//! `table7_repair_100 --workers N --json PATH` and
+//! `table8_repair_5000 --workers N --json PATH` run every repair twice —
+//! once with the classic sequential engine and once with the partitioned
+//! parallel engine — and append one [`RepairBenchRecord`] per run to the
+//! report. CI uploads the report as an artifact and runs the `bench_gate`
+//! binary over it, which fails the build if parallel repair regressed
+//! against sequential by more than the allowed slowdown on the 100-user
+//! workload (see [`evaluate_gate`]).
+
+use crate::json::Json;
+use std::path::Path;
+
+/// The workload name the CI regression gate checks.
+pub const GATE_WORKLOAD: &str = "table7_repair_100";
+
+/// One timed repair run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairBenchRecord {
+    /// Which table binary produced the record (`table7_repair_100` /
+    /// `table8_repair_5000`).
+    pub workload: String,
+    /// The attack scenario repaired.
+    pub scenario: String,
+    /// Users in the workload.
+    pub users: usize,
+    /// Worker threads (0 = the classic sequential engine).
+    pub workers: usize,
+    /// Repair wall-clock time in milliseconds (`RepairStats::time_total`).
+    pub repair_ms: f64,
+    /// Actions in the history when repair started.
+    pub total_actions: usize,
+    /// Application runs re-executed.
+    pub app_runs_reexecuted: usize,
+    /// Queries re-executed.
+    pub queries_reexecuted: usize,
+    /// Dependency partitions in the history (0 for the sequential engine).
+    pub partitions_total: usize,
+    /// Partitions actually repaired.
+    pub partitions_repaired: usize,
+    /// Cross-partition escalation rounds.
+    pub escalations: usize,
+}
+
+impl RepairBenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("users".into(), Json::Num(self.users as f64)),
+            ("workers".into(), Json::Num(self.workers as f64)),
+            ("repair_ms".into(), Json::Num(self.repair_ms)),
+            ("total_actions".into(), Json::Num(self.total_actions as f64)),
+            (
+                "app_runs_reexecuted".into(),
+                Json::Num(self.app_runs_reexecuted as f64),
+            ),
+            (
+                "queries_reexecuted".into(),
+                Json::Num(self.queries_reexecuted as f64),
+            ),
+            (
+                "partitions_total".into(),
+                Json::Num(self.partitions_total as f64),
+            ),
+            (
+                "partitions_repaired".into(),
+                Json::Num(self.partitions_repaired as f64),
+            ),
+            ("escalations".into(), Json::Num(self.escalations as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<RepairBenchRecord> {
+        Some(RepairBenchRecord {
+            workload: value.get("workload")?.as_str()?.to_string(),
+            scenario: value.get("scenario")?.as_str()?.to_string(),
+            users: value.get("users")?.as_usize()?,
+            workers: value.get("workers")?.as_usize()?,
+            repair_ms: value.get("repair_ms")?.as_f64()?,
+            total_actions: value.get("total_actions")?.as_usize()?,
+            app_runs_reexecuted: value.get("app_runs_reexecuted")?.as_usize()?,
+            queries_reexecuted: value.get("queries_reexecuted")?.as_usize()?,
+            partitions_total: value.get("partitions_total")?.as_usize()?,
+            partitions_repaired: value.get("partitions_repaired")?.as_usize()?,
+            escalations: value.get("escalations")?.as_usize()?,
+        })
+    }
+}
+
+/// Reads every record from a report file. Missing file → empty.
+pub fn load_records(path: &Path) -> Result<Vec<RepairBenchRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    let doc = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+    let records = doc
+        .get("records")
+        .and_then(|r| r.as_arr())
+        .ok_or_else(|| format!("{}: no `records` array", path.display()))?;
+    Ok(records
+        .iter()
+        .filter_map(RepairBenchRecord::from_json)
+        .collect())
+}
+
+/// Appends records to a report file (creating it if needed), keeping records
+/// written by other binaries.
+pub fn append_records(path: &Path, new: &[RepairBenchRecord]) -> Result<(), String> {
+    let mut records = load_records(path)?;
+    // A re-run of the same workload replaces its previous records instead of
+    // accumulating duplicates.
+    let new_workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    records.retain(|r| !new_workloads.contains(&r.workload.as_str()));
+    records.extend(new.iter().cloned());
+    let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::Num(1.0)),
+        (
+            "records".into(),
+            Json::Arr(records.iter().map(|r| r.to_json()).collect()),
+        ),
+    ]);
+    std::fs::write(path, doc.to_json() + "\n")
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// The gate's verdict over a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateVerdict {
+    /// Summed sequential repair wall clock (ms) on the gate workload.
+    pub sequential_ms: f64,
+    /// Summed parallel repair wall clock (ms) on the gate workload.
+    pub parallel_ms: f64,
+    /// `parallel_ms / sequential_ms`.
+    pub ratio: f64,
+    /// True if parallel repair is within the allowed slowdown.
+    pub pass: bool,
+}
+
+/// Evaluates the benchmark-regression gate: on the [`GATE_WORKLOAD`],
+/// parallel repair (workers > 0) must not be slower than sequential repair
+/// (workers == 0) by more than `max_slowdown_percent`. Scenario times are
+/// summed, which is more stable than per-scenario comparison on small
+/// workloads. Returns an error when the report holds no comparable pair.
+pub fn evaluate_gate(
+    records: &[RepairBenchRecord],
+    max_slowdown_percent: f64,
+) -> Result<GateVerdict, String> {
+    let gate: Vec<&RepairBenchRecord> = records
+        .iter()
+        .filter(|r| r.workload == GATE_WORKLOAD)
+        .collect();
+    let sequential_ms: f64 = gate
+        .iter()
+        .filter(|r| r.workers == 0)
+        .map(|r| r.repair_ms)
+        .sum();
+    let parallel_ms: f64 = gate
+        .iter()
+        .filter(|r| r.workers > 0)
+        .map(|r| r.repair_ms)
+        .sum();
+    if sequential_ms <= 0.0 || parallel_ms <= 0.0 {
+        return Err(format!(
+            "no sequential/parallel record pair for workload `{GATE_WORKLOAD}` \
+             (run table7_repair_100 with --workers N --json first)"
+        ));
+    }
+    let ratio = parallel_ms / sequential_ms;
+    Ok(GateVerdict {
+        sequential_ms,
+        parallel_ms,
+        ratio,
+        pass: ratio <= 1.0 + max_slowdown_percent / 100.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(workload: &str, scenario: &str, workers: usize, ms: f64) -> RepairBenchRecord {
+        RepairBenchRecord {
+            workload: workload.into(),
+            scenario: scenario.into(),
+            users: 20,
+            workers,
+            repair_ms: ms,
+            total_actions: 100,
+            app_runs_reexecuted: 10,
+            queries_reexecuted: 50,
+            partitions_total: if workers > 0 { 8 } else { 0 },
+            partitions_repaired: if workers > 0 { 4 } else { 0 },
+            escalations: 0,
+        }
+    }
+
+    #[test]
+    fn report_file_round_trip_and_workload_replacement() {
+        let dir = std::env::temp_dir().join(format!("warp-bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_repair.json");
+        let _ = std::fs::remove_file(&path);
+        append_records(&path, &[record("table7_repair_100", "stored_xss", 0, 10.0)]).unwrap();
+        append_records(
+            &path,
+            &[record("table8_repair_5000", "stored_xss", 4, 25.0)],
+        )
+        .unwrap();
+        assert_eq!(load_records(&path).unwrap().len(), 2);
+        // Re-running table7 replaces its old records, not duplicates them.
+        append_records(
+            &path,
+            &[
+                record("table7_repair_100", "stored_xss", 0, 11.0),
+                record("table7_repair_100", "stored_xss", 4, 6.0),
+            ],
+        )
+        .unwrap();
+        let records = load_records(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().any(|r| r.workload == "table8_repair_5000"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let records = vec![
+            record(GATE_WORKLOAD, "stored_xss", 0, 100.0),
+            record(GATE_WORKLOAD, "sql_injection", 0, 100.0),
+            record(GATE_WORKLOAD, "stored_xss", 4, 105.0),
+            record(GATE_WORKLOAD, "sql_injection", 4, 100.0),
+            // Other workloads are ignored by the gate.
+            record("table8_repair_5000", "stored_xss", 4, 9999.0),
+        ];
+        let verdict = evaluate_gate(&records, 10.0).unwrap();
+        assert!(
+            verdict.pass,
+            "2.5% slower is within the 10% gate: {verdict:?}"
+        );
+        let verdict = evaluate_gate(&records, 2.0).unwrap();
+        assert!(!verdict.pass, "2.5% slower exceeds a 2% gate");
+        assert!((verdict.ratio - 1.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_requires_both_engines() {
+        let records = vec![record(GATE_WORKLOAD, "stored_xss", 0, 100.0)];
+        assert!(evaluate_gate(&records, 10.0).is_err());
+        assert!(evaluate_gate(&[], 10.0).is_err());
+    }
+}

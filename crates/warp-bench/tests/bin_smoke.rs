@@ -17,6 +17,7 @@ const BINS: &[(&str, &[&str])] = &[
     (env!("CARGO_BIN_EXE_table6_overhead"), &["3"]),
     (env!("CARGO_BIN_EXE_table7_repair_100"), &["2"]),
     (env!("CARGO_BIN_EXE_table8_repair_5000"), &["4"]),
+    (env!("CARGO_BIN_EXE_bench_gate"), &["--help"]),
 ];
 
 #[test]
@@ -25,7 +26,10 @@ fn every_table_bin_answers_help() {
         let out = Command::new(bin).arg("--help").output().expect("spawn");
         assert!(out.status.success(), "{bin} --help exited {:?}", out.status);
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains("usage:"), "{bin} --help printed no usage: {stdout}");
+        assert!(
+            stdout.contains("usage:"),
+            "{bin} --help printed no usage: {stdout}"
+        );
     }
 }
 
@@ -41,4 +45,58 @@ fn every_table_bin_runs_in_trivial_mode() {
         );
         assert!(!out.stdout.is_empty(), "{bin} {args:?} printed nothing");
     }
+}
+
+/// The CI benchmark-report flow end to end: `table7_repair_100` writes the
+/// machine-readable report, `bench_gate` reads and evaluates it. The gate's
+/// tolerance is opened wide here — this test checks the plumbing, not the
+/// timing (CI runs the real 10% gate on the full-size workload).
+#[test]
+fn bench_report_and_gate_flow() {
+    let report = std::env::temp_dir().join(format!(
+        "warp-bench-smoke-{}-BENCH_repair.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&report);
+    let out = Command::new(env!("CARGO_BIN_EXE_table7_repair_100"))
+        .args(["3", "--workers", "2", "--json"])
+        .arg(&report)
+        .output()
+        .expect("spawn table7");
+    assert!(
+        out.status.success(),
+        "table7 timing run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&report).expect("report written");
+    assert!(
+        text.contains("\"workload\":\"table7_repair_100\""),
+        "unexpected report: {text}"
+    );
+    assert!(text.contains("\"workers\":2"));
+    assert!(
+        text.contains("\"workers\":0"),
+        "sequential baseline records must be present"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .arg(&report)
+        .arg("100000")
+        .output()
+        .expect("spawn bench_gate");
+    assert!(
+        out.status.success(),
+        "bench_gate failed: stdout={} stderr={}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    // A missing report is an error, never a silent pass.
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .arg("/nonexistent/BENCH_repair.json")
+        .output()
+        .expect("spawn bench_gate");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_file(&report);
 }

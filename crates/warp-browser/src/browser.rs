@@ -139,7 +139,10 @@ impl Browser {
         locator: &str,
         transport: &mut dyn Transport,
     ) -> Option<PageVisit> {
-        let href = visit.document.find(locator).and_then(|n| n.attr("href").map(|s| s.to_string()))?;
+        let href = visit
+            .document
+            .find(locator)
+            .and_then(|n| n.attr("href").map(|s| s.to_string()))?;
         if self.extension_enabled {
             if let Some(rec) = self.logs.get_mut(&visit.visit_id) {
                 rec.push_event(EventKind::Click, locator, Some(href.clone()), None);
@@ -159,8 +162,20 @@ impl Browser {
         let form = visit.document.form_by_action(action);
         let (target, method, fields) = match form {
             Some(f) => {
-                let method = if f.method == "post" { Method::Post } else { Method::Get };
-                (if f.action.is_empty() { visit.url.clone() } else { f.action }, method, f.fields)
+                let method = if f.method == "post" {
+                    Method::Post
+                } else {
+                    Method::Get
+                };
+                (
+                    if f.action.is_empty() {
+                        visit.url.clone()
+                    } else {
+                        f.action
+                    },
+                    method,
+                    f.fields,
+                )
             }
             None => (action.to_string(), Method::Post, BTreeMap::new()),
         };
@@ -345,7 +360,11 @@ impl PageScriptHost<'_> {
         for sc in &response.set_cookies {
             self.cookies.apply_set_cookie(sc);
         }
-        self.issued.push(IssuedRequest { request_id, request, response: response.clone() });
+        self.issued.push(IssuedRequest {
+            request_id,
+            request,
+            response: response.clone(),
+        });
         response
     }
 }
@@ -354,12 +373,18 @@ impl Host for PageScriptHost<'_> {
     fn call_host(&mut self, name: &str, args: &[Value]) -> Option<ScriptResult<Value>> {
         match name {
             "http_get" => {
-                let url = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let url = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 let resp = self.send(Method::Get, &url, BTreeMap::new());
                 Some(Ok(Value::str(resp.body)))
             }
             "http_post" => {
-                let url = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let url = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 let mut form = BTreeMap::new();
                 if let Some(Value::Map(m)) = args.get(1) {
                     for (k, v) in m {
@@ -370,25 +395,45 @@ impl Host for PageScriptHost<'_> {
                 Some(Ok(Value::str(resp.body)))
             }
             "dom_get_text" => {
-                let locator = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let locator = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 Some(Ok(Value::str(
-                    self.document.find(&locator).map(|n| n.text_content()).unwrap_or_default(),
+                    self.document
+                        .find(&locator)
+                        .map(|n| n.text_content())
+                        .unwrap_or_default(),
                 )))
             }
             "dom_set_text" => {
-                let locator = args.first().map(|v| v.to_display_string()).unwrap_or_default();
-                let text = args.get(1).map(|v| v.to_display_string()).unwrap_or_default();
+                let locator = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
+                let text = args
+                    .get(1)
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 if let Some(node) = self.document.find_mut(&locator) {
                     node.set_text_content(&text);
                 }
                 Some(Ok(Value::Null))
             }
             "dom_field_value" => {
-                let locator = args.first().map(|v| v.to_display_string()).unwrap_or_default();
-                Some(Ok(Value::str(self.document.field_value(&locator).unwrap_or_default())))
+                let locator = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
+                Some(Ok(Value::str(
+                    self.document.field_value(&locator).unwrap_or_default(),
+                )))
             }
             "get_cookie" => {
-                let name = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let name = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 Some(Ok(self
                     .cookies
                     .get(&name)
@@ -396,8 +441,14 @@ impl Host for PageScriptHost<'_> {
                     .unwrap_or(Value::Null)))
             }
             "set_cookie" => {
-                let name = args.first().map(|v| v.to_display_string()).unwrap_or_default();
-                let value = args.get(1).map(|v| v.to_display_string()).unwrap_or_default();
+                let name = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
+                let value = args
+                    .get(1)
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 self.cookies.set(name, value);
                 Some(Ok(Value::Null))
             }
@@ -451,10 +502,8 @@ mod tests {
 
     impl Transport for ScriptedSite {
         fn send(&mut self, request: HttpRequest) -> HttpResponse {
-            self.received.push((
-                request.method.as_str().to_string(),
-                request.target(),
-            ));
+            self.received
+                .push((request.method.as_str().to_string(), request.target()));
             match request.path.as_str() {
                 "/page" => HttpResponse::ok(
                     "<html><body><p id=\"greet\">hi</p>\
@@ -489,11 +538,17 @@ mod tests {
         let visit = b.visit("/page", &mut site);
         assert_eq!(visit.response.status, 200);
         // The script's POST to /steal was issued.
-        assert!(site.received.iter().any(|(m, t)| m == "POST" && t.starts_with("/steal")));
+        assert!(site
+            .received
+            .iter()
+            .any(|(m, t)| m == "POST" && t.starts_with("/steal")));
         let logs = b.take_logs();
         let rec = logs.iter().find(|r| r.url == "/page").unwrap();
         assert_eq!(rec.requests.len(), 2, "page load + script request");
-        assert_eq!(rec.requests[1].params.get("who"), Some(&"alice".to_string()));
+        assert_eq!(
+            rec.requests[1].params.get("who"),
+            Some(&"alice".to_string())
+        );
     }
 
     #[test]
@@ -506,7 +561,11 @@ mod tests {
         assert_eq!(next.response.status, 200);
         let logs = b.take_logs();
         let rec = logs.iter().find(|r| r.url == "/page").unwrap();
-        let input = rec.events.iter().find(|e| e.kind == EventKind::Input).unwrap();
+        let input = rec
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Input)
+            .unwrap();
         assert_eq!(input.base_value.as_deref(), Some("original"));
         assert_eq!(input.value.as_deref(), Some("user edit"));
         assert!(rec.events.iter().any(|e| e.kind == EventKind::Submit));
@@ -523,7 +582,10 @@ mod tests {
         let mut b = Browser::new("c1");
         let visit = b.visit("/outer", &mut site);
         assert_eq!(visit.frames.len(), 2);
-        assert!(visit.frames[0].blocked_framing, "X-Frame-Options: DENY must block the frame");
+        assert!(
+            visit.frames[0].blocked_framing,
+            "X-Frame-Options: DENY must block the frame"
+        );
         assert!(!visit.frames[1].blocked_framing);
         // The blocked frame's scripts never ran.
         assert!(visit.frames[0].document.roots.is_empty());
@@ -545,7 +607,10 @@ mod tests {
         let mut site = ScriptedSite { received: vec![] };
         let mut b = Browser::without_extension("c1");
         let _visit = b.visit("/page", &mut site);
-        assert!(b.take_logs().into_iter().all(|r| r.requests.is_empty() && r.events.is_empty()));
+        assert!(b
+            .take_logs()
+            .into_iter()
+            .all(|r| r.requests.is_empty() && r.events.is_empty()));
     }
 
     #[test]
@@ -568,14 +633,20 @@ mod tests {
         let logs = b.take_logs();
         let next_rec = logs.iter().find(|r| r.url == "/b").unwrap();
         assert_eq!(next_rec.caused_by_visit, Some(visit.visit_id));
-        assert!(b.click_link(&mut PageVisit {
-            visit_id: 99,
-            url: "/x".into(),
-            response: HttpResponse::ok(""),
-            document: Document::default(),
-            frames: vec![],
-            blocked_framing: false,
-            next_request_id: 0,
-        }, "#missing", &mut site).is_none());
+        assert!(b
+            .click_link(
+                &mut PageVisit {
+                    visit_id: 99,
+                    url: "/x".into(),
+                    response: HttpResponse::ok(""),
+                    document: Document::default(),
+                    frames: vec![],
+                    blocked_framing: false,
+                    next_request_id: 0,
+                },
+                "#missing",
+                &mut site
+            )
+            .is_none());
     }
 }

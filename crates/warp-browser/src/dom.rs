@@ -22,7 +22,11 @@ pub enum DomNode {
 impl DomNode {
     /// Creates an element node.
     pub fn element(tag: &str) -> DomNode {
-        DomNode::Element { tag: tag.to_ascii_lowercase(), attrs: BTreeMap::new(), children: Vec::new() }
+        DomNode::Element {
+            tag: tag.to_ascii_lowercase(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+        }
     }
 
     /// The tag name, if this is an element.
@@ -36,7 +40,9 @@ impl DomNode {
     /// An attribute value, if this is an element with that attribute.
     pub fn attr(&self, name: &str) -> Option<&str> {
         match self {
-            DomNode::Element { attrs, .. } => attrs.get(&name.to_ascii_lowercase()).map(|s| s.as_str()),
+            DomNode::Element { attrs, .. } => {
+                attrs.get(&name.to_ascii_lowercase()).map(|s| s.as_str())
+            }
             DomNode::Text(_) => None,
         }
     }
@@ -52,9 +58,11 @@ impl DomNode {
     pub fn text_content(&self) -> String {
         match self {
             DomNode::Text(t) => t.clone(),
-            DomNode::Element { children, .. } => {
-                children.iter().map(|c| c.text_content()).collect::<Vec<_>>().join("")
-            }
+            DomNode::Element { children, .. } => children
+                .iter()
+                .map(|c| c.text_content())
+                .collect::<Vec<_>>()
+                .join(""),
         }
     }
 
@@ -141,7 +149,11 @@ impl Document {
                 let method = form.attr("method").unwrap_or("get").to_ascii_lowercase();
                 let mut fields = BTreeMap::new();
                 collect_fields(form, &mut fields);
-                FormInfo { action, method, fields }
+                FormInfo {
+                    action,
+                    method,
+                    fields,
+                }
             })
             .collect()
     }
@@ -154,12 +166,22 @@ impl Document {
             .iter()
             .find(|f| f.action == action)
             .cloned()
-            .or_else(|| if forms.len() == 1 { forms.into_iter().next() } else { None })
+            .or_else(|| {
+                if forms.len() == 1 {
+                    forms.into_iter().next()
+                } else {
+                    None
+                }
+            })
     }
 
     /// The document's whole text content.
     pub fn text_content(&self) -> String {
-        self.roots.iter().map(|r| r.text_content()).collect::<Vec<_>>().join("")
+        self.roots
+            .iter()
+            .map(|r| r.text_content())
+            .collect::<Vec<_>>()
+            .join("")
     }
 
     /// The current value of a named form field (input or textarea).
@@ -252,7 +274,8 @@ fn collect_fields(node: &DomNode, out: &mut BTreeMap<String, String>) {
             if let Some(name) = node.attr("name") {
                 let ftype = node.attr("type").unwrap_or("text");
                 if ftype != "submit" && ftype != "button" {
-                    out.entry(name.to_string()).or_insert_with(|| field_value_of(node));
+                    out.entry(name.to_string())
+                        .or_insert_with(|| field_value_of(node));
                 }
             }
         }

@@ -85,9 +85,21 @@ impl PageVisitRecord {
     }
 
     /// Appends an event with the next sequence number.
-    pub fn push_event(&mut self, kind: EventKind, target: &str, value: Option<String>, base_value: Option<String>) {
+    pub fn push_event(
+        &mut self,
+        kind: EventKind,
+        target: &str,
+        value: Option<String>,
+        base_value: Option<String>,
+    ) {
         let seq = self.events.len() as u32;
-        self.events.push(RecordedEvent { seq, kind, target: target.to_string(), value, base_value });
+        self.events.push(RecordedEvent {
+            seq,
+            kind,
+            target: target.to_string(),
+            value,
+            base_value,
+        });
     }
 
     /// Approximate serialized size of the record in bytes (Table 6's
@@ -139,19 +151,28 @@ mod tests {
 
     fn record() -> PageVisitRecord {
         let mut rec = PageVisitRecord::new("client-1", 3, "/view.wasl?title=Main");
-        rec.push_event(EventKind::Input, "body", Some("new text".into()), Some("old".into()));
+        rec.push_event(
+            EventKind::Input,
+            "body",
+            Some("new text".into()),
+            Some("old".into()),
+        );
         rec.push_event(EventKind::Submit, "/edit.wasl", None, None);
         rec.requests.push(RecordedRequest {
             request_id: 1,
             method: Method::Get,
             path: "/view.wasl".into(),
-            params: [("title".to_string(), "Main".to_string())].into_iter().collect(),
+            params: [("title".to_string(), "Main".to_string())]
+                .into_iter()
+                .collect(),
         });
         rec.requests.push(RecordedRequest {
             request_id: 2,
             method: Method::Post,
             path: "/edit.wasl".into(),
-            params: [("body".to_string(), "new text".to_string())].into_iter().collect(),
+            params: [("body".to_string(), "new text".to_string())]
+                .into_iter()
+                .collect(),
         });
         rec
     }
@@ -167,14 +188,25 @@ mod tests {
     #[test]
     fn request_matching_exact_and_fallback() {
         let rec = record();
-        let exact: BTreeMap<String, String> =
-            [("body".to_string(), "new text".to_string())].into_iter().collect();
-        assert_eq!(rec.match_request(Method::Post, "/edit.wasl", &exact), Some(2));
+        let exact: BTreeMap<String, String> = [("body".to_string(), "new text".to_string())]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            rec.match_request(Method::Post, "/edit.wasl", &exact),
+            Some(2)
+        );
         // Changed params still match by path.
-        let changed: BTreeMap<String, String> =
-            [("body".to_string(), "merged text".to_string())].into_iter().collect();
-        assert_eq!(rec.match_request(Method::Post, "/edit.wasl", &changed), Some(2));
-        assert_eq!(rec.match_request(Method::Post, "/other.wasl", &changed), None);
+        let changed: BTreeMap<String, String> = [("body".to_string(), "merged text".to_string())]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            rec.match_request(Method::Post, "/edit.wasl", &changed),
+            Some(2)
+        );
+        assert_eq!(
+            rec.match_request(Method::Post, "/other.wasl", &changed),
+            None
+        );
     }
 
     #[test]

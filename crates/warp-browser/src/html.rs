@@ -5,12 +5,13 @@
 //! `script` elements (so injected attack code survives parsing verbatim),
 //! and HTML entities in text.
 
-use crate::dom::{DomNode, Document};
+use crate::dom::{Document, DomNode};
 use std::collections::BTreeMap;
 
 /// Elements that never have children.
-const VOID_ELEMENTS: &[&str] =
-    &["input", "br", "hr", "img", "meta", "link", "area", "base", "col", "embed", "source", "wbr"];
+const VOID_ELEMENTS: &[&str] = &[
+    "input", "br", "hr", "img", "meta", "link", "area", "base", "col", "embed", "source", "wbr",
+];
 
 /// Parses HTML text into a [`Document`]. Unclosed tags are closed implicitly
 /// at the end of input; stray close tags are ignored.
@@ -34,8 +35,11 @@ pub fn parse_html(input: &str) -> Document {
             // Close tag.
             if i + 1 < chars.len() && chars[i + 1] == '/' {
                 let end = find_char(&chars, i, '>').unwrap_or(chars.len());
-                let name: String =
-                    chars[i + 2..end].iter().collect::<String>().trim().to_ascii_lowercase();
+                let name: String = chars[i + 2..end]
+                    .iter()
+                    .collect::<String>()
+                    .trim()
+                    .to_ascii_lowercase();
                 close_element(&mut stack, &name);
                 i = end + 1;
                 continue;
@@ -52,7 +56,11 @@ pub fn parse_html(input: &str) -> Document {
                 let self_closing = inside.trim_end().ends_with('/');
                 let inside = inside.trim_end().trim_end_matches('/');
                 let (tag, attrs) = parse_tag(inside);
-                let node = DomNode::Element { tag: tag.clone(), attrs, children: Vec::new() };
+                let node = DomNode::Element {
+                    tag: tag.clone(),
+                    attrs,
+                    children: Vec::new(),
+                };
                 if self_closing || VOID_ELEMENTS.contains(&tag.as_str()) {
                     append_to_top(&mut stack, node);
                 } else if tag == "script" || tag == "style" {
@@ -63,7 +71,9 @@ pub fn parse_html(input: &str) -> Document {
                     let mut node = node;
                     node.append_child(DomNode::Text(raw));
                     append_to_top(&mut stack, node);
-                    let after = find_char(&chars, content_end, '>').map(|e| e + 1).unwrap_or(chars.len());
+                    let after = find_char(&chars, content_end, '>')
+                        .map(|e| e + 1)
+                        .unwrap_or(chars.len());
                     i = after;
                 } else {
                     stack.push(node);
@@ -190,7 +200,9 @@ fn close_element(stack: &mut Vec<DomNode>, name: &str) {
 }
 
 fn starts_with(chars: &[char], at: usize, pat: &str) -> bool {
-    pat.chars().enumerate().all(|(k, c)| chars.get(at + k) == Some(&c))
+    pat.chars()
+        .enumerate()
+        .all(|(k, c)| chars.get(at + k) == Some(&c))
 }
 
 fn find_char(chars: &[char], from: usize, needle: char) -> Option<usize> {
@@ -228,7 +240,9 @@ mod tests {
 
     #[test]
     fn void_and_self_closing_elements_do_not_swallow_siblings() {
-        let doc = parse_html("<form><input name=\"a\" value=\"1\"/><input name=b value=2><p>after</p></form>");
+        let doc = parse_html(
+            "<form><input name=\"a\" value=\"1\"/><input name=b value=2><p>after</p></form>",
+        );
         let forms = doc.forms();
         assert_eq!(forms[0].fields.len(), 2);
         assert_eq!(forms[0].fields.get("b"), Some(&"2".to_string()));
@@ -269,7 +283,9 @@ mod tests {
 
     #[test]
     fn textarea_content_is_available_as_field_value() {
-        let doc = parse_html("<form action=\"/e\"><textarea name=\"body\">line1\nline2</textarea></form>");
+        let doc = parse_html(
+            "<form action=\"/e\"><textarea name=\"body\">line1\nline2</textarea></form>",
+        );
         assert_eq!(doc.field_value("body"), Some("line1\nline2".to_string()));
     }
 }

@@ -25,7 +25,7 @@ pub mod merge;
 pub mod replay;
 
 pub use browser::{Browser, PageVisit};
-pub use dom::{DomNode, Document};
+pub use dom::{Document, DomNode};
 pub use events::{EventKind, PageVisitRecord, RecordedEvent, RecordedRequest};
 pub use html::parse_html;
 pub use merge::three_way_merge;
@@ -61,6 +61,9 @@ mod tests {
         assert_eq!(next.response.status, 200);
         let logs = b.take_logs();
         assert_eq!(logs.len(), 2);
-        assert!(logs[0].events.iter().any(|e| matches!(e.kind, EventKind::Input)));
+        assert!(logs[0]
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Input)));
     }
 }

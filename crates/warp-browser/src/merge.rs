@@ -85,13 +85,21 @@ fn diff_chunks(base: &[&str], new: &[&str]) -> Vec<Chunk> {
         } else if j < m && (i == n || lcs[i][j + 1] >= lcs[i + 1][j]) {
             // Line inserted from `new`.
             pending
-                .get_or_insert(Chunk { base_start: i, base_end: i, lines: Vec::new() })
+                .get_or_insert(Chunk {
+                    base_start: i,
+                    base_end: i,
+                    lines: Vec::new(),
+                })
                 .lines
                 .push(new[j].to_string());
             j += 1;
         } else {
             // Line deleted from `base`.
-            let c = pending.get_or_insert(Chunk { base_start: i, base_end: i, lines: Vec::new() });
+            let c = pending.get_or_insert(Chunk {
+                base_start: i,
+                base_end: i,
+                lines: Vec::new(),
+            });
             c.base_end = i + 1;
             i += 1;
         }
@@ -113,14 +121,12 @@ fn chunks_overlap(a: &Chunk, b: &Chunk) -> bool {
     a_range.0 < b_range.1 && b_range.0 < a_range.1
 }
 
-fn merge_chunks(
-    base: &[&str],
-    ours: &[Chunk],
-    theirs: &[Chunk],
-) -> Option<Vec<String>> {
+fn merge_chunks(base: &[&str], ours: &[Chunk], theirs: &[Chunk]) -> Option<Vec<String>> {
     for a in ours {
         for b in theirs {
-            if chunks_overlap(a, b) && !(a.base_start == b.base_start && a.base_end == b.base_end && a.lines == b.lines) {
+            if chunks_overlap(a, b)
+                && !(a.base_start == b.base_start && a.base_end == b.base_end && a.lines == b.lines)
+            {
                 return None;
             }
         }
@@ -209,7 +215,10 @@ mod tests {
         let base = "a\nb";
         let ours = "a\nz";
         let theirs = "a\nz";
-        assert_eq!(three_way_merge(base, ours, theirs), MergeResult::Merged("a\nz".to_string()));
+        assert_eq!(
+            three_way_merge(base, ours, theirs),
+            MergeResult::Merged("a\nz".to_string())
+        );
     }
 
     #[test]

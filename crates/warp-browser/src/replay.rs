@@ -33,7 +33,10 @@ pub struct ReplayConfig {
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { extension_enabled: true, text_merge: true }
+        ReplayConfig {
+            extension_enabled: true,
+            text_merge: true,
+        }
     }
 }
 
@@ -96,8 +99,11 @@ pub fn replay_visit(
     transport: &mut dyn Transport,
     config: &ReplayConfig,
 ) -> ReplayOutcome {
-    let mut outcome =
-        ReplayOutcome { requests: Vec::new(), conflict: None, cookies: initial_cookies };
+    let mut outcome = ReplayOutcome {
+        requests: Vec::new(),
+        conflict: None,
+        cookies: initial_cookies,
+    };
     if !config.extension_enabled {
         outcome.conflict = Some(ConflictReason::NoClientLog);
         return outcome;
@@ -107,11 +113,15 @@ pub fn replay_visit(
         return outcome;
     }
     let mut document = parse_html(&new_response.body);
-    let mut next_request_id: u64 = 1_000_000; // Fresh IDs for unmatched requests.
+    // Fresh IDs for unmatched requests.
+    let mut next_request_id: u64 = 1_000_000;
     // Re-run the page's scripts on the repaired page. Requests they issue are
     // matched back to original request IDs where possible.
-    let script_sources: Vec<String> =
-        document.elements_by_tag("script").into_iter().map(|s| s.text_content()).collect();
+    let script_sources: Vec<String> = document
+        .elements_by_tag("script")
+        .into_iter()
+        .map(|s| s.text_content())
+        .collect();
     for src in script_sources {
         if src.trim().is_empty() {
             continue;
@@ -127,7 +137,11 @@ pub fn replay_visit(
             &mut next_request_id,
         );
         for mut iss in issued {
-            let matched = record.match_request(iss.request.method, &iss.request.path, &iss.request.all_params());
+            let matched = record.match_request(
+                iss.request.method,
+                &iss.request.path,
+                &iss.request.all_params(),
+            );
             if let Some(id) = matched {
                 iss.request.warp.request_id = Some(id);
             }
@@ -197,8 +211,16 @@ pub fn replay_visit(
                         return outcome;
                     }
                 };
-                let method = if form.method == "post" { Method::Post } else { Method::Get };
-                let target = if form.action.is_empty() { record.url.clone() } else { form.action };
+                let method = if form.method == "post" {
+                    Method::Post
+                } else {
+                    Method::Get
+                };
+                let target = if form.action.is_empty() {
+                    record.url.clone()
+                } else {
+                    form.action
+                };
                 issue(
                     &mut outcome,
                     record,
@@ -247,7 +269,11 @@ fn issue(
     for sc in &response.set_cookies {
         outcome.cookies.apply_set_cookie(sc);
     }
-    outcome.requests.push(ReplayedRequest { request, response, matched_request_id: matched });
+    outcome.requests.push(ReplayedRequest {
+        request,
+        response,
+        matched_request_id: matched,
+    });
 }
 
 #[cfg(test)]
@@ -287,7 +313,10 @@ mod tests {
         let mut visit = b.visit("/view.wasl?title=Main", &mut site);
         b.fill(&mut visit, "body", "wiki content\nATTACK\nvictim notes");
         let _next = b.submit_form(&mut visit, "/edit.wasl", &mut site);
-        b.take_logs().into_iter().find(|r| r.url == "/view.wasl?title=Main").unwrap()
+        b.take_logs()
+            .into_iter()
+            .find(|r| r.url == "/view.wasl?title=Main")
+            .unwrap()
     }
 
     fn repaired_response() -> HttpResponse {
@@ -315,7 +344,10 @@ mod tests {
         assert_eq!(outcome.requests.len(), 1);
         let edit = &outcome.requests[0];
         assert_eq!(edit.request.path, "/edit.wasl");
-        assert_eq!(edit.request.param("body"), Some("wiki content\nvictim notes"));
+        assert_eq!(
+            edit.request.param("body"),
+            Some("wiki content\nvictim notes")
+        );
         assert!(edit.matched_request_id.is_some());
     }
 
@@ -328,9 +360,15 @@ mod tests {
             &repaired_response(),
             CookieJar::new(),
             &mut transport,
-            &ReplayConfig { extension_enabled: true, text_merge: false },
+            &ReplayConfig {
+                extension_enabled: true,
+                text_merge: false,
+            },
         );
-        assert_eq!(outcome.conflict, Some(ConflictReason::TextMergeConflict("body".into())));
+        assert_eq!(
+            outcome.conflict,
+            Some(ConflictReason::TextMergeConflict("body".into()))
+        );
     }
 
     #[test]
@@ -342,7 +380,10 @@ mod tests {
             &repaired_response(),
             CookieJar::new(),
             &mut transport,
-            &ReplayConfig { extension_enabled: false, text_merge: true },
+            &ReplayConfig {
+                extension_enabled: false,
+                text_merge: true,
+            },
         );
         assert_eq!(outcome.conflict, Some(ConflictReason::NoClientLog));
         assert!(outcome.requests.is_empty());
@@ -360,7 +401,10 @@ mod tests {
             &mut transport,
             &ReplayConfig::default(),
         );
-        assert!(matches!(outcome.conflict, Some(ConflictReason::MissingTarget(_))));
+        assert!(matches!(
+            outcome.conflict,
+            Some(ConflictReason::MissingTarget(_))
+        ));
     }
 
     #[test]

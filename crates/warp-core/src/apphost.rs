@@ -82,7 +82,9 @@ pub struct AppRunResult {
 pub fn run_application(ctx: AppRunContext<'_>) -> AppRunResult {
     let entry = ctx.entry_script.clone();
     let original_len = match &ctx.mode {
-        ExecMode::Repair { original: Some(o), .. } => o.queries.len(),
+        ExecMode::Repair {
+            original: Some(o), ..
+        } => o.queries.len(),
         _ => 0,
     };
     let mut host = AppHost {
@@ -132,7 +134,9 @@ pub fn run_application(ctx: AppRunContext<'_>) -> AppRunResult {
     for (name, value) in &host.headers {
         response.headers.insert(name.clone(), value.clone());
     }
-    response.set_cookies.extend(host.set_cookies.iter().cloned());
+    response
+        .set_cookies
+        .extend(host.set_cookies.iter().cloned());
     AppRunResult {
         response,
         loaded_files: host.loaded_files,
@@ -167,9 +171,9 @@ struct AppHost<'a> {
 impl AppHost<'_> {
     fn source_for(&self, filename: &str) -> Option<String> {
         match self.mode {
-            ExecMode::Normal { .. } => {
-                self.sources.content_for_normal_execution(filename, self.action_time)
-            }
+            ExecMode::Normal { .. } => self
+                .sources
+                .content_for_normal_execution(filename, self.action_time),
             ExecMode::Repair { .. } => self.sources.content_for_repair(filename, self.action_time),
         }
     }
@@ -187,9 +191,17 @@ impl AppHost<'_> {
     /// the original run called it (in-order matching per call site family,
     /// paper §3.3); otherwise None and the caller generates a fresh value.
     fn replay_nondet(&mut self, func: &str) -> Option<SVal> {
-        if let ExecMode::Repair { original: Some(original), .. } = &self.mode {
+        if let ExecMode::Repair {
+            original: Some(original),
+            ..
+        } = &self.mode
+        {
             let cursor = self.nondet_cursor.entry(func.to_string()).or_insert(0);
-            let remaining = original.nondet.iter().filter(|n| n.func == func).nth(*cursor);
+            let remaining = original
+                .nondet
+                .iter()
+                .filter(|n| n.func == func)
+                .nth(*cursor);
             if let Some(n) = remaining {
                 *cursor += 1;
                 return Some(n.result.clone());
@@ -208,7 +220,11 @@ impl AppHost<'_> {
             return v;
         }
         let fresh = match &mut self.mode {
-            ExecMode::Normal { clock, rng_counter, session_counter } => match func {
+            ExecMode::Normal {
+                clock,
+                rng_counter,
+                session_counter,
+            } => match func {
                 "time" => SVal::Int(clock.now()),
                 "rand" => {
                     **rng_counter += 1;
@@ -225,7 +241,9 @@ impl AppHost<'_> {
                 // repair generation and action time so repair itself stays
                 // deterministic.
                 "time" => SVal::Int(self.action_time),
-                "rand" => SVal::Int(mix(self.action_time as u64 ^ session.generation as u64) as i64 & 0x7fff_ffff),
+                "rand" => SVal::Int(
+                    mix(self.action_time as u64 ^ session.generation as u64) as i64 & 0x7fff_ffff,
+                ),
                 "session_start" => SVal::str(generate_session_id(
                     (self.action_time as u64) ^ 0xdead_beef ^ session.generation as u64,
                 )),
@@ -243,7 +261,9 @@ impl AppHost<'_> {
             ExecMode::Normal { clock, .. } => {
                 let time = clock.tick();
                 let gen = self.db.current_generation();
-                self.db.execute_stmt_logged(&stmt, time, gen).map(|out| (out, time))
+                self.db
+                    .execute_stmt_logged(&stmt, time, gen)
+                    .map(|out| (out, time))
             }
             ExecMode::Repair { session, original } => {
                 // Match this query against the original run's queries to find
@@ -276,7 +296,8 @@ impl AppHost<'_> {
                 result.map(|out| (out, time))
             }
         };
-        let (out, time) = execution.map_err(|e| ScriptError::Host(format!("database error: {e}")))?;
+        let (out, time) =
+            execution.map_err(|e| ScriptError::Host(format!("database error: {e}")))?;
         let fingerprint = out.result.fingerprint();
         self.queries.push(QueryRecord {
             sql: sql.to_string(),
@@ -331,7 +352,11 @@ fn match_original_query(
             }
             if let Ok(orig_stmt) = warp_sql::parse(&q.sql) {
                 if std::mem::discriminant(&orig_stmt) == kind
-                    && orig_stmt.table_name().unwrap_or_default().to_ascii_lowercase() == table
+                    && orig_stmt
+                        .table_name()
+                        .unwrap_or_default()
+                        .to_ascii_lowercase()
+                        == table
                 {
                     return Some(i);
                 }
@@ -351,38 +376,74 @@ impl Host for AppHost<'_> {
                 Some(Ok(SVal::Null))
             }
             "param" => {
-                let key = args.first().map(|v| v.to_display_string()).unwrap_or_default();
-                Some(Ok(self.request.param(&key).map(SVal::str).unwrap_or(SVal::Null)))
+                let key = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
+                Some(Ok(self
+                    .request
+                    .param(&key)
+                    .map(SVal::str)
+                    .unwrap_or(SVal::Null)))
             }
             "has_param" => {
-                let key = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let key = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 Some(Ok(SVal::Bool(self.request.param(&key).is_some())))
             }
             "request_method" => Some(Ok(SVal::str(self.request.method.as_str()))),
             "request_path" => Some(Ok(SVal::str(self.request.path.clone()))),
             "cookie" => {
-                let key = args.first().map(|v| v.to_display_string()).unwrap_or_default();
-                Some(Ok(self.request.cookies.get(&key).map(SVal::str).unwrap_or(SVal::Null)))
+                let key = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
+                Some(Ok(self
+                    .request
+                    .cookies
+                    .get(&key)
+                    .map(SVal::str)
+                    .unwrap_or(SVal::Null)))
             }
             "set_cookie" => {
-                let key = args.first().map(|v| v.to_display_string()).unwrap_or_default();
-                let value = args.get(1).map(|v| v.to_display_string()).unwrap_or_default();
+                let key = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
+                let value = args
+                    .get(1)
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 self.set_cookies.push(format!("{key}={value}"));
                 Some(Ok(SVal::Null))
             }
             "clear_cookie" => {
-                let key = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let key = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 self.set_cookies.push(format!("{key}="));
                 Some(Ok(SVal::Null))
             }
             "header" => {
-                let key = args.first().map(|v| v.to_display_string()).unwrap_or_default();
-                let value = args.get(1).map(|v| v.to_display_string()).unwrap_or_default();
+                let key = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
+                let value = args
+                    .get(1)
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 self.headers.push((key, value));
                 Some(Ok(SVal::Null))
             }
             "redirect" => {
-                let url = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let url = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 self.redirect = Some(url);
                 Some(Ok(SVal::Null))
             }
@@ -393,7 +454,10 @@ impl Host for AppHost<'_> {
                 Some(Ok(SVal::Null))
             }
             "db_query" => {
-                let sql = args.first().map(|v| v.to_display_string()).unwrap_or_default();
+                let sql = args
+                    .first()
+                    .map(|v| v.to_display_string())
+                    .unwrap_or_default();
                 Some(self.handle_query(&sql))
             }
             "time" | "rand" | "session_start" => Some(Ok(self.handle_nondet(name, args))),
@@ -437,7 +501,9 @@ mod tests {
         let mut db = TimeTravelDb::new();
         db.create_table(
             "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT, body TEXT)",
-            TableAnnotation::new().row_id("page_id").partitions(["title"]),
+            TableAnnotation::new()
+                .row_id("page_id")
+                .partitions(["title"]),
         )
         .unwrap();
         db
@@ -503,7 +569,10 @@ mod tests {
         assert_eq!(out.queries.len(), 2);
         assert!(out.queries[0].is_write);
         assert!(!out.queries[1].is_write);
-        assert_eq!(out.queries[0].written_row_ids, vec![warp_sql::Value::Int(1)]);
+        assert_eq!(
+            out.queries[0].written_row_ids,
+            vec![warp_sql::Value::Int(1)]
+        );
         assert!(out.queries[0].time < out.queries[1].time);
     }
 
@@ -517,7 +586,10 @@ mod tests {
         let req = HttpRequest::get("/view.wasl");
         let out = normal_run(&mut db, &mut clock, &sources, "view.wasl", &req);
         assert_eq!(out.response.body, "[ok]");
-        assert_eq!(out.loaded_files, vec!["view.wasl".to_string(), "common.wasl".to_string()]);
+        assert_eq!(
+            out.loaded_files,
+            vec!["view.wasl".to_string(), "common.wasl".to_string()]
+        );
     }
 
     #[test]
@@ -540,7 +612,10 @@ mod tests {
         let mut db = test_db();
         let mut clock = LogicalClock::new();
         let mut sources = SourceStore::new();
-        sources.install("r.wasl", "echo(rand() . \",\" . rand() . \",\" . session_start());");
+        sources.install(
+            "r.wasl",
+            "echo(rand() . \",\" . rand() . \",\" . session_start());",
+        );
         let req = HttpRequest::get("/r.wasl");
         let original = normal_run(&mut db, &mut clock, &sources, "r.wasl", &req);
         assert_eq!(original.nondet.len(), 3);
@@ -565,7 +640,10 @@ mod tests {
             sources: &sources,
             action_time: 1,
             db: &mut db,
-            mode: ExecMode::Repair { session: &mut session, original: Some(&action) },
+            mode: ExecMode::Repair {
+                session: &mut session,
+                original: Some(&action),
+            },
         });
         assert_eq!(repaired.response.body, original.response.body);
     }
@@ -629,7 +707,10 @@ mod tests {
             sources: &sources,
             action_time: action.time,
             db: &mut db,
-            mode: ExecMode::Repair { session: &mut session, original: Some(&action) },
+            mode: ExecMode::Repair {
+                session: &mut session,
+                original: Some(&action),
+            },
         });
         // The differently-texted UPDATE still matched the original write.
         assert_eq!(repaired.used_original_queries, vec![true]);
@@ -637,6 +718,8 @@ mod tests {
         let body = db
             .execute_logged("SELECT body FROM page WHERE title = 'Main'", 1000)
             .unwrap();
-        assert!(body.result.rows[0][0].as_display_string().contains("&lt;script&gt;"));
+        assert!(body.result.rows[0][0]
+            .as_display_string()
+            .contains("&lt;script&gt;"));
     }
 }

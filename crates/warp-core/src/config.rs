@@ -25,17 +25,28 @@ pub struct AppConfig {
 impl AppConfig {
     /// Creates an empty configuration.
     pub fn new(name: impl Into<String>) -> Self {
-        AppConfig { name: name.into(), ..Default::default() }
+        AppConfig {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a source file.
-    pub fn add_source(&mut self, filename: impl Into<String>, content: impl Into<String>) -> &mut Self {
+    pub fn add_source(
+        &mut self,
+        filename: impl Into<String>,
+        content: impl Into<String>,
+    ) -> &mut Self {
         self.sources.push((filename.into(), content.into()));
         self
     }
 
     /// Adds a table with its Warp annotation.
-    pub fn add_table(&mut self, create_sql: impl Into<String>, annotation: TableAnnotation) -> &mut Self {
+    pub fn add_table(
+        &mut self,
+        create_sql: impl Into<String>,
+        annotation: TableAnnotation,
+    ) -> &mut Self {
         self.tables.push((create_sql.into(), annotation));
         self
     }
@@ -67,7 +78,10 @@ mod tests {
     fn builder_accumulates() {
         let mut c = AppConfig::new("wiki");
         c.add_source("index.wasl", "echo(1);")
-            .add_table("CREATE TABLE page (page_id INTEGER PRIMARY KEY)", TableAnnotation::new().row_id("page_id"))
+            .add_table(
+                "CREATE TABLE page (page_id INTEGER PRIMARY KEY)",
+                TableAnnotation::new().row_id("page_id"),
+            )
             .route("/", "index.wasl")
             .seed("INSERT INTO page (page_id) VALUES (1)");
         assert_eq!(c.sources.len(), 1);
@@ -75,6 +89,9 @@ mod tests {
         assert_eq!(c.seed_sql.len(), 1);
         assert_eq!(c.annotation_lines(), 1);
         assert_eq!(c.router.resolve("/"), Some("index.wasl".to_string()));
-        assert_eq!(c.router.resolve("/index.wasl"), Some("index.wasl".to_string()));
+        assert_eq!(
+            c.router.resolve("/index.wasl"),
+            Some("index.wasl".to_string())
+        );
     }
 }

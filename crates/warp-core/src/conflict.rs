@@ -30,6 +30,10 @@ pub struct Conflict {
     pub kind: ConflictKind,
     /// True once the user has resolved the conflict.
     pub resolved: bool,
+    /// The repair partition (dependency group index) whose re-execution
+    /// raised the conflict, when the partitioned engine ran. `None` for the
+    /// sequential engine.
+    pub partition: Option<usize>,
 }
 
 impl Conflict {
@@ -41,7 +45,15 @@ impl Conflict {
             url: url.to_string(),
             kind,
             resolved: false,
+            partition: None,
         }
+    }
+
+    /// Attributes the conflict to a repair partition (used by the
+    /// partitioned engine when merging per-partition outcomes).
+    pub fn with_partition(mut self, partition: usize) -> Self {
+        self.partition = Some(partition);
+        self
     }
 }
 
@@ -70,7 +82,10 @@ impl ConflictQueue {
     /// Pending conflicts for one client — the set the conflict-resolution
     /// page shows the user when they next log in.
     pub fn pending_for(&self, client_id: &str) -> Vec<&Conflict> {
-        self.conflicts.iter().filter(|c| c.client_id == client_id && !c.resolved).collect()
+        self.conflicts
+            .iter()
+            .filter(|c| c.client_id == client_id && !c.resolved)
+            .collect()
     }
 
     /// Number of distinct clients with at least one pending conflict (the
@@ -108,14 +123,24 @@ mod tests {
     #[test]
     fn queue_tracks_pending_per_client() {
         let mut q = ConflictQueue::new();
-        q.push(Conflict::new("alice", 3, "/edit.wasl", ConflictKind::ActionCancelled));
+        q.push(Conflict::new(
+            "alice",
+            3,
+            "/edit.wasl",
+            ConflictKind::ActionCancelled,
+        ));
         q.push(Conflict::new(
             "bob",
             1,
             "/view.wasl",
             ConflictKind::BrowserReplay(ConflictReason::NoClientLog),
         ));
-        q.push(Conflict::new("alice", 4, "/edit.wasl", ConflictKind::ActionCancelled));
+        q.push(Conflict::new(
+            "alice",
+            4,
+            "/edit.wasl",
+            ConflictKind::ActionCancelled,
+        ));
         assert_eq!(q.pending_for("alice").len(), 2);
         assert_eq!(q.pending_for("bob").len(), 1);
         assert_eq!(q.clients_with_conflicts(), 2);

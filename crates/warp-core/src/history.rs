@@ -110,8 +110,71 @@ impl ActionRecord {
 
     /// The union of partitions read by this action's queries.
     pub fn read_partitions(&self) -> Vec<&PartitionSet> {
-        self.queries.iter().map(|q| &q.dependency.read_partitions).collect()
+        self.queries
+            .iter()
+            .map(|q| &q.dependency.read_partitions)
+            .collect()
     }
+
+    /// The normalized partition footprint of this action: every non-empty
+    /// partition set its queries read or wrote. A write whose recorded
+    /// partitions are empty but that touched rows (e.g. an INSERT that never
+    /// supplied a partition column) is widened to the whole table, so the
+    /// footprint never under-approximates what the action touched.
+    pub fn partition_footprint(&self) -> Vec<PartitionSet> {
+        let mut out = Vec::new();
+        for q in &self.queries {
+            let (read, write) = normalized_dependency_partitions(&q.dependency);
+            out.extend(read.cloned());
+            out.extend(write);
+        }
+        out
+    }
+}
+
+/// Normalizes one query dependency's partition sets for indexing, partition
+/// planning and escalation checks: `(read set, write set)`, each omitted
+/// when empty, and the write set widened to the whole table when the query
+/// wrote rows whose partitions could not be derived. Every consumer of
+/// partition dependencies must go through this one definition — the
+/// scheduler's escalation check and the planner's footprints have to agree
+/// on it exactly.
+pub(crate) fn normalized_dependency_partitions(
+    dep: &warp_ttdb::QueryDependency,
+) -> (Option<&PartitionSet>, Option<PartitionSet>) {
+    let read = Some(&dep.read_partitions).filter(|p| !p.is_empty());
+    let write = if !dep.write_partitions.is_empty() {
+        Some(dep.write_partitions.clone())
+    } else if dep.is_write && !dep.written_row_ids.is_empty() {
+        Some(PartitionSet::whole(&dep.table))
+    } else {
+        None
+    };
+    (read, write)
+}
+
+/// The actions that read and wrote one partition of a table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartitionHub {
+    /// Actions whose queries read this partition.
+    pub readers: Vec<ActionId>,
+    /// Actions whose queries wrote this partition.
+    pub writers: Vec<ActionId>,
+}
+
+/// Per-table partition usage: which actions touched which partitions, plus
+/// the actions whose queries conservatively covered the whole table. The
+/// partitioned repair scheduler builds its dependency groups from this index
+/// instead of rescanning every recorded query.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TablePartitionIndex {
+    /// Actions that read the whole table (unpinned `WHERE`, full scans).
+    pub whole_readers: Vec<ActionId>,
+    /// Actions that wrote the whole table (or wrote rows with no derivable
+    /// partition values).
+    pub whole_writers: Vec<ActionId>,
+    /// Per `(partition column, value)`: the actions touching that partition.
+    pub keys: BTreeMap<(String, String), PartitionHub>,
 }
 
 /// The persistent log: actions, per-client browser logs, and indices.
@@ -122,6 +185,8 @@ pub struct HistoryGraph {
     by_file: BTreeMap<String, Vec<ActionId>>,
     /// Index: (client id, visit id) → actions caused by that page visit.
     by_visit: BTreeMap<(String, u64), Vec<ActionId>>,
+    /// Index: table → partition usage (readers/writers per partition).
+    by_partition: BTreeMap<String, TablePartitionIndex>,
     /// Per-client uploaded browser logs, keyed by client then visit.
     client_logs: BTreeMap<String, BTreeMap<u64, PageVisitRecord>>,
     /// Per-client storage quota in bytes for uploaded logs (paper §5.2).
@@ -131,7 +196,10 @@ pub struct HistoryGraph {
 impl HistoryGraph {
     /// Creates an empty history graph with the default per-client quota.
     pub fn new() -> Self {
-        HistoryGraph { client_log_quota_bytes: 4 * 1024 * 1024, ..Default::default() }
+        HistoryGraph {
+            client_log_quota_bytes: 4 * 1024 * 1024,
+            ..Default::default()
+        }
     }
 
     /// Number of recorded actions.
@@ -157,8 +225,67 @@ impl HistoryGraph {
                 .or_default()
                 .push(id);
         }
+        self.index_partitions(id, &action);
         self.actions.push(action);
         id
+    }
+
+    /// Indexes one action's queries into the partition index.
+    fn index_partitions(&mut self, id: ActionId, action: &ActionRecord) {
+        fn push_dedup(list: &mut Vec<ActionId>, id: ActionId) {
+            // IDs are appended in increasing order, so a duplicate from a
+            // second query of the same action is always the last element.
+            if list.last() != Some(&id) {
+                list.push(id);
+            }
+        }
+        let mut add = |set: &PartitionSet, as_writer: bool| match set {
+            PartitionSet::Whole { table } => {
+                let entry = self.by_partition.entry(table.clone()).or_default();
+                let list = if as_writer {
+                    &mut entry.whole_writers
+                } else {
+                    &mut entry.whole_readers
+                };
+                push_dedup(list, id);
+            }
+            PartitionSet::Keys(keys) => {
+                for key in keys {
+                    let entry = self.by_partition.entry(key.table.clone()).or_default();
+                    let hub = entry
+                        .keys
+                        .entry((key.column.clone(), key.value.clone()))
+                        .or_default();
+                    let list = if as_writer {
+                        &mut hub.writers
+                    } else {
+                        &mut hub.readers
+                    };
+                    push_dedup(list, id);
+                }
+            }
+        };
+        for q in &action.queries {
+            let (read, write) = normalized_dependency_partitions(&q.dependency);
+            if let Some(read) = read {
+                add(read, false);
+            }
+            if let Some(write) = write {
+                add(&write, true);
+            }
+        }
+    }
+
+    /// The partition index (table → readers/writers per partition).
+    pub fn partition_index(&self) -> &BTreeMap<String, TablePartitionIndex> {
+        &self.by_partition
+    }
+
+    /// The action groups caused by page visits, one slice per known
+    /// `(client, visit)` pair. Actions of one page visit must be repaired
+    /// together (browser replay cancels and re-issues across the visit).
+    pub fn visit_action_groups(&self) -> Vec<&[ActionId]> {
+        self.by_visit.values().map(|ids| ids.as_slice()).collect()
     }
 
     /// Returns an action by ID.
@@ -197,7 +324,10 @@ impl HistoryGraph {
 
     /// Actions caused by a given page visit.
     pub fn actions_for_visit(&self, client_id: &str, visit_id: u64) -> Vec<ActionId> {
-        self.by_visit.get(&(client_id.to_string(), visit_id)).cloned().unwrap_or_default()
+        self.by_visit
+            .get(&(client_id.to_string(), visit_id))
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The action that served a specific request of a page visit.
@@ -207,19 +337,24 @@ impl HistoryGraph {
         visit_id: u64,
         request_id: u64,
     ) -> Option<ActionId> {
-        self.actions_for_visit(client_id, visit_id).into_iter().find(|&id| {
-            self.actions[id as usize]
-                .client
-                .as_ref()
-                .map(|c| c.request_id == request_id)
-                .unwrap_or(false)
-        })
+        self.actions_for_visit(client_id, visit_id)
+            .into_iter()
+            .find(|&id| {
+                self.actions[id as usize]
+                    .client
+                    .as_ref()
+                    .map(|c| c.request_id == request_id)
+                    .unwrap_or(false)
+            })
     }
 
     /// Stores a client-uploaded page-visit record, enforcing the per-client
     /// quota (oldest visits are dropped first).
     pub fn upload_client_log(&mut self, record: PageVisitRecord) {
-        let per_client = self.client_logs.entry(record.client_id.clone()).or_default();
+        let per_client = self
+            .client_logs
+            .entry(record.client_id.clone())
+            .or_default();
         per_client.insert(record.visit_id, record);
         let quota = self.client_log_quota_bytes;
         loop {
@@ -234,12 +369,17 @@ impl HistoryGraph {
 
     /// The uploaded browser log for a page visit, if the client uploaded one.
     pub fn client_log(&self, client_id: &str, visit_id: u64) -> Option<&PageVisitRecord> {
-        self.client_logs.get(client_id).and_then(|m| m.get(&visit_id))
+        self.client_logs
+            .get(client_id)
+            .and_then(|m| m.get(&visit_id))
     }
 
     /// All page visits recorded for a client, in visit order.
     pub fn client_visits(&self, client_id: &str) -> Vec<&PageVisitRecord> {
-        self.client_logs.get(client_id).map(|m| m.values().collect()).unwrap_or_default()
+        self.client_logs
+            .get(client_id)
+            .map(|m| m.values().collect())
+            .unwrap_or_default()
     }
 
     /// Clients that have uploaded logs.
@@ -256,7 +396,10 @@ impl HistoryGraph {
             .collect::<BTreeSet<_>>()
             .len()
             .max(self.actions.len().min(1));
-        let mut stats = LoggingStats { page_visits, ..LoggingStats::default() };
+        let mut stats = LoggingStats {
+            page_visits,
+            ..LoggingStats::default()
+        };
         for a in &self.actions {
             stats.app_bytes += a.approximate_app_bytes();
             stats.db_bytes += a.approximate_db_bytes();
@@ -273,8 +416,12 @@ impl HistoryGraph {
     /// Garbage-collects actions older than `before_time` (in sync with the
     /// time-travel database's version GC). Returns how many were removed.
     pub fn garbage_collect(&mut self, before_time: i64) -> usize {
-        let keep: Vec<ActionRecord> =
-            self.actions.iter().filter(|a| a.time >= before_time).cloned().collect();
+        let keep: Vec<ActionRecord> = self
+            .actions
+            .iter()
+            .filter(|a| a.time >= before_time)
+            .cloned()
+            .collect();
         let removed = self.actions.len() - keep.len();
         if removed == 0 {
             return 0;
@@ -282,7 +429,10 @@ impl HistoryGraph {
         // Rebuild with fresh IDs and indices.
         let logs = std::mem::take(&mut self.client_logs);
         let quota = self.client_log_quota_bytes;
-        *self = HistoryGraph { client_log_quota_bytes: quota, ..Default::default() };
+        *self = HistoryGraph {
+            client_log_quota_bytes: quota,
+            ..Default::default()
+        };
         self.client_logs = logs;
         for mut a in keep {
             a.id = 0;

@@ -42,6 +42,7 @@ pub mod config;
 pub mod conflict;
 pub mod history;
 pub mod repair;
+pub mod scheduler;
 pub mod server;
 pub mod sourcefs;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use config::AppConfig;
 pub use conflict::{Conflict, ConflictKind};
 pub use history::{ActionId, ActionRecord, HistoryGraph, NondetRecord, QueryRecord};
 pub use repair::{RepairOutcome, RepairRequest};
+pub use scheduler::RepairStrategy;
 pub use server::WarpServer;
 pub use sourcefs::{Patch, SourceStore};
 pub use stats::{LoggingStats, RepairStats};

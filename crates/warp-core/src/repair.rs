@@ -20,16 +20,14 @@
 //! 5. **Completion**: the repair generation is finalized (or aborted, for a
 //!    non-admin undo that would cause conflicts for other users).
 
-use crate::apphost::{run_application, AppRunContext, AppRunResult, ExecMode};
-use crate::conflict::{Conflict, ConflictKind};
-use crate::history::{ActionId, ActionRecord};
+use crate::conflict::Conflict;
+use crate::history::ActionId;
+use crate::scheduler::{execute_actions, run_partitioned, RepairEnv, RepairStrategy};
 use crate::server::WarpServer;
 use crate::sourcefs::Patch;
 use crate::stats::RepairStats;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::time::Instant;
-use warp_browser::{replay_visit, ReplayOutcome};
-use warp_http::{HttpRequest, HttpResponse, Transport};
 use warp_ttdb::RepairSession;
 
 /// How a repair is initiated.
@@ -65,51 +63,62 @@ pub struct RepairOutcome {
     /// True if the repair was aborted (user-initiated repair that would have
     /// caused conflicts for other users).
     pub aborted: bool,
-}
-
-/// A transport handed to the server-side re-execution browser. Requests the
-/// replayed page issues are *collected* for the repair controller to process
-/// (re-execute or record as new actions) instead of being executed directly.
-#[derive(Debug, Default)]
-struct CollectingTransport {
-    requests: Vec<HttpRequest>,
-}
-
-impl Transport for CollectingTransport {
-    fn send(&mut self, request: HttpRequest) -> HttpResponse {
-        self.requests.push(request);
-        // The replayed page does not get to observe repaired responses
-        // directly; the repair controller re-executes the corresponding
-        // actions itself.
-        HttpResponse::ok("")
-    }
+    /// IDs of the actions that were fully re-executed, sorted. The
+    /// partitioned engine must produce exactly the set the sequential engine
+    /// produces (asserted by the equivalence proptests).
+    pub reexecuted_actions: Vec<ActionId>,
+    /// IDs of the actions that were cancelled, sorted.
+    pub cancelled_actions: Vec<ActionId>,
 }
 
 impl WarpServer {
-    /// Runs a repair to completion and returns its outcome. Normal operation
-    /// may continue between and after repairs; the repaired state becomes
-    /// visible atomically when the repair generation is finalized.
+    /// Runs a repair to completion with the classic sequential engine and
+    /// returns its outcome. Normal operation may continue between and after
+    /// repairs; the repaired state becomes visible atomically when the
+    /// repair generation is finalized.
     pub fn repair(&mut self, request: RepairRequest) -> RepairOutcome {
+        self.repair_with(request, RepairStrategy::Sequential)
+    }
+
+    /// Runs a repair to completion with the given strategy.
+    ///
+    /// [`RepairStrategy::Sequential`] walks the whole history in time order
+    /// on one thread, in place. [`RepairStrategy::Partitioned`] splits the
+    /// history into independent dependency partitions (see
+    /// [`crate::scheduler`]), re-executes the seeded partitions concurrently
+    /// on a worker pool, and merges the results; it produces the same final
+    /// state, re-executed action set and cancelled action set as the
+    /// sequential engine.
+    pub fn repair_with(
+        &mut self,
+        request: RepairRequest,
+        strategy: RepairStrategy,
+    ) -> RepairOutcome {
         let t_total = Instant::now();
         let mut stats = RepairStats::default();
-        let mut conflicts: Vec<Conflict> = Vec::new();
 
         // Phase 1: initiation — work out the initial re-execution/cancel sets.
         let t_init = Instant::now();
-        let mut to_reexecute: BTreeSet<ActionId> = BTreeSet::new();
-        let mut to_cancel: BTreeSet<ActionId> = BTreeSet::new();
-        let mut request_overrides: BTreeMap<ActionId, HttpRequest> = BTreeMap::new();
+        let mut seed_reexecute: BTreeSet<ActionId> = BTreeSet::new();
+        let mut seed_cancel: BTreeSet<ActionId> = BTreeSet::new();
         let initiated_by_admin = match &request {
             RepairRequest::RetroactivePatch { patch, from_time } => {
                 self.sources.apply_retroactive_patch(patch, *from_time);
-                for id in self.history.actions_loading_file(&patch.filename, *from_time) {
-                    to_reexecute.insert(id);
+                for id in self
+                    .history
+                    .actions_loading_file(&patch.filename, *from_time)
+                {
+                    seed_reexecute.insert(id);
                 }
                 true
             }
-            RepairRequest::UndoVisit { client_id, visit_id, initiated_by_admin } => {
+            RepairRequest::UndoVisit {
+                client_id,
+                visit_id,
+                initiated_by_admin,
+            } => {
                 for id in self.history.actions_for_visit(client_id, *visit_id) {
-                    to_cancel.insert(id);
+                    seed_cancel.insert(id);
                 }
                 *initiated_by_admin
             }
@@ -127,319 +136,92 @@ impl WarpServer {
             .filter_map(|a| a.client.as_ref().map(|c| (c.client_id.clone(), c.visit_id)))
             .collect::<BTreeSet<_>>()
             .len();
-        let action_order: Vec<ActionId> = {
-            let mut ids: Vec<ActionId> = self.history.actions().iter().map(|a| a.id).collect();
-            ids.sort_by_key(|&id| (self.history.action(id).map(|a| a.time).unwrap_or(0), id));
-            ids
-        };
+        stats.workers = strategy.worker_count();
         stats.time_graph = t_graph.elapsed();
 
-        // Phase 3: the main repair loop, in time order.
-        let mut session = RepairSession::begin(&mut self.db);
-        let mut reexecuted_visits: BTreeSet<(String, u64)> = BTreeSet::new();
-        for id in action_order {
-            let action = match self.history.action(id) {
-                Some(a) if !a.cancelled => a.clone(),
-                _ => continue,
+        // Phase 3: re-execution, sequential or partitioned.
+        let run = {
+            let env = RepairEnv {
+                sources: &self.sources,
+                router: &self.router,
+                history: &self.history,
+                replay_config: self.replay_config,
             };
-            if to_cancel.contains(&id) {
-                let t = Instant::now();
-                self.cancel_action(&mut session, &action, &mut stats);
-                stats.time_db += t.elapsed();
-                continue;
-            }
-            let explicitly_queued = to_reexecute.contains(&id);
-            let mut needs_full_reexecution = explicitly_queued;
-            if !needs_full_reexecution {
-                // Selective query re-execution (§4.1): only queries whose
-                // partitions were modified are re-executed; the run itself is
-                // re-executed only if a read query's result changed.
-                let affected: Vec<usize> = action
-                    .queries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, q)| session.dependency_affected(&q.dependency))
-                    .map(|(i, _)| i)
-                    .collect();
-                if affected.is_empty() {
-                    continue;
-                }
-                let t = Instant::now();
-                for i in affected {
-                    let q = &action.queries[i];
-                    let stmt = match warp_sql::parse(&q.sql) {
-                        Ok(s) => s,
-                        Err(_) => continue,
+            match strategy {
+                RepairStrategy::Sequential => {
+                    let order: Vec<ActionId> = {
+                        let mut ids: Vec<ActionId> =
+                            self.history.actions().iter().map(|a| a.id).collect();
+                        ids.sort_by_key(|&id| {
+                            (self.history.action(id).map(|a| a.time).unwrap_or(0), id)
+                        });
+                        ids
                     };
-                    if q.is_write {
-                        let _ = session.reexecute_write(&mut self.db, &stmt, q.time, &q.written_row_ids);
-                        stats.queries_reexecuted += 1;
-                    } else {
-                        match session.reexecute_read(&mut self.db, &stmt, q.time) {
-                            Ok(out) => {
-                                stats.queries_reexecuted += 1;
-                                if out.result.fingerprint() != q.result_fingerprint {
-                                    needs_full_reexecution = true;
-                                }
-                            }
-                            Err(_) => needs_full_reexecution = true,
-                        }
-                    }
-                }
-                stats.time_db += t.elapsed();
-                if !needs_full_reexecution {
-                    continue;
-                }
-            }
-            // Full application re-execution.
-            let t_app = Instant::now();
-            let effective_request =
-                request_overrides.get(&id).cloned().unwrap_or_else(|| action.request.clone());
-            let result = self.reexecute_action(&mut session, &action, &effective_request);
-            stats.app_runs_reexecuted += 1;
-            stats.queries_reexecuted += result.queries_reexecuted;
-            // Roll back the effects of original writes the patched run no
-            // longer performs (this is how an attack's database changes are
-            // undone when retroactive patching makes them disappear).
-            for (i, q) in action.queries.iter().enumerate() {
-                let matched = result.used_original_queries.get(i).copied().unwrap_or(false);
-                if q.is_write && !matched {
-                    let _ = session.rollback_rows(
+                    let session = RepairSession::begin(&mut self.db);
+                    execute_actions(
+                        &env,
                         &mut self.db,
-                        &q.dependency.table,
-                        &q.written_row_ids,
-                        q.time,
+                        session,
+                        &order,
+                        &seed_reexecute,
+                        &seed_cancel,
+                        false,
+                    )
+                }
+                RepairStrategy::Partitioned { workers } => {
+                    let result = run_partitioned(
+                        &env,
+                        &mut self.db,
+                        &seed_reexecute,
+                        &seed_cancel,
+                        workers.max(1),
+                        initiated_by_admin,
                     );
-                    stats.rows_rolled_back += q.written_row_ids.len();
-                    session.note_modified(&q.dependency.write_partitions);
+                    stats.partitions_total = result.partitions_total;
+                    stats.partitions_repaired = result.partitions_repaired;
+                    stats.escalations = result.escalations;
+                    result.run
                 }
             }
-            stats.time_app += t_app.elapsed();
-            let response_changed = result.response.fingerprint() != action.response.fingerprint();
-            if let Some(err) = &result.script_error {
-                conflicts.push(Conflict::new(
-                    action.client.as_ref().map(|c| c.client_id.as_str()).unwrap_or("<server>"),
-                    action.client.as_ref().map(|c| c.visit_id).unwrap_or(0),
-                    &action.request.path,
-                    ConflictKind::ReexecutionFailed(err.clone()),
-                ));
-            }
-            if !response_changed {
-                continue;
-            }
-            // Phase 4: browser re-execution for the page visit that received
-            // the changed response.
-            let Some(client) = action.client.clone() else { continue };
-            let visit_key = (client.client_id.clone(), client.visit_id);
-            if reexecuted_visits.contains(&visit_key) {
-                continue;
-            }
-            reexecuted_visits.insert(visit_key);
-            stats.page_visits_reexecuted += 1;
-            let t_browser = Instant::now();
-            let replay = self.replay_client_visit(&client.client_id, client.visit_id, &result.response);
-            stats.time_browser += t_browser.elapsed();
-            match replay {
-                Some(outcome) => {
-                    if let Some(reason) = outcome.conflict.clone() {
-                        conflicts.push(Conflict::new(
-                            &client.client_id,
-                            client.visit_id,
-                            &action.request.path,
-                            ConflictKind::BrowserReplay(reason),
-                        ));
-                        // Per §5.4: queue the conflict and assume subsequent
-                        // requests are unchanged.
-                        continue;
-                    }
-                    // Requests re-issued by the replayed page replace the
-                    // originals; requests no longer issued are cancelled.
-                    let mut reissued: BTreeSet<u64> = BTreeSet::new();
-                    for replayed in &outcome.requests {
-                        match replayed.matched_request_id {
-                            Some(orig_request_id) => {
-                                reissued.insert(orig_request_id);
-                                if let Some(target) = self.history.action_for_request(
-                                    &client.client_id,
-                                    client.visit_id,
-                                    orig_request_id,
-                                ) {
-                                    if target != id {
-                                        request_overrides
-                                            .insert(target, replayed.request.clone());
-                                        to_reexecute.insert(target);
-                                    }
-                                }
-                            }
-                            None => {
-                                // A brand-new request that did not exist
-                                // during the original execution: run it now
-                                // inside the repair generation.
-                                let t = Instant::now();
-                                let fresh = self.run_fresh_in_repair(
-                                    &mut session,
-                                    &replayed.request,
-                                    action.time,
-                                );
-                                stats.queries_reexecuted += fresh.queries_reexecuted;
-                                stats.time_app += t.elapsed();
-                            }
-                        }
-                    }
-                    for other_id in
-                        self.history.actions_for_visit(&client.client_id, client.visit_id)
-                    {
-                        if other_id == id {
-                            continue;
-                        }
-                        let other = match self.history.action(other_id) {
-                            Some(a) => a,
-                            None => continue,
-                        };
-                        let other_request_id =
-                            other.client.as_ref().map(|c| c.request_id).unwrap_or(u64::MAX);
-                        if !reissued.contains(&other_request_id) && !other.cancelled {
-                            to_cancel.insert(other_id);
-                        }
-                    }
-                }
-                None => {
-                    // No client log (extension not installed): Warp cannot
-                    // verify the browser's behaviour; inform the user.
-                    conflicts.push(Conflict::new(
-                        &client.client_id,
-                        client.visit_id,
-                        &action.request.path,
-                        ConflictKind::BrowserReplay(warp_browser::ConflictReason::NoClientLog),
-                    ));
-                }
-            }
-        }
+        };
 
-        // Phase 5: completion.
+        // Phase 5: completion — the repaired state becomes visible (or the
+        // repair generation is discarded) atomically.
         let t_ctrl = Instant::now();
-        stats.conflicts = conflicts.len();
-        stats.rows_rolled_back = stats.rows_rolled_back.max(session.rolled_back_rows);
-        let aborted = !initiated_by_admin && !conflicts.is_empty();
+        stats.page_visits_reexecuted = run.stats.page_visits_reexecuted;
+        stats.app_runs_reexecuted = run.stats.app_runs_reexecuted;
+        stats.queries_reexecuted = run.stats.queries_reexecuted;
+        stats.rows_rolled_back = run.stats.rows_rolled_back;
+        stats.actions_cancelled = run.stats.actions_cancelled;
+        stats.time_db = run.stats.time_db;
+        stats.time_app = run.stats.time_app;
+        stats.time_browser = run.stats.time_browser;
+        stats.conflicts = run.conflicts.len();
+        let aborted = !initiated_by_admin && !run.conflicts.is_empty();
         if aborted {
-            let _ = session.abort(&mut self.db);
+            let _ = self.db.abort_repair_generation();
         } else {
-            session.finalize(&mut self.db);
-            for c in &conflicts {
+            self.db.finalize_repair_generation();
+            for &id in &run.cancelled {
+                if let Some(a) = self.history.action_mut(id) {
+                    a.cancelled = true;
+                }
+            }
+            for c in &run.conflicts {
                 self.conflicts.push(c.clone());
             }
         }
-        stats.time_ctrl = t_ctrl.elapsed();
+        self.pending_cookie_invalidations
+            .extend(run.cookie_invalidations.iter().cloned());
+        stats.time_ctrl = run.stats.time_ctrl + t_ctrl.elapsed();
         stats.time_total = t_total.elapsed();
-        RepairOutcome { stats, conflicts, aborted }
-    }
-
-    /// Re-executes one recorded action with the (possibly patched) sources
-    /// and the repair session.
-    fn reexecute_action(
-        &mut self,
-        session: &mut RepairSession,
-        action: &ActionRecord,
-        request: &HttpRequest,
-    ) -> AppRunResult {
-        let entry = self
-            .router
-            .resolve(&request.path)
-            .unwrap_or_else(|| action.entry_script.clone());
-        run_application(AppRunContext {
-            request,
-            entry_script: entry,
-            sources: &self.sources,
-            action_time: action.time,
-            db: &mut self.db,
-            mode: ExecMode::Repair { session, original: Some(action) },
-        })
-    }
-
-    /// Executes a brand-new request (discovered during browser replay) inside
-    /// the repair generation at the given time.
-    fn run_fresh_in_repair(
-        &mut self,
-        session: &mut RepairSession,
-        request: &HttpRequest,
-        time: i64,
-    ) -> AppRunResult {
-        let entry = match self.router.resolve(&request.path) {
-            Some(e) => e,
-            None => {
-                return AppRunResult {
-                    response: HttpResponse::not_found("no route"),
-                    loaded_files: Vec::new(),
-                    queries: Vec::new(),
-                    nondet: Vec::new(),
-                    used_original_queries: Vec::new(),
-                    script_error: None,
-                    queries_reexecuted: 0,
-                }
-            }
-        };
-        run_application(AppRunContext {
-            request,
-            entry_script: entry,
-            sources: &self.sources,
-            action_time: time,
-            db: &mut self.db,
-            mode: ExecMode::Repair { session, original: None },
-        })
-    }
-
-    /// Rolls back everything an action wrote and marks it cancelled.
-    fn cancel_action(
-        &mut self,
-        session: &mut RepairSession,
-        action: &ActionRecord,
-        stats: &mut RepairStats,
-    ) {
-        for q in &action.queries {
-            if q.is_write {
-                let _ = session.rollback_rows(
-                    &mut self.db,
-                    &q.dependency.table,
-                    &q.written_row_ids,
-                    q.time,
-                );
-                stats.rows_rolled_back += q.written_row_ids.len();
-                session.note_modified(&q.dependency.write_partitions);
-            }
+        RepairOutcome {
+            stats,
+            conflicts: run.conflicts,
+            aborted,
+            reexecuted_actions: run.reexecuted.into_iter().collect(),
+            cancelled_actions: run.cancelled.into_iter().collect(),
         }
-        if let Some(a) = self.history.action_mut(action.id) {
-            a.cancelled = true;
-        }
-        stats.actions_cancelled += 1;
-    }
-
-    /// Replays a client's page visit against the repaired response. Returns
-    /// `None` when the client uploaded no log for that visit.
-    fn replay_client_visit(
-        &mut self,
-        client_id: &str,
-        visit_id: u64,
-        new_response: &HttpResponse,
-    ) -> Option<ReplayOutcome> {
-        let record = self.history.client_log(client_id, visit_id)?.clone();
-        // The re-execution browser gets the cookies the original request to
-        // this visit carried.
-        let cookies = self
-            .history
-            .actions_for_visit(client_id, visit_id)
-            .first()
-            .and_then(|&id| self.history.action(id))
-            .map(|a| a.request.cookies.clone())
-            .unwrap_or_default();
-        let mut transport = CollectingTransport::default();
-        let config = self.replay_config;
-        let outcome = replay_visit(&record, new_response, cookies.clone(), &mut transport, &config);
-        // Queue a cookie invalidation if the repaired cookie differs from the
-        // user's real cookie (§5.3).
-        if outcome.is_clean() && outcome.cookies != cookies {
-            self.pending_cookie_invalidations.insert(client_id.to_string());
-        }
-        Some(outcome)
     }
 }
 
@@ -448,6 +230,7 @@ mod tests {
     use super::*;
     use crate::config::AppConfig;
     use warp_browser::Browser;
+    use warp_http::HttpRequest;
     use warp_ttdb::TableAnnotation;
 
     /// A miniature wiki with a stored-XSS vulnerability in `view.wasl`
@@ -456,7 +239,9 @@ mod tests {
         let mut config = AppConfig::new("mini-wiki");
         config.add_table(
             "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
-            TableAnnotation::new().row_id("page_id").partitions(["title"]),
+            TableAnnotation::new()
+                .row_id("page_id")
+                .partitions(["title"]),
         );
         config.seed("INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'welcome'), (2, 'Secret', 'secret data')");
         config.add_source(
@@ -498,10 +283,14 @@ mod tests {
         let attacker = Browser::new("attacker");
         let payload = "http_post(\"/edit.wasl\", {\"title\": \"Secret\", \"body\": \"DEFACED\"});";
         let inject = format!("<script>{payload}</script>");
-        server.handle(HttpRequest::post("/edit.wasl", [("title", "Main"), ("body", inject.as_str())]));
-        let _ = attacker; // The attacker needs no extension for this attack.
-        // Victim views the infected page; the script runs in her browser and
-        // defaces the Secret page using her requests.
+        server.handle(HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Main"), ("body", inject.as_str())],
+        ));
+        // The attacker needs no extension for this attack.
+        let _ = attacker;
+        // Victim views the infected page; the script runs in the victim's
+        // browser and defaces the Secret page using their requests.
         let mut victim = Browser::new("victim");
         let _visit = victim.visit("/view.wasl?title=Main", server);
         server.upload_client_logs(victim.take_logs());
@@ -520,11 +309,18 @@ mod tests {
         let check = server.handle(HttpRequest::get("/view.wasl?title=Secret"));
         assert!(check.body.contains("DEFACED"));
         // Retroactively patch the XSS.
-        let outcome = server.repair(RepairRequest::RetroactivePatch { patch: xss_patch(), from_time: 0 });
+        let outcome = server.repair(RepairRequest::RetroactivePatch {
+            patch: xss_patch(),
+            from_time: 0,
+        });
         assert!(!outcome.aborted);
         // The defacement is gone and the original secret content is back.
         let check = server.handle(HttpRequest::get("/view.wasl?title=Secret"));
-        assert!(!check.body.contains("DEFACED"), "attack effect should be undone: {}", check.body);
+        assert!(
+            !check.body.contains("DEFACED"),
+            "attack effect should be undone: {}",
+            check.body
+        );
         assert!(check.body.contains("secret data"));
         // The attacker's stored payload is still in the page body (it is data
         // the attacker submitted), but it is now rendered harmless.
@@ -548,7 +344,10 @@ mod tests {
         }
         run_stored_xss_scenario(&mut server);
         let total = server.history.len();
-        let outcome = server.repair(RepairRequest::RetroactivePatch { patch: xss_patch(), from_time: 0 });
+        let outcome = server.repair(RepairRequest::RetroactivePatch {
+            patch: xss_patch(),
+            from_time: 0,
+        });
         // The view.wasl runs are re-executed (they loaded the patched file),
         // but the 20 edit.wasl runs are not.
         assert!(outcome.stats.app_runs_reexecuted < total);
@@ -573,7 +372,11 @@ mod tests {
         });
         assert!(!outcome.aborted);
         let check = server.handle(HttpRequest::get("/view.wasl?title=Main"));
-        assert!(check.body.contains("welcome"), "undo should restore the original body: {}", check.body);
+        assert!(
+            check.body.contains("welcome"),
+            "undo should restore the original body: {}",
+            check.body
+        );
     }
 
     #[test]
@@ -602,6 +405,9 @@ mod tests {
         });
         assert!(outcome.aborted, "non-admin undo with conflicts must abort");
         let after = server.handle(HttpRequest::get("/view.wasl?title=Main"));
-        assert_eq!(before.body, after.body, "aborted repair must not change state");
+        assert_eq!(
+            before.body, after.body,
+            "aborted repair must not change state"
+        );
     }
 }

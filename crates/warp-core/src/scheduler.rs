@@ -1,0 +1,1349 @@
+//! The partitioned parallel repair scheduler.
+//!
+//! The paper's scalability argument (§6–§8) is that repair cost tracks the
+//! *attack's footprint*, not history size: actions whose partition-level
+//! dependencies never meet cannot affect each other during repair, so their
+//! re-execution order is irrelevant and they can be repaired concurrently.
+//! This module makes that argument operational:
+//!
+//! 1. [`plan_partitions`] builds an explicit partition graph over the action
+//!    history using the partition index ([`HistoryGraph::partition_index`])
+//!    and groups actions into independent dependency components (union-find
+//!    over partition hubs, whole-table hubs and page-visit links).
+//! 2. [`execute_actions`] is the repair loop itself — rollback, selective
+//!    query re-execution, full application re-execution and browser replay —
+//!    extracted from the classic controller so the same code drives both the
+//!    sequential engine (one pass over the whole history, in place) and each
+//!    per-partition worker (a pass over one group, against a cloned
+//!    database).
+//! 3. [`run_partitioned`] re-executes the seeded groups concurrently on a
+//!    scoped `std::thread` worker pool, detects cross-partition conflicts
+//!    (re-execution that touched partitions outside its own group), escalates
+//!    by merging the conflicting groups and re-running them, and finally
+//!    merges the per-partition row diffs back into the master database.
+//!
+//! Per-partition re-execution stays equivalent to the global time order
+//! because groups are closed under the recorded dependency relation, and any
+//! *new* dependency surfaced by patched code is caught by the escalation
+//! check before the merge is applied.
+
+use crate::apphost::{run_application, AppRunContext, AppRunResult, ExecMode};
+use crate::conflict::{Conflict, ConflictKind};
+use crate::history::{ActionId, ActionRecord, HistoryGraph};
+use crate::sourcefs::SourceStore;
+use crate::stats::RepairStats;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+use warp_browser::{replay_visit, ReplayConfig, ReplayOutcome};
+use warp_http::{HttpRequest, HttpResponse, Router, Transport};
+use warp_sql::Value;
+use warp_ttdb::{PartitionSet, RepairSession, TimeTravelDb};
+
+/// How a repair is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// The classic engine: one thread walks the entire action history in
+    /// time order, re-executing in place.
+    Sequential,
+    /// The partitioned engine: the history is split into independent
+    /// dependency partitions which are re-executed concurrently on `workers`
+    /// threads and merged. `workers: 1` still exercises the full
+    /// partition/merge machinery on a single thread.
+    Partitioned {
+        /// Worker threads re-executing partitions concurrently (min 1).
+        workers: usize,
+    },
+}
+
+impl RepairStrategy {
+    /// The worker count this strategy reports in [`RepairStats::workers`].
+    pub fn worker_count(&self) -> usize {
+        match self {
+            RepairStrategy::Sequential => 0,
+            RepairStrategy::Partitioned { workers } => (*workers).max(1),
+        }
+    }
+}
+
+/// The immutable context a repair pass executes against. Shared by reference
+/// across worker threads (everything in it is plain data).
+pub(crate) struct RepairEnv<'a> {
+    pub sources: &'a SourceStore,
+    pub router: &'a Router,
+    pub history: &'a HistoryGraph,
+    pub replay_config: ReplayConfig,
+}
+
+/// Everything one repair pass (sequential, or one partition group) produced.
+/// Mutations of shared server state (history cancellation flags, the
+/// conflict queue, cookie invalidations) are collected here and applied by
+/// the controller after the pass, so passes can run against clones.
+#[derive(Default)]
+pub(crate) struct RepairRun {
+    pub stats: RepairStats,
+    pub conflicts: Vec<Conflict>,
+    pub cancelled: BTreeSet<ActionId>,
+    pub reexecuted: BTreeSet<ActionId>,
+    pub cookie_invalidations: BTreeSet<String>,
+    /// Partition sets of every query actually executed during the pass
+    /// (collected only for partitioned runs; used for escalation checks).
+    pub dynamic_deps: Vec<PartitionSet>,
+    /// Tables whose stored rows this pass may have mutated.
+    pub touched_tables: BTreeSet<String>,
+    /// Rows rolled back through the pass's session.
+    pub rolled_back_rows: usize,
+    /// Partitions the pass's session modified.
+    pub modified: Vec<PartitionSet>,
+}
+
+/// A transport handed to the server-side re-execution browser. Requests the
+/// replayed page issues are *collected* for the repair controller to process
+/// (re-execute or record as new actions) instead of being executed directly.
+#[derive(Debug, Default)]
+struct CollectingTransport {
+    requests: Vec<HttpRequest>,
+}
+
+impl Transport for CollectingTransport {
+    fn send(&mut self, request: HttpRequest) -> HttpResponse {
+        self.requests.push(request);
+        // The replayed page does not get to observe repaired responses
+        // directly; the repair controller re-executes the corresponding
+        // actions itself.
+        HttpResponse::ok("")
+    }
+}
+
+/// Runs the repair loop over `order` (action IDs in time order): actions in
+/// `seed_reexecute` are re-executed with patched code, actions in
+/// `seed_cancel` are rolled back and cancelled, and every other action is
+/// selectively re-executed only where its recorded dependencies intersect
+/// the partitions modified so far (paper §4).
+pub(crate) fn execute_actions(
+    env: &RepairEnv<'_>,
+    db: &mut TimeTravelDb,
+    mut session: RepairSession,
+    order: &[ActionId],
+    seed_reexecute: &BTreeSet<ActionId>,
+    seed_cancel: &BTreeSet<ActionId>,
+    collect_dynamic: bool,
+) -> RepairRun {
+    let mut run = RepairRun::default();
+    let mut to_reexecute: BTreeSet<ActionId> = order
+        .iter()
+        .filter(|id| seed_reexecute.contains(id))
+        .copied()
+        .collect();
+    let mut to_cancel: BTreeSet<ActionId> = order
+        .iter()
+        .filter(|id| seed_cancel.contains(id))
+        .copied()
+        .collect();
+    let mut request_overrides: BTreeMap<ActionId, HttpRequest> = BTreeMap::new();
+    let mut reexecuted_visits: BTreeSet<(String, u64)> = BTreeSet::new();
+
+    for &id in order {
+        let action = match env.history.action(id) {
+            Some(a) if !a.cancelled => a.clone(),
+            _ => continue,
+        };
+        if to_cancel.contains(&id) {
+            let t = Instant::now();
+            cancel_action(db, &mut session, &action, &mut run);
+            run.stats.time_db += t.elapsed();
+            continue;
+        }
+        let explicitly_queued = to_reexecute.contains(&id);
+        let mut needs_full_reexecution = explicitly_queued;
+        if !needs_full_reexecution {
+            // Selective query re-execution (§4.1): only queries whose
+            // partitions were modified are re-executed; the run itself is
+            // re-executed only if a read query's result changed.
+            let affected: Vec<usize> = action
+                .queries
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| session.dependency_affected(&q.dependency))
+                .map(|(i, _)| i)
+                .collect();
+            if affected.is_empty() {
+                continue;
+            }
+            let t = Instant::now();
+            for i in affected {
+                let q = &action.queries[i];
+                let stmt = match warp_sql::parse(&q.sql) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                if q.is_write {
+                    match session.reexecute_write(db, &stmt, q.time, &q.written_row_ids) {
+                        Ok(out) => {
+                            if collect_dynamic {
+                                collect_deps(&mut run, std::iter::once(&out.dependency));
+                            }
+                            run.touched_tables.insert(q.dependency.table.clone());
+                        }
+                        Err(_) => {
+                            run.touched_tables.insert(q.dependency.table.clone());
+                        }
+                    }
+                    run.stats.queries_reexecuted += 1;
+                } else {
+                    match session.reexecute_read(db, &stmt, q.time) {
+                        Ok(out) => {
+                            run.stats.queries_reexecuted += 1;
+                            if out.result.fingerprint() != q.result_fingerprint {
+                                needs_full_reexecution = true;
+                            }
+                        }
+                        Err(_) => needs_full_reexecution = true,
+                    }
+                }
+            }
+            run.stats.time_db += t.elapsed();
+            if !needs_full_reexecution {
+                continue;
+            }
+        }
+        // Full application re-execution.
+        let t_app = Instant::now();
+        let effective_request = request_overrides
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| action.request.clone());
+        let result = reexecute_action(env, db, &mut session, &action, &effective_request);
+        run.reexecuted.insert(id);
+        run.stats.app_runs_reexecuted += 1;
+        run.stats.queries_reexecuted += result.queries_reexecuted;
+        if collect_dynamic {
+            collect_deps(&mut run, result.queries.iter().map(|q| &q.dependency));
+        }
+        for q in &result.queries {
+            if q.is_write {
+                run.touched_tables.insert(q.dependency.table.clone());
+            }
+        }
+        // Roll back the effects of original writes the patched run no
+        // longer performs (this is how an attack's database changes are
+        // undone when retroactive patching makes them disappear).
+        for (i, q) in action.queries.iter().enumerate() {
+            let matched = result
+                .used_original_queries
+                .get(i)
+                .copied()
+                .unwrap_or(false);
+            if q.is_write && !matched {
+                let _ = session.rollback_rows(db, &q.dependency.table, &q.written_row_ids, q.time);
+                run.stats.rows_rolled_back += q.written_row_ids.len();
+                session.note_modified(&q.dependency.write_partitions);
+                run.touched_tables.insert(q.dependency.table.clone());
+            }
+        }
+        run.stats.time_app += t_app.elapsed();
+        let response_changed = result.response.fingerprint() != action.response.fingerprint();
+        if let Some(err) = &result.script_error {
+            run.conflicts.push(Conflict::new(
+                action
+                    .client
+                    .as_ref()
+                    .map(|c| c.client_id.as_str())
+                    .unwrap_or("<server>"),
+                action.client.as_ref().map(|c| c.visit_id).unwrap_or(0),
+                &action.request.path,
+                ConflictKind::ReexecutionFailed(err.clone()),
+            ));
+        }
+        if !response_changed {
+            continue;
+        }
+        // Browser re-execution for the page visit that received the changed
+        // response (paper §5).
+        let Some(client) = action.client.clone() else {
+            continue;
+        };
+        let visit_key = (client.client_id.clone(), client.visit_id);
+        if reexecuted_visits.contains(&visit_key) {
+            continue;
+        }
+        reexecuted_visits.insert(visit_key);
+        run.stats.page_visits_reexecuted += 1;
+        let t_browser = Instant::now();
+        let replay = replay_client_visit(
+            env,
+            &mut run,
+            &client.client_id,
+            client.visit_id,
+            &result.response,
+        );
+        run.stats.time_browser += t_browser.elapsed();
+        match replay {
+            Some(outcome) => {
+                if let Some(reason) = outcome.conflict.clone() {
+                    run.conflicts.push(Conflict::new(
+                        &client.client_id,
+                        client.visit_id,
+                        &action.request.path,
+                        ConflictKind::BrowserReplay(reason),
+                    ));
+                    // Per §5.4: queue the conflict and assume subsequent
+                    // requests are unchanged.
+                    continue;
+                }
+                // Requests re-issued by the replayed page replace the
+                // originals; requests no longer issued are cancelled.
+                let mut reissued: BTreeSet<u64> = BTreeSet::new();
+                for replayed in &outcome.requests {
+                    match replayed.matched_request_id {
+                        Some(orig_request_id) => {
+                            reissued.insert(orig_request_id);
+                            if let Some(target) = env.history.action_for_request(
+                                &client.client_id,
+                                client.visit_id,
+                                orig_request_id,
+                            ) {
+                                if target != id {
+                                    request_overrides.insert(target, replayed.request.clone());
+                                    to_reexecute.insert(target);
+                                }
+                            }
+                        }
+                        None => {
+                            // A brand-new request that did not exist during
+                            // the original execution: run it now inside the
+                            // repair generation.
+                            let t = Instant::now();
+                            let fresh = run_fresh_in_repair(
+                                env,
+                                db,
+                                &mut session,
+                                &replayed.request,
+                                action.time,
+                            );
+                            run.stats.queries_reexecuted += fresh.queries_reexecuted;
+                            if collect_dynamic {
+                                collect_deps(&mut run, fresh.queries.iter().map(|q| &q.dependency));
+                            }
+                            for q in &fresh.queries {
+                                if q.is_write {
+                                    run.touched_tables.insert(q.dependency.table.clone());
+                                }
+                            }
+                            run.stats.time_app += t.elapsed();
+                        }
+                    }
+                }
+                for other_id in env
+                    .history
+                    .actions_for_visit(&client.client_id, client.visit_id)
+                {
+                    if other_id == id {
+                        continue;
+                    }
+                    let other = match env.history.action(other_id) {
+                        Some(a) => a,
+                        None => continue,
+                    };
+                    let other_request_id = other
+                        .client
+                        .as_ref()
+                        .map(|c| c.request_id)
+                        .unwrap_or(u64::MAX);
+                    if !reissued.contains(&other_request_id) && !other.cancelled {
+                        to_cancel.insert(other_id);
+                    }
+                }
+            }
+            None => {
+                // No client log (extension not installed): Warp cannot
+                // verify the browser's behaviour; inform the user.
+                run.conflicts.push(Conflict::new(
+                    &client.client_id,
+                    client.visit_id,
+                    &action.request.path,
+                    ConflictKind::BrowserReplay(warp_browser::ConflictReason::NoClientLog),
+                ));
+            }
+        }
+    }
+
+    run.stats.rows_rolled_back = run.stats.rows_rolled_back.max(session.rolled_back_rows);
+    run.rolled_back_rows = session.rolled_back_rows;
+    run.modified = session.modified_partitions().to_vec();
+    run
+}
+
+fn collect_deps<'a>(
+    run: &mut RepairRun,
+    deps: impl Iterator<Item = &'a warp_ttdb::QueryDependency>,
+) {
+    for dep in deps {
+        let (read, write) = crate::history::normalized_dependency_partitions(dep);
+        run.dynamic_deps.extend(read.cloned());
+        run.dynamic_deps.extend(write);
+    }
+}
+
+/// Re-executes one recorded action with the (possibly patched) sources and
+/// the repair session.
+fn reexecute_action(
+    env: &RepairEnv<'_>,
+    db: &mut TimeTravelDb,
+    session: &mut RepairSession,
+    action: &ActionRecord,
+    request: &HttpRequest,
+) -> AppRunResult {
+    let entry = env
+        .router
+        .resolve(&request.path)
+        .unwrap_or_else(|| action.entry_script.clone());
+    run_application(AppRunContext {
+        request,
+        entry_script: entry,
+        sources: env.sources,
+        action_time: action.time,
+        db,
+        mode: ExecMode::Repair {
+            session,
+            original: Some(action),
+        },
+    })
+}
+
+/// Executes a brand-new request (discovered during browser replay) inside
+/// the repair generation at the given time.
+fn run_fresh_in_repair(
+    env: &RepairEnv<'_>,
+    db: &mut TimeTravelDb,
+    session: &mut RepairSession,
+    request: &HttpRequest,
+    time: i64,
+) -> AppRunResult {
+    let entry = match env.router.resolve(&request.path) {
+        Some(e) => e,
+        None => {
+            return AppRunResult {
+                response: HttpResponse::not_found("no route"),
+                loaded_files: Vec::new(),
+                queries: Vec::new(),
+                nondet: Vec::new(),
+                used_original_queries: Vec::new(),
+                script_error: None,
+                queries_reexecuted: 0,
+            }
+        }
+    };
+    run_application(AppRunContext {
+        request,
+        entry_script: entry,
+        sources: env.sources,
+        action_time: time,
+        db,
+        mode: ExecMode::Repair {
+            session,
+            original: None,
+        },
+    })
+}
+
+/// Rolls back everything an action wrote and records it as cancelled.
+fn cancel_action(
+    db: &mut TimeTravelDb,
+    session: &mut RepairSession,
+    action: &ActionRecord,
+    run: &mut RepairRun,
+) {
+    for q in &action.queries {
+        if q.is_write {
+            let _ = session.rollback_rows(db, &q.dependency.table, &q.written_row_ids, q.time);
+            run.stats.rows_rolled_back += q.written_row_ids.len();
+            session.note_modified(&q.dependency.write_partitions);
+            run.touched_tables.insert(q.dependency.table.clone());
+        }
+    }
+    run.cancelled.insert(action.id);
+    run.stats.actions_cancelled += 1;
+}
+
+/// Replays a client's page visit against the repaired response. Returns
+/// `None` when the client uploaded no log for that visit.
+fn replay_client_visit(
+    env: &RepairEnv<'_>,
+    run: &mut RepairRun,
+    client_id: &str,
+    visit_id: u64,
+    new_response: &HttpResponse,
+) -> Option<ReplayOutcome> {
+    let record = env.history.client_log(client_id, visit_id)?.clone();
+    // The re-execution browser gets the cookies the original request to this
+    // visit carried.
+    let cookies = env
+        .history
+        .actions_for_visit(client_id, visit_id)
+        .first()
+        .and_then(|&id| env.history.action(id))
+        .map(|a| a.request.cookies.clone())
+        .unwrap_or_default();
+    let mut transport = CollectingTransport::default();
+    let config = env.replay_config;
+    let outcome = replay_visit(
+        &record,
+        new_response,
+        cookies.clone(),
+        &mut transport,
+        &config,
+    );
+    // Queue a cookie invalidation if the repaired cookie differs from the
+    // user's real cookie (§5.3).
+    if outcome.is_clean() && outcome.cookies != cookies {
+        run.cookie_invalidations.insert(client_id.to_string());
+    }
+    Some(outcome)
+}
+
+// ---------------------------------------------------------------------------
+// Partition planning
+// ---------------------------------------------------------------------------
+
+/// Deterministic union-find over dense indices.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions two sets; the smaller index becomes the representative, which
+    /// keeps group numbering deterministic.
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+    }
+}
+
+/// The partition graph: independent dependency groups of the history.
+pub(crate) struct PartitionPlan {
+    /// Action IDs per group, each sorted by `(time, id)`. Groups are ordered
+    /// by their smallest member action ID, so numbering is deterministic.
+    pub groups: Vec<Vec<ActionId>>,
+    /// Static footprint per group: the normalized partition sets of every
+    /// recorded query of the group's actions.
+    pub footprints: Vec<Vec<PartitionSet>>,
+}
+
+/// Builds the partition graph over all live (non-cancelled) actions:
+///
+/// * actions of one page visit are linked (browser replay spans the visit);
+/// * for every partition with at least one writer, all of its readers and
+///   writers are linked (a writer's re-execution can change what the readers
+///   saw, and vice versa during rollback);
+/// * a whole-table *write* links everything touching the table; a
+///   whole-table *read* links with every written partition of the table;
+/// * partitions nobody writes link nothing — read-sharing is harmless.
+pub(crate) fn plan_partitions(history: &HistoryGraph) -> PartitionPlan {
+    let live: Vec<&ActionRecord> = history.actions().iter().filter(|a| !a.cancelled).collect();
+    let slot_of: BTreeMap<ActionId, usize> =
+        live.iter().enumerate().map(|(i, a)| (a.id, i)).collect();
+    let mut uf = UnionFind::new(live.len());
+    let link_all = |uf: &mut UnionFind, ids: &mut dyn Iterator<Item = ActionId>| {
+        let mut first: Option<usize> = None;
+        for id in ids {
+            let Some(&slot) = slot_of.get(&id) else {
+                continue;
+            };
+            match first {
+                Some(f) => uf.union(f, slot),
+                None => first = Some(slot),
+            }
+        }
+    };
+
+    for visit in history.visit_action_groups() {
+        link_all(&mut uf, &mut visit.iter().copied());
+    }
+    for index in history.partition_index().values() {
+        let live_whole_writer = index
+            .whole_writers
+            .iter()
+            .any(|id| slot_of.contains_key(id));
+        if live_whole_writer {
+            // A whole-table write conflicts with everything on the table.
+            link_all(
+                &mut uf,
+                &mut index
+                    .whole_writers
+                    .iter()
+                    .chain(index.whole_readers.iter())
+                    .chain(
+                        index
+                            .keys
+                            .values()
+                            .flat_map(|h| h.readers.iter().chain(h.writers.iter())),
+                    )
+                    .copied(),
+            );
+            continue;
+        }
+        for hub in index.keys.values() {
+            let live_writer = hub.writers.iter().any(|id| slot_of.contains_key(id));
+            if live_writer {
+                // Whole-table readers see every written partition, so they
+                // join (and transitively connect) each written partition.
+                link_all(
+                    &mut uf,
+                    &mut hub
+                        .writers
+                        .iter()
+                        .chain(hub.readers.iter())
+                        .chain(index.whole_readers.iter())
+                        .copied(),
+                );
+            }
+        }
+    }
+
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for slot in 0..live.len() {
+        let root = uf.find(slot);
+        members.entry(root).or_default().push(slot);
+    }
+    let mut groups = Vec::with_capacity(members.len());
+    let mut footprints = Vec::with_capacity(members.len());
+    for slots in members.values() {
+        let mut ids: Vec<ActionId> = slots.iter().map(|&s| live[s].id).collect();
+        ids.sort_by_key(|&id| (history.action(id).map(|a| a.time).unwrap_or(0), id));
+        let mut footprint = Vec::new();
+        for &slot in slots {
+            footprint.extend(live[slot].partition_footprint());
+        }
+        groups.push(ids);
+        footprints.push(footprint);
+    }
+    PartitionPlan { groups, footprints }
+}
+
+fn footprints_intersect(a: &[PartitionSet], b: &[PartitionSet]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| x.intersects(y)))
+}
+
+// ---------------------------------------------------------------------------
+// The parallel driver
+// ---------------------------------------------------------------------------
+
+/// Synthetic row-ID range reserved per worker batch, so inserts re-executed
+/// on different workers cannot allocate colliding IDs.
+const SYNTHETIC_ID_STRIDE: i64 = 1_000_000;
+
+/// What the partitioned engine produced. The repair generation has been
+/// begun on the master database (and the merged diffs applied to it, unless
+/// the repair is aborting); the controller finalizes or aborts it.
+pub(crate) struct PartitionedResult {
+    /// The merged outcome of every repaired partition.
+    pub run: RepairRun,
+    pub partitions_total: usize,
+    pub partitions_repaired: usize,
+    pub escalations: usize,
+}
+
+/// One worker batch's results plus the clone it ran against.
+struct RoundBatch {
+    /// `(cluster index, run)` for each cluster this batch processed.
+    runs: Vec<(usize, RepairRun)>,
+    /// The database clone the batch's clusters executed against; `None` for
+    /// an in-place round (the batch ran directly on the master database).
+    db: Option<TimeTravelDb>,
+    /// The synthetic-ID watermark the clone started from.
+    id_watermark_start: i64,
+}
+
+/// Runs the partitioned repair: plan, re-execute seeded groups concurrently,
+/// escalate on cross-partition conflicts, and merge the per-partition row
+/// diffs into `db`. The merge is skipped when the repair will abort
+/// (non-admin with conflicts), leaving the master database untouched.
+pub(crate) fn run_partitioned(
+    env: &RepairEnv<'_>,
+    db: &mut TimeTravelDb,
+    seed_reexecute: &BTreeSet<ActionId>,
+    seed_cancel: &BTreeSet<ActionId>,
+    workers: usize,
+    initiated_by_admin: bool,
+) -> PartitionedResult {
+    let plan = plan_partitions(env.history);
+    let n_groups = plan.groups.len();
+    let mut cluster_uf = UnionFind::new(n_groups);
+    let seeded: Vec<bool> = plan
+        .groups
+        .iter()
+        .map(|g| {
+            g.iter()
+                .any(|id| seed_reexecute.contains(id) || seed_cancel.contains(id))
+        })
+        .collect();
+    let mut escalations = 0usize;
+
+    let (batches, clusters, in_place) = loop {
+        // Materialize the current seeded clusters (merged base groups).
+        let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for g in 0..n_groups {
+            let root = cluster_uf.find(g);
+            by_root.entry(root).or_default().push(g);
+        }
+        let clusters: Vec<Vec<usize>> = by_root
+            .into_values()
+            .filter(|gs| gs.iter().any(|&g| seeded[g]))
+            .collect();
+        let root_to_cluster: BTreeMap<usize, usize> = clusters
+            .iter()
+            .enumerate()
+            .map(|(ci, gs)| (gs[0], ci))
+            .collect();
+        let units: Vec<Vec<ActionId>> = clusters
+            .iter()
+            .map(|gs| {
+                let mut ids: Vec<ActionId> = gs
+                    .iter()
+                    .flat_map(|&g| plan.groups[g].iter().copied())
+                    .collect();
+                ids.sort_by_key(|&id| (env.history.action(id).map(|a| a.time).unwrap_or(0), id));
+                ids
+            })
+            .collect();
+
+        // With at most one repair unit there is nothing to isolate: run it
+        // in place on the master database and skip the clone/diff machinery
+        // entirely. If its re-execution escalates, the repair generation is
+        // aborted (discarding every in-place change) and the merged cluster
+        // is re-run.
+        let in_place = units.len() <= 1;
+        let batches = if in_place {
+            let session = RepairSession::begin_precise(db);
+            let runs = match units.first() {
+                Some(unit) => vec![(
+                    0usize,
+                    execute_actions(env, db, session, unit, seed_reexecute, seed_cancel, true),
+                )],
+                None => Vec::new(),
+            };
+            vec![RoundBatch {
+                runs,
+                db: None,
+                id_watermark_start: db.synthetic_id_watermark(),
+            }]
+        } else {
+            run_round(env, db, &units, seed_reexecute, seed_cancel, workers)
+        };
+
+        // Escalation check: did any cluster's re-execution modify partitions
+        // that another group (repaired or not) depends on? Recorded
+        // footprints cannot overlap across groups by construction, so this
+        // only fires when patched code or fresh browser requests touched
+        // state outside their own partition.
+        let mut cluster_run: Vec<Option<&RepairRun>> = vec![None; clusters.len()];
+        for batch in &batches {
+            for (ci, run) in &batch.runs {
+                cluster_run[*ci] = Some(run);
+            }
+        }
+        let mut merges: Vec<(usize, usize)> = Vec::new();
+        for ci in 0..clusters.len() {
+            let Some(run) = cluster_run[ci] else { continue };
+            if run.modified.is_empty() {
+                continue;
+            }
+            let my_root = cluster_uf.find(clusters[ci][0]);
+            for other in 0..n_groups {
+                let other_root = cluster_uf.find(other);
+                if other_root == my_root {
+                    continue;
+                }
+                let mut affected = footprints_intersect(&run.modified, &plan.footprints[other]);
+                if !affected {
+                    // A repaired cluster's *dynamic* reads and writes also
+                    // count as its footprint.
+                    if let Some(&oc) = root_to_cluster.get(&other_root) {
+                        if let Some(other_run) = cluster_run[oc] {
+                            affected = footprints_intersect(&run.modified, &other_run.dynamic_deps);
+                        }
+                    }
+                }
+                if affected {
+                    merges.push((clusters[ci][0], other));
+                }
+            }
+        }
+        if merges.is_empty() {
+            break (batches, clusters, in_place);
+        }
+        if in_place {
+            // Discard the in-place changes before re-running the merged
+            // cluster against pristine state.
+            let _ = db.abort_repair_generation();
+        }
+        escalations += 1;
+        for (a, b) in merges {
+            cluster_uf.union(a, b);
+        }
+        // Merged clusters are re-run from fresh state; previous results are
+        // discarded wholesale so every cluster's view stays consistent.
+    };
+
+    // Aggregate per-cluster outcomes in deterministic cluster order, so the
+    // merged result is identical for every worker count.
+    let mut ordered: Vec<Option<&RepairRun>> = vec![None; clusters.len()];
+    for batch in &batches {
+        for (ci, run) in &batch.runs {
+            ordered[*ci] = Some(run);
+        }
+    }
+    let mut merged = RepairRun::default();
+    for (ci, run) in ordered.iter().enumerate() {
+        let Some(run) = run else { continue };
+        merged.stats.page_visits_reexecuted += run.stats.page_visits_reexecuted;
+        merged.stats.app_runs_reexecuted += run.stats.app_runs_reexecuted;
+        merged.stats.queries_reexecuted += run.stats.queries_reexecuted;
+        merged.stats.rows_rolled_back += run.stats.rows_rolled_back;
+        merged.stats.actions_cancelled += run.stats.actions_cancelled;
+        merged.stats.time_db += run.stats.time_db;
+        merged.stats.time_app += run.stats.time_app;
+        merged.stats.time_browser += run.stats.time_browser;
+        merged
+            .conflicts
+            .extend(run.conflicts.iter().cloned().map(|c| c.with_partition(ci)));
+        merged.cancelled.extend(run.cancelled.iter().copied());
+        merged.reexecuted.extend(run.reexecuted.iter().copied());
+        merged
+            .cookie_invalidations
+            .extend(run.cookie_invalidations.iter().cloned());
+        merged.rolled_back_rows += run.rolled_back_rows;
+    }
+    merged.stats.conflicts = merged.conflicts.len();
+
+    // Merge phase: bring the per-batch row diffs into the master database,
+    // all inside one repair generation that the controller finalizes
+    // atomically. Baselines are snapshotted before any diff is applied so
+    // batches that touched different partitions of the same table compose.
+    // Skipped entirely when the repair is going to abort, leaving the master
+    // database untouched. An in-place round already executed against the
+    // master inside the repair generation, so there is nothing to merge
+    // (and an abort by the controller discards its changes).
+    let t_merge = Instant::now();
+    let aborting = !initiated_by_admin && !merged.conflicts.is_empty();
+    if !in_place {
+        db.begin_repair_generation();
+        if !aborting {
+            let touched: BTreeSet<&String> = batches
+                .iter()
+                .flat_map(|b| b.runs.iter())
+                .flat_map(|(_, run)| run.touched_tables.iter())
+                .collect();
+            let baselines: BTreeMap<&String, Vec<Vec<Value>>> = touched
+                .iter()
+                .map(|&t| (t, db.table_rows_snapshot(t)))
+                .collect();
+            for batch in &batches {
+                let Some(batch_db) = &batch.db else { continue };
+                let batch_touched: BTreeSet<&String> = batch
+                    .runs
+                    .iter()
+                    .flat_map(|(_, run)| run.touched_tables.iter())
+                    .collect();
+                for table in batch_touched {
+                    let baseline = &baselines[table];
+                    let repaired = match batch_db.raw().table(table) {
+                        Some(t) => &t.rows,
+                        None => continue,
+                    };
+                    let (remove, add) = row_diff(baseline, repaired);
+                    if !remove.is_empty() || !add.is_empty() {
+                        let _ = db.apply_row_diff(table, &remove, &add);
+                    }
+                }
+                let final_watermark = batch_db.synthetic_id_watermark();
+                if final_watermark > batch.id_watermark_start {
+                    // A batch overrunning its reserved ID range would collide
+                    // with the next batch's synthetic row IDs — corrupt the
+                    // merge loudly rather than silently.
+                    assert!(
+                        final_watermark - batch.id_watermark_start < SYNTHETIC_ID_STRIDE,
+                        "repair batch allocated more than {SYNTHETIC_ID_STRIDE} synthetic row IDs"
+                    );
+                    db.raise_synthetic_id_watermark(final_watermark);
+                }
+            }
+        }
+    }
+    merged.stats.time_ctrl += t_merge.elapsed();
+
+    PartitionedResult {
+        run: merged,
+        partitions_total: n_groups,
+        partitions_repaired: clusters.iter().map(|gs| gs.len()).sum(),
+        escalations,
+    }
+}
+
+/// Executes one round: distributes the repair units (clusters) over worker
+/// batches (longest-processing-time-first for balance), clones the master
+/// database once per batch, and runs every batch on its own scoped thread.
+fn run_round(
+    env: &RepairEnv<'_>,
+    db: &TimeTravelDb,
+    units: &[Vec<ActionId>],
+    seed_reexecute: &BTreeSet<ActionId>,
+    seed_cancel: &BTreeSet<ActionId>,
+    workers: usize,
+) -> Vec<RoundBatch> {
+    if units.is_empty() {
+        return Vec::new();
+    }
+    let n_batches = workers.max(1).min(units.len());
+    let mut batch_units: Vec<Vec<usize>> = vec![Vec::new(); n_batches];
+    let mut batch_load: Vec<usize> = vec![0; n_batches];
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by_key(|&u| (usize::MAX - units[u].len(), u));
+    for u in order {
+        let target = (0..n_batches)
+            .min_by_key(|&b| (batch_load[b], b))
+            .unwrap_or(0);
+        batch_units[target].push(u);
+        batch_load[target] += units[u].len();
+    }
+    let base_watermark = db.synthetic_id_watermark();
+
+    // Batch *structure* (and with it clone count, synthetic-ID ranges and
+    // result shape) depends only on the requested worker count, so outcomes
+    // are hardware-independent. The number of OS threads is additionally
+    // capped at the machine's parallelism — more runnable threads than cores
+    // buys nothing for CPU-bound re-execution and costs cache locality.
+    let n_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n_batches)
+        .max(1);
+    let run_batch = |bi: usize, unit_ids: &[usize]| {
+        let mut clone = db.clone();
+        let start = base_watermark + (bi as i64) * SYNTHETIC_ID_STRIDE;
+        clone.raise_synthetic_id_watermark(start);
+        let mut runs = Vec::with_capacity(unit_ids.len());
+        for &u in unit_ids {
+            let session = RepairSession::begin_precise(&mut clone);
+            let run = execute_actions(
+                env,
+                &mut clone,
+                session,
+                &units[u],
+                seed_reexecute,
+                seed_cancel,
+                true,
+            );
+            runs.push((u, run));
+        }
+        RoundBatch {
+            runs,
+            db: Some(clone),
+            id_watermark_start: start,
+        }
+    };
+    if n_threads == 1 {
+        return batch_units
+            .iter()
+            .enumerate()
+            .map(|(bi, ids)| run_batch(bi, ids))
+            .collect();
+    }
+    let mut results: Vec<Option<RoundBatch>> = Vec::new();
+    results.resize_with(n_batches, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let batch_units = &batch_units;
+                let run_batch = &run_batch;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut bi = t;
+                    while bi < batch_units.len() {
+                        out.push((bi, run_batch(bi, &batch_units[bi])));
+                        bi += n_threads;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (bi, batch) in handle.join().expect("repair worker panicked") {
+                results[bi] = Some(batch);
+            }
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Multiset difference between a table snapshot and its repaired clone:
+/// `(rows to remove, rows to add)` to turn `baseline` into `repaired`.
+fn row_diff<'a>(
+    baseline: &'a [Vec<Value>],
+    repaired: &'a [Vec<Value>],
+) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let mut counts: BTreeMap<Vec<u8>, (i64, &'a Vec<Value>)> = BTreeMap::new();
+    for row in repaired {
+        counts.entry(row_key(row)).or_insert((0, row)).0 += 1;
+    }
+    for row in baseline {
+        counts.entry(row_key(row)).or_insert((0, row)).0 -= 1;
+    }
+    let mut remove = Vec::new();
+    let mut add = Vec::new();
+    for (_, (count, row)) in counts {
+        if count > 0 {
+            for _ in 0..count {
+                add.push(row.clone());
+            }
+        } else {
+            for _ in 0..-count {
+                remove.push(row.clone());
+            }
+        }
+    }
+    (remove, add)
+}
+
+/// A compact, collision-free byte encoding of one stored row, used as the
+/// multiset key during diffing (length-prefixed, tagged per value).
+fn row_key(row: &[Value]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(row.len() * 9);
+    for v in row {
+        match v {
+            Value::Null => key.push(0),
+            Value::Bool(b) => {
+                key.push(1);
+                key.push(*b as u8);
+            }
+            Value::Int(i) => {
+                key.push(2);
+                key.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                key.push(3);
+                key.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                key.push(4);
+                key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                key.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AppConfig;
+    use crate::repair::RepairRequest;
+    use crate::server::WarpServer;
+    use crate::sourcefs::Patch;
+    use warp_ttdb::TableAnnotation;
+
+    /// A notes app with one table partitioned by `topic`: each request
+    /// touches exactly one topic, so distinct topics form independent
+    /// dependency partitions.
+    fn notes_app(topics: usize) -> AppConfig {
+        let mut config = AppConfig::new("notes");
+        config.add_table(
+            "CREATE TABLE note (note_id INTEGER PRIMARY KEY, topic TEXT UNIQUE, body TEXT)",
+            TableAnnotation::new()
+                .row_id("note_id")
+                .partitions(["topic"]),
+        );
+        for t in 0..topics {
+            config.seed(format!(
+                "INSERT INTO note (note_id, topic, body) VALUES ({}, 't{t}', 'seed {t}')",
+                t + 1
+            ));
+        }
+        config.add_source(
+            "post.wasl",
+            "db_query(\"UPDATE note SET body = '\" . sql_escape(param(\"body\")) . \"' \
+             WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"ok\");",
+        );
+        config.add_source(
+            "read.wasl",
+            "let rows = db_query(\"SELECT body FROM note WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); \
+             if (len(rows) > 0) { echo(rows[0][\"body\"]); } else { echo(\"none\"); }",
+        );
+        config
+    }
+
+    /// The "patch" stores an upper-cased marker, so re-executed posts write
+    /// different content and dependent reads change.
+    fn notes_patch() -> Patch {
+        Patch::new(
+            "post.wasl",
+            "db_query(\"UPDATE note SET body = 'PATCHED:' . sql_escape(param(\"body\")) . '' \
+             WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"ok\");",
+            "sanitise stored notes",
+        )
+    }
+
+    fn notes_traffic(server: &mut WarpServer, topics: usize) {
+        use warp_http::HttpRequest;
+        for round in 0..3 {
+            for t in 0..topics {
+                server.handle(HttpRequest::post(
+                    "/post.wasl",
+                    [
+                        ("topic", format!("t{t}").as_str()),
+                        ("body", format!("note {round} for {t}").as_str()),
+                    ],
+                ));
+                server.handle(HttpRequest::get(&format!("/read.wasl?topic=t{t}")));
+            }
+        }
+    }
+
+    fn assert_equivalent(seq: &WarpServer, par: &WarpServer, label: &str) {
+        let mut seq_db = seq.db.clone();
+        let mut par_db = par.db.clone();
+        assert_eq!(
+            seq_db.canonical_dump(),
+            par_db.canonical_dump(),
+            "{label}: final database state must match the sequential engine"
+        );
+        let seq_cancelled: Vec<ActionId> = seq
+            .history
+            .actions()
+            .iter()
+            .filter(|a| a.cancelled)
+            .map(|a| a.id)
+            .collect();
+        let par_cancelled: Vec<ActionId> = par
+            .history
+            .actions()
+            .iter()
+            .filter(|a| a.cancelled)
+            .map(|a| a.id)
+            .collect();
+        assert_eq!(
+            seq_cancelled, par_cancelled,
+            "{label}: cancelled sets must match"
+        );
+    }
+
+    #[test]
+    fn partitioned_repair_matches_sequential_on_disjoint_topics() {
+        let topics = 5;
+        for workers in [1usize, 3] {
+            let mut seq = WarpServer::new(notes_app(topics));
+            notes_traffic(&mut seq, topics);
+            let seq_out = seq.repair(RepairRequest::RetroactivePatch {
+                patch: notes_patch(),
+                from_time: 0,
+            });
+
+            let mut par = WarpServer::new(notes_app(topics));
+            notes_traffic(&mut par, topics);
+            let par_out = par.repair_with(
+                RepairRequest::RetroactivePatch {
+                    patch: notes_patch(),
+                    from_time: 0,
+                },
+                RepairStrategy::Partitioned { workers },
+            );
+
+            assert!(!seq_out.aborted && !par_out.aborted);
+            assert_eq!(
+                seq_out.reexecuted_actions, par_out.reexecuted_actions,
+                "workers={workers}: re-executed action sets must match"
+            );
+            assert_eq!(seq_out.cancelled_actions, par_out.cancelled_actions);
+            assert_equivalent(&seq, &par, &format!("workers={workers}"));
+            // The history decomposes into one partition per topic (each pair
+            // of post+read actions shares only its own topic partition).
+            assert_eq!(par_out.stats.partitions_total, topics);
+            assert_eq!(par_out.stats.partitions_repaired, topics);
+            assert_eq!(par_out.stats.escalations, 0);
+            assert_eq!(par_out.stats.workers, workers);
+        }
+    }
+
+    #[test]
+    fn partition_plan_links_writers_readers_and_whole_table_scans() {
+        let mut server = WarpServer::new(notes_app(4));
+        use warp_http::HttpRequest;
+        // t0: writer + reader; t1: reader only; t2 and t3: writers.
+        server.handle(HttpRequest::post(
+            "/post.wasl",
+            [("topic", "t0"), ("body", "x")],
+        ));
+        server.handle(HttpRequest::get("/read.wasl?topic=t0"));
+        server.handle(HttpRequest::get("/read.wasl?topic=t1"));
+        server.handle(HttpRequest::post(
+            "/post.wasl",
+            [("topic", "t2"), ("body", "y")],
+        ));
+        server.handle(HttpRequest::post(
+            "/post.wasl",
+            [("topic", "t3"), ("body", "z")],
+        ));
+        let plan = plan_partitions(&server.history);
+        // {post t0, read t0} | {read t1} | {post t2} | {post t3}
+        assert_eq!(plan.groups.len(), 4);
+        assert_eq!(plan.groups[0], vec![0, 1]);
+
+        // A whole-table scan that coexists with writers collapses everything
+        // it can see into one group.
+        let mut config = notes_app(2);
+        config.add_source(
+            "scan.wasl",
+            "let rows = db_query(\"SELECT body FROM note\"); echo(len(rows));",
+        );
+        let mut server = WarpServer::new(config);
+        server.handle(HttpRequest::post(
+            "/post.wasl",
+            [("topic", "t0"), ("body", "x")],
+        ));
+        server.handle(HttpRequest::post(
+            "/post.wasl",
+            [("topic", "t1"), ("body", "y")],
+        ));
+        server.handle(HttpRequest::get("/scan.wasl"));
+        let plan = plan_partitions(&server.history);
+        assert_eq!(
+            plan.groups.len(),
+            1,
+            "whole-table reader joins every written partition"
+        );
+    }
+
+    #[test]
+    fn cross_partition_write_by_patched_code_escalates_and_stays_correct() {
+        // The original code writes the topic the request names; the "patch"
+        // redirects every write of t0 to t1 — a dependency that exists in no
+        // recorded footprint, so the engine must detect it at re-execution
+        // time and merge the partitions.
+        let build = || {
+            let mut server = WarpServer::new(notes_app(3));
+            use warp_http::HttpRequest;
+            server.handle(HttpRequest::post(
+                "/post.wasl",
+                [("topic", "t0"), ("body", "a")],
+            ));
+            server.handle(HttpRequest::get("/read.wasl?topic=t1"));
+            server.handle(HttpRequest::post(
+                "/post.wasl",
+                [("topic", "t2"), ("body", "c")],
+            ));
+            server
+        };
+        let redirect_patch = Patch::new(
+            "post.wasl",
+            "let t = param(\"topic\"); if (t == \"t0\") { t = \"t1\"; } \
+             db_query(\"UPDATE note SET body = '\" . sql_escape(param(\"body\")) . \"' \
+             WHERE topic = '\" . sql_escape(t) . \"'\"); echo(\"ok\");",
+            "redirect t0 writes to t1",
+        );
+        let mut seq = build();
+        let seq_out = seq.repair(RepairRequest::RetroactivePatch {
+            patch: redirect_patch.clone(),
+            from_time: 0,
+        });
+        let mut par = build();
+        let par_out = par.repair_with(
+            RepairRequest::RetroactivePatch {
+                patch: redirect_patch,
+                from_time: 0,
+            },
+            RepairStrategy::Partitioned { workers: 2 },
+        );
+        assert!(
+            par_out.stats.escalations >= 1,
+            "cross-partition write must escalate"
+        );
+        assert_eq!(seq_out.reexecuted_actions, par_out.reexecuted_actions);
+        assert_equivalent(&seq, &par, "escalation");
+    }
+
+    #[test]
+    fn partitioned_undo_visit_matches_sequential() {
+        use warp_browser::Browser;
+        let build = || {
+            let mut server = WarpServer::new(notes_app(3));
+            let mut admin = Browser::new("admin");
+            let mut visit = admin.visit("/read.wasl?topic=t0", &mut server);
+            let _ = &mut visit;
+            server.handle(warp_http::HttpRequest::post(
+                "/post.wasl",
+                [("topic", "t1"), ("body", "independent")],
+            ));
+            let mut user = Browser::new("user");
+            let v = user.visit("/read.wasl?topic=t2", &mut server);
+            server.upload_client_logs(admin.take_logs());
+            server.upload_client_logs(user.take_logs());
+            (server, v.visit_id)
+        };
+        let (mut seq, visit_id) = build();
+        let seq_out = seq.repair(RepairRequest::UndoVisit {
+            client_id: "user".into(),
+            visit_id,
+            initiated_by_admin: true,
+        });
+        let (mut par, visit_id) = build();
+        let par_out = par.repair_with(
+            RepairRequest::UndoVisit {
+                client_id: "user".into(),
+                visit_id,
+                initiated_by_admin: true,
+            },
+            RepairStrategy::Partitioned { workers: 2 },
+        );
+        assert_eq!(seq_out.cancelled_actions, par_out.cancelled_actions);
+        assert!(!par_out.cancelled_actions.is_empty());
+        assert_equivalent(&seq, &par, "undo");
+    }
+
+    #[test]
+    fn row_diff_is_a_multiset_difference() {
+        let a = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Int(2)],
+        ];
+        let b = vec![vec![Value::Int(2)], vec![Value::Int(3)]];
+        let (remove, add) = row_diff(&a, &b);
+        assert_eq!(remove, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_eq!(add, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn union_find_picks_smallest_representative() {
+        let mut uf = UnionFind::new(5);
+        uf.union(4, 2);
+        uf.union(2, 3);
+        assert_eq!(uf.find(4), 2);
+        assert_eq!(uf.find(3), 2);
+        assert_eq!(uf.find(0), 0);
+    }
+}

@@ -112,15 +112,21 @@ impl WarpServer {
             Some(script) => script,
             None => {
                 let response = HttpResponse::not_found(format!("no route for {}", request.path));
-                self.record(time, &request, &response, "<unrouted>", AppRunResult {
-                    response: response.clone(),
-                    loaded_files: Vec::new(),
-                    queries: Vec::new(),
-                    nondet: Vec::new(),
-                    used_original_queries: Vec::new(),
-                    script_error: None,
-                    queries_reexecuted: 0,
-                });
+                self.record(
+                    time,
+                    &request,
+                    &response,
+                    "<unrouted>",
+                    AppRunResult {
+                        response: response.clone(),
+                        loaded_files: Vec::new(),
+                        queries: Vec::new(),
+                        nondet: Vec::new(),
+                        used_original_queries: Vec::new(),
+                        script_error: None,
+                        queries_reexecuted: 0,
+                    },
+                );
                 return response;
             }
         };
@@ -152,11 +158,16 @@ impl WarpServer {
         entry: &str,
         result: AppRunResult,
     ) -> ActionId {
-        let client = match (&request.warp.client_id, request.warp.visit_id, request.warp.request_id)
-        {
-            (Some(c), Some(v), Some(r)) => {
-                Some(ClientRef { client_id: c.clone(), visit_id: v, request_id: r })
-            }
+        let client = match (
+            &request.warp.client_id,
+            request.warp.visit_id,
+            request.warp.request_id,
+        ) {
+            (Some(c), Some(v), Some(r)) => Some(ClientRef {
+                client_id: c.clone(),
+                visit_id: v,
+                request_id: r,
+            }),
             _ => None,
         };
         self.history.record_action(ActionRecord {
@@ -197,7 +208,11 @@ impl WarpServer {
     /// Conflicts pending for a client (what the conflict-resolution page
     /// shows when the user next logs in).
     pub fn pending_conflicts(&self, client_id: &str) -> Vec<crate::conflict::Conflict> {
-        self.conflicts.pending_for(client_id).into_iter().cloned().collect()
+        self.conflicts
+            .pending_for(client_id)
+            .into_iter()
+            .cloned()
+            .collect()
     }
 
     /// Garbage-collects the action history graph and database versions older
@@ -224,7 +239,9 @@ mod tests {
         let mut config = AppConfig::new("tiny-wiki");
         config.add_table(
             "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
-            TableAnnotation::new().row_id("page_id").partitions(["title"]),
+            TableAnnotation::new()
+                .row_id("page_id")
+                .partitions(["title"]),
         );
         config.seed("INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'welcome')");
         config.add_source(
@@ -245,7 +262,10 @@ mod tests {
         let mut server = WarpServer::new(tiny_wiki());
         let r = server.send(HttpRequest::get("/view.wasl?title=Main"));
         assert!(r.body.contains("welcome"));
-        let r = server.send(HttpRequest::post("/edit.wasl", [("title", "Main"), ("body", "edited")]));
+        let r = server.send(HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Main"), ("body", "edited")],
+        ));
         assert!(r.body.contains("saved"));
         let r = server.send(HttpRequest::get("/view.wasl?title=Main"));
         assert!(r.body.contains("edited"));
@@ -278,13 +298,18 @@ mod tests {
         let action = &server.history.actions()[0];
         let client = action.client.as_ref().unwrap();
         assert_eq!(client.client_id, "client-alice");
-        assert!(server.history.client_log("client-alice", client.visit_id).is_some());
+        assert!(server
+            .history
+            .client_log("client-alice", client.visit_id)
+            .is_some());
     }
 
     #[test]
     fn cookie_invalidation_applies_on_next_request() {
         let mut server = WarpServer::new(tiny_wiki());
-        server.pending_cookie_invalidations.insert("client-x".to_string());
+        server
+            .pending_cookie_invalidations
+            .insert("client-x".to_string());
         let mut req = HttpRequest::get("/view.wasl?title=Main");
         req.warp.client_id = Some("client-x".to_string());
         req.warp.visit_id = Some(1);

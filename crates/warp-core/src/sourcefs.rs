@@ -68,7 +68,11 @@ impl SourceStore {
     pub fn install(&mut self, filename: impl Into<String>, content: impl Into<String>) {
         self.files.insert(
             filename.into(),
-            vec![SourceVersion { from_time: 0, content: content.into(), retroactive: false }],
+            vec![SourceVersion {
+                from_time: 0,
+                content: content.into(),
+                retroactive: false,
+            }],
         );
     }
 
@@ -76,22 +80,28 @@ impl SourceStore {
     /// administrator deploying a new application version during normal
     /// operation.
     pub fn update(&mut self, filename: &str, content: impl Into<String>, time: i64) {
-        self.files.entry(filename.to_string()).or_default().push(SourceVersion {
-            from_time: time,
-            content: content.into(),
-            retroactive: false,
-        });
+        self.files
+            .entry(filename.to_string())
+            .or_default()
+            .push(SourceVersion {
+                from_time: time,
+                content: content.into(),
+                retroactive: false,
+            });
     }
 
     /// Applies a retroactive patch effective from `time` (paper §3.2): during
     /// repair, any application run at or after `time` that loads this file
     /// sees the patched content.
     pub fn apply_retroactive_patch(&mut self, patch: &Patch, time: i64) {
-        self.files.entry(patch.filename.clone()).or_default().push(SourceVersion {
-            from_time: time,
-            content: patch.patched_source.clone(),
-            retroactive: true,
-        });
+        self.files
+            .entry(patch.filename.clone())
+            .or_default()
+            .push(SourceVersion {
+                from_time: time,
+                content: patch.patched_source.clone(),
+                retroactive: true,
+            });
     }
 
     /// True if the store contains the file.
@@ -153,7 +163,10 @@ mod tests {
         let mut s = SourceStore::new();
         s.install("edit.wasl", "v1");
         assert!(s.contains("edit.wasl"));
-        assert_eq!(s.content_for_normal_execution("edit.wasl", 100), Some("v1".to_string()));
+        assert_eq!(
+            s.content_for_normal_execution("edit.wasl", 100),
+            Some("v1".to_string())
+        );
         assert_eq!(s.content_for_normal_execution("missing.wasl", 100), None);
     }
 
@@ -162,9 +175,18 @@ mod tests {
         let mut s = SourceStore::new();
         s.install("a.wasl", "v1");
         s.update("a.wasl", "v2", 50);
-        assert_eq!(s.content_for_normal_execution("a.wasl", 10), Some("v1".to_string()));
-        assert_eq!(s.content_for_normal_execution("a.wasl", 50), Some("v2".to_string()));
-        assert_eq!(s.content_for_normal_execution("a.wasl", 99), Some("v2".to_string()));
+        assert_eq!(
+            s.content_for_normal_execution("a.wasl", 10),
+            Some("v1".to_string())
+        );
+        assert_eq!(
+            s.content_for_normal_execution("a.wasl", 50),
+            Some("v2".to_string())
+        );
+        assert_eq!(
+            s.content_for_normal_execution("a.wasl", 99),
+            Some("v2".to_string())
+        );
     }
 
     #[test]
@@ -174,11 +196,20 @@ mod tests {
         let patch = Patch::new("edit.wasl", "fixed", "CVE-2009-4589");
         s.apply_retroactive_patch(&patch, 10);
         // Repair re-execution at a time after the patch point sees the fix.
-        assert_eq!(s.content_for_repair("edit.wasl", 20), Some("fixed".to_string()));
+        assert_eq!(
+            s.content_for_repair("edit.wasl", 20),
+            Some("fixed".to_string())
+        );
         // Before the patch point, even repair sees the old code.
-        assert_eq!(s.content_for_repair("edit.wasl", 5), Some("vulnerable".to_string()));
+        assert_eq!(
+            s.content_for_repair("edit.wasl", 5),
+            Some("vulnerable".to_string())
+        );
         // The forensic view of what originally ran is unchanged.
-        assert_eq!(s.original_content_at("edit.wasl", 20), Some("vulnerable".to_string()));
+        assert_eq!(
+            s.original_content_at("edit.wasl", 20),
+            Some("vulnerable".to_string())
+        );
     }
 
     #[test]
@@ -187,7 +218,10 @@ mod tests {
         s.install("a.wasl", "v1");
         s.update("a.wasl", "v2", 30);
         s.apply_retroactive_patch(&Patch::new("a.wasl", "v2-fixed", "fix"), 30);
-        assert_eq!(s.content_for_repair("a.wasl", 30), Some("v2-fixed".to_string()));
+        assert_eq!(
+            s.content_for_repair("a.wasl", 30),
+            Some("v2-fixed".to_string())
+        );
     }
 
     #[test]

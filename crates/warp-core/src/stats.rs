@@ -33,7 +33,11 @@ impl LoggingStats {
     /// Bytes stored per page visit, by level (the paper's Table 6 columns).
     pub fn per_page_visit(&self) -> (f64, f64, f64) {
         let n = self.page_visits.max(1) as f64;
-        (self.browser_bytes as f64 / n, self.app_bytes as f64 / n, self.db_bytes as f64 / n)
+        (
+            self.browser_bytes as f64 / n,
+            self.app_bytes as f64 / n,
+            self.db_bytes as f64 / n,
+        )
     }
 }
 
@@ -58,6 +62,16 @@ pub struct RepairStats {
     pub actions_cancelled: usize,
     /// Conflicts queued for users.
     pub conflicts: usize,
+    /// Independent dependency partitions the history decomposed into
+    /// (0 when the classic sequential engine ran).
+    pub partitions_total: usize,
+    /// Partitions that contained repair seeds and were actually re-executed.
+    pub partitions_repaired: usize,
+    /// Escalation rounds: times re-execution touched partitions outside its
+    /// own group, forcing groups to be merged and re-run.
+    pub escalations: usize,
+    /// Worker threads used by the partitioned engine (0 = sequential).
+    pub workers: usize,
     /// Wall-clock time spent initialising repair (finding candidate actions).
     #[serde(skip)]
     pub time_init: Duration,

@@ -122,7 +122,10 @@ impl HttpRequest {
     /// the query string (the same precedence PHP's `$_REQUEST` gives when
     /// configured `GP` order).
     pub fn param(&self, name: &str) -> Option<&str> {
-        self.form.get(name).or_else(|| self.query.get(name)).map(|s| s.as_str())
+        self.form
+            .get(name)
+            .or_else(|| self.query.get(name))
+            .map(|s| s.as_str())
     }
 
     /// All parameters (query and form merged, form wins).
@@ -160,7 +163,13 @@ impl HttpRequest {
             let q = self
                 .query
                 .iter()
-                .map(|(k, v)| format!("{}={}", crate::url::percent_encode(k), crate::url::percent_encode(v)))
+                .map(|(k, v)| {
+                    format!(
+                        "{}={}",
+                        crate::url::percent_encode(k),
+                        crate::url::percent_encode(v)
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("&");
             format!("{}?{}", self.path, q)
@@ -227,7 +236,11 @@ mod tests {
     fn fingerprint_ignores_warp_headers() {
         let a = HttpRequest::get("/view.wasl?a=1");
         let mut b = a.clone();
-        b.warp = WarpHeaders { client_id: Some("c".into()), visit_id: Some(1), request_id: Some(2) };
+        b.warp = WarpHeaders {
+            client_id: Some("c".into()),
+            visit_id: Some(1),
+            request_id: Some(2),
+        };
         assert_eq!(a.fingerprint(), b.fingerprint());
         let c = HttpRequest::get("/view.wasl?a=2");
         assert_ne!(a.fingerprint(), c.fingerprint());

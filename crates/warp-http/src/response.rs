@@ -31,7 +31,12 @@ impl HttpResponse {
     pub fn redirect(location: impl Into<String>) -> Self {
         let mut headers = BTreeMap::new();
         headers.insert("Location".to_string(), location.into());
-        HttpResponse { status: 302, headers, set_cookies: Vec::new(), body: String::new() }
+        HttpResponse {
+            status: 302,
+            headers,
+            set_cookies: Vec::new(),
+            body: String::new(),
+        }
     }
 
     /// A `404 Not Found` response.

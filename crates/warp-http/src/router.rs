@@ -63,7 +63,10 @@ mod tests {
     fn convention_resolves_wasl_files() {
         let r = Router::new();
         assert_eq!(r.resolve("/edit.wasl"), Some("edit.wasl".to_string()));
-        assert_eq!(r.resolve("/sub/edit.wasl"), Some("sub/edit.wasl".to_string()));
+        assert_eq!(
+            r.resolve("/sub/edit.wasl"),
+            Some("sub/edit.wasl".to_string())
+        );
         assert_eq!(r.resolve("/edit.php"), None);
         assert_eq!(r.resolve("/../etc/passwd.wasl"), None);
     }

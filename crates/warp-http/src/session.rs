@@ -39,7 +39,9 @@ mod tests {
         assert_eq!(generate_session_id(1), generate_session_id(1));
         assert_ne!(generate_session_id(1), generate_session_id(2));
         assert_eq!(generate_session_id(7).len(), 32);
-        assert!(generate_session_id(7).chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(generate_session_id(7)
+            .chars()
+            .all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

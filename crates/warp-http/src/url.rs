@@ -25,9 +25,10 @@ pub fn parse_url(url: &str) -> (String, String, String) {
         Some(idx) => {
             let after_scheme = &url[idx + 3..];
             match after_scheme.find('/') {
-                Some(slash) => {
-                    (after_scheme[slash..].to_string(), url[..idx + 3 + slash].to_string())
-                }
+                Some(slash) => (
+                    after_scheme[slash..].to_string(),
+                    url[..idx + 3 + slash].to_string(),
+                ),
                 None => ("/".to_string(), url.to_string()),
             }
         }
@@ -121,8 +122,14 @@ mod tests {
 
     #[test]
     fn split_handles_missing_query() {
-        assert_eq!(split_path_query("/a/b"), ("/a/b".to_string(), String::new()));
-        assert_eq!(split_path_query("/a?x=1"), ("/a".to_string(), "x=1".to_string()));
+        assert_eq!(
+            split_path_query("/a/b"),
+            ("/a/b".to_string(), String::new())
+        );
+        assert_eq!(
+            split_path_query("/a?x=1"),
+            ("/a".to_string(), "x=1".to_string())
+        );
     }
 
     #[test]

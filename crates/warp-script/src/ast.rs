@@ -245,10 +245,16 @@ mod tests {
     #[test]
     fn called_functions_walks_nested_expressions() {
         let e = Expr::Binary {
-            left: Box::new(Expr::Call { name: "f".into(), args: vec![Expr::lit_int(1)] }),
+            left: Box::new(Expr::Call {
+                name: "f".into(),
+                args: vec![Expr::lit_int(1)],
+            }),
             op: BinOp::Concat,
             right: Box::new(Expr::Index {
-                base: Box::new(Expr::Call { name: "g".into(), args: vec![] }),
+                base: Box::new(Expr::Call {
+                    name: "g".into(),
+                    args: vec![],
+                }),
                 index: Box::new(Expr::lit_int(0)),
             }),
         };

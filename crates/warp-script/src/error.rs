@@ -47,6 +47,9 @@ mod tests {
             ScriptError::IncludeNotFound("edit.wasl".into()).to_string(),
             "include not found: edit.wasl"
         );
-        assert_eq!(ScriptError::Runtime("x".into()).to_string(), "runtime error: x");
+        assert_eq!(
+            ScriptError::Runtime("x".into()).to_string(),
+            "runtime error: x"
+        );
     }
 }

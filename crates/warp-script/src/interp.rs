@@ -76,7 +76,11 @@ pub struct Limits {
 
 impl Default for Limits {
     fn default() -> Self {
-        Limits { max_steps: 2_000_000, max_call_depth: 128, max_include_depth: 16 }
+        Limits {
+            max_steps: 2_000_000,
+            max_call_depth: 128,
+            max_include_depth: 16,
+        }
     }
 }
 
@@ -93,7 +97,9 @@ pub struct Interpreter {
 impl Interpreter {
     /// Creates an interpreter with default limits.
     pub fn new() -> Self {
-        Interpreter { limits: Limits::default() }
+        Interpreter {
+            limits: Limits::default(),
+        }
     }
 
     /// Creates an interpreter with explicit limits.
@@ -217,7 +223,11 @@ impl ExecState {
                 self.eval(e, scope, host)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 if self.eval(cond, scope, host)?.is_truthy() {
                     self.exec_block(then_branch, scope, host)
                 } else {
@@ -235,7 +245,12 @@ impl ExecState {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.exec_stmt(init, scope, host)?;
                 while self.eval(cond, scope, host)?.is_truthy() {
                     self.tick()?;
@@ -248,7 +263,12 @@ impl ExecState {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Foreach { collection, key_var, value_var, body } => {
+            Stmt::Foreach {
+                collection,
+                key_var,
+                value_var,
+                body,
+            } => {
                 let coll = self.eval(collection, scope, host)?;
                 let pairs: Vec<(Value, Value)> = match coll {
                     Value::Array(items) => items
@@ -256,9 +276,7 @@ impl ExecState {
                         .enumerate()
                         .map(|(i, v)| (Value::Int(i as i64), v))
                         .collect(),
-                    Value::Map(m) => {
-                        m.into_iter().map(|(k, v)| (Value::Str(k), v)).collect()
-                    }
+                    Value::Map(m) => m.into_iter().map(|(k, v)| (Value::Str(k), v)).collect(),
                     Value::Null => Vec::new(),
                     other => vec![(Value::Int(0), other)],
                 };
@@ -413,9 +431,13 @@ impl ExecState {
                     "call depth exceeded in {name}"
                 )));
             }
-            let mut local = Scope { vars: BTreeMap::new() };
+            let mut local = Scope {
+                vars: BTreeMap::new(),
+            };
             for (i, p) in def.params.iter().enumerate() {
-                local.vars.insert(p.clone(), args.get(i).cloned().unwrap_or(Value::Null));
+                local
+                    .vars
+                    .insert(p.clone(), args.get(i).cloned().unwrap_or(Value::Null));
             }
             self.call_depth += 1;
             let flow = self.exec_block(&def.body, &mut local, host);
@@ -479,7 +501,11 @@ fn set_path(container: Value, keys: &[Value], value: Value) -> ScriptResult<Valu
 fn eval_binop(l: &Value, op: BinOp, r: &Value) -> ScriptResult<Value> {
     use BinOp::*;
     match op {
-        Concat => Ok(Value::Str(format!("{}{}", l.to_display_string(), r.to_display_string()))),
+        Concat => Ok(Value::Str(format!(
+            "{}{}",
+            l.to_display_string(),
+            r.to_display_string()
+        ))),
         Eq => Ok(Value::Bool(l.loose_eq(r))),
         NotEq => Ok(Value::Bool(!l.loose_eq(r))),
         Lt | LtEq | Gt | GtEq => {
@@ -617,9 +643,15 @@ mod tests {
             Value::Int(55)
         );
         // Functions defined after use are hoisted.
-        assert_eq!(run("return g(2); fn g(x) { return x * 10; }"), Value::Int(20));
+        assert_eq!(
+            run("return g(2); fn g(x) { return x * 10; }"),
+            Value::Int(20)
+        );
         // Missing args become null.
-        assert_eq!(run("fn f(a, b) { return is_null(b); } return f(1);"), Value::Bool(true));
+        assert_eq!(
+            run("fn f(a, b) { return is_null(b); } return f(1);"),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -661,14 +693,18 @@ mod tests {
     #[test]
     fn missing_include_is_an_error() {
         let mut host = NullHost::default();
-        let err = Interpreter::new().eval_program("include \"nope.wasl\";", &mut host).unwrap_err();
+        let err = Interpreter::new()
+            .eval_program("include \"nope.wasl\";", &mut host)
+            .unwrap_err();
         assert_eq!(err, ScriptError::IncludeNotFound("nope.wasl".into()));
     }
 
     #[test]
     fn undefined_function_and_variable() {
         let mut host = NullHost::default();
-        let err = Interpreter::new().eval_program("return mystery();", &mut host).unwrap_err();
+        let err = Interpreter::new()
+            .eval_program("return mystery();", &mut host)
+            .unwrap_err();
         assert!(matches!(err, ScriptError::Runtime(_)));
         // Unknown variables read as null rather than erroring (PHP notices).
         assert_eq!(run("return is_null(never_set);"), Value::Bool(true));
@@ -681,7 +717,9 @@ mod tests {
             max_steps: 10_000,
             ..Limits::default()
         });
-        let err = interp.eval_program("while (true) { let x = 1; }", &mut host).unwrap_err();
+        let err = interp
+            .eval_program("while (true) { let x = 1; }", &mut host)
+            .unwrap_err();
         assert!(matches!(err, ScriptError::Budget(_)));
     }
 
@@ -709,14 +747,19 @@ mod tests {
     #[test]
     fn division_by_zero_is_an_error() {
         let mut host = NullHost::default();
-        assert!(Interpreter::new().eval_program("return 5 % 0;", &mut host).is_err());
+        assert!(Interpreter::new()
+            .eval_program("return 5 % 0;", &mut host)
+            .is_err());
     }
 
     #[test]
     fn globals_are_visible() {
         let mut host = NullHost::default();
         let mut globals = BTreeMap::new();
-        globals.insert("_GET".to_string(), Value::map([("q".to_string(), Value::str("hi"))]));
+        globals.insert(
+            "_GET".to_string(),
+            Value::map([("q".to_string(), Value::str("hi"))]),
+        );
         let v = Interpreter::new()
             .eval_program_with_globals("return _GET[\"q\"];", &mut host, globals)
             .unwrap();

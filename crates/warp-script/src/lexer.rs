@@ -115,9 +115,10 @@ pub fn tokenize(src: &str) -> ScriptResult<Vec<Token>> {
                     ScriptError::Lex(format!("bad float literal {text}"))
                 })?));
             } else {
-                tokens.push(Token::Int(text.parse().map_err(|_| {
-                    ScriptError::Lex(format!("bad int literal {text}"))
-                })?));
+                tokens
+                    .push(Token::Int(text.parse().map_err(|_| {
+                        ScriptError::Lex(format!("bad int literal {text}"))
+                    })?));
             }
             continue;
         }
@@ -158,8 +159,12 @@ mod tests {
             "// line comment\nlet x = \"a\\\"b\\n\"; /* block */ if (x != 2.5) { echo(x); }",
         )
         .unwrap();
-        assert!(toks.iter().any(|t| matches!(t, Token::Str(s) if s == "a\"b\n")));
-        assert!(toks.iter().any(|t| matches!(t, Token::Float(f) if (*f - 2.5).abs() < 1e-9)));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Str(s) if s == "a\"b\n")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Float(f) if (*f - 2.5).abs() < 1e-9)));
         assert!(toks.iter().any(|t| t.is_sym("!=")));
         assert!(!toks.iter().any(|t| t.is_kw("comment")));
     }

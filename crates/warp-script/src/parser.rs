@@ -85,7 +85,9 @@ impl Parser {
     fn expect_ident(&mut self) -> ScriptResult<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(ScriptError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(ScriptError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -140,7 +142,11 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then_branch, else_branch });
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.accept_kw("while") {
             self.expect_sym("(")?;
@@ -158,7 +164,12 @@ impl Parser {
             let step = Box::new(self.parse_simple_stmt()?);
             self.expect_sym(")")?;
             let body = self.parse_block()?;
-            return Ok(Stmt::For { init, cond, step, body });
+            return Ok(Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            });
         }
         if self.accept_kw("foreach") {
             self.expect_sym("(")?;
@@ -174,7 +185,12 @@ impl Parser {
             };
             self.expect_sym(")")?;
             let body = self.parse_block()?;
-            return Ok(Stmt::Foreach { collection, key_var, value_var, body });
+            return Ok(Stmt::Foreach {
+                collection,
+                key_var,
+                value_var,
+                body,
+            });
         }
         if self.accept_kw("return") {
             if self.accept_sym(";") {
@@ -213,7 +229,10 @@ impl Parser {
             } else if self.peek_at(1).map(|t| t.is_sym("=")).unwrap_or(false) {
                 self.pos += 2;
                 let value = self.parse_expr()?;
-                return Ok(Stmt::Assign { target: AssignTarget::Var(name), value });
+                return Ok(Stmt::Assign {
+                    target: AssignTarget::Var(name),
+                    value,
+                });
             } else if self.peek_at(1).map(|t| t.is_sym("[")).unwrap_or(false) {
                 // Could be an indexed assignment `a[i][j] = v` or an
                 // expression like `a[i] . x`; scan ahead to find out.
@@ -221,7 +240,10 @@ impl Parser {
                     self.pos += consumed;
                     let value = self.parse_expr()?;
                     return Ok(Stmt::Assign {
-                        target: AssignTarget::Index { base: name, indexes },
+                        target: AssignTarget::Index {
+                            base: name,
+                            indexes,
+                        },
                         value,
                     });
                 }
@@ -272,7 +294,11 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.accept_sym("||") {
             let right = self.parse_and()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -281,7 +307,11 @@ impl Parser {
         let mut left = self.parse_equality()?;
         while self.accept_sym("&&") {
             let right = self.parse_equality()?;
-            left = Expr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -297,7 +327,11 @@ impl Parser {
                 break;
             };
             let right = self.parse_comparison()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -317,7 +351,11 @@ impl Parser {
                 break;
             };
             let right = self.parse_concat()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -326,8 +364,11 @@ impl Parser {
         let mut left = self.parse_additive()?;
         while self.accept_sym(".") {
             let right = self.parse_additive()?;
-            left =
-                Expr::Binary { left: Box::new(left), op: BinOp::Concat, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Concat,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -343,7 +384,11 @@ impl Parser {
                 break;
             };
             let right = self.parse_multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -361,7 +406,11 @@ impl Parser {
                 break;
             };
             let right = self.parse_unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -369,11 +418,17 @@ impl Parser {
     fn parse_unary(&mut self) -> ScriptResult<Expr> {
         if self.accept_sym("!") {
             let operand = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+            });
         }
         if self.accept_sym("-") {
             let operand = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+            });
         }
         self.parse_postfix()
     }
@@ -384,7 +439,10 @@ impl Parser {
             if self.accept_sym("[") {
                 let idx = self.parse_expr()?;
                 self.expect_sym("]")?;
-                e = Expr::Index { base: Box::new(e), index: Box::new(idx) };
+                e = Expr::Index {
+                    base: Box::new(e),
+                    index: Box::new(idx),
+                };
             } else {
                 break;
             }
@@ -509,14 +567,20 @@ mod tests {
     fn parses_indexed_assignment() {
         let p = parse_program("m[\"key\"] = 1; a[0][1] = 2;").unwrap();
         match &p.statements[0] {
-            Stmt::Assign { target: AssignTarget::Index { base, indexes }, .. } => {
+            Stmt::Assign {
+                target: AssignTarget::Index { base, indexes },
+                ..
+            } => {
                 assert_eq!(base, "m");
                 assert_eq!(indexes.len(), 1);
             }
             other => panic!("expected indexed assign, got {other:?}"),
         }
         match &p.statements[1] {
-            Stmt::Assign { target: AssignTarget::Index { indexes, .. }, .. } => {
+            Stmt::Assign {
+                target: AssignTarget::Index { indexes, .. },
+                ..
+            } => {
                 assert_eq!(indexes.len(), 2);
             }
             other => panic!("expected indexed assign, got {other:?}"),
@@ -533,7 +597,10 @@ mod tests {
     fn parses_map_and_array_literals() {
         let p = parse_program("let m = {\"a\": [1, 2], \"b\": {\"c\": 3}};").unwrap();
         match &p.statements[0] {
-            Stmt::Let { value: Expr::MapLit(pairs), .. } => assert_eq!(pairs.len(), 2),
+            Stmt::Let {
+                value: Expr::MapLit(pairs),
+                ..
+            } => assert_eq!(pairs.len(), 2),
             other => panic!("expected map literal, got {other:?}"),
         }
     }
@@ -563,7 +630,10 @@ mod tests {
     fn concat_binds_tighter_than_comparison() {
         let p = parse_program("let x = a . b == c;").unwrap();
         match &p.statements[0] {
-            Stmt::Let { value: Expr::Binary { op: BinOp::Eq, .. }, .. } => {}
+            Stmt::Let {
+                value: Expr::Binary { op: BinOp::Eq, .. },
+                ..
+            } => {}
             other => panic!("expected == at top, got {other:?}"),
         }
     }

@@ -33,13 +33,25 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Option<ScriptResult<Value>> {
         "split" => Some(builtin_split(args)),
         "join" => Some(builtin_join(args)),
         "trim" => Some(with1(args, |a| Value::str(a.to_display_string().trim()))),
-        "upper" => Some(with1(args, |a| Value::str(a.to_display_string().to_uppercase()))),
-        "lower" => Some(with1(args, |a| Value::str(a.to_display_string().to_lowercase()))),
+        "upper" => Some(with1(args, |a| {
+            Value::str(a.to_display_string().to_uppercase())
+        })),
+        "lower" => Some(with1(args, |a| {
+            Value::str(a.to_display_string().to_lowercase())
+        })),
         "repeat" => Some(builtin_repeat(args)),
-        "htmlspecialchars" => Some(with1(args, |a| Value::str(htmlspecialchars(&a.to_display_string())))),
-        "urlencode" => Some(with1(args, |a| Value::str(urlencode(&a.to_display_string())))),
-        "urldecode" => Some(with1(args, |a| Value::str(urldecode(&a.to_display_string())))),
-        "sql_escape" => Some(with1(args, |a| Value::str(a.to_display_string().replace('\'', "''")))),
+        "htmlspecialchars" => Some(with1(args, |a| {
+            Value::str(htmlspecialchars(&a.to_display_string()))
+        })),
+        "urlencode" => Some(with1(args, |a| {
+            Value::str(urlencode(&a.to_display_string()))
+        })),
+        "urldecode" => Some(with1(args, |a| {
+            Value::str(urldecode(&a.to_display_string()))
+        })),
+        "sql_escape" => Some(with1(args, |a| {
+            Value::str(a.to_display_string().replace('\'', "''"))
+        })),
         "str" => Some(with1(args, |a| Value::str(a.to_display_string()))),
         "int" => Some(with1(args, |a| Value::Int(a.as_int().unwrap_or(0)))),
         "is_null" => Some(with1(args, |a| Value::Bool(a.is_null()))),
@@ -100,7 +112,9 @@ fn builtin_substr(args: &[Value]) -> ScriptResult<Value> {
 
 fn builtin_str_replace(args: &[Value]) -> ScriptResult<Value> {
     if args.len() < 3 {
-        return Err(ScriptError::Runtime("str_replace expects (needle, replacement, haystack)".into()));
+        return Err(ScriptError::Runtime(
+            "str_replace expects (needle, replacement, haystack)".into(),
+        ));
     }
     let needle = args[0].to_display_string();
     let replacement = args[1].to_display_string();
@@ -160,9 +174,7 @@ fn builtin_push(args: &[Value]) -> ScriptResult<Value> {
 fn builtin_array_keys(args: &[Value]) -> ScriptResult<Value> {
     with1(args, |a| match a {
         Value::Map(m) => Value::Array(m.keys().map(|k| Value::str(k.clone())).collect()),
-        Value::Array(arr) => {
-            Value::Array((0..arr.len() as i64).map(Value::Int).collect())
-        }
+        Value::Array(arr) => Value::Array((0..arr.len() as i64).map(Value::Int).collect()),
         _ => Value::Array(vec![]),
     })
 }
@@ -184,7 +196,9 @@ fn builtin_map_has(args: &[Value]) -> ScriptResult<Value> {
 
 fn builtin_map_set(args: &[Value]) -> ScriptResult<Value> {
     if args.len() < 3 {
-        return Err(ScriptError::Runtime("map_set expects (map, key, value)".into()));
+        return Err(ScriptError::Runtime(
+            "map_set expects (map, key, value)".into(),
+        ));
     }
     let mut m = match &args[0] {
         Value::Map(m) => m.clone(),
@@ -212,7 +226,11 @@ fn builtin_min_max(args: &[Value], is_min: bool) -> ScriptResult<Value> {
     let a = args[0].as_float().unwrap_or(0.0);
     let b = args[1].as_float().unwrap_or(0.0);
     let pick_first = if is_min { a <= b } else { a >= b };
-    Ok(if pick_first { args[0].clone() } else { args[1].clone() })
+    Ok(if pick_first {
+        args[0].clone()
+    } else {
+        args[1].clone()
+    })
 }
 
 /// HTML-escapes `<`, `>`, `&`, `"` and `'`, exactly what PHP's
@@ -292,11 +310,26 @@ mod tests {
     #[test]
     fn string_builtins() {
         assert_eq!(call("strlen", &[Value::str("héllo")]), Value::Int(5));
-        assert_eq!(call("substr", &[Value::str("hello"), Value::Int(1), Value::Int(3)]), Value::str("ell"));
-        assert_eq!(call("substr", &[Value::str("hello"), Value::Int(3)]), Value::str("lo"));
-        assert_eq!(call("substr", &[Value::str("hi"), Value::Int(9)]), Value::str(""));
         assert_eq!(
-            call("str_replace", &[Value::str("a"), Value::str("b"), Value::str("banana")]),
+            call(
+                "substr",
+                &[Value::str("hello"), Value::Int(1), Value::Int(3)]
+            ),
+            Value::str("ell")
+        );
+        assert_eq!(
+            call("substr", &[Value::str("hello"), Value::Int(3)]),
+            Value::str("lo")
+        );
+        assert_eq!(
+            call("substr", &[Value::str("hi"), Value::Int(9)]),
+            Value::str("")
+        );
+        assert_eq!(
+            call(
+                "str_replace",
+                &[Value::str("a"), Value::str("b"), Value::str("banana")]
+            ),
             Value::str("bbnbnb")
         );
         assert_eq!(call("upper", &[Value::str("abc")]), Value::str("ABC"));
@@ -305,14 +338,23 @@ mod tests {
             call("str_contains", &[Value::str("hello"), Value::str("ell")]),
             Value::Bool(true)
         );
-        assert_eq!(call("str_index_of", &[Value::str("hello"), Value::str("zz")]), Value::Int(-1));
-        assert_eq!(call("repeat", &[Value::str("ab"), Value::Int(3)]), Value::str("ababab"));
+        assert_eq!(
+            call("str_index_of", &[Value::str("hello"), Value::str("zz")]),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            call("repeat", &[Value::str("ab"), Value::Int(3)]),
+            Value::str("ababab")
+        );
     }
 
     #[test]
     fn split_and_join_roundtrip() {
         let parts = call("split", &[Value::str("a,b,c"), Value::str(",")]);
-        assert_eq!(parts, Value::Array(vec![Value::str("a"), Value::str("b"), Value::str("c")]));
+        assert_eq!(
+            parts,
+            Value::Array(vec![Value::str("a"), Value::str("b"), Value::str("c")])
+        );
         assert_eq!(call("join", &[parts, Value::str("-")]), Value::str("a-b-c"));
     }
 
@@ -335,7 +377,10 @@ mod tests {
 
     #[test]
     fn sql_escape_doubles_quotes() {
-        assert_eq!(call("sql_escape", &[Value::str("o'neil")]), Value::str("o''neil"));
+        assert_eq!(
+            call("sql_escape", &[Value::str("o'neil")]),
+            Value::str("o''neil")
+        );
     }
 
     #[test]
@@ -344,10 +389,16 @@ mod tests {
         let arr = call("push", &[arr, Value::Int(2)]);
         assert_eq!(call("len", std::slice::from_ref(&arr)), Value::Int(2));
         let m = call("map_set", &[Value::Null, Value::str("k"), Value::Int(5)]);
-        assert_eq!(call("map_has", &[m.clone(), Value::str("k")]), Value::Bool(true));
+        assert_eq!(
+            call("map_has", &[m.clone(), Value::str("k")]),
+            Value::Bool(true)
+        );
         let m2 = call("map_remove", &[m.clone(), Value::str("k")]);
         assert_eq!(call("map_has", &[m2, Value::str("k")]), Value::Bool(false));
-        assert_eq!(call("array_keys", &[m]), Value::Array(vec![Value::str("k")]));
+        assert_eq!(
+            call("array_keys", &[m]),
+            Value::Array(vec![Value::str("k")])
+        );
     }
 
     #[test]

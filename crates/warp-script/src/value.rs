@@ -92,8 +92,10 @@ impl Value {
                 format!("[{}]", items.join(","))
             }
             Value::Map(m) => {
-                let items: Vec<String> =
-                    m.iter().map(|(k, v)| format!("{k}:{}", v.to_display_string())).collect();
+                let items: Vec<String> = m
+                    .iter()
+                    .map(|(k, v)| format!("{k}:{}", v.to_display_string()))
+                    .collect();
                 format!("{{{}}}", items.join(","))
             }
         }
@@ -122,11 +124,16 @@ impl Value {
                 Some(i) if i >= 0 && (i as usize) < a.len() => a[i as usize].clone(),
                 _ => Value::Null,
             },
-            (Value::Map(m), k) => m.get(&k.to_display_string()).cloned().unwrap_or(Value::Null),
+            (Value::Map(m), k) => m
+                .get(&k.to_display_string())
+                .cloned()
+                .unwrap_or(Value::Null),
             (Value::Str(s), k) => match k.as_int() {
-                Some(i) if i >= 0 => {
-                    s.chars().nth(i as usize).map(|c| Value::Str(c.to_string())).unwrap_or(Value::Null)
-                }
+                Some(i) if i >= 0 => s
+                    .chars()
+                    .nth(i as usize)
+                    .map(|c| Value::Str(c.to_string()))
+                    .unwrap_or(Value::Null),
                 _ => Value::Null,
             },
             _ => Value::Null,
@@ -143,7 +150,9 @@ impl Value {
             }
             (Value::Map(a), Value::Map(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b).all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
+                    && a.iter()
+                        .zip(b)
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
             }
             (Value::Array(_) | Value::Map(_), _) | (_, Value::Array(_) | Value::Map(_)) => false,
             (Value::Null, _) | (_, Value::Null) => false,

@@ -126,7 +126,12 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Creates a plain, unconstrained column.
     pub fn new(name: impl Into<String>, col_type: ColumnType) -> Self {
-        ColumnDef { name: name.into(), col_type, constraints: Vec::new(), default: None }
+        ColumnDef {
+            name: name.into(),
+            col_type,
+            constraints: Vec::new(),
+            default: None,
+        }
     }
 
     /// True if the column is declared `PRIMARY KEY`.
@@ -303,12 +308,20 @@ impl Expr {
 
     /// Joins two expressions with `AND`.
     pub fn and(self, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op: BinaryOp::And, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::And,
+            right: Box::new(other),
+        }
     }
 
     /// Joins two expressions with `OR`.
     pub fn or(self, other: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op: BinaryOp::Or, right: Box::new(other) }
+        Expr::Binary {
+            left: Box::new(self),
+            op: BinaryOp::Or,
+            right: Box::new(other),
+        }
     }
 
     /// Collects the names of all columns referenced by this expression.
@@ -354,11 +367,19 @@ impl Expr {
 
     fn collect_required_equalities(&self, out: &mut Vec<(String, Value)>) {
         match self {
-            Expr::Binary { left, op: BinaryOp::And, right } => {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
                 left.collect_required_equalities(out);
                 right.collect_required_equalities(out);
             }
-            Expr::Binary { left, op: BinaryOp::Eq, right } => match (&**left, &**right) {
+            Expr::Binary {
+                left,
+                op: BinaryOp::Eq,
+                right,
+            } => match (&**left, &**right) {
                 (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => {
                     out.push((c.clone(), v.clone()));
                 }
@@ -379,7 +400,11 @@ impl fmt::Display for Expr {
                 UnaryOp::Not => write!(f, "(NOT {operand})"),
                 UnaryOp::Neg => write!(f, "(-{operand})"),
             },
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
                 write!(
                     f,
@@ -424,11 +449,18 @@ impl fmt::Display for Statement {
                 Some(w) => write!(f, "SELECT FROM {} WHERE {w}", s.table),
                 None => write!(f, "SELECT FROM {}", s.table),
             },
-            Statement::Update { table, where_clause, .. } => match where_clause {
+            Statement::Update {
+                table,
+                where_clause,
+                ..
+            } => match where_clause {
                 Some(w) => write!(f, "UPDATE {table} WHERE {w}"),
                 None => write!(f, "UPDATE {table}"),
             },
-            Statement::Delete { table, where_clause } => match where_clause {
+            Statement::Delete {
+                table,
+                where_clause,
+            } => match where_clause {
                 Some(w) => write!(f, "DELETE FROM {table} WHERE {w}"),
                 None => write!(f, "DELETE FROM {table}"),
             },
@@ -506,7 +538,10 @@ mod tests {
 
     #[test]
     fn statement_table_name_and_write_flag() {
-        let s = Statement::Delete { table: "t".into(), where_clause: None };
+        let s = Statement::Delete {
+            table: "t".into(),
+            where_clause: None,
+        };
         assert_eq!(s.table_name(), Some("t"));
         assert!(s.is_write());
     }

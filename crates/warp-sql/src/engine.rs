@@ -1,8 +1,6 @@
 //! Statement execution.
 
-use crate::ast::{
-    AggregateFunc, Expr, SelectItem, SelectStatement, Statement,
-};
+use crate::ast::{AggregateFunc, Expr, SelectItem, SelectStatement, Statement};
 use crate::error::{SqlError, SqlResult};
 use crate::expr::eval_expr;
 use crate::parser::parse;
@@ -21,6 +19,9 @@ pub struct QueryResult {
     pub rows: Vec<Row>,
     /// Number of rows inserted, updated or deleted.
     pub affected: u64,
+    /// True if the query imposed a row order (`ORDER BY`): the order of
+    /// `rows` is then part of the result's meaning, not a storage artifact.
+    pub ordered: bool,
 }
 
 impl QueryResult {
@@ -40,8 +41,16 @@ impl QueryResult {
 
     /// Returns the values in the named column across all result rows.
     pub fn column_values(&self, name: &str) -> Vec<Value> {
-        match self.columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
-            Some(idx) => self.rows.iter().filter_map(|r| r.get(idx).cloned()).collect(),
+        match self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+        {
+            Some(idx) => self
+                .rows
+                .iter()
+                .filter_map(|r| r.get(idx).cloned())
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -49,17 +58,39 @@ impl QueryResult {
     /// A fingerprint of the result that is stable across executions; the
     /// repair controller compares fingerprints to decide whether a re-executed
     /// query "returned the same result" (paper §3.3, §4).
+    ///
+    /// Row *order* contributes only when the query imposed one (`ordered`,
+    /// i.e. `ORDER BY`). Otherwise rows are combined commutatively, so two
+    /// results holding the same multiset of rows fingerprint identically:
+    /// without `ORDER BY`, row order is an artifact of physical storage —
+    /// version churn during repair may permute otherwise-identical results,
+    /// and treating that as a changed result would cascade into spurious
+    /// re-execution.
     pub fn fingerprint(&self) -> u64 {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
         let mut h = DefaultHasher::new();
         self.columns.hash(&mut h);
-        for row in &self.rows {
-            for v in row {
-                v.hash(&mut h);
+        if self.ordered {
+            for row in &self.rows {
+                for v in row {
+                    v.hash(&mut h);
+                }
+                0xfeu8.hash(&mut h);
             }
-            0xfeu8.hash(&mut h);
+        } else {
+            // Commutative combine (wrapping add) over per-row hashes.
+            let mut rows_digest = 0u64;
+            for row in &self.rows {
+                let mut rh = DefaultHasher::new();
+                for v in row {
+                    v.hash(&mut rh);
+                }
+                rows_digest = rows_digest.wrapping_add(rh.finish());
+            }
+            rows_digest.hash(&mut h);
         }
+        (self.rows.len() as u64).hash(&mut h);
         self.affected.hash(&mut h);
         h.finish()
     }
@@ -74,7 +105,9 @@ pub struct Database {
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
-        Database { tables: BTreeMap::new() }
+        Database {
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Returns the names of all tables, sorted.
@@ -115,9 +148,11 @@ impl Database {
     /// Executes an already-parsed statement.
     pub fn execute(&mut self, stmt: &Statement) -> SqlResult<QueryResult> {
         match stmt {
-            Statement::CreateTable { name, columns, constraints } => {
-                self.create_table(name, columns.clone(), constraints.clone())
-            }
+            Statement::CreateTable {
+                name,
+                columns,
+                constraints,
+            } => self.create_table(name, columns.clone(), constraints.clone()),
             Statement::DropTable { name } => {
                 let key = normalize(name);
                 if self.tables.remove(&key).is_none() {
@@ -135,14 +170,21 @@ impl Database {
                 t.add_column_with_default(default);
                 Ok(QueryResult::empty())
             }
-            Statement::Insert { table, columns, values } => self.insert(table, columns, values),
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => self.insert(table, columns, values),
             Statement::Select(select) => self.select(select),
-            Statement::Update { table, assignments, where_clause } => {
-                self.update(table, assignments, where_clause.as_ref())
-            }
-            Statement::Delete { table, where_clause } => {
-                self.delete(table, where_clause.as_ref())
-            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.update(table, assignments, where_clause.as_ref()),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.delete(table, where_clause.as_ref()),
         }
     }
 
@@ -170,12 +212,16 @@ impl Database {
         // Evaluate value expressions against an empty row context first (they
         // may not reference columns), then validate and append.
         let key = normalize(table);
-        let t = self.tables.get(&key).ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
         let schema = t.schema.clone();
         let mut col_indexes = Vec::with_capacity(columns.len());
         for c in columns {
-            let idx =
-                schema.column_index(c).ok_or_else(|| SqlError::NoSuchColumn(c.to_string()))?;
+            let idx = schema
+                .column_index(c)
+                .ok_or_else(|| SqlError::NoSuchColumn(c.to_string()))?;
             col_indexes.push(idx);
         }
         let empty_row: Row = vec![Value::Null; schema.columns.len()];
@@ -211,7 +257,12 @@ impl Database {
         for row in new_rows {
             t.push_row(row);
         }
-        Ok(QueryResult { columns: vec![], rows: vec![], affected: n })
+        Ok(QueryResult {
+            columns: vec![],
+            rows: vec![],
+            affected: n,
+            ordered: false,
+        })
     }
 
     fn select(&mut self, select: &SelectStatement) -> SqlResult<QueryResult> {
@@ -255,9 +306,10 @@ impl Database {
             matching.truncate(limit as usize);
         }
         // Project.
-        let has_aggregate = select.items.iter().any(|item| {
-            matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr))
-        });
+        let has_aggregate = select
+            .items
+            .iter()
+            .any(|item| matches!(item, SelectItem::Expr { expr, .. } if contains_aggregate(expr)));
         let mut columns = Vec::new();
         for item in &select.items {
             match item {
@@ -273,9 +325,7 @@ impl Database {
             for item in &select.items {
                 match item {
                     SelectItem::Wildcard => {
-                        return Err(SqlError::Execution(
-                            "cannot mix * with aggregates".into(),
-                        ))
+                        return Err(SqlError::Execution("cannot mix * with aggregates".into()))
                     }
                     SelectItem::Expr { expr, .. } => {
                         out_row.push(eval_aggregate(expr, schema, &matching)?);
@@ -297,7 +347,12 @@ impl Database {
                 rows.push(out_row);
             }
         }
-        Ok(QueryResult { columns, rows, affected: 0 })
+        Ok(QueryResult {
+            columns,
+            rows,
+            affected: 0,
+            ordered: !select.order_by.is_empty(),
+        })
     }
 
     fn update(
@@ -307,7 +362,10 @@ impl Database {
         where_clause: Option<&Expr>,
     ) -> SqlResult<QueryResult> {
         let key = normalize(table);
-        let t = self.tables.get(&key).ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let t = self
+            .tables
+            .get(&key)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
         let schema = t.schema.clone();
         for a in assignments {
             if schema.column_index(&a.column).is_none() {
@@ -344,12 +402,20 @@ impl Database {
         let affected = touched.len() as u64;
         let t = self.tables.get_mut(&key).expect("checked above");
         t.rows = new_rows;
-        Ok(QueryResult { columns: vec![], rows: vec![], affected })
+        Ok(QueryResult {
+            columns: vec![],
+            rows: vec![],
+            affected,
+            ordered: false,
+        })
     }
 
     fn delete(&mut self, table: &str, where_clause: Option<&Expr>) -> SqlResult<QueryResult> {
         let key = normalize(table);
-        let t = self.tables.get_mut(&key).ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
         let schema = t.schema.clone();
         let before = t.rows.len();
         let mut err = None;
@@ -368,7 +434,12 @@ impl Database {
         if let Some(e) = err {
             return Err(e);
         }
-        Ok(QueryResult { columns: vec![], rows: vec![], affected: (before - t.rows.len()) as u64 })
+        Ok(QueryResult {
+            columns: vec![],
+            rows: vec![],
+            affected: (before - t.rows.len()) as u64,
+            ordered: false,
+        })
     }
 }
 
@@ -398,84 +469,82 @@ fn contains_aggregate(expr: &Expr) -> bool {
 
 fn eval_aggregate(expr: &Expr, schema: &TableSchema, rows: &[&Row]) -> SqlResult<Value> {
     match expr {
-        Expr::Aggregate { func, arg } => {
-            match func {
-                AggregateFunc::Count => match arg {
-                    None => Ok(Value::Int(rows.len() as i64)),
-                    Some(a) => {
-                        let mut n = 0;
-                        for row in rows {
-                            if !eval_expr(a, schema, row)?.is_null() {
-                                n += 1;
-                            }
-                        }
-                        Ok(Value::Int(n))
-                    }
-                },
-                AggregateFunc::Max | AggregateFunc::Min => {
-                    let a = arg.as_ref().ok_or_else(|| {
-                        SqlError::Execution("MAX/MIN require an argument".into())
-                    })?;
-                    let mut best: Option<Value> = None;
+        Expr::Aggregate { func, arg } => match func {
+            AggregateFunc::Count => match arg {
+                None => Ok(Value::Int(rows.len() as i64)),
+                Some(a) => {
+                    let mut n = 0;
                     for row in rows {
-                        let v = eval_expr(a, schema, row)?;
-                        if v.is_null() {
-                            continue;
+                        if !eval_expr(a, schema, row)?.is_null() {
+                            n += 1;
                         }
-                        best = Some(match best {
-                            None => v,
-                            Some(b) => {
-                                let keep_new = if *func == AggregateFunc::Max {
-                                    v.cmp_total(&b) == std::cmp::Ordering::Greater
-                                } else {
-                                    v.cmp_total(&b) == std::cmp::Ordering::Less
-                                };
-                                if keep_new {
-                                    v
-                                } else {
-                                    b
-                                }
-                            }
-                        });
                     }
-                    Ok(best.unwrap_or(Value::Null))
+                    Ok(Value::Int(n))
                 }
-                AggregateFunc::Sum => {
-                    let a = arg.as_ref().ok_or_else(|| {
-                        SqlError::Execution("SUM requires an argument".into())
-                    })?;
-                    let mut int_sum: i64 = 0;
-                    let mut float_sum: f64 = 0.0;
-                    let mut any = false;
-                    let mut is_float = false;
-                    for row in rows {
-                        let v = eval_expr(a, schema, row)?;
-                        match v {
-                            Value::Null => {}
-                            Value::Float(f) => {
-                                is_float = true;
-                                float_sum += f;
-                                any = true;
-                            }
-                            other => {
-                                let i = other.as_int().ok_or_else(|| {
-                                    SqlError::Type("SUM over non-numeric value".into())
-                                })?;
-                                int_sum += i;
-                                any = true;
+            },
+            AggregateFunc::Max | AggregateFunc::Min => {
+                let a = arg
+                    .as_ref()
+                    .ok_or_else(|| SqlError::Execution("MAX/MIN require an argument".into()))?;
+                let mut best: Option<Value> = None;
+                for row in rows {
+                    let v = eval_expr(a, schema, row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = if *func == AggregateFunc::Max {
+                                v.cmp_total(&b) == std::cmp::Ordering::Greater
+                            } else {
+                                v.cmp_total(&b) == std::cmp::Ordering::Less
+                            };
+                            if keep_new {
+                                v
+                            } else {
+                                b
                             }
                         }
+                    });
+                }
+                Ok(best.unwrap_or(Value::Null))
+            }
+            AggregateFunc::Sum => {
+                let a = arg
+                    .as_ref()
+                    .ok_or_else(|| SqlError::Execution("SUM requires an argument".into()))?;
+                let mut int_sum: i64 = 0;
+                let mut float_sum: f64 = 0.0;
+                let mut any = false;
+                let mut is_float = false;
+                for row in rows {
+                    let v = eval_expr(a, schema, row)?;
+                    match v {
+                        Value::Null => {}
+                        Value::Float(f) => {
+                            is_float = true;
+                            float_sum += f;
+                            any = true;
+                        }
+                        other => {
+                            let i = other.as_int().ok_or_else(|| {
+                                SqlError::Type("SUM over non-numeric value".into())
+                            })?;
+                            int_sum += i;
+                            any = true;
+                        }
                     }
-                    if !any {
-                        Ok(Value::Null)
-                    } else if is_float {
-                        Ok(Value::Float(float_sum + int_sum as f64))
-                    } else {
-                        Ok(Value::Int(int_sum))
-                    }
+                }
+                if !any {
+                    Ok(Value::Null)
+                } else if is_float {
+                    Ok(Value::Float(float_sum + int_sum as f64))
+                } else {
+                    Ok(Value::Int(int_sum))
                 }
             }
-        }
+        },
         // Non-aggregate expressions inside an aggregate query are evaluated
         // against the first matching row (this mirrors the lax behaviour web
         // applications rely on in MySQL/SQLite).
@@ -493,8 +562,7 @@ fn check_unique(
     skip_index: Option<usize>,
 ) -> SqlResult<()> {
     for uc in &schema.unique_constraints {
-        let idxs: Vec<usize> =
-            uc.iter().filter_map(|c| schema.column_index(c)).collect();
+        let idxs: Vec<usize> = uc.iter().filter_map(|c| schema.column_index(c)).collect();
         if idxs.len() != uc.len() {
             continue;
         }
@@ -506,7 +574,10 @@ fn check_unique(
             if Some(ri) == skip_index || std::ptr::eq(row, candidate) {
                 continue;
             }
-            if idxs.iter().all(|&i| row[i].sql_eq(&candidate[i]) == Some(true)) {
+            if idxs
+                .iter()
+                .all(|&i| row[i].sql_eq(&candidate[i]) == Some(true))
+            {
                 return Err(SqlError::UniqueViolation {
                     table: schema.name.clone(),
                     columns: uc.clone(),
@@ -524,7 +595,10 @@ fn check_rows_distinct(schema: &TableSchema, a: &Row, b: &Row, table: &str) -> S
             continue;
         }
         if idxs.iter().all(|&i| a[i].sql_eq(&b[i]) == Some(true)) {
-            return Err(SqlError::UniqueViolation { table: table.to_string(), columns: uc.clone() });
+            return Err(SqlError::UniqueViolation {
+                table: table.to_string(),
+                columns: uc.clone(),
+            });
         }
     }
     Ok(())
@@ -553,17 +627,23 @@ mod tests {
     #[test]
     fn select_wildcard_and_projection() {
         let mut db = wiki_db();
-        let r = db.execute_sql("SELECT * FROM page WHERE owner = 'alice' ORDER BY page_id").unwrap();
+        let r = db
+            .execute_sql("SELECT * FROM page WHERE owner = 'alice' ORDER BY page_id")
+            .unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.columns.len(), 5);
-        let r = db.execute_sql("SELECT title FROM page WHERE page_id = 2").unwrap();
+        let r = db
+            .execute_sql("SELECT title FROM page WHERE page_id = 2")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::text("Help")));
     }
 
     #[test]
     fn select_order_by_desc_and_limit() {
         let mut db = wiki_db();
-        let r = db.execute_sql("SELECT title FROM page ORDER BY title DESC LIMIT 2").unwrap();
+        let r = db
+            .execute_sql("SELECT title FROM page ORDER BY title DESC LIMIT 2")
+            .unwrap();
         let titles = r.column_values("title");
         assert_eq!(titles, vec![Value::text("Sandbox"), Value::text("Main")]);
     }
@@ -571,25 +651,38 @@ mod tests {
     #[test]
     fn default_values_applied_on_insert() {
         let mut db = wiki_db();
-        let r = db.execute_sql("SELECT views FROM page WHERE page_id = 1").unwrap();
+        let r = db
+            .execute_sql("SELECT views FROM page WHERE page_id = 1")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(0)));
     }
 
     #[test]
     fn aggregates() {
         let mut db = wiki_db();
-        let r = db.execute_sql("SELECT COUNT(*), MAX(page_id), MIN(page_id), SUM(page_id) FROM page").unwrap();
-        assert_eq!(r.rows[0], vec![Value::Int(3), Value::Int(3), Value::Int(1), Value::Int(6)]);
-        let r = db.execute_sql("SELECT COUNT(*) FROM page WHERE owner = 'zoe'").unwrap();
+        let r = db
+            .execute_sql("SELECT COUNT(*), MAX(page_id), MIN(page_id), SUM(page_id) FROM page")
+            .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Int(3), Value::Int(3), Value::Int(1), Value::Int(6)]
+        );
+        let r = db
+            .execute_sql("SELECT COUNT(*) FROM page WHERE owner = 'zoe'")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(0)));
-        let r = db.execute_sql("SELECT MAX(page_id) FROM page WHERE owner = 'zoe'").unwrap();
+        let r = db
+            .execute_sql("SELECT MAX(page_id) FROM page WHERE owner = 'zoe'")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Null));
     }
 
     #[test]
     fn update_with_expression_and_where() {
         let mut db = wiki_db();
-        let r = db.execute_sql("UPDATE page SET views = views + 10 WHERE owner = 'alice'").unwrap();
+        let r = db
+            .execute_sql("UPDATE page SET views = views + 10 WHERE owner = 'alice'")
+            .unwrap();
         assert_eq!(r.affected, 2);
         let r = db.execute_sql("SELECT SUM(views) FROM page").unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(20)));
@@ -598,7 +691,9 @@ mod tests {
     #[test]
     fn delete_with_where() {
         let mut db = wiki_db();
-        let r = db.execute_sql("DELETE FROM page WHERE owner = 'bob'").unwrap();
+        let r = db
+            .execute_sql("DELETE FROM page WHERE owner = 'bob'")
+            .unwrap();
         assert_eq!(r.affected, 1);
         let r = db.execute_sql("SELECT COUNT(*) FROM page").unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(2)));
@@ -621,9 +716,13 @@ mod tests {
     #[test]
     fn unique_violation_on_update_leaves_table_unchanged() {
         let mut db = wiki_db();
-        let err = db.execute_sql("UPDATE page SET title = 'Main' WHERE page_id = 2").unwrap_err();
+        let err = db
+            .execute_sql("UPDATE page SET title = 'Main' WHERE page_id = 2")
+            .unwrap_err();
         assert!(matches!(err, SqlError::UniqueViolation { .. }));
-        let r = db.execute_sql("SELECT title FROM page WHERE page_id = 2").unwrap();
+        let r = db
+            .execute_sql("SELECT title FROM page WHERE page_id = 2")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::text("Help")));
     }
 
@@ -641,7 +740,9 @@ mod tests {
     #[test]
     fn not_null_violation() {
         let mut db = wiki_db();
-        let err = db.execute_sql("INSERT INTO page (page_id, title) VALUES (5, NULL)").unwrap_err();
+        let err = db
+            .execute_sql("INSERT INTO page (page_id, title) VALUES (5, NULL)")
+            .unwrap_err();
         assert!(matches!(err, SqlError::NotNullViolation { .. }));
     }
 
@@ -665,8 +766,11 @@ mod tests {
     #[test]
     fn alter_table_add_column_backfills_default() {
         let mut db = wiki_db();
-        db.execute_sql("ALTER TABLE page ADD COLUMN row_id INTEGER DEFAULT 0").unwrap();
-        let r = db.execute_sql("SELECT row_id FROM page WHERE page_id = 1").unwrap();
+        db.execute_sql("ALTER TABLE page ADD COLUMN row_id INTEGER DEFAULT 0")
+            .unwrap();
+        let r = db
+            .execute_sql("SELECT row_id FROM page WHERE page_id = 1")
+            .unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(0)));
     }
 
@@ -681,7 +785,9 @@ mod tests {
     #[test]
     fn like_in_where() {
         let mut db = wiki_db();
-        let r = db.execute_sql("SELECT title FROM page WHERE title LIKE 'S%'").unwrap();
+        let r = db
+            .execute_sql("SELECT title FROM page WHERE title LIKE 'S%'")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::text("Sandbox"));
     }
@@ -689,11 +795,21 @@ mod tests {
     #[test]
     fn fingerprint_changes_with_data() {
         let mut db = wiki_db();
-        let a = db.execute_sql("SELECT * FROM page ORDER BY page_id").unwrap().fingerprint();
-        db.execute_sql("UPDATE page SET body = 'changed' WHERE page_id = 1").unwrap();
-        let b = db.execute_sql("SELECT * FROM page ORDER BY page_id").unwrap().fingerprint();
+        let a = db
+            .execute_sql("SELECT * FROM page ORDER BY page_id")
+            .unwrap()
+            .fingerprint();
+        db.execute_sql("UPDATE page SET body = 'changed' WHERE page_id = 1")
+            .unwrap();
+        let b = db
+            .execute_sql("SELECT * FROM page ORDER BY page_id")
+            .unwrap()
+            .fingerprint();
         assert_ne!(a, b);
-        let c = db.execute_sql("SELECT * FROM page ORDER BY page_id").unwrap().fingerprint();
+        let c = db
+            .execute_sql("SELECT * FROM page ORDER BY page_id")
+            .unwrap()
+            .fingerprint();
         assert_eq!(b, c);
     }
 

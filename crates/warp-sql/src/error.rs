@@ -50,7 +50,11 @@ impl fmt::Display for SqlError {
             SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
             SqlError::ColumnExists(c) => write!(f, "column already exists: {c}"),
             SqlError::UniqueViolation { table, columns } => {
-                write!(f, "unique constraint violated on {table}({})", columns.join(", "))
+                write!(
+                    f,
+                    "unique constraint violated on {table}({})",
+                    columns.join(", ")
+                )
             }
             SqlError::NotNullViolation { table, column } => {
                 write!(f, "not-null constraint violated on {table}.{column}")
@@ -73,7 +77,13 @@ mod tests {
             table: "page".into(),
             columns: vec!["title".into(), "end_gen".into()],
         };
-        assert_eq!(e.to_string(), "unique constraint violated on page(title, end_gen)");
-        assert_eq!(SqlError::NoSuchTable("x".into()).to_string(), "no such table: x");
+        assert_eq!(
+            e.to_string(),
+            "unique constraint violated on page(title, end_gen)"
+        );
+        assert_eq!(
+            SqlError::NoSuchTable("x".into()).to_string(),
+            "no such table: x"
+        );
     }
 }

@@ -35,7 +35,11 @@ pub fn eval_expr(expr: &Expr, schema: &TableSchema, row: &Row) -> SqlResult<Valu
             let r = eval_expr(right, schema, row)?;
             eval_binary(&l, *op, &r)
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval_expr(expr, schema, row)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -54,9 +58,9 @@ pub fn eval_expr(expr: &Expr, schema: &TableSchema, row: &Row) -> SqlResult<Valu
             let v = eval_expr(expr, schema, row)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        Expr::Aggregate { .. } => {
-            Err(SqlError::Execution("aggregate used outside a projection".into()))
-        }
+        Expr::Aggregate { .. } => Err(SqlError::Execution(
+            "aggregate used outside a projection".into(),
+        )),
     }
 }
 
@@ -102,8 +106,12 @@ pub fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> SqlResult<Value> {
                 };
                 return Ok(Value::Int(v));
             }
-            let a = l.as_float().ok_or_else(|| SqlError::Type(format!("non-numeric {l:?}")))?;
-            let b = r.as_float().ok_or_else(|| SqlError::Type(format!("non-numeric {r:?}")))?;
+            let a = l
+                .as_float()
+                .ok_or_else(|| SqlError::Type(format!("non-numeric {l:?}")))?;
+            let b = r
+                .as_float()
+                .ok_or_else(|| SqlError::Type(format!("non-numeric {r:?}")))?;
             let v = match op {
                 Add => a + b,
                 Sub => a - b,
@@ -122,13 +130,20 @@ pub fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> SqlResult<Value> {
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            Ok(Value::Text(format!("{}{}", l.as_display_string(), r.as_display_string())))
+            Ok(Value::Text(format!(
+                "{}{}",
+                l.as_display_string(),
+                r.as_display_string()
+            )))
         }
         Like => {
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            Ok(Value::Bool(like_match(&l.as_display_string(), &r.as_display_string())))
+            Ok(Value::Bool(like_match(
+                &l.as_display_string(),
+                &r.as_display_string(),
+            )))
         }
     }
 }
@@ -192,7 +207,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_division_by_zero() {
-        assert_eq!(eval_binary(&Value::Int(6), BinaryOp::Mul, &Value::Int(7)).unwrap(), Value::Int(42));
+        assert_eq!(
+            eval_binary(&Value::Int(6), BinaryOp::Mul, &Value::Int(7)).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             eval_binary(&Value::Int(7), BinaryOp::Div, &Value::Int(2)).unwrap(),
             Value::Int(3)
@@ -251,7 +269,10 @@ mod tests {
             negated: false,
         };
         assert_eq!(eval_expr(&e, &s, &row).unwrap(), Value::Bool(true));
-        let e = Expr::IsNull { expr: Box::new(Expr::Column("name".into())), negated: false };
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::Column("name".into())),
+            negated: false,
+        };
         assert_eq!(eval_expr(&e, &s, &row).unwrap(), Value::Bool(true));
     }
 }

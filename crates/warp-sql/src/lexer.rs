@@ -156,8 +156,12 @@ mod tests {
     fn tokenizes_basic_select() {
         let toks = tokenize("SELECT a, b FROM t WHERE a = 'x''y' AND b >= 4.5").unwrap();
         assert!(toks[0].is_keyword("select"));
-        assert!(toks.iter().any(|t| matches!(t, Token::StringLit(s) if s == "x'y")));
-        assert!(toks.iter().any(|t| matches!(t, Token::FloatLit(f) if (*f - 4.5).abs() < 1e-9)));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::StringLit(s) if s == "x'y")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::FloatLit(f) if (*f - 4.5).abs() < 1e-9)));
         assert!(toks.iter().any(|t| t.is_symbol(">=")));
     }
 

@@ -84,7 +84,8 @@ mod tests {
             .unwrap();
         db.execute_sql("INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')")
             .unwrap();
-        db.execute_sql("UPDATE t SET name = 'z' WHERE id = 2").unwrap();
+        db.execute_sql("UPDATE t SET name = 'z' WHERE id = 2")
+            .unwrap();
         let r = db.execute_sql("SELECT name FROM t ORDER BY id").unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[1][0], Value::text("z"));

@@ -67,7 +67,9 @@ impl Parser {
         if t.is_keyword(kw) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected keyword {kw}, found {t:?}")))
+            Err(SqlError::Parse(format!(
+                "expected keyword {kw}, found {t:?}"
+            )))
         }
     }
 
@@ -76,7 +78,9 @@ impl Parser {
         if t.is_symbol(sym) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected symbol {sym:?}, found {t:?}")))
+            Err(SqlError::Parse(format!(
+                "expected symbol {sym:?}, found {t:?}"
+            )))
         }
     }
 
@@ -102,7 +106,9 @@ impl Parser {
         let t = self.next()?;
         match t {
             Token::Ident(s) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -130,7 +136,10 @@ impl Parser {
         if self.accept_keyword("alter") {
             return self.parse_alter();
         }
-        Err(SqlError::Parse(format!("unsupported statement start: {:?}", self.peek())))
+        Err(SqlError::Parse(format!(
+            "unsupported statement start: {:?}",
+            self.peek()
+        )))
     }
 
     fn parse_select(&mut self) -> SqlResult<Statement> {
@@ -183,7 +192,13 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Select(SelectStatement { items, table, where_clause, order_by, limit }))
+        Ok(Statement::Select(SelectStatement {
+            items,
+            table,
+            where_clause,
+            order_by,
+            limit,
+        }))
     }
 
     fn parse_insert(&mut self) -> SqlResult<Statement> {
@@ -222,7 +237,11 @@ impl Parser {
                 break;
             }
         }
-        Ok(Statement::Insert { table, columns, values })
+        Ok(Statement::Insert {
+            table,
+            columns,
+            values,
+        })
     }
 
     fn parse_update(&mut self) -> SqlResult<Statement> {
@@ -243,7 +262,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Update { table, assignments, where_clause })
+        Ok(Statement::Update {
+            table,
+            assignments,
+            where_clause,
+        })
     }
 
     fn parse_delete(&mut self) -> SqlResult<Statement> {
@@ -254,7 +277,10 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Delete { table, where_clause })
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
     }
 
     fn parse_create_table(&mut self) -> SqlResult<Statement> {
@@ -274,7 +300,11 @@ impl Parser {
             }
         }
         self.expect_symbol(")")?;
-        Ok(Statement::CreateTable { name, columns, constraints })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            constraints,
+        })
     }
 
     fn parse_table_constraint(&mut self) -> SqlResult<TableConstraint> {
@@ -319,7 +349,10 @@ impl Parser {
                 let expr = self.parse_primary()?;
                 match expr {
                     Expr::Literal(v) => def.default = Some(v),
-                    Expr::Unary { op: UnaryOp::Neg, operand } => match *operand {
+                    Expr::Unary {
+                        op: UnaryOp::Neg,
+                        operand,
+                    } => match *operand {
                         Expr::Literal(Value::Int(i)) => def.default = Some(Value::Int(-i)),
                         Expr::Literal(Value::Float(f)) => def.default = Some(Value::Float(-f)),
                         other => {
@@ -363,7 +396,11 @@ impl Parser {
         let mut left = self.parse_and()?;
         while self.accept_keyword("or") {
             let right = self.parse_and()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::Or, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -372,7 +409,11 @@ impl Parser {
         let mut left = self.parse_not()?;
         while self.accept_keyword("and") {
             let right = self.parse_not()?;
-            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -380,7 +421,10 @@ impl Parser {
     fn parse_not(&mut self) -> SqlResult<Expr> {
         if self.accept_keyword("not") {
             let operand = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
         }
         self.parse_comparison()
     }
@@ -390,9 +434,18 @@ impl Parser {
         if self.accept_keyword("is") {
             let negated = self.accept_keyword("not");
             self.expect_keyword("null")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
-        if self.peek_keyword("not") && self.tokens.get(self.pos + 1).map(|t| t.is_keyword("in")).unwrap_or(false) {
+        if self.peek_keyword("not")
+            && self
+                .tokens
+                .get(self.pos + 1)
+                .map(|t| t.is_keyword("in"))
+                .unwrap_or(false)
+        {
             self.pos += 2;
             return self.parse_in_list(left, true);
         }
@@ -425,7 +478,11 @@ impl Parser {
         match op {
             Some(op) => {
                 let right = self.parse_additive()?;
-                Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) })
+                Ok(Expr::Binary {
+                    left: Box::new(left),
+                    op,
+                    right: Box::new(right),
+                })
             }
             None => Ok(left),
         }
@@ -443,7 +500,11 @@ impl Parser {
             }
         }
         self.expect_symbol(")")?;
-        Ok(Expr::InList { expr: Box::new(left), list, negated })
+        Ok(Expr::InList {
+            expr: Box::new(left),
+            list,
+            negated,
+        })
     }
 
     fn parse_additive(&mut self) -> SqlResult<Expr> {
@@ -459,7 +520,11 @@ impl Parser {
                 break;
             };
             let right = self.parse_multiplicative()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -475,7 +540,11 @@ impl Parser {
                 break;
             };
             let right = self.parse_unary()?;
-            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -483,7 +552,10 @@ impl Parser {
     fn parse_unary(&mut self) -> SqlResult<Expr> {
         if self.accept_symbol("-") {
             let operand = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(operand) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+            });
         }
         self.parse_primary()
     }
@@ -524,7 +596,9 @@ impl Parser {
                     _ => Ok(Expr::Column(name)),
                 }
             }
-            other => Err(SqlError::Parse(format!("unexpected token in expression: {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
         }
     }
 }
@@ -557,7 +631,9 @@ mod tests {
     fn parses_insert_multi_row() {
         let stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match stmt {
-            Statement::Insert { columns, values, .. } => {
+            Statement::Insert {
+                columns, values, ..
+            } => {
                 assert_eq!(columns, vec!["a", "b"]);
                 assert_eq!(values.len(), 2);
             }
@@ -574,14 +650,24 @@ mod tests {
     fn parses_update_and_delete() {
         let stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3").unwrap();
         match stmt {
-            Statement::Update { assignments, where_clause, .. } => {
+            Statement::Update {
+                assignments,
+                where_clause,
+                ..
+            } => {
                 assert_eq!(assignments.len(), 2);
                 assert!(where_clause.is_some());
             }
             other => panic!("expected update, got {other:?}"),
         }
         let stmt = parse("DELETE FROM t").unwrap();
-        assert!(matches!(stmt, Statement::Delete { where_clause: None, .. }));
+        assert!(matches!(
+            stmt,
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -592,7 +678,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::CreateTable { columns, constraints, .. } => {
+            Statement::CreateTable {
+                columns,
+                constraints,
+                ..
+            } => {
                 assert_eq!(columns.len(), 3);
                 assert!(columns[0].is_primary_key());
                 assert!(columns[1].is_not_null());
@@ -636,7 +726,9 @@ mod tests {
         // a = 1 OR b = 2 AND c = 3 parses as a = 1 OR (b = 2 AND c = 3).
         let stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         match stmt.where_clause().unwrap() {
-            Expr::Binary { op: BinaryOp::Or, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or, ..
+            } => {}
             other => panic!("expected OR at top level, got {other:?}"),
         }
     }
@@ -648,7 +740,10 @@ mod tests {
             Statement::Update { assignments, .. } => {
                 assert!(matches!(
                     assignments[0].value,
-                    Expr::Binary { op: BinaryOp::Concat, .. }
+                    Expr::Binary {
+                        op: BinaryOp::Concat,
+                        ..
+                    }
                 ));
             }
             other => panic!("expected update, got {other:?}"),

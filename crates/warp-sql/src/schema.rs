@@ -29,8 +29,11 @@ impl ColumnType {
         let lower = name.to_ascii_lowercase();
         if lower.contains("int") || lower.contains("serial") {
             ColumnType::Integer
-        } else if lower.contains("real") || lower.contains("float") || lower.contains("double")
-            || lower.contains("numeric") || lower.contains("decimal")
+        } else if lower.contains("real")
+            || lower.contains("float")
+            || lower.contains("double")
+            || lower.contains("numeric")
+            || lower.contains("decimal")
         {
             ColumnType::Real
         } else if lower.contains("bool") {
@@ -74,7 +77,11 @@ impl TableSchema {
                 }
             }
         }
-        let schema = TableSchema { name, columns, unique_constraints };
+        let schema = TableSchema {
+            name,
+            columns,
+            unique_constraints,
+        };
         for uc in &schema.unique_constraints {
             for col in uc {
                 if schema.column_index(col).is_none() {
@@ -87,7 +94,9 @@ impl TableSchema {
 
     /// Returns the index of the named column, if present.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Returns the names of all columns in declaration order.
@@ -103,7 +112,10 @@ impl TableSchema {
     /// Returns the primary-key column name, if a single-column primary key is
     /// declared.
     pub fn primary_key(&self) -> Option<&str> {
-        self.columns.iter().find(|c| c.is_primary_key()).map(|c| c.name.as_str())
+        self.columns
+            .iter()
+            .find(|c| c.is_primary_key())
+            .map(|c| c.name.as_str())
     }
 
     /// Adds a column to the schema (used by `ALTER TABLE ADD COLUMN`).
@@ -181,14 +193,20 @@ mod tests {
         pk.constraints.push(ColumnConstraint::PrimaryKey);
         let mut schema = TableSchema::new("t", vec![pk], vec![]).unwrap();
         schema.extend_unique_constraints(&["end_time", "end_gen"]);
-        assert_eq!(schema.unique_constraints[0], vec!["id", "end_time", "end_gen"]);
+        assert_eq!(
+            schema.unique_constraints[0],
+            vec!["id", "end_time", "end_gen"]
+        );
     }
 
     #[test]
     fn add_column_rejects_duplicates() {
         let mut schema = TableSchema::new("t", vec![col("a")], vec![]).unwrap();
         assert!(schema.add_column(col("b")).is_ok());
-        assert!(matches!(schema.add_column(col("a")), Err(SqlError::ColumnExists(_))));
+        assert!(matches!(
+            schema.add_column(col("a")),
+            Err(SqlError::ColumnExists(_))
+        ));
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows currently stored.
@@ -113,7 +116,9 @@ mod tests {
     fn add_column_backfills() {
         let mut t = table();
         t.push_row(vec![Value::Int(1), Value::text("a")]);
-        t.schema.add_column(ColumnDef::new("extra", ColumnType::Integer)).unwrap();
+        t.schema
+            .add_column(ColumnDef::new("extra", ColumnType::Integer))
+            .unwrap();
         t.add_column_with_default(Value::Int(0));
         assert_eq!(t.cell(0, "extra"), Some(&Value::Int(0)));
     }

@@ -229,7 +229,12 @@ mod tests {
 
     #[test]
     fn ordering_null_first_text_last() {
-        let mut vals = [Value::text("b"), Value::Int(5), Value::Null, Value::text("a")];
+        let mut vals = [
+            Value::text("b"),
+            Value::Int(5),
+            Value::Null,
+            Value::text("a"),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(5));

@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let a = TableAnnotation::new().row_id("page_id").partitions(["title", "owner"]);
+        let a = TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title", "owner"]);
         assert_eq!(a.row_id_column.as_deref(), Some("page_id"));
         assert_eq!(a.partition_columns, vec!["title", "owner"]);
         assert_eq!(a.annotation_lines(), 3);

@@ -47,7 +47,9 @@ impl PartitionSet {
 
     /// A set covering the entire table.
     pub fn whole(table: &str) -> Self {
-        PartitionSet::Whole { table: table.to_ascii_lowercase() }
+        PartitionSet::Whole {
+            table: table.to_ascii_lowercase(),
+        }
     }
 
     /// The table this set refers to.
@@ -84,7 +86,9 @@ impl PartitionSet {
         match (&mut *self, other) {
             (PartitionSet::Whole { .. }, _) => {}
             (_, PartitionSet::Whole { table }) => {
-                *self = PartitionSet::Whole { table: table.clone() };
+                *self = PartitionSet::Whole {
+                    table: table.clone(),
+                };
             }
             (PartitionSet::Keys(a), PartitionSet::Keys(b)) => {
                 a.extend(b.iter().cloned());
@@ -168,7 +172,9 @@ mod tests {
     #[test]
     fn key_sets_intersect_on_common_partition() {
         let a: PartitionSet = PartitionSet::Keys(
-            [key("page", "title", "Main"), key("page", "title", "Help")].into_iter().collect(),
+            [key("page", "title", "Main"), key("page", "title", "Help")]
+                .into_iter()
+                .collect(),
         );
         let b: PartitionSet =
             PartitionSet::Keys([key("page", "title", "Help")].into_iter().collect());
@@ -190,7 +196,9 @@ mod tests {
     fn union_absorbs_into_whole() {
         let mut a: PartitionSet =
             PartitionSet::Keys([key("page", "title", "Main")].into_iter().collect());
-        a.union_with(&PartitionSet::Keys([key("page", "title", "Help")].into_iter().collect()));
+        a.union_with(&PartitionSet::Keys(
+            [key("page", "title", "Help")].into_iter().collect(),
+        ));
         match &a {
             PartitionSet::Keys(k) => assert_eq!(k.len(), 2),
             other => panic!("expected keys, got {other:?}"),

@@ -50,19 +50,27 @@ mod tests {
         let mut db = TimeTravelDb::new();
         db.create_table(
             "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT, body TEXT)",
-            TableAnnotation::new().row_id("page_id").partitions(["title"]),
+            TableAnnotation::new()
+                .row_id("page_id")
+                .partitions(["title"]),
         )
         .unwrap();
-        db.execute_logged("INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'v1')", 10)
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'v1')",
+            10,
+        )
+        .unwrap();
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE title = 'Main'", 20)
             .unwrap();
-        db.execute_logged("UPDATE page SET body = 'v2' WHERE title = 'Main'", 20).unwrap();
         // The application sees only the current version.
         let out = db
             .execute_logged("SELECT body FROM page WHERE title = 'Main'", 30)
             .unwrap();
         assert_eq!(out.result.rows[0][0], Value::text("v2"));
         // Time travel: reading at time 15 sees the original version.
-        let old = db.select_at("SELECT body FROM page WHERE title = 'Main'", 15).unwrap();
+        let old = db
+            .select_at("SELECT body FROM page WHERE title = 'Main'", 15)
+            .unwrap();
         assert_eq!(old.rows[0][0], Value::text("v1"));
     }
 }

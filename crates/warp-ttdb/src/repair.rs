@@ -23,6 +23,12 @@ pub struct RepairSession {
     pub reexecuted_queries: usize,
     /// Number of rows rolled back through this session.
     pub rolled_back_rows: usize,
+    /// Partition-tracking precision for rollbacks. The classic (sequential)
+    /// engine conservatively marks the whole table modified on every rollback;
+    /// the partitioned engine needs exact partitions so that independent
+    /// partitions stay independent, and so cross-partition escalation can be
+    /// detected from the modified set alone.
+    precise_rollback: bool,
 }
 
 impl RepairSession {
@@ -34,7 +40,23 @@ impl RepairSession {
             modified: Vec::new(),
             reexecuted_queries: 0,
             rolled_back_rows: 0,
+            precise_rollback: false,
         }
+    }
+
+    /// Begins a repair whose rollbacks mark the exact partitions of the row
+    /// versions they touch instead of the whole table (used by the
+    /// partitioned parallel repair engine).
+    pub fn begin_precise(db: &mut TimeTravelDb) -> Self {
+        let mut session = Self::begin(db);
+        session.precise_rollback = true;
+        session
+    }
+
+    /// The partitions this session has modified so far (rollbacks plus
+    /// re-executed and new writes).
+    pub fn modified_partitions(&self) -> &[PartitionSet] {
+        &self.modified
     }
 
     /// Records that the given partitions have been modified during repair.
@@ -59,15 +81,21 @@ impl RepairSession {
         row_ids: &[Value],
         to_time: Timestamp,
     ) -> SqlResult<()> {
+        // Rolling back rows may change any partition those rows (in any of
+        // their versions) belonged to. In precise mode the partitions are
+        // derived from the stored versions before the rollback mutates them;
+        // the classic mode conservatively marks the whole table instead.
+        let touched = if self.precise_rollback {
+            Some(db.row_partitions(table, row_ids, self.generation)?)
+        } else {
+            None
+        };
         db.rollback_rows(table, row_ids, to_time, self.generation)?;
         self.rolled_back_rows += row_ids.len();
-        // Rolling back rows may change any partition those rows belonged to;
-        // without re-deriving per-row partition values we conservatively mark
-        // the whole table as modified when the table has no partition columns
-        // and otherwise mark the partitions of the rolled-back rows by row ID
-        // lookup below (the caller usually also calls `note_modified` with
-        // the original write's partitions, which is more precise).
-        self.modified.push(PartitionSet::whole(table));
+        match touched {
+            Some(parts) => self.note_modified(&parts),
+            None => self.modified.push(PartitionSet::whole(table)),
+        }
         Ok(())
     }
 
@@ -183,7 +211,12 @@ impl RepairSession {
             limit: None,
         });
         let out = db.execute_stmt_logged(&select, time, self.generation)?;
-        Ok(out.result.rows.into_iter().filter_map(|mut r| r.pop()).collect())
+        Ok(out
+            .result
+            .rows
+            .into_iter()
+            .filter_map(|mut r| r.pop())
+            .collect())
     }
 }
 
@@ -198,7 +231,9 @@ mod tests {
         let mut db = TimeTravelDb::new();
         db.create_table(
             "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
-            TableAnnotation::new().row_id("page_id").partitions(["title"]),
+            TableAnnotation::new()
+                .row_id("page_id")
+                .partitions(["title"]),
         )
         .unwrap();
         db.execute_logged(
@@ -234,30 +269,49 @@ mod tests {
     fn reexecute_write_two_phase_rolls_back_old_and_new_rows() {
         let mut db = seeded_db();
         // The attack appended text to Main at time 20.
-        db.execute_logged("UPDATE page SET body = body || ' ATTACK' WHERE title = 'Main'", 20)
-            .unwrap();
+        db.execute_logged(
+            "UPDATE page SET body = body || ' ATTACK' WHERE title = 'Main'",
+            20,
+        )
+        .unwrap();
         // A legitimate edit at time 30 rewrote Help.
-        db.execute_logged("UPDATE page SET body = 'better help' WHERE title = 'Help'", 30)
-            .unwrap();
+        db.execute_logged(
+            "UPDATE page SET body = 'better help' WHERE title = 'Help'",
+            30,
+        )
+        .unwrap();
         let mut session = RepairSession::begin(&mut db);
         // During repair, the patched application no longer issues the attack
         // query; instead the legitimate edit of Help is re-executed as-is.
-        let stmt = warp_sql::parse("UPDATE page SET body = 'better help' WHERE title = 'Help'").unwrap();
-        let out = session.reexecute_write(&mut db, &stmt, 30, &[Value::Int(2)]).unwrap();
+        let stmt =
+            warp_sql::parse("UPDATE page SET body = 'better help' WHERE title = 'Help'").unwrap();
+        let out = session
+            .reexecute_write(&mut db, &stmt, 30, &[Value::Int(2)])
+            .unwrap();
         assert_eq!(out.result.affected, 1);
         // Roll back the attack's effect on Main.
-        session.rollback_rows(&mut db, "page", &[Value::Int(1)], 20).unwrap();
+        session
+            .rollback_rows(&mut db, "page", &[Value::Int(1)], 20)
+            .unwrap();
         session.finalize(&mut db);
-        let body = db.execute_logged("SELECT body FROM page WHERE title = 'Main'", 100).unwrap();
+        let body = db
+            .execute_logged("SELECT body FROM page WHERE title = 'Main'", 100)
+            .unwrap();
         assert_eq!(body.result.rows[0][0], Value::text("clean"));
-        let help = db.execute_logged("SELECT body FROM page WHERE title = 'Help'", 100).unwrap();
+        let help = db
+            .execute_logged("SELECT body FROM page WHERE title = 'Help'", 100)
+            .unwrap();
         assert_eq!(help.result.rows[0][0], Value::text("better help"));
     }
 
     #[test]
     fn reexecute_read_sees_original_values_for_untouched_rows() {
         let mut db = seeded_db();
-        db.execute_logged("UPDATE page SET body = 'edited help' WHERE title = 'Help'", 40).unwrap();
+        db.execute_logged(
+            "UPDATE page SET body = 'edited help' WHERE title = 'Help'",
+            40,
+        )
+        .unwrap();
         let mut session = RepairSession::begin(&mut db);
         // A read that originally ran at time 20 must see the time-20 value of
         // Help even though Help changed later and was never rolled back.
@@ -276,7 +330,9 @@ mod tests {
         let stmt = warp_sql::parse("UPDATE page SET body = 'x' WHERE title = 'Main'").unwrap();
         session.execute_new_write(&mut db, &stmt, 50).unwrap();
         session.abort(&mut db).unwrap();
-        let body = db.execute_logged("SELECT body FROM page WHERE title = 'Main'", 100).unwrap();
+        let body = db
+            .execute_logged("SELECT body FROM page WHERE title = 'Main'", 100)
+            .unwrap();
         assert_eq!(body.result.rows[0][0], Value::text("clean"));
     }
 

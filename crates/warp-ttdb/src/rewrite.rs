@@ -2,7 +2,9 @@
 //! (paper §4.4).
 
 use crate::dependency::{PartitionKey, PartitionSet};
-use crate::versioned::{Generation, Timestamp, COL_END_GEN, COL_END_TIME, COL_START_GEN, COL_START_TIME};
+use crate::versioned::{
+    Generation, Timestamp, COL_END_GEN, COL_END_TIME, COL_START_GEN, COL_START_TIME,
+};
 use std::collections::BTreeSet;
 use warp_sql::{Expr, Statement, Value};
 
@@ -33,7 +35,10 @@ pub fn validity_predicate(time: Timestamp, gen: Generation) -> Expr {
         op: warp_sql::ast::BinaryOp::GtEq,
         right: Box::new(Expr::Literal(Value::Int(gen))),
     };
-    start_time_ok.and(end_time_ok).and(start_gen_ok).and(end_gen_ok)
+    start_time_ok
+        .and(end_time_ok)
+        .and(start_gen_ok)
+        .and(end_gen_ok)
 }
 
 /// Adds the validity predicate for `(time, gen)` to a statement's `WHERE`
@@ -71,7 +76,10 @@ pub fn read_partitions(
     let equalities = where_clause.required_equalities();
     let mut keys = BTreeSet::new();
     for (col, value) in equalities {
-        if partition_columns.iter().any(|p| p.eq_ignore_ascii_case(&col)) {
+        if partition_columns
+            .iter()
+            .any(|p| p.eq_ignore_ascii_case(&col))
+        {
             keys.insert(PartitionKey::new(table, &col, &value));
         }
     }
@@ -95,7 +103,10 @@ pub fn partitions_of_rows<'a>(
     let mut keys = BTreeSet::new();
     for row in rows {
         for (col, value) in row {
-            if partition_columns.iter().any(|p| p.eq_ignore_ascii_case(col)) {
+            if partition_columns
+                .iter()
+                .any(|p| p.eq_ignore_ascii_case(col))
+            {
                 keys.insert(PartitionKey::new(table, col, value));
             }
         }
@@ -140,7 +151,9 @@ mod tests {
         match read_partitions(&stmt, "page", &cols) {
             PartitionSet::Keys(keys) => {
                 assert_eq!(keys.len(), 1);
-                assert!(keys.iter().any(|k| k.column == "title" && k.value == "Main"));
+                assert!(keys
+                    .iter()
+                    .any(|k| k.column == "title" && k.value == "Main"));
             }
             other => panic!("expected keys, got {other:?}"),
         }
@@ -150,21 +163,36 @@ mod tests {
     fn unpinned_or_disjunctive_queries_read_the_whole_table() {
         let cols = vec!["title".to_string()];
         let stmt = parse("SELECT * FROM page WHERE views > 3").unwrap();
-        assert!(matches!(read_partitions(&stmt, "page", &cols), PartitionSet::Whole { .. }));
+        assert!(matches!(
+            read_partitions(&stmt, "page", &cols),
+            PartitionSet::Whole { .. }
+        ));
         let stmt = parse("SELECT * FROM page WHERE title = 'A' OR title = 'B'").unwrap();
-        assert!(matches!(read_partitions(&stmt, "page", &cols), PartitionSet::Whole { .. }));
+        assert!(matches!(
+            read_partitions(&stmt, "page", &cols),
+            PartitionSet::Whole { .. }
+        ));
         let stmt = parse("SELECT * FROM page").unwrap();
-        assert!(matches!(read_partitions(&stmt, "page", &cols), PartitionSet::Whole { .. }));
+        assert!(matches!(
+            read_partitions(&stmt, "page", &cols),
+            PartitionSet::Whole { .. }
+        ));
         // No partition columns configured: always whole-table.
         let stmt = parse("SELECT * FROM page WHERE title = 'Main'").unwrap();
-        assert!(matches!(read_partitions(&stmt, "page", &[]), PartitionSet::Whole { .. }));
+        assert!(matches!(
+            read_partitions(&stmt, "page", &[]),
+            PartitionSet::Whole { .. }
+        ));
     }
 
     #[test]
     fn partitions_of_rows_collects_values() {
         let cols = vec!["title".to_string()];
         let rows: Vec<Vec<(String, Value)>> = vec![
-            vec![("title".to_string(), Value::text("Main")), ("views".to_string(), Value::Int(1))],
+            vec![
+                ("title".to_string(), Value::text("Main")),
+                ("views".to_string(), Value::Int(1)),
+            ],
             vec![("title".to_string(), Value::text("Help"))],
         ];
         match partitions_of_rows("page", &cols, rows.iter().map(|r| r.as_slice())) {

@@ -5,7 +5,9 @@ use crate::dependency::{PartitionSet, QueryDependency};
 use crate::rewrite::{partitions_of_rows, read_partitions, restrict_to_valid};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use warp_sql::ast::{Assignment, ColumnConstraint, ColumnDef, Expr, SelectItem, SelectStatement, Statement};
+use warp_sql::ast::{
+    Assignment, ColumnConstraint, ColumnDef, Expr, SelectItem, SelectStatement, Statement,
+};
 use warp_sql::expr::eval_expr;
 use warp_sql::{ColumnType, Database, QueryResult, SqlError, SqlResult, Value};
 
@@ -113,7 +115,9 @@ impl TimeTravelDb {
 
     /// The row-ID column of a table.
     pub fn row_id_column(&self, table: &str) -> Option<&str> {
-        self.configs.get(&norm(table)).map(|c| c.row_id_column.as_str())
+        self.configs
+            .get(&norm(table))
+            .map(|c| c.row_id_column.as_str())
     }
 
     /// The partition columns of a table.
@@ -126,7 +130,10 @@ impl TimeTravelDb {
 
     /// Total annotation lines across all tables (paper §8.1).
     pub fn annotation_lines(&self) -> usize {
-        self.configs.values().map(|c| c.annotation.annotation_lines()).sum()
+        self.configs
+            .values()
+            .map(|c| c.annotation.annotation_lines())
+            .sum()
     }
 
     /// Direct read-only access to the underlying engine (used by tests and by
@@ -165,7 +172,8 @@ impl TimeTravelDb {
         {
             let t = self.db.table_mut(&table).expect("just created");
             if synthetic {
-                t.schema.add_column(ColumnDef::new(COL_ROW_ID, ColumnType::Integer))?;
+                t.schema
+                    .add_column(ColumnDef::new(COL_ROW_ID, ColumnType::Integer))?;
                 t.add_column_with_default(Value::Null);
             }
             for col in [COL_START_TIME, COL_END_TIME, COL_START_GEN, COL_END_GEN] {
@@ -174,7 +182,8 @@ impl TimeTravelDb {
                 t.schema.add_column(def)?;
                 t.add_column_with_default(Value::Int(0));
             }
-            t.schema.extend_unique_constraints(&[COL_END_TIME, COL_END_GEN]);
+            t.schema
+                .extend_unique_constraints(&[COL_END_TIME, COL_END_GEN]);
         }
         for col in &annotation.partition_columns {
             if self.db.schema(&table).map(|s| s.has_column(col)) != Some(true) {
@@ -183,7 +192,11 @@ impl TimeTravelDb {
         }
         self.configs.insert(
             norm(&table),
-            TableConfig { annotation, row_id_column, synthetic_row_id: synthetic },
+            TableConfig {
+                annotation,
+                row_id_column,
+                synthetic_row_id: synthetic,
+            },
         );
         Ok(())
     }
@@ -208,15 +221,20 @@ impl TimeTravelDb {
     ) -> SqlResult<LoggedExecution> {
         match stmt {
             Statement::Select(_) => self.logged_select(stmt, time, gen),
-            Statement::Insert { table, columns, values } => {
-                self.logged_insert(table, columns, values, time, gen)
-            }
-            Statement::Update { table, assignments, where_clause } => {
-                self.logged_update(table, assignments, where_clause.as_ref(), time, gen)
-            }
-            Statement::Delete { table, where_clause } => {
-                self.logged_delete(table, where_clause.as_ref(), time, gen)
-            }
+            Statement::Insert {
+                table,
+                columns,
+                values,
+            } => self.logged_insert(table, columns, values, time, gen),
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.logged_update(table, assignments, where_clause.as_ref(), time, gen),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.logged_delete(table, where_clause.as_ref(), time, gen),
             other => Err(SqlError::Execution(format!(
                 "applications may not issue DDL at runtime: {other}"
             ))),
@@ -372,14 +390,21 @@ impl TimeTravelDb {
             return Ok(());
         }
         let start_gen = col_val(columns, row, COL_START_GEN).as_int().unwrap_or(0);
-        let end_gen = col_val(columns, row, COL_END_GEN).as_int().unwrap_or(INF_GEN);
+        let end_gen = col_val(columns, row, COL_END_GEN)
+            .as_int()
+            .unwrap_or(INF_GEN);
         if start_gen > self.current_gen || end_gen < self.current_gen {
             return Ok(());
         }
         // Insert a copy that stays visible to the current generation.
         let mut copy_cols = columns.to_vec();
         let mut copy_vals: Vec<Expr> = row.iter().cloned().map(Expr::Literal).collect();
-        set_col(&mut copy_cols, &mut copy_vals, COL_END_GEN, Value::Int(self.current_gen));
+        set_col(
+            &mut copy_cols,
+            &mut copy_vals,
+            COL_END_GEN,
+            Value::Int(self.current_gen),
+        );
         let insert = Statement::Insert {
             table: table.to_string(),
             columns: copy_cols,
@@ -431,14 +456,17 @@ impl TimeTravelDb {
             if gen > self.current_gen {
                 let sg = col_val(&columns, row, COL_START_GEN).as_int().unwrap_or(0);
                 if sg <= self.current_gen {
-                    if let Some(i) =
-                        columns.iter().position(|c| c.eq_ignore_ascii_case(COL_START_GEN))
+                    if let Some(i) = columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(COL_START_GEN))
                     {
                         row_now[i] = Value::Int(gen);
                     }
                 }
             }
-            let start_gen_now = col_val(&columns, &row_now, COL_START_GEN).as_int().unwrap_or(0);
+            let start_gen_now = col_val(&columns, &row_now, COL_START_GEN)
+                .as_int()
+                .unwrap_or(0);
             row_ids.push(col_val(&columns, row, &cfg.row_id_column));
             // Old partition values.
             let mut named_old = Vec::new();
@@ -464,8 +492,18 @@ impl TimeTravelDb {
             // 1. Keep a historical copy of the old value, ending at `time`.
             let mut hist_cols = columns.clone();
             let mut hist_vals: Vec<Expr> = row_now.iter().cloned().map(Expr::Literal).collect();
-            set_col(&mut hist_cols, &mut hist_vals, COL_END_TIME, Value::Int(time));
-            set_col(&mut hist_cols, &mut hist_vals, COL_START_GEN, Value::Int(start_gen_now));
+            set_col(
+                &mut hist_cols,
+                &mut hist_vals,
+                COL_END_TIME,
+                Value::Int(time),
+            );
+            set_col(
+                &mut hist_cols,
+                &mut hist_vals,
+                COL_START_GEN,
+                Value::Int(start_gen_now),
+            );
             let only_if_started_before = col_val(&columns, row, COL_START_TIME)
                 .as_int()
                 .map(|s| s < time)
@@ -499,7 +537,12 @@ impl TimeTravelDb {
             written_rows.iter().map(|r| r.as_slice()),
         );
         Ok(LoggedExecution {
-            result: QueryResult { columns: vec![], rows: vec![], affected: rows.len() as u64 },
+            result: QueryResult {
+                columns: vec![],
+                rows: vec![],
+                affected: rows.len() as u64,
+                ordered: false,
+            },
             dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids),
         })
     }
@@ -513,7 +556,10 @@ impl TimeTravelDb {
     ) -> SqlResult<LoggedExecution> {
         let cfg = self.config(table)?.clone();
         let read_parts = read_partitions(
-            &Statement::Delete { table: table.to_string(), where_clause: where_clause.cloned() },
+            &Statement::Delete {
+                table: table.to_string(),
+                where_clause: where_clause.cloned(),
+            },
             table,
             &cfg.annotation.partition_columns,
         );
@@ -526,8 +572,9 @@ impl TimeTravelDb {
             if gen > self.current_gen {
                 let sg = col_val(&columns, row, COL_START_GEN).as_int().unwrap_or(0);
                 if sg <= self.current_gen {
-                    if let Some(i) =
-                        columns.iter().position(|c| c.eq_ignore_ascii_case(COL_START_GEN))
+                    if let Some(i) = columns
+                        .iter()
+                        .position(|c| c.eq_ignore_ascii_case(COL_START_GEN))
                     {
                         row_now[i] = Value::Int(gen);
                     }
@@ -557,7 +604,12 @@ impl TimeTravelDb {
             written_rows.iter().map(|r| r.as_slice()),
         );
         Ok(LoggedExecution {
-            result: QueryResult { columns: vec![], rows: vec![], affected: rows.len() as u64 },
+            result: QueryResult {
+                columns: vec![],
+                rows: vec![],
+                affected: rows.len() as u64,
+                ordered: false,
+            },
             dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids),
         })
     }
@@ -623,7 +675,8 @@ impl TimeTravelDb {
     ) -> SqlResult<()> {
         let cfg = self.config(table)?.clone();
         for row_id in row_ids {
-            let (columns, versions) = self.versions_of_row(table, &cfg.row_id_column, row_id, gen)?;
+            let (columns, versions) =
+                self.versions_of_row(table, &cfg.row_id_column, row_id, gen)?;
             // Versions created at or after `to_time` disappear from the
             // repair generation (but stay visible to the current generation
             // if they predate the repair).
@@ -685,9 +738,24 @@ impl TimeTravelDb {
                         let mut copy_cols = columns.clone();
                         let mut copy_vals: Vec<Expr> =
                             v.iter().cloned().map(Expr::Literal).collect();
-                        set_col(&mut copy_cols, &mut copy_vals, COL_END_TIME, Value::Int(INF_TIME));
-                        set_col(&mut copy_cols, &mut copy_vals, COL_START_GEN, Value::Int(gen));
-                        set_col(&mut copy_cols, &mut copy_vals, COL_END_GEN, Value::Int(INF_GEN));
+                        set_col(
+                            &mut copy_cols,
+                            &mut copy_vals,
+                            COL_END_TIME,
+                            Value::Int(INF_TIME),
+                        );
+                        set_col(
+                            &mut copy_cols,
+                            &mut copy_vals,
+                            COL_START_GEN,
+                            Value::Int(gen),
+                        );
+                        set_col(
+                            &mut copy_cols,
+                            &mut copy_vals,
+                            COL_END_GEN,
+                            Value::Int(INF_GEN),
+                        );
                         let insert = Statement::Insert {
                             table: table.to_string(),
                             columns: copy_cols,
@@ -736,6 +804,137 @@ impl TimeTravelDb {
         Ok((result.columns, result.rows))
     }
 
+    /// The partitions that the stored versions of the given rows belong to
+    /// (every version visible in `gen`, so both the current and the restored
+    /// values are covered). Tables without partition columns report the whole
+    /// table. Used by precise rollback tracking in the partitioned repair
+    /// engine.
+    pub fn row_partitions(
+        &mut self,
+        table: &str,
+        row_ids: &[Value],
+        gen: Generation,
+    ) -> SqlResult<PartitionSet> {
+        let cfg = self.config(table)?.clone();
+        if cfg.annotation.partition_columns.is_empty() {
+            return Ok(PartitionSet::whole(table));
+        }
+        let mut named_rows: Vec<Vec<(String, Value)>> = Vec::new();
+        for row_id in row_ids {
+            let (columns, versions) =
+                self.versions_of_row(table, &cfg.row_id_column, row_id, gen)?;
+            for v in &versions {
+                let mut named = Vec::new();
+                for col in &cfg.annotation.partition_columns {
+                    named.push((col.clone(), col_val(&columns, v, col)));
+                }
+                named_rows.push(named);
+            }
+        }
+        Ok(partitions_of_rows(
+            table,
+            &cfg.annotation.partition_columns,
+            named_rows.iter().map(|r| r.as_slice()),
+        ))
+    }
+
+    /// A raw snapshot of every stored version row of a table (bookkeeping
+    /// columns included), used by the partitioned repair engine to compute
+    /// per-partition diffs against worker clones.
+    pub fn table_rows_snapshot(&self, table: &str) -> Vec<Vec<Value>> {
+        self.db
+            .table(table)
+            .map(|t| t.rows.clone())
+            .unwrap_or_default()
+    }
+
+    /// Applies a row-level diff produced by comparing a repaired clone of
+    /// this database against a snapshot of it: each row in `remove` deletes
+    /// one matching stored version, each row in `add` is inserted verbatim.
+    /// The rows carry their own versioning columns, so no rewriting happens;
+    /// the caller guarantees the diff only touches rows the current database
+    /// still agrees with the snapshot on (disjoint repair partitions).
+    pub fn apply_row_diff(
+        &mut self,
+        table: &str,
+        remove: &[Vec<Value>],
+        add: &[Vec<Value>],
+    ) -> SqlResult<()> {
+        let t = self
+            .db
+            .table_mut(table)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        for gone in remove {
+            if let Some(pos) = t.rows.iter().position(|r| r == gone) {
+                // Order-preserving removal. ORDER-BY-less result order is
+                // not part of result *semantics* (fingerprints treat such
+                // results as multisets), but keeping unrelated rows in place
+                // minimizes gratuitous storage-order churn from the merge.
+                t.rows.remove(pos);
+            }
+        }
+        for new in add {
+            t.rows.push(new.clone());
+        }
+        Ok(())
+    }
+
+    /// The next synthetic row ID this database would allocate.
+    pub fn synthetic_id_watermark(&self) -> i64 {
+        self.next_synthetic_row_id
+    }
+
+    /// Raises the synthetic row-ID watermark (never lowers it). Worker clones
+    /// in the partitioned repair engine get disjoint ID ranges so inserts
+    /// re-executed on different workers cannot collide after merging.
+    pub fn raise_synthetic_id_watermark(&mut self, to: i64) {
+        self.next_synthetic_row_id = self.next_synthetic_row_id.max(to);
+    }
+
+    /// A canonical dump of the application-visible state of every table in
+    /// the current generation at the present time: bookkeeping columns are
+    /// stripped and rows are sorted, so two databases that applications
+    /// cannot distinguish dump identically (used to assert that the parallel
+    /// repair engine ends in the same state as the sequential one).
+    pub fn canonical_dump(&mut self) -> String {
+        let mut out = String::new();
+        let tables: Vec<String> = self.configs.keys().cloned().collect();
+        for table in tables {
+            let (columns, rows) =
+                match self.matching_versions(&table, None, INF_TIME - 1, self.current_gen) {
+                    Ok(v) => v,
+                    Err(_) => continue,
+                };
+            let keep: Vec<usize> = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.starts_with("warp_"))
+                .map(|(i, _)| i)
+                .collect();
+            let mut rendered: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    keep.iter()
+                        .map(|&i| {
+                            row.get(i)
+                                .cloned()
+                                .unwrap_or(Value::Null)
+                                .as_display_string()
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\u{1f}")
+                })
+                .collect();
+            rendered.sort_unstable();
+            out.push_str(&format!("== {table} ==\n"));
+            for r in rendered {
+                out.push_str(&r);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
     /// Removes row versions that ended before `before_time` and are not
     /// visible in the current generation. Run in sync with action-history
     /// garbage collection (paper §4.2).
@@ -764,7 +963,10 @@ impl TimeTravelDb {
 
     /// Storage statistics for the whole database.
     pub fn storage_stats(&self) -> StorageStats {
-        let mut stats = StorageStats { approximate_bytes: self.db.approximate_bytes(), ..Default::default() };
+        let mut stats = StorageStats {
+            approximate_bytes: self.db.approximate_bytes(),
+            ..Default::default()
+        };
         for table in self.configs.keys() {
             if let Some(t) = self.db.table(table) {
                 stats.total_versions += t.len();
@@ -838,7 +1040,10 @@ fn version_identity(columns: &[String], row: &[Value]) -> Expr {
         }
         let v = row.get(i).cloned().unwrap_or(Value::Null);
         let e = if v.is_null() {
-            Expr::IsNull { expr: Box::new(Expr::Column(col.clone())), negated: false }
+            Expr::IsNull {
+                expr: Box::new(Expr::Column(col.clone())),
+                negated: false,
+            }
         } else {
             Expr::col_eq(col.as_str(), v)
         };
@@ -889,7 +1094,10 @@ mod tests {
         for col in [COL_START_TIME, COL_END_TIME, COL_START_GEN, COL_END_GEN] {
             assert!(schema.has_column(col), "missing {col}");
         }
-        assert!(!schema.has_column(COL_ROW_ID), "natural row id should be used");
+        assert!(
+            !schema.has_column(COL_ROW_ID),
+            "natural row id should be used"
+        );
         // Unique constraints were extended with the versioning columns.
         assert!(schema
             .unique_constraints
@@ -902,36 +1110,71 @@ mod tests {
     #[test]
     fn synthetic_row_id_added_when_not_annotated() {
         let mut db = TimeTravelDb::new();
-        db.create_table("CREATE TABLE log (msg TEXT)", TableAnnotation::new()).unwrap();
+        db.create_table("CREATE TABLE log (msg TEXT)", TableAnnotation::new())
+            .unwrap();
         assert!(db.raw().schema("log").unwrap().has_column(COL_ROW_ID));
-        let out = db.execute_logged("INSERT INTO log (msg) VALUES ('a'), ('b')", 1).unwrap();
-        assert_eq!(out.dependency.written_row_ids, vec![Value::Int(1), Value::Int(2)]);
+        let out = db
+            .execute_logged("INSERT INTO log (msg) VALUES ('a'), ('b')", 1)
+            .unwrap();
+        assert_eq!(
+            out.dependency.written_row_ids,
+            vec![Value::Int(1), Value::Int(2)]
+        );
     }
 
     #[test]
     fn missing_row_id_or_partition_column_is_rejected() {
         let mut db = TimeTravelDb::new();
         assert!(db
-            .create_table("CREATE TABLE t (a TEXT)", TableAnnotation::new().row_id("nope"))
+            .create_table(
+                "CREATE TABLE t (a TEXT)",
+                TableAnnotation::new().row_id("nope")
+            )
             .is_err());
         let mut db = TimeTravelDb::new();
         assert!(db
-            .create_table("CREATE TABLE t (a TEXT)", TableAnnotation::new().partitions(["nope"]))
+            .create_table(
+                "CREATE TABLE t (a TEXT)",
+                TableAnnotation::new().partitions(["nope"])
+            )
             .is_err());
     }
 
     #[test]
     fn versioning_preserves_history() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
-        db.execute_logged("UPDATE page SET body = 'v2' WHERE page_id = 1", 20).unwrap();
-        db.execute_logged("UPDATE page SET body = 'v3' WHERE page_id = 1", 30).unwrap();
-        let now = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 40).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE page_id = 1", 20)
+            .unwrap();
+        db.execute_logged("UPDATE page SET body = 'v3' WHERE page_id = 1", 30)
+            .unwrap();
+        let now = db
+            .execute_logged("SELECT body FROM page WHERE page_id = 1", 40)
+            .unwrap();
         assert_eq!(now.result.rows[0][0], Value::text("v3"));
-        assert_eq!(db.select_at("SELECT body FROM page WHERE page_id = 1", 15).unwrap().rows[0][0], Value::text("v1"));
-        assert_eq!(db.select_at("SELECT body FROM page WHERE page_id = 1", 25).unwrap().rows[0][0], Value::text("v2"));
+        assert_eq!(
+            db.select_at("SELECT body FROM page WHERE page_id = 1", 15)
+                .unwrap()
+                .rows[0][0],
+            Value::text("v1")
+        );
+        assert_eq!(
+            db.select_at("SELECT body FROM page WHERE page_id = 1", 25)
+                .unwrap()
+                .rows[0][0],
+            Value::text("v2")
+        );
         // Exactly at the update boundary the new version is visible (half-open).
-        assert_eq!(db.select_at("SELECT body FROM page WHERE page_id = 1", 20).unwrap().rows[0][0], Value::text("v2"));
+        assert_eq!(
+            db.select_at("SELECT body FROM page WHERE page_id = 1", 20)
+                .unwrap()
+                .rows[0][0],
+            Value::text("v2")
+        );
         // Three versions are stored, one live.
         let stats = db.storage_stats();
         assert_eq!(stats.total_versions, 3);
@@ -941,18 +1184,39 @@ mod tests {
     #[test]
     fn delete_ends_the_version_but_keeps_history() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
-        let del = db.execute_logged("DELETE FROM page WHERE title = 'Main'", 20).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        let del = db
+            .execute_logged("DELETE FROM page WHERE title = 'Main'", 20)
+            .unwrap();
         assert_eq!(del.result.affected, 1);
         assert_eq!(del.dependency.written_row_ids, vec![Value::Int(1)]);
-        assert!(db.execute_logged("SELECT * FROM page WHERE title = 'Main'", 30).unwrap().result.rows.is_empty());
-        assert_eq!(db.select_at("SELECT body FROM page WHERE title = 'Main'", 15).unwrap().rows.len(), 1);
+        assert!(db
+            .execute_logged("SELECT * FROM page WHERE title = 'Main'", 30)
+            .unwrap()
+            .result
+            .rows
+            .is_empty());
+        assert_eq!(
+            db.select_at("SELECT body FROM page WHERE title = 'Main'", 15)
+                .unwrap()
+                .rows
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn select_results_hide_warp_columns() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
         let out = db.execute_logged("SELECT * FROM page", 20).unwrap();
         assert!(out.result.columns.iter().all(|c| !c.starts_with("warp_")));
         assert_eq!(out.result.columns.len(), 4);
@@ -961,22 +1225,34 @@ mod tests {
     #[test]
     fn dependencies_record_partitions_and_row_ids() {
         let mut db = page_db();
-        let ins = db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        let ins = db
+            .execute_logged(
+                "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+                10,
+            )
+            .unwrap();
         assert!(ins.dependency.is_write);
         match &ins.dependency.write_partitions {
             PartitionSet::Keys(keys) => assert_eq!(keys.len(), 2),
             other => panic!("expected keys, got {other:?}"),
         }
-        let sel = db.execute_logged("SELECT body FROM page WHERE title = 'Main'", 20).unwrap();
+        let sel = db
+            .execute_logged("SELECT body FROM page WHERE title = 'Main'", 20)
+            .unwrap();
         assert!(!sel.dependency.is_write);
         match &sel.dependency.read_partitions {
             PartitionSet::Keys(keys) => assert_eq!(keys.len(), 1),
             other => panic!("expected keys, got {other:?}"),
         }
         let scan = db.execute_logged("SELECT body FROM page", 21).unwrap();
-        assert!(matches!(scan.dependency.read_partitions, PartitionSet::Whole { .. }));
+        assert!(matches!(
+            scan.dependency.read_partitions,
+            PartitionSet::Whole { .. }
+        ));
         // An update that moves a row across partitions records both values.
-        let upd = db.execute_logged("UPDATE page SET owner = 'bob' WHERE title = 'Main'", 30).unwrap();
+        let upd = db
+            .execute_logged("UPDATE page SET owner = 'bob' WHERE title = 'Main'", 30)
+            .unwrap();
         match &upd.dependency.write_partitions {
             PartitionSet::Keys(keys) => {
                 let owners: Vec<_> = keys.iter().filter(|k| k.column == "owner").collect();
@@ -989,15 +1265,24 @@ mod tests {
     #[test]
     fn unique_violations_still_surface_to_the_application() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
         let err = db
-            .execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (2, 'Main', 'bob', 'x')", 20)
+            .execute_logged(
+                "INSERT INTO page (page_id, title, owner, body) VALUES (2, 'Main', 'bob', 'x')",
+                20,
+            )
             .unwrap_err();
         assert!(matches!(err, SqlError::UniqueViolation { .. }));
         // But updating the same row repeatedly is fine even though historical
         // versions share the title.
-        db.execute_logged("UPDATE page SET body = 'v2' WHERE title = 'Main'", 30).unwrap();
-        db.execute_logged("UPDATE page SET body = 'v3' WHERE title = 'Main'", 40).unwrap();
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE title = 'Main'", 30)
+            .unwrap();
+        db.execute_logged("UPDATE page SET body = 'v3' WHERE title = 'Main'", 40)
+            .unwrap();
     }
 
     #[test]
@@ -1010,8 +1295,13 @@ mod tests {
     #[test]
     fn rollback_rows_restores_old_version() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
-        db.execute_logged("UPDATE page SET body = 'attacked' WHERE page_id = 1", 20).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        db.execute_logged("UPDATE page SET body = 'attacked' WHERE page_id = 1", 20)
+            .unwrap();
         let gen = db.begin_repair_generation();
         db.rollback_rows("page", &[Value::Int(1)], 20, gen).unwrap();
         // In the repair generation the row is back to v1.
@@ -1020,10 +1310,14 @@ mod tests {
         assert_eq!(repaired.result.rows[0][0], Value::text("v1"));
         // The current generation still sees the attacked value until the
         // repair generation is finalized.
-        let current = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 100).unwrap();
+        let current = db
+            .execute_logged("SELECT body FROM page WHERE page_id = 1", 100)
+            .unwrap();
         assert_eq!(current.result.rows[0][0], Value::text("attacked"));
         db.finalize_repair_generation();
-        let after = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 110).unwrap();
+        let after = db
+            .execute_logged("SELECT body FROM page WHERE page_id = 1", 110)
+            .unwrap();
         assert_eq!(after.result.rows[0][0], Value::text("v1"));
     }
 
@@ -1034,22 +1328,46 @@ mod tests {
         let gen = db.begin_repair_generation();
         db.rollback_rows("page", &[Value::Int(7)], 50, gen).unwrap();
         let stmt = warp_sql::parse("SELECT * FROM page WHERE page_id = 7").unwrap();
-        assert!(db.execute_stmt_logged(&stmt, 100, gen).unwrap().result.rows.is_empty());
+        assert!(db
+            .execute_stmt_logged(&stmt, 100, gen)
+            .unwrap()
+            .result
+            .rows
+            .is_empty());
         // Still present in the pre-repair generation.
-        assert_eq!(db.execute_logged("SELECT * FROM page WHERE page_id = 7", 100).unwrap().result.rows.len(), 1);
+        assert_eq!(
+            db.execute_logged("SELECT * FROM page WHERE page_id = 7", 100)
+                .unwrap()
+                .result
+                .rows
+                .len(),
+            1
+        );
         db.finalize_repair_generation();
-        assert!(db.execute_logged("SELECT * FROM page WHERE page_id = 7", 120).unwrap().result.rows.is_empty());
+        assert!(db
+            .execute_logged("SELECT * FROM page WHERE page_id = 7", 120)
+            .unwrap()
+            .result
+            .rows
+            .is_empty());
     }
 
     #[test]
     fn abort_repair_discards_repair_changes() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
         let gen = db.begin_repair_generation();
-        let stmt = warp_sql::parse("UPDATE page SET body = 'repair-edit' WHERE page_id = 1").unwrap();
+        let stmt =
+            warp_sql::parse("UPDATE page SET body = 'repair-edit' WHERE page_id = 1").unwrap();
         db.execute_stmt_logged(&stmt, 60, gen).unwrap();
         db.abort_repair_generation().unwrap();
-        let now = db.execute_logged("SELECT body FROM page WHERE page_id = 1", 70).unwrap();
+        let now = db
+            .execute_logged("SELECT body FROM page WHERE page_id = 1", 70)
+            .unwrap();
         assert_eq!(now.result.rows[0][0], Value::text("v1"));
         assert!(db.repair_generation().is_none());
     }
@@ -1057,22 +1375,46 @@ mod tests {
     #[test]
     fn writes_during_repair_do_not_disturb_current_generation() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
         let gen = db.begin_repair_generation();
         let stmt = warp_sql::parse("UPDATE page SET body = 'repaired' WHERE page_id = 1").unwrap();
         db.execute_stmt_logged(&stmt, 15, gen).unwrap();
         // Normal execution (current generation) still sees v1 and can write.
-        assert_eq!(db.execute_logged("SELECT body FROM page WHERE page_id = 1", 30).unwrap().result.rows[0][0], Value::text("v1"));
+        assert_eq!(
+            db.execute_logged("SELECT body FROM page WHERE page_id = 1", 30)
+                .unwrap()
+                .result
+                .rows[0][0],
+            Value::text("v1")
+        );
         db.finalize_repair_generation();
-        assert_eq!(db.execute_logged("SELECT body FROM page WHERE page_id = 1", 40).unwrap().result.rows[0][0], Value::text("repaired"));
+        assert_eq!(
+            db.execute_logged("SELECT body FROM page WHERE page_id = 1", 40)
+                .unwrap()
+                .result
+                .rows[0][0],
+            Value::text("repaired")
+        );
     }
 
     #[test]
     fn garbage_collect_removes_old_versions() {
         let mut db = page_db();
-        db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')", 10).unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
         for t in 0..5 {
-            db.execute_logged(&format!("UPDATE page SET body = 'v{}' WHERE page_id = 1", t + 2), 20 + t).unwrap();
+            db.execute_logged(
+                &format!("UPDATE page SET body = 'v{}' WHERE page_id = 1", t + 2),
+                20 + t,
+            )
+            .unwrap();
         }
         let before = db.storage_stats().total_versions;
         assert!(before >= 6);
@@ -1082,22 +1424,48 @@ mod tests {
         assert!(after.total_versions < before);
         assert_eq!(after.live_rows, 1);
         // The current value is untouched.
-        assert_eq!(db.execute_logged("SELECT body FROM page WHERE page_id = 1", 100).unwrap().result.rows[0][0], Value::text("v6"));
+        assert_eq!(
+            db.execute_logged("SELECT body FROM page WHERE page_id = 1", 100)
+                .unwrap()
+                .result
+                .rows[0][0],
+            Value::text("v6")
+        );
     }
 
     #[test]
     fn multi_row_update_versions_every_matched_row() {
         let mut db = page_db();
         db.execute_logged("INSERT INTO page (page_id, title, owner, body) VALUES (1, 'A', 'alice', 'x'), (2, 'B', 'alice', 'y'), (3, 'C', 'bob', 'z')", 10).unwrap();
-        let out = db.execute_logged("UPDATE page SET body = body || '!' WHERE owner = 'alice'", 20).unwrap();
+        let out = db
+            .execute_logged(
+                "UPDATE page SET body = body || '!' WHERE owner = 'alice'",
+                20,
+            )
+            .unwrap();
         assert_eq!(out.result.affected, 2);
         assert_eq!(out.dependency.written_row_ids.len(), 2);
-        let r = db.execute_logged("SELECT body FROM page ORDER BY page_id", 30).unwrap();
+        let r = db
+            .execute_logged("SELECT body FROM page ORDER BY page_id", 30)
+            .unwrap();
         assert_eq!(
-            r.result.rows.iter().map(|r| r[0].as_display_string()).collect::<Vec<_>>(),
+            r.result
+                .rows
+                .iter()
+                .map(|r| r[0].as_display_string())
+                .collect::<Vec<_>>(),
             vec!["x!", "y!", "z"]
         );
         // History for both updated rows exists.
-        assert_eq!(db.select_at("SELECT body FROM page WHERE owner = 'alice' ORDER BY page_id", 15).unwrap().rows.len(), 2);
+        assert_eq!(
+            db.select_at(
+                "SELECT body FROM page WHERE owner = 'alice' ORDER BY page_id",
+                15
+            )
+            .unwrap()
+            .rows
+            .len(),
+            2
+        );
     }
 }

@@ -13,8 +13,14 @@ fn main() {
     );
     let result = run_scenario(&ScenarioConfig::small(AttackKind::AclError));
     println!("ACL-error scenario:");
-    println!("  mistaken edit present before repair: {}", result.attack_succeeded);
+    println!(
+        "  mistaken edit present before repair: {}",
+        result.attack_succeeded
+    );
     println!("  repaired by admin-initiated undo:    {}", result.repaired);
-    println!("  users asked to resolve conflicts:    {}", result.users_with_conflicts);
+    println!(
+        "  users asked to resolve conflicts:    {}",
+        result.users_with_conflicts
+    );
     println!("  {}", result.outcome.stats.summary_counts());
 }

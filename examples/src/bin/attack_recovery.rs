@@ -11,7 +11,11 @@ fn main() {
         "USERS",
         12,
     );
-    for kind in [AttackKind::StoredXss, AttackKind::ReflectedXss, AttackKind::SqlInjection] {
+    for kind in [
+        AttackKind::StoredXss,
+        AttackKind::ReflectedXss,
+        AttackKind::SqlInjection,
+    ] {
         let mut config = ScenarioConfig::small(kind);
         config.users = users;
         let result = run_scenario(&config);

@@ -1,34 +1,52 @@
-//! Repair generations (paper §4.3): the wiki keeps serving requests from the
-//! pre-repair state while a repair builds the next generation, then switches
-//! over atomically.
+//! Repair generations (paper §4.3) and partitioned parallel repair: the wiki
+//! keeps serving requests from the pre-repair state while a repair builds the
+//! next generation, and independent dependency partitions of the history are
+//! re-executed concurrently on a worker pool.
 
 use warp_apps::wiki::{wiki_app, wiki_search_patch};
-use warp_core::{RepairRequest, WarpServer};
+use warp_core::{RepairRequest, RepairStrategy, WarpServer};
 use warp_http::{HttpRequest, Transport};
 
 fn main() {
     warp_examples::handle_help(
         "concurrent_repair",
-        "Repair generations: the wiki keeps serving requests while a repair builds the next generation.",
+        "Repair generations + partitioned parallel repair: the wiki keeps serving requests \
+         while independent partitions are repaired concurrently.",
         None,
     );
-    let mut server = WarpServer::new(wiki_app(3, 3));
-    // Seed some history through the injectable search page (it only reads
-    // here, but the patch below makes those runs re-execute).
+    let mut server = WarpServer::new(wiki_app(4, 4));
+    // Seed history across several independent partitions: searches (which
+    // the patch below re-executes) plus per-page edits that never interact.
     for i in 0..5 {
         server.send(HttpRequest::get(&format!("/search.wasl?q=page {i}")));
     }
+    for i in 1..=4 {
+        server.send(HttpRequest::get(&format!("/view.wasl?title=Page{i}")));
+    }
     let gen_before = server.db.current_generation();
-    // Normal operation continues while the repair generation is built: the
-    // repair API in this reproduction runs to completion synchronously, so
-    // we demonstrate the generation switch instead.
-    let outcome = server.repair(RepairRequest::RetroactivePatch {
-        patch: wiki_search_patch(),
-        from_time: 0,
-    });
+    // Normal operation continues while the repair generation is built; the
+    // repair here runs the partitioned engine, so the independent search
+    // actions are re-executed concurrently on 2 workers and merged.
+    let outcome = server.repair_with(
+        RepairRequest::RetroactivePatch {
+            patch: wiki_search_patch(),
+            from_time: 0,
+        },
+        RepairStrategy::Partitioned { workers: 2 },
+    );
     let gen_after = server.db.current_generation();
     println!("generation before repair: {gen_before}, after repair: {gen_after}");
-    println!("re-executed {} of {} application runs", outcome.stats.app_runs_reexecuted, outcome.stats.app_runs_total);
+    println!(
+        "re-executed {} of {} application runs",
+        outcome.stats.app_runs_reexecuted, outcome.stats.app_runs_total
+    );
+    println!(
+        "history decomposed into {} partitions, {} repaired on {} workers ({} escalations)",
+        outcome.stats.partitions_total,
+        outcome.stats.partitions_repaired,
+        outcome.stats.workers,
+        outcome.stats.escalations,
+    );
     // The post-repair server still serves traffic normally.
     let r = server.send(HttpRequest::get("/view.wasl?title=Page1"));
     println!("post-repair page view status: {}", r.status);

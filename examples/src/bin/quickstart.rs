@@ -16,7 +16,9 @@ fn main() {
     let mut config = AppConfig::new("quickstart");
     config.add_table(
         "CREATE TABLE note (note_id INTEGER PRIMARY KEY, body TEXT)",
-        TableAnnotation::new().row_id("note_id").partitions(["note_id"]),
+        TableAnnotation::new()
+            .row_id("note_id")
+            .partitions(["note_id"]),
     );
     config.add_source(
         "add.wasl",
@@ -30,9 +32,15 @@ fn main() {
 
     // 2. Normal operation: users add notes; Warp logs every action.
     for (i, text) in ["remember the milk", "call alice"].iter().enumerate() {
-        server.send(HttpRequest::post("/add.wasl", [("id", &(i + 1).to_string()[..]), ("body", text)]));
+        server.send(HttpRequest::post(
+            "/add.wasl",
+            [("id", &(i + 1).to_string()[..]), ("body", text)],
+        ));
     }
-    println!("Before repair:\n{}", server.send(HttpRequest::get("/list.wasl")).body);
+    println!(
+        "Before repair:\n{}",
+        server.send(HttpRequest::get("/list.wasl")).body
+    );
 
     // 3. Retroactive patching: fix the "shouting" bug as of the beginning of
     //    time; Warp re-executes the affected runs and repairs the database.
@@ -41,10 +49,18 @@ fn main() {
         "db_query(\"INSERT INTO note (note_id, body) VALUES (\" . int(param(\"id\")) . \", '\" . sql_escape(param(\"body\")) . \"')\"); echo(\"stored\");",
         "store notes verbatim",
     );
-    let outcome = server.repair(RepairRequest::RetroactivePatch { patch, from_time: 0 });
+    let outcome = server.repair(RepairRequest::RetroactivePatch {
+        patch,
+        from_time: 0,
+    });
     println!(
         "Repair re-executed {} of {} application runs ({} queries).",
-        outcome.stats.app_runs_reexecuted, outcome.stats.app_runs_total, outcome.stats.queries_reexecuted
+        outcome.stats.app_runs_reexecuted,
+        outcome.stats.app_runs_total,
+        outcome.stats.queries_reexecuted
     );
-    println!("After repair:\n{}", server.send(HttpRequest::get("/list.wasl")).body);
+    println!(
+        "After repair:\n{}",
+        server.send(HttpRequest::get("/list.wasl")).body
+    );
 }

@@ -22,5 +22,8 @@ pub fn handle_help(bin: &str, about: &str, scale_arg: Option<&str>) {
 /// help text and the parsing can't drift apart.
 pub fn scale_arg<T: std::str::FromStr>(bin: &str, about: &str, arg_name: &str, default: T) -> T {
     handle_help(bin, about, Some(arg_name));
-    std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(default)
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(default)
 }

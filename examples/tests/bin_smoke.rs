@@ -17,7 +17,10 @@ fn every_example_answers_help() {
         let out = Command::new(bin).arg("--help").output().expect("spawn");
         assert!(out.status.success(), "{bin} --help exited {:?}", out.status);
         let stdout = String::from_utf8_lossy(&out.stdout);
-        assert!(stdout.contains("usage:"), "{bin} --help printed no usage: {stdout}");
+        assert!(
+            stdout.contains("usage:"),
+            "{bin} --help printed no usage: {stdout}"
+        );
     }
 }
 
@@ -25,7 +28,11 @@ fn every_example_answers_help() {
 fn every_example_runs_to_completion() {
     for bin in BINS {
         // attack_recovery takes an optional USERS argument; 2 keeps it fast.
-        let args: &[&str] = if bin.ends_with("attack_recovery") { &["2"] } else { &[] };
+        let args: &[&str] = if bin.ends_with("attack_recovery") {
+            &["2"]
+        } else {
+            &[]
+        };
         let out = Command::new(bin).args(args).output().expect("spawn");
         assert!(
             out.status.success(),

@@ -12,9 +12,21 @@ use warp_http::{HttpRequest, Transport};
 fn every_attack_scenario_recovers_end_to_end() {
     for kind in AttackKind::ALL {
         let result = run_scenario(&ScenarioConfig::small(kind));
-        assert!(result.attack_succeeded, "{}: attack must succeed before repair", kind.name());
-        assert!(result.repaired, "{}: repair must undo the attack", kind.name());
-        assert!(!result.outcome.aborted, "{}: repair must not abort", kind.name());
+        assert!(
+            result.attack_succeeded,
+            "{}: attack must succeed before repair",
+            kind.name()
+        );
+        assert!(
+            result.repaired,
+            "{}: repair must undo the attack",
+            kind.name()
+        );
+        assert!(
+            !result.outcome.aborted,
+            "{}: repair must not abort",
+            kind.name()
+        );
     }
 }
 
@@ -26,6 +38,7 @@ fn repair_preserves_unrelated_user_edits() {
         victims: 3,
         visits_per_user: 3,
         victims_at_start: false,
+        repair_workers: 0,
     });
     assert!(result.repaired);
     // Repair touches far fewer actions than the workload contains.
@@ -34,9 +47,19 @@ fn repair_preserves_unrelated_user_edits() {
 
 #[test]
 fn victims_at_start_forces_more_query_reexecution() {
-    let base = ScenarioConfig { attack: AttackKind::ReflectedXss, users: 10, victims: 2, visits_per_user: 2, victims_at_start: false };
+    let base = ScenarioConfig {
+        attack: AttackKind::ReflectedXss,
+        users: 10,
+        victims: 2,
+        visits_per_user: 2,
+        victims_at_start: false,
+        repair_workers: 0,
+    };
     let end = run_scenario(&base);
-    let start = run_scenario(&ScenarioConfig { victims_at_start: true, ..base });
+    let start = run_scenario(&ScenarioConfig {
+        victims_at_start: true,
+        ..base
+    });
     assert!(end.repaired && start.repaired);
     assert!(
         start.outcome.stats.queries_reexecuted >= end.outcome.stats.queries_reexecuted,
@@ -77,7 +100,10 @@ fn logging_accounting_reports_all_three_levels() {
     let mut browser = Browser::new("it-user2");
     let _ = browser.visit("/view.wasl?title=Page1", &mut server);
     server.upload_client_logs(browser.take_logs());
-    server.send(HttpRequest::post("/edit.wasl", [("title", "Page1"), ("body", "x")]));
+    server.send(HttpRequest::post(
+        "/edit.wasl",
+        [("title", "Page1"), ("body", "x")],
+    ));
     let stats = server.logging_stats();
     assert!(stats.app_bytes > 0 && stats.db_bytes > 0 && stats.browser_bytes > 0);
     assert!(stats.total_bytes() > stats.app_bytes);

@@ -1,0 +1,264 @@
+//! Equivalence of the partitioned parallel repair engine with the classic
+//! sequential engine, on randomized multi-partition histories, plus the
+//! GC/partition-index consistency regression test.
+//!
+//! The contract (asserted here for workers 1, 2 and 8): byte-identical
+//! canonical database state, identical re-executed action sets, identical
+//! cancelled action sets, identical abort decisions.
+
+use proptest::prelude::*;
+use warp_core::{AppConfig, Patch, RepairRequest, RepairStrategy, WarpServer};
+use warp_http::HttpRequest;
+use warp_ttdb::TableAnnotation;
+
+const TOPICS: usize = 6;
+
+/// A notes application whose table is partitioned by `topic`; every request
+/// touches one topic (except the rare whole-table scan), so random traffic
+/// produces genuinely multi-partition histories.
+fn notes_app() -> AppConfig {
+    let mut config = AppConfig::new("prop-notes");
+    config.add_table(
+        "CREATE TABLE note (note_id INTEGER PRIMARY KEY, topic TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("note_id")
+            .partitions(["topic"]),
+    );
+    for t in 0..TOPICS {
+        config.seed(format!(
+            "INSERT INTO note (note_id, topic, body) VALUES ({}, 't{t}', 'seed {t}')",
+            t + 1
+        ));
+    }
+    // The vulnerable write path stores the body raw; the patch (below) wraps
+    // it, so re-executed writes produce different rows and dependent reads
+    // change fingerprints.
+    config.add_source(
+        "post.wasl",
+        "db_query(\"UPDATE note SET body = '\" . sql_escape(param(\"body\")) . \"' \
+         WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"posted\");",
+    );
+    config.add_source(
+        "safe_post.wasl",
+        "db_query(\"UPDATE note SET body = '\" . sql_escape(param(\"body\")) . \"' \
+         WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"safe\");",
+    );
+    config.add_source(
+        "read.wasl",
+        "let rows = db_query(\"SELECT body FROM note WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); \
+         if (len(rows) > 0) { echo(rows[0][\"body\"]); } else { echo(\"none\"); }",
+    );
+    config.add_source(
+        "scan.wasl",
+        "let rows = db_query(\"SELECT body FROM note\"); echo(len(rows));",
+    );
+    config
+}
+
+fn notes_patch() -> Patch {
+    Patch::new(
+        "post.wasl",
+        "db_query(\"UPDATE note SET body = '[' . sql_escape(param(\"body\")) . ']' \
+         WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"posted\");",
+        "sanitise stored notes",
+    )
+}
+
+/// Decodes one random op and sends it. Ops mix vulnerable writes (repair
+/// seeds), safe writes, partition-local reads, and the occasional
+/// whole-table scan (which links partitions).
+fn apply_op(server: &mut WarpServer, op: u32, client: Option<(&str, u64, u64)>) {
+    let topic = format!("t{}", op as usize % TOPICS);
+    let kind = if op.is_multiple_of(29) {
+        3
+    } else {
+        (op / 7) % 3
+    };
+    let mut request = match kind {
+        0 => HttpRequest::post(
+            "/post.wasl",
+            [
+                ("topic", topic.as_str()),
+                ("body", format!("v{op}").as_str()),
+            ],
+        ),
+        1 => HttpRequest::get(&format!("/read.wasl?topic={topic}")),
+        2 => HttpRequest::post(
+            "/safe_post.wasl",
+            [
+                ("topic", topic.as_str()),
+                ("body", format!("s{op}").as_str()),
+            ],
+        ),
+        _ => HttpRequest::get("/scan.wasl"),
+    };
+    if let Some((client_id, visit, req)) = client {
+        request.warp.client_id = Some(client_id.to_string());
+        request.warp.visit_id = Some(visit);
+        request.warp.request_id = Some(req);
+    }
+    server.handle(request);
+}
+
+fn build_server(ops: &[u32]) -> WarpServer {
+    let mut server = WarpServer::new(notes_app());
+    for (i, &op) in ops.iter().enumerate() {
+        // Every third op carries client correlation, grouping actions into
+        // two-op page visits per synthetic user.
+        let client_id = format!("user{}", op as usize % 4);
+        let client = (i % 3 != 0).then_some((client_id.as_str(), (i / 3) as u64, (i % 3) as u64));
+        apply_op(&mut server, op, client);
+    }
+    server
+}
+
+struct EngineResult {
+    dump: String,
+    reexecuted: Vec<u64>,
+    cancelled: Vec<u64>,
+    aborted: bool,
+    conflicts: usize,
+    partitions_total: usize,
+}
+
+fn run_engine(ops: &[u32], request: &RepairRequest, strategy: RepairStrategy) -> EngineResult {
+    let mut server = build_server(ops);
+    let outcome = server.repair_with(request.clone(), strategy);
+    EngineResult {
+        dump: server.db.canonical_dump(),
+        reexecuted: outcome.reexecuted_actions,
+        cancelled: outcome.cancelled_actions,
+        aborted: outcome.aborted,
+        conflicts: outcome.conflicts.len(),
+        partitions_total: outcome.stats.partitions_total,
+    }
+}
+
+fn assert_engines_agree(ops: &[u32], request: RepairRequest) {
+    let sequential = run_engine(ops, &request, RepairStrategy::Sequential);
+    for workers in [1usize, 2, 8] {
+        let parallel = run_engine(ops, &request, RepairStrategy::Partitioned { workers });
+        prop_assert_eq!(
+            &sequential.dump,
+            &parallel.dump,
+            "workers={}: canonical database state diverged (ops={:?})",
+            workers,
+            ops
+        );
+        prop_assert_eq!(
+            &sequential.reexecuted,
+            &parallel.reexecuted,
+            "workers={}: re-executed action sets diverged (ops={:?})",
+            workers,
+            ops
+        );
+        prop_assert_eq!(
+            &sequential.cancelled,
+            &parallel.cancelled,
+            "workers={}: cancelled action sets diverged (ops={:?})",
+            workers,
+            ops
+        );
+        prop_assert_eq!(sequential.aborted, parallel.aborted);
+        prop_assert_eq!(sequential.conflicts, parallel.conflicts);
+        prop_assert!(parallel.partitions_total >= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Retroactive patching: workers 1, 2 and 8 must match the sequential
+    /// engine exactly on random multi-partition histories.
+    #[test]
+    fn parallel_patch_repair_equals_sequential(ops in proptest::collection::vec(0u32..10_000, 8..48)) {
+        assert_engines_agree(
+            &ops,
+            RepairRequest::RetroactivePatch { patch: notes_patch(), from_time: 0 },
+        );
+    }
+
+    /// Admin-initiated undo of a random page visit: same contract.
+    #[test]
+    fn parallel_undo_repair_equals_sequential(
+        ops in proptest::collection::vec(0u32..10_000, 8..32),
+        visit in 0usize..8,
+    ) {
+        let user = format!("user{}", ops.first().copied().unwrap_or(0) as usize % 4);
+        assert_engines_agree(
+            &ops,
+            RepairRequest::UndoVisit {
+                client_id: user,
+                visit_id: visit as u64,
+                initiated_by_admin: true,
+            },
+        );
+    }
+}
+
+/// Regression test: `HistoryGraph::garbage_collect` rebuilds every index —
+/// including the partition index the scheduler plans from — with fresh
+/// action IDs. A repair after GC must not panic on dangling `ActionId`s and
+/// must behave identically in both engines.
+#[test]
+fn repair_after_garbage_collect_uses_a_consistent_partition_index() {
+    let ops: Vec<u32> = (0..40).map(|i| i * 13 + 5).collect();
+    let build = || {
+        let mut server = build_server(&ops);
+        // First repair cancels a visit, marking actions cancelled.
+        let _ = server.repair(RepairRequest::UndoVisit {
+            client_id: "user1".into(),
+            visit_id: 1,
+            initiated_by_admin: true,
+        });
+        // GC rebuilds the history with fresh IDs (and a rebuilt partition
+        // index); half the history falls away.
+        let cutoff = server
+            .history
+            .actions()
+            .get(server.history.len() / 2)
+            .map(|a| a.time)
+            .unwrap_or(0);
+        server.garbage_collect(cutoff);
+        // More traffic lands on the rebuilt index.
+        for (i, &op) in ops.iter().take(10).enumerate() {
+            apply_op(&mut server, op, Some(("user9", i as u64, 0)));
+        }
+        server
+    };
+
+    // Every ActionId in the rebuilt partition index must resolve.
+    let server = build();
+    let max_id = server.history.len() as u64;
+    for index in server.history.partition_index().values() {
+        for id in index
+            .whole_readers
+            .iter()
+            .chain(index.whole_writers.iter())
+            .chain(
+                index
+                    .keys
+                    .values()
+                    .flat_map(|h| h.readers.iter().chain(h.writers.iter())),
+            )
+        {
+            assert!(
+                *id < max_id,
+                "partition index holds dangling ActionId {id} (len {max_id})"
+            );
+        }
+    }
+
+    // And a post-GC repair must work — identically — in both engines.
+    let request = RepairRequest::RetroactivePatch {
+        patch: notes_patch(),
+        from_time: 0,
+    };
+    let mut sequential = build();
+    let seq_out = sequential.repair_with(request.clone(), RepairStrategy::Sequential);
+    let mut parallel = build();
+    let par_out = parallel.repair_with(request, RepairStrategy::Partitioned { workers: 4 });
+    assert_eq!(seq_out.reexecuted_actions, par_out.reexecuted_actions);
+    assert_eq!(seq_out.cancelled_actions, par_out.cancelled_actions);
+    assert_eq!(sequential.db.canonical_dump(), parallel.db.canonical_dump());
+}

@@ -64,8 +64,14 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
         iters: 0,
     };
     f(&mut bencher);
-    let mean = bencher.elapsed.checked_div(bencher.iters.max(1)).unwrap_or_default();
-    println!("bench {id:<48} {mean:>12.2?}/iter ({} iters)", bencher.iters);
+    let mean = bencher
+        .elapsed
+        .checked_div(bencher.iters.max(1))
+        .unwrap_or_default();
+    println!(
+        "bench {id:<48} {mean:>12.2?}/iter ({} iters)",
+        bencher.iters
+    );
 }
 
 pub struct Bencher {

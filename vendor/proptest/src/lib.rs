@@ -115,8 +115,20 @@ impl CharClass {
                 // Weighted pool: mostly printable ASCII, with the hostile
                 // characters (quotes, backslash, NUL, percent, unicode)
                 // appearing often enough that every run exercises them.
-                const HOSTILE: &[char] =
-                    &['\'', '"', '\\', '\0', '%', '_', ';', '\t', 'é', '→', '本', '\u{1F600}'];
+                const HOSTILE: &[char] = &[
+                    '\'',
+                    '"',
+                    '\\',
+                    '\0',
+                    '%',
+                    '_',
+                    ';',
+                    '\t',
+                    'é',
+                    '→',
+                    '本',
+                    '\u{1F600}',
+                ];
                 if rng.below(4) == 0 {
                     HOSTILE[rng.below(HOSTILE.len() as u64) as usize]
                 } else {
