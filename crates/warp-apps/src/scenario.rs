@@ -72,14 +72,27 @@ pub struct ScenarioResult {
     pub total_actions: usize,
 }
 
-/// Runs one scenario end to end.
-pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
+/// The wiki application (with attacker seed rows) a scenario installs.
+/// Exposed so scenarios can run in persistent mode: open a server over a
+/// storage backend with this app and hand it to [`run_scenario_on`].
+pub fn scenario_app(config: &ScenarioConfig) -> warp_core::AppConfig {
     let n_users = config.users.max(config.victims + 2);
     let mut app = wiki_app(n_users, n_users);
     app.seed(attacker_seed_sql());
     app.seed(attacker_acl_sql());
-    let mut server = WarpServer::new(app);
+    app
+}
 
+/// Runs one scenario end to end on a fresh in-memory server.
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
+    run_scenario_on(config, WarpServer::new(scenario_app(config)))
+}
+
+/// Runs one scenario end to end on a caller-provided server — typically one
+/// opened with a storage backend ([`warp_core::ServerConfig::with_backend`])
+/// so the whole attack-and-recovery run is persisted and restartable. The
+/// server must have been built from [`scenario_app`] with the same config.
+pub fn run_scenario_on(config: &ScenarioConfig, mut server: WarpServer) -> ScenarioResult {
     // Victims log in with extension-enabled browsers.
     let mut victims: Vec<(Browser, String)> = (1..=config.victims)
         .map(|i| {
@@ -267,6 +280,33 @@ mod tests {
         let result = run_scenario(&ScenarioConfig::small(AttackKind::ReflectedXss));
         assert!(result.attack_succeeded);
         assert!(result.repaired);
+    }
+
+    #[test]
+    fn persistent_scenario_survives_restart() {
+        use warp_core::{MemoryBackend, ServerConfig};
+        let config = ScenarioConfig::small(AttackKind::StoredXss);
+        let backend = MemoryBackend::new();
+        let (server, report) = WarpServer::open(
+            ServerConfig::new(scenario_app(&config)).with_backend(Box::new(backend.clone())),
+        )
+        .expect("open persistent scenario server");
+        assert!(!report.recovered, "first open must start fresh");
+        let result = run_scenario_on(&config, server);
+        assert!(result.attack_succeeded && result.repaired);
+
+        // "Crash" (the server was dropped inside run_scenario_on) and
+        // recover: the post-repair state must be exactly what persisted.
+        let (mut recovered, report) = WarpServer::open(
+            ServerConfig::new(scenario_app(&config)).with_backend(Box::new(backend)),
+        )
+        .expect("recover scenario server");
+        assert!(report.recovered);
+        assert!(recovered.pending_repair().is_none());
+        // The attack stays repaired on the recovered server.
+        let r = recovered.handle(HttpRequest::get("/view.wasl?title=Page1"));
+        assert!(!r.body.contains("INFECTED BY XSS"));
+        assert!(recovered.history.len() >= result.total_actions);
     }
 
     #[test]

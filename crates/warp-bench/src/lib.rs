@@ -538,6 +538,163 @@ pub fn repair_benchmark(
     records
 }
 
+/// The wiki used by the persistence benchmark (self-contained so the
+/// measured work is serving + logging, not login flows).
+fn recovery_bench_app() -> warp_core::AppConfig {
+    let mut config = warp_core::AppConfig::new("recovery-bench");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        warp_ttdb::TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    for p in 0..8 {
+        config.seed(format!(
+            "INSERT INTO page (page_id, title, body) VALUES ({}, 'Page{p}', 'seed {p}')",
+            p + 1
+        ));
+    }
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); } else { echo(\"<div>\" . rows[0][\"body\"] . \"</div>\"); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+    );
+    config
+}
+
+/// Serves `steps` deterministic requests (2/3 edits, 1/3 reads).
+fn recovery_bench_traffic(server: &mut WarpServer, steps: usize) {
+    for i in 0..steps {
+        let page = i % 8;
+        if i % 3 == 2 {
+            server.handle(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+        } else {
+            server.handle(HttpRequest::post(
+                "/edit.wasl",
+                [
+                    ("title", format!("Page{page}").as_str()),
+                    ("body", format!("revision {i} of page {page}").as_str()),
+                ],
+            ));
+        }
+    }
+}
+
+/// Regenerates "Table 9" (an addition over the paper): durable-log append
+/// overhead vs pure in-memory serving, and recovery time vs history length,
+/// for the memory and file storage backends, with and without a checkpoint.
+/// Returns the machine-readable records for `BENCH_recovery.json`.
+pub fn table9_recovery(scale: usize) -> Vec<report::RecoveryBenchRecord> {
+    use warp_core::{FileBackend, MemoryBackend, ServerConfig, StorageBackend, StoreOptions};
+    let scale = scale.max(6);
+    let mut records = Vec::new();
+    println!("=== Table 9 (persistence): logging overhead and recovery time ===");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>10} {:>12} {:>6} {:>12}",
+        "backend",
+        "actions",
+        "serve (ms)",
+        "inmem (ms)",
+        "overhead",
+        "recover(ms)",
+        "ckpt",
+        "store bytes"
+    );
+    let options = StoreOptions {
+        segment_bytes: 256 * 1024,
+        checkpoint_interval: 0,
+    };
+    let file_dir = std::env::temp_dir().join(format!("warp-table9-{}", std::process::id()));
+    for steps in [scale, scale * 2, scale * 4] {
+        // Baseline: the identical workload with no storage backend.
+        let t = Instant::now();
+        let mut baseline = WarpServer::new(recovery_bench_app());
+        recovery_bench_traffic(&mut baseline, steps);
+        let baseline_ms = t.elapsed().as_secs_f64() * 1e3;
+        let actions = baseline.history.len();
+
+        for backend_name in ["memory", "file"] {
+            for with_checkpoint in [false, true] {
+                // Two handles onto the same storage: one moves into the
+                // serving server (and dies with it — the "crash"), the
+                // other is used to recover.
+                let shared_mem = MemoryBackend::new();
+                let file_path = file_dir.join(format!("{backend_name}-{steps}-{with_checkpoint}"));
+                let handle = |fresh: bool| -> Box<dyn StorageBackend> {
+                    match backend_name {
+                        "memory" => Box::new(shared_mem.clone()),
+                        _ => {
+                            if fresh {
+                                let _ = std::fs::remove_dir_all(&file_path);
+                            }
+                            Box::new(FileBackend::open(&file_path).expect("temp dir"))
+                        }
+                    }
+                };
+                // Serving with the durable log enabled.
+                let t = Instant::now();
+                let (mut server, _) = WarpServer::open(
+                    ServerConfig::new(recovery_bench_app())
+                        .with_backend(handle(true))
+                        .with_store_options(options),
+                )
+                .expect("open persistent server");
+                recovery_bench_traffic(&mut server, steps);
+                if with_checkpoint {
+                    server.checkpoint();
+                }
+                let serve_ms = t.elapsed().as_secs_f64() * 1e3;
+                let store_bytes = server.store_bytes();
+                drop(server); // crash
+                let reopen = handle(false);
+                let t = Instant::now();
+                let (recovered, report) = WarpServer::open(
+                    ServerConfig::new(recovery_bench_app())
+                        .with_backend(reopen)
+                        .with_store_options(options),
+                )
+                .expect("recover");
+                let recover_ms = t.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    recovered.history.len(),
+                    actions,
+                    "recovery must be lossless"
+                );
+                let overhead_percent = (serve_ms / baseline_ms.max(1e-9) - 1.0) * 100.0;
+                println!(
+                    "{:<8} {:>8} {:>12.2} {:>12.2} {:>9.1}% {:>12.2} {:>6} {:>12}",
+                    backend_name,
+                    actions,
+                    serve_ms,
+                    baseline_ms,
+                    overhead_percent,
+                    recover_ms,
+                    if report.from_checkpoint { "yes" } else { "no" },
+                    store_bytes,
+                );
+                records.push(report::RecoveryBenchRecord {
+                    workload: "table9_recovery".to_string(),
+                    backend: backend_name.to_string(),
+                    actions,
+                    serve_ms,
+                    baseline_ms,
+                    overhead_percent,
+                    recover_ms,
+                    from_checkpoint: report.from_checkpoint,
+                    store_bytes,
+                });
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&file_dir);
+    records
+}
+
 /// Shared argument handling for the `table*` report binaries so every one
 /// of them supports `--help` (exercised by `tests/bin_smoke.rs`, which keeps
 /// the report binaries from silently rotting).

@@ -89,8 +89,10 @@ impl RepairBenchRecord {
     }
 }
 
-/// Reads every record from a report file. Missing file → empty.
-pub fn load_records(path: &Path) -> Result<Vec<RepairBenchRecord>, String> {
+/// The shared report-file envelope: `{"schema_version": 1, "records": [..]}`.
+/// Both `BENCH_repair.json` and `BENCH_recovery.json` use it, through one
+/// implementation so the formats cannot drift apart.
+fn load_record_array(path: &Path) -> Result<Vec<Json>, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
@@ -101,7 +103,35 @@ pub fn load_records(path: &Path) -> Result<Vec<RepairBenchRecord>, String> {
         .get("records")
         .and_then(|r| r.as_arr())
         .ok_or_else(|| format!("{}: no `records` array", path.display()))?;
-    Ok(records
+    Ok(records.to_vec())
+}
+
+/// Writes the shared envelope: previous records of the workloads being
+/// re-run are replaced instead of accumulating duplicates.
+fn write_record_array(
+    path: &Path,
+    mut existing: Vec<Json>,
+    new: Vec<Json>,
+    replaced_workloads: &[&str],
+) -> Result<(), String> {
+    existing.retain(|r| {
+        r.get("workload")
+            .and_then(|w| w.as_str())
+            .map(|w| !replaced_workloads.contains(&w))
+            .unwrap_or(true)
+    });
+    existing.extend(new);
+    let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::Num(1.0)),
+        ("records".into(), Json::Arr(existing)),
+    ]);
+    std::fs::write(path, doc.to_json() + "\n")
+        .map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Reads every record from a report file. Missing file → empty.
+pub fn load_records(path: &Path) -> Result<Vec<RepairBenchRecord>, String> {
+    Ok(load_record_array(path)?
         .iter()
         .filter_map(RepairBenchRecord::from_json)
         .collect())
@@ -110,21 +140,93 @@ pub fn load_records(path: &Path) -> Result<Vec<RepairBenchRecord>, String> {
 /// Appends records to a report file (creating it if needed), keeping records
 /// written by other binaries.
 pub fn append_records(path: &Path, new: &[RepairBenchRecord]) -> Result<(), String> {
-    let mut records = load_records(path)?;
-    // A re-run of the same workload replaces its previous records instead of
-    // accumulating duplicates.
-    let new_workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
-    records.retain(|r| !new_workloads.contains(&r.workload.as_str()));
-    records.extend(new.iter().cloned());
-    let doc = Json::Obj(vec![
-        ("schema_version".into(), Json::Num(1.0)),
-        (
-            "records".into(),
-            Json::Arr(records.iter().map(|r| r.to_json()).collect()),
-        ),
-    ]);
-    std::fs::write(path, doc.to_json() + "\n")
-        .map_err(|e| format!("writing {}: {e}", path.display()))
+    let existing = load_records(path)?.iter().map(|r| r.to_json()).collect();
+    let workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    write_record_array(
+        path,
+        existing,
+        new.iter().map(|r| r.to_json()).collect(),
+        &workloads,
+    )
+}
+
+/// One timed persistence measurement (`BENCH_recovery.json`), produced by
+/// `table9_recovery`: how much the durable action log slows down serving,
+/// and how long recovery takes as the history grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryBenchRecord {
+    /// Which binary produced the record (`table9_recovery`).
+    pub workload: String,
+    /// Storage backend measured (`memory` / `file`).
+    pub backend: String,
+    /// Actions in the history when the measurement was taken.
+    pub actions: usize,
+    /// Wall-clock serving time of the workload with logging enabled (ms).
+    pub serve_ms: f64,
+    /// Wall-clock serving time of the same workload fully in memory (ms).
+    pub baseline_ms: f64,
+    /// Logging overhead: `serve_ms / baseline_ms - 1`, in percent.
+    pub overhead_percent: f64,
+    /// Wall-clock `WarpServer::open` recovery time (ms).
+    pub recover_ms: f64,
+    /// True if recovery restored a checkpoint (vs replaying the whole log).
+    pub from_checkpoint: bool,
+    /// Bytes held by the durable store at recovery time.
+    pub store_bytes: u64,
+}
+
+impl RecoveryBenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("backend".into(), Json::Str(self.backend.clone())),
+            ("actions".into(), Json::Num(self.actions as f64)),
+            ("serve_ms".into(), Json::Num(self.serve_ms)),
+            ("baseline_ms".into(), Json::Num(self.baseline_ms)),
+            ("overhead_percent".into(), Json::Num(self.overhead_percent)),
+            ("recover_ms".into(), Json::Num(self.recover_ms)),
+            ("from_checkpoint".into(), Json::Bool(self.from_checkpoint)),
+            ("store_bytes".into(), Json::Num(self.store_bytes as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<RecoveryBenchRecord> {
+        Some(RecoveryBenchRecord {
+            workload: value.get("workload")?.as_str()?.to_string(),
+            backend: value.get("backend")?.as_str()?.to_string(),
+            actions: value.get("actions")?.as_usize()?,
+            serve_ms: value.get("serve_ms")?.as_f64()?,
+            baseline_ms: value.get("baseline_ms")?.as_f64()?,
+            overhead_percent: value.get("overhead_percent")?.as_f64()?,
+            recover_ms: value.get("recover_ms")?.as_f64()?,
+            from_checkpoint: matches!(value.get("from_checkpoint"), Some(Json::Bool(true))),
+            store_bytes: value.get("store_bytes")?.as_f64().map(|b| b as u64)?,
+        })
+    }
+}
+
+/// Reads every recovery record from a report file. Missing file → empty.
+pub fn load_recovery_records(path: &Path) -> Result<Vec<RecoveryBenchRecord>, String> {
+    Ok(load_record_array(path)?
+        .iter()
+        .filter_map(RecoveryBenchRecord::from_json)
+        .collect())
+}
+
+/// Writes recovery records to a report file (replacing any previous run of
+/// the same workload, like [`append_records`] does for repair records).
+pub fn append_recovery_records(path: &Path, new: &[RecoveryBenchRecord]) -> Result<(), String> {
+    let existing = load_recovery_records(path)?
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    let workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    write_record_array(
+        path,
+        existing,
+        new.iter().map(|r| r.to_json()).collect(),
+        &workloads,
+    )
 }
 
 /// The gate's verdict over a report.

@@ -17,6 +17,7 @@ const BINS: &[(&str, &[&str])] = &[
     (env!("CARGO_BIN_EXE_table6_overhead"), &["3"]),
     (env!("CARGO_BIN_EXE_table7_repair_100"), &["2"]),
     (env!("CARGO_BIN_EXE_table8_repair_5000"), &["4"]),
+    (env!("CARGO_BIN_EXE_table9_recovery"), &["6"]),
     (env!("CARGO_BIN_EXE_bench_gate"), &["--help"]),
 ];
 

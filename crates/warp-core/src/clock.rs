@@ -35,6 +35,15 @@ impl LogicalClock {
         self.now += n.max(0);
         self.now
     }
+
+    /// Fast-forwards the clock to `to` if that is ahead of the current
+    /// time; never moves backwards. Recovery uses this to restore the
+    /// clock recorded by a checkpoint or log record.
+    pub fn fast_forward(&mut self, to: i64) {
+        if to > self.now {
+            self.now = to;
+        }
+    }
 }
 
 #[cfg(test)]

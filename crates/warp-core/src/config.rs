@@ -1,6 +1,8 @@
-//! Application configuration: sources, schema annotations, routes, seed data.
+//! Application configuration: sources, schema annotations, routes, seed
+//! data — plus the server-level configuration that adds a storage backend.
 
 use warp_http::Router;
+use warp_store::{StorageBackend, StoreOptions};
 use warp_ttdb::TableAnnotation;
 
 /// Everything needed to install a WASL application on a [`crate::WarpServer`].
@@ -67,6 +69,46 @@ impl AppConfig {
     /// (reported alongside §8.1).
     pub fn annotation_lines(&self) -> usize {
         self.tables.iter().map(|(_, a)| a.annotation_lines()).sum()
+    }
+}
+
+/// Server-level configuration: the application plus (optionally) the
+/// storage backend its state is persisted to.
+///
+/// With no backend, [`crate::WarpServer::open`] behaves exactly like
+/// [`crate::WarpServer::new`]; with one, every handled request, uploaded
+/// client log, repair and GC run is appended to a durable action log, and
+/// `open` recovers whatever state the backend already holds.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// The application to install.
+    pub app: AppConfig,
+    /// Where to persist state; `None` keeps the server in-memory.
+    pub backend: Option<Box<dyn StorageBackend>>,
+    /// Log segment size and checkpoint cadence.
+    pub store_options: StoreOptions,
+}
+
+impl ServerConfig {
+    /// An in-memory server configuration for the given application.
+    pub fn new(app: AppConfig) -> Self {
+        ServerConfig {
+            app,
+            backend: None,
+            store_options: StoreOptions::default(),
+        }
+    }
+
+    /// Persists the server to the given storage backend, builder style.
+    pub fn with_backend(mut self, backend: Box<dyn StorageBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Overrides the store tunables, builder style.
+    pub fn with_store_options(mut self, options: StoreOptions) -> Self {
+        self.store_options = options;
+        self
     }
 }
 

@@ -41,17 +41,22 @@ pub mod clock;
 pub mod config;
 pub mod conflict;
 pub mod history;
+pub mod persist;
 pub mod repair;
 pub mod scheduler;
 pub mod server;
 pub mod sourcefs;
 pub mod stats;
 
-pub use config::AppConfig;
+pub use config::{AppConfig, ServerConfig};
 pub use conflict::{Conflict, ConflictKind};
 pub use history::{ActionId, ActionRecord, HistoryGraph, NondetRecord, QueryRecord};
+pub use persist::RecoveryReport;
 pub use repair::{RepairOutcome, RepairRequest};
 pub use scheduler::RepairStrategy;
 pub use server::WarpServer;
 pub use sourcefs::{Patch, SourceStore};
 pub use stats::{LoggingStats, RepairStats};
+// Re-export the storage subsystem so applications and binaries can
+// configure backends without depending on `warp-store` directly.
+pub use warp_store::{FileBackend, MemoryBackend, StorageBackend, StoreError, StoreOptions};

@@ -1,0 +1,1343 @@
+//! Persistence: the server's durable action log, checkpoints and recovery.
+//!
+//! `warp-store` provides the byte-level machinery (backends, the segmented
+//! checksummed log, checkpoint blobs, compaction); this module defines what
+//! Warp actually stores in it and how a byte-identical [`WarpServer`] is
+//! rebuilt after a crash.
+//!
+//! # What is logged
+//!
+//! Every state transition of a persistent server appends one record:
+//!
+//! * [`LogEvent::Action`] — one handled HTTP request: the full
+//!   [`ActionRecord`] (request, response, dependencies, non-determinism)
+//!   plus the generation it executed in and the clock / RNG / session /
+//!   synthetic-row-ID counters after it. Replaying the record re-executes
+//!   the action's *write* queries at their original times, which rebuilds
+//!   the time-travel database's row versions exactly (normal-execution
+//!   writes are deterministic given SQL text, time and generation).
+//! * [`LogEvent::ClientLog`] — an uploaded browser page-visit log.
+//! * [`LogEvent::RepairBegin`] / [`LogEvent::RepairCommit`] /
+//!   [`LogEvent::RepairAbort`] — repair is *not* replayed on recovery
+//!   (re-running it would need patched sources and browser replay mid
+//!   recovery); instead the commit record carries the repair's physical
+//!   effect: per-table row-version deltas, the cancelled-action set, the
+//!   queued conflicts, cookie invalidations and the new generation. A
+//!   `RepairBegin` with no matching commit or abort marks an interrupted
+//!   repair; recovery surfaces it as [`WarpServer::pending_repair`] so the
+//!   administrator can re-run it.
+//! * [`LogEvent::Gc`] — a garbage-collection cut-off, replayed as-is (GC
+//!   renumbers action IDs, so it must happen at the same point of the
+//!   replayed history).
+//! * [`LogEvent::CreateTable`] — a table installed after initial deployment.
+//!
+//! # Recovery
+//!
+//! [`WarpServer::open`] installs the application fresh (schema, seeds,
+//! sources — all deterministic), restores the newest checkpoint if one
+//! exists, then replays the log tail. Recovery therefore assumes the same
+//! [`AppConfig`] the original server ran with, which is the same contract a
+//! real deployment has with its schema migrations.
+
+use crate::config::{AppConfig, ServerConfig};
+use crate::conflict::{Conflict, ConflictKind};
+use crate::history::{ActionId, ActionRecord, ClientRef, HistoryGraph, NondetRecord, QueryRecord};
+use crate::repair::RepairRequest;
+use crate::server::WarpServer;
+use crate::sourcefs::Patch;
+use std::collections::BTreeMap;
+use warp_browser::{ConflictReason, EventKind, PageVisitRecord, RecordedEvent, RecordedRequest};
+use warp_http::{CookieJar, HttpRequest, HttpResponse, Method, WarpHeaders};
+use warp_script::Value as ScriptValue;
+use warp_sql::Value as SqlValue;
+use warp_store::{CodecError, Decoder, DurableStore, Encoder, StoreError, StoreResult};
+use warp_ttdb::{PartitionKey, PartitionSet, QueryDependency, TableAnnotation};
+
+/// Version stamp of the checkpoint payload and record encodings. Bump on
+/// any incompatible change; recovery refuses newer formats loudly instead
+/// of misreading them.
+pub const FORMAT_VERSION: u32 = 1;
+
+const KIND_ACTION: u8 = 1;
+const KIND_CLIENT_LOG: u8 = 2;
+const KIND_REPAIR_BEGIN: u8 = 3;
+const KIND_REPAIR_COMMIT: u8 = 4;
+const KIND_REPAIR_ABORT: u8 = 5;
+const KIND_GC: u8 = 6;
+const KIND_CREATE_TABLE: u8 = 7;
+
+/// One record of the durable action log.
+#[derive(Debug, Clone)]
+pub(crate) enum LogEvent {
+    /// A handled request, with the counter state after it.
+    Action {
+        /// Generation the action executed in.
+        gen: i64,
+        /// Logical clock after the action completed.
+        clock_after: i64,
+        /// RNG counter after the action.
+        rng_after: u64,
+        /// Session counter after the action.
+        session_after: u64,
+        /// Synthetic row-ID watermark after the action.
+        watermark_after: i64,
+        /// The recorded action.
+        action: Box<ActionRecord>,
+    },
+    /// An uploaded client browser log.
+    ClientLog(PageVisitRecord),
+    /// A repair started (crash marker; carries the request for redo).
+    RepairBegin(RepairRequest),
+    /// A repair committed; carries its complete physical effect.
+    RepairCommit(RepairCommitRecord),
+    /// A repair aborted (only the side effects that survive an abort).
+    RepairAbort {
+        /// The retroactive patch, which stays applied to the source store
+        /// even when the repair aborts.
+        patch: Option<(Patch, i64)>,
+        /// Cookie invalidations queued despite the abort.
+        cookie_invalidations: Vec<String>,
+    },
+    /// History and version garbage collection ran with this cut-off.
+    Gc {
+        /// The GC cut-off time.
+        before_time: i64,
+    },
+    /// A table was installed after initial deployment.
+    CreateTable {
+        /// The application's `CREATE TABLE` statement.
+        sql: String,
+        /// The table's Warp annotation.
+        annotation: TableAnnotation,
+    },
+}
+
+/// One table's row-version delta: `(table, removed rows, added rows)`.
+pub(crate) type TableDiff = (String, Vec<Vec<SqlValue>>, Vec<Vec<SqlValue>>);
+
+/// The physical effect of a committed repair.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RepairCommitRecord {
+    /// The retroactive patch the repair applied, if any.
+    pub patch: Option<(Patch, i64)>,
+    /// Actions cancelled by the repair.
+    pub cancelled: Vec<ActionId>,
+    /// Conflicts queued for users.
+    pub conflicts: Vec<Conflict>,
+    /// Clients whose cookies must be invalidated.
+    pub cookie_invalidations: Vec<String>,
+    /// The generation that became current when the repair finalized.
+    pub current_gen: i64,
+    /// The synthetic row-ID watermark after the repair.
+    pub watermark: i64,
+    /// Per-table row-version deltas `(table, removed rows, added rows)`
+    /// turning the pre-repair stored rows into the post-repair rows.
+    pub table_diffs: Vec<TableDiff>,
+}
+
+/// What [`WarpServer::open`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// True if any persisted state (checkpoint or log records) was applied.
+    pub recovered: bool,
+    /// True if a checkpoint was restored (rather than replaying from the
+    /// initial installation).
+    pub from_checkpoint: bool,
+    /// Log records replayed after the checkpoint.
+    pub records_replayed: usize,
+    /// True if a torn final record was found and truncated.
+    pub torn_tail: bool,
+    /// True if an interrupted repair was detected; see
+    /// [`WarpServer::pending_repair`].
+    pub pending_repair: bool,
+}
+
+fn corrupt(msg: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Encoders / decoders for the persisted types
+// ---------------------------------------------------------------------------
+
+type DecResult<T> = Result<T, CodecError>;
+
+fn bad(msg: impl Into<String>) -> CodecError {
+    CodecError(msg.into())
+}
+
+fn enc_string_map(e: &mut Encoder, map: &BTreeMap<String, String>) {
+    e.u32(map.len() as u32);
+    for (k, v) in map {
+        e.str(k);
+        e.str(v);
+    }
+}
+
+fn dec_string_map(d: &mut Decoder) -> DecResult<BTreeMap<String, String>> {
+    let n = d.u32()?;
+    let mut map = BTreeMap::new();
+    for _ in 0..n {
+        let k = d.str()?;
+        let v = d.str()?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+fn enc_sql_value(e: &mut Encoder, v: &SqlValue) {
+    match v {
+        SqlValue::Null => e.u8(0),
+        SqlValue::Bool(b) => {
+            e.u8(1);
+            e.bool(*b);
+        }
+        SqlValue::Int(i) => {
+            e.u8(2);
+            e.i64(*i);
+        }
+        SqlValue::Float(f) => {
+            e.u8(3);
+            e.f64(*f);
+        }
+        SqlValue::Text(s) => {
+            e.u8(4);
+            e.str(s);
+        }
+    }
+}
+
+fn dec_sql_value(d: &mut Decoder) -> DecResult<SqlValue> {
+    Ok(match d.u8()? {
+        0 => SqlValue::Null,
+        1 => SqlValue::Bool(d.bool()?),
+        2 => SqlValue::Int(d.i64()?),
+        3 => SqlValue::Float(d.f64()?),
+        4 => SqlValue::Text(d.str()?),
+        t => return Err(bad(format!("unknown SQL value tag {t}"))),
+    })
+}
+
+fn enc_row(e: &mut Encoder, row: &[SqlValue]) {
+    e.seq(row, enc_sql_value);
+}
+
+fn dec_row(d: &mut Decoder) -> DecResult<Vec<SqlValue>> {
+    d.seq(dec_sql_value)
+}
+
+fn enc_script_value(e: &mut Encoder, v: &ScriptValue) {
+    match v {
+        ScriptValue::Null => e.u8(0),
+        ScriptValue::Bool(b) => {
+            e.u8(1);
+            e.bool(*b);
+        }
+        ScriptValue::Int(i) => {
+            e.u8(2);
+            e.i64(*i);
+        }
+        ScriptValue::Float(f) => {
+            e.u8(3);
+            e.f64(*f);
+        }
+        ScriptValue::Str(s) => {
+            e.u8(4);
+            e.str(s);
+        }
+        ScriptValue::Array(items) => {
+            e.u8(5);
+            e.seq(items, enc_script_value);
+        }
+        ScriptValue::Map(map) => {
+            e.u8(6);
+            e.u32(map.len() as u32);
+            for (k, v) in map {
+                e.str(k);
+                enc_script_value(e, v);
+            }
+        }
+    }
+}
+
+fn dec_script_value(d: &mut Decoder) -> DecResult<ScriptValue> {
+    Ok(match d.u8()? {
+        0 => ScriptValue::Null,
+        1 => ScriptValue::Bool(d.bool()?),
+        2 => ScriptValue::Int(d.i64()?),
+        3 => ScriptValue::Float(d.f64()?),
+        4 => ScriptValue::Str(d.str()?),
+        5 => ScriptValue::Array(d.seq(dec_script_value)?),
+        6 => {
+            let n = d.u32()?;
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                let k = d.str()?;
+                let v = dec_script_value(d)?;
+                map.insert(k, v);
+            }
+            ScriptValue::Map(map)
+        }
+        t => return Err(bad(format!("unknown script value tag {t}"))),
+    })
+}
+
+fn enc_method(e: &mut Encoder, m: &Method) {
+    e.u8(match m {
+        Method::Get => 0,
+        Method::Post => 1,
+    });
+}
+
+fn dec_method(d: &mut Decoder) -> DecResult<Method> {
+    Ok(match d.u8()? {
+        0 => Method::Get,
+        1 => Method::Post,
+        t => return Err(bad(format!("unknown HTTP method tag {t}"))),
+    })
+}
+
+fn enc_request(e: &mut Encoder, r: &HttpRequest) {
+    enc_method(e, &r.method);
+    e.str(&r.path);
+    enc_string_map(e, &r.query);
+    enc_string_map(e, &r.form);
+    enc_string_map(e, &r.headers);
+    let cookies: Vec<(String, String)> = r
+        .cookies
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    e.seq(&cookies, |e, (k, v)| {
+        e.str(k);
+        e.str(v);
+    });
+    e.option(r.warp.client_id.as_ref(), |e, s| e.str(s));
+    e.option(r.warp.visit_id.as_ref(), |e, v| e.u64(*v));
+    e.option(r.warp.request_id.as_ref(), |e, v| e.u64(*v));
+}
+
+fn dec_request(d: &mut Decoder) -> DecResult<HttpRequest> {
+    let method = dec_method(d)?;
+    let path = d.str()?;
+    let query = dec_string_map(d)?;
+    let form = dec_string_map(d)?;
+    let headers = dec_string_map(d)?;
+    let pairs = d.seq(|d| Ok((d.str()?, d.str()?)))?;
+    let mut cookies = CookieJar::new();
+    for (k, v) in pairs {
+        cookies.set(k, v);
+    }
+    let warp = WarpHeaders {
+        client_id: d.option(|d| d.str())?,
+        visit_id: d.option(|d| d.u64())?,
+        request_id: d.option(|d| d.u64())?,
+    };
+    let mut request = match method {
+        Method::Get => HttpRequest::get(&path),
+        Method::Post => HttpRequest::post(&path, []),
+    };
+    request.query = query;
+    request.form = form;
+    request.headers = headers;
+    request.cookies = cookies;
+    request.warp = warp;
+    Ok(request)
+}
+
+fn enc_response(e: &mut Encoder, r: &HttpResponse) {
+    e.u32(r.status as u32);
+    enc_string_map(e, &r.headers);
+    e.seq(&r.set_cookies, |e, s| e.str(s));
+    e.str(&r.body);
+}
+
+fn dec_response(d: &mut Decoder) -> DecResult<HttpResponse> {
+    let status = d.u32()? as u16;
+    let headers = dec_string_map(d)?;
+    let set_cookies = d.seq(|d| d.str())?;
+    let body = d.str()?;
+    let mut r = HttpResponse::ok(body);
+    r.status = status;
+    r.headers = headers;
+    r.set_cookies = set_cookies;
+    Ok(r)
+}
+
+fn enc_partition_set(e: &mut Encoder, p: &PartitionSet) {
+    match p {
+        PartitionSet::Whole { table } => {
+            e.u8(0);
+            e.str(table);
+        }
+        PartitionSet::Keys(keys) => {
+            e.u8(1);
+            let keys: Vec<&PartitionKey> = keys.iter().collect();
+            e.seq(&keys, |e, k| {
+                e.str(&k.table);
+                e.str(&k.column);
+                e.str(&k.value);
+            });
+        }
+    }
+}
+
+fn dec_partition_set(d: &mut Decoder) -> DecResult<PartitionSet> {
+    Ok(match d.u8()? {
+        0 => PartitionSet::Whole { table: d.str()? },
+        1 => {
+            let keys = d.seq(|d| {
+                Ok(PartitionKey {
+                    table: d.str()?,
+                    column: d.str()?,
+                    value: d.str()?,
+                })
+            })?;
+            PartitionSet::Keys(keys.into_iter().collect())
+        }
+        t => return Err(bad(format!("unknown partition set tag {t}"))),
+    })
+}
+
+fn enc_dependency(e: &mut Encoder, dep: &QueryDependency) {
+    e.str(&dep.table);
+    e.bool(dep.is_read);
+    e.bool(dep.is_write);
+    enc_partition_set(e, &dep.read_partitions);
+    enc_partition_set(e, &dep.write_partitions);
+    e.seq(&dep.written_row_ids, enc_sql_value);
+}
+
+fn dec_dependency(d: &mut Decoder) -> DecResult<QueryDependency> {
+    Ok(QueryDependency {
+        table: d.str()?,
+        is_read: d.bool()?,
+        is_write: d.bool()?,
+        read_partitions: dec_partition_set(d)?,
+        write_partitions: dec_partition_set(d)?,
+        written_row_ids: d.seq(dec_sql_value)?,
+    })
+}
+
+fn enc_query_record(e: &mut Encoder, q: &QueryRecord) {
+    e.str(&q.sql);
+    e.i64(q.time);
+    e.u64(q.result_fingerprint);
+    e.bool(q.is_write);
+    e.seq(&q.written_row_ids, enc_sql_value);
+    enc_dependency(e, &q.dependency);
+}
+
+fn dec_query_record(d: &mut Decoder) -> DecResult<QueryRecord> {
+    Ok(QueryRecord {
+        sql: d.str()?,
+        time: d.i64()?,
+        result_fingerprint: d.u64()?,
+        is_write: d.bool()?,
+        written_row_ids: d.seq(dec_sql_value)?,
+        dependency: dec_dependency(d)?,
+    })
+}
+
+fn enc_nondet(e: &mut Encoder, n: &NondetRecord) {
+    e.str(&n.func);
+    e.seq(&n.args, enc_script_value);
+    enc_script_value(e, &n.result);
+}
+
+fn dec_nondet(d: &mut Decoder) -> DecResult<NondetRecord> {
+    Ok(NondetRecord {
+        func: d.str()?,
+        args: d.seq(dec_script_value)?,
+        result: dec_script_value(d)?,
+    })
+}
+
+fn enc_action(e: &mut Encoder, a: &ActionRecord) {
+    e.u64(a.id);
+    e.i64(a.time);
+    enc_request(e, &a.request);
+    enc_response(e, &a.response);
+    e.option(a.client.as_ref(), |e, c| {
+        e.str(&c.client_id);
+        e.u64(c.visit_id);
+        e.u64(c.request_id);
+    });
+    e.str(&a.entry_script);
+    e.seq(&a.loaded_files, |e, f| e.str(f));
+    e.seq(&a.queries, enc_query_record);
+    e.seq(&a.nondet, enc_nondet);
+    e.bool(a.cancelled);
+}
+
+fn dec_action(d: &mut Decoder) -> DecResult<ActionRecord> {
+    Ok(ActionRecord {
+        id: d.u64()?,
+        time: d.i64()?,
+        request: dec_request(d)?,
+        response: dec_response(d)?,
+        client: d.option(|d| {
+            Ok(ClientRef {
+                client_id: d.str()?,
+                visit_id: d.u64()?,
+                request_id: d.u64()?,
+            })
+        })?,
+        entry_script: d.str()?,
+        loaded_files: d.seq(|d| d.str())?,
+        queries: d.seq(dec_query_record)?,
+        nondet: d.seq(dec_nondet)?,
+        cancelled: d.bool()?,
+    })
+}
+
+fn enc_recorded_event(e: &mut Encoder, ev: &RecordedEvent) {
+    e.u32(ev.seq);
+    e.u8(match ev.kind {
+        EventKind::Input => 0,
+        EventKind::Click => 1,
+        EventKind::Submit => 2,
+    });
+    e.str(&ev.target);
+    e.option(ev.value.as_ref(), |e, s| e.str(s));
+    e.option(ev.base_value.as_ref(), |e, s| e.str(s));
+}
+
+fn dec_recorded_event(d: &mut Decoder) -> DecResult<RecordedEvent> {
+    Ok(RecordedEvent {
+        seq: d.u32()?,
+        kind: match d.u8()? {
+            0 => EventKind::Input,
+            1 => EventKind::Click,
+            2 => EventKind::Submit,
+            t => return Err(bad(format!("unknown event kind tag {t}"))),
+        },
+        target: d.str()?,
+        value: d.option(|d| d.str())?,
+        base_value: d.option(|d| d.str())?,
+    })
+}
+
+fn enc_page_visit(e: &mut Encoder, v: &PageVisitRecord) {
+    e.str(&v.client_id);
+    e.u64(v.visit_id);
+    e.str(&v.url);
+    e.option(v.caused_by_visit.as_ref(), |e, c| e.u64(*c));
+    e.bool(v.in_frame);
+    e.seq(&v.events, enc_recorded_event);
+    e.seq(&v.requests, |e, r| {
+        e.u64(r.request_id);
+        enc_method(e, &r.method);
+        e.str(&r.path);
+        enc_string_map(e, &r.params);
+    });
+}
+
+fn dec_page_visit(d: &mut Decoder) -> DecResult<PageVisitRecord> {
+    let client_id = d.str()?;
+    let visit_id = d.u64()?;
+    let url = d.str()?;
+    let mut record = PageVisitRecord::new(&client_id, visit_id, &url);
+    record.caused_by_visit = d.option(|d| d.u64())?;
+    record.in_frame = d.bool()?;
+    record.events = d.seq(dec_recorded_event)?;
+    record.requests = d.seq(|d| {
+        Ok(RecordedRequest {
+            request_id: d.u64()?,
+            method: dec_method(d)?,
+            path: d.str()?,
+            params: dec_string_map(d)?,
+        })
+    })?;
+    Ok(record)
+}
+
+fn enc_patch(e: &mut Encoder, p: &Patch) {
+    e.str(&p.filename);
+    e.str(&p.patched_source);
+    e.str(&p.description);
+}
+
+fn dec_patch(d: &mut Decoder) -> DecResult<Patch> {
+    Ok(Patch {
+        filename: d.str()?,
+        patched_source: d.str()?,
+        description: d.str()?,
+    })
+}
+
+fn enc_repair_request(e: &mut Encoder, r: &RepairRequest) {
+    match r {
+        RepairRequest::RetroactivePatch { patch, from_time } => {
+            e.u8(0);
+            enc_patch(e, patch);
+            e.i64(*from_time);
+        }
+        RepairRequest::UndoVisit {
+            client_id,
+            visit_id,
+            initiated_by_admin,
+        } => {
+            e.u8(1);
+            e.str(client_id);
+            e.u64(*visit_id);
+            e.bool(*initiated_by_admin);
+        }
+    }
+}
+
+fn dec_repair_request(d: &mut Decoder) -> DecResult<RepairRequest> {
+    Ok(match d.u8()? {
+        0 => RepairRequest::RetroactivePatch {
+            patch: dec_patch(d)?,
+            from_time: d.i64()?,
+        },
+        1 => RepairRequest::UndoVisit {
+            client_id: d.str()?,
+            visit_id: d.u64()?,
+            initiated_by_admin: d.bool()?,
+        },
+        t => return Err(bad(format!("unknown repair request tag {t}"))),
+    })
+}
+
+fn enc_conflict(e: &mut Encoder, c: &Conflict) {
+    e.str(&c.client_id);
+    e.u64(c.visit_id);
+    e.str(&c.url);
+    match &c.kind {
+        ConflictKind::BrowserReplay(reason) => {
+            e.u8(0);
+            match reason {
+                ConflictReason::NoClientLog => e.u8(0),
+                ConflictReason::MissingTarget(s) => {
+                    e.u8(1);
+                    e.str(s);
+                }
+                ConflictReason::TextMergeConflict(s) => {
+                    e.u8(2);
+                    e.str(s);
+                }
+                ConflictReason::FramingDenied => e.u8(3),
+            }
+        }
+        ConflictKind::ActionCancelled => e.u8(1),
+        ConflictKind::ReexecutionFailed(msg) => {
+            e.u8(2);
+            e.str(msg);
+        }
+    }
+    e.bool(c.resolved);
+    e.option(c.partition.as_ref(), |e, p| e.u64(*p as u64));
+}
+
+fn dec_conflict(d: &mut Decoder) -> DecResult<Conflict> {
+    let client_id = d.str()?;
+    let visit_id = d.u64()?;
+    let url = d.str()?;
+    let kind = match d.u8()? {
+        0 => ConflictKind::BrowserReplay(match d.u8()? {
+            0 => ConflictReason::NoClientLog,
+            1 => ConflictReason::MissingTarget(d.str()?),
+            2 => ConflictReason::TextMergeConflict(d.str()?),
+            3 => ConflictReason::FramingDenied,
+            t => return Err(bad(format!("unknown conflict reason tag {t}"))),
+        }),
+        1 => ConflictKind::ActionCancelled,
+        2 => ConflictKind::ReexecutionFailed(d.str()?),
+        t => return Err(bad(format!("unknown conflict kind tag {t}"))),
+    };
+    let resolved = d.bool()?;
+    let partition = d.option(|d| d.u64())?.map(|p| p as usize);
+    Ok(Conflict {
+        client_id,
+        visit_id,
+        url,
+        kind,
+        resolved,
+        partition,
+    })
+}
+
+fn enc_annotation(e: &mut Encoder, a: &TableAnnotation) {
+    e.option(a.row_id_column.as_ref(), |e, s| e.str(s));
+    e.seq(&a.partition_columns, |e, s| e.str(s));
+}
+
+fn dec_annotation(d: &mut Decoder) -> DecResult<TableAnnotation> {
+    Ok(TableAnnotation {
+        row_id_column: d.option(|d| d.str())?,
+        partition_columns: d.seq(|d| d.str())?,
+    })
+}
+
+impl LogEvent {
+    /// `(record kind, encoded payload)` for the durable log.
+    pub(crate) fn encode(&self) -> (u8, Vec<u8>) {
+        let mut e = Encoder::new();
+        let kind = match self {
+            LogEvent::Action {
+                gen,
+                clock_after,
+                rng_after,
+                session_after,
+                watermark_after,
+                action,
+            } => {
+                e.i64(*gen);
+                e.i64(*clock_after);
+                e.u64(*rng_after);
+                e.u64(*session_after);
+                e.i64(*watermark_after);
+                enc_action(&mut e, action);
+                KIND_ACTION
+            }
+            LogEvent::ClientLog(record) => {
+                enc_page_visit(&mut e, record);
+                KIND_CLIENT_LOG
+            }
+            LogEvent::RepairBegin(request) => {
+                enc_repair_request(&mut e, request);
+                KIND_REPAIR_BEGIN
+            }
+            LogEvent::RepairCommit(commit) => {
+                e.option(commit.patch.as_ref(), |e, (patch, from)| {
+                    enc_patch(e, patch);
+                    e.i64(*from);
+                });
+                e.seq(&commit.cancelled, |e, id| e.u64(*id));
+                e.seq(&commit.conflicts, enc_conflict);
+                e.seq(&commit.cookie_invalidations, |e, s| e.str(s));
+                e.i64(commit.current_gen);
+                e.i64(commit.watermark);
+                e.seq(&commit.table_diffs, |e, (table, remove, add)| {
+                    e.str(table);
+                    e.seq(remove, |e, row| enc_row(e, row));
+                    e.seq(add, |e, row| enc_row(e, row));
+                });
+                KIND_REPAIR_COMMIT
+            }
+            LogEvent::RepairAbort {
+                patch,
+                cookie_invalidations,
+            } => {
+                e.option(patch.as_ref(), |e, (patch, from)| {
+                    enc_patch(e, patch);
+                    e.i64(*from);
+                });
+                e.seq(cookie_invalidations, |e, s| e.str(s));
+                KIND_REPAIR_ABORT
+            }
+            LogEvent::Gc { before_time } => {
+                e.i64(*before_time);
+                KIND_GC
+            }
+            LogEvent::CreateTable { sql, annotation } => {
+                e.str(sql);
+                enc_annotation(&mut e, annotation);
+                KIND_CREATE_TABLE
+            }
+        };
+        (kind, e.into_bytes())
+    }
+
+    /// Decodes one log record.
+    pub(crate) fn decode(kind: u8, payload: &[u8]) -> DecResult<LogEvent> {
+        let mut d = Decoder::new(payload);
+        let event = match kind {
+            KIND_ACTION => LogEvent::Action {
+                gen: d.i64()?,
+                clock_after: d.i64()?,
+                rng_after: d.u64()?,
+                session_after: d.u64()?,
+                watermark_after: d.i64()?,
+                action: Box::new(dec_action(&mut d)?),
+            },
+            KIND_CLIENT_LOG => LogEvent::ClientLog(dec_page_visit(&mut d)?),
+            KIND_REPAIR_BEGIN => LogEvent::RepairBegin(dec_repair_request(&mut d)?),
+            KIND_REPAIR_COMMIT => LogEvent::RepairCommit(RepairCommitRecord {
+                patch: d.option(|d| Ok((dec_patch(d)?, d.i64()?)))?,
+                cancelled: d.seq(|d| d.u64())?,
+                conflicts: d.seq(dec_conflict)?,
+                cookie_invalidations: d.seq(|d| d.str())?,
+                current_gen: d.i64()?,
+                watermark: d.i64()?,
+                table_diffs: d.seq(|d| Ok((d.str()?, d.seq(dec_row)?, d.seq(dec_row)?)))?,
+            }),
+            KIND_REPAIR_ABORT => LogEvent::RepairAbort {
+                patch: d.option(|d| Ok((dec_patch(d)?, d.i64()?)))?,
+                cookie_invalidations: d.seq(|d| d.str())?,
+            },
+            KIND_GC => LogEvent::Gc {
+                before_time: d.i64()?,
+            },
+            KIND_CREATE_TABLE => LogEvent::CreateTable {
+                sql: d.str()?,
+                annotation: dec_annotation(&mut d)?,
+            },
+            t => return Err(bad(format!("unknown log record kind {t}"))),
+        };
+        d.finish()?;
+        Ok(event)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints: the complete server state in one blob
+// ---------------------------------------------------------------------------
+
+fn encode_checkpoint(server: &WarpServer) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(FORMAT_VERSION);
+    e.i64(server.clock.now());
+    e.u64(server.rng_counter);
+    e.u64(server.session_counter);
+    e.i64(server.db.current_generation());
+    e.i64(server.db.synthetic_id_watermark());
+    // An unresumed interrupted repair must survive the checkpoint: writing
+    // the checkpoint compacts away the RepairBegin record that marks it.
+    e.option(server.pending_repair.as_ref(), enc_repair_request);
+    let invalidations: Vec<String> = server
+        .pending_cookie_invalidations
+        .iter()
+        .cloned()
+        .collect();
+    e.seq(&invalidations, |e, s| e.str(s));
+    e.seq(server.conflicts.all(), enc_conflict);
+    e.seq(
+        &server.sources.export_versions(),
+        |e, (name, time, content, retro)| {
+            e.str(name);
+            e.i64(*time);
+            e.str(content);
+            e.bool(*retro);
+        },
+    );
+    // History: quota, actions, then uploaded client logs.
+    e.u64(server.history.client_log_quota_bytes as u64);
+    e.seq(server.history.actions(), enc_action);
+    let mut logs: Vec<&PageVisitRecord> = Vec::new();
+    for client in server.history.client_ids() {
+        logs.extend(server.history.client_visits(&client));
+    }
+    e.u32(logs.len() as u32);
+    for log in logs {
+        enc_page_visit(&mut e, log);
+    }
+    // Database: per table, the create statement, annotation, schema column
+    // names (validated on restore) and every stored version row.
+    let tables = server.db.table_create_statements();
+    e.u32(tables.len() as u32);
+    for (name, create_sql, annotation) in &tables {
+        e.str(name);
+        e.str(create_sql);
+        enc_annotation(&mut e, annotation);
+        let columns: Vec<String> = server
+            .db
+            .raw()
+            .schema(name)
+            .map(|s| s.columns.iter().map(|c| c.name.clone()).collect())
+            .unwrap_or_default();
+        e.seq(&columns, |e, c| e.str(c));
+        let rows = server.db.table_rows_snapshot(name);
+        e.seq(&rows, |e, row| enc_row(e, row));
+    }
+    e.into_bytes()
+}
+
+fn restore_checkpoint(server: &mut WarpServer, payload: &[u8]) -> StoreResult<()> {
+    let mut d = Decoder::new(payload);
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "checkpoint format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let clock = d.i64()?;
+    server.rng_counter = d.u64()?;
+    server.session_counter = d.u64()?;
+    let current_gen = d.i64()?;
+    let watermark = d.i64()?;
+    server.pending_repair = d.option(dec_repair_request)?;
+    let invalidations = d.seq(|d| d.str())?;
+    let conflicts = d.seq(dec_conflict)?;
+    let sources = d.seq(|d| Ok((d.str()?, d.i64()?, d.str()?, d.bool()?)))?;
+    server.sources = crate::sourcefs::SourceStore::import_versions(sources);
+    let quota = d.u64()? as usize;
+    let actions = d.seq(dec_action)?;
+    let mut history = HistoryGraph::new();
+    history.client_log_quota_bytes = quota;
+    for action in actions {
+        let expected = action.id;
+        let assigned = history.record_action(action);
+        if assigned != expected {
+            return Err(corrupt(format!(
+                "checkpoint action {expected} restored with ID {assigned}"
+            )));
+        }
+    }
+    let n_logs = d.u32()?;
+    for _ in 0..n_logs {
+        history.upload_client_log(dec_page_visit(&mut d)?);
+    }
+    server.history = history;
+    let n_tables = d.u32()?;
+    for _ in 0..n_tables {
+        let name = d.str()?;
+        let create_sql = d.str()?;
+        let annotation = dec_annotation(&mut d)?;
+        let columns = d.seq(|d| d.str())?;
+        let rows = d.seq(dec_row)?;
+        if server.db.row_id_column(&name).is_none() {
+            server
+                .db
+                .create_table(&create_sql, annotation)
+                .map_err(|e| corrupt(format!("re-creating table {name}: {e}")))?;
+        }
+        let actual: Vec<String> = server
+            .db
+            .raw()
+            .schema(&name)
+            .map(|s| s.columns.iter().map(|c| c.name.clone()).collect())
+            .unwrap_or_default();
+        if actual != columns {
+            return Err(corrupt(format!(
+                "table {name}: checkpoint columns {columns:?} do not match the installed schema \
+                 {actual:?} (recovery requires the AppConfig the data was written with)"
+            )));
+        }
+        server
+            .db
+            .replace_table_rows(&name, rows)
+            .map_err(|e| corrupt(format!("restoring rows of {name}: {e}")))?;
+    }
+    d.finish()?;
+    server.clock.fast_forward(clock);
+    server.db.force_current_generation(current_gen);
+    server.db.raise_synthetic_id_watermark(watermark);
+    server.pending_cookie_invalidations = invalidations.into_iter().collect();
+    server.conflicts = crate::conflict::ConflictQueue::new();
+    for c in conflicts {
+        server.conflicts.push(c);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The persistent server: open / replay / write path
+// ---------------------------------------------------------------------------
+
+fn apply_event(server: &mut WarpServer, event: LogEvent) -> StoreResult<()> {
+    match event {
+        LogEvent::Action {
+            gen,
+            clock_after,
+            rng_after,
+            session_after,
+            watermark_after,
+            action,
+        } => {
+            // Mirror the cookie-invalidation consumption `handle` performed.
+            if let Some(client) = &action.client {
+                server
+                    .pending_cookie_invalidations
+                    .remove(&client.client_id);
+            }
+            // Re-execute the action's writes at their original times in the
+            // recorded generation; this reproduces the row versions the
+            // original execution created. Reads need no replay.
+            for q in &action.queries {
+                if !q.is_write {
+                    continue;
+                }
+                let stmt = warp_sql::parse(&q.sql)
+                    .map_err(|e| corrupt(format!("replaying `{}`: {e}", q.sql)))?;
+                server
+                    .db
+                    .execute_stmt_logged(&stmt, q.time, gen)
+                    .map_err(|e| corrupt(format!("replaying `{}`: {e}", q.sql)))?;
+            }
+            server.clock.fast_forward(clock_after);
+            server.rng_counter = rng_after;
+            server.session_counter = session_after;
+            server.db.raise_synthetic_id_watermark(watermark_after);
+            let expected = action.id;
+            let assigned = server.history.record_action(*action);
+            if assigned != expected {
+                return Err(corrupt(format!(
+                    "log action {expected} replayed as action {assigned}; the log does not \
+                     continue the recovered history"
+                )));
+            }
+        }
+        LogEvent::ClientLog(record) => server.history.upload_client_log(record),
+        LogEvent::RepairBegin(request) => server.pending_repair = Some(request),
+        LogEvent::RepairCommit(commit) => {
+            server.pending_repair = None;
+            if let Some((patch, from_time)) = &commit.patch {
+                server.sources.apply_retroactive_patch(patch, *from_time);
+            }
+            for (table, remove, add) in &commit.table_diffs {
+                server
+                    .db
+                    .apply_row_diff(table, remove, add)
+                    .map_err(|e| corrupt(format!("applying repair diff to {table}: {e}")))?;
+            }
+            server.db.force_current_generation(commit.current_gen);
+            server.db.raise_synthetic_id_watermark(commit.watermark);
+            for id in commit.cancelled {
+                if let Some(a) = server.history.action_mut(id) {
+                    a.cancelled = true;
+                }
+            }
+            for c in commit.conflicts {
+                server.conflicts.push(c);
+            }
+            server
+                .pending_cookie_invalidations
+                .extend(commit.cookie_invalidations);
+        }
+        LogEvent::RepairAbort {
+            patch,
+            cookie_invalidations,
+        } => {
+            server.pending_repair = None;
+            if let Some((patch, from_time)) = &patch {
+                server.sources.apply_retroactive_patch(patch, *from_time);
+            }
+            server
+                .pending_cookie_invalidations
+                .extend(cookie_invalidations);
+        }
+        LogEvent::Gc { before_time } => {
+            server.garbage_collect_unlogged(before_time);
+        }
+        LogEvent::CreateTable { sql, annotation } => {
+            let stmt = warp_sql::parse(&sql).map_err(|e| corrupt(format!("replaying DDL: {e}")))?;
+            let name = stmt.table_name().unwrap_or_default().to_string();
+            if server.db.row_id_column(&name).is_none() {
+                server
+                    .db
+                    .create_table(&sql, annotation)
+                    .map_err(|e| corrupt(format!("replaying CREATE TABLE {name}: {e}")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl WarpServer {
+    /// Installs the application and opens its durable store, recovering any
+    /// persisted state: the newest checkpoint is restored and the log tail
+    /// replayed, rebuilding the history graph, partition index, time-travel
+    /// database, counters and queued conflicts exactly as they were. Without
+    /// a storage backend in `config` this is [`WarpServer::new`].
+    ///
+    /// Recovery requires the same [`AppConfig`] the data was written with
+    /// (the schema/seed/install step is replayed from it, not persisted).
+    pub fn open(config: ServerConfig) -> StoreResult<(WarpServer, RecoveryReport)> {
+        let ServerConfig {
+            app,
+            backend,
+            store_options,
+        } = config;
+        let mut server = WarpServer::new(app);
+        let Some(backend) = backend else {
+            return Ok((server, RecoveryReport::default()));
+        };
+        let (store, recovered) = DurableStore::open(backend, store_options)?;
+        let mut report = RecoveryReport {
+            recovered: recovered.checkpoint.is_some() || !recovered.records.is_empty(),
+            from_checkpoint: recovered.checkpoint.is_some(),
+            records_replayed: recovered.records.len(),
+            torn_tail: recovered.torn_tail,
+            pending_repair: false,
+        };
+        if let Some(payload) = &recovered.checkpoint {
+            restore_checkpoint(&mut server, payload)?;
+        }
+        for (lsn, kind, payload) in &recovered.records {
+            let event = LogEvent::decode(*kind, payload)
+                .map_err(|e| corrupt(format!("log record {lsn}: {e}")))?;
+            apply_event(&mut server, event)?;
+        }
+        report.pending_repair = server.pending_repair.is_some();
+        server.store = Some(store);
+        Ok((server, report))
+    }
+
+    /// Appends one event to the durable log (no-op for in-memory servers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend fails: a server that promised durability and
+    /// can no longer write its log must not keep serving silently.
+    pub(crate) fn log_event(&mut self, event: &LogEvent) {
+        if let Some(store) = &mut self.store {
+            let (kind, payload) = event.encode();
+            store
+                .append(kind, &payload)
+                .unwrap_or_else(|e| panic!("durable log append failed: {e}"));
+        }
+    }
+
+    /// True if this server persists its state.
+    pub fn is_persistent(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Takes a checkpoint now: the complete server state is written to the
+    /// store and the log is compacted (all segments deleted). No-op for
+    /// in-memory servers.
+    pub fn checkpoint(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        let payload = encode_checkpoint(self);
+        let store = self.store.as_mut().expect("checked above");
+        store
+            .write_checkpoint(&payload)
+            .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
+    }
+
+    /// Takes a checkpoint if the configured interval has elapsed.
+    pub(crate) fn maybe_checkpoint(&mut self) {
+        if self
+            .store
+            .as_ref()
+            .map(|s| s.checkpoint_due())
+            .unwrap_or(false)
+        {
+            self.checkpoint();
+        }
+    }
+
+    /// The interrupted repair recovery found (a `RepairBegin` record with no
+    /// matching commit or abort), if any. The crash discarded all of the
+    /// repair's effects, so re-running it via
+    /// [`WarpServer::resume_pending_repair`] redoes it from scratch.
+    pub fn pending_repair(&self) -> Option<&RepairRequest> {
+        self.pending_repair.as_ref()
+    }
+
+    /// Re-runs the interrupted repair recovery detected, if any.
+    pub fn resume_pending_repair(
+        &mut self,
+        strategy: crate::scheduler::RepairStrategy,
+    ) -> Option<crate::repair::RepairOutcome> {
+        let request = self.pending_repair.take()?;
+        Some(self.repair_with(request, strategy))
+    }
+
+    /// Bytes currently held by the durable store (segments + checkpoints);
+    /// 0 for in-memory servers.
+    pub fn store_bytes(&self) -> u64 {
+        self.store
+            .as_ref()
+            .and_then(|s| s.total_bytes().ok())
+            .unwrap_or(0)
+    }
+}
+
+/// Builds a `ServerConfig` whose app is installed fresh — used by tests and
+/// callers that want an in-memory server through the same entry point.
+impl From<AppConfig> for ServerConfig {
+    fn from(app: AppConfig) -> Self {
+        ServerConfig::new(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_http::Transport;
+    use warp_store::MemoryBackend;
+    use warp_ttdb::TableAnnotation;
+
+    fn tiny_app() -> AppConfig {
+        let mut config = AppConfig::new("tiny");
+        config.add_table(
+            "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+            TableAnnotation::new()
+                .row_id("page_id")
+                .partitions(["title"]),
+        );
+        config.seed("INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'welcome')");
+        config.add_source(
+            "view.wasl",
+            "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+             if (len(rows) == 0) { echo(\"missing\"); } else { echo(rows[0][\"body\"]); }",
+        );
+        config.add_source(
+            "edit.wasl",
+            "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+             echo(\"saved\");",
+        );
+        config
+    }
+
+    fn persistent(backend: &MemoryBackend) -> WarpServer {
+        let (server, _) =
+            WarpServer::open(ServerConfig::new(tiny_app()).with_backend(Box::new(backend.clone())))
+                .expect("open persistent server");
+        server
+    }
+
+    #[test]
+    fn log_events_round_trip_through_the_codec() {
+        let mut server = WarpServer::new(tiny_app());
+        let mut req =
+            warp_http::HttpRequest::post("/edit.wasl", [("title", "Main"), ("body", "x")]);
+        req.warp.client_id = Some("c1".into());
+        req.warp.visit_id = Some(3);
+        req.warp.request_id = Some(0);
+        req.cookies.set("sid", "abc");
+        server.handle(req);
+        let action = server.history.actions()[0].clone();
+        let event = LogEvent::Action {
+            gen: 0,
+            clock_after: server.clock.now(),
+            rng_after: 7,
+            session_after: 8,
+            watermark_after: server.db.synthetic_id_watermark(),
+            action: Box::new(action.clone()),
+        };
+        let (kind, payload) = event.encode();
+        match LogEvent::decode(kind, &payload).unwrap() {
+            LogEvent::Action {
+                action: decoded, ..
+            } => assert_eq!(*decoded, action),
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn actions_survive_a_crash_and_reopen() {
+        let mem = MemoryBackend::new();
+        let mut server = persistent(&mem);
+        let r = server.send(warp_http::HttpRequest::get("/view.wasl?title=Main"));
+        assert!(r.body.contains("welcome"));
+        server.send(warp_http::HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Main"), ("body", "edited")],
+        ));
+        let mut expected_db = server.db.clone();
+        let expected_dump = expected_db.canonical_dump();
+        let expected_clock = server.clock.now();
+        drop(server); // crash
+
+        let (mut recovered, report) =
+            WarpServer::open(ServerConfig::new(tiny_app()).with_backend(Box::new(mem.clone())))
+                .unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.records_replayed, 2);
+        assert_eq!(recovered.history.len(), 2);
+        assert_eq!(recovered.clock.now(), expected_clock);
+        assert_eq!(recovered.db.canonical_dump(), expected_dump);
+        // The recovered server keeps serving — and the edit is visible.
+        let r = recovered.send(warp_http::HttpRequest::get("/view.wasl?title=Main"));
+        assert!(r.body.contains("edited"));
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_restores_identically() {
+        let mem = MemoryBackend::new();
+        let mut server = persistent(&mem);
+        for i in 0..6 {
+            server.send(warp_http::HttpRequest::post(
+                "/edit.wasl",
+                [("title", "Main"), ("body", format!("rev {i}").as_str())],
+            ));
+        }
+        server.checkpoint();
+        // More traffic after the checkpoint → replayed from the log tail.
+        server.send(warp_http::HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Main"), ("body", "post-ckpt")],
+        ));
+        let mut expected_db = server.db.clone();
+        let expected_dump = expected_db.canonical_dump();
+        let expected_len = server.history.len();
+        drop(server);
+
+        let (mut recovered, report) =
+            WarpServer::open(ServerConfig::new(tiny_app()).with_backend(Box::new(mem.clone())))
+                .unwrap();
+        assert!(report.from_checkpoint);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(recovered.history.len(), expected_len);
+        assert_eq!(recovered.db.canonical_dump(), expected_dump);
+        // The recovered partition index matches a fresh rebuild.
+        assert!(!recovered.history.partition_index().is_empty());
+    }
+
+    #[test]
+    fn interrupted_repair_is_detected_and_resumable() {
+        let mem = MemoryBackend::new();
+        let mut server = persistent(&mem);
+        server.send(warp_http::HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Main"), ("body", "<script>evil</script>")],
+        ));
+        // Forge the crash window: a RepairBegin hits the log, then the
+        // process dies before the commit record is written.
+        let patch = crate::sourcefs::Patch::new(
+            "view.wasl",
+            "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+             if (len(rows) == 0) { echo(\"missing\"); } else { echo(htmlspecialchars(rows[0][\"body\"])); }",
+            "sanitise output",
+        );
+        let request = RepairRequest::RetroactivePatch {
+            patch,
+            from_time: 0,
+        };
+        server.log_event(&LogEvent::RepairBegin(request.clone()));
+        drop(server);
+
+        let (recovered, report) =
+            WarpServer::open(ServerConfig::new(tiny_app()).with_backend(Box::new(mem.clone())))
+                .unwrap();
+        assert!(report.pending_repair);
+        assert!(matches!(
+            recovered.pending_repair(),
+            Some(RepairRequest::RetroactivePatch { .. })
+        ));
+
+        // A checkpoint compacts away the RepairBegin record; the pending
+        // repair must survive inside the checkpoint payload (plus a second
+        // crash before anyone resumes it).
+        let mut recovered = recovered;
+        recovered.checkpoint();
+        drop(recovered);
+        let (mut recovered, report) =
+            WarpServer::open(ServerConfig::new(tiny_app()).with_backend(Box::new(mem.clone())))
+                .unwrap();
+        assert!(
+            report.pending_repair,
+            "pending repair must survive checkpoint compaction"
+        );
+        // Redoing the interrupted repair works and commits durably.
+        let outcome = recovered
+            .resume_pending_repair(crate::scheduler::RepairStrategy::Sequential)
+            .expect("a pending repair to resume");
+        assert!(!outcome.aborted);
+        assert!(recovered.pending_repair().is_none());
+        drop(recovered);
+        let (after, report) =
+            WarpServer::open(ServerConfig::new(tiny_app()).with_backend(Box::new(mem.clone())))
+                .unwrap();
+        assert!(
+            !report.pending_repair,
+            "commit record must clear the marker"
+        );
+        let _ = after;
+    }
+
+    #[test]
+    fn in_memory_open_is_plain_new() {
+        let (server, report) = WarpServer::open(ServerConfig::new(tiny_app())).unwrap();
+        assert!(!server.is_persistent());
+        assert!(!report.recovered);
+        assert_eq!(server.store_bytes(), 0);
+    }
+}

@@ -22,7 +22,7 @@
 
 use crate::conflict::Conflict;
 use crate::history::ActionId;
-use crate::scheduler::{execute_actions, run_partitioned, RepairEnv, RepairStrategy};
+use crate::scheduler::{execute_actions, run_partitioned, CloneScope, RepairEnv, RepairStrategy};
 use crate::server::WarpServer;
 use crate::sourcefs::Patch;
 use crate::stats::RepairStats;
@@ -97,6 +97,29 @@ impl WarpServer {
         let t_total = Instant::now();
         let mut stats = RepairStats::default();
 
+        // Persistence: a repair is logged as begin + (commit | abort). The
+        // begin record marks an in-progress repair for crash detection; the
+        // commit record carries the repair's physical effect (per-table
+        // row-version deltas against this pre-repair snapshot, cancelled
+        // actions, conflicts, the new generation), so recovery replays the
+        // outcome without re-running the repair.
+        let pre_snapshot: Option<Vec<(String, Vec<Vec<warp_sql::Value>>)>> = if self.store.is_some()
+        {
+            self.log_event(&crate::persist::LogEvent::RepairBegin(request.clone()));
+            Some(
+                self.db
+                    .table_names()
+                    .into_iter()
+                    .map(|t| {
+                        let rows = self.db.table_rows_snapshot(&t);
+                        (t, rows)
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
         // Phase 1: initiation — work out the initial re-execution/cancel sets.
         let t_init = Instant::now();
         let mut seed_reexecute: BTreeSet<ActionId> = BTreeSet::new();
@@ -168,7 +191,12 @@ impl WarpServer {
                         false,
                     )
                 }
-                RepairStrategy::Partitioned { workers } => {
+                RepairStrategy::Partitioned { workers }
+                | RepairStrategy::PartitionedFullClone { workers } => {
+                    let clone_scope = match strategy {
+                        RepairStrategy::Partitioned { .. } => CloneScope::Footprint,
+                        _ => CloneScope::Full,
+                    };
                     let result = run_partitioned(
                         &env,
                         &mut self.db,
@@ -176,10 +204,12 @@ impl WarpServer {
                         &seed_cancel,
                         workers.max(1),
                         initiated_by_admin,
+                        clone_scope,
                     );
                     stats.partitions_total = result.partitions_total;
                     stats.partitions_repaired = result.partitions_repaired;
                     stats.escalations = result.escalations;
+                    stats.bounded_clone_fallbacks = result.bounded_fallbacks;
                     result.run
                 }
             }
@@ -213,6 +243,65 @@ impl WarpServer {
         }
         self.pending_cookie_invalidations
             .extend(run.cookie_invalidations.iter().cloned());
+
+        // Persistence: record the repair's outcome.
+        if let Some(pre_snapshot) = pre_snapshot {
+            let patch = match &request {
+                RepairRequest::RetroactivePatch { patch, from_time } => {
+                    Some((patch.clone(), *from_time))
+                }
+                RepairRequest::UndoVisit { .. } => None,
+            };
+            let cookie_invalidations: Vec<String> =
+                run.cookie_invalidations.iter().cloned().collect();
+            self.pending_repair = None;
+            if aborted {
+                self.log_event(&crate::persist::LogEvent::RepairAbort {
+                    patch,
+                    cookie_invalidations,
+                });
+            } else {
+                // Diff every table against the pre-repair snapshot. The
+                // snapshot is deliberately not restricted to the repair's
+                // recorded footprint — a re-executed write that errors
+                // after its phase-2 rollback mutates a table without
+                // leaving a trace in the run's touched set, and the commit
+                // record must never miss a mutation. Unchanged tables are
+                // detected by direct comparison (no clone, no multiset
+                // build), so the expensive diff only runs where the repair
+                // actually wrote.
+                let mut table_diffs = Vec::new();
+                for (table, before) in &pre_snapshot {
+                    let unchanged = self
+                        .db
+                        .raw()
+                        .table(table)
+                        .map(|t| &t.rows == before)
+                        .unwrap_or(true);
+                    if unchanged {
+                        continue;
+                    }
+                    let after = self.db.table_rows_snapshot(table);
+                    let (remove, add) = crate::scheduler::row_diff(before, &after);
+                    if !remove.is_empty() || !add.is_empty() {
+                        table_diffs.push((table.clone(), remove, add));
+                    }
+                }
+                self.log_event(&crate::persist::LogEvent::RepairCommit(
+                    crate::persist::RepairCommitRecord {
+                        patch,
+                        cancelled: run.cancelled.iter().copied().collect(),
+                        conflicts: run.conflicts.clone(),
+                        cookie_invalidations,
+                        current_gen: self.db.current_generation(),
+                        watermark: self.db.synthetic_id_watermark(),
+                        table_diffs,
+                    },
+                ));
+            }
+            self.maybe_checkpoint();
+        }
+
         stats.time_ctrl = run.stats.time_ctrl + t_ctrl.elapsed();
         stats.time_total = t_total.elapsed();
         RepairOutcome {

@@ -49,7 +49,20 @@ pub enum RepairStrategy {
     /// dependency partitions which are re-executed concurrently on `workers`
     /// threads and merged. `workers: 1` still exercises the full
     /// partition/merge machinery on a single thread.
+    ///
+    /// Worker batches clone only the tables in their dependency footprint
+    /// (bounded-memory clones); a batch caught touching a table outside its
+    /// footprint — possible only through patched code or fresh browser
+    /// requests — forces the round to re-run on full clones, so results are
+    /// always identical to [`RepairStrategy::PartitionedFullClone`].
     Partitioned {
+        /// Worker threads re-executing partitions concurrently (min 1).
+        workers: usize,
+    },
+    /// The partitioned engine with whole-database worker clones. Reference
+    /// implementation for the bounded-memory clone equivalence tests; same
+    /// results as [`RepairStrategy::Partitioned`], more clone memory.
+    PartitionedFullClone {
         /// Worker threads re-executing partitions concurrently (min 1).
         workers: usize,
     },
@@ -60,9 +73,19 @@ impl RepairStrategy {
     pub fn worker_count(&self) -> usize {
         match self {
             RepairStrategy::Sequential => 0,
-            RepairStrategy::Partitioned { workers } => (*workers).max(1),
+            RepairStrategy::Partitioned { workers }
+            | RepairStrategy::PartitionedFullClone { workers } => (*workers).max(1),
         }
     }
+}
+
+/// How worker batches clone the master database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CloneScope {
+    /// Clone only the tables in the batch's dependency footprint.
+    Footprint,
+    /// Clone every table.
+    Full,
 }
 
 /// The immutable context a repair pass executes against. Shared by reference
@@ -665,6 +688,9 @@ pub(crate) struct PartitionedResult {
     pub partitions_total: usize,
     pub partitions_repaired: usize,
     pub escalations: usize,
+    /// Rounds that had to be re-run on full clones because a batch touched
+    /// a table outside its bounded-clone footprint.
+    pub bounded_fallbacks: usize,
 }
 
 /// One worker batch's results plus the clone it ran against.
@@ -689,6 +715,7 @@ pub(crate) fn run_partitioned(
     seed_cancel: &BTreeSet<ActionId>,
     workers: usize,
     initiated_by_admin: bool,
+    clone_scope: CloneScope,
 ) -> PartitionedResult {
     let plan = plan_partitions(env.history);
     let n_groups = plan.groups.len();
@@ -702,6 +729,7 @@ pub(crate) fn run_partitioned(
         })
         .collect();
     let mut escalations = 0usize;
+    let mut bounded_fallbacks = 0usize;
 
     let (batches, clusters, in_place) = loop {
         // Materialize the current seeded clusters (merged base groups).
@@ -731,6 +759,19 @@ pub(crate) fn run_partitioned(
             })
             .collect();
 
+        // The dependency-footprint table scope of each repair unit: with
+        // bounded-memory clones a worker batch copies only these tables.
+        let unit_tables: Vec<BTreeSet<String>> = clusters
+            .iter()
+            .map(|gs| {
+                gs.iter()
+                    .flat_map(|&g| plan.footprints[g].iter())
+                    .filter_map(|p| p.table())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .collect();
+
         // With at most one repair unit there is nothing to isolate: run it
         // in place on the master database and skip the clone/diff machinery
         // entirely. If its re-execution escalates, the repair generation is
@@ -752,7 +793,30 @@ pub(crate) fn run_partitioned(
                 id_watermark_start: db.synthetic_id_watermark(),
             }]
         } else {
-            run_round(env, db, &units, seed_reexecute, seed_cancel, workers)
+            let scopes = match clone_scope {
+                CloneScope::Footprint => Some(unit_tables.as_slice()),
+                CloneScope::Full => None,
+            };
+            let mut batches = run_round(
+                env,
+                db,
+                &units,
+                seed_reexecute,
+                seed_cancel,
+                workers,
+                scopes,
+            );
+            // A batch that touched a table outside its footprint executed
+            // against a clone missing that table's rows, so its results
+            // cannot be trusted: discard the round and re-run it on full
+            // clones (the synthetic-ID ranges restart from the same base,
+            // so the re-run allocates exactly what a full-clone round
+            // would have).
+            if scopes.is_some() && round_escaped_footprint(&batches, &unit_tables) {
+                bounded_fallbacks += 1;
+                batches = run_round(env, db, &units, seed_reexecute, seed_cancel, workers, None);
+            }
+            batches
         };
 
         // Escalation check: did any cluster's re-execution modify partitions
@@ -901,12 +965,39 @@ pub(crate) fn run_partitioned(
         partitions_total: n_groups,
         partitions_repaired: clusters.iter().map(|gs| gs.len()).sum(),
         escalations,
+        bounded_fallbacks,
     }
+}
+
+/// True if any batch of the round touched a table outside the footprint
+/// scope its bounded clone was built from.
+fn round_escaped_footprint(batches: &[RoundBatch], unit_tables: &[BTreeSet<String>]) -> bool {
+    batches.iter().any(|batch| {
+        let scope: BTreeSet<&String> = batch
+            .runs
+            .iter()
+            .flat_map(|(u, _)| unit_tables[*u].iter())
+            .collect();
+        batch.runs.iter().any(|(_, run)| {
+            let dep_tables = run
+                .dynamic_deps
+                .iter()
+                .chain(run.modified.iter())
+                .filter_map(|p| p.table().map(str::to_string));
+            dep_tables
+                .chain(run.touched_tables.iter().cloned())
+                .any(|t| !scope.contains(&t))
+        })
+    })
 }
 
 /// Executes one round: distributes the repair units (clusters) over worker
 /// batches (longest-processing-time-first for balance), clones the master
 /// database once per batch, and runs every batch on its own scoped thread.
+///
+/// With `unit_scopes`, each batch's clone carries row data only for the
+/// tables in its units' dependency footprints (bounded-memory clones);
+/// `None` clones the whole database.
 fn run_round(
     env: &RepairEnv<'_>,
     db: &TimeTravelDb,
@@ -914,6 +1005,7 @@ fn run_round(
     seed_reexecute: &BTreeSet<ActionId>,
     seed_cancel: &BTreeSet<ActionId>,
     workers: usize,
+    unit_scopes: Option<&[BTreeSet<String>]>,
 ) -> Vec<RoundBatch> {
     if units.is_empty() {
         return Vec::new();
@@ -943,7 +1035,16 @@ fn run_round(
         .min(n_batches)
         .max(1);
     let run_batch = |bi: usize, unit_ids: &[usize]| {
-        let mut clone = db.clone();
+        let mut clone = match unit_scopes {
+            Some(scopes) => {
+                let tables: BTreeSet<String> = unit_ids
+                    .iter()
+                    .flat_map(|&u| scopes[u].iter().cloned())
+                    .collect();
+                db.clone_subset(&tables)
+            }
+            None => db.clone(),
+        };
         let start = base_watermark + (bi as i64) * SYNTHETIC_ID_STRIDE;
         clone.raise_synthetic_id_watermark(start);
         let mut runs = Vec::with_capacity(unit_ids.len());
@@ -1002,7 +1103,9 @@ fn run_round(
 
 /// Multiset difference between a table snapshot and its repaired clone:
 /// `(rows to remove, rows to add)` to turn `baseline` into `repaired`.
-fn row_diff<'a>(
+/// Also used by the persistence layer to log a committed repair's
+/// physical effect.
+pub(crate) fn row_diff<'a>(
     baseline: &'a [Vec<Value>],
     repaired: &'a [Vec<Value>],
 ) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
@@ -1322,6 +1425,116 @@ mod tests {
         assert_eq!(seq_out.cancelled_actions, par_out.cancelled_actions);
         assert!(!par_out.cancelled_actions.is_empty());
         assert_equivalent(&seq, &par, "undo");
+    }
+
+    /// A two-table app: notes partitioned by topic, plus an audit table
+    /// written by its own script — so worker footprints genuinely differ
+    /// per table.
+    fn two_table_app(topics: usize) -> AppConfig {
+        let mut config = notes_app(topics);
+        config.add_table(
+            "CREATE TABLE audit (audit_id INTEGER PRIMARY KEY, who TEXT, what TEXT)",
+            TableAnnotation::new()
+                .row_id("audit_id")
+                .partitions(["who"]),
+        );
+        config.seed("INSERT INTO audit (audit_id, who, what) VALUES (1, 'admin', 'installed')");
+        config.add_source(
+            "audit.wasl",
+            "db_query(\"INSERT INTO audit (audit_id, who, what) VALUES (\" . param(\"id\") . \", '\" . sql_escape(param(\"who\")) . \"', '\" . sql_escape(param(\"what\")) . \"')\"); echo(\"ok\");",
+        );
+        config
+    }
+
+    fn two_table_traffic(server: &mut WarpServer, topics: usize) {
+        use warp_http::HttpRequest;
+        for t in 0..topics {
+            server.handle(HttpRequest::post(
+                "/post.wasl",
+                [
+                    ("topic", format!("t{t}").as_str()),
+                    ("body", format!("note for {t}").as_str()),
+                ],
+            ));
+            server.handle(HttpRequest::get(&format!("/read.wasl?topic=t{t}")));
+            server.handle(HttpRequest::post(
+                "/audit.wasl",
+                [
+                    ("id", format!("{}", t + 10).as_str()),
+                    ("who", format!("user{t}").as_str()),
+                    ("what", "posted"),
+                ],
+            ));
+        }
+    }
+
+    #[test]
+    fn bounded_memory_clones_match_full_clones() {
+        let topics = 4;
+        let run = |strategy: RepairStrategy| {
+            let mut server = WarpServer::new(two_table_app(topics));
+            two_table_traffic(&mut server, topics);
+            let out = server.repair_with(
+                RepairRequest::RetroactivePatch {
+                    patch: notes_patch(),
+                    from_time: 0,
+                },
+                strategy,
+            );
+            (server, out)
+        };
+        let (mut seq, seq_out) = run(RepairStrategy::Sequential);
+        let (mut full, full_out) = run(RepairStrategy::PartitionedFullClone { workers: 3 });
+        let (mut bounded, bounded_out) = run(RepairStrategy::Partitioned { workers: 3 });
+        assert_eq!(
+            full.db.canonical_dump(),
+            bounded.db.canonical_dump(),
+            "footprint clones and full clones must produce identical repairs"
+        );
+        assert_eq!(seq.db.canonical_dump(), bounded.db.canonical_dump());
+        assert_eq!(seq_out.reexecuted_actions, bounded_out.reexecuted_actions);
+        assert_eq!(full_out.reexecuted_actions, bounded_out.reexecuted_actions);
+        assert_eq!(full_out.cancelled_actions, bounded_out.cancelled_actions);
+        // The patch stays inside the notes footprint: no fallback round.
+        assert_eq!(bounded_out.stats.bounded_clone_fallbacks, 0);
+        assert_eq!(full_out.stats.bounded_clone_fallbacks, 0);
+    }
+
+    #[test]
+    fn out_of_footprint_write_falls_back_to_full_clones_and_stays_correct() {
+        // The patched post.wasl also writes the audit table — a table that
+        // appears in no notes partition's recorded footprint, so bounded
+        // clones must detect the escape and re-run the round on full clones.
+        let cross_table_patch = Patch::new(
+            "post.wasl",
+            "db_query(\"UPDATE note SET body = 'P: \" . sql_escape(param(\"body\")) . \"' \
+             WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); \
+             db_query(\"UPDATE audit SET what = 'patched' WHERE who = 'admin'\"); echo(\"ok\");",
+            "log patched posts to the audit table",
+        );
+        let run = |strategy: RepairStrategy| {
+            let mut server = WarpServer::new(two_table_app(3));
+            two_table_traffic(&mut server, 3);
+            let out = server.repair_with(
+                RepairRequest::RetroactivePatch {
+                    patch: cross_table_patch.clone(),
+                    from_time: 0,
+                },
+                strategy,
+            );
+            (server, out)
+        };
+        let (mut seq, _) = run(RepairStrategy::Sequential);
+        let (mut bounded, bounded_out) = run(RepairStrategy::Partitioned { workers: 2 });
+        assert!(
+            bounded_out.stats.bounded_clone_fallbacks >= 1,
+            "the cross-table write must force a full-clone fallback"
+        );
+        assert_eq!(
+            seq.db.canonical_dump(),
+            bounded.db.canonical_dump(),
+            "fallback must preserve equivalence with the sequential engine"
+        );
     }
 
     #[test]

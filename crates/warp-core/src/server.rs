@@ -44,6 +44,12 @@ pub struct WarpServer {
     pub pending_cookie_invalidations: BTreeSet<String>,
     pub(crate) rng_counter: u64,
     pub(crate) session_counter: u64,
+    /// The durable action log, when the server was opened with a storage
+    /// backend (see [`crate::persist`]). `None` keeps the server in-memory.
+    pub(crate) store: Option<warp_store::DurableStore>,
+    /// An interrupted repair detected during recovery (a logged
+    /// `RepairBegin` with no commit or abort).
+    pub(crate) pending_repair: Option<crate::repair::RepairRequest>,
 }
 
 impl WarpServer {
@@ -82,6 +88,8 @@ impl WarpServer {
             pending_cookie_invalidations: BTreeSet::new(),
             rng_counter: 0,
             session_counter: 0,
+            store: None,
+            pending_repair: None,
         }
     }
 
@@ -89,8 +97,12 @@ impl WarpServer {
     /// that create tables during setup scripts).
     pub fn install_table(&mut self, create_sql: &str, annotation: TableAnnotation) {
         self.db
-            .create_table(create_sql, annotation)
+            .create_table(create_sql, annotation.clone())
             .unwrap_or_else(|e| panic!("installing table failed: {e}"));
+        self.log_event(&crate::persist::LogEvent::CreateTable {
+            sql: create_sql.to_string(),
+            annotation,
+        });
     }
 
     /// Handles one HTTP request during normal execution and records the
@@ -170,7 +182,7 @@ impl WarpServer {
             }),
             _ => None,
         };
-        self.history.record_action(ActionRecord {
+        let id = self.history.record_action(ActionRecord {
             id: 0,
             time,
             request: request.clone(),
@@ -181,15 +193,36 @@ impl WarpServer {
             queries: result.queries,
             nondet: result.nondet,
             cancelled: false,
-        })
+        });
+        if self.store.is_some() {
+            let action = self
+                .history
+                .action(id)
+                .expect("action just recorded")
+                .clone();
+            self.log_event(&crate::persist::LogEvent::Action {
+                gen: self.db.current_generation(),
+                clock_after: self.clock.now(),
+                rng_after: self.rng_counter,
+                session_after: self.session_counter,
+                watermark_after: self.db.synthetic_id_watermark(),
+                action: Box::new(action),
+            });
+            self.maybe_checkpoint();
+        }
+        id
     }
 
     /// Accepts a batch of client-side browser logs (uploaded by the
     /// extension out of band, §5.2).
     pub fn upload_client_logs(&mut self, logs: Vec<PageVisitRecord>) {
         for log in logs {
+            if self.store.is_some() {
+                self.log_event(&crate::persist::LogEvent::ClientLog(log.clone()));
+            }
             self.history.upload_client_log(log);
         }
+        self.maybe_checkpoint();
     }
 
     /// Storage accounting for Warp's logs plus database versions (Table 6).
@@ -216,8 +249,21 @@ impl WarpServer {
     }
 
     /// Garbage-collects the action history graph and database versions older
-    /// than `before_time`.
+    /// than `before_time`. On a persistent server the GC is logged and
+    /// immediately followed by a checkpoint, which compacts the durable log
+    /// (all segments up to the checkpoint are deleted) — GC is what reclaims
+    /// storage at both layers.
     pub fn garbage_collect(&mut self, before_time: i64) -> (usize, usize) {
+        let removed = self.garbage_collect_unlogged(before_time);
+        if self.store.is_some() {
+            self.log_event(&crate::persist::LogEvent::Gc { before_time });
+            self.checkpoint();
+        }
+        removed
+    }
+
+    /// The GC itself, shared by the public entry point and log replay.
+    pub(crate) fn garbage_collect_unlogged(&mut self, before_time: i64) -> (usize, usize) {
         let actions = self.history.garbage_collect(before_time);
         let versions = self.db.garbage_collect(before_time).unwrap_or(0);
         (actions, versions)

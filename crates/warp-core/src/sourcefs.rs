@@ -144,6 +144,39 @@ impl SourceStore {
             .map(|v| v.content.clone())
     }
 
+    /// Exports every stored version as `(filename, from_time, content,
+    /// retroactive)`, in deterministic order — what a checkpoint stores.
+    pub fn export_versions(&self) -> Vec<(String, i64, String, bool)> {
+        let mut out = Vec::new();
+        for (name, versions) in &self.files {
+            for v in versions {
+                out.push((name.clone(), v.from_time, v.content.clone(), v.retroactive));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a store from exported versions (the inverse of
+    /// [`SourceStore::export_versions`]; version order within a file is
+    /// preserved).
+    pub fn import_versions(
+        versions: impl IntoIterator<Item = (String, i64, String, bool)>,
+    ) -> Self {
+        let mut store = SourceStore::new();
+        for (filename, from_time, content, retroactive) in versions {
+            store
+                .files
+                .entry(filename)
+                .or_default()
+                .push(SourceVersion {
+                    from_time,
+                    content,
+                    retroactive,
+                });
+        }
+        store
+    }
+
     /// Total bytes of source stored (all versions), for storage accounting.
     pub fn approximate_bytes(&self) -> usize {
         self.files

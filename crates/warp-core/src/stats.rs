@@ -70,6 +70,10 @@ pub struct RepairStats {
     /// Escalation rounds: times re-execution touched partitions outside its
     /// own group, forcing groups to be merged and re-run.
     pub escalations: usize,
+    /// Rounds re-run on whole-database clones because a worker batch
+    /// touched a table outside its bounded-memory clone's footprint
+    /// (0 for the sequential and full-clone engines).
+    pub bounded_clone_fallbacks: usize,
     /// Worker threads used by the partitioned engine (0 = sequential).
     pub workers: usize,
     /// Wall-clock time spent initialising repair (finding candidate actions).

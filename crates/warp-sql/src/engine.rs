@@ -139,6 +139,26 @@ impl Database {
         self.tables.values().map(|t| t.approximate_bytes()).sum()
     }
 
+    /// Clones the database, copying row data only for the tables `keep_rows`
+    /// accepts; every other table keeps its schema but starts empty. The
+    /// partitioned repair engine uses this to give worker batches
+    /// bounded-memory clones covering just their dependency footprint.
+    pub fn clone_schema_subset(&self, mut keep_rows: impl FnMut(&str) -> bool) -> Database {
+        let tables = self
+            .tables
+            .iter()
+            .map(|(name, table)| {
+                let copy = if keep_rows(name) {
+                    table.clone()
+                } else {
+                    Table::new(table.schema.clone())
+                };
+                (name.clone(), copy)
+            })
+            .collect();
+        Database { tables }
+    }
+
     /// Parses and executes a single SQL statement.
     pub fn execute_sql(&mut self, sql: &str) -> SqlResult<QueryResult> {
         let stmt = parse(sql)?;

@@ -1,0 +1,254 @@
+//! Pluggable storage backends: named blobs with append and atomic replace.
+
+use crate::StoreResult;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A blob store the durable log and checkpoint machinery run over.
+///
+/// The contract is deliberately small so backends are easy to add (a real
+/// deployment could target an object store or a key-value service):
+///
+/// * blob names are flat strings chosen by the store;
+/// * [`append`](StorageBackend::append) creates the blob if missing and
+///   appends bytes at the end (log segments);
+/// * [`write_atomic`](StorageBackend::write_atomic) replaces the whole
+///   blob such that a crash leaves either the old or the new content,
+///   never a mix (checkpoints, tail truncation).
+pub trait StorageBackend: std::fmt::Debug + Send {
+    /// Names of all stored blobs, sorted.
+    fn list(&self) -> StoreResult<Vec<String>>;
+
+    /// Reads a whole blob; `None` if it does not exist.
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>>;
+
+    /// Appends bytes to a blob, creating it if needed.
+    fn append(&mut self, name: &str, data: &[u8]) -> StoreResult<()>;
+
+    /// Atomically replaces a blob's content.
+    fn write_atomic(&mut self, name: &str, data: &[u8]) -> StoreResult<()>;
+
+    /// Deletes a blob (no-op if it does not exist).
+    fn delete(&mut self, name: &str) -> StoreResult<()>;
+
+    /// Total bytes currently stored, for accounting and tests. Backends
+    /// should override this when they can size blobs without reading them.
+    fn total_bytes(&self) -> StoreResult<u64> {
+        let mut total = 0u64;
+        for name in self.list()? {
+            if let Some(blob) = self.read(&name)? {
+                total += blob.len() as u64;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// An in-memory backend whose contents are *shared between handles*:
+/// cloning a `MemoryBackend` yields a handle onto the same blobs. A test
+/// can hand one handle to a server, drop the server ("crash"), and reopen
+/// from the surviving handle — the storage outlives the process state the
+/// way a disk would.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBackend {
+    blobs: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemoryBackend {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        MemoryBackend::default()
+    }
+
+    fn with<T>(&self, f: impl FnOnce(&mut BTreeMap<String, Vec<u8>>) -> T) -> T {
+        let mut blobs = self.blobs.lock().expect("memory backend poisoned");
+        f(&mut blobs)
+    }
+
+    /// Truncates a blob to `len` bytes (longer requests are no-ops). Used
+    /// by crash tests to simulate a torn final write.
+    pub fn truncate_blob(&self, name: &str, len: usize) {
+        self.with(|blobs| {
+            if let Some(blob) = blobs.get_mut(name) {
+                blob.truncate(len);
+            }
+        });
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn list(&self) -> StoreResult<Vec<String>> {
+        Ok(self.with(|blobs| blobs.keys().cloned().collect()))
+    }
+
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>> {
+        Ok(self.with(|blobs| blobs.get(name).cloned()))
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.with(|blobs| {
+            blobs
+                .entry(name.to_string())
+                .or_default()
+                .extend_from_slice(data)
+        });
+        Ok(())
+    }
+
+    fn write_atomic(&mut self, name: &str, data: &[u8]) -> StoreResult<()> {
+        self.with(|blobs| blobs.insert(name.to_string(), data.to_vec()));
+        Ok(())
+    }
+
+    fn delete(&mut self, name: &str) -> StoreResult<()> {
+        self.with(|blobs| blobs.remove(name));
+        Ok(())
+    }
+
+    fn total_bytes(&self) -> StoreResult<u64> {
+        Ok(self.with(|blobs| blobs.values().map(|b| b.len() as u64).sum()))
+    }
+}
+
+/// A backend mapping each blob to one file in a directory.
+///
+/// `write_atomic` writes to a dot-prefixed temporary file and renames it
+/// over the target, so a crash mid-write never corrupts an existing blob;
+/// dot-prefixed leftovers are ignored by [`list`](StorageBackend::list)
+/// and cleaned up lazily.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) a directory-backed store.
+    pub fn open(dir: impl AsRef<Path>) -> StoreResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileBackend { dir })
+    }
+
+    /// The directory blobs live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn list(&self) -> StoreResult<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with('.') {
+                // Leftover temporary from an interrupted atomic write.
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            names.push(name);
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> StoreResult<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> StoreResult<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        file.write_all(data)?;
+        Ok(())
+    }
+
+    fn write_atomic(&mut self, name: &str, data: &[u8]) -> StoreResult<()> {
+        let tmp = self.path(&format!(".{name}.tmp"));
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, self.path(name))?;
+        Ok(())
+    }
+
+    fn delete(&mut self, name: &str) -> StoreResult<()> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn total_bytes(&self) -> StoreResult<u64> {
+        let mut total = 0u64;
+        for name in self.list()? {
+            total += std::fs::metadata(self.path(&name))?.len();
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &mut dyn StorageBackend) {
+        assert!(backend.list().unwrap().is_empty());
+        backend.append("a.log", b"hello ").unwrap();
+        backend.append("a.log", b"world").unwrap();
+        assert_eq!(backend.read("a.log").unwrap().unwrap(), b"hello world");
+        backend.write_atomic("a.log", b"replaced").unwrap();
+        assert_eq!(backend.read("a.log").unwrap().unwrap(), b"replaced");
+        backend.write_atomic("b.bin", b"x").unwrap();
+        assert_eq!(
+            backend.list().unwrap(),
+            vec!["a.log".to_string(), "b.bin".to_string()]
+        );
+        assert_eq!(backend.total_bytes().unwrap(), 9);
+        backend.delete("a.log").unwrap();
+        backend.delete("a.log").unwrap(); // idempotent
+        assert_eq!(backend.list().unwrap(), vec!["b.bin".to_string()]);
+        assert_eq!(backend.read("a.log").unwrap(), None);
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        exercise(&mut MemoryBackend::new());
+    }
+
+    #[test]
+    fn memory_handles_share_contents() {
+        let a = MemoryBackend::new();
+        let mut b = a.clone();
+        b.append("seg", b"abcdef").unwrap();
+        assert_eq!(a.read("seg").unwrap().unwrap(), b"abcdef");
+        a.truncate_blob("seg", 3);
+        assert_eq!(b.read("seg").unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn file_backend_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "warp-store-backend-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&mut FileBackend::open(&dir).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,93 @@
+//! `warp-store` — the durable storage subsystem under the Warp server.
+//!
+//! The paper's premise is that the action history *outlives the intrusion*:
+//! an administrator discovers a compromise weeks later and retroactively
+//! repairs from the log. That only works if the log survives process death.
+//! This crate provides the storage layer that makes the reproduction a
+//! restartable system:
+//!
+//! * [`StorageBackend`] — a pluggable blob store (named blobs that support
+//!   atomic replace and append). [`MemoryBackend`] keeps everything in
+//!   shared memory (handles survive "crashes" of the server that used
+//!   them, which is what the crash tests exploit); [`FileBackend`] maps
+//!   blobs to files in a directory.
+//! * [`DurableStore`] — a segmented, checksummed, append-only record log
+//!   plus whole-state checkpoints over any backend. Records are opaque
+//!   `(kind, payload)` pairs; `warp-core` defines the actual record types
+//!   (actions, row-version deltas, repair commits) and their encoding on
+//!   top of [`codec`].
+//!
+//! # On-disk layout
+//!
+//! A store is a flat namespace of blobs:
+//!
+//! ```text
+//! seg-00000000000000000000.log    segment: magic "WARPSEG1", then records
+//! seg-00000000000000000417.log    next segment (name = LSN of first record)
+//! ckpt-00000000000000000400.bin   checkpoint covering records < LSN 400
+//! ```
+//!
+//! Each record is framed `[len: u32][crc32: u32][kind: u8][payload]`; the
+//! CRC covers kind + payload. Segments roll at
+//! [`StoreOptions::segment_bytes`]. A checkpoint taken at LSN `n` contains
+//! the complete state after applying records `0..n`; writing it deletes
+//! every log segment (the checkpoint subsumes them) and every older
+//! checkpoint, which is the store's compaction.
+//!
+//! # Crash recovery
+//!
+//! [`DurableStore::open`] finds the newest *valid* checkpoint (magic and
+//! CRC verified), then scans the surviving segments for records at or
+//! after the checkpoint LSN. A torn or corrupt record in the final
+//! segment — the expected shape of a crash mid-append — ends the log
+//! there: the valid prefix is kept, the tail is truncated, and the store
+//! is immediately appendable again. Corruption *before* the final record
+//! is reported as [`StoreError::Corrupt`] instead of being silently
+//! skipped.
+
+pub mod backend;
+pub mod codec;
+pub mod log;
+
+pub use backend::{FileBackend, MemoryBackend, StorageBackend};
+pub use codec::{crc32, CodecError, Decoder, Encoder};
+pub use log::{DurableStore, Recovered, StoreOptions};
+
+/// Errors surfaced by the storage subsystem.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O error from the backend.
+    Io(std::io::Error),
+    /// Stored bytes failed validation (bad magic, CRC mismatch away from
+    /// the log tail, missing records between a checkpoint and the log).
+    Corrupt(String),
+    /// A record or checkpoint payload failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::Codec(e) => write!(f, "undecodable store data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;

@@ -1,0 +1,491 @@
+//! The segmented record log and checkpoint store.
+
+use crate::backend::StorageBackend;
+use crate::codec::crc32;
+use crate::{StoreError, StoreResult};
+
+/// Magic prefix of every log segment.
+const SEGMENT_MAGIC: &[u8; 8] = b"WARPSEG1";
+/// Magic prefix of every checkpoint blob.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"WARPCKP1";
+/// Bytes of record framing before the payload: length + CRC.
+const FRAME_BYTES: usize = 8;
+
+/// Tunables for the durable store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Roll to a new log segment once the active one exceeds this size.
+    pub segment_bytes: usize,
+    /// Take a checkpoint (and compact the log) every this many records.
+    /// `0` disables automatic checkpoints; explicit checkpoints still work.
+    pub checkpoint_interval: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            segment_bytes: 64 * 1024,
+            checkpoint_interval: 512,
+        }
+    }
+}
+
+/// What [`DurableStore::open`] found in the backend.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// The newest valid checkpoint payload, if any.
+    pub checkpoint: Option<Vec<u8>>,
+    /// The LSN the checkpoint covers records below (0 when none).
+    pub checkpoint_lsn: u64,
+    /// Log records at or after the checkpoint, as `(lsn, kind, payload)`.
+    pub records: Vec<(u64, u8, Vec<u8>)>,
+    /// True if a torn or corrupt final record was found and truncated away.
+    pub torn_tail: bool,
+}
+
+/// A segmented, checksummed, append-only record log with whole-state
+/// checkpoints, over any [`StorageBackend`]. See the crate docs for the
+/// layout and recovery semantics.
+#[derive(Debug)]
+pub struct DurableStore {
+    backend: Box<dyn StorageBackend>,
+    options: StoreOptions,
+    /// LSN the next appended record receives.
+    next_lsn: u64,
+    /// Name and current byte size of the segment being appended to.
+    active: Option<(String, usize)>,
+    /// Records appended since the last checkpoint.
+    records_since_checkpoint: u64,
+}
+
+fn segment_name(first_lsn: u64) -> String {
+    format!("seg-{first_lsn:020}.log")
+}
+
+fn checkpoint_name(lsn: u64) -> String {
+    format!("ckpt-{lsn:020}.bin")
+}
+
+fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// One record parsed out of a segment.
+enum Scan {
+    Record {
+        kind: u8,
+        payload: Vec<u8>,
+        end: usize,
+    },
+    /// The bytes at `valid_end..` are torn or corrupt.
+    Torn {
+        valid_end: usize,
+    },
+    End,
+}
+
+fn scan_record(blob: &[u8], pos: usize) -> Scan {
+    if pos >= blob.len() {
+        return Scan::End;
+    }
+    if blob.len() - pos < FRAME_BYTES {
+        return Scan::Torn { valid_end: pos };
+    }
+    let len = u32::from_le_bytes([blob[pos], blob[pos + 1], blob[pos + 2], blob[pos + 3]]) as usize;
+    let crc = u32::from_le_bytes([blob[pos + 4], blob[pos + 5], blob[pos + 6], blob[pos + 7]]);
+    let body_start = pos + FRAME_BYTES;
+    if len == 0 || blob.len() - body_start < len {
+        return Scan::Torn { valid_end: pos };
+    }
+    let body = &blob[body_start..body_start + len];
+    if crc32(body) != crc {
+        return Scan::Torn { valid_end: pos };
+    }
+    Scan::Record {
+        kind: body[0],
+        payload: body[1..].to_vec(),
+        end: body_start + len,
+    }
+}
+
+impl DurableStore {
+    /// Opens a store over a backend, recovering whatever state survives:
+    /// the newest valid checkpoint and every decodable record after it. A
+    /// torn tail (crash mid-append) is truncated; corruption anywhere else
+    /// is an error.
+    pub fn open(
+        backend: Box<dyn StorageBackend>,
+        options: StoreOptions,
+    ) -> StoreResult<(DurableStore, Recovered)> {
+        let mut store = DurableStore {
+            backend,
+            options,
+            next_lsn: 0,
+            active: None,
+            records_since_checkpoint: 0,
+        };
+        let names = store.backend.list()?;
+
+        // Newest checkpoint whose magic and CRC check out wins.
+        let mut checkpoint: Option<(u64, Vec<u8>)> = None;
+        let mut ckpt_lsns: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "ckpt-", ".bin"))
+            .collect();
+        ckpt_lsns.sort_unstable();
+        for &lsn in ckpt_lsns.iter().rev() {
+            if let Some(blob) = store.backend.read(&checkpoint_name(lsn))? {
+                if let Some(payload) = decode_checkpoint(&blob, lsn) {
+                    checkpoint = Some((lsn, payload));
+                    break;
+                }
+            }
+        }
+        let checkpoint_lsn = checkpoint.as_ref().map(|(lsn, _)| *lsn).unwrap_or(0);
+
+        // Scan segments in LSN order.
+        let mut seg_lsns: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "seg-", ".log"))
+            .collect();
+        seg_lsns.sort_unstable();
+        let mut records = Vec::new();
+        let mut torn_tail = false;
+        let mut next_lsn = checkpoint_lsn;
+        for (i, &first_lsn) in seg_lsns.iter().enumerate() {
+            let is_last = i + 1 == seg_lsns.len();
+            let name = segment_name(first_lsn);
+            let blob = store
+                .backend
+                .read(&name)?
+                .ok_or_else(|| StoreError::Corrupt(format!("segment {name} vanished")))?;
+            if blob.len() < SEGMENT_MAGIC.len() || &blob[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+                if is_last && blob.len() < SEGMENT_MAGIC.len() {
+                    // Crash while creating the segment: drop it entirely.
+                    store.backend.delete(&name)?;
+                    torn_tail = true;
+                    break;
+                }
+                return Err(StoreError::Corrupt(format!("segment {name}: bad magic")));
+            }
+            if first_lsn > next_lsn.max(checkpoint_lsn) {
+                return Err(StoreError::Corrupt(format!(
+                    "segment {name} starts at LSN {first_lsn} but only {next_lsn} records precede it"
+                )));
+            }
+            let mut lsn = first_lsn;
+            let mut pos = SEGMENT_MAGIC.len();
+            loop {
+                match scan_record(&blob, pos) {
+                    Scan::Record { kind, payload, end } => {
+                        if lsn >= checkpoint_lsn {
+                            records.push((lsn, kind, payload));
+                        }
+                        lsn += 1;
+                        pos = end;
+                    }
+                    Scan::End => break,
+                    Scan::Torn { valid_end } => {
+                        if !is_last {
+                            return Err(StoreError::Corrupt(format!(
+                                "segment {name}: corrupt record at byte {valid_end} is not at the log tail"
+                            )));
+                        }
+                        // Truncate the torn bytes so future appends start
+                        // from a clean prefix.
+                        store.backend.write_atomic(&name, &blob[..valid_end])?;
+                        torn_tail = true;
+                        pos = valid_end;
+                        break;
+                    }
+                }
+            }
+            next_lsn = lsn;
+            if is_last && pos < store.options.segment_bytes {
+                store.active = Some((name, pos));
+            }
+        }
+        store.next_lsn = next_lsn;
+        store.records_since_checkpoint = next_lsn - checkpoint_lsn;
+        let recovered = Recovered {
+            checkpoint: checkpoint.map(|(_, payload)| payload),
+            checkpoint_lsn,
+            records,
+            torn_tail,
+        };
+        Ok((store, recovered))
+    }
+
+    /// Appends one record and returns its LSN.
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> StoreResult<u64> {
+        let needs_roll = match &self.active {
+            Some((_, size)) => *size >= self.options.segment_bytes,
+            None => true,
+        };
+        if needs_roll {
+            let name = segment_name(self.next_lsn);
+            self.backend.append(&name, SEGMENT_MAGIC)?;
+            self.active = Some((name, SEGMENT_MAGIC.len()));
+        }
+        let mut body = Vec::with_capacity(1 + payload.len());
+        body.push(kind);
+        body.extend_from_slice(payload);
+        let mut frame = Vec::with_capacity(FRAME_BYTES + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        let (name, size) = self.active.as_mut().expect("active segment");
+        self.backend.append(name, &frame)?;
+        *size += frame.len();
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.records_since_checkpoint += 1;
+        Ok(lsn)
+    }
+
+    /// Writes a checkpoint covering every record appended so far, then
+    /// compacts: all log segments and older checkpoints are deleted (the
+    /// checkpoint subsumes them).
+    pub fn write_checkpoint(&mut self, payload: &[u8]) -> StoreResult<u64> {
+        let lsn = self.next_lsn;
+        let mut blob = Vec::with_capacity(24 + payload.len());
+        blob.extend_from_slice(CHECKPOINT_MAGIC);
+        blob.extend_from_slice(&lsn.to_le_bytes());
+        blob.extend_from_slice(&crc32(payload).to_le_bytes());
+        blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        blob.extend_from_slice(payload);
+        self.backend.write_atomic(&checkpoint_name(lsn), &blob)?;
+        // Compaction: the new checkpoint makes the whole log and every
+        // older checkpoint redundant.
+        for name in self.backend.list()? {
+            let stale_segment = parse_name(&name, "seg-", ".log").is_some();
+            let stale_ckpt = parse_name(&name, "ckpt-", ".bin")
+                .map(|l| l < lsn)
+                .unwrap_or(false);
+            if stale_segment || stale_ckpt {
+                self.backend.delete(&name)?;
+            }
+        }
+        self.active = None;
+        self.records_since_checkpoint = 0;
+        Ok(lsn)
+    }
+
+    /// True once [`StoreOptions::checkpoint_interval`] records accumulated
+    /// since the last checkpoint.
+    pub fn checkpoint_due(&self) -> bool {
+        self.options.checkpoint_interval > 0
+            && self.records_since_checkpoint >= self.options.checkpoint_interval
+    }
+
+    /// The LSN the next record will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Records appended since the last checkpoint (the log tail length).
+    pub fn tail_len(&self) -> u64 {
+        self.records_since_checkpoint
+    }
+
+    /// Total bytes currently stored (segments plus checkpoints).
+    pub fn total_bytes(&self) -> StoreResult<u64> {
+        self.backend.total_bytes()
+    }
+}
+
+fn decode_checkpoint(blob: &[u8], expected_lsn: u64) -> Option<Vec<u8>> {
+    if blob.len() < 28 || &blob[..8] != CHECKPOINT_MAGIC {
+        return None;
+    }
+    let lsn = u64::from_le_bytes(blob[8..16].try_into().ok()?);
+    let crc = u32::from_le_bytes(blob[16..20].try_into().ok()?);
+    let len = u32::from_le_bytes(blob[20..24].try_into().ok()?) as usize;
+    if lsn != expected_lsn || blob.len() != 24 + len {
+        return None;
+    }
+    let payload = &blob[24..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+
+    fn open_mem(backend: &MemoryBackend, options: StoreOptions) -> (DurableStore, Recovered) {
+        DurableStore::open(Box::new(backend.clone()), options).unwrap()
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let mem = MemoryBackend::new();
+        let (mut store, recovered) = open_mem(&mem, StoreOptions::default());
+        assert!(recovered.records.is_empty());
+        assert_eq!(store.append(1, b"alpha").unwrap(), 0);
+        assert_eq!(store.append(2, b"beta").unwrap(), 1);
+        drop(store);
+        let (store, recovered) = open_mem(&mem, StoreOptions::default());
+        assert_eq!(store.next_lsn(), 2);
+        assert_eq!(
+            recovered.records,
+            vec![(0, 1, b"alpha".to_vec()), (1, 2, b"beta".to_vec())]
+        );
+        assert!(!recovered.torn_tail);
+    }
+
+    #[test]
+    fn segments_roll_and_replay_in_order() {
+        let mem = MemoryBackend::new();
+        let options = StoreOptions {
+            segment_bytes: 64,
+            checkpoint_interval: 0,
+        };
+        let (mut store, _) = open_mem(&mem, options);
+        for i in 0..40u8 {
+            store.append(i, &[i; 16]).unwrap();
+        }
+        let segments = mem
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| n.starts_with("seg-"))
+            .count();
+        assert!(segments > 1, "log must have rolled, got {segments} segment");
+        let (_, recovered) = open_mem(&mem, options);
+        assert_eq!(recovered.records.len(), 40);
+        for (i, (lsn, kind, payload)) in recovered.records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            assert_eq!(*kind, i as u8);
+            assert_eq!(payload, &vec![i as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_appendable() {
+        let mem = MemoryBackend::new();
+        let (mut store, _) = open_mem(&mem, StoreOptions::default());
+        store.append(1, b"kept").unwrap();
+        store.append(1, b"torn away").unwrap();
+        let name = segment_name(0);
+        let full = mem.read(&name).unwrap().unwrap().len();
+        mem.truncate_blob(&name, full - 3);
+        let (mut store, recovered) = open_mem(&mem, StoreOptions::default());
+        assert!(recovered.torn_tail);
+        assert_eq!(recovered.records, vec![(0, 1, b"kept".to_vec())]);
+        // The store reuses LSN 1 for the next record and stays consistent.
+        assert_eq!(store.append(1, b"replacement").unwrap(), 1);
+        let (_, recovered) = open_mem(&mem, StoreOptions::default());
+        assert_eq!(
+            recovered.records,
+            vec![(0, 1, b"kept".to_vec()), (1, 1, b"replacement".to_vec())]
+        );
+    }
+
+    #[test]
+    fn corrupt_bytes_inside_the_log_are_an_error_not_data_loss() {
+        let mem = MemoryBackend::new();
+        let options = StoreOptions {
+            segment_bytes: 32,
+            checkpoint_interval: 0,
+        };
+        let (mut store, _) = open_mem(&mem, options);
+        for _ in 0..8 {
+            store.append(1, b"0123456789abcdef").unwrap();
+        }
+        // Flip a byte in the FIRST segment (not the tail).
+        let first = segment_name(0);
+        let mut blob = mem.read(&first).unwrap().unwrap();
+        let idx = blob.len() - 4;
+        blob[idx] ^= 0xFF;
+        let mut handle = mem.clone();
+        handle.write_atomic(&first, &blob).unwrap();
+        let err = DurableStore::open(Box::new(mem.clone()), options).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovers() {
+        let mem = MemoryBackend::new();
+        let (mut store, _) = open_mem(&mem, StoreOptions::default());
+        store.append(1, b"one").unwrap();
+        store.append(1, b"two").unwrap();
+        let lsn = store.write_checkpoint(b"STATE@2").unwrap();
+        assert_eq!(lsn, 2);
+        // The log was compacted away.
+        assert!(mem.list().unwrap().iter().all(|n| !n.starts_with("seg-")));
+        store.append(1, b"three").unwrap();
+        let (_, recovered) = open_mem(&mem, StoreOptions::default());
+        assert_eq!(recovered.checkpoint.as_deref(), Some(b"STATE@2".as_slice()));
+        assert_eq!(recovered.checkpoint_lsn, 2);
+        assert_eq!(recovered.records, vec![(2, 1, b"three".to_vec())]);
+    }
+
+    #[test]
+    fn newer_checkpoint_replaces_older_ones() {
+        let mem = MemoryBackend::new();
+        let (mut store, _) = open_mem(&mem, StoreOptions::default());
+        store.append(1, b"a").unwrap();
+        store.write_checkpoint(b"CKPT1").unwrap();
+        store.append(1, b"b").unwrap();
+        store.write_checkpoint(b"CKPT2").unwrap();
+        let ckpts: Vec<String> = mem
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.starts_with("ckpt-"))
+            .collect();
+        assert_eq!(
+            ckpts.len(),
+            1,
+            "older checkpoint must be deleted: {ckpts:?}"
+        );
+        let (_, recovered) = open_mem(&mem, StoreOptions::default());
+        assert_eq!(recovered.checkpoint.as_deref(), Some(b"CKPT2".as_slice()));
+        assert!(recovered.records.is_empty());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_ignored_if_log_still_covers_it() {
+        let mem = MemoryBackend::new();
+        let options = StoreOptions {
+            segment_bytes: 1 << 20,
+            checkpoint_interval: 0,
+        };
+        let (mut store, _) = open_mem(&mem, options);
+        store.append(7, b"only record").unwrap();
+        // A checkpoint blob that fails its CRC: recovery falls back to the
+        // full log.
+        let mut handle = mem.clone();
+        handle
+            .write_atomic(&checkpoint_name(1), b"garbage")
+            .unwrap();
+        let (_, recovered) = open_mem(&mem, options);
+        assert!(recovered.checkpoint.is_none());
+        assert_eq!(recovered.records, vec![(0, 7, b"only record".to_vec())]);
+    }
+
+    #[test]
+    fn checkpoint_due_follows_interval() {
+        let mem = MemoryBackend::new();
+        let options = StoreOptions {
+            segment_bytes: 1 << 20,
+            checkpoint_interval: 3,
+        };
+        let (mut store, _) = open_mem(&mem, options);
+        store.append(1, b"x").unwrap();
+        store.append(1, b"x").unwrap();
+        assert!(!store.checkpoint_due());
+        store.append(1, b"x").unwrap();
+        assert!(store.checkpoint_due());
+        store.write_checkpoint(b"S").unwrap();
+        assert!(!store.checkpoint_due());
+        assert_eq!(store.tail_len(), 0);
+    }
+}

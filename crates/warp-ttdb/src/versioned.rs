@@ -63,6 +63,9 @@ struct TableConfig {
     row_id_column: String,
     /// True if Warp added the row-ID column itself.
     synthetic_row_id: bool,
+    /// The application's original `CREATE TABLE` statement, kept so a
+    /// recovered database can re-create the table identically.
+    create_sql: String,
 }
 
 /// The time-travel database (paper §4).
@@ -196,6 +199,7 @@ impl TimeTravelDb {
                 annotation,
                 row_id_column,
                 synthetic_row_id: synthetic,
+                create_sql: create_sql.to_string(),
             },
         );
         Ok(())
@@ -877,6 +881,54 @@ impl TimeTravelDb {
             t.rows.push(new.clone());
         }
         Ok(())
+    }
+
+    /// The `(table, CREATE TABLE statement, annotation)` triples of every
+    /// application table, in name order — what a checkpoint stores so
+    /// recovery can re-create tables that the recovering process's
+    /// [`crate::TableAnnotation`] configuration does not already define.
+    pub fn table_create_statements(&self) -> Vec<(String, String, TableAnnotation)> {
+        self.configs
+            .iter()
+            .map(|(name, cfg)| (name.clone(), cfg.create_sql.clone(), cfg.annotation.clone()))
+            .collect()
+    }
+
+    /// Replaces the stored version rows of a table wholesale (all rows, in
+    /// storage order, bookkeeping columns included). Used by checkpoint
+    /// restore; the caller is responsible for the rows matching the table's
+    /// schema.
+    pub fn replace_table_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> SqlResult<()> {
+        self.config(table)?;
+        let t = self
+            .db
+            .table_mut(table)
+            .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        t.rows = rows;
+        Ok(())
+    }
+
+    /// Forces the current generation pointer (and clears any in-progress
+    /// repair generation). Recovery uses this to restore the generation a
+    /// checkpoint or a replayed repair commit recorded; it is not part of
+    /// the normal repair lifecycle.
+    pub fn force_current_generation(&mut self, gen: Generation) {
+        self.current_gen = gen;
+        self.repair_gen = None;
+    }
+
+    /// Clones the database with row data restricted to `tables`: every
+    /// table keeps its schema and configuration, but only the named tables
+    /// carry rows. Worker batches in the partitioned repair engine clone
+    /// just their dependency footprint instead of the whole database.
+    pub fn clone_subset(&self, tables: &std::collections::BTreeSet<String>) -> TimeTravelDb {
+        TimeTravelDb {
+            db: self.db.clone_schema_subset(|name| tables.contains(name)),
+            configs: self.configs.clone(),
+            current_gen: self.current_gen,
+            repair_gen: self.repair_gen,
+            next_synthetic_row_id: self.next_synthetic_row_id,
+        }
     }
 
     /// The next synthetic row ID this database would allocate.

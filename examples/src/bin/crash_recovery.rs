@@ -1,0 +1,298 @@
+//! Crash recovery end to end: run a wiki scenario in persistent mode, kill
+//! the server process at an arbitrary point, recover from the on-disk store,
+//! and verify the recovered server is byte-identical to an uninterrupted
+//! in-memory run — both before and after a retroactive-patch repair.
+//!
+//! ```text
+//! usage: crash_recovery [DIR] [--phase crash|recover|all] [--kill-after N]
+//! ```
+//!
+//! * `--phase crash`   — serve the scenario against a file-backed store in
+//!   DIR and `abort()` the process once N actions are logged (simulating
+//!   `kill -9`). Exits abnormally *by design*.
+//! * `--phase recover` — reopen DIR, recover, rebuild an in-memory
+//!   *reference* server by re-serving the recovered history's requests, and
+//!   compare canonical dumps and repair outcomes. Prints `RECOVERY OK`.
+//! * `--phase all` (default) — spawn itself for the crash phase (expecting
+//!   the abnormal exit), then recover in-process. This is what CI runs.
+
+use warp_core::{
+    AppConfig, FileBackend, Patch, RepairRequest, RepairStrategy, ServerConfig, WarpServer,
+};
+use warp_http::HttpRequest;
+use warp_ttdb::TableAnnotation;
+
+/// A miniature wiki with a stored-XSS hole in `view.wasl`.
+fn app() -> AppConfig {
+    let mut config = AppConfig::new("crash-wiki");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    config.seed(
+        "INSERT INTO page (page_id, title, body) VALUES \
+         (1, 'Main', 'welcome'), (2, 'Page0', 'p0'), (3, 'Page1', 'p1'), \
+         (4, 'Page2', 'p2'), (5, 'Secret', 'secret data')",
+    );
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); return; } \
+         echo(\"<div id=\\\"content\\\">\" . rows[0][\"body\"] . \"</div>\"); \
+         echo(\"<form action=\\\"/edit.wasl\\\" method=\\\"post\\\">\
+               <input type=\\\"hidden\\\" name=\\\"title\\\" value=\\\"\" . param(\"title\") . \"\\\"/>\
+               <textarea name=\\\"body\\\">\" . rows[0][\"body\"] . \"</textarea></form>\");",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+    );
+    config
+}
+
+/// The retroactive fix: sanitise page bodies before emitting them.
+fn patch() -> Patch {
+    Patch::new(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); return; } \
+         echo(\"<div id=\\\"content\\\">\" . htmlspecialchars(rows[0][\"body\"]) . \"</div>\"); \
+         echo(\"<form action=\\\"/edit.wasl\\\" method=\\\"post\\\">\
+               <input type=\\\"hidden\\\" name=\\\"title\\\" value=\\\"\" . htmlspecialchars(param(\"title\")) . \"\\\"/>\
+               <textarea name=\\\"body\\\">\" . htmlspecialchars(rows[0][\"body\"]) . \"</textarea></form>\");",
+        "sanitise page bodies (stored XSS)",
+    )
+}
+
+/// Total workload steps the crash phase would serve if never killed.
+const TOTAL_STEPS: usize = 30;
+
+/// Serves the deterministic scenario. When `kill_after` is set, aborts the
+/// process (no destructors — the honest crash) once the history holds that
+/// many actions.
+fn drive(server: &mut WarpServer, kill_after: Option<usize>) {
+    use warp_browser::Browser;
+    let mut victim = Browser::new("victim-browser");
+    for step in 0..TOTAL_STEPS {
+        match step % 3 {
+            0 => {
+                server.handle(HttpRequest::post(
+                    "/edit.wasl",
+                    [
+                        ("title", format!("Page{}", step % 3).as_str()),
+                        ("body", format!("revision {step}").as_str()),
+                    ],
+                ));
+            }
+            1 => {
+                // A browser-driven visit, so client logs are part of what
+                // must survive the crash.
+                let visit = victim.visit("/view.wasl?title=Main", server);
+                let _ = visit;
+                server.upload_client_logs(victim.take_logs());
+            }
+            _ => {
+                server.handle(HttpRequest::get(&format!(
+                    "/view.wasl?title=Page{}",
+                    step % 3
+                )));
+            }
+        }
+        if step == TOTAL_STEPS / 3 {
+            // The stored-XSS attack lands mid-workload.
+            let payload =
+                "<script>http_post(\"/edit.wasl\", {\"title\": \"Secret\", \"body\": \"DEFACED\"});</script>";
+            server.handle(HttpRequest::post(
+                "/edit.wasl",
+                [("title", "Main"), ("body", payload)],
+            ));
+        }
+        if let Some(kill) = kill_after {
+            if server.history.len() >= kill {
+                eprintln!(
+                    "crash_recovery: aborting with {} actions logged",
+                    server.history.len()
+                );
+                std::process::abort();
+            }
+        }
+    }
+}
+
+fn open_persistent(dir: &str) -> (WarpServer, warp_core::RecoveryReport) {
+    let backend = FileBackend::open(format!("{dir}/store"))
+        .unwrap_or_else(|e| panic!("opening store in {dir}: {e}"));
+    WarpServer::open(ServerConfig::new(app()).with_backend(Box::new(backend)))
+        .unwrap_or_else(|e| panic!("recovering from {dir}: {e}"))
+}
+
+fn phase_crash(dir: &str, kill_after: usize) {
+    let _ = std::fs::remove_dir_all(dir);
+    let (mut server, report) = open_persistent(dir);
+    assert!(!report.recovered, "crash phase must start from empty store");
+    drive(&mut server, Some(kill_after));
+    unreachable!("kill_after {kill_after} never reached in {TOTAL_STEPS} steps");
+}
+
+fn phase_recover(dir: &str) -> bool {
+    let (mut recovered, report) = open_persistent(dir);
+    println!(
+        "recovered: checkpoint={} records_replayed={} torn_tail={} actions={}",
+        report.from_checkpoint,
+        report.records_replayed,
+        report.torn_tail,
+        recovered.history.len()
+    );
+    if !report.recovered || recovered.history.is_empty() {
+        eprintln!("FAIL: nothing recovered from {dir}");
+        return false;
+    }
+
+    // The uninterrupted reference: a fresh in-memory server re-serving
+    // exactly the requests the recovered history holds, with the same
+    // client logs uploaded.
+    let mut reference = WarpServer::new(app());
+    for action in recovered.history.actions().to_vec() {
+        reference.handle(action.request);
+    }
+    for client in recovered.history.client_ids() {
+        let logs: Vec<_> = recovered
+            .history
+            .client_visits(&client)
+            .into_iter()
+            .cloned()
+            .collect();
+        reference.upload_client_logs(logs);
+    }
+    if recovered.db.canonical_dump() != reference.db.canonical_dump() {
+        eprintln!("FAIL: recovered database differs from the in-memory reference");
+        return false;
+    }
+    println!(
+        "pre-repair state matches the uninterrupted in-memory run ({} actions)",
+        recovered.history.len()
+    );
+
+    // Repair both servers identically; the recovered one must produce a
+    // byte-identical outcome.
+    let request = |patch| RepairRequest::RetroactivePatch {
+        patch,
+        from_time: 0,
+    };
+    let strategy = RepairStrategy::Partitioned { workers: 2 };
+    let out_recovered = recovered.repair_with(request(patch()), strategy);
+    let out_reference = reference.repair_with(request(patch()), strategy);
+    let mut ok = true;
+    if out_recovered.reexecuted_actions != out_reference.reexecuted_actions {
+        eprintln!(
+            "FAIL: re-executed sets differ: {:?} vs {:?}",
+            out_recovered.reexecuted_actions, out_reference.reexecuted_actions
+        );
+        ok = false;
+    }
+    if out_recovered.cancelled_actions != out_reference.cancelled_actions {
+        eprintln!(
+            "FAIL: cancelled sets differ: {:?} vs {:?}",
+            out_recovered.cancelled_actions, out_reference.cancelled_actions
+        );
+        ok = false;
+    }
+    if recovered.db.canonical_dump() != reference.db.canonical_dump() {
+        eprintln!("FAIL: post-repair databases differ");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "RECOVERY OK: repair outcome identical ({} re-executed, {} cancelled)",
+            out_recovered.reexecuted_actions.len(),
+            out_recovered.cancelled_actions.len()
+        );
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: crash_recovery [DIR] [--phase crash|recover|all] [--kill-after N]");
+        println!("\nRuns a persistent wiki scenario, kills it mid-flight, recovers from the");
+        println!("on-disk store, and verifies canonical state and repair outcome match an");
+        println!("uninterrupted in-memory run. Default DIR is a temp directory.");
+        return;
+    }
+    let mut dir: Option<String> = None;
+    let mut phase = "all".to_string();
+    let mut kill_after = 13usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--phase" => {
+                phase = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--phase requires crash|recover|all");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--kill-after" => {
+                kill_after = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--kill-after requires a number");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                dir = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let dir = dir.unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("warp-crash-recovery-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    match phase.as_str() {
+        "crash" => phase_crash(&dir, kill_after),
+        "recover" => {
+            if !phase_recover(&dir) {
+                std::process::exit(1);
+            }
+        }
+        "all" => {
+            // Crash in a subprocess (abort() must not take this process
+            // down), then recover here.
+            let me = std::env::current_exe().expect("current_exe");
+            let status = std::process::Command::new(me)
+                .args([
+                    dir.as_str(),
+                    "--phase",
+                    "crash",
+                    "--kill-after",
+                    &kill_after.to_string(),
+                ])
+                .status()
+                .expect("spawn crash phase");
+            if status.success() {
+                eprintln!("FAIL: crash phase exited cleanly instead of aborting");
+                std::process::exit(1);
+            }
+            println!("crash phase aborted as intended ({status})");
+            let ok = phase_recover(&dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!("unknown phase `{other}` (crash|recover|all)");
+            std::process::exit(2);
+        }
+    }
+}

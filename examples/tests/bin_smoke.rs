@@ -9,6 +9,7 @@ const BINS: &[&str] = &[
     env!("CARGO_BIN_EXE_attack_recovery"),
     env!("CARGO_BIN_EXE_admin_undo"),
     env!("CARGO_BIN_EXE_concurrent_repair"),
+    env!("CARGO_BIN_EXE_crash_recovery"),
 ];
 
 #[test]
@@ -27,9 +28,14 @@ fn every_example_answers_help() {
 #[test]
 fn every_example_runs_to_completion() {
     for bin in BINS {
-        // attack_recovery takes an optional USERS argument; 2 keeps it fast.
+        // attack_recovery takes an optional USERS argument; 2 keeps it
+        // fast. crash_recovery gets a scratch directory for its store.
+        let scratch = std::env::temp_dir().join(format!("warp-smoke-crash-{}", std::process::id()));
+        let scratch = scratch.to_string_lossy().into_owned();
         let args: &[&str] = if bin.ends_with("attack_recovery") {
             &["2"]
+        } else if bin.ends_with("crash_recovery") {
+            &[scratch.as_str()]
         } else {
             &[]
         };

@@ -1,0 +1,286 @@
+//! Crash-recovery tests for the durable storage subsystem (`warp-store`
+//! wired through `warp-core`): random workloads, random log truncation, and
+//! the checkpoint/GC/repair interactions, all through the public API.
+
+use proptest::prelude::*;
+use warp_browser::Browser;
+use warp_core::{
+    AppConfig, MemoryBackend, RepairRequest, RepairStrategy, ServerConfig, StorageBackend,
+    StoreOptions, WarpServer,
+};
+use warp_http::HttpRequest;
+use warp_ttdb::TableAnnotation;
+
+/// A small wiki with five partitioned pages.
+fn wiki() -> AppConfig {
+    let mut config = AppConfig::new("persist-wiki");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    for p in 0..5 {
+        config.seed(format!(
+            "INSERT INTO page (page_id, title, body) VALUES ({}, 'Page{p}', 'seed {p}')",
+            p + 1
+        ));
+    }
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); } else { echo(\"<div>\" . rows[0][\"body\"] . \"</div>\"); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+    );
+    config
+}
+
+fn open_wiki(
+    backend: &MemoryBackend,
+    options: StoreOptions,
+) -> (WarpServer, warp_core::RecoveryReport) {
+    WarpServer::open(
+        ServerConfig::new(wiki())
+            .with_backend(Box::new(backend.clone()))
+            .with_store_options(options),
+    )
+    .expect("open persistent wiki")
+}
+
+/// Applies one encoded workload operation.
+fn apply_op(server: &mut WarpServer, browser: &mut Browser, op: usize) {
+    let page = (op / 3) % 5;
+    match op % 3 {
+        0 => {
+            server.handle(HttpRequest::post(
+                "/edit.wasl",
+                [
+                    ("title", format!("Page{page}").as_str()),
+                    ("body", format!("body {op}").as_str()),
+                ],
+            ));
+        }
+        1 => {
+            server.handle(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+        }
+        _ => {
+            let visit = browser.visit(&format!("/view.wasl?title=Page{page}"), server);
+            let _ = visit;
+            server.upload_client_logs(browser.take_logs());
+        }
+    }
+}
+
+/// Rebuilds an uninterrupted in-memory server equivalent to the recovered
+/// one: re-serves exactly the requests the recovered history holds and
+/// uploads the recovered client logs.
+fn reference_for(recovered: &WarpServer) -> WarpServer {
+    let mut reference = WarpServer::new(wiki());
+    for action in recovered.history.actions().to_vec() {
+        reference.handle(action.request);
+    }
+    for client in recovered.history.client_ids() {
+        let logs: Vec<_> = recovered
+            .history
+            .client_visits(&client)
+            .into_iter()
+            .cloned()
+            .collect();
+        reference.upload_client_logs(logs);
+    }
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite property: run a random workload against the durable
+    /// log, truncate the log at a random byte offset (a torn final write),
+    /// recover, and the recovered server must equal an uninterrupted
+    /// in-memory run of exactly the surviving record prefix.
+    #[test]
+    fn recovery_equals_replaying_the_surviving_prefix(
+        ops in proptest::collection::vec(0usize..1000, 4..28),
+        cut in 0usize..100_000,
+    ) {
+        // Small segments so multi-segment logs are exercised; no automatic
+        // checkpoints so the whole history lives in the log.
+        let options = StoreOptions { segment_bytes: 2048, checkpoint_interval: 0 };
+        let backend = MemoryBackend::new();
+        let (mut server, _) = open_wiki(&backend, options);
+        let mut browser = Browser::new("prop-client");
+        for &op in &ops {
+            apply_op(&mut server, &mut browser, op);
+        }
+        let full_len = server.history.len();
+        drop(server); // crash
+
+        // Tear the tail: truncate the final log segment at a random offset.
+        let segments: Vec<String> = backend
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.starts_with("seg-"))
+            .collect();
+        prop_assert!(!segments.is_empty());
+        let last = segments.last().unwrap().clone();
+        let blob_len = backend.read(&last).unwrap().unwrap().len();
+        let offset = cut % (blob_len + 1);
+        backend.truncate_blob(&last, offset);
+
+        let (mut recovered, _report) = open_wiki(&backend, options);
+        prop_assert!(recovered.history.len() <= full_len);
+        let mut reference = reference_for(&recovered);
+        prop_assert_eq!(recovered.history.len(), reference.history.len());
+        prop_assert_eq!(recovered.clock.now(), reference.clock.now());
+        prop_assert_eq!(recovered.db.canonical_dump(), reference.db.canonical_dump());
+        // And the recovered server still serves correctly.
+        let r = recovered.handle(HttpRequest::get("/view.wasl?title=Page0"));
+        let e = reference.handle(HttpRequest::get("/view.wasl?title=Page0"));
+        prop_assert_eq!(r.body, e.body);
+    }
+}
+
+#[test]
+fn checkpoint_then_tail_recovers_across_restart() {
+    let options = StoreOptions {
+        segment_bytes: 64 * 1024,
+        checkpoint_interval: 7,
+    };
+    let backend = MemoryBackend::new();
+    let (mut server, _) = open_wiki(&backend, options);
+    let mut browser = Browser::new("ckpt-client");
+    for op in 0..23usize {
+        apply_op(&mut server, &mut browser, op * 11 + 5);
+    }
+    let expected = server.db.canonical_dump();
+    let expected_len = server.history.len();
+    drop(server);
+
+    let (mut recovered, report) = open_wiki(&backend, options);
+    assert!(
+        report.from_checkpoint,
+        "interval checkpoints must have fired: {report:?}"
+    );
+    assert_eq!(recovered.history.len(), expected_len);
+    assert_eq!(recovered.db.canonical_dump(), expected);
+    // Reference equality still holds through the checkpoint+tail path.
+    let mut reference = reference_for(&recovered);
+    assert_eq!(recovered.db.canonical_dump(), reference.db.canonical_dump());
+}
+
+#[test]
+fn garbage_collect_compacts_the_durable_log() {
+    let options = StoreOptions {
+        segment_bytes: 1024,
+        checkpoint_interval: 0,
+    };
+    let backend = MemoryBackend::new();
+    let (mut server, _) = open_wiki(&backend, options);
+    let mut browser = Browser::new("gc-client");
+    for op in 0..30usize {
+        apply_op(&mut server, &mut browser, op);
+    }
+    let bytes_before = server.store_bytes();
+    let cutoff = server.clock.now();
+    server.handle(HttpRequest::get("/view.wasl?title=Page0"));
+    let (actions_removed, _) = server.garbage_collect(cutoff);
+    assert!(actions_removed > 0);
+    let bytes_after = server.store_bytes();
+    assert!(
+        bytes_after < bytes_before,
+        "GC must compact the log: {bytes_before} -> {bytes_after}"
+    );
+    let expected = server.db.canonical_dump();
+    let expected_len = server.history.len();
+    drop(server);
+
+    // The GC'd state (renumbered action IDs included) recovers exactly.
+    let (mut recovered, report) = open_wiki(&backend, options);
+    assert!(report.from_checkpoint, "GC writes a checkpoint");
+    assert_eq!(recovered.history.len(), expected_len);
+    assert_eq!(recovered.db.canonical_dump(), expected);
+    // Recovered server keeps serving and logging.
+    recovered.handle(HttpRequest::post(
+        "/edit.wasl",
+        [("title", "Page1"), ("body", "post-gc")],
+    ));
+    assert_eq!(recovered.history.len(), expected_len + 1);
+}
+
+#[test]
+fn committed_repair_survives_restart_with_cancelled_flags() {
+    let backend = MemoryBackend::new();
+    let (mut server, _) = open_wiki(&backend, StoreOptions::default());
+    // An admin visit that will be undone.
+    let mut admin = Browser::new("admin-browser");
+    let visit = admin.visit("/view.wasl?title=Page2", &mut server);
+    let visit_id = visit.visit_id;
+    server.upload_client_logs(admin.take_logs());
+    server.handle(HttpRequest::post(
+        "/edit.wasl",
+        [("title", "Page3"), ("body", "unrelated")],
+    ));
+    let outcome = server.repair_with(
+        RepairRequest::UndoVisit {
+            client_id: "admin-browser".to_string(),
+            visit_id,
+            initiated_by_admin: true,
+        },
+        RepairStrategy::Partitioned { workers: 2 },
+    );
+    assert!(!outcome.aborted);
+    assert!(!outcome.cancelled_actions.is_empty());
+    let expected = server.db.canonical_dump();
+    let cancelled: Vec<u64> = outcome.cancelled_actions.clone();
+    drop(server);
+
+    let (mut recovered, report) = open_wiki(&backend, StoreOptions::default());
+    assert!(report.recovered);
+    assert_eq!(recovered.db.canonical_dump(), expected);
+    for id in cancelled {
+        assert!(
+            recovered.history.action(id).unwrap().cancelled,
+            "cancellation flag of action {id} must survive recovery"
+        );
+    }
+}
+
+#[test]
+fn file_backend_round_trips_a_workload() {
+    use warp_core::FileBackend;
+    let dir = std::env::temp_dir().join(format!("warp-persistence-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let open = || {
+        WarpServer::open(
+            ServerConfig::new(wiki())
+                .with_backend(Box::new(FileBackend::open(&dir).expect("open dir"))),
+        )
+        .expect("open file-backed wiki")
+    };
+    let (mut server, report) = open();
+    assert!(!report.recovered);
+    let mut browser = Browser::new("file-client");
+    for op in 0..12usize {
+        apply_op(&mut server, &mut browser, op * 7 + 1);
+    }
+    server.checkpoint();
+    server.handle(HttpRequest::post(
+        "/edit.wasl",
+        [("title", "Page4"), ("body", "after checkpoint")],
+    ));
+    let expected = server.db.canonical_dump();
+    let expected_len = server.history.len();
+    drop(server);
+
+    let (mut recovered, report) = open();
+    assert!(report.from_checkpoint);
+    assert_eq!(report.records_replayed, 1);
+    assert_eq!(recovered.history.len(), expected_len);
+    assert_eq!(recovered.db.canonical_dump(), expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
