@@ -1,35 +1,114 @@
 //! The CI benchmark-regression gate.
 //!
-//! Reads the `BENCH_repair.json` report produced by
-//! `table7_repair_100 --workers N --json BENCH_repair.json` and fails (exit
-//! code 1) if partitioned parallel repair was slower than sequential repair
-//! by more than the allowed slowdown on the 100-user workload. Exit code 2
-//! means the report was missing or incomplete — the gate never passes
-//! silently on missing data.
+//! Always reads the `BENCH_repair.json` report produced by
+//! `table7_repair_100 --workers N --json BENCH_repair.json` and fails
+//! (exit code 1) if partitioned parallel repair was slower than sequential
+//! repair by more than the allowed slowdown on the 100-user workload.
+//!
+//! With `--recovery BENCH_recovery.json` it additionally fails on
+//! recovery-time / logging-overhead regressions, and with
+//! `--commit BENCH_commit.json` on repair-commit cost that grows with
+//! database size instead of with the repair's write set.
+//!
+//! Exit code 2 means a report was missing or incomplete — the gate never
+//! passes silently on missing data.
 
 use std::path::PathBuf;
-use warp_bench::report::{evaluate_gate, load_records, GATE_WORKLOAD};
+use warp_bench::report::{
+    evaluate_commit_gate, evaluate_gate, evaluate_recovery_gate, load_commit_records, load_records,
+    load_recovery_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO, GATE_WORKLOAD,
+    RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO,
+};
+
+fn usage() {
+    println!(
+        "usage: bench_gate BENCH_repair.json [MAX_SLOWDOWN_PERCENT] \
+         [--recovery BENCH_recovery.json] [--commit BENCH_commit.json]"
+    );
+    println!();
+    println!("Fails (exit 1) if parallel repair is slower than sequential by more than");
+    println!("MAX_SLOWDOWN_PERCENT (default 10) on the `{GATE_WORKLOAD}` workload.");
+    println!("--recovery PATH  also fail on logging-overhead (> {RECOVERY_MAX_OVERHEAD_PERCENT}%)");
+    println!(
+        "                 or recovery-time (> {RECOVERY_MAX_RECOVER_RATIO}x serving) regressions"
+    );
+    println!("--commit PATH    also fail if delta-tracked repair commits grow more than");
+    println!("                 {COMMIT_MAX_RATIO}x across the report's database sizes (floor {COMMIT_FLOOR_MS} ms)");
+    println!("Exit 2: a report is missing or holds no comparable records.");
+}
+
+struct Args {
+    repair: PathBuf,
+    max_slowdown: f64,
+    recovery: Option<PathBuf>,
+    commit: Option<PathBuf>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut repair: Option<PathBuf> = None;
+    let mut max_slowdown = 10.0;
+    let mut recovery = None;
+    let mut commit = None;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--recovery" => {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| "--recovery requires a path".to_string())?;
+                recovery = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--commit" => {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| "--commit requires a path".to_string())?;
+                commit = Some(PathBuf::from(value));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            other => {
+                if repair.is_none() {
+                    repair = Some(PathBuf::from(other));
+                } else if let Ok(pct) = other.parse() {
+                    max_slowdown = pct;
+                } else {
+                    return Err(format!("unexpected argument `{other}`"));
+                }
+                i += 1;
+            }
+        }
+    }
+    Ok(Args {
+        repair: repair.ok_or_else(|| "missing BENCH_repair.json path".to_string())?,
+        max_slowdown,
+        recovery,
+        commit,
+    })
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: bench_gate BENCH_repair.json [MAX_SLOWDOWN_PERCENT]");
-        println!();
-        println!("Fails (exit 1) if parallel repair is slower than sequential by more than");
-        println!("MAX_SLOWDOWN_PERCENT (default 10) on the `{GATE_WORKLOAD}` workload.");
-        println!("Exit 2: the report is missing or holds no comparable records.");
-        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        std::process::exit(if raw.is_empty() { 2 } else { 0 });
     }
-    let path = PathBuf::from(&args[0]);
-    let max_slowdown: f64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10.0);
-    let records = match load_records(&path) {
+    let args = parse_args(&raw).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {e}");
+        usage();
+        std::process::exit(2);
+    });
+    let mut failed = false;
+
+    // Gate 1: parallel vs sequential repair time.
+    let records = match load_records(&args.repair) {
         Ok(records) => records,
         Err(e) => {
             eprintln!("bench_gate: {e}");
             std::process::exit(2);
         }
     };
-    match evaluate_gate(&records, max_slowdown) {
+    match evaluate_gate(&records, args.max_slowdown) {
         Ok(verdict) => {
             println!(
                 "bench_gate: {GATE_WORKLOAD}: sequential {:.2} ms, parallel {:.2} ms \
@@ -37,21 +116,96 @@ fn main() {
                 verdict.sequential_ms,
                 verdict.parallel_ms,
                 verdict.ratio,
-                1.0 + max_slowdown / 100.0,
+                1.0 + args.max_slowdown / 100.0,
             );
             if verdict.pass {
-                println!("bench_gate: PASS — parallel repair within {max_slowdown}% of sequential");
+                println!(
+                    "bench_gate: PASS — parallel repair within {}% of sequential",
+                    args.max_slowdown
+                );
             } else {
                 println!(
-                    "bench_gate: FAIL — parallel repair regressed more than {max_slowdown}% \
-                     against sequential"
+                    "bench_gate: FAIL — parallel repair regressed more than {}% \
+                     against sequential",
+                    args.max_slowdown
                 );
-                std::process::exit(1);
+                failed = true;
             }
         }
         Err(e) => {
             eprintln!("bench_gate: {e}");
             std::process::exit(2);
         }
+    }
+
+    // Gate 2 (optional): logging overhead and recovery time.
+    if let Some(path) = &args.recovery {
+        let records = match load_recovery_records(path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        match evaluate_recovery_gate(&records) {
+            Ok(verdict) => {
+                println!(
+                    "bench_gate: recovery: worst overhead {:.1}% (limit {RECOVERY_MAX_OVERHEAD_PERCENT}%), \
+                     worst recover/serve {:.2}x (limit {RECOVERY_MAX_RECOVER_RATIO}x)",
+                    verdict.worst_overhead_percent, verdict.worst_recover_ratio,
+                );
+                if verdict.pass {
+                    println!("bench_gate: PASS — logging overhead and recovery time within limits");
+                } else {
+                    println!("bench_gate: FAIL — recovery-time or logging-overhead regression");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Gate 3 (optional): delta-tracked commit cost must not scale with
+    // database size.
+    if let Some(path) = &args.commit {
+        let records = match load_commit_records(path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        match evaluate_commit_gate(&records) {
+            Ok(verdict) => {
+                println!(
+                    "bench_gate: commit: delta {:.3} ms at {} rows -> {:.3} ms at {} rows \
+                     (ratio {:.2}, limit {COMMIT_MAX_RATIO}x, floor {COMMIT_FLOOR_MS} ms)",
+                    verdict.small_ms,
+                    verdict.small_rows,
+                    verdict.large_ms,
+                    verdict.large_rows,
+                    verdict.ratio,
+                );
+                if verdict.pass {
+                    println!(
+                        "bench_gate: PASS — delta-tracked commit cost is flat in database size"
+                    );
+                } else {
+                    println!("bench_gate: FAIL — repair commit cost grows with database size");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
     }
 }

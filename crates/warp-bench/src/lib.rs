@@ -695,6 +695,164 @@ pub fn table9_recovery(scale: usize) -> Vec<report::RecoveryBenchRecord> {
     records
 }
 
+/// The application for the commit-cost benchmark: a small `page` table the
+/// repair touches, plus an `archive` table of `archive_rows` seeded rows
+/// that only grows the database. The archive is partitioned by `bucket`
+/// and has no uniqueness constraints, so seeding stays linear in its size.
+fn commit_bench_app(archive_rows: usize) -> warp_core::AppConfig {
+    let mut config = warp_core::AppConfig::new("commit-bench");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        warp_ttdb::TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    for p in 0..4 {
+        config.seed(format!(
+            "INSERT INTO page (page_id, title, body) VALUES ({}, 'Page{p}', 'seed {p}')",
+            p + 1
+        ));
+    }
+    config.add_table(
+        "CREATE TABLE archive (bucket TEXT, payload TEXT)",
+        warp_ttdb::TableAnnotation::new().partitions(["bucket"]),
+    );
+    let mut row = 0usize;
+    while row < archive_rows {
+        let chunk = (archive_rows - row).min(500);
+        let values: Vec<String> = (0..chunk)
+            .map(|i| {
+                let r = row + i;
+                format!("('b{}', 'archived payload {r}')", r % 97)
+            })
+            .collect();
+        config.seed(format!(
+            "INSERT INTO archive (bucket, payload) VALUES {}",
+            values.join(", ")
+        ));
+        row += chunk;
+    }
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); } else { echo(\"<div>\" . rows[0][\"body\"] . \"</div>\"); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+    );
+    config
+}
+
+/// The fixed repair footprint: a handful of page edits and views. The
+/// archive table is never touched, so the repair's write set stays
+/// constant while the database grows.
+fn commit_bench_traffic(server: &mut WarpServer) {
+    for i in 0..12 {
+        let page = i % 4;
+        if i % 3 == 2 {
+            server.handle(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+        } else {
+            server.handle(HttpRequest::post(
+                "/edit.wasl",
+                [
+                    ("title", format!("Page{page}").as_str()),
+                    ("body", format!("revision {i}").as_str()),
+                ],
+            ));
+        }
+    }
+}
+
+/// Regenerates "Table 10" (an addition over the paper): the cost of
+/// building and logging a repair commit record as the database grows while
+/// the repair footprint stays fixed. The mutation-tracked `delta` path
+/// (production) must stay roughly flat — it only touches the rows the
+/// repair changed — while the `snapshot` reference path grows with the
+/// database, because it snapshots and compares every table. Returns the
+/// machine-readable records for `BENCH_commit.json`.
+pub fn table10_commit(scale: usize) -> Vec<report::CommitBenchRecord> {
+    use warp_core::{MemoryBackend, ServerConfig, StoreOptions};
+    let scale = scale.max(50);
+    let options = StoreOptions {
+        segment_bytes: 4 * 1024 * 1024,
+        checkpoint_interval: 0,
+    };
+    let patch = warp_core::Patch::new(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '[' . sql_escape(param(\"body\")) . ']' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+        "wrap stored bodies",
+    );
+    println!("=== Table 10 (commit cost): repair commit vs database size, fixed footprint ===");
+    println!(
+        "{:<10} {:>12} {:>10} {:>12} {:>12} {:>8} {:>12}",
+        "mode", "archive", "db rows", "commit (ms)", "repair (ms)", "dirty", "dirty rows"
+    );
+    // Best-of-N to shed scheduler noise; each run gets a fresh server
+    // (repair mutates it).
+    const REPEATS: usize = 3;
+    let mut records = Vec::new();
+    for mult in [1usize, 3, 10] {
+        let archive_rows = scale * mult;
+        for mode in ["delta", "snapshot"] {
+            let mut best: Option<report::CommitBenchRecord> = None;
+            for _ in 0..REPEATS {
+                let (mut server, _) = WarpServer::open(
+                    ServerConfig::new(commit_bench_app(archive_rows))
+                        .with_backend(Box::new(MemoryBackend::new()))
+                        .with_store_options(options),
+                )
+                .expect("open persistent server");
+                server.reference_snapshot_commit = mode == "snapshot";
+                commit_bench_traffic(&mut server);
+                let db_rows = server.db.storage_stats().total_versions;
+                let t = Instant::now();
+                let outcome = server.repair(RepairRequest::RetroactivePatch {
+                    patch: patch.clone(),
+                    from_time: 0,
+                });
+                let repair_ms = t.elapsed().as_secs_f64() * 1e3;
+                assert!(!outcome.aborted, "commit benchmark repair must commit");
+                assert!(
+                    outcome.stats.dirty_rows > 0,
+                    "the fixed footprint must dirty some rows"
+                );
+                let record = report::CommitBenchRecord {
+                    workload: "table10_commit".to_string(),
+                    mode: mode.to_string(),
+                    db_rows,
+                    commit_ms: outcome.stats.time_commit.as_secs_f64() * 1e3,
+                    repair_ms,
+                    dirty_tables: outcome.stats.dirty_tables,
+                    dirty_rows: outcome.stats.dirty_rows,
+                };
+                let better = best
+                    .as_ref()
+                    .map(|b| record.commit_ms < b.commit_ms)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(record);
+                }
+            }
+            let record = best.expect("at least one repeat ran");
+            println!(
+                "{:<10} {:>12} {:>10} {:>12.3} {:>12.2} {:>8} {:>12}",
+                record.mode,
+                archive_rows,
+                record.db_rows,
+                record.commit_ms,
+                record.repair_ms,
+                record.dirty_tables,
+                record.dirty_rows,
+            );
+            records.push(record);
+        }
+    }
+    records
+}
+
 /// Shared argument handling for the `table*` report binaries so every one
 /// of them supports `--help` (exercised by `tests/bin_smoke.rs`, which keeps
 /// the report binaries from silently rotting).

@@ -229,6 +229,80 @@ pub fn append_recovery_records(path: &Path, new: &[RecoveryBenchRecord]) -> Resu
     )
 }
 
+/// One timed repair-commit measurement (`BENCH_commit.json`), produced by
+/// `table10_commit`: how long building and logging the repair commit record
+/// takes as the database grows while the repair footprint stays fixed. The
+/// `delta` mode is the production mutation-tracked path (O(rows changed));
+/// the `snapshot` mode is the snapshot-diff reference path (O(database)),
+/// measured alongside so the scaling difference is visible in one report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitBenchRecord {
+    /// Which binary produced the record (`table10_commit`).
+    pub workload: String,
+    /// Commit construction strategy: `delta` or `snapshot`.
+    pub mode: String,
+    /// Stored row versions in the database when the repair committed.
+    pub db_rows: usize,
+    /// Wall-clock time building + logging the commit record (ms).
+    pub commit_ms: f64,
+    /// Total repair wall clock (ms), for context.
+    pub repair_ms: f64,
+    /// Tables the committed repair actually changed.
+    pub dirty_tables: usize,
+    /// Row versions the commit removed + added (the write-set size).
+    pub dirty_rows: usize,
+}
+
+impl CommitBenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("db_rows".into(), Json::Num(self.db_rows as f64)),
+            ("commit_ms".into(), Json::Num(self.commit_ms)),
+            ("repair_ms".into(), Json::Num(self.repair_ms)),
+            ("dirty_tables".into(), Json::Num(self.dirty_tables as f64)),
+            ("dirty_rows".into(), Json::Num(self.dirty_rows as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<CommitBenchRecord> {
+        Some(CommitBenchRecord {
+            workload: value.get("workload")?.as_str()?.to_string(),
+            mode: value.get("mode")?.as_str()?.to_string(),
+            db_rows: value.get("db_rows")?.as_usize()?,
+            commit_ms: value.get("commit_ms")?.as_f64()?,
+            repair_ms: value.get("repair_ms")?.as_f64()?,
+            dirty_tables: value.get("dirty_tables")?.as_usize()?,
+            dirty_rows: value.get("dirty_rows")?.as_usize()?,
+        })
+    }
+}
+
+/// Reads every commit record from a report file. Missing file → empty.
+pub fn load_commit_records(path: &Path) -> Result<Vec<CommitBenchRecord>, String> {
+    Ok(load_record_array(path)?
+        .iter()
+        .filter_map(CommitBenchRecord::from_json)
+        .collect())
+}
+
+/// Writes commit records to a report file (replacing any previous run of
+/// the same workload, like [`append_records`] does for repair records).
+pub fn append_commit_records(path: &Path, new: &[CommitBenchRecord]) -> Result<(), String> {
+    let existing = load_commit_records(path)?
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    let workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    write_record_array(
+        path,
+        existing,
+        new.iter().map(|r| r.to_json()).collect(),
+        &workloads,
+    )
+}
+
 /// The gate's verdict over a report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateVerdict {
@@ -277,6 +351,127 @@ pub fn evaluate_gate(
         parallel_ms,
         ratio,
         pass: ratio <= 1.0 + max_slowdown_percent / 100.0,
+    })
+}
+
+/// The recovery gate's verdict: the worst logging overhead and the worst
+/// recovery-to-serve ratio seen across the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryGateVerdict {
+    /// Highest `overhead_percent` across all records.
+    pub worst_overhead_percent: f64,
+    /// Highest `recover_ms / serve_ms` across all records.
+    pub worst_recover_ratio: f64,
+    /// True if every record stayed within the limits.
+    pub pass: bool,
+}
+
+/// Highest logging overhead the recovery gate tolerates, in percent.
+/// Observed values sit below ~80% even on the file backend; the limit
+/// leaves headroom for shared-runner noise while still catching a
+/// regression that makes the durable log dominate serving.
+pub const RECOVERY_MAX_OVERHEAD_PERCENT: f64 = 250.0;
+
+/// Highest `recover_ms / serve_ms` the recovery gate tolerates. Recovery
+/// replays a subset of the serving work (writes only), so it must not take
+/// longer than serving did by more than this factor.
+pub const RECOVERY_MAX_RECOVER_RATIO: f64 = 2.0;
+
+/// Absolute floor (ms) under which recovery time always passes — tiny
+/// workloads bottom out in timer noise, not replay cost.
+pub const RECOVERY_FLOOR_MS: f64 = 50.0;
+
+/// Baseline serving time (ms) under which the overhead check is skipped:
+/// a sub-floor baseline makes `overhead_percent` a ratio of two
+/// timer-noise measurements, not a statement about the durable log.
+pub const RECOVERY_OVERHEAD_FLOOR_MS: f64 = 5.0;
+
+/// Evaluates the recovery-regression gate over `BENCH_recovery.json`:
+/// every record's logging overhead must stay under
+/// [`RECOVERY_MAX_OVERHEAD_PERCENT`] (checked only when the in-memory
+/// baseline ran at least [`RECOVERY_OVERHEAD_FLOOR_MS`], so noise-sized
+/// measurements never fail the gate) and its recovery time under
+/// `max(serve_ms × `[`RECOVERY_MAX_RECOVER_RATIO`]`, `[`RECOVERY_FLOOR_MS`]`)`.
+/// Returns an error when the report holds no records at all.
+pub fn evaluate_recovery_gate(
+    records: &[RecoveryBenchRecord],
+) -> Result<RecoveryGateVerdict, String> {
+    if records.is_empty() {
+        return Err("no recovery records (run table9_recovery with --json first)".to_string());
+    }
+    let mut verdict = RecoveryGateVerdict {
+        worst_overhead_percent: f64::MIN,
+        worst_recover_ratio: f64::MIN,
+        pass: true,
+    };
+    for r in records {
+        let ratio = r.recover_ms / r.serve_ms.max(1e-9);
+        verdict.worst_overhead_percent = verdict.worst_overhead_percent.max(r.overhead_percent);
+        verdict.worst_recover_ratio = verdict.worst_recover_ratio.max(ratio);
+        let overhead_regressed = r.baseline_ms >= RECOVERY_OVERHEAD_FLOOR_MS
+            && r.overhead_percent > RECOVERY_MAX_OVERHEAD_PERCENT;
+        if overhead_regressed
+            || (r.recover_ms > RECOVERY_FLOOR_MS && ratio > RECOVERY_MAX_RECOVER_RATIO)
+        {
+            verdict.pass = false;
+        }
+    }
+    Ok(verdict)
+}
+
+/// The commit gate's verdict: commit cost at the smallest and largest
+/// database size in the report, for the mutation-tracked `delta` mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitGateVerdict {
+    /// Delta-mode commit time at the smallest database size (ms).
+    pub small_ms: f64,
+    /// Delta-mode commit time at the largest database size (ms).
+    pub large_ms: f64,
+    /// Stored rows at the smallest / largest size.
+    pub small_rows: usize,
+    /// Stored rows at the largest size.
+    pub large_rows: usize,
+    /// `large_ms / small_ms`.
+    pub ratio: f64,
+    /// True if commit cost stayed flat (or under the absolute floor).
+    pub pass: bool,
+}
+
+/// Allowed growth of delta-mode commit time across the report's database
+/// sizes (the acceptance bar: roughly flat, ≤ 2× while the database grows
+/// 10×, since the repair footprint is fixed).
+pub const COMMIT_MAX_RATIO: f64 = 2.0;
+
+/// Absolute floor (ms) under which the large-database commit always
+/// passes — sub-floor times are timer noise, not O(database) work.
+pub const COMMIT_FLOOR_MS: f64 = 5.0;
+
+/// Evaluates the commit-scaling gate over `BENCH_commit.json`: the
+/// mutation-tracked (`delta`) commit time at the largest database size
+/// must be under `max(small × `[`COMMIT_MAX_RATIO`]`, `[`COMMIT_FLOOR_MS`]`)`.
+/// Returns an error unless the report holds delta records at two or more
+/// database sizes.
+pub fn evaluate_commit_gate(records: &[CommitBenchRecord]) -> Result<CommitGateVerdict, String> {
+    let delta: Vec<&CommitBenchRecord> = records.iter().filter(|r| r.mode == "delta").collect();
+    let small = delta.iter().min_by_key(|r| r.db_rows);
+    let large = delta.iter().max_by_key(|r| r.db_rows);
+    let (Some(small), Some(large)) = (small, large) else {
+        return Err("no delta-mode commit records (run table10_commit with --json first)".into());
+    };
+    if small.db_rows == large.db_rows {
+        return Err(format!(
+            "commit report holds only one database size ({} rows); cannot check scaling",
+            small.db_rows
+        ));
+    }
+    let ratio = large.commit_ms / small.commit_ms.max(1e-9);
+    Ok(CommitGateVerdict {
+        small_ms: small.commit_ms,
+        large_ms: large.commit_ms,
+        small_rows: small.db_rows,
+        large_rows: large.db_rows,
+        ratio,
+        pass: large.commit_ms <= COMMIT_FLOOR_MS || ratio <= COMMIT_MAX_RATIO,
     })
 }
 
@@ -353,5 +548,100 @@ mod tests {
         let records = vec![record(GATE_WORKLOAD, "stored_xss", 0, 100.0)];
         assert!(evaluate_gate(&records, 10.0).is_err());
         assert!(evaluate_gate(&[], 10.0).is_err());
+    }
+
+    fn recovery_record(overhead: f64, serve_ms: f64, recover_ms: f64) -> RecoveryBenchRecord {
+        RecoveryBenchRecord {
+            workload: "table9_recovery".into(),
+            backend: "memory".into(),
+            actions: 100,
+            serve_ms,
+            baseline_ms: serve_ms / (1.0 + overhead / 100.0),
+            overhead_percent: overhead,
+            recover_ms,
+            from_checkpoint: false,
+            store_bytes: 1000,
+        }
+    }
+
+    #[test]
+    fn recovery_gate_limits_overhead_and_recovery_time() {
+        // Healthy: modest overhead, recovery faster than serving.
+        let ok = vec![recovery_record(80.0, 100.0, 70.0)];
+        assert!(evaluate_recovery_gate(&ok).unwrap().pass);
+        // Overhead regression fails.
+        let slow_log = vec![recovery_record(400.0, 100.0, 70.0)];
+        assert!(!evaluate_recovery_gate(&slow_log).unwrap().pass);
+        // Recovery-time regression fails...
+        let slow_recover = vec![recovery_record(80.0, 100.0, 900.0)];
+        assert!(!evaluate_recovery_gate(&slow_recover).unwrap().pass);
+        // ...unless it is under the absolute noise floor.
+        let tiny = vec![recovery_record(80.0, 1.0, 40.0)];
+        assert!(evaluate_recovery_gate(&tiny).unwrap().pass);
+        // A huge overhead ratio over a sub-floor baseline is timer noise,
+        // not a logging regression.
+        let noisy = vec![recovery_record(400.0, 0.5, 0.1)];
+        assert!(evaluate_recovery_gate(&noisy).unwrap().pass);
+        // No data is an error, not a silent pass.
+        assert!(evaluate_recovery_gate(&[]).is_err());
+    }
+
+    fn commit_record(mode: &str, db_rows: usize, commit_ms: f64) -> CommitBenchRecord {
+        CommitBenchRecord {
+            workload: "table10_commit".into(),
+            mode: mode.into(),
+            db_rows,
+            commit_ms,
+            repair_ms: commit_ms * 10.0,
+            dirty_tables: 1,
+            dirty_rows: 12,
+        }
+    }
+
+    #[test]
+    fn commit_gate_checks_delta_flatness_only() {
+        // Flat delta commits pass even though snapshot commits blow up.
+        let records = vec![
+            commit_record("delta", 1_000, 10.0),
+            commit_record("delta", 10_000, 14.0),
+            commit_record("snapshot", 1_000, 20.0),
+            commit_record("snapshot", 10_000, 400.0),
+        ];
+        let verdict = evaluate_commit_gate(&records).unwrap();
+        assert!(verdict.pass, "{verdict:?}");
+        assert_eq!(verdict.large_rows, 10_000);
+        // Delta commit growing with the database fails.
+        let records = vec![
+            commit_record("delta", 1_000, 10.0),
+            commit_record("delta", 10_000, 95.0),
+        ];
+        assert!(!evaluate_commit_gate(&records).unwrap().pass);
+        // Sub-floor times pass regardless of ratio (timer noise).
+        let records = vec![
+            commit_record("delta", 1_000, 0.01),
+            commit_record("delta", 10_000, 0.08),
+        ];
+        assert!(evaluate_commit_gate(&records).unwrap().pass);
+        // One size or zero records is an error.
+        assert!(evaluate_commit_gate(&[commit_record("delta", 1_000, 1.0)]).is_err());
+        assert!(evaluate_commit_gate(&[]).is_err());
+    }
+
+    #[test]
+    fn commit_report_round_trips() {
+        let dir = std::env::temp_dir().join(format!("warp-bench-commit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_commit.json");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            commit_record("delta", 1_000, 1.5),
+            commit_record("snapshot", 1_000, 9.5),
+        ];
+        append_commit_records(&path, &records).unwrap();
+        assert_eq!(load_commit_records(&path).unwrap(), records);
+        // Re-running the workload replaces, not duplicates.
+        append_commit_records(&path, &records).unwrap();
+        assert_eq!(load_commit_records(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -18,6 +18,7 @@ const BINS: &[(&str, &[&str])] = &[
     (env!("CARGO_BIN_EXE_table7_repair_100"), &["2"]),
     (env!("CARGO_BIN_EXE_table8_repair_5000"), &["4"]),
     (env!("CARGO_BIN_EXE_table9_recovery"), &["6"]),
+    (env!("CARGO_BIN_EXE_table10_commit"), &["50"]),
     (env!("CARGO_BIN_EXE_bench_gate"), &["--help"]),
 ];
 
@@ -99,5 +100,68 @@ fn bench_report_and_gate_flow() {
         .output()
         .expect("spawn bench_gate");
     assert_eq!(out.status.code(), Some(2));
+
+    // The recovery and commit gates plug into the same binary: generate
+    // both reports at trivial scale and run the full three-gate check.
+    let recovery = std::env::temp_dir().join(format!(
+        "warp-bench-smoke-{}-BENCH_recovery.json",
+        std::process::id()
+    ));
+    let commit = std::env::temp_dir().join(format!(
+        "warp-bench-smoke-{}-BENCH_commit.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&recovery);
+    let _ = std::fs::remove_file(&commit);
+    let out = Command::new(env!("CARGO_BIN_EXE_table9_recovery"))
+        .arg("6")
+        .arg("--json")
+        .arg(&recovery)
+        .output()
+        .expect("spawn table9");
+    assert!(out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_table10_commit"))
+        .arg("50")
+        .arg("--json")
+        .arg(&commit)
+        .output()
+        .expect("spawn table10");
+    assert!(
+        out.status.success(),
+        "table10 timing run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&commit).expect("commit report written");
+    assert!(text.contains("\"mode\":\"delta\""));
+    assert!(text.contains("\"mode\":\"snapshot\""));
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .arg(&report)
+        .arg("100000")
+        .arg("--recovery")
+        .arg(&recovery)
+        .arg("--commit")
+        .arg(&commit)
+        .output()
+        .expect("spawn bench_gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "three-gate bench_gate failed: stdout={stdout} stderr={}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("recovery: worst overhead"));
+    assert!(stdout.contains("commit: delta"));
+
+    // A missing side report is an error too.
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .arg(&report)
+        .arg("--commit")
+        .arg("/nonexistent/BENCH_commit.json")
+        .output()
+        .expect("spawn bench_gate");
+    assert_eq!(out.status.code(), Some(2));
+
     let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&recovery);
+    let _ = std::fs::remove_file(&commit);
 }

@@ -21,7 +21,9 @@
 //!   [`LogEvent::RepairAbort`] — repair is *not* replayed on recovery
 //!   (re-running it would need patched sources and browser replay mid
 //!   recovery); instead the commit record carries the repair's physical
-//!   effect: per-table row-version deltas, the cancelled-action set, the
+//!   effect: per-table row-version deltas (produced by the time-travel
+//!   database's mutation tracker at O(rows changed) — the repair data path
+//!   never snapshots or diffs whole tables), the cancelled-action set, the
 //!   queued conflicts, cookie invalidations and the new generation. A
 //!   `RepairBegin` with no matching commit or abort marks an interrupted
 //!   repair; recovery surfaces it as [`WarpServer::pending_repair`] so the

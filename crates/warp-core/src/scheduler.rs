@@ -20,7 +20,10 @@
 //!    scoped `std::thread` worker pool, detects cross-partition conflicts
 //!    (re-execution that touched partitions outside its own group), escalates
 //!    by merging the conflicting groups and re-running them, and finally
-//!    merges the per-partition row diffs back into the master database.
+//!    applies each batch's mutation-tracked delta — the exact row versions
+//!    its repair removed and added, drained from the clone's delta tracker —
+//!    back onto the master database. No snapshots or whole-table diffs are
+//!    taken anywhere: merge cost is O(rows changed).
 //!
 //! Per-partition re-execution stays equivalent to the global time order
 //! because groups are closed under the recorded dependency relation, and any
@@ -36,8 +39,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 use warp_browser::{replay_visit, ReplayConfig, ReplayOutcome};
 use warp_http::{HttpRequest, HttpResponse, Router, Transport};
-use warp_sql::Value;
-use warp_ttdb::{PartitionSet, RepairSession, TimeTravelDb};
+use warp_ttdb::{PartitionSet, RepairDelta, RepairSession, RowScope, TimeTravelDb};
 
 /// How a repair is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,11 +52,14 @@ pub enum RepairStrategy {
     /// threads and merged. `workers: 1` still exercises the full
     /// partition/merge machinery on a single thread.
     ///
-    /// Worker batches clone only the tables in their dependency footprint
-    /// (bounded-memory clones); a batch caught touching a table outside its
-    /// footprint — possible only through patched code or fresh browser
-    /// requests — forces the round to re-run on full clones, so results are
-    /// always identical to [`RepairStrategy::PartitionedFullClone`].
+    /// Worker batches clone only their dependency footprint — down to the
+    /// partition level: a table whose footprint is a set of partition keys
+    /// contributes only the row versions in those partitions, so a single
+    /// hot table shared by many groups is not copied wholesale into every
+    /// batch. A batch caught touching state outside its footprint —
+    /// possible only through patched code or fresh browser requests —
+    /// forces the round to re-run on full clones, so results are always
+    /// identical to [`RepairStrategy::PartitionedFullClone`].
     Partitioned {
         /// Worker threads re-executing partitions concurrently (min 1).
         workers: usize,
@@ -671,6 +676,54 @@ fn footprints_intersect(a: &[PartitionSet], b: &[PartitionSet]) -> bool {
     a.iter().any(|x| b.iter().any(|y| x.intersects(y)))
 }
 
+/// Widens a bounded-clone row scope to cover a partition set.
+fn widen_scope(scope: &mut BTreeMap<String, RowScope>, partitions: &PartitionSet) {
+    match partitions {
+        PartitionSet::Whole { table } => {
+            scope.insert(table.clone(), RowScope::AllRows);
+        }
+        PartitionSet::Keys(keys) => {
+            for key in keys {
+                match scope
+                    .entry(key.table.clone())
+                    .or_insert_with(|| RowScope::Partitions(BTreeSet::new()))
+                {
+                    RowScope::AllRows => {}
+                    RowScope::Partitions(set) => {
+                        set.insert(key.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merges scope `b` into scope `a` (AllRows absorbs partition lists).
+fn union_scopes(a: &mut BTreeMap<String, RowScope>, b: &BTreeMap<String, RowScope>) {
+    for (table, s) in b {
+        match a.entry(table.clone()) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().union_with(s),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(s.clone());
+            }
+        }
+    }
+}
+
+/// True if every partition the set covers lies inside the scope a bounded
+/// clone was built from. An out-of-scope partition means the clone was
+/// missing rows the re-execution may have needed.
+fn scope_contains(scope: &BTreeMap<String, RowScope>, partitions: &PartitionSet) -> bool {
+    match partitions {
+        PartitionSet::Whole { table } => matches!(scope.get(table), Some(RowScope::AllRows)),
+        PartitionSet::Keys(keys) => keys.iter().all(|key| match scope.get(&key.table) {
+            Some(RowScope::AllRows) => true,
+            Some(RowScope::Partitions(set)) => set.contains(key),
+            None => false,
+        }),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The parallel driver
 // ---------------------------------------------------------------------------
@@ -693,15 +746,20 @@ pub(crate) struct PartitionedResult {
     pub bounded_fallbacks: usize,
 }
 
-/// One worker batch's results plus the clone it ran against.
+/// One worker batch's results plus the mutation delta its clone tracked.
+/// The clone itself is dropped as soon as its delta is drained — the merge
+/// needs only the O(rows changed) delta, never the cloned tables.
 struct RoundBatch {
     /// `(cluster index, run)` for each cluster this batch processed.
     runs: Vec<(usize, RepairRun)>,
-    /// The database clone the batch's clusters executed against; `None` for
-    /// an in-place round (the batch ran directly on the master database).
-    db: Option<TimeTravelDb>,
+    /// The per-table row sets the batch's repair removed/added on its
+    /// clone, drained from the clone's delta tracker; empty for an
+    /// in-place round (the master database tracked those directly).
+    deltas: RepairDelta,
     /// The synthetic-ID watermark the clone started from.
     id_watermark_start: i64,
+    /// The synthetic-ID watermark after the batch ran.
+    id_watermark_end: i64,
 }
 
 /// Runs the partitioned repair: plan, re-execute seeded groups concurrently,
@@ -759,16 +817,31 @@ pub(crate) fn run_partitioned(
             })
             .collect();
 
-        // The dependency-footprint table scope of each repair unit: with
-        // bounded-memory clones a worker batch copies only these tables.
-        let unit_tables: Vec<BTreeSet<String>> = clusters
+        // The dependency-footprint row scope of each repair unit: with
+        // bounded-memory clones a worker batch copies only these tables —
+        // and within a table whose footprint is partition keys, only the
+        // row versions in those partitions.
+        let unit_scopes: Vec<BTreeMap<String, RowScope>> = clusters
             .iter()
             .map(|gs| {
-                gs.iter()
-                    .flat_map(|&g| plan.footprints[g].iter())
-                    .filter_map(|p| p.table())
-                    .map(str::to_string)
-                    .collect()
+                let mut scope = BTreeMap::new();
+                for p in gs.iter().flat_map(|&g| plan.footprints[g].iter()) {
+                    widen_scope(&mut scope, p);
+                }
+                // Partition-filtered rows are only sound for tables whose
+                // every unique constraint includes a partition column
+                // (colliding rows then always share a partition and are
+                // cloned together); anything else is widened to the whole
+                // table so re-executed uniqueness checks see every row
+                // they would see on a full clone.
+                for (table, table_scope) in scope.iter_mut() {
+                    if matches!(table_scope, RowScope::Partitions(_))
+                        && !db.partition_clone_safe(table)
+                    {
+                        *table_scope = RowScope::AllRows;
+                    }
+                }
+                scope
             })
             .collect();
 
@@ -789,12 +862,13 @@ pub(crate) fn run_partitioned(
             };
             vec![RoundBatch {
                 runs,
-                db: None,
+                deltas: RepairDelta::new(),
                 id_watermark_start: db.synthetic_id_watermark(),
+                id_watermark_end: db.synthetic_id_watermark(),
             }]
         } else {
             let scopes = match clone_scope {
-                CloneScope::Footprint => Some(unit_tables.as_slice()),
+                CloneScope::Footprint => Some(unit_scopes.as_slice()),
                 CloneScope::Full => None,
             };
             let mut batches = run_round(
@@ -806,13 +880,13 @@ pub(crate) fn run_partitioned(
                 workers,
                 scopes,
             );
-            // A batch that touched a table outside its footprint executed
-            // against a clone missing that table's rows, so its results
-            // cannot be trusted: discard the round and re-run it on full
-            // clones (the synthetic-ID ranges restart from the same base,
-            // so the re-run allocates exactly what a full-clone round
-            // would have).
-            if scopes.is_some() && round_escaped_footprint(&batches, &unit_tables) {
+            // A batch that touched state outside its footprint scope
+            // executed against a clone missing rows it may have needed, so
+            // its results cannot be trusted: discard the round and re-run
+            // it on full clones (the synthetic-ID ranges restart from the
+            // same base, so the re-run allocates exactly what a full-clone
+            // round would have).
+            if scopes.is_some() && round_escaped_footprint(&batches, &unit_scopes) {
                 bounded_fallbacks += 1;
                 batches = run_round(env, db, &units, seed_reexecute, seed_cancel, workers, None);
             }
@@ -904,56 +978,34 @@ pub(crate) fn run_partitioned(
     }
     merged.stats.conflicts = merged.conflicts.len();
 
-    // Merge phase: bring the per-batch row diffs into the master database,
-    // all inside one repair generation that the controller finalizes
-    // atomically. Baselines are snapshotted before any diff is applied so
-    // batches that touched different partitions of the same table compose.
-    // Skipped entirely when the repair is going to abort, leaving the master
-    // database untouched. An in-place round already executed against the
-    // master inside the repair generation, so there is nothing to merge
-    // (and an abort by the controller discards its changes).
+    // Merge phase: apply the per-batch mutation deltas to the master
+    // database, all inside one repair generation that the controller
+    // finalizes atomically. Each batch's delta was tracked against the
+    // master state its clone was taken from, and batches touch disjoint
+    // partitions, so the deltas compose by direct application — no
+    // snapshots and no table diffs anywhere on this path. Skipped entirely
+    // when the repair is going to abort, leaving the master database
+    // untouched. An in-place round already executed against the master
+    // inside the repair generation, so there is nothing to merge (and an
+    // abort by the controller discards its changes).
     let t_merge = Instant::now();
     let aborting = !initiated_by_admin && !merged.conflicts.is_empty();
     if !in_place {
         db.begin_repair_generation();
         if !aborting {
-            let touched: BTreeSet<&String> = batches
-                .iter()
-                .flat_map(|b| b.runs.iter())
-                .flat_map(|(_, run)| run.touched_tables.iter())
-                .collect();
-            let baselines: BTreeMap<&String, Vec<Vec<Value>>> = touched
-                .iter()
-                .map(|&t| (t, db.table_rows_snapshot(t)))
-                .collect();
             for batch in &batches {
-                let Some(batch_db) = &batch.db else { continue };
-                let batch_touched: BTreeSet<&String> = batch
-                    .runs
-                    .iter()
-                    .flat_map(|(_, run)| run.touched_tables.iter())
-                    .collect();
-                for table in batch_touched {
-                    let baseline = &baselines[table];
-                    let repaired = match batch_db.raw().table(table) {
-                        Some(t) => &t.rows,
-                        None => continue,
-                    };
-                    let (remove, add) = row_diff(baseline, repaired);
-                    if !remove.is_empty() || !add.is_empty() {
-                        let _ = db.apply_row_diff(table, &remove, &add);
-                    }
+                for (table, delta) in &batch.deltas {
+                    let _ = db.apply_row_diff(table, &delta.remove, &delta.add);
                 }
-                let final_watermark = batch_db.synthetic_id_watermark();
-                if final_watermark > batch.id_watermark_start {
+                if batch.id_watermark_end > batch.id_watermark_start {
                     // A batch overrunning its reserved ID range would collide
                     // with the next batch's synthetic row IDs — corrupt the
                     // merge loudly rather than silently.
                     assert!(
-                        final_watermark - batch.id_watermark_start < SYNTHETIC_ID_STRIDE,
+                        batch.id_watermark_end - batch.id_watermark_start < SYNTHETIC_ID_STRIDE,
                         "repair batch allocated more than {SYNTHETIC_ID_STRIDE} synthetic row IDs"
                     );
-                    db.raise_synthetic_id_watermark(final_watermark);
+                    db.raise_synthetic_id_watermark(batch.id_watermark_end);
                 }
             }
         }
@@ -969,24 +1021,23 @@ pub(crate) fn run_partitioned(
     }
 }
 
-/// True if any batch of the round touched a table outside the footprint
-/// scope its bounded clone was built from.
-fn round_escaped_footprint(batches: &[RoundBatch], unit_tables: &[BTreeSet<String>]) -> bool {
+/// True if any batch of the round touched partitions (or whole tables)
+/// outside the footprint scope its bounded clone was built from.
+fn round_escaped_footprint(
+    batches: &[RoundBatch],
+    unit_scopes: &[BTreeMap<String, RowScope>],
+) -> bool {
     batches.iter().any(|batch| {
-        let scope: BTreeSet<&String> = batch
-            .runs
-            .iter()
-            .flat_map(|(u, _)| unit_tables[*u].iter())
-            .collect();
+        let mut scope: BTreeMap<String, RowScope> = BTreeMap::new();
+        for (u, _) in &batch.runs {
+            union_scopes(&mut scope, &unit_scopes[*u]);
+        }
         batch.runs.iter().any(|(_, run)| {
-            let dep_tables = run
-                .dynamic_deps
+            run.dynamic_deps
                 .iter()
                 .chain(run.modified.iter())
-                .filter_map(|p| p.table().map(str::to_string));
-            dep_tables
-                .chain(run.touched_tables.iter().cloned())
-                .any(|t| !scope.contains(&t))
+                .any(|p| !scope_contains(&scope, p))
+                || run.touched_tables.iter().any(|t| !scope.contains_key(t))
         })
     })
 }
@@ -995,9 +1046,10 @@ fn round_escaped_footprint(batches: &[RoundBatch], unit_tables: &[BTreeSet<Strin
 /// batches (longest-processing-time-first for balance), clones the master
 /// database once per batch, and runs every batch on its own scoped thread.
 ///
-/// With `unit_scopes`, each batch's clone carries row data only for the
-/// tables in its units' dependency footprints (bounded-memory clones);
-/// `None` clones the whole database.
+/// With `unit_scopes`, each batch's clone carries row data only for its
+/// units' dependency footprints — whole tables where the footprint is
+/// whole-table, just the footprint partitions otherwise (bounded-memory
+/// clones); `None` clones the whole database.
 fn run_round(
     env: &RepairEnv<'_>,
     db: &TimeTravelDb,
@@ -1005,7 +1057,7 @@ fn run_round(
     seed_reexecute: &BTreeSet<ActionId>,
     seed_cancel: &BTreeSet<ActionId>,
     workers: usize,
-    unit_scopes: Option<&[BTreeSet<String>]>,
+    unit_scopes: Option<&[BTreeMap<String, RowScope>]>,
 ) -> Vec<RoundBatch> {
     if units.is_empty() {
         return Vec::new();
@@ -1037,11 +1089,11 @@ fn run_round(
     let run_batch = |bi: usize, unit_ids: &[usize]| {
         let mut clone = match unit_scopes {
             Some(scopes) => {
-                let tables: BTreeSet<String> = unit_ids
-                    .iter()
-                    .flat_map(|&u| scopes[u].iter().cloned())
-                    .collect();
-                db.clone_subset(&tables)
+                let mut scope = BTreeMap::new();
+                for &u in unit_ids {
+                    union_scopes(&mut scope, &scopes[u]);
+                }
+                db.clone_subset(&scope)
             }
             None => db.clone(),
         };
@@ -1061,10 +1113,13 @@ fn run_round(
             );
             runs.push((u, run));
         }
+        // Drain the clone's tracked mutation delta and drop the clone: the
+        // merge needs only what changed, never the cloned tables.
         RoundBatch {
             runs,
-            db: Some(clone),
+            deltas: clone.drain_repair_delta(),
             id_watermark_start: start,
+            id_watermark_end: clone.synthetic_id_watermark(),
         }
     };
     if n_threads == 1 {
@@ -1101,66 +1156,6 @@ fn run_round(
     results.into_iter().flatten().collect()
 }
 
-/// Multiset difference between a table snapshot and its repaired clone:
-/// `(rows to remove, rows to add)` to turn `baseline` into `repaired`.
-/// Also used by the persistence layer to log a committed repair's
-/// physical effect.
-pub(crate) fn row_diff<'a>(
-    baseline: &'a [Vec<Value>],
-    repaired: &'a [Vec<Value>],
-) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
-    let mut counts: BTreeMap<Vec<u8>, (i64, &'a Vec<Value>)> = BTreeMap::new();
-    for row in repaired {
-        counts.entry(row_key(row)).or_insert((0, row)).0 += 1;
-    }
-    for row in baseline {
-        counts.entry(row_key(row)).or_insert((0, row)).0 -= 1;
-    }
-    let mut remove = Vec::new();
-    let mut add = Vec::new();
-    for (_, (count, row)) in counts {
-        if count > 0 {
-            for _ in 0..count {
-                add.push(row.clone());
-            }
-        } else {
-            for _ in 0..-count {
-                remove.push(row.clone());
-            }
-        }
-    }
-    (remove, add)
-}
-
-/// A compact, collision-free byte encoding of one stored row, used as the
-/// multiset key during diffing (length-prefixed, tagged per value).
-fn row_key(row: &[Value]) -> Vec<u8> {
-    let mut key = Vec::with_capacity(row.len() * 9);
-    for v in row {
-        match v {
-            Value::Null => key.push(0),
-            Value::Bool(b) => {
-                key.push(1);
-                key.push(*b as u8);
-            }
-            Value::Int(i) => {
-                key.push(2);
-                key.extend_from_slice(&i.to_le_bytes());
-            }
-            Value::Float(f) => {
-                key.push(3);
-                key.extend_from_slice(&f.to_bits().to_le_bytes());
-            }
-            Value::Text(s) => {
-                key.push(4);
-                key.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                key.extend_from_slice(s.as_bytes());
-            }
-        }
-    }
-    key
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1168,6 +1163,7 @@ mod tests {
     use crate::repair::RepairRequest;
     use crate::server::WarpServer;
     use crate::sourcefs::Patch;
+    use warp_sql::Value;
     use warp_ttdb::TableAnnotation;
 
     /// A notes app with one table partitioned by `topic`: each request
@@ -1537,17 +1533,165 @@ mod tests {
         );
     }
 
+    /// A notes app whose only unique constraint is the partition column
+    /// itself (`topic` doubles as the row ID), so partition-scoped clones
+    /// are sound for it and the partition-level path genuinely runs.
+    fn hub_app(topics: usize) -> AppConfig {
+        let mut config = AppConfig::new("hub-notes");
+        config.add_table(
+            "CREATE TABLE note (topic TEXT UNIQUE, body TEXT)",
+            TableAnnotation::new().row_id("topic").partitions(["topic"]),
+        );
+        for t in 0..topics {
+            config.seed(format!(
+                "INSERT INTO note (topic, body) VALUES ('t{t}', 'seed {t}')"
+            ));
+        }
+        config.add_source(
+            "post.wasl",
+            "db_query(\"UPDATE note SET body = '\" . sql_escape(param(\"body\")) . \"' \
+             WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"ok\");",
+        );
+        config.add_source(
+            "read.wasl",
+            "let rows = db_query(\"SELECT body FROM note WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); \
+             if (len(rows) > 0) { echo(rows[0][\"body\"]); } else { echo(\"none\"); }",
+        );
+        config
+    }
+
+    /// The "whole-table-hub" shape: every partition lives in one hot table,
+    /// so table-level footprint clones would copy the entire table into
+    /// every batch. Partition-level clones copy only each batch's
+    /// partitions — and must still produce repairs identical to full
+    /// clones and the sequential engine.
     #[test]
-    fn row_diff_is_a_multiset_difference() {
-        let a = vec![
-            vec![Value::Int(1)],
-            vec![Value::Int(2)],
-            vec![Value::Int(2)],
-        ];
-        let b = vec![vec![Value::Int(2)], vec![Value::Int(3)]];
-        let (remove, add) = row_diff(&a, &b);
-        assert_eq!(remove, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
-        assert_eq!(add, vec![vec![Value::Int(3)]]);
+    fn partition_level_clones_match_full_clones_on_a_single_table_hub() {
+        let topics = 6;
+        let run = |strategy: RepairStrategy| {
+            let mut server = WarpServer::new(hub_app(topics));
+            notes_traffic(&mut server, topics);
+            assert!(server.db.partition_clone_safe("note"));
+            let out = server.repair_with(
+                RepairRequest::RetroactivePatch {
+                    patch: notes_patch(),
+                    from_time: 0,
+                },
+                strategy,
+            );
+            (server, out)
+        };
+        let (mut seq, seq_out) = run(RepairStrategy::Sequential);
+        let (mut full, full_out) = run(RepairStrategy::PartitionedFullClone { workers: 3 });
+        let (mut bounded, bounded_out) = run(RepairStrategy::Partitioned { workers: 3 });
+        assert_eq!(full.db.canonical_dump(), bounded.db.canonical_dump());
+        assert_eq!(seq.db.canonical_dump(), bounded.db.canonical_dump());
+        assert_eq!(seq_out.reexecuted_actions, bounded_out.reexecuted_actions);
+        assert_eq!(full_out.reexecuted_actions, bounded_out.reexecuted_actions);
+        assert_eq!(full_out.cancelled_actions, bounded_out.cancelled_actions);
+        // The patch stays inside each topic partition: no fallback round.
+        assert_eq!(bounded_out.stats.bounded_clone_fallbacks, 0);
+    }
+
+    /// A table partitioned by `grp` whose PRIMARY KEY (`id`) is *not* a
+    /// partition column: a partition-scoped clone could miss a
+    /// cross-partition id collision (the colliding row is never a recorded
+    /// dependency, so no fallback would fire), so the scheduler must widen
+    /// such tables to whole-table clones — and the repair must stay
+    /// identical to full clones and the sequential engine even when
+    /// patched code manufactures exactly that collision.
+    #[test]
+    fn cross_partition_unique_collision_matches_full_clones() {
+        let build = || {
+            let mut config = AppConfig::new("uniq");
+            config.add_table(
+                "CREATE TABLE item (id INTEGER PRIMARY KEY, grp TEXT, val TEXT)",
+                TableAnnotation::new().row_id("id").partitions(["grp"]),
+            );
+            config.add_source(
+                "add.wasl",
+                "db_query(\"INSERT INTO item (id, grp, val) VALUES (\" . param(\"id\") . \", '\" . sql_escape(param(\"grp\")) . \"', '\" . sql_escape(param(\"val\")) . \"')\"); echo(\"ok\");",
+            );
+            let mut server = WarpServer::new(config);
+            assert!(!server.db.partition_clone_safe("item"));
+            use warp_http::HttpRequest;
+            server.handle(HttpRequest::post(
+                "/add.wasl",
+                [("id", "1"), ("grp", "g0"), ("val", "a")],
+            ));
+            server.handle(HttpRequest::post(
+                "/add.wasl",
+                [("id", "2"), ("grp", "g1"), ("val", "b")],
+            ));
+            server
+        };
+        // The patch rewrites g0's insert to reuse id 2 — colliding with
+        // g1's row, which lives in a different partition.
+        let collide_patch = Patch::new(
+            "add.wasl",
+            "let id = param(\"id\"); if (param(\"grp\") == \"g0\") { id = \"2\"; } \
+             db_query(\"INSERT INTO item (id, grp, val) VALUES (\" . id . \", '\" . sql_escape(param(\"grp\")) . \"', '\" . sql_escape(param(\"val\")) . \"')\"); echo(\"ok\");",
+            "redirect g0 ids onto g1's",
+        );
+        let run = |strategy: RepairStrategy| {
+            let mut server = build();
+            let out = server.repair_with(
+                RepairRequest::RetroactivePatch {
+                    patch: collide_patch.clone(),
+                    from_time: 0,
+                },
+                strategy,
+            );
+            (server, out)
+        };
+        let (mut seq, seq_out) = run(RepairStrategy::Sequential);
+        let (mut full, _) = run(RepairStrategy::PartitionedFullClone { workers: 2 });
+        let (mut bounded, bounded_out) = run(RepairStrategy::Partitioned { workers: 2 });
+        assert_eq!(
+            seq.db.canonical_dump(),
+            bounded.db.canonical_dump(),
+            "a cross-partition unique collision must repair identically"
+        );
+        assert_eq!(full.db.canonical_dump(), bounded.db.canonical_dump());
+        assert_eq!(seq_out.reexecuted_actions, bounded_out.reexecuted_actions);
+        // Exactly one id=2 row may survive, whichever way the collision
+        // resolved.
+        let rows = bounded.db.table_rows_snapshot("item");
+        let id2_current = rows
+            .iter()
+            .filter(|r| r.first() == Some(&Value::Int(2)))
+            .count();
+        assert!(id2_current >= 1, "id 2 must exist: {rows:?}");
+    }
+
+    #[test]
+    fn scope_containment_is_partition_precise() {
+        use warp_ttdb::PartitionKey;
+        let key = |v: &str| PartitionKey::new("note", "topic", &Value::text(v));
+        let mut scope = BTreeMap::new();
+        widen_scope(
+            &mut scope,
+            &PartitionSet::Keys([key("t0"), key("t1")].into_iter().collect()),
+        );
+        assert!(scope_contains(
+            &scope,
+            &PartitionSet::Keys([key("t1")].into_iter().collect())
+        ));
+        assert!(!scope_contains(
+            &scope,
+            &PartitionSet::Keys([key("t2")].into_iter().collect())
+        ));
+        // A whole-table dependency needs a whole-table scope.
+        assert!(!scope_contains(&scope, &PartitionSet::whole("note")));
+        widen_scope(&mut scope, &PartitionSet::whole("note"));
+        assert!(scope_contains(&scope, &PartitionSet::whole("note")));
+        assert!(scope_contains(
+            &scope,
+            &PartitionSet::Keys([key("t5")].into_iter().collect())
+        ));
+        // Other tables stay out of scope; empty sets are always contained.
+        assert!(!scope_contains(&scope, &PartitionSet::whole("audit")));
+        assert!(scope_contains(&scope, &PartitionSet::empty()));
     }
 
     #[test]

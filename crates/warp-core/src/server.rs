@@ -42,6 +42,14 @@ pub struct WarpServer {
     /// Clients whose cookies must be invalidated on their next request
     /// (queued by repair when the repaired cookie differs, §5.3).
     pub pending_cookie_invalidations: BTreeSet<String>,
+    /// Test-only reference switch: build repair commit records by
+    /// snapshotting every table before repair and diffing afterwards (the
+    /// O(database) strategy the mutation-tracked delta path replaced),
+    /// instead of draining the delta tracker. Kept compiled in — like
+    /// [`crate::scheduler::RepairStrategy::PartitionedFullClone`] — so the
+    /// equivalence tests can prove both paths produce byte-identical
+    /// persisted commits. Production servers leave this `false`.
+    pub reference_snapshot_commit: bool,
     pub(crate) rng_counter: u64,
     pub(crate) session_counter: u64,
     /// The durable action log, when the server was opened with a storage
@@ -86,6 +94,7 @@ impl WarpServer {
             conflicts: ConflictQueue::new(),
             replay_config: ReplayConfig::default(),
             pending_cookie_invalidations: BTreeSet::new(),
+            reference_snapshot_commit: false,
             rng_counter: 0,
             session_counter: 0,
             store: None,

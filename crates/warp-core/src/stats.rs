@@ -76,6 +76,13 @@ pub struct RepairStats {
     pub bounded_clone_fallbacks: usize,
     /// Worker threads used by the partitioned engine (0 = sequential).
     pub workers: usize,
+    /// Tables whose stored rows the committed repair actually changed
+    /// (from the mutation-tracked delta; 0 for aborted repairs).
+    pub dirty_tables: usize,
+    /// Row versions the committed repair removed plus added across all
+    /// dirty tables — the size of the repair's physical write set, which
+    /// is also what the commit record costs to build and log.
+    pub dirty_rows: usize,
     /// Wall-clock time spent initialising repair (finding candidate actions).
     #[serde(skip)]
     pub time_init: Duration,
@@ -94,6 +101,11 @@ pub struct RepairStats {
     /// Wall-clock time spent in the repair controller itself.
     #[serde(skip)]
     pub time_ctrl: Duration,
+    /// Wall-clock time spent building and logging the repair commit (delta
+    /// drain + record encoding; for the snapshot-diff reference path, the
+    /// pre-repair snapshot and the post-repair table diffs).
+    #[serde(skip)]
+    pub time_commit: Duration,
     /// Total wall-clock repair time.
     #[serde(skip)]
     pub time_total: Duration,

@@ -96,10 +96,36 @@ impl QueryResult {
     }
 }
 
+/// Exact row images removed from and added to one table while change
+/// capture is active (see [`Database::begin_change_capture`]). Both sides
+/// are multisets in capture order; consumers net them per row value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableChanges {
+    /// Row images removed (by `DELETE`, or the pre-image of an `UPDATE`).
+    pub removed: Vec<Row>,
+    /// Row images added (by `INSERT`, or the post-image of an `UPDATE`).
+    pub added: Vec<Row>,
+}
+
+impl TableChanges {
+    /// True if neither side recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
 /// An in-memory SQL database: a set of named tables.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Row-image change capture, keyed by normalized table name. `None`
+    /// means capture is off (the normal-execution state): mutating
+    /// statements then pay only a branch. When on, every mutation appends
+    /// the exact rows it removed/added — the mutation paths materialise
+    /// those rows anyway, so capture cost is O(rows changed), never
+    /// O(table). The time-travel layer turns this on for the span of a
+    /// repair generation to build mutation-tracked repair commits.
+    capture: Option<BTreeMap<String, TableChanges>>,
 }
 
 impl Database {
@@ -107,6 +133,48 @@ impl Database {
     pub fn new() -> Self {
         Database {
             tables: BTreeMap::new(),
+            capture: None,
+        }
+    }
+
+    /// Starts capturing row-image changes. Idempotent: if capture is
+    /// already active the existing capture continues (callers that share a
+    /// database across repair passes rely on accumulation); use
+    /// [`Database::take_change_capture`] or
+    /// [`Database::discard_change_capture`] to end it.
+    pub fn begin_change_capture(&mut self) {
+        if self.capture.is_none() {
+            self.capture = Some(BTreeMap::new());
+        }
+    }
+
+    /// Ends change capture and returns everything recorded since it began
+    /// (empty if capture was never started).
+    pub fn take_change_capture(&mut self) -> BTreeMap<String, TableChanges> {
+        self.capture.take().unwrap_or_default()
+    }
+
+    /// Ends change capture, dropping whatever was recorded.
+    pub fn discard_change_capture(&mut self) {
+        self.capture = None;
+    }
+
+    /// True if change capture is currently recording.
+    pub fn change_capture_active(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Records an out-of-band change for layered callers that mutate rows
+    /// directly through [`Database::table_mut`] (the time-travel layer's
+    /// diff application and checkpoint restore). No-op when capture is off.
+    pub fn record_change(&mut self, table: &str, removed: &[Row], added: &[Row]) {
+        if let Some(capture) = &mut self.capture {
+            if removed.is_empty() && added.is_empty() {
+                return;
+            }
+            let entry = capture.entry(normalize(table)).or_default();
+            entry.removed.extend(removed.iter().cloned());
+            entry.added.extend(added.iter().cloned());
         }
     }
 
@@ -156,7 +224,10 @@ impl Database {
                 (name.clone(), copy)
             })
             .collect();
-        Database { tables }
+        Database {
+            tables,
+            capture: None,
+        }
     }
 
     /// Parses and executes a single SQL statement.
@@ -274,6 +345,10 @@ impl Database {
             }
         }
         let n = new_rows.len() as u64;
+        if self.capture.is_some() {
+            self.record_change(table, &[], &new_rows);
+        }
+        let t = self.tables.get_mut(&key).expect("checked above");
         for row in new_rows {
             t.push_row(row);
         }
@@ -420,6 +495,12 @@ impl Database {
             check_unique(&schema, &new_rows, &new_rows[i], Some(i))?;
         }
         let affected = touched.len() as u64;
+        if self.capture.is_some() && !touched.is_empty() {
+            let old = self.tables.get(&key).expect("checked above");
+            let removed: Vec<Row> = touched.iter().map(|&i| old.rows[i].clone()).collect();
+            let added: Vec<Row> = touched.iter().map(|&i| new_rows[i].clone()).collect();
+            self.record_change(table, &removed, &added);
+        }
         let t = self.tables.get_mut(&key).expect("checked above");
         t.rows = new_rows;
         Ok(QueryResult {
@@ -432,6 +513,7 @@ impl Database {
 
     fn delete(&mut self, table: &str, where_clause: Option<&Expr>) -> SqlResult<QueryResult> {
         let key = normalize(table);
+        let capture_on = self.capture.is_some();
         let t = self
             .tables
             .get_mut(&key)
@@ -439,25 +521,35 @@ impl Database {
         let schema = t.schema.clone();
         let before = t.rows.len();
         let mut err = None;
+        let mut removed: Vec<Row> = Vec::new();
         t.rows.retain(|row| {
             if err.is_some() {
                 return true;
             }
             match matches_where(where_clause, &schema, row) {
-                Ok(m) => !m,
+                Ok(m) => {
+                    if m && capture_on {
+                        removed.push(row.clone());
+                    }
+                    !m
+                }
                 Err(e) => {
                     err = Some(e);
                     true
                 }
             }
         });
+        let affected = (before - t.rows.len()) as u64;
+        // Record even on error: rows dropped before the predicate failed
+        // stay dropped, and capture must reflect what actually happened.
+        self.record_change(table, &removed, &[]);
         if let Some(e) = err {
             return Err(e);
         }
         Ok(QueryResult {
             columns: vec![],
             rows: vec![],
-            affected: (before - t.rows.len()) as u64,
+            affected,
             ordered: false,
         })
     }
@@ -831,6 +923,52 @@ mod tests {
             .unwrap()
             .fingerprint();
         assert_eq!(b, c);
+    }
+
+    #[test]
+    fn change_capture_records_exact_row_images() {
+        let mut db = wiki_db();
+        // Capture off: mutations record nothing.
+        db.execute_sql("UPDATE page SET views = 1 WHERE page_id = 1")
+            .unwrap();
+        assert!(db.take_change_capture().is_empty());
+        db.begin_change_capture();
+        assert!(db.change_capture_active());
+        db.execute_sql("INSERT INTO page (page_id, title) VALUES (7, 'New')")
+            .unwrap();
+        db.execute_sql("UPDATE page SET views = views + 5 WHERE owner = 'alice'")
+            .unwrap();
+        db.execute_sql("DELETE FROM page WHERE page_id = 2")
+            .unwrap();
+        let changes = db.take_change_capture();
+        assert!(!db.change_capture_active());
+        let page = &changes["page"];
+        // 1 insert + 2 update post-images added; 2 update pre-images +
+        // 1 delete removed.
+        assert_eq!(page.added.len(), 3);
+        assert_eq!(page.removed.len(), 3);
+        assert!(page.added.iter().any(|r| r[0] == Value::Int(7)));
+        assert!(page.removed.iter().any(|r| r[0] == Value::Int(2)));
+        // Update pre/post images differ only in the assigned column.
+        let pre = page.removed.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        let post = page.added.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(pre[3], Value::Int(1));
+        assert_eq!(post[3], Value::Int(6));
+    }
+
+    #[test]
+    fn change_capture_survives_failed_statements_exactly() {
+        let mut db = wiki_db();
+        db.begin_change_capture();
+        // A failed update leaves the table (and the capture) untouched.
+        assert!(db
+            .execute_sql("UPDATE page SET title = 'Main' WHERE page_id = 2")
+            .is_err());
+        // A failed insert batch adds nothing.
+        assert!(db
+            .execute_sql("INSERT INTO page (page_id, title) VALUES (10, 'X'), (11, 'X')")
+            .is_err());
+        assert!(db.take_change_capture().is_empty());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod value;
 pub use ast::{
     Assignment, ColumnConstraint, ColumnDef, Expr, OrderBy, SelectItem, Statement, TableConstraint,
 };
-pub use engine::{Database, QueryResult};
+pub use engine::{Database, QueryResult, TableChanges};
 pub use error::{SqlError, SqlResult};
 pub use lexer::{tokenize, Token};
 pub use parser::parse;

@@ -101,6 +101,13 @@ impl Value {
 
     /// Total ordering used for ORDER BY and for deterministic result
     /// comparison. NULL sorts before every other value.
+    ///
+    /// Integer-to-integer comparison is exact: going through f64 would
+    /// collapse neighbouring values above 2^53 — and the time-travel
+    /// layer's validity predicates compare logical timestamps right at
+    /// `i64::MAX` ("infinity"), where f64 rounding made `INF > INF - 1`
+    /// come out false and every "current version" query at the end of
+    /// time silently return nothing.
     pub fn cmp_total(&self, other: &Value) -> Ordering {
         use Value::*;
         match (self, other) {
@@ -110,6 +117,8 @@ impl Value {
             (Text(a), Text(b)) => a.cmp(b),
             (Text(_), _) => Ordering::Greater,
             (_, Text(_)) => Ordering::Less,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
             (a, b) => {
                 let fa = a.as_float().unwrap_or(0.0);
                 let fb = b.as_float().unwrap_or(0.0);
@@ -254,5 +263,26 @@ mod tests {
         assert_eq!(Value::text("42").as_int(), Some(42));
         assert_eq!(Value::text("4.5").as_float(), Some(4.5));
         assert_eq!(Value::text("nope").as_int(), None);
+    }
+
+    /// Int-to-int comparison must be exact beyond f64's 2^53 mantissa —
+    /// the time-travel layer compares timestamps right at i64::MAX, where
+    /// f64 rounding once made `MAX > MAX - 1` come out false (and
+    /// `Value::Int(MAX) == Value::Int(MAX - 1)` come out true).
+    #[test]
+    fn int_comparison_is_exact_at_i64_extremes() {
+        use std::cmp::Ordering;
+        let max = Value::Int(i64::MAX);
+        let max1 = Value::Int(i64::MAX - 1);
+        assert_eq!(max.cmp_total(&max1), Ordering::Greater);
+        assert_eq!(max1.cmp_total(&max), Ordering::Less);
+        assert_eq!(max.cmp_total(&Value::Int(i64::MAX)), Ordering::Equal);
+        assert_ne!(max, max1);
+        assert_eq!(max.sql_eq(&max1), Some(false));
+        let big = 1i64 << 53;
+        assert_eq!(
+            Value::Int(big).cmp_total(&Value::Int(big + 1)),
+            Ordering::Less
+        );
     }
 }

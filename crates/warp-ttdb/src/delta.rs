@@ -1,0 +1,197 @@
+//! Repair deltas: canonical per-table row-version change sets.
+//!
+//! A repair's physical effect on the database is a set of stored row
+//! versions removed and added per table. Two producers exist:
+//!
+//! * **Mutation tracking** (the production path): the SQL engine captures
+//!   exact row images at every mutation while a repair generation is
+//!   active ([`crate::TimeTravelDb::drain_repair_delta`]); the raw capture
+//!   is netted here into a canonical delta. Cost: O(rows changed).
+//! * **Snapshot diffing** (the reference path, kept for equivalence
+//!   tests): [`row_diff`] compares a pre-repair snapshot of a table with
+//!   its post-repair rows. Cost: O(table).
+//!
+//! Both paths normalise through the same multiset-count representation
+//! keyed by [`row_key`], so for the same repair they produce *byte
+//! identical* deltas: netting the incremental capture gives, for every
+//! row value `v`, `added(v) - removed(v) = final_count(v) -
+//! baseline_count(v)`, which is exactly what the snapshot diff computes —
+//! and both emit rows in `row_key` order.
+
+use std::collections::BTreeMap;
+use warp_sql::{TableChanges, Value};
+
+/// One table's canonical repair delta: the row versions to remove from and
+/// add to the pre-repair stored rows, each sorted by [`row_key`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableDelta {
+    /// Stored row versions the repair removed.
+    pub remove: Vec<Vec<Value>>,
+    /// Stored row versions the repair added.
+    pub add: Vec<Vec<Value>>,
+}
+
+impl TableDelta {
+    /// True if the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.remove.is_empty() && self.add.is_empty()
+    }
+
+    /// Total row versions touched (removed + added).
+    pub fn row_count(&self) -> usize {
+        self.remove.len() + self.add.len()
+    }
+}
+
+/// A whole repair's delta, keyed by normalized table name.
+pub type RepairDelta = BTreeMap<String, TableDelta>;
+
+/// Nets raw engine change capture into canonical per-table deltas: a row
+/// added then removed (or updated to itself) cancels out, and the
+/// surviving rows are emitted in [`row_key`] order — the same
+/// representation [`row_diff`] produces from snapshots.
+pub fn net_changes(raw: BTreeMap<String, TableChanges>) -> RepairDelta {
+    let mut delta = RepairDelta::new();
+    for (table, changes) in raw {
+        let mut counts: BTreeMap<Vec<u8>, (i64, Vec<Value>)> = BTreeMap::new();
+        for row in changes.added {
+            let key = row_key(&row);
+            counts.entry(key).or_insert((0, row)).0 += 1;
+        }
+        for row in changes.removed {
+            let key = row_key(&row);
+            counts.entry(key).or_insert((0, row)).0 -= 1;
+        }
+        let net = emit_counts(counts);
+        if !net.is_empty() {
+            delta.insert(table, net);
+        }
+    }
+    delta
+}
+
+/// Multiset difference between a table snapshot and its repaired rows:
+/// the delta turning `baseline` into `repaired`. The snapshot-diff
+/// reference path; also used by the partitioned scheduler's tests.
+pub fn row_diff(baseline: &[Vec<Value>], repaired: &[Vec<Value>]) -> TableDelta {
+    let mut counts: BTreeMap<Vec<u8>, (i64, Vec<Value>)> = BTreeMap::new();
+    for row in repaired {
+        counts.entry(row_key(row)).or_insert((0, row.clone())).0 += 1;
+    }
+    for row in baseline {
+        counts.entry(row_key(row)).or_insert((0, row.clone())).0 -= 1;
+    }
+    emit_counts(counts)
+}
+
+/// Emits net multiset counts as a [`TableDelta`] in key order.
+fn emit_counts(counts: BTreeMap<Vec<u8>, (i64, Vec<Value>)>) -> TableDelta {
+    let mut delta = TableDelta::default();
+    for (_, (count, row)) in counts {
+        if count > 0 {
+            for _ in 0..count {
+                delta.add.push(row.clone());
+            }
+        } else {
+            for _ in 0..-count {
+                delta.remove.push(row.clone());
+            }
+        }
+    }
+    delta
+}
+
+/// A compact, collision-free byte encoding of one stored row, used as the
+/// multiset key during netting and diffing (length-prefixed, tagged per
+/// value).
+pub fn row_key(row: &[Value]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(row.len() * 9);
+    for v in row {
+        match v {
+            Value::Null => key.push(0),
+            Value::Bool(b) => {
+                key.push(1);
+                key.push(*b as u8);
+            }
+            Value::Int(i) => {
+                key.push(2);
+                key.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                key.push(3);
+                key.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                key.push(4);
+                key.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                key.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_sql::TableChanges;
+
+    fn row(i: i64) -> Vec<Value> {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn row_diff_is_a_multiset_difference() {
+        let a = vec![row(1), row(2), row(2)];
+        let b = vec![row(2), row(3)];
+        let delta = row_diff(&a, &b);
+        assert_eq!(delta.remove, vec![row(1), row(2)]);
+        assert_eq!(delta.add, vec![row(3)]);
+        assert_eq!(delta.row_count(), 3);
+    }
+
+    #[test]
+    fn netted_capture_equals_snapshot_diff() {
+        // Baseline {1, 2, 2}; mutations: add 3, remove one 2, add 4 then
+        // remove 4 (cancels), update 1 -> 5 (remove 1, add 5).
+        let baseline = vec![row(1), row(2), row(2)];
+        let changes = TableChanges {
+            removed: vec![row(2), row(4), row(1)],
+            added: vec![row(3), row(4), row(5)],
+        };
+        let final_rows = vec![row(2), row(3), row(5)];
+        let mut raw = BTreeMap::new();
+        raw.insert("t".to_string(), changes);
+        let netted = net_changes(raw).remove("t").unwrap();
+        let diffed = row_diff(&baseline, &final_rows);
+        assert_eq!(netted, diffed);
+    }
+
+    #[test]
+    fn empty_net_deltas_are_dropped() {
+        let mut raw = BTreeMap::new();
+        raw.insert(
+            "t".to_string(),
+            TableChanges {
+                removed: vec![row(1)],
+                added: vec![row(1)],
+            },
+        );
+        assert!(net_changes(raw).is_empty());
+    }
+
+    #[test]
+    fn row_keys_do_not_collide_across_types_or_boundaries() {
+        let rows = [
+            vec![Value::Int(1)],
+            vec![Value::Text("1".into())],
+            vec![Value::Bool(true)],
+            vec![Value::Float(1.0)],
+            vec![Value::Text("ab".into()), Value::Text("c".into())],
+            vec![Value::Text("a".into()), Value::Text("bc".into())],
+            vec![Value::Null],
+        ];
+        let keys: std::collections::BTreeSet<Vec<u8>> = rows.iter().map(|r| row_key(r)).collect();
+        assert_eq!(keys.len(), rows.len());
+    }
+}

@@ -30,15 +30,19 @@
 //! re-execution primitives to the repair controller.
 
 pub mod annotations;
+pub mod delta;
 pub mod dependency;
 pub mod repair;
 pub mod rewrite;
 pub mod versioned;
 
 pub use annotations::TableAnnotation;
+pub use delta::{row_diff, RepairDelta, TableDelta};
 pub use dependency::{PartitionKey, PartitionSet, QueryDependency};
 pub use repair::RepairSession;
-pub use versioned::{Generation, StorageStats, TimeTravelDb, Timestamp, INF_GEN, INF_TIME};
+pub use versioned::{
+    Generation, RowScope, StorageStats, TimeTravelDb, Timestamp, INF_GEN, INF_TIME,
+};
 
 #[cfg(test)]
 mod tests {

@@ -55,6 +55,31 @@ pub struct StorageStats {
     pub approximate_bytes: usize,
 }
 
+/// How much of one table's row data a bounded-memory clone carries
+/// (see [`TimeTravelDb::clone_subset`]). Tables absent from a scope carry
+/// no rows at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowScope {
+    /// Every stored row version of the table.
+    AllRows,
+    /// Only row versions whose partition-column values match one of these
+    /// keys.
+    Partitions(std::collections::BTreeSet<crate::PartitionKey>),
+}
+
+impl RowScope {
+    /// Widens this scope with another (AllRows absorbs everything).
+    pub fn union_with(&mut self, other: &RowScope) {
+        match (&mut *self, other) {
+            (RowScope::AllRows, _) => {}
+            (_, RowScope::AllRows) => *self = RowScope::AllRows,
+            (RowScope::Partitions(a), RowScope::Partitions(b)) => {
+                a.extend(b.iter().cloned());
+            }
+        }
+    }
+}
+
 /// Per-table configuration resolved from the programmer's annotation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct TableConfig {
@@ -621,24 +646,47 @@ impl TimeTravelDb {
     /// Starts a repair generation (paper §4.3) and returns its number. All
     /// repair-time operations execute in this generation while normal
     /// execution continues in the current generation.
+    ///
+    /// Starting a repair generation also arms the mutation delta tracker:
+    /// from here until the repair is aborted or its delta drained, every
+    /// stored-row mutation — re-executed writes, rollbacks, generation
+    /// bookkeeping, applied row diffs — records the exact row versions it
+    /// removed and added, so committing the repair costs O(rows changed)
+    /// instead of O(database). Repeated calls without an intervening drain
+    /// or abort keep accumulating into the same tracker (the partitioned
+    /// engine re-begins the generation on worker clones per repair unit).
     pub fn begin_repair_generation(&mut self) -> Generation {
         let next = self.current_gen + 1;
         self.repair_gen = Some(next);
+        self.db.begin_change_capture();
         next
     }
 
     /// Completes a repair: the repair generation becomes the current
     /// generation, making the repaired state visible to normal execution.
+    /// The tracked delta stays available for
+    /// [`TimeTravelDb::drain_repair_delta`].
     pub fn finalize_repair_generation(&mut self) {
         if let Some(next) = self.repair_gen.take() {
             self.current_gen = next;
         }
     }
 
+    /// Drains the mutation delta tracker: the canonical per-table row
+    /// sets removed and added since the repair generation began, netted
+    /// (a row version added and later removed cancels out) and sorted —
+    /// byte-identical to what diffing a pre-repair snapshot against the
+    /// post-repair rows would produce, at O(rows changed) cost.
+    pub fn drain_repair_delta(&mut self) -> crate::delta::RepairDelta {
+        crate::delta::net_changes(self.db.take_change_capture())
+    }
+
     /// Aborts an in-progress repair, discarding every change made in the
     /// repair generation (used when a user-initiated repair would cause
-    /// conflicts for other users, paper §5.5).
+    /// conflicts for other users, paper §5.5). The tracked delta is
+    /// discarded with it (the abort's own cleanup is not a repair effect).
     pub fn abort_repair_generation(&mut self) -> SqlResult<()> {
+        self.db.discard_change_capture();
         let Some(next) = self.repair_gen.take() else {
             return Ok(());
         };
@@ -864,10 +912,12 @@ impl TimeTravelDb {
         remove: &[Vec<Value>],
         add: &[Vec<Value>],
     ) -> SqlResult<()> {
+        let capture_on = self.db.change_capture_active();
         let t = self
             .db
             .table_mut(table)
             .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let mut removed: Vec<Vec<Value>> = Vec::new();
         for gone in remove {
             if let Some(pos) = t.rows.iter().position(|r| r == gone) {
                 // Order-preserving removal. ORDER-BY-less result order is
@@ -875,11 +925,19 @@ impl TimeTravelDb {
                 // results as multisets), but keeping unrelated rows in place
                 // minimizes gratuitous storage-order churn from the merge.
                 t.rows.remove(pos);
+                if capture_on {
+                    removed.push(gone.clone());
+                }
             }
         }
         for new in add {
             t.rows.push(new.clone());
         }
+        // Mirror the rows *actually* removed (requested removals that
+        // matched nothing are not part of the physical effect) and added
+        // into the delta tracker, so merged worker diffs land in the
+        // master's repair delta like any other mutation.
+        self.db.record_change(table, &removed, add);
         Ok(())
     }
 
@@ -900,11 +958,20 @@ impl TimeTravelDb {
     /// schema.
     pub fn replace_table_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> SqlResult<()> {
         self.config(table)?;
+        let capture_on = self.db.change_capture_active();
         let t = self
             .db
             .table_mut(table)
             .ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
-        t.rows = rows;
+        let old = std::mem::replace(&mut t.rows, rows);
+        if capture_on {
+            let added = self
+                .db
+                .table(table)
+                .map(|t| t.rows.clone())
+                .unwrap_or_default();
+            self.db.record_change(table, &old, &added);
+        }
         Ok(())
     }
 
@@ -917,13 +984,94 @@ impl TimeTravelDb {
         self.repair_gen = None;
     }
 
-    /// Clones the database with row data restricted to `tables`: every
-    /// table keeps its schema and configuration, but only the named tables
-    /// carry rows. Worker batches in the partitioned repair engine clone
-    /// just their dependency footprint instead of the whole database.
-    pub fn clone_subset(&self, tables: &std::collections::BTreeSet<String>) -> TimeTravelDb {
+    /// True if partition-scoped bounded clones preserve this table's
+    /// uniqueness semantics: every unique constraint (including the
+    /// primary key) contains at least one partition column, so any two
+    /// rows that could collide share a partition-column value and are
+    /// always cloned together. A table failing this must be cloned whole —
+    /// a current row outside the scope could otherwise make a re-executed
+    /// insert's uniqueness check succeed on the bounded clone but fail on
+    /// a full clone, and the footprint-escape fallback cannot see the
+    /// divergence (the colliding row is never a recorded dependency).
+    pub fn partition_clone_safe(&self, table: &str) -> bool {
+        let Some(cfg) = self.configs.get(&norm(table)) else {
+            return false;
+        };
+        let partition_columns = &cfg.annotation.partition_columns;
+        if partition_columns.is_empty() {
+            return false;
+        }
+        let Some(schema) = self.db.schema(table) else {
+            return false;
+        };
+        schema.unique_constraints.iter().all(|uc| {
+            uc.iter()
+                .any(|c| partition_columns.iter().any(|p| p.eq_ignore_ascii_case(c)))
+        })
+    }
+
+    /// Clones the database with row data restricted to `scope`: every
+    /// table keeps its schema and configuration, but only scoped tables
+    /// carry rows — all of them for [`RowScope::AllRows`], or just the row
+    /// versions whose partition-column values fall in the scoped partition
+    /// keys for [`RowScope::Partitions`]. Worker batches in the
+    /// partitioned repair engine clone only their dependency footprint
+    /// (down to the partition level on whole-table-hub workloads, where a
+    /// single hot table would otherwise be copied wholesale into every
+    /// batch) instead of the whole database.
+    pub fn clone_subset(&self, scope: &BTreeMap<String, RowScope>) -> TimeTravelDb {
+        let mut db = self
+            .db
+            .clone_schema_subset(|name| matches!(scope.get(name), Some(RowScope::AllRows)));
+        for (table, table_scope) in scope {
+            let RowScope::Partitions(keys) = table_scope else {
+                continue;
+            };
+            let (Some(cfg), Some(src)) = (self.configs.get(table), self.db.table(table)) else {
+                continue;
+            };
+            let partition_columns = &cfg.annotation.partition_columns;
+            let dst = db.table_mut(table).expect("schema clone kept every table");
+            if partition_columns.is_empty() {
+                // Partition keys only exist for partitioned tables; an
+                // unpartitioned table can only be scoped whole.
+                dst.rows = src.rows.clone();
+                continue;
+            }
+            // Per column, the set of scoped partition values — so the row
+            // filter below probes string sets directly instead of building
+            // a fresh PartitionKey (three allocations) per row scanned.
+            let col_values: Vec<(usize, std::collections::BTreeSet<&str>)> = partition_columns
+                .iter()
+                .filter_map(|c| src.schema.column_index(c).map(|i| (i, c)))
+                .map(|(i, c)| {
+                    let column = c.to_ascii_lowercase();
+                    let values = keys
+                        .iter()
+                        .filter(|k| k.column == column)
+                        .map(|k| k.value.as_str())
+                        .collect();
+                    (i, values)
+                })
+                .collect();
+            dst.rows = src
+                .rows
+                .iter()
+                .filter(|row| {
+                    col_values.iter().any(|(i, values)| {
+                        row.get(*i)
+                            .map(|v| match v {
+                                Value::Text(s) => values.contains(s.as_str()),
+                                other => values.contains(other.as_display_string().as_str()),
+                            })
+                            .unwrap_or(false)
+                    })
+                })
+                .cloned()
+                .collect();
+        }
         TimeTravelDb {
-            db: self.db.clone_schema_subset(|name| tables.contains(name)),
+            db,
             configs: self.configs.clone(),
             current_gen: self.current_gen,
             repair_gen: self.repair_gen,
@@ -1483,6 +1631,136 @@ mod tests {
                 .rows[0][0],
             Value::text("v6")
         );
+    }
+
+    /// The canonical dump must actually contain the live rows — it is the
+    /// foundation of every engine-equivalence assertion, and an exact-int
+    /// comparison regression at `INF_TIME` once silently emptied it (all
+    /// dump comparisons then vacuously passed on empty strings).
+    #[test]
+    fn canonical_dump_contains_live_rows() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1'), (2, 'Help', 'bob', 'h1')",
+            10,
+        )
+        .unwrap();
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE page_id = 1", 20)
+            .unwrap();
+        let dump = db.canonical_dump();
+        assert!(dump.contains("== page =="), "{dump:?}");
+        assert!(dump.contains("v2"), "current version present: {dump:?}");
+        assert!(dump.contains("h1"), "{dump:?}");
+        assert!(!dump.contains("v1"), "superseded version absent: {dump:?}");
+        assert_eq!(dump.lines().count(), 3, "{dump:?}");
+    }
+
+    /// The tracked repair delta must equal what snapshot-diffing the whole
+    /// table produces — byte for byte.
+    #[test]
+    fn drained_repair_delta_matches_snapshot_diff() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1'), (2, 'Help', 'bob', 'h1')",
+            10,
+        )
+        .unwrap();
+        db.execute_logged("UPDATE page SET body = 'attacked' WHERE page_id = 1", 20)
+            .unwrap();
+        let before = db.table_rows_snapshot("page");
+        let gen = db.begin_repair_generation();
+        db.rollback_rows("page", &[Value::Int(1)], 20, gen).unwrap();
+        let stmt = warp_sql::parse("UPDATE page SET body = 'repaired' WHERE page_id = 2").unwrap();
+        db.execute_stmt_logged(&stmt, 30, gen).unwrap();
+        db.finalize_repair_generation();
+        let delta = db.drain_repair_delta();
+        let after = db.table_rows_snapshot("page");
+        let reference = crate::delta::row_diff(&before, &after);
+        assert!(!reference.is_empty());
+        assert_eq!(delta.get("page"), Some(&reference));
+        assert_eq!(delta.len(), 1, "untouched tables must not appear");
+        // Draining again yields nothing.
+        assert!(db.drain_repair_delta().is_empty());
+    }
+
+    #[test]
+    fn aborted_repair_discards_the_tracked_delta() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        let gen = db.begin_repair_generation();
+        let stmt = warp_sql::parse("UPDATE page SET body = 'edit' WHERE page_id = 1").unwrap();
+        db.execute_stmt_logged(&stmt, 20, gen).unwrap();
+        db.abort_repair_generation().unwrap();
+        assert!(db.drain_repair_delta().is_empty());
+    }
+
+    #[test]
+    fn apply_row_diff_records_only_actual_removals() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        let real = db.table_rows_snapshot("page")[0].clone();
+        let mut phantom = real.clone();
+        phantom[0] = Value::Int(99);
+        db.begin_repair_generation();
+        db.apply_row_diff("page", &[real.clone(), phantom.clone()], &[phantom.clone()])
+            .unwrap();
+        let delta = db.drain_repair_delta();
+        let page = &delta["page"];
+        // The phantom removal matched nothing, so the net effect is:
+        // remove the real row, add the phantom row.
+        assert_eq!(page.remove, vec![real]);
+        assert_eq!(page.add, vec![phantom]);
+    }
+
+    #[test]
+    fn partition_scoped_clone_keeps_only_matching_rows() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES \
+             (1, 'A', 'alice', 'x'), (2, 'B', 'bob', 'y'), (3, 'C', 'carol', 'z')",
+            10,
+        )
+        .unwrap();
+        let mut keys = std::collections::BTreeSet::new();
+        keys.insert(crate::PartitionKey::new("page", "title", &Value::text("B")));
+        let mut scope = BTreeMap::new();
+        scope.insert("page".to_string(), RowScope::Partitions(keys));
+        let clone = db.clone_subset(&scope);
+        let rows = clone.table_rows_snapshot("page");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(2));
+        // AllRows keeps everything; absent tables keep nothing.
+        let mut scope = BTreeMap::new();
+        scope.insert("page".to_string(), RowScope::AllRows);
+        assert_eq!(db.clone_subset(&scope).table_rows_snapshot("page").len(), 3);
+        assert!(db
+            .clone_subset(&BTreeMap::new())
+            .table_rows_snapshot("page")
+            .is_empty());
+    }
+
+    #[test]
+    fn row_scope_union_absorbs() {
+        let key = |t: &str| {
+            let mut s = std::collections::BTreeSet::new();
+            s.insert(crate::PartitionKey::new("page", "title", &Value::text(t)));
+            s
+        };
+        let mut scope = RowScope::Partitions(key("A"));
+        scope.union_with(&RowScope::Partitions(key("B")));
+        assert!(matches!(&scope, RowScope::Partitions(s) if s.len() == 2));
+        scope.union_with(&RowScope::AllRows);
+        assert!(matches!(scope, RowScope::AllRows));
+        scope.union_with(&RowScope::Partitions(key("C")));
+        assert!(matches!(scope, RowScope::AllRows));
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Equivalence of the mutation-tracked repair commit path with the
+//! snapshot-diff reference path, on randomized multi-partition histories.
+//!
+//! The contract: a persistent server committing repairs from its mutation
+//! delta tracker (`reference_snapshot_commit = false`, the production
+//! default) must produce **byte-identical** durable state to one that
+//! snapshots every table before repair and diffs afterwards — the same
+//! persisted log records (including the `RepairCommit` payload), the same
+//! canonical database dump, the same re-executed/cancelled action sets,
+//! and the same recovered server after a crash. This is what lets the
+//! commit path drop its O(database) snapshot without changing the wire
+//! format or recovery semantics.
+
+use proptest::prelude::*;
+use warp_core::{
+    AppConfig, MemoryBackend, Patch, RepairOutcome, RepairRequest, RepairStrategy, ServerConfig,
+    StoreOptions, WarpServer,
+};
+use warp_http::HttpRequest;
+use warp_store::DurableStore;
+use warp_ttdb::TableAnnotation;
+
+const TOPICS: usize = 6;
+
+fn store_options() -> StoreOptions {
+    StoreOptions {
+        segment_bytes: 4 * 1024 * 1024,
+        // No automatic checkpoints: the test wants the full record log.
+        checkpoint_interval: 0,
+    }
+}
+
+/// The notes application from the parallel-repair proptests: one table
+/// partitioned by `topic`, so random traffic produces genuinely
+/// multi-partition histories.
+fn notes_app() -> AppConfig {
+    let mut config = AppConfig::new("delta-notes");
+    config.add_table(
+        "CREATE TABLE note (note_id INTEGER PRIMARY KEY, topic TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("note_id")
+            .partitions(["topic"]),
+    );
+    for t in 0..TOPICS {
+        config.seed(format!(
+            "INSERT INTO note (note_id, topic, body) VALUES ({}, 't{t}', 'seed {t}')",
+            t + 1
+        ));
+    }
+    config.add_source(
+        "post.wasl",
+        "db_query(\"UPDATE note SET body = '\" . sql_escape(param(\"body\")) . \"' \
+         WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"posted\");",
+    );
+    config.add_source(
+        "read.wasl",
+        "let rows = db_query(\"SELECT body FROM note WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); \
+         if (len(rows) > 0) { echo(rows[0][\"body\"]); } else { echo(\"none\"); }",
+    );
+    config.add_source(
+        "scan.wasl",
+        "let rows = db_query(\"SELECT body FROM note\"); echo(len(rows));",
+    );
+    config
+}
+
+fn notes_patch() -> Patch {
+    Patch::new(
+        "post.wasl",
+        "db_query(\"UPDATE note SET body = '[' . sql_escape(param(\"body\")) . ']' \
+         WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); echo(\"posted\");",
+        "sanitise stored notes",
+    )
+}
+
+fn open_server(mem: &MemoryBackend) -> WarpServer {
+    let (server, _) = WarpServer::open(
+        ServerConfig::new(notes_app())
+            .with_backend(Box::new(mem.clone()))
+            .with_store_options(store_options()),
+    )
+    .expect("open persistent server");
+    server
+}
+
+/// Decodes one random op and sends it (writes seed repairs, reads change
+/// fingerprints, the occasional scan links partitions).
+fn apply_op(server: &mut WarpServer, op: u32, index: usize) {
+    let topic = format!("t{}", op as usize % TOPICS);
+    let kind = if op.is_multiple_of(23) { 2 } else { op % 2 };
+    let mut request = match kind {
+        0 => HttpRequest::post(
+            "/post.wasl",
+            [
+                ("topic", topic.as_str()),
+                ("body", format!("v{op}").as_str()),
+            ],
+        ),
+        1 => HttpRequest::get(&format!("/read.wasl?topic={topic}")),
+        _ => HttpRequest::get("/scan.wasl"),
+    };
+    if !index.is_multiple_of(3) {
+        request.warp.client_id = Some(format!("user{}", op as usize % 4));
+        request.warp.visit_id = Some((index / 3) as u64);
+        request.warp.request_id = Some((index % 3) as u64);
+    }
+    server.handle(request);
+}
+
+/// Everything one commit path leaves behind: the in-memory outcome, the
+/// canonical dump, the raw persisted store (checkpoint + records), and the
+/// state a recovery reproduces from it.
+struct PathResult {
+    outcome: RepairOutcome,
+    dump: String,
+    checkpoint: Option<Vec<u8>>,
+    records: Vec<(u64, u8, Vec<u8>)>,
+    recovered_dump: String,
+    recovered_history_len: usize,
+}
+
+fn run_commit_path(
+    ops: &[u32],
+    request: &RepairRequest,
+    strategy: RepairStrategy,
+    reference_snapshot: bool,
+    gc_at: Option<usize>,
+) -> PathResult {
+    let mem = MemoryBackend::new();
+    let mut server = open_server(&mem);
+    server.reference_snapshot_commit = reference_snapshot;
+    for (i, &op) in ops.iter().enumerate() {
+        if gc_at == Some(i) {
+            let cutoff = server.clock.now();
+            server.garbage_collect(cutoff);
+        }
+        apply_op(&mut server, op, i);
+    }
+    let outcome = server.repair_with(request.clone(), strategy);
+    let dump = server.db.canonical_dump();
+    drop(server); // crash
+
+    let (store, recovered) =
+        DurableStore::open(Box::new(mem.clone()), store_options()).expect("read back the store");
+    drop(store);
+    let (mut reopened, _) = WarpServer::open(
+        ServerConfig::new(notes_app())
+            .with_backend(Box::new(mem.clone()))
+            .with_store_options(store_options()),
+    )
+    .expect("recover server");
+    PathResult {
+        outcome,
+        dump,
+        checkpoint: recovered.checkpoint,
+        records: recovered.records,
+        recovered_dump: reopened.db.canonical_dump(),
+        recovered_history_len: reopened.history.len(),
+    }
+}
+
+fn assert_paths_agree(
+    ops: &[u32],
+    request: RepairRequest,
+    strategy: RepairStrategy,
+    gc_at: Option<usize>,
+) {
+    let delta = run_commit_path(ops, &request, strategy, false, gc_at);
+    let snapshot = run_commit_path(ops, &request, strategy, true, gc_at);
+    prop_assert_eq!(
+        &delta.outcome.reexecuted_actions,
+        &snapshot.outcome.reexecuted_actions
+    );
+    prop_assert_eq!(
+        &delta.outcome.cancelled_actions,
+        &snapshot.outcome.cancelled_actions
+    );
+    prop_assert_eq!(delta.outcome.aborted, snapshot.outcome.aborted);
+    prop_assert_eq!(
+        delta.outcome.stats.dirty_tables,
+        snapshot.outcome.stats.dirty_tables
+    );
+    prop_assert_eq!(
+        delta.outcome.stats.dirty_rows,
+        snapshot.outcome.stats.dirty_rows
+    );
+    prop_assert_eq!(&delta.dump, &snapshot.dump, "post-repair state diverged");
+    // The durable store must be byte-identical: same checkpoint payload,
+    // same record sequence — including the RepairCommit record whose
+    // table_diffs the two paths computed completely differently.
+    prop_assert_eq!(&delta.checkpoint, &snapshot.checkpoint);
+    prop_assert_eq!(
+        delta.records.len(),
+        snapshot.records.len(),
+        "persisted record counts diverged"
+    );
+    for (d, s) in delta.records.iter().zip(snapshot.records.iter()) {
+        prop_assert_eq!(d, s, "persisted log records diverged");
+    }
+    // And a recovery from either store reproduces the repaired server.
+    prop_assert_eq!(&delta.recovered_dump, &delta.dump);
+    prop_assert_eq!(&delta.recovered_dump, &snapshot.recovered_dump);
+    prop_assert_eq!(delta.recovered_history_len, snapshot.recovered_history_len);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Retroactive patching, sequential engine: the delta-tracked commit
+    /// must persist byte-identical records to the snapshot-diff reference.
+    #[test]
+    fn delta_commit_equals_snapshot_commit_sequential(
+        ops in proptest::collection::vec(0u32..10_000, 6..28),
+    ) {
+        assert_paths_agree(
+            &ops,
+            RepairRequest::RetroactivePatch { patch: notes_patch(), from_time: 0 },
+            RepairStrategy::Sequential,
+            None,
+        );
+    }
+
+    /// Same contract under the partitioned engine, whose commits flow
+    /// through per-batch delta merges.
+    #[test]
+    fn delta_commit_equals_snapshot_commit_partitioned(
+        ops in proptest::collection::vec(0u32..10_000, 6..28),
+        workers in 1usize..4,
+    ) {
+        assert_paths_agree(
+            &ops,
+            RepairRequest::RetroactivePatch { patch: notes_patch(), from_time: 0 },
+            RepairStrategy::Partitioned { workers },
+            None,
+        );
+    }
+
+    /// Undoing a visit (pure rollback, no patched re-execution) commits
+    /// identically too.
+    #[test]
+    fn delta_commit_equals_snapshot_commit_undo(
+        ops in proptest::collection::vec(0u32..10_000, 6..24),
+        visit in 0usize..6,
+    ) {
+        let user = format!("user{}", ops.first().copied().unwrap_or(0) as usize % 4);
+        assert_paths_agree(
+            &ops,
+            RepairRequest::UndoVisit {
+                client_id: user,
+                visit_id: visit as u64,
+                initiated_by_admin: true,
+            },
+            RepairStrategy::Sequential,
+            None,
+        );
+    }
+
+    /// A garbage collection mid-history (which renumbers actions, rebuilds
+    /// the partition index and forces a log-compacting checkpoint) must not
+    /// disturb the equivalence of a later repair's commit.
+    #[test]
+    fn delta_commit_survives_gc(
+        ops in proptest::collection::vec(0u32..10_000, 10..24),
+    ) {
+        assert_paths_agree(
+            &ops,
+            RepairRequest::RetroactivePatch { patch: notes_patch(), from_time: 0 },
+            RepairStrategy::Sequential,
+            Some(ops.len() / 2),
+        );
+    }
+}
+
+/// Crash-recovery replay of a delta-logged commit: after the repair
+/// commits durably, a crash and reopen must reproduce the repaired state
+/// exactly — the commit record alone (no re-execution, no patched
+/// sources) carries the repair's full physical effect.
+#[test]
+fn crash_after_delta_commit_recovers_repaired_state() {
+    let ops: Vec<u32> = (0..30).map(|i| i * 17 + 3).collect();
+    let mem = MemoryBackend::new();
+    let mut server = open_server(&mem);
+    for (i, &op) in ops.iter().enumerate() {
+        apply_op(&mut server, op, i);
+    }
+    let outcome = server.repair_with(
+        RepairRequest::RetroactivePatch {
+            patch: notes_patch(),
+            from_time: 0,
+        },
+        RepairStrategy::Partitioned { workers: 2 },
+    );
+    assert!(!outcome.aborted);
+    assert!(outcome.stats.dirty_rows > 0, "the repair must change rows");
+    let expected_dump = server.db.canonical_dump();
+    let expected_cancelled: Vec<u64> = server
+        .history
+        .actions()
+        .iter()
+        .filter(|a| a.cancelled)
+        .map(|a| a.id)
+        .collect();
+    drop(server); // crash
+
+    let (mut recovered, report) = WarpServer::open(
+        ServerConfig::new(notes_app())
+            .with_backend(Box::new(mem.clone()))
+            .with_store_options(store_options()),
+    )
+    .expect("recover");
+    assert!(report.recovered);
+    assert!(
+        !report.pending_repair,
+        "the commit record closed the repair"
+    );
+    assert_eq!(recovered.db.canonical_dump(), expected_dump);
+    let recovered_cancelled: Vec<u64> = recovered
+        .history
+        .actions()
+        .iter()
+        .filter(|a| a.cancelled)
+        .map(|a| a.id)
+        .collect();
+    assert_eq!(recovered_cancelled, expected_cancelled);
+    // The recovered server keeps serving on the repaired state.
+    let check = recovered.handle(HttpRequest::get("/read.wasl?topic=t0"));
+    assert_eq!(check.status, 200);
+}
+
+/// An aborted repair leaves no commit record and no tracked delta: the
+/// recovered server matches the pre-repair state byte for byte.
+#[test]
+fn aborted_repair_commits_nothing_under_delta_tracking() {
+    let mem = MemoryBackend::new();
+    let mut server = open_server(&mem);
+    // user-1 writes; user-2 (no extension) reads the same topic, so a
+    // non-admin undo of user-1's visit conflicts and aborts.
+    let mut write = HttpRequest::post("/post.wasl", [("topic", "t0"), ("body", "mine")]);
+    write.warp.client_id = Some("user-1".into());
+    write.warp.visit_id = Some(1);
+    write.warp.request_id = Some(0);
+    server.handle(write);
+    let mut read = HttpRequest::get("/read.wasl?topic=t0");
+    read.warp.client_id = Some("user-2".into());
+    read.warp.visit_id = Some(1);
+    read.warp.request_id = Some(0);
+    server.handle(read);
+    let before = server.db.canonical_dump();
+    let outcome = server.repair(RepairRequest::UndoVisit {
+        client_id: "user-1".into(),
+        visit_id: 1,
+        initiated_by_admin: false,
+    });
+    assert!(outcome.aborted);
+    assert_eq!(outcome.stats.dirty_tables, 0);
+    assert_eq!(outcome.stats.dirty_rows, 0);
+    assert_eq!(server.db.canonical_dump(), before);
+    drop(server);
+    let (mut recovered, _) = WarpServer::open(
+        ServerConfig::new(notes_app())
+            .with_backend(Box::new(mem.clone()))
+            .with_store_options(store_options()),
+    )
+    .expect("recover");
+    assert_eq!(recovered.db.canonical_dump(), before);
+}
