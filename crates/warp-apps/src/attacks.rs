@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use warp_browser::Browser;
-use warp_core::WarpServer;
+use warp_core::WarpHost;
 use warp_http::HttpRequest;
 
 /// The attack scenarios of Table 2.
@@ -63,13 +63,20 @@ impl AttackKind {
     }
 }
 
-/// Logs a browser into the wiki through the real login form.
-pub fn login(browser: &mut Browser, server: &mut WarpServer, user: &str, password: &str) -> bool {
+/// Logs a browser into the wiki through the real login form. The host is
+/// either a concurrent [`warp_core::Warp`] handle or a bare
+/// [`warp_core::WarpServer`] (the deprecated synchronous shim).
+pub fn login<H: WarpHost>(
+    browser: &mut Browser,
+    server: &mut H,
+    user: &str,
+    password: &str,
+) -> bool {
     let mut visit = browser.visit("/login.wasl", server);
     browser.fill(&mut visit, "user", user);
     browser.fill(&mut visit, "password", password);
     let done = browser.submit_form(&mut visit, "/login.wasl", server);
-    server.upload_client_logs(browser.take_logs());
+    server.upload_logs(browser.take_logs());
     done.response.body.contains("Welcome")
 }
 
@@ -90,9 +97,9 @@ pub fn xss_payload(victim_page: &str) -> String {
 ///
 /// Returns the page visit IDs (per victim) on which the attack ran, plus —
 /// for the ACL-error scenario — the admin's visit ID to undo.
-pub fn execute_attack(
+pub fn execute_attack<H: WarpHost>(
     kind: AttackKind,
-    server: &mut WarpServer,
+    server: &mut H,
     attacker: &mut Browser,
     victims: &mut [(Browser, String)],
 ) -> AttackTrace {
@@ -107,13 +114,13 @@ pub fn execute_attack(
             req.form
                 .insert("body".into(), body.replace("PAGEHOLDER", "Page1"));
             req.cookies = attacker.cookies.clone();
-            server.handle(req);
+            server.send(req);
             // Victims view the infected public page; the payload runs in
             // their browsers.
             for (victim, _page) in victims.iter_mut() {
                 let visit = victim.visit("/view.wasl?title=Public", server);
                 trace.victim_visits.push(visit.visit_id);
-                server.upload_client_logs(victim.take_logs());
+                server.upload_logs(victim.take_logs());
             }
         }
         AttackKind::ReflectedXss => {
@@ -127,7 +134,7 @@ pub fn execute_attack(
             for (victim, _page) in victims.iter_mut() {
                 let visit = victim.visit(&url, server);
                 trace.victim_visits.push(visit.visit_id);
-                server.upload_client_logs(victim.take_logs());
+                server.upload_logs(victim.take_logs());
             }
         }
         AttackKind::SqlInjection => {
@@ -139,12 +146,12 @@ pub fn execute_attack(
                 warp_http::url::percent_encode("INFECTED BY XSS"),
                 warp_http::url::percent_encode("zzz' OR title LIKE '%"),
             );
-            server.handle(HttpRequest::get(&injected));
+            server.send(HttpRequest::get(&injected));
             // Victims view their (now corrupted) pages.
             for (victim, page) in victims.iter_mut() {
                 let visit = victim.visit(&format!("/view.wasl?title={page}"), server);
                 trace.victim_visits.push(visit.visit_id);
-                server.upload_client_logs(victim.take_logs());
+                server.upload_logs(victim.take_logs());
             }
         }
         AttackKind::Csrf => {
@@ -166,7 +173,7 @@ pub fn execute_attack(
                     );
                     let _ = victim.submit_form(&mut visit, "/edit.wasl", server);
                 }
-                server.upload_client_logs(victim.take_logs());
+                server.upload_logs(victim.take_logs());
             }
         }
         AttackKind::Clickjacking => {
@@ -182,7 +189,7 @@ pub fn execute_attack(
                         let _ = victim.submit_form(&mut frame, "/edit.wasl", server);
                     }
                 }
-                server.upload_client_logs(victim.take_logs());
+                server.upload_logs(victim.take_logs());
             }
         }
         AttackKind::AclError => {
@@ -193,14 +200,14 @@ pub fn execute_attack(
             let grant = admin.visit("/acl.wasl?title=Page2&user=user1", server);
             trace.admin_visit = Some(grant.visit_id);
             trace.admin_client = Some("admin-browser".to_string());
-            server.upload_client_logs(admin.take_logs());
+            server.upload_logs(admin.take_logs());
             if let Some((victim, _)) = victims.iter_mut().next() {
                 let mut visit = victim.visit("/view.wasl?title=Page2", server);
                 if visit.response.body.contains("<form") {
                     victim.fill(&mut visit, "body", "edited with mistakenly granted rights");
                     let _ = victim.submit_form(&mut visit, "/edit.wasl", server);
                 }
-                server.upload_client_logs(victim.take_logs());
+                server.upload_logs(victim.take_logs());
             }
         }
     }
@@ -222,6 +229,7 @@ pub struct AttackTrace {
 mod tests {
     use super::*;
     use crate::wiki::{attacker_acl_sql, attacker_seed_sql, wiki_app};
+    use warp_core::WarpServer;
     use warp_http::Transport;
 
     fn server() -> WarpServer {

@@ -6,7 +6,7 @@ use crate::wiki::{attacker_acl_sql, attacker_seed_sql, wiki_app, wiki_patch};
 use crate::workload::{run_background_workload, WorkloadConfig};
 use serde::{Deserialize, Serialize};
 use warp_browser::Browser;
-use warp_core::{RepairOutcome, RepairRequest, RepairStrategy, WarpServer};
+use warp_core::{RepairOutcome, RepairRequest, RepairStrategy, Warp, WarpHost};
 use warp_http::HttpRequest;
 
 /// Configuration of one attack-recovery scenario (Table 3 / 7 / 8).
@@ -83,25 +83,32 @@ pub fn scenario_app(config: &ScenarioConfig) -> warp_core::AppConfig {
     app
 }
 
-/// Runs one scenario end to end on a fresh in-memory server.
+/// Runs one scenario end to end on a fresh in-memory deployment, driven
+/// through the concurrent [`Warp`] façade.
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
-    run_scenario_on(config, WarpServer::new(scenario_app(config)))
+    let mut warp = Warp::builder()
+        .app(scenario_app(config))
+        .repair_workers(config.repair_workers)
+        .start();
+    run_scenario_on(config, &mut warp)
 }
 
-/// Runs one scenario end to end on a caller-provided server — typically one
-/// opened with a storage backend ([`warp_core::ServerConfig::with_backend`])
-/// so the whole attack-and-recovery run is persisted and restartable. The
-/// server must have been built from [`scenario_app`] with the same config.
-pub fn run_scenario_on(config: &ScenarioConfig, mut server: WarpServer) -> ScenarioResult {
+/// Runs one scenario end to end on a caller-provided host: a [`Warp`]
+/// handle built with [`warp_core::Warp::builder`] (typically over a storage
+/// backend, so the whole attack-and-recovery run is persisted and
+/// restartable) or a bare [`warp_core::WarpServer`] — the deprecated
+/// synchronous shim, accepted so the shim-equivalence tests can drive the
+/// identical workload through both front ends. The host must have been
+/// built from [`scenario_app`] with the same config.
+pub fn run_scenario_on<H: WarpHost>(config: &ScenarioConfig, server: &mut H) -> ScenarioResult {
     // Victims log in with extension-enabled browsers.
-    let mut victims: Vec<(Browser, String)> = (1..=config.victims)
-        .map(|i| {
-            let mut b = Browser::new(format!("victim{i}"));
-            let ok = login(&mut b, &mut server, &format!("user{i}"), &format!("pw{i}"));
-            debug_assert!(ok, "victim login must succeed");
-            (b, format!("Page{i}"))
-        })
-        .collect();
+    let mut victims: Vec<(Browser, String)> = Vec::new();
+    for i in 1..=config.victims {
+        let mut b = Browser::new(format!("victim{i}"));
+        let ok = login(&mut b, server, &format!("user{i}"), &format!("pw{i}"));
+        debug_assert!(ok, "victim login must succeed");
+        victims.push((b, format!("Page{i}")));
+    }
     let mut attacker = Browser::new("attacker-browser");
 
     let background = WorkloadConfig {
@@ -112,15 +119,15 @@ pub fn run_scenario_on(config: &ScenarioConfig, mut server: WarpServer) -> Scena
     };
     let trace;
     if config.victims_at_start {
-        trace = execute_attack(config.attack, &mut server, &mut attacker, &mut victims);
-        run_background_workload(&mut server, &background, config.victims + 1);
+        trace = execute_attack(config.attack, server, &mut attacker, &mut victims);
+        run_background_workload(server, &background, config.victims + 1);
     } else {
-        run_background_workload(&mut server, &background, config.victims + 1);
-        trace = execute_attack(config.attack, &mut server, &mut attacker, &mut victims);
+        run_background_workload(server, &background, config.victims + 1);
+        trace = execute_attack(config.attack, server, &mut attacker, &mut victims);
     }
     // Victims keep using the wiki after the attack.
     for (i, (victim, page)) in victims.iter_mut().enumerate() {
-        let mut visit = victim.visit(&format!("/view.wasl?title={page}"), &mut server);
+        let mut visit = victim.visit(&format!("/view.wasl?title={page}"), server);
         if visit.response.body.contains("<form") {
             // The victim edits on top of whatever the page currently shows
             // (which may include attacker-injected content), as in the
@@ -131,25 +138,26 @@ pub fn run_scenario_on(config: &ScenarioConfig, mut server: WarpServer) -> Scena
                 "body",
                 &format!("{existing}\nvictim {} post-attack note", i + 1),
             );
-            let _ = victim.submit_form(&mut visit, "/edit.wasl", &mut server);
+            let _ = victim.submit_form(&mut visit, "/edit.wasl", server);
         }
-        server.upload_client_logs(victim.take_logs());
+        server.upload_logs(victim.take_logs());
     }
 
-    let attack_succeeded = attack_visible(&mut server, config.attack);
-    let total_actions = server.history.len();
+    let attack_succeeded = attack_visible(server, config.attack);
+    let total_actions = server.with_host(|s| s.history.len());
 
-    // Initiate repair: retroactive patch, or admin-initiated undo.
+    // Initiate repair: retroactive patch, or admin-initiated undo. Through
+    // a `Warp` host this goes over the first-class repair-handle path.
     let strategy = config.repair_strategy();
     let outcome = match wiki_patch(config.attack) {
-        Some(patch) => server.repair_with(
+        Some(patch) => server.host_repair(
             RepairRequest::RetroactivePatch {
                 patch,
                 from_time: 0,
             },
             strategy,
         ),
-        None => server.repair_with(
+        None => server.host_repair(
             RepairRequest::UndoVisit {
                 client_id: trace
                     .admin_client
@@ -166,16 +174,18 @@ pub fn run_scenario_on(config: &ScenarioConfig, mut server: WarpServer) -> Scena
     // replayed resolve the conflict by cancelling that page visit, which is
     // the resolution the paper's prototype supports and the one its
     // clickjacking discussion expects users to choose.
-    let users_with_conflicts = server.conflicts.clients_with_conflicts();
-    let pending: Vec<(String, u64)> = server
-        .conflicts
-        .all()
-        .iter()
-        .filter(|c| !c.resolved)
-        .map(|c| (c.client_id.clone(), c.visit_id))
-        .collect();
+    let (users_with_conflicts, pending) = server.with_host(|s| {
+        let pending: Vec<(String, u64)> = s
+            .conflicts
+            .all()
+            .iter()
+            .filter(|c| !c.resolved)
+            .map(|c| (c.client_id.clone(), c.visit_id))
+            .collect();
+        (s.conflicts.clients_with_conflicts(), pending)
+    });
     for (client, visit) in pending {
-        let _ = server.repair_with(
+        let _ = server.host_repair(
             RepairRequest::UndoVisit {
                 client_id: client.clone(),
                 visit_id: visit,
@@ -183,11 +193,11 @@ pub fn run_scenario_on(config: &ScenarioConfig, mut server: WarpServer) -> Scena
             },
             strategy,
         );
-        server.conflicts.resolve(&client, visit);
+        server.with_host(move |s| s.conflicts.resolve(&client, visit));
     }
 
-    let still_visible = attack_visible(&mut server, config.attack);
-    let legit_preserved = legitimate_edits_preserved(&mut server, &background, config.victims + 1);
+    let still_visible = attack_visible(server, config.attack);
+    let legit_preserved = legitimate_edits_preserved(server, &background, config.victims + 1);
     ScenarioResult {
         attack: config.attack,
         attack_succeeded,
@@ -200,18 +210,17 @@ pub fn run_scenario_on(config: &ScenarioConfig, mut server: WarpServer) -> Scena
 
 /// Checks whether the attack's visible damage is present in the current
 /// state of the wiki.
-fn attack_visible(server: &mut WarpServer, attack: AttackKind) -> bool {
+fn attack_visible<H: WarpHost>(server: &mut H, attack: AttackKind) -> bool {
     match attack {
         AttackKind::ReflectedXss | AttackKind::StoredXss | AttackKind::SqlInjection => {
-            let r = server.handle(HttpRequest::get("/view.wasl?title=Page1"));
+            let r = server.send(HttpRequest::get("/view.wasl?title=Page1"));
             r.body.contains("INFECTED BY XSS")
         }
-        AttackKind::Csrf => {
-            let out = server
-                .db
-                .execute_logged(
+        AttackKind::Csrf => server.with_host(|s| {
+            let out =
+                s.db.execute_logged(
                     "SELECT last_editor FROM page WHERE title = 'Public'",
-                    server.clock.now() + 1,
+                    s.clock.now() + 1,
                 )
                 .expect("query last editor");
             out.result
@@ -219,21 +228,21 @@ fn attack_visible(server: &mut WarpServer, attack: AttackKind) -> bool {
                 .first()
                 .map(|r| r[0].as_display_string() == "attacker")
                 .unwrap_or(false)
-        }
+        }),
         AttackKind::Clickjacking => {
-            let r = server.handle(HttpRequest::get("/view.wasl?title=Public"));
+            let r = server.send(HttpRequest::get("/view.wasl?title=Public"));
             r.body.contains("tricked into clicking")
         }
         AttackKind::AclError => {
-            let r = server.handle(HttpRequest::get("/view.wasl?title=Page2"));
+            let r = server.send(HttpRequest::get("/view.wasl?title=Page2"));
             r.body.contains("mistakenly granted rights")
         }
     }
 }
 
 /// Checks that the background users' legitimate edits survived repair.
-fn legitimate_edits_preserved(
-    server: &mut WarpServer,
+fn legitimate_edits_preserved<H: WarpHost>(
+    server: &mut H,
     background: &WorkloadConfig,
     start_index: usize,
 ) -> bool {
@@ -242,13 +251,15 @@ fn legitimate_edits_preserved(
     }
     // The first background user's first edit writes "revision 0" to its page.
     let title = format!("Page{start_index}");
-    let r = server.handle(HttpRequest::get(&format!("/view.wasl?title={title}")));
+    let r = server.send(HttpRequest::get(&format!("/view.wasl?title={title}")));
     r.body.contains("revision")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use warp_core::WarpServer;
+    use warp_http::Transport;
 
     #[test]
     fn stored_xss_scenario_recovers_with_retroactive_patching() {
@@ -284,29 +295,69 @@ mod tests {
 
     #[test]
     fn persistent_scenario_survives_restart() {
-        use warp_core::{MemoryBackend, ServerConfig};
+        use warp_core::MemoryBackend;
         let config = ScenarioConfig::small(AttackKind::StoredXss);
         let backend = MemoryBackend::new();
-        let (server, report) = WarpServer::open(
-            ServerConfig::new(scenario_app(&config)).with_backend(Box::new(backend.clone())),
-        )
-        .expect("open persistent scenario server");
+        let (mut warp, report) = Warp::builder()
+            .app(scenario_app(&config))
+            .backend(Box::new(backend.clone()))
+            .build()
+            .expect("open persistent scenario deployment");
         assert!(!report.recovered, "first open must start fresh");
-        let result = run_scenario_on(&config, server);
+        let result = run_scenario_on(&config, &mut warp);
         assert!(result.attack_succeeded && result.repaired);
+        drop(warp); // crash
 
-        // "Crash" (the server was dropped inside run_scenario_on) and
-        // recover: the post-repair state must be exactly what persisted.
-        let (mut recovered, report) = WarpServer::open(
-            ServerConfig::new(scenario_app(&config)).with_backend(Box::new(backend)),
-        )
-        .expect("recover scenario server");
+        // Recover: the post-repair state must be exactly what persisted.
+        let (mut recovered, report) = Warp::builder()
+            .app(scenario_app(&config))
+            .backend(Box::new(backend))
+            .build()
+            .expect("recover scenario deployment");
         assert!(report.recovered);
         assert!(recovered.pending_repair().is_none());
-        // The attack stays repaired on the recovered server.
-        let r = recovered.handle(HttpRequest::get("/view.wasl?title=Page1"));
+        // The attack stays repaired on the recovered deployment.
+        let r = recovered.send(HttpRequest::get("/view.wasl?title=Page1"));
         assert!(!r.body.contains("INFECTED BY XSS"));
-        assert!(recovered.history.len() >= result.total_actions);
+        assert!(recovered.with_host(|s| s.history.len()) >= result.total_actions);
+    }
+
+    /// The satellite contract for the deprecated shim: driving the identical
+    /// scenario workload through a bare `WarpServer` and through the
+    /// concurrent `Warp` façade must produce byte-identical application
+    /// state and the same repair outcome.
+    #[test]
+    fn shim_and_facade_front_ends_are_equivalent() {
+        let config = ScenarioConfig::small(AttackKind::StoredXss);
+
+        let mut shim = WarpServer::new(scenario_app(&config));
+        let shim_result = run_scenario_on(&config, &mut shim);
+
+        let mut warp = Warp::builder().app(scenario_app(&config)).start();
+        let facade_result = run_scenario_on(&config, &mut warp);
+        let mut facade_server = warp.close();
+
+        assert_eq!(shim_result.attack_succeeded, facade_result.attack_succeeded);
+        assert_eq!(shim_result.repaired, facade_result.repaired);
+        assert_eq!(
+            shim_result.users_with_conflicts,
+            facade_result.users_with_conflicts
+        );
+        assert_eq!(shim_result.total_actions, facade_result.total_actions);
+        assert_eq!(
+            shim_result.outcome.reexecuted_actions,
+            facade_result.outcome.reexecuted_actions
+        );
+        assert_eq!(
+            shim_result.outcome.cancelled_actions,
+            facade_result.outcome.cancelled_actions
+        );
+        assert_eq!(
+            shim.db.canonical_dump(),
+            facade_server.db.canonical_dump(),
+            "shim and façade must end in byte-identical application state"
+        );
+        assert_eq!(shim.history.len(), facade_server.history.len());
     }
 
     #[test]

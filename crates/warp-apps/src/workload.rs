@@ -3,7 +3,7 @@
 use crate::attacks::login;
 use serde::{Deserialize, Serialize};
 use warp_browser::Browser;
-use warp_core::WarpServer;
+use warp_core::WarpHost;
 use warp_http::HttpRequest;
 
 /// Configuration of a background workload of ordinary wiki users.
@@ -45,8 +45,8 @@ pub struct WorkloadReport {
 /// reading and editing their own page (deterministically, based on the visit
 /// index). Users are `user<start_index>..`, so workloads can avoid the users
 /// designated as victims.
-pub fn run_background_workload(
-    server: &mut WarpServer,
+pub fn run_background_workload<H: WarpHost>(
+    server: &mut H,
     config: &WorkloadConfig,
     start_index: usize,
 ) -> WorkloadReport {
@@ -86,16 +86,16 @@ pub fn run_background_workload(
                 report.page_visits += 1;
                 report.edits += 1;
             }
-            server.upload_client_logs(browser.take_logs());
+            server.upload_logs(browser.take_logs());
         }
-        server.upload_client_logs(browser.take_logs());
+        server.upload_logs(browser.take_logs());
     }
     report
 }
 
 /// A pure read or edit request stream used by the throughput benchmark
 /// (Table 6): no browser, just HTTP requests against the server.
-pub fn run_raw_requests(server: &mut WarpServer, page_visits: usize, edit: bool) -> usize {
+pub fn run_raw_requests<H: WarpHost>(server: &mut H, page_visits: usize, edit: bool) -> usize {
     let mut done = 0;
     for i in 0..page_visits {
         let title = format!("Page{}", (i % 3) + 1);
@@ -109,9 +109,9 @@ pub fn run_raw_requests(server: &mut WarpServer, page_visits: usize, edit: bool)
             );
             // Raw benchmark traffic runs as the admin (always allowed).
             req.cookies.set("sid", admin_session(server));
-            server.handle(req);
+            server.send(req);
         } else {
-            server.handle(HttpRequest::get(&format!("/view.wasl?title={title}")));
+            server.send(HttpRequest::get(&format!("/view.wasl?title={title}")));
         }
         done += 1;
     }
@@ -119,15 +119,17 @@ pub fn run_raw_requests(server: &mut WarpServer, page_visits: usize, edit: bool)
 }
 
 /// Returns (creating if needed) an admin session ID for raw benchmark traffic.
-fn admin_session(server: &mut WarpServer) -> String {
-    let existing = server
-        .db
-        .execute_logged(
-            "SELECT sid FROM session WHERE user_name = 'admin'",
-            server.clock.now() + 1,
-        )
-        .ok()
-        .and_then(|out| out.result.rows.first().map(|r| r[0].as_display_string()));
+fn admin_session<H: WarpHost>(server: &mut H) -> String {
+    let existing = server.with_host(|server| {
+        server
+            .db
+            .execute_logged(
+                "SELECT sid FROM session WHERE user_name = 'admin'",
+                server.clock.now() + 1,
+            )
+            .ok()
+            .and_then(|out| out.result.rows.first().map(|r| r[0].as_display_string()))
+    });
     if let Some(sid) = existing {
         if !sid.is_empty() {
             return sid;
@@ -143,6 +145,7 @@ fn admin_session(server: &mut WarpServer) -> String {
 mod tests {
     use super::*;
     use crate::wiki::wiki_app;
+    use warp_core::WarpServer;
 
     #[test]
     fn background_workload_is_deterministic_and_logged() {

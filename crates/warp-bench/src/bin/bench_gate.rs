@@ -6,24 +6,31 @@
 //! repair by more than the allowed slowdown on the 100-user workload.
 //!
 //! With `--recovery BENCH_recovery.json` it additionally fails on
-//! recovery-time / logging-overhead regressions, and with
+//! recovery-time / logging-overhead regressions, with
 //! `--commit BENCH_commit.json` on repair-commit cost that grows with
-//! database size instead of with the repair's write set.
+//! database size instead of with the repair's write set, and with
+//! `--serve BENCH_serve.json` on group-commit serving throughput falling
+//! more than 10% behind the relaxed (ack-before-durable) tier.
 //!
 //! Exit code 2 means a report was missing or incomplete — the gate never
 //! passes silently on missing data.
 
 use std::path::PathBuf;
 use warp_bench::report::{
-    evaluate_commit_gate, evaluate_gate, evaluate_recovery_gate, load_commit_records, load_records,
-    load_recovery_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO, GATE_WORKLOAD,
-    RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO,
+    evaluate_commit_gate, evaluate_gate, evaluate_recovery_gate, evaluate_serve_gate,
+    load_commit_records, load_records, load_recovery_records, load_serve_records, COMMIT_FLOOR_MS,
+    COMMIT_MAX_RATIO, GATE_WORKLOAD, RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO,
 };
+
+/// Default allowed group-commit throughput regression vs the relaxed tier,
+/// in percent (override with the optional number after `--serve PATH`).
+const SERVE_MAX_REGRESSION_PERCENT: f64 = 10.0;
 
 fn usage() {
     println!(
         "usage: bench_gate BENCH_repair.json [MAX_SLOWDOWN_PERCENT] \
-         [--recovery BENCH_recovery.json] [--commit BENCH_commit.json]"
+         [--recovery BENCH_recovery.json] [--commit BENCH_commit.json] \
+         [--serve BENCH_serve.json]"
     );
     println!();
     println!("Fails (exit 1) if parallel repair is slower than sequential by more than");
@@ -34,6 +41,10 @@ fn usage() {
     );
     println!("--commit PATH    also fail if delta-tracked repair commits grow more than");
     println!("                 {COMMIT_MAX_RATIO}x across the report's database sizes (floor {COMMIT_FLOOR_MS} ms)");
+    println!("--serve PATH [PERCENT]  also fail if group-commit throughput falls more than");
+    println!(
+        "                 PERCENT (default {SERVE_MAX_REGRESSION_PERCENT}) behind the relaxed tier"
+    );
     println!("Exit 2: a report is missing or holds no comparable records.");
 }
 
@@ -42,6 +53,8 @@ struct Args {
     max_slowdown: f64,
     recovery: Option<PathBuf>,
     commit: Option<PathBuf>,
+    serve: Option<PathBuf>,
+    serve_max_regression: f64,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -49,6 +62,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut max_slowdown = 10.0;
     let mut recovery = None;
     let mut commit = None;
+    let mut serve = None;
+    let mut serve_max_regression = SERVE_MAX_REGRESSION_PERCENT;
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
@@ -65,6 +80,18 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .ok_or_else(|| "--commit requires a path".to_string())?;
                 commit = Some(PathBuf::from(value));
                 i += 2;
+            }
+            "--serve" => {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| "--serve requires a path".to_string())?;
+                serve = Some(PathBuf::from(value));
+                i += 2;
+                // Optional tolerance override, e.g. `--serve PATH 25`.
+                if let Some(pct) = raw.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    serve_max_regression = pct;
+                    i += 1;
+                }
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => {
@@ -84,6 +111,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         max_slowdown,
         recovery,
         commit,
+        serve,
+        serve_max_regression,
     })
 }
 
@@ -195,6 +224,47 @@ fn main() {
                     );
                 } else {
                     println!("bench_gate: FAIL — repair commit cost grows with database size");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Gate 4 (optional): group-commit serving throughput vs the relaxed
+    // (ack-before-durable) ceiling.
+    if let Some(path) = &args.serve {
+        let records = match load_serve_records(path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        match evaluate_serve_gate(&records, args.serve_max_regression) {
+            Ok(verdict) => {
+                println!(
+                    "bench_gate: serve: relaxed {:.0} rps, group {:.0} rps \
+                     (ratio {:.3}, limit {:.3})",
+                    verdict.relaxed_rps,
+                    verdict.group_rps,
+                    verdict.ratio,
+                    1.0 - args.serve_max_regression / 100.0,
+                );
+                if verdict.pass {
+                    println!(
+                        "bench_gate: PASS — group commit within {}% of relaxed-tier throughput",
+                        args.serve_max_regression
+                    );
+                } else {
+                    println!(
+                        "bench_gate: FAIL — group-commit serving throughput regressed more \
+                         than {}% against the relaxed tier",
+                        args.serve_max_regression
+                    );
                     failed = true;
                 }
             }

@@ -26,7 +26,7 @@ use warp_apps::wiki::{wiki_app, wiki_patch};
 use warp_apps::workload::{run_background_workload, run_raw_requests, WorkloadConfig};
 use warp_baseline::{analyze, corrupted_rows, BaselineConfig, DependencyPolicy, FlaggedRow};
 use warp_browser::{replay_visit, Browser, ReplayConfig};
-use warp_core::{RepairRequest, WarpServer};
+use warp_core::{RepairRequest, Warp, WarpHost};
 use warp_http::{HttpRequest, Transport};
 
 /// Prints Table 1's analog: lines of code per component of this repository.
@@ -256,23 +256,25 @@ pub fn table5_comparison() {
 }
 
 fn corruption_case_votes() -> (usize, bool) {
-    let mut server = WarpServer::new(blog_app(BlogBug::LostVotes, 3));
+    let warp = Warp::builder().app(blog_app(BlogBug::LostVotes, 3)).start();
     let mut triggers = Vec::new();
     for _ in 0..5 {
-        server.send(HttpRequest::post("/vote.wasl", [("post", "1")]));
-        triggers.push(server.history.len() as u64 - 1);
+        warp.serve(HttpRequest::post("/vote.wasl", [("post", "1")]));
+        triggers.push(warp.with_server(|s| s.history.len()) as u64 - 1);
     }
     for i in 0..5 {
-        server.send(HttpRequest::post("/vote.wasl", [("post", "2")]));
+        warp.serve(HttpRequest::post("/vote.wasl", [("post", "2")]));
         let _ = i;
     }
     let corrupted = corrupted_rows([("post", "1")]);
-    let report = baseline_report(&server, &triggers, &corrupted);
-    let outcome = server.repair(RepairRequest::RetroactivePatch {
-        patch: blog_patch(BlogBug::LostVotes),
-        from_time: 0,
-    });
-    let votes = server.send(HttpRequest::get("/read.wasl?post=1"));
+    let report = baseline_report(&warp, triggers, corrupted);
+    let outcome = warp
+        .repair(RepairRequest::RetroactivePatch {
+            patch: blog_patch(BlogBug::LostVotes),
+            from_time: 0,
+        })
+        .join();
+    let votes = warp.serve(HttpRequest::get("/read.wasl?post=1"));
     (
         report.false_positives,
         votes.body.contains("votes: 5") && !outcome.aborted,
@@ -280,22 +282,26 @@ fn corruption_case_votes() -> (usize, bool) {
 }
 
 fn corruption_case_comments() -> (usize, bool) {
-    let mut server = WarpServer::new(blog_app(BlogBug::LostComments, 2));
+    let warp = Warp::builder()
+        .app(blog_app(BlogBug::LostComments, 2))
+        .start();
     let mut triggers = Vec::new();
     for i in 0..4 {
-        server.send(HttpRequest::post(
+        warp.serve(HttpRequest::post(
             "/comment.wasl",
             [("post", "1"), ("body", &format!("comment {i}"))],
         ));
-        triggers.push(server.history.len() as u64 - 1);
+        triggers.push(warp.with_server(|s| s.history.len()) as u64 - 1);
     }
     let corrupted = corrupted_rows([("comment", "1"), ("comment", "2"), ("comment", "3")]);
-    let report = baseline_report(&server, &triggers, &corrupted);
-    let outcome = server.repair(RepairRequest::RetroactivePatch {
-        patch: blog_patch(BlogBug::LostComments),
-        from_time: 0,
-    });
-    let page = server.send(HttpRequest::get("/read.wasl?post=1"));
+    let report = baseline_report(&warp, triggers, corrupted);
+    let outcome = warp
+        .repair(RepairRequest::RetroactivePatch {
+            patch: blog_patch(BlogBug::LostComments),
+            from_time: 0,
+        })
+        .join();
+    let page = warp.serve(HttpRequest::get("/read.wasl?post=1"));
     (
         report.false_positives,
         page.body.matches("<li>").count() == 4 && !outcome.aborted,
@@ -303,10 +309,12 @@ fn corruption_case_comments() -> (usize, bool) {
 }
 
 fn corruption_case_perms() -> (usize, bool) {
-    let mut server = WarpServer::new(gallery_app(GalleryBug::RemovingPermissions, 2));
+    let warp = Warp::builder()
+        .app(gallery_app(GalleryBug::RemovingPermissions, 2))
+        .start();
     let mut triggers = Vec::new();
     for (i, who) in ["alice", "bob"].iter().enumerate() {
-        server.send(HttpRequest::post(
+        warp.serve(HttpRequest::post(
             "/perm.wasl",
             [
                 ("album", "1"),
@@ -314,15 +322,17 @@ fn corruption_case_perms() -> (usize, bool) {
                 ("perm_id", &(i + 2).to_string()),
             ],
         ));
-        triggers.push(server.history.len() as u64 - 1);
+        triggers.push(warp.with_server(|s| s.history.len()) as u64 - 1);
     }
     let corrupted = corrupted_rows([("perm", "1"), ("perm", "2")]);
-    let report = baseline_report(&server, &triggers, &corrupted);
-    let outcome = server.repair(RepairRequest::RetroactivePatch {
-        patch: gallery_patch(GalleryBug::RemovingPermissions),
-        from_time: 0,
-    });
-    let page = server.send(HttpRequest::get("/album.wasl?album=1"));
+    let report = baseline_report(&warp, triggers, corrupted);
+    let outcome = warp
+        .repair(RepairRequest::RetroactivePatch {
+            patch: gallery_patch(GalleryBug::RemovingPermissions),
+            from_time: 0,
+        })
+        .join();
+    let page = warp.serve(HttpRequest::get("/album.wasl?album=1"));
     let ok = ["owner", "alice", "bob"]
         .iter()
         .all(|w| page.body.contains(w));
@@ -330,20 +340,24 @@ fn corruption_case_perms() -> (usize, bool) {
 }
 
 fn corruption_case_resize() -> (usize, bool) {
-    let mut server = WarpServer::new(gallery_app(GalleryBug::ResizingImages, 3));
+    let warp = Warp::builder()
+        .app(gallery_app(GalleryBug::ResizingImages, 3))
+        .start();
     let mut triggers = Vec::new();
     for i in 1..=2 {
         let id = i.to_string();
-        server.send(HttpRequest::post("/resize.wasl", [("photo", id.as_str())]));
-        triggers.push(server.history.len() as u64 - 1);
+        warp.serve(HttpRequest::post("/resize.wasl", [("photo", id.as_str())]));
+        triggers.push(warp.with_server(|s| s.history.len()) as u64 - 1);
     }
     let corrupted = corrupted_rows([("photo", "1"), ("photo", "2")]);
-    let report = baseline_report(&server, &triggers, &corrupted);
-    let outcome = server.repair(RepairRequest::RetroactivePatch {
-        patch: gallery_patch(GalleryBug::ResizingImages),
-        from_time: 0,
-    });
-    let page = server.send(HttpRequest::get("/album.wasl?album=1"));
+    let report = baseline_report(&warp, triggers, corrupted);
+    let outcome = warp
+        .repair(RepairRequest::RetroactivePatch {
+            patch: gallery_patch(GalleryBug::ResizingImages),
+            from_time: 0,
+        })
+        .join();
+    let page = warp.serve(HttpRequest::get("/album.wasl?album=1"));
     (
         report.false_positives,
         page.body.contains("image-bytes-1") && !outcome.aborted,
@@ -351,19 +365,21 @@ fn corruption_case_resize() -> (usize, bool) {
 }
 
 fn baseline_report(
-    server: &WarpServer,
-    triggers: &[u64],
-    corrupted: &BTreeSet<FlaggedRow>,
+    warp: &Warp,
+    triggers: Vec<u64>,
+    corrupted: BTreeSet<FlaggedRow>,
 ) -> warp_baseline::BaselineReport {
-    analyze(
-        server,
-        triggers,
-        &BaselineConfig {
-            policy: DependencyPolicy::TableLevel,
-            whitelisted_tables: vec![],
-        },
-        corrupted,
-    )
+    warp.with_server(move |server| {
+        analyze(
+            server,
+            &triggers,
+            &BaselineConfig {
+                policy: DependencyPolicy::TableLevel,
+                whitelisted_tables: vec![],
+            },
+            &corrupted,
+        )
+    })
 }
 
 /// Prints Table 6: page visits per second with and without Warp-style
@@ -378,13 +394,13 @@ pub fn table6_overhead(page_visits: usize) {
         // Baseline: same application stack but with history recording and
         // version retention disabled (approximated by garbage-collecting
         // aggressively after the run; the request path itself is identical).
-        let mut baseline = WarpServer::new(wiki_app(5, 5));
+        let mut baseline = Warp::builder().app(wiki_app(5, 5)).start();
         let t0 = Instant::now();
         run_raw_requests(&mut baseline, page_visits, edit);
         let base_rate = page_visits as f64 / t0.elapsed().as_secs_f64();
         // Warp: full logging, plus a browser-driven workload so client logs
         // accumulate too.
-        let mut warp = WarpServer::new(wiki_app(5, 5));
+        let mut warp = Warp::builder().app(wiki_app(5, 5)).start();
         let t1 = Instant::now();
         run_raw_requests(&mut warp, page_visits, edit);
         let cfg = WorkloadConfig {
@@ -395,7 +411,7 @@ pub fn table6_overhead(page_visits: usize) {
         };
         run_background_workload(&mut warp, &cfg, 1);
         let warp_rate = (page_visits as f64 + 9.0) / t1.elapsed().as_secs_f64();
-        let stats = warp.logging_stats();
+        let stats = warp.with_server(|s| s.logging_stats());
         let (browser_b, app_b, db_b) = stats.per_page_visit();
         // The baseline server in this reproduction also records (it is the
         // same code); the "no Warp" column reports its raw request rate after
@@ -568,13 +584,13 @@ fn recovery_bench_app() -> warp_core::AppConfig {
 }
 
 /// Serves `steps` deterministic requests (2/3 edits, 1/3 reads).
-fn recovery_bench_traffic(server: &mut WarpServer, steps: usize) {
+fn recovery_bench_traffic<H: WarpHost>(server: &mut H, steps: usize) {
     for i in 0..steps {
         let page = i % 8;
         if i % 3 == 2 {
-            server.handle(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+            server.send(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
         } else {
-            server.handle(HttpRequest::post(
+            server.send(HttpRequest::post(
                 "/edit.wasl",
                 [
                     ("title", format!("Page{page}").as_str()),
@@ -590,7 +606,7 @@ fn recovery_bench_traffic(server: &mut WarpServer, steps: usize) {
 /// for the memory and file storage backends, with and without a checkpoint.
 /// Returns the machine-readable records for `BENCH_recovery.json`.
 pub fn table9_recovery(scale: usize) -> Vec<report::RecoveryBenchRecord> {
-    use warp_core::{FileBackend, MemoryBackend, ServerConfig, StorageBackend, StoreOptions};
+    use warp_core::{FileBackend, MemoryBackend, StorageBackend, StoreOptions};
     let scale = scale.max(6);
     let mut records = Vec::new();
     println!("=== Table 9 (persistence): logging overhead and recovery time ===");
@@ -611,12 +627,13 @@ pub fn table9_recovery(scale: usize) -> Vec<report::RecoveryBenchRecord> {
     };
     let file_dir = std::env::temp_dir().join(format!("warp-table9-{}", std::process::id()));
     for steps in [scale, scale * 2, scale * 4] {
-        // Baseline: the identical workload with no storage backend.
+        // Baseline: the identical workload with no storage backend, served
+        // through the same concurrent façade.
         let t = Instant::now();
-        let mut baseline = WarpServer::new(recovery_bench_app());
+        let mut baseline = Warp::builder().app(recovery_bench_app()).start();
         recovery_bench_traffic(&mut baseline, steps);
         let baseline_ms = t.elapsed().as_secs_f64() * 1e3;
-        let actions = baseline.history.len();
+        let actions = baseline.with_server(|s| s.history.len());
 
         for backend_name in ["memory", "file"] {
             for with_checkpoint in [false, true] {
@@ -636,32 +653,32 @@ pub fn table9_recovery(scale: usize) -> Vec<report::RecoveryBenchRecord> {
                         }
                     }
                 };
-                // Serving with the durable log enabled.
+                // Serving with the durable log enabled, group commit on.
                 let t = Instant::now();
-                let (mut server, _) = WarpServer::open(
-                    ServerConfig::new(recovery_bench_app())
-                        .with_backend(handle(true))
-                        .with_store_options(options),
-                )
-                .expect("open persistent server");
+                let (mut server, _) = Warp::builder()
+                    .app(recovery_bench_app())
+                    .backend(handle(true))
+                    .store_options(options)
+                    .build()
+                    .expect("open persistent server");
                 recovery_bench_traffic(&mut server, steps);
                 if with_checkpoint {
                     server.checkpoint();
                 }
                 let serve_ms = t.elapsed().as_secs_f64() * 1e3;
-                let store_bytes = server.store_bytes();
+                let store_bytes = server.with_server(|s| s.store_bytes());
                 drop(server); // crash
                 let reopen = handle(false);
                 let t = Instant::now();
-                let (recovered, report) = WarpServer::open(
-                    ServerConfig::new(recovery_bench_app())
-                        .with_backend(reopen)
-                        .with_store_options(options),
-                )
-                .expect("recover");
+                let (recovered, report) = Warp::builder()
+                    .app(recovery_bench_app())
+                    .backend(reopen)
+                    .store_options(options)
+                    .build()
+                    .expect("recover");
                 let recover_ms = t.elapsed().as_secs_f64() * 1e3;
                 assert_eq!(
-                    recovered.history.len(),
+                    recovered.with_server(|s| s.history.len()),
                     actions,
                     "recovery must be lossless"
                 );
@@ -748,13 +765,13 @@ fn commit_bench_app(archive_rows: usize) -> warp_core::AppConfig {
 /// The fixed repair footprint: a handful of page edits and views. The
 /// archive table is never touched, so the repair's write set stays
 /// constant while the database grows.
-fn commit_bench_traffic(server: &mut WarpServer) {
+fn commit_bench_traffic<H: WarpHost>(server: &mut H) {
     for i in 0..12 {
         let page = i % 4;
         if i % 3 == 2 {
-            server.handle(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+            server.send(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
         } else {
-            server.handle(HttpRequest::post(
+            server.send(HttpRequest::post(
                 "/edit.wasl",
                 [
                     ("title", format!("Page{page}").as_str()),
@@ -773,7 +790,7 @@ fn commit_bench_traffic(server: &mut WarpServer) {
 /// database, because it snapshots and compares every table. Returns the
 /// machine-readable records for `BENCH_commit.json`.
 pub fn table10_commit(scale: usize) -> Vec<report::CommitBenchRecord> {
-    use warp_core::{MemoryBackend, ServerConfig, StoreOptions};
+    use warp_core::{MemoryBackend, StoreOptions};
     let scale = scale.max(50);
     let options = StoreOptions {
         segment_bytes: 4 * 1024 * 1024,
@@ -799,20 +816,23 @@ pub fn table10_commit(scale: usize) -> Vec<report::CommitBenchRecord> {
         for mode in ["delta", "snapshot"] {
             let mut best: Option<report::CommitBenchRecord> = None;
             for _ in 0..REPEATS {
-                let (mut server, _) = WarpServer::open(
-                    ServerConfig::new(commit_bench_app(archive_rows))
-                        .with_backend(Box::new(MemoryBackend::new()))
-                        .with_store_options(options),
-                )
-                .expect("open persistent server");
-                server.reference_snapshot_commit = mode == "snapshot";
+                let (mut server, _) = Warp::builder()
+                    .app(commit_bench_app(archive_rows))
+                    .backend(Box::new(MemoryBackend::new()))
+                    .store_options(options)
+                    .build()
+                    .expect("open persistent server");
+                let snapshot_mode = mode == "snapshot";
+                server.with_server(move |s| s.reference_snapshot_commit = snapshot_mode);
                 commit_bench_traffic(&mut server);
-                let db_rows = server.db.storage_stats().total_versions;
+                let db_rows = server.with_server(|s| s.db.storage_stats().total_versions);
                 let t = Instant::now();
-                let outcome = server.repair(RepairRequest::RetroactivePatch {
-                    patch: patch.clone(),
-                    from_time: 0,
-                });
+                let outcome = server
+                    .repair(RepairRequest::RetroactivePatch {
+                        patch: patch.clone(),
+                        from_time: 0,
+                    })
+                    .join();
                 let repair_ms = t.elapsed().as_secs_f64() * 1e3;
                 assert!(!outcome.aborted, "commit benchmark repair must commit");
                 assert!(
@@ -846,6 +866,125 @@ pub fn table10_commit(scale: usize) -> Vec<report::CommitBenchRecord> {
                 record.repair_ms,
                 record.dirty_tables,
                 record.dirty_rows,
+            );
+            records.push(record);
+        }
+    }
+    records
+}
+
+/// Regenerates "Table 11" (an addition over the paper): serving throughput
+/// and latency through the concurrent `Warp` façade, across the durability
+/// tiers (`relaxed` / `group` / `immediate`) and client-thread counts.
+/// `relaxed` acknowledges before durability and bounds what the serve path
+/// can do; `group` must stay close to it (the CI gate enforces within 10%)
+/// while still guaranteeing acked-implies-recoverable; `immediate` pays one
+/// backend write per action and shows what group commit buys. Returns the
+/// machine-readable records for `BENCH_serve.json`.
+pub fn table11_serve(scale: usize) -> Vec<report::ServeBenchRecord> {
+    use warp_core::{Durability, MemoryBackend, StoreOptions};
+    let per_thread = scale.max(40);
+    let options = StoreOptions {
+        segment_bytes: 1024 * 1024,
+        checkpoint_interval: 0,
+    };
+    let tiers = [
+        Durability::Relaxed,
+        Durability::Group {
+            max_batch: 64,
+            max_delay: std::time::Duration::from_micros(500),
+        },
+        Durability::Immediate,
+    ];
+    println!("=== Table 11 (serving): throughput and latency by durability tier ===");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "tier", "threads", "requests", "rps", "p50 (us)", "p99 (us)", "batches", "max batch"
+    );
+    // Best-of-N by throughput to shed scheduler noise on shared runners.
+    const REPEATS: usize = 3;
+    let mut records = Vec::new();
+    for durability in tiers {
+        for threads in [1usize, 4, 8] {
+            let mut best: Option<report::ServeBenchRecord> = None;
+            for _ in 0..REPEATS {
+                let warp = Warp::builder()
+                    .app(recovery_bench_app())
+                    .backend(Box::new(MemoryBackend::new()))
+                    .store_options(options)
+                    .durability(durability)
+                    .start();
+                let t = Instant::now();
+                let workers: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let warp = warp.clone();
+                        std::thread::spawn(move || {
+                            let mut latencies = Vec::with_capacity(per_thread);
+                            for i in 0..per_thread {
+                                // Each thread stays on its own page so the
+                                // workload is interleaving-independent.
+                                let page = t % 8;
+                                let request = if i % 3 == 2 {
+                                    HttpRequest::get(&format!("/view.wasl?title=Page{page}"))
+                                } else {
+                                    HttpRequest::post(
+                                        "/edit.wasl",
+                                        [
+                                            ("title", format!("Page{page}").as_str()),
+                                            ("body", format!("thread {t} rev {i}").as_str()),
+                                        ],
+                                    )
+                                };
+                                let t0 = Instant::now();
+                                let response = warp.serve(request);
+                                latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                                assert_ne!(response.status, 503, "engine must stay up");
+                            }
+                            latencies
+                        })
+                    })
+                    .collect();
+                let mut latencies: Vec<f64> = Vec::new();
+                for worker in workers {
+                    latencies.extend(worker.join().expect("serve thread"));
+                }
+                let elapsed = t.elapsed().as_secs_f64();
+                let writer = warp.writer_stats();
+                latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+                let percentile = |p: f64| -> f64 {
+                    let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+                    latencies[idx]
+                };
+                let record = report::ServeBenchRecord {
+                    workload: "table11_serve".to_string(),
+                    durability: durability.name().to_string(),
+                    threads,
+                    requests: latencies.len(),
+                    throughput_rps: latencies.len() as f64 / elapsed.max(1e-9),
+                    p50_us: percentile(0.50),
+                    p99_us: percentile(0.99),
+                    writer_batches: writer.batches,
+                    largest_batch: writer.largest_batch,
+                };
+                let better = best
+                    .as_ref()
+                    .map(|b| record.throughput_rps > b.throughput_rps)
+                    .unwrap_or(true);
+                if better {
+                    best = Some(record);
+                }
+            }
+            let record = best.expect("at least one repeat ran");
+            println!(
+                "{:<10} {:>8} {:>10} {:>12.0} {:>10.1} {:>10.1} {:>9} {:>9}",
+                record.durability,
+                record.threads,
+                record.requests,
+                record.throughput_rps,
+                record.p50_us,
+                record.p99_us,
+                record.writer_batches,
+                record.largest_batch,
             );
             records.push(record);
         }

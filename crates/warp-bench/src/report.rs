@@ -303,6 +303,88 @@ pub fn append_commit_records(path: &Path, new: &[CommitBenchRecord]) -> Result<(
     )
 }
 
+/// One timed serving measurement (`BENCH_serve.json`), produced by
+/// `table11_serve`: request throughput and latency through the concurrent
+/// `Warp` façade, per durability tier and client-thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchRecord {
+    /// Which binary produced the record (`table11_serve`).
+    pub workload: String,
+    /// Durability tier measured (`relaxed` / `group` / `immediate`).
+    pub durability: String,
+    /// Concurrent client threads issuing requests.
+    pub threads: usize,
+    /// Requests served.
+    pub requests: usize,
+    /// Aggregate throughput (requests per second).
+    pub throughput_rps: f64,
+    /// Median per-request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency, microseconds.
+    pub p99_us: f64,
+    /// Log-writer batches flushed during the run (0 without a backend).
+    pub writer_batches: u64,
+    /// Largest batch the writer flushed.
+    pub largest_batch: usize,
+}
+
+impl ServeBenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("durability".into(), Json::Str(self.durability.clone())),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("throughput_rps".into(), Json::Num(self.throughput_rps)),
+            ("p50_us".into(), Json::Num(self.p50_us)),
+            ("p99_us".into(), Json::Num(self.p99_us)),
+            (
+                "writer_batches".into(),
+                Json::Num(self.writer_batches as f64),
+            ),
+            ("largest_batch".into(), Json::Num(self.largest_batch as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<ServeBenchRecord> {
+        Some(ServeBenchRecord {
+            workload: value.get("workload")?.as_str()?.to_string(),
+            durability: value.get("durability")?.as_str()?.to_string(),
+            threads: value.get("threads")?.as_usize()?,
+            requests: value.get("requests")?.as_usize()?,
+            throughput_rps: value.get("throughput_rps")?.as_f64()?,
+            p50_us: value.get("p50_us")?.as_f64()?,
+            p99_us: value.get("p99_us")?.as_f64()?,
+            writer_batches: value.get("writer_batches")?.as_f64().map(|b| b as u64)?,
+            largest_batch: value.get("largest_batch")?.as_usize()?,
+        })
+    }
+}
+
+/// Reads every serving record from a report file. Missing file → empty.
+pub fn load_serve_records(path: &Path) -> Result<Vec<ServeBenchRecord>, String> {
+    Ok(load_record_array(path)?
+        .iter()
+        .filter_map(ServeBenchRecord::from_json)
+        .collect())
+}
+
+/// Writes serving records to a report file (replacing any previous run of
+/// the same workload, like [`append_records`] does for repair records).
+pub fn append_serve_records(path: &Path, new: &[ServeBenchRecord]) -> Result<(), String> {
+    let existing = load_serve_records(path)?
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    let workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    write_record_array(
+        path,
+        existing,
+        new.iter().map(|r| r.to_json()).collect(),
+        &workloads,
+    )
+}
+
 /// The gate's verdict over a report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateVerdict {
@@ -475,6 +557,53 @@ pub fn evaluate_commit_gate(records: &[CommitBenchRecord]) -> Result<CommitGateV
     })
 }
 
+/// The serving gate's verdict: best group-commit throughput vs best
+/// relaxed-tier throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeGateVerdict {
+    /// Best `relaxed` throughput across thread counts (rps).
+    pub relaxed_rps: f64,
+    /// Best `group` throughput across thread counts (rps).
+    pub group_rps: f64,
+    /// `group_rps / relaxed_rps`.
+    pub ratio: f64,
+    /// True if group commit held its throughput ratio.
+    pub pass: bool,
+}
+
+/// Evaluates the serving-regression gate over `BENCH_serve.json`: the best
+/// `group`-tier throughput must stay within `max_regression_percent` of the
+/// best `relaxed`-tier throughput (the relaxed tier acknowledges without
+/// waiting for durability, so it bounds what the serve path can do; group
+/// commit buys durable acks and must not give back more than the allowed
+/// slice). Best-across-thread-counts is compared, which is much more stable
+/// on shared runners than per-thread-count ratios. Returns an error when
+/// either tier is missing from the report.
+pub fn evaluate_serve_gate(
+    records: &[ServeBenchRecord],
+    max_regression_percent: f64,
+) -> Result<ServeGateVerdict, String> {
+    let best = |tier: &str| -> Option<f64> {
+        records
+            .iter()
+            .filter(|r| r.durability == tier)
+            .map(|r| r.throughput_rps)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    };
+    let (Some(relaxed_rps), Some(group_rps)) = (best("relaxed"), best("group")) else {
+        return Err(
+            "no relaxed/group serving records (run table11_serve with --json first)".to_string(),
+        );
+    };
+    let ratio = group_rps / relaxed_rps.max(1e-9);
+    Ok(ServeGateVerdict {
+        relaxed_rps,
+        group_rps,
+        ratio,
+        pass: ratio >= 1.0 - max_regression_percent / 100.0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,6 +754,64 @@ mod tests {
         // One size or zero records is an error.
         assert!(evaluate_commit_gate(&[commit_record("delta", 1_000, 1.0)]).is_err());
         assert!(evaluate_commit_gate(&[]).is_err());
+    }
+
+    fn serve_record(durability: &str, threads: usize, rps: f64) -> ServeBenchRecord {
+        ServeBenchRecord {
+            workload: "table11_serve".into(),
+            durability: durability.into(),
+            threads,
+            requests: 400,
+            throughput_rps: rps,
+            p50_us: 100.0,
+            p99_us: 900.0,
+            writer_batches: 40,
+            largest_batch: 8,
+        }
+    }
+
+    #[test]
+    fn serve_gate_compares_best_group_vs_best_relaxed() {
+        let records = vec![
+            serve_record("relaxed", 1, 9_000.0),
+            serve_record("relaxed", 4, 10_000.0),
+            serve_record("group", 1, 8_800.0),
+            serve_record("group", 4, 9_500.0),
+            serve_record("immediate", 4, 7_000.0),
+        ];
+        let verdict = evaluate_serve_gate(&records, 10.0).unwrap();
+        assert!(
+            verdict.pass,
+            "5% under relaxed passes a 10% gate: {verdict:?}"
+        );
+        assert!((verdict.ratio - 0.95).abs() < 1e-9);
+        // A real regression fails.
+        let records = vec![
+            serve_record("relaxed", 4, 10_000.0),
+            serve_record("group", 4, 8_000.0),
+        ];
+        assert!(!evaluate_serve_gate(&records, 10.0).unwrap().pass);
+        // Missing a tier is an error, not a silent pass.
+        assert!(evaluate_serve_gate(&[serve_record("relaxed", 1, 1.0)], 10.0).is_err());
+        assert!(evaluate_serve_gate(&[], 10.0).is_err());
+    }
+
+    #[test]
+    fn serve_report_round_trips() {
+        let dir = std::env::temp_dir().join(format!("warp-bench-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            serve_record("relaxed", 1, 5_000.0),
+            serve_record("group", 8, 4_800.0),
+        ];
+        append_serve_records(&path, &records).unwrap();
+        assert_eq!(load_serve_records(&path).unwrap(), records);
+        // Re-running the workload replaces, not duplicates.
+        append_serve_records(&path, &records).unwrap();
+        assert_eq!(load_serve_records(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -19,6 +19,7 @@ const BINS: &[(&str, &[&str])] = &[
     (env!("CARGO_BIN_EXE_table8_repair_5000"), &["4"]),
     (env!("CARGO_BIN_EXE_table9_recovery"), &["6"]),
     (env!("CARGO_BIN_EXE_table10_commit"), &["50"]),
+    (env!("CARGO_BIN_EXE_table11_serve"), &["40"]),
     (env!("CARGO_BIN_EXE_bench_gate"), &["--help"]),
 ];
 
@@ -101,8 +102,9 @@ fn bench_report_and_gate_flow() {
         .expect("spawn bench_gate");
     assert_eq!(out.status.code(), Some(2));
 
-    // The recovery and commit gates plug into the same binary: generate
-    // both reports at trivial scale and run the full three-gate check.
+    // The recovery, commit and serve gates plug into the same binary:
+    // generate the reports at trivial scale and run the full four-gate
+    // check.
     let recovery = std::env::temp_dir().join(format!(
         "warp-bench-smoke-{}-BENCH_recovery.json",
         std::process::id()
@@ -111,8 +113,13 @@ fn bench_report_and_gate_flow() {
         "warp-bench-smoke-{}-BENCH_commit.json",
         std::process::id()
     ));
+    let serve = std::env::temp_dir().join(format!(
+        "warp-bench-smoke-{}-BENCH_serve.json",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&recovery);
     let _ = std::fs::remove_file(&commit);
+    let _ = std::fs::remove_file(&serve);
     let out = Command::new(env!("CARGO_BIN_EXE_table9_recovery"))
         .arg("6")
         .arg("--json")
@@ -134,6 +141,24 @@ fn bench_report_and_gate_flow() {
     let text = std::fs::read_to_string(&commit).expect("commit report written");
     assert!(text.contains("\"mode\":\"delta\""));
     assert!(text.contains("\"mode\":\"snapshot\""));
+    let out = Command::new(env!("CARGO_BIN_EXE_table11_serve"))
+        .arg("40")
+        .arg("--json")
+        .arg(&serve)
+        .output()
+        .expect("spawn table11");
+    assert!(
+        out.status.success(),
+        "table11 timing run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&serve).expect("serve report written");
+    for tier in ["relaxed", "group", "immediate"] {
+        assert!(
+            text.contains(&format!("\"durability\":\"{tier}\"")),
+            "serve report missing tier {tier}: {text}"
+        );
+    }
     let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
         .arg(&report)
         .arg("100000")
@@ -141,16 +166,21 @@ fn bench_report_and_gate_flow() {
         .arg(&recovery)
         .arg("--commit")
         .arg(&commit)
+        .arg("--serve")
+        .arg(&serve)
+        // Plumbing check only: tolerance opened wide, CI runs the real 10%.
+        .arg("1000")
         .output()
         .expect("spawn bench_gate");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         out.status.success(),
-        "three-gate bench_gate failed: stdout={stdout} stderr={}",
+        "four-gate bench_gate failed: stdout={stdout} stderr={}",
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(stdout.contains("recovery: worst overhead"));
     assert!(stdout.contains("commit: delta"));
+    assert!(stdout.contains("serve: relaxed"));
 
     // A missing side report is an error too.
     let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))

@@ -21,25 +21,41 @@
 //!
 //! # Quickstart
 //!
+//! The public entry point is the [`Warp`] handle: configure a deployment
+//! with [`Warp::builder`] (application, storage backend, [`Durability`]
+//! tier, repair workers), then serve requests through the cloneable handle
+//! from as many threads as you like — they funnel into one engine thread,
+//! so the recorded history stays a single serializable timeline.
+//!
 //! ```
-//! use warp_core::{AppConfig, WarpServer};
-//! use warp_http::{HttpRequest, Transport};
-//! use warp_ttdb::TableAnnotation;
+//! use warp_core::{AppConfig, Warp};
+//! use warp_http::HttpRequest;
 //!
 //! let mut config = AppConfig::new("hello-app");
 //! config.add_source(
 //!     "index.wasl",
 //!     "echo(\"<p>Hello \" . htmlspecialchars(param(\"name\")) . \"</p>\");",
 //! );
-//! let mut server = WarpServer::new(config);
-//! let response = server.send(HttpRequest::get("/index.wasl?name=World"));
+//! let warp = Warp::builder().app(config).start();
+//!
+//! // Clones of the handle serve concurrently from other threads.
+//! let handle = warp.clone();
+//! let worker = std::thread::spawn(move || {
+//!     handle.serve(HttpRequest::get("/index.wasl?name=Thread"))
+//! });
+//! let response = warp.serve(HttpRequest::get("/index.wasl?name=World"));
 //! assert!(response.body.contains("Hello World"));
+//! assert!(worker.join().unwrap().body.contains("Hello Thread"));
+//!
+//! // Both requests were recorded in one action history.
+//! assert_eq!(warp.with_server(|server| server.history.len()), 2);
 //! ```
 
 pub mod apphost;
 pub mod clock;
 pub mod config;
 pub mod conflict;
+pub mod facade;
 pub mod history;
 pub mod persist;
 pub mod repair;
@@ -50,6 +66,7 @@ pub mod stats;
 
 pub use config::{AppConfig, ServerConfig};
 pub use conflict::{Conflict, ConflictKind};
+pub use facade::{Durability, RepairHandle, RepairStatus, Warp, WarpBuilder, WarpHost};
 pub use history::{ActionId, ActionRecord, HistoryGraph, NondetRecord, QueryRecord};
 pub use persist::RecoveryReport;
 pub use repair::{RepairOutcome, RepairRequest};
@@ -59,4 +76,6 @@ pub use sourcefs::{Patch, SourceStore};
 pub use stats::{LoggingStats, RepairStats};
 // Re-export the storage subsystem so applications and binaries can
 // configure backends without depending on `warp-store` directly.
-pub use warp_store::{FileBackend, MemoryBackend, StorageBackend, StoreError, StoreOptions};
+pub use warp_store::{
+    BatchPolicy, FileBackend, MemoryBackend, StorageBackend, StoreError, StoreOptions, WriterStats,
+};

@@ -159,6 +159,128 @@ fn corrupt(msg: impl Into<String>) -> StoreError {
 }
 
 // ---------------------------------------------------------------------------
+// The log sink: where a persistent server's records go
+// ---------------------------------------------------------------------------
+
+/// Where a persistent server's log records go.
+///
+/// The classic synchronous path ([`WarpServer`] used directly) appends to
+/// the [`DurableStore`] inline: every record is durable before the call
+/// that produced it returns. The concurrent façade ([`crate::Warp`]) moves
+/// the store onto a background [`warp_store::GroupCommitWriter`] thread so
+/// appends leave the request path; durability is then signalled through
+/// [`LogSink::notify_durable`] callbacks, which the writer runs only after
+/// every record submitted before them has been appended.
+#[derive(Debug)]
+pub(crate) enum LogSink {
+    /// Synchronous appends straight into the store.
+    Inline(DurableStore),
+    /// Asynchronous appends through the group-commit writer thread.
+    Writer {
+        writer: warp_store::GroupCommitWriter,
+        /// Records submitted since the last checkpoint. The writer owns the
+        /// store, so the engine tracks the checkpoint cadence itself to
+        /// avoid a message round-trip per action.
+        since_checkpoint: u64,
+        /// [`StoreOptions::checkpoint_interval`] captured before the store
+        /// moved onto the writer thread.
+        checkpoint_interval: u64,
+    },
+}
+
+impl LogSink {
+    /// Appends one encoded record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inline backend fails; the writer thread enforces the
+    /// same contract asynchronously (it panics, and the next durability
+    /// interaction with it propagates the failure).
+    pub(crate) fn append(&mut self, kind: u8, payload: Vec<u8>) {
+        match self {
+            LogSink::Inline(store) => {
+                store
+                    .append(kind, &payload)
+                    .unwrap_or_else(|e| panic!("durable log append failed: {e}"));
+            }
+            LogSink::Writer {
+                writer,
+                since_checkpoint,
+                ..
+            } => {
+                writer.submit(kind, payload);
+                *since_checkpoint += 1;
+            }
+        }
+    }
+
+    /// Runs `f` once every record appended before this call is durable —
+    /// immediately for the inline sink (appends are synchronous), after the
+    /// covering batch commits for the writer sink.
+    pub(crate) fn notify_durable(&self, f: impl FnOnce() + Send + 'static) {
+        match self {
+            LogSink::Inline(_) => f(),
+            LogSink::Writer { writer, .. } => writer.notify_durable(f),
+        }
+    }
+
+    /// Blocks until everything appended so far is durable (no-op inline).
+    pub(crate) fn flush(&self) {
+        if let LogSink::Writer { writer, .. } = self {
+            writer.flush();
+        }
+    }
+
+    /// True once the checkpoint interval has elapsed.
+    pub(crate) fn checkpoint_due(&self) -> bool {
+        match self {
+            LogSink::Inline(store) => store.checkpoint_due(),
+            LogSink::Writer {
+                since_checkpoint,
+                checkpoint_interval,
+                ..
+            } => *checkpoint_interval > 0 && *since_checkpoint >= *checkpoint_interval,
+        }
+    }
+
+    /// Writes a checkpoint (flushing pending records first on the writer
+    /// path) and compacts the log.
+    pub(crate) fn write_checkpoint(&mut self, payload: Vec<u8>) {
+        match self {
+            LogSink::Inline(store) => {
+                store
+                    .write_checkpoint(&payload)
+                    .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
+            }
+            LogSink::Writer {
+                writer,
+                since_checkpoint,
+                ..
+            } => {
+                writer.write_checkpoint(payload);
+                *since_checkpoint = 0;
+            }
+        }
+    }
+
+    /// Bytes currently held by the backend (segments + checkpoints).
+    pub(crate) fn total_bytes(&self) -> u64 {
+        match self {
+            LogSink::Inline(store) => store.total_bytes().unwrap_or(0),
+            LogSink::Writer { writer, .. } => writer.total_bytes(),
+        }
+    }
+
+    /// The writer's batching counters (zeroes for the inline sink).
+    pub(crate) fn writer_stats(&self) -> warp_store::WriterStats {
+        match self {
+            LogSink::Inline(_) => warp_store::WriterStats::default(),
+            LogSink::Writer { writer, .. } => writer.stats(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Encoders / decoders for the persisted types
 // ---------------------------------------------------------------------------
 
@@ -1064,7 +1186,7 @@ impl WarpServer {
             apply_event(&mut server, event)?;
         }
         report.pending_repair = server.pending_repair.is_some();
-        server.store = Some(store);
+        server.store = Some(LogSink::Inline(store));
         Ok((server, report))
     }
 
@@ -1075,11 +1197,40 @@ impl WarpServer {
     /// Panics if the backend fails: a server that promised durability and
     /// can no longer write its log must not keep serving silently.
     pub(crate) fn log_event(&mut self, event: &LogEvent) {
-        if let Some(store) = &mut self.store {
+        if let Some(sink) = &mut self.store {
             let (kind, payload) = event.encode();
-            store
-                .append(kind, &payload)
-                .unwrap_or_else(|e| panic!("durable log append failed: {e}"));
+            sink.append(kind, payload);
+        }
+    }
+
+    /// Moves the durable store onto a background group-commit writer thread
+    /// governed by `policy`. No-op for in-memory servers or when the writer
+    /// is already active. Used by the [`crate::Warp`] engine; the classic
+    /// synchronous [`WarpServer`] keeps the inline sink.
+    pub(crate) fn enable_group_commit(&mut self, policy: warp_store::BatchPolicy) {
+        if matches!(self.store, Some(LogSink::Inline(_))) {
+            let Some(LogSink::Inline(store)) = self.store.take() else {
+                unreachable!("matched above");
+            };
+            let checkpoint_interval = store.options().checkpoint_interval;
+            let since_checkpoint = store.tail_len();
+            self.store = Some(LogSink::Writer {
+                writer: warp_store::GroupCommitWriter::spawn(store, policy),
+                since_checkpoint,
+                checkpoint_interval,
+            });
+        }
+    }
+
+    /// Stops the group-commit writer (flushing everything) and returns the
+    /// store to the inline sink. No-op unless the writer is active.
+    pub(crate) fn disable_group_commit(&mut self) {
+        if matches!(self.store, Some(LogSink::Writer { .. })) {
+            let Some(LogSink::Writer { writer, .. }) = self.store.take() else {
+                unreachable!("matched above");
+            };
+            let (store, _) = writer.close();
+            self.store = Some(LogSink::Inline(store));
         }
     }
 
@@ -1089,17 +1240,17 @@ impl WarpServer {
     }
 
     /// Takes a checkpoint now: the complete server state is written to the
-    /// store and the log is compacted (all segments deleted). No-op for
-    /// in-memory servers.
+    /// store and the log is compacted (all segments deleted). On the
+    /// group-commit path, pending records are flushed first — the
+    /// checkpoint payload reflects their effects, and the writer appends
+    /// them before compacting. No-op for in-memory servers.
     pub fn checkpoint(&mut self) {
         if self.store.is_none() {
             return;
         }
         let payload = encode_checkpoint(self);
-        let store = self.store.as_mut().expect("checked above");
-        store
-            .write_checkpoint(&payload)
-            .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
+        let sink = self.store.as_mut().expect("checked above");
+        sink.write_checkpoint(payload);
     }
 
     /// Takes a checkpoint if the configured interval has elapsed.
@@ -1111,6 +1262,16 @@ impl WarpServer {
             .unwrap_or(false)
         {
             self.checkpoint();
+        }
+    }
+
+    /// Blocks until every log record appended so far is durable. Immediate
+    /// on the synchronous path; on the group-commit path this is the
+    /// barrier the façade uses before reporting repair outcomes (and that
+    /// `Relaxed`-tier callers can use to upgrade to durability on demand).
+    pub fn flush_durable(&mut self) {
+        if let Some(sink) = &self.store {
+            sink.flush();
         }
     }
 
@@ -1134,10 +1295,16 @@ impl WarpServer {
     /// Bytes currently held by the durable store (segments + checkpoints);
     /// 0 for in-memory servers.
     pub fn store_bytes(&self) -> u64 {
+        self.store.as_ref().map(|s| s.total_bytes()).unwrap_or(0)
+    }
+
+    /// The group-commit writer's batching counters (all zero on the
+    /// synchronous path and for in-memory servers).
+    pub fn writer_stats(&self) -> warp_store::WriterStats {
         self.store
             .as_ref()
-            .and_then(|s| s.total_bytes().ok())
-            .unwrap_or(0)
+            .map(|s| s.writer_stats())
+            .unwrap_or_default()
     }
 }
 

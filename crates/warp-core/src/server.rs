@@ -21,6 +21,15 @@ use warp_http::{HttpRequest, HttpResponse, Router, Transport};
 use warp_ttdb::{StorageStats, TableAnnotation, TimeTravelDb};
 
 /// The Warp-enabled application server (Figure 1's server side).
+///
+/// This is the single-threaded serving *engine*. Applications should build
+/// a [`crate::Warp`] handle with [`crate::Warp::builder`] and serve through
+/// it — the handle is cloneable and callable from many threads, and it owns
+/// an engine thread running this struct. Constructing a `WarpServer`
+/// directly ([`WarpServer::new`] / [`WarpServer::open`]) is the deprecated
+/// synchronous path, kept for one release as a migration shim; it behaves
+/// exactly like a `Warp` built with [`crate::Durability::Immediate`], minus
+/// the concurrency.
 #[derive(Debug)]
 pub struct WarpServer {
     /// Application name.
@@ -54,7 +63,7 @@ pub struct WarpServer {
     pub(crate) session_counter: u64,
     /// The durable action log, when the server was opened with a storage
     /// backend (see [`crate::persist`]). `None` keeps the server in-memory.
-    pub(crate) store: Option<warp_store::DurableStore>,
+    pub(crate) store: Option<crate::persist::LogSink>,
     /// An interrupted repair detected during recovery (a logged
     /// `RepairBegin` with no commit or abort).
     pub(crate) pending_repair: Option<crate::repair::RepairRequest>,

@@ -76,6 +76,16 @@ impl MemoryBackend {
             }
         });
     }
+
+    /// A deep copy of the current contents as an *independent* backend —
+    /// the crash tests' disk image at the moment of the kill. The copy is
+    /// taken under the blob lock, so it can never contain a partially
+    /// applied append; it is exactly what a power-cut disk would hold.
+    pub fn snapshot(&self) -> MemoryBackend {
+        MemoryBackend {
+            blobs: Arc::new(Mutex::new(self.with(|blobs| blobs.clone()))),
+        }
+    }
 }
 
 impl StorageBackend for MemoryBackend {

@@ -15,7 +15,13 @@
 //!   plus whole-state checkpoints over any backend. Records are opaque
 //!   `(kind, payload)` pairs; `warp-core` defines the actual record types
 //!   (actions, row-version deltas, repair commits) and their encoding on
-//!   top of [`codec`].
+//!   top of [`codec`]. [`DurableStore::append_batch`] writes a whole batch
+//!   of records with one backend write — the group-commit primitive.
+//! * [`GroupCommitWriter`] — a background thread that owns the store and
+//!   coalesces appends from the serving path, running durability callbacks
+//!   only once every record submitted before them is on disk. This is what
+//!   lets the server acknowledge requests *after* durability without paying
+//!   one backend write per request (see `writer`).
 //!
 //! # On-disk layout
 //!
@@ -48,10 +54,12 @@
 pub mod backend;
 pub mod codec;
 pub mod log;
+pub mod writer;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
 pub use codec::{crc32, CodecError, Decoder, Encoder};
 pub use log::{DurableStore, Recovered, StoreOptions};
+pub use writer::{BatchPolicy, GroupCommitWriter, WriterStats};
 
 /// Errors surfaced by the storage subsystem.
 #[derive(Debug)]

@@ -1,11 +1,13 @@
-//! Repair generations (paper §4.3) and partitioned parallel repair: the wiki
-//! keeps serving requests from the pre-repair state while a repair builds the
-//! next generation, and independent dependency partitions of the history are
-//! re-executed concurrently on a worker pool.
+//! Repair generations (paper §4.3) and partitioned parallel repair through
+//! the concurrent façade: the wiki keeps serving requests from the
+//! pre-repair state while a repair builds the next generation, and
+//! independent dependency partitions of the history are re-executed
+//! concurrently on a worker pool. The repair itself is first-class — a
+//! [`warp_core::RepairHandle`] whose status is polled while it runs.
 
 use warp_apps::wiki::{wiki_app, wiki_search_patch};
-use warp_core::{RepairRequest, RepairStrategy, WarpServer};
-use warp_http::{HttpRequest, Transport};
+use warp_core::{RepairRequest, Warp};
+use warp_http::HttpRequest;
 
 fn main() {
     warp_examples::handle_help(
@@ -14,27 +16,30 @@ fn main() {
          while independent partitions are repaired concurrently.",
         None,
     );
-    let mut server = WarpServer::new(wiki_app(4, 4));
+    let warp = Warp::builder()
+        .app(wiki_app(4, 4))
+        .repair_workers(2)
+        .start();
     // Seed history across several independent partitions: searches (which
     // the patch below re-executes) plus per-page edits that never interact.
     for i in 0..5 {
-        server.send(HttpRequest::get(&format!("/search.wasl?q=page {i}")));
+        warp.serve(HttpRequest::get(&format!("/search.wasl?q=page {i}")));
     }
     for i in 1..=4 {
-        server.send(HttpRequest::get(&format!("/view.wasl?title=Page{i}")));
+        warp.serve(HttpRequest::get(&format!("/view.wasl?title=Page{i}")));
     }
-    let gen_before = server.db.current_generation();
+    let gen_before = warp.with_server(|s| s.db.current_generation());
     // Normal operation continues while the repair generation is built; the
-    // repair here runs the partitioned engine, so the independent search
-    // actions are re-executed concurrently on 2 workers and merged.
-    let outcome = server.repair_with(
-        RepairRequest::RetroactivePatch {
-            patch: wiki_search_patch(),
-            from_time: 0,
-        },
-        RepairStrategy::Partitioned { workers: 2 },
-    );
-    let gen_after = server.db.current_generation();
+    // repair runs the partitioned engine configured on the builder, so the
+    // independent search actions are re-executed concurrently on 2 workers
+    // and merged.
+    let handle = warp.repair(RepairRequest::RetroactivePatch {
+        patch: wiki_search_patch(),
+        from_time: 0,
+    });
+    println!("repair submitted, status: {:?}", handle.status());
+    let outcome = handle.join();
+    let gen_after = warp.with_server(|s| s.db.current_generation());
     println!("generation before repair: {gen_before}, after repair: {gen_after}");
     println!(
         "re-executed {} of {} application runs",
@@ -47,7 +52,7 @@ fn main() {
         outcome.stats.workers,
         outcome.stats.escalations,
     );
-    // The post-repair server still serves traffic normally.
-    let r = server.send(HttpRequest::get("/view.wasl?title=Page1"));
+    // The post-repair deployment still serves traffic normally.
+    let r = warp.serve(HttpRequest::get("/view.wasl?title=Page1"));
     println!("post-repair page view status: {}", r.status);
 }

@@ -17,7 +17,7 @@
 //!   the abnormal exit), then recover in-process. This is what CI runs.
 
 use warp_core::{
-    AppConfig, FileBackend, Patch, RepairRequest, RepairStrategy, ServerConfig, WarpServer,
+    AppConfig, FileBackend, Patch, RepairRequest, RepairStrategy, Warp, WarpHost, WarpServer,
 };
 use warp_http::HttpRequest;
 use warp_ttdb::TableAnnotation;
@@ -70,16 +70,19 @@ fn patch() -> Patch {
 /// Total workload steps the crash phase would serve if never killed.
 const TOTAL_STEPS: usize = 30;
 
-/// Serves the deterministic scenario. When `kill_after` is set, aborts the
-/// process (no destructors — the honest crash) once the history holds that
-/// many actions.
-fn drive(server: &mut WarpServer, kill_after: Option<usize>) {
+/// Serves the deterministic scenario through any front end. When
+/// `kill_after` is set, aborts the process (no destructors — the honest
+/// crash) once the history holds that many actions. Driven over the `Warp`
+/// façade under group commit, every one of those actions was acknowledged
+/// only after its log record became durable, so the abort is a direct test
+/// of the acked-implies-recoverable contract.
+fn drive<H: WarpHost>(server: &mut H, kill_after: Option<usize>) {
     use warp_browser::Browser;
     let mut victim = Browser::new("victim-browser");
     for step in 0..TOTAL_STEPS {
         match step % 3 {
             0 => {
-                server.handle(HttpRequest::post(
+                server.send(HttpRequest::post(
                     "/edit.wasl",
                     [
                         ("title", format!("Page{}", step % 3).as_str()),
@@ -92,10 +95,10 @@ fn drive(server: &mut WarpServer, kill_after: Option<usize>) {
                 // must survive the crash.
                 let visit = victim.visit("/view.wasl?title=Main", server);
                 let _ = visit;
-                server.upload_client_logs(victim.take_logs());
+                server.upload_logs(victim.take_logs());
             }
             _ => {
-                server.handle(HttpRequest::get(&format!(
+                server.send(HttpRequest::get(&format!(
                     "/view.wasl?title=Page{}",
                     step % 3
                 )));
@@ -105,40 +108,44 @@ fn drive(server: &mut WarpServer, kill_after: Option<usize>) {
             // The stored-XSS attack lands mid-workload.
             let payload =
                 "<script>http_post(\"/edit.wasl\", {\"title\": \"Secret\", \"body\": \"DEFACED\"});</script>";
-            server.handle(HttpRequest::post(
+            server.send(HttpRequest::post(
                 "/edit.wasl",
                 [("title", "Main"), ("body", payload)],
             ));
         }
         if let Some(kill) = kill_after {
-            if server.history.len() >= kill {
-                eprintln!(
-                    "crash_recovery: aborting with {} actions logged",
-                    server.history.len()
-                );
+            let actions = server.with_host(|s| s.history.len());
+            if actions >= kill {
+                eprintln!("crash_recovery: aborting with {actions} actions logged");
                 std::process::abort();
             }
         }
     }
 }
 
-fn open_persistent(dir: &str) -> (WarpServer, warp_core::RecoveryReport) {
+fn open_persistent(dir: &str) -> (Warp, warp_core::RecoveryReport) {
     let backend = FileBackend::open(format!("{dir}/store"))
         .unwrap_or_else(|e| panic!("opening store in {dir}: {e}"));
-    WarpServer::open(ServerConfig::new(app()).with_backend(Box::new(backend)))
+    // Group commit: responses are acknowledged only once their log record
+    // is durable, which is exactly what the abort() below relies on.
+    Warp::builder()
+        .app(app())
+        .backend(Box::new(backend))
+        .build()
         .unwrap_or_else(|e| panic!("recovering from {dir}: {e}"))
 }
 
 fn phase_crash(dir: &str, kill_after: usize) {
     let _ = std::fs::remove_dir_all(dir);
-    let (mut server, report) = open_persistent(dir);
+    let (mut warp, report) = open_persistent(dir);
     assert!(!report.recovered, "crash phase must start from empty store");
-    drive(&mut server, Some(kill_after));
+    drive(&mut warp, Some(kill_after));
     unreachable!("kill_after {kill_after} never reached in {TOTAL_STEPS} steps");
 }
 
 fn phase_recover(dir: &str) -> bool {
-    let (mut recovered, report) = open_persistent(dir);
+    let (warp, report) = open_persistent(dir);
+    let mut recovered = warp.close();
     println!(
         "recovered: checkpoint={} records_replayed={} torn_tail={} actions={}",
         report.from_checkpoint,

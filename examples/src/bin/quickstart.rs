@@ -1,14 +1,15 @@
-//! Quickstart: install a tiny Warp-enabled application, handle traffic, and
+//! Quickstart: install a tiny Warp-enabled application behind the
+//! concurrent `Warp` façade, handle traffic from several threads, and
 //! retroactively patch a bug out of its history.
 
-use warp_core::{AppConfig, Patch, RepairRequest, WarpServer};
-use warp_http::{HttpRequest, Transport};
+use warp_core::{AppConfig, Patch, RepairRequest, Warp};
+use warp_http::HttpRequest;
 use warp_ttdb::TableAnnotation;
 
 fn main() {
     warp_examples::handle_help(
         "quickstart",
-        "Install a tiny Warp-enabled application, handle traffic, and retroactively patch a bug out of its history.",
+        "Install a tiny Warp-enabled application, serve traffic concurrently through the Warp handle, and retroactively patch a bug out of its history.",
         None,
     );
     // 1. Define the application: one table, one script with a bug (it stores
@@ -28,31 +29,46 @@ fn main() {
         "list.wasl",
         "let rows = db_query(\"SELECT body FROM note ORDER BY note_id\"); foreach (rows as r) { echo(r[\"body\"] . \"\\n\"); }",
     );
-    let mut server = WarpServer::new(config);
+    let warp = Warp::builder().app(config).start();
 
-    // 2. Normal operation: users add notes; Warp logs every action.
-    for (i, text) in ["remember the milk", "call alice"].iter().enumerate() {
-        server.send(HttpRequest::post(
-            "/add.wasl",
-            [("id", &(i + 1).to_string()[..]), ("body", text)],
-        ));
+    // 2. Normal operation: users add notes from separate threads; every
+    //    request funnels into the single-writer engine and is logged.
+    let handles: Vec<_> = ["remember the milk", "call alice"]
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let warp = warp.clone();
+            let text = text.to_string();
+            std::thread::spawn(move || {
+                warp.serve(HttpRequest::post(
+                    "/add.wasl",
+                    [("id", &(i + 1).to_string()[..]), ("body", &text)],
+                ))
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
     }
     println!(
         "Before repair:\n{}",
-        server.send(HttpRequest::get("/list.wasl")).body
+        warp.serve(HttpRequest::get("/list.wasl")).body
     );
 
     // 3. Retroactive patching: fix the "shouting" bug as of the beginning of
-    //    time; Warp re-executes the affected runs and repairs the database.
+    //    time. The repair is first-class: `Warp::repair` returns a handle
+    //    whose outcome we join.
     let patch = Patch::new(
         "add.wasl",
         "db_query(\"INSERT INTO note (note_id, body) VALUES (\" . int(param(\"id\")) . \", '\" . sql_escape(param(\"body\")) . \"')\"); echo(\"stored\");",
         "store notes verbatim",
     );
-    let outcome = server.repair(RepairRequest::RetroactivePatch {
-        patch,
-        from_time: 0,
-    });
+    let outcome = warp
+        .repair(RepairRequest::RetroactivePatch {
+            patch,
+            from_time: 0,
+        })
+        .join();
     println!(
         "Repair re-executed {} of {} application runs ({} queries).",
         outcome.stats.app_runs_reexecuted,
@@ -61,6 +77,6 @@ fn main() {
     );
     println!(
         "After repair:\n{}",
-        server.send(HttpRequest::get("/list.wasl")).body
+        warp.serve(HttpRequest::get("/list.wasl")).body
     );
 }

@@ -1,0 +1,237 @@
+//! Integration tests for the concurrent serving façade: the `Warp` handle
+//! must be callable from many threads at once, funnel everything into one
+//! serializable action history, and (under the durable tiers) acknowledge a
+//! request only once its log record would survive a crash.
+
+use std::sync::mpsc::channel;
+use std::time::Duration;
+use warp_core::{AppConfig, Durability, MemoryBackend, StoreOptions, Warp, WarpServer};
+use warp_http::HttpRequest;
+use warp_ttdb::TableAnnotation;
+
+/// A wiki with eight independent pages (one per client thread).
+fn app() -> AppConfig {
+    let mut config = AppConfig::new("serving-wiki");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    for p in 0..8 {
+        config.seed(format!(
+            "INSERT INTO page (page_id, title, body) VALUES ({}, 'Page{p}', 'seed {p}')",
+            p + 1
+        ));
+    }
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); } else { echo(\"<div>\" . rows[0][\"body\"] . \"</div>\"); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+    );
+    config
+}
+
+/// The requests thread `t` issues: edits and reads confined to its own
+/// page, with a strictly increasing revision — so the *final* state is the
+/// same under every interleaving of threads.
+fn thread_requests(t: usize, per_thread: usize) -> Vec<HttpRequest> {
+    (0..per_thread)
+        .map(|i| {
+            if i % 4 == 3 {
+                HttpRequest::get(&format!("/view.wasl?title=Page{t}"))
+            } else {
+                HttpRequest::post(
+                    "/edit.wasl",
+                    [
+                        ("title", format!("Page{t}").as_str()),
+                        ("body", format!("thread {t} revision {i}").as_str()),
+                    ],
+                )
+            }
+        })
+        .collect()
+}
+
+/// The acceptance-criterion test: `Warp::serve` is called concurrently from
+/// four threads, and the resulting history — replayed into canonical form —
+/// is byte-identical to the same requests served sequentially.
+#[test]
+fn concurrent_serving_is_canonically_equal_to_sequential() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 16;
+
+    // Compile-time contract: the handle is shareable across threads.
+    fn assert_concurrent_handle<T: Send + Sync + Clone>() {}
+    assert_concurrent_handle::<Warp>();
+
+    let warp = Warp::builder().app(app()).start();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let warp = warp.clone();
+            std::thread::spawn(move || {
+                for request in thread_requests(t, PER_THREAD) {
+                    let response = warp.serve(request);
+                    assert_ne!(response.status, 503);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("serve thread");
+    }
+    let concurrent_actions = warp.with_server(|s| s.history.len());
+    let mut concurrent = warp.close();
+
+    // The sequential reference serves the identical requests one by one on
+    // the deprecated synchronous shim.
+    let mut reference = WarpServer::new(app());
+    for t in 0..THREADS {
+        for request in thread_requests(t, PER_THREAD) {
+            reference.handle(request);
+        }
+    }
+    assert_eq!(concurrent_actions, THREADS * PER_THREAD);
+    assert_eq!(concurrent_actions, reference.history.len());
+    assert_eq!(
+        concurrent.db.canonical_dump(),
+        reference.db.canonical_dump(),
+        "concurrent serving must end in state byte-identical to sequential serving"
+    );
+}
+
+/// Group commit under real thread concurrency: every request whose `serve`
+/// returned was durable at that moment, so a crash (dropping the handle
+/// without an orderly close, then reopening a point-in-time disk image)
+/// loses nothing that was acknowledged.
+#[test]
+fn group_commit_acks_survive_crash_image_under_concurrency() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 12;
+    let backend = MemoryBackend::new();
+    let (warp, _) = Warp::builder()
+        .app(app())
+        .backend(Box::new(backend.clone()))
+        .store_options(StoreOptions {
+            segment_bytes: 2048,
+            checkpoint_interval: 0,
+        })
+        .durability(Durability::Group {
+            max_batch: 8,
+            max_delay: Duration::from_micros(300),
+        })
+        .build()
+        .expect("open group-commit deployment");
+
+    let (acked_tx, acked_rx) = channel::<String>();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let warp = warp.clone();
+            let acked_tx = acked_tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let body = format!("ack {t}/{i}");
+                    warp.serve(HttpRequest::post(
+                        "/edit.wasl",
+                        [
+                            ("title", format!("Page{t}").as_str()),
+                            ("body", body.as_str()),
+                        ],
+                    ));
+                    // Recorded only *after* serve returned, i.e. after the
+                    // durability acknowledgement.
+                    acked_tx.send(body).expect("ack channel");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    drop(acked_tx);
+    let acked: Vec<String> = acked_rx.iter().collect();
+    assert_eq!(acked.len(), THREADS * PER_THREAD);
+
+    // Crash: no close(), no flush — the handle is dropped and the disk
+    // image is whatever the backend holds. Acked-implies-durable means the
+    // image must already contain every acknowledged edit.
+    let image = backend.snapshot();
+    drop(warp);
+
+    let (recovered, report) = Warp::builder()
+        .app(app())
+        .backend(Box::new(image))
+        .build()
+        .expect("recover from crash image");
+    assert!(report.recovered);
+    let bodies = recovered.with_server(|s| {
+        s.history
+            .actions()
+            .iter()
+            .filter_map(|a| a.request.form.get("body").cloned())
+            .collect::<std::collections::BTreeSet<String>>()
+    });
+    for body in &acked {
+        assert!(
+            bodies.contains(body),
+            "acknowledged edit `{body}` lost by the crash"
+        );
+    }
+}
+
+/// The relaxed tier really is weaker: it may lose the un-flushed tail, but
+/// recovery still yields a consistent prefix, and an explicit flush
+/// upgrades everything written so far to durable.
+#[test]
+fn relaxed_tier_recovers_a_consistent_prefix() {
+    let backend = MemoryBackend::new();
+    let warp = Warp::builder()
+        .app(app())
+        .backend(Box::new(backend.clone()))
+        .durability(Durability::Relaxed)
+        .start();
+    for i in 0..20 {
+        warp.serve(HttpRequest::post(
+            "/edit.wasl",
+            [
+                ("title", format!("Page{}", i % 8).as_str()),
+                ("body", format!("relaxed {i}").as_str()),
+            ],
+        ));
+    }
+    warp.flush();
+    let image_after_flush = backend.snapshot();
+    drop(warp);
+
+    let (recovered, _) = Warp::builder()
+        .app(app())
+        .backend(Box::new(image_after_flush))
+        .build()
+        .expect("recover");
+    // After the explicit flush, everything is there.
+    assert_eq!(recovered.with_server(|s| s.history.len()), 20);
+    let r = recovered.serve(HttpRequest::get("/view.wasl?title=Page3"));
+    assert!(r.body.contains("relaxed 19"), "{}", r.body);
+}
+
+/// The façade handle plugs into everything that speaks `Transport` — the
+/// browser drives it exactly like it drove the synchronous server.
+#[test]
+fn warp_handle_is_a_transport_for_the_browser() {
+    use warp_browser::Browser;
+    let mut warp = Warp::builder().app(app()).start();
+    let mut browser = Browser::new("transport-client");
+    let visit = browser.visit("/view.wasl?title=Page1", &mut warp);
+    assert!(visit.response.body.contains("seed 1"));
+    warp.upload_client_logs(browser.take_logs());
+    assert_eq!(
+        warp.with_server(|s| s.history.client_ids().len()),
+        1,
+        "client log upload must land in the history"
+    );
+}

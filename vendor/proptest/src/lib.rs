@@ -10,8 +10,15 @@
 //! * integer `Range` strategies and `proptest::collection::vec`.
 //!
 //! Sampling is deterministic: the RNG is a xorshift64* seeded from the test
-//! function's name, so a failing case reproduces on every run. There is no
-//! shrinking — the failing input is printed as-is by the assert macros.
+//! function's name, so a failing case reproduces on every run.
+//!
+//! Shrinking: integer-range and `collection::vec` strategies implement
+//! basic halving shrinkers ([`Strategy::shrink`]). When a case fails, the
+//! harness greedily applies shrink candidates while the failure reproduces
+//! (panic output is suppressed during the search), then reports the
+//! original and minimal failing inputs and re-runs the minimal case so the
+//! test fails with its real assertion message. String/pattern strategies do
+//! not shrink (their failing inputs are short already).
 
 use std::ops::Range;
 
@@ -48,6 +55,60 @@ impl TestRng {
 pub trait Strategy {
     type Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate one-step simplifications of a failing `value`, most
+    /// aggressive first. The default is no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Tuples of strategies generate (and shrink) tuples of values; the
+/// `proptest!` macro bundles a case's arguments into one tuple strategy so
+/// the whole case can be shrunk jointly, one argument at a time.
+macro_rules! tuple_strategy {
+    ($(($($name:ident / $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = candidate;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A / 0);
+    (A / 0, B / 1);
+    (A / 0, B / 1, C / 2);
+    (A / 0, B / 1, C / 2, D / 3);
+    (A / 0, B / 1, C / 2, D / 3, E / 4);
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 }
 
 /// Pattern strategies: a `&str` is interpreted as a regex subset and
@@ -83,6 +144,27 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let off = (rng.next_u64() as u128 % span) as i128;
                 (self.start as i128 + off) as $t
+            }
+
+            /// Halving toward the range start: jump candidates that cut the
+            /// distance by 1/2, 3/4, 7/8, … plus the single decrement, so a
+            /// greedy search converges in O(log²) runs.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let start = self.start as i128;
+                let v = *value as i128;
+                let mut out = Vec::new();
+                let mut delta = v - start;
+                while delta > 1 {
+                    delta /= 2;
+                    out.push((v - delta) as $t);
+                }
+                if v > start {
+                    let dec = (v - 1) as $t;
+                    if out.last() != Some(&dec) {
+                        out.push(dec);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -204,6 +286,62 @@ fn parse_pattern(pat: &str) -> Vec<Atom> {
     atoms
 }
 
+fn case_passes<V>(run: &dyn Fn(&V), value: &V) -> bool {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(value))).is_ok()
+}
+
+/// Greedily applies [`Strategy::shrink`] candidates while `still_fails`
+/// reproduces the failure, returning the minimal failing value found and
+/// how many shrink steps were taken.
+pub fn shrink_to_minimal<S: Strategy>(
+    strat: &S,
+    mut failing: S::Value,
+    still_fails: impl Fn(&S::Value) -> bool,
+) -> (S::Value, usize) {
+    let mut steps = 0;
+    loop {
+        let mut improved = false;
+        for candidate in strat.shrink(&failing) {
+            if still_fails(&candidate) {
+                failing = candidate;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (failing, steps);
+        }
+    }
+}
+
+/// Runs one generated case for `proptest!`. On failure the case is shrunk
+/// — panic output is suppressed during the search so the log is not
+/// flooded — and the *minimal* failing input is reported and re-run, so
+/// the test fails with its real assertion message on the simplest input.
+pub fn run_case<S: Strategy>(
+    name: &str,
+    case: u32,
+    strat: &S,
+    value: S::Value,
+    run: &dyn Fn(&S::Value),
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    if case_passes(run, &value) {
+        return;
+    }
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (minimal, steps) = shrink_to_minimal(strat, value.clone(), |v| !case_passes(run, v));
+    std::panic::set_hook(previous_hook);
+    eprintln!(
+        "proptest: {name} failed on case {case}; shrunk {steps} step(s)\n  \
+         original: {value:?}\n  minimal:  {minimal:?}"
+    );
+    run(&minimal);
+}
+
 /// Configuration accepted by `#![proptest_config(..)]`.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
@@ -237,12 +375,49 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Length halving (keep either half, drop one element), then
+        /// element-wise shrinks through the element strategy.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min_len = self.len.start;
+            if value.len() > min_len {
+                let target = (value.len() / 2).max(min_len);
+                out.push(value[..target].to_vec());
+                if target > 0 {
+                    out.push(value[value.len() - target..].to_vec());
+                }
+                if target + 1 < value.len() {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                // The two most aggressive jumps plus the final candidate
+                // (integer shrinkers end with the single decrement, which
+                // guarantees the exact minimum stays reachable).
+                let mut candidates = self.element.shrink(element);
+                if candidates.len() > 3 {
+                    let last = candidates.pop().expect("non-empty");
+                    candidates.truncate(2);
+                    candidates.push(last);
+                }
+                for candidate in candidates {
+                    let mut copy = value.clone();
+                    copy[i] = candidate;
+                    out.push(copy);
+                }
+            }
+            out
         }
     }
 }
@@ -250,7 +425,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy, TestRng};
+    pub use crate::{shrink_to_minimal, ProptestConfig, Strategy, TestRng};
 }
 
 #[macro_export]
@@ -292,10 +467,88 @@ macro_rules! __proptest_fns {
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
             let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            // All arguments form one tuple strategy, so a failing case is
+            // shrunk jointly (see `run_case`).
+            let __strat = ($(&$strat,)+);
             for __case in 0..__cfg.cases {
-                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
-                $body
+                let __vals = $crate::Strategy::generate(&__strat, &mut __rng);
+                $crate::run_case(
+                    stringify!($name),
+                    __case,
+                    &__strat,
+                    __vals,
+                    &|__vals: &_| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
+                        $body
+                    },
+                );
             }
         }
     )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_failure_shrinks_to_the_threshold() {
+        // Property "v < 1000" — the minimal failing input is exactly 1000.
+        let strat = 0usize..100_000;
+        let (minimal, steps) = shrink_to_minimal(&strat, 84_317, |v| *v >= 1_000);
+        assert_eq!(minimal, 1_000);
+        assert!(steps > 0, "a large failing input must shrink");
+    }
+
+    #[test]
+    fn signed_range_shrinks_toward_the_start() {
+        let strat = -500i64..500;
+        let (minimal, _) = shrink_to_minimal(&strat, 400, |v| *v > -250);
+        assert_eq!(minimal, -249);
+    }
+
+    #[test]
+    fn vec_failure_shrinks_to_a_single_minimal_element() {
+        // Property "no element ≥ 50": halving must discard the innocent
+        // elements and the offending element must shrink to exactly 50.
+        let strat = collection::vec(0usize..100, 0..20);
+        let failing = vec![3, 72, 9, 55, 1];
+        let (minimal, _) = shrink_to_minimal(&strat, failing, |v| v.iter().any(|&x| x >= 50));
+        assert_eq!(minimal, vec![50]);
+    }
+
+    #[test]
+    fn vec_length_respects_the_strategy_minimum() {
+        let strat = collection::vec(0usize..10, 2..6);
+        let (minimal, _) = shrink_to_minimal(&strat, vec![4, 4, 4, 4, 4], |v| v.len() >= 2);
+        assert_eq!(
+            minimal.len(),
+            2,
+            "shrinking must not go below the min length"
+        );
+    }
+
+    #[test]
+    fn tuple_shrink_replaces_one_component_at_a_time() {
+        let strat = (&(0usize..100), &(0usize..100));
+        let candidates = Strategy::shrink(&strat, &(8, 0));
+        assert!(!candidates.is_empty());
+        // The second component is already at the range start, so every
+        // candidate shrinks the first and leaves the second untouched.
+        assert!(candidates.iter().all(|&(a, b)| a < 8 && b == 0));
+    }
+
+    /// The macro-facing harness: a seeded failing case is shrunk and the
+    /// minimal input re-run, so the test dies with the real assertion on
+    /// the simplest input.
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn run_case_reports_and_rethrows_the_minimal_case() {
+        let strat = (&(0usize..1_000),);
+        let generated = Strategy::generate(&strat, &mut TestRng::from_name("seeded"));
+        let failing = (generated.0.max(10),);
+        run_case("seeded", 0, &strat, failing, &|v: &(usize,)| {
+            assert!(v.0 < 10);
+        });
+    }
 }
