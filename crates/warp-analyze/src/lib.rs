@@ -1,0 +1,516 @@
+//! `warp-analyze` — static analysis over an application's SQL query corpus.
+//!
+//! WASL applications build SQL by string concatenation (`"SELECT ... '" .
+//! sql_escape(x) . "'"`), exactly like the PHP applications the paper
+//! retrofits. This crate extracts every `db_query(...)` call site from an
+//! application's sources, reconstructs a parseable SQL *template* for each
+//! (concatenated expressions are replaced by placeholder values), and runs
+//! two analyses over the result:
+//!
+//! * **Footprints** ([`corpus_footprints`]): the conservative
+//!   column-granularity [`warp_sql::StatementFootprint`] of each template —
+//!   the same analysis the repair frontier uses at runtime, surfaced
+//!   offline so a programmer can see which queries defeat column-level
+//!   pruning (`SELECT *`, unbounded row sets) before an intrusion happens.
+//! * **Lints** ([`corpus_lints`]): precision-defeating and
+//!   injection-adjacent query shapes. Statement-level rules come from
+//!   [`warp_sql::lint_statement`] (`select-star`, `unbounded-write`);
+//!   this crate adds the WASL-level `unescaped-concat` rule for SQL built
+//!   from expressions that pass through neither `sql_escape(...)` nor
+//!   `int(...)`.
+//!
+//! The `warp-analyze` binary wires both over the canonical wiki/blog/
+//! gallery corpus, with a committed baseline file so CI fails only on
+//! *new* lint findings (the wiki ships intentionally vulnerable variants
+//! of its search and maintenance pages — those findings are expected).
+
+use warp_sql::{analyze, lint_statement, KeyCatalog, StatementFootprint};
+
+/// One `db_query(...)` call site extracted from a WASL source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySite {
+    /// Source filename the call appears in.
+    pub file: String,
+    /// 1-based line of the `db_query(` token.
+    pub line: usize,
+    /// The raw WASL argument expression, verbatim.
+    pub raw: String,
+    /// The reconstructed SQL template (placeholders substituted).
+    pub template: String,
+    /// Concatenated expression segments that are not escape-wrapped.
+    pub unescaped: Vec<String>,
+}
+
+/// One lint finding over a corpus.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Source filename.
+    pub file: String,
+    /// 1-based line of the offending `db_query(`.
+    pub line: usize,
+    /// Rule identifier (`unescaped-concat`, `select-star`,
+    /// `unbounded-write`, `unparseable-template`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The stable one-line form used for baseline files: the line number
+    /// is deliberately omitted so unrelated edits shifting a file do not
+    /// invalidate the baseline.
+    pub fn baseline_key(&self) -> String {
+        format!("{}\t{}\t{}", self.file, self.rule, self.message)
+    }
+}
+
+/// Variables a file binds to a quote-safe value: `let x = ...` where the
+/// right-hand side passes through `int(...)` (numeric coercion) or
+/// `sql_escape(...)`. Concatenating such a variable cannot inject SQL, so
+/// the `unescaped-concat` rule skips it. One flat set per file is enough
+/// for WASL's corpus style (the buggy and fixed variants of a page are
+/// separate files); rebinding a safe name to a raw value later in the same
+/// file would be missed, which errs on the quiet side for a lint whose
+/// findings are baselined anyway.
+fn safe_vars(source: &str) -> std::collections::BTreeSet<String> {
+    let mut safe = std::collections::BTreeSet::new();
+    for statement in source.split(';') {
+        let Some((lhs, rhs)) = statement.split_once('=') else {
+            continue;
+        };
+        let lhs = lhs.trim();
+        let Some(name) = lhs.strip_prefix("let ") else {
+            continue;
+        };
+        let name = name.trim();
+        if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && (rhs.contains("int(") || rhs.contains("sql_escape("))
+        {
+            safe.insert(name.to_string());
+        }
+    }
+    safe
+}
+
+/// A source file's worth of extracted query sites.
+pub fn extract_sites(file: &str, source: &str) -> Vec<QuerySite> {
+    let mut sites = Vec::new();
+    let bytes = source.as_bytes();
+    let safe = safe_vars(source);
+    let mut i = 0;
+    while let Some(pos) = source[i..].find("db_query(") {
+        let start = i + pos;
+        let arg_start = start + "db_query(".len();
+        let Some(arg_end) = matching_paren(source, arg_start) else {
+            break;
+        };
+        let raw = source[arg_start..arg_end].to_string();
+        let line = 1 + bytes[..start].iter().filter(|&&b| b == b'\n').count();
+        let segments = split_concat(&raw);
+        let (template, unescaped) = build_template(&segments, &safe);
+        sites.push(QuerySite {
+            file: file.to_string(),
+            line,
+            raw,
+            template,
+            unescaped,
+        });
+        i = arg_end;
+    }
+    sites
+}
+
+/// Finds the index of the `)` closing the paren that *precedes* `from`
+/// (i.e. `from` points just past an opening paren), respecting WASL string
+/// literals and their escapes.
+fn matching_paren(source: &str, from: usize) -> Option<usize> {
+    let mut depth = 1usize;
+    let mut in_string = false;
+    let mut chars = source[from..].char_indices();
+    while let Some((off, c)) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(from + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// One segment of a WASL concatenation chain.
+#[derive(Debug, Clone, PartialEq)]
+enum Segment {
+    /// A string literal, with escapes resolved.
+    Literal(String),
+    /// Any other expression, verbatim.
+    Expr(String),
+}
+
+/// Splits a WASL expression on top-level `.` (the concatenation operator):
+/// not inside a string literal, not inside parentheses or brackets.
+fn split_concat(raw: &str) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut piece = String::new();
+    let mut chars = raw.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            piece.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = chars.next() {
+                        piece.push(escaped);
+                    }
+                }
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                piece.push(c);
+            }
+            '(' | '[' => {
+                depth += 1;
+                piece.push(c);
+            }
+            ')' | ']' => {
+                depth = depth.saturating_sub(1);
+                piece.push(c);
+            }
+            '.' if depth == 0 => {
+                push_segment(&mut segments, &piece);
+                piece.clear();
+            }
+            _ => piece.push(c),
+        }
+    }
+    push_segment(&mut segments, &piece);
+    segments
+}
+
+fn push_segment(segments: &mut Vec<Segment>, piece: &str) {
+    let piece = piece.trim();
+    if piece.is_empty() {
+        return;
+    }
+    if piece.starts_with('"') && piece.ends_with('"') && piece.len() >= 2 {
+        segments.push(Segment::Literal(unescape(&piece[1..piece.len() - 1])));
+    } else {
+        segments.push(Segment::Expr(piece.to_string()));
+    }
+}
+
+/// Resolves WASL string escapes (`\"`, `\\`, `\n`, `\t`).
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// True if a concatenated expression cannot inject SQL: its value passes
+/// through `sql_escape(...)` (quote doubling) or `int(...)` (numeric
+/// coercion), or every identifier in it is a file-local variable bound to
+/// such a value (so arithmetic like `next + 1` over coerced values stays
+/// quiet).
+fn is_escaped_expr(expr: &str, safe: &std::collections::BTreeSet<String>) -> bool {
+    let expr = expr.trim();
+    if expr.contains("sql_escape(") || expr.contains("int(") {
+        return true;
+    }
+    let mut idents = Vec::new();
+    let mut current = String::new();
+    for c in expr.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            current.push(c);
+        } else if !current.is_empty() {
+            idents.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        idents.push(current);
+    }
+    !idents.is_empty()
+        && idents
+            .iter()
+            .all(|id| id.chars().all(|c| c.is_ascii_digit()) || safe.contains(id))
+}
+
+/// Reconstructs a parseable SQL template from a concatenation chain:
+/// literal segments verbatim; expression segments become `x` when the
+/// template is inside a SQL string literal at that point, `0` otherwise
+/// (a placeholder in a numeric position). Returns the template and the
+/// unescaped expression segments.
+fn build_template(
+    segments: &[Segment],
+    safe: &std::collections::BTreeSet<String>,
+) -> (String, Vec<String>) {
+    let mut template = String::new();
+    let mut unescaped = Vec::new();
+    for segment in segments {
+        match segment {
+            Segment::Literal(text) => template.push_str(text),
+            Segment::Expr(expr) => {
+                let in_sql_string = template.matches('\'').count() % 2 == 1;
+                template.push_str(if in_sql_string { "x" } else { "0" });
+                if !is_escaped_expr(expr, safe) {
+                    unescaped.push(expr.clone());
+                }
+            }
+        }
+    }
+    (template, unescaped)
+}
+
+/// A query site's static footprint, or why it has none.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteAnalysis {
+    /// The template parsed; here is its conservative footprint.
+    Footprint(Box<StatementFootprint>),
+    /// The template did not parse (dynamic SQL beyond the reconstruction,
+    /// or vendor-specific syntax). Repair falls back to row/partition
+    /// granularity for such queries.
+    Unparseable(String),
+}
+
+/// Builds the key catalog for an application: every `CREATE TABLE` in the
+/// config observed for PRIMARY KEY / UNIQUE columns, plus the annotated
+/// row-ID column of each table (the time-travel layer keys rollback on it).
+pub fn app_key_catalog(config: &warp_core::AppConfig) -> KeyCatalog {
+    let mut keys = KeyCatalog::new();
+    for (create, annotation) in &config.tables {
+        if let Ok(stmt) = warp_sql::parse(create) {
+            keys.observe(&stmt);
+            if let warp_sql::Statement::CreateTable { name, .. } = &stmt {
+                if let Some(row_id) = &annotation.row_id_column {
+                    keys.add_key(name, [row_id.clone()]);
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// Extracts every query site from an application's sources.
+pub fn app_sites(config: &warp_core::AppConfig) -> Vec<QuerySite> {
+    let mut sites = Vec::new();
+    for (file, source) in &config.sources {
+        sites.extend(extract_sites(file, source));
+    }
+    sites
+}
+
+/// Computes the static footprint of every query site in an application.
+pub fn corpus_footprints(config: &warp_core::AppConfig) -> Vec<(QuerySite, SiteAnalysis)> {
+    let keys = app_key_catalog(config);
+    app_sites(config)
+        .into_iter()
+        .map(|site| {
+            let analysis = match warp_sql::parse(&site.template) {
+                Ok(stmt) => SiteAnalysis::Footprint(Box::new(analyze(&stmt, &keys))),
+                Err(e) => SiteAnalysis::Unparseable(e.to_string()),
+            };
+            (site, analysis)
+        })
+        .collect()
+}
+
+/// Lints every query site in an application: the WASL-level
+/// `unescaped-concat` rule plus the statement-level rules from
+/// [`warp_sql::lint_statement`]. An unparseable template is itself a
+/// finding (`unparseable-template`) — such queries silently defeat the
+/// column-level analysis.
+pub fn corpus_lints(config: &warp_core::AppConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for site in app_sites(config) {
+        for expr in &site.unescaped {
+            findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line,
+                rule: "unescaped-concat".to_string(),
+                message: format!("SQL concatenates unescaped expression `{expr}`"),
+            });
+        }
+        match warp_sql::parse(&site.template) {
+            Ok(stmt) => {
+                for lint in lint_statement(&stmt) {
+                    findings.push(Finding {
+                        file: site.file.clone(),
+                        line: site.line,
+                        rule: lint.rule.to_string(),
+                        message: lint.message,
+                    });
+                }
+            }
+            Err(e) => findings.push(Finding {
+                file: site.file.clone(),
+                line: site.line,
+                rule: "unparseable-template".to_string(),
+                message: format!("template `{}` does not parse: {e}", site.template),
+            }),
+        }
+    }
+    findings.sort();
+    findings
+}
+
+/// Compares findings against a baseline (the output of a previous
+/// `--lint` run): returns the findings whose [`Finding::baseline_key`] is
+/// absent from the baseline text. CI commits the baseline and fails only
+/// on regressions, so intentionally-vulnerable corpus entries (the wiki's
+/// search/maintenance pages) do not block the build.
+pub fn new_findings(findings: &[Finding], baseline: &str) -> Vec<Finding> {
+    let known: std::collections::BTreeSet<&str> = baseline
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    findings
+        .iter()
+        .filter(|f| !known.contains(f.baseline_key().as_str()))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_and_reconstructs_escaped_query() {
+        let source = r#"let rows = db_query("SELECT body FROM page WHERE title = '" . sql_escape(title) . "'"); echo(rows);"#;
+        let sites = extract_sites("view.wasl", source);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].template, "SELECT body FROM page WHERE title = 'x'");
+        assert!(sites[0].unescaped.is_empty());
+        assert_eq!(sites[0].line, 1);
+    }
+
+    #[test]
+    fn flags_unescaped_concatenation() {
+        let source = r#"db_query("SELECT title FROM page WHERE body LIKE '%" . q . "%'");"#;
+        let sites = extract_sites("search.wasl", source);
+        assert_eq!(sites[0].unescaped, vec!["q".to_string()]);
+        assert_eq!(
+            sites[0].template,
+            "SELECT title FROM page WHERE body LIKE '%x%'"
+        );
+    }
+
+    #[test]
+    fn numeric_position_gets_numeric_placeholder() {
+        let source = r#"db_query("INSERT INTO acl (acl_id, title) VALUES (" . next . ", '" . sql_escape(t) . "')");"#;
+        let sites = extract_sites("acl.wasl", source);
+        assert_eq!(
+            sites[0].template,
+            "INSERT INTO acl (acl_id, title) VALUES (0, 'x')"
+        );
+        assert_eq!(sites[0].unescaped, vec!["next".to_string()]);
+    }
+
+    #[test]
+    fn int_coerced_variables_are_safe() {
+        let source = "let post = int(param(\"post\"));\n\
+                      let next = int(maxid[0][0]) + 1;\n\
+                      db_query(\"UPDATE post SET votes = \" . next . \" WHERE post_id = \" . post);";
+        let sites = extract_sites("vote.wasl", source);
+        assert!(sites[0].unescaped.is_empty(), "{:?}", sites[0].unescaped);
+        assert_eq!(
+            sites[0].template,
+            "UPDATE post SET votes = 0 WHERE post_id = 0"
+        );
+        // The buggy variant binds the same name to raw input — flagged.
+        let buggy = "let post = param(\"post\");\n\
+                     db_query(\"SELECT title FROM post WHERE post_id = \" . post);";
+        let sites = extract_sites("read.wasl", buggy);
+        assert_eq!(sites[0].unescaped, vec!["post".to_string()]);
+    }
+
+    #[test]
+    fn respects_nested_parens_and_strings() {
+        let source =
+            r#"db_query("SELECT a FROM t WHERE x = '" . sql_escape(param("q.y(z")) . "'");"#;
+        let sites = extract_sites("f.wasl", source);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].template, "SELECT a FROM t WHERE x = 'x'");
+        assert!(sites[0].unescaped.is_empty());
+    }
+
+    #[test]
+    fn multiple_sites_get_line_numbers() {
+        let source =
+            "echo(1);\ndb_query(\"SELECT a FROM t\");\necho(2);\ndb_query(\"DELETE FROM t\");";
+        let sites = extract_sites("two.wasl", source);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].line, 2);
+        assert_eq!(sites[1].line, 4);
+    }
+
+    #[test]
+    fn statement_lints_surface_through_corpus() {
+        let mut config = warp_core::AppConfig::new("lint-test");
+        config.add_source("bad.wasl", r#"db_query("SELECT * FROM t");"#);
+        config.add_source("worse.wasl", r#"db_query("DELETE FROM t");"#);
+        let findings = corpus_lints(&config);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"select-star"), "{findings:?}");
+        assert!(rules.contains(&"unbounded-write"), "{findings:?}");
+    }
+
+    #[test]
+    fn baseline_suppresses_known_findings_only() {
+        let findings = vec![
+            Finding {
+                file: "a.wasl".into(),
+                line: 3,
+                rule: "select-star".into(),
+                message: "m1".into(),
+            },
+            Finding {
+                file: "b.wasl".into(),
+                line: 9,
+                rule: "unescaped-concat".into(),
+                message: "m2".into(),
+            },
+        ];
+        let baseline = format!("# comment\n{}\n", findings[0].baseline_key());
+        let fresh = new_findings(&findings, &baseline);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].file, "b.wasl");
+        // Line-number drift does not invalidate the baseline.
+        let mut moved = findings[0].clone();
+        moved.line = 99;
+        assert!(new_findings(&[moved], &baseline).is_empty());
+    }
+}

@@ -8,18 +8,22 @@
 //! With `--recovery BENCH_recovery.json` it additionally fails on
 //! recovery-time / logging-overhead regressions, with
 //! `--commit BENCH_commit.json` on repair-commit cost that grows with
-//! database size instead of with the repair's write set, and with
+//! database size instead of with the repair's write set, with
 //! `--serve BENCH_serve.json` on group-commit serving throughput falling
-//! more than 10% behind the relaxed (ack-before-durable) tier.
+//! more than 10% behind the relaxed (ack-before-durable) tier, and with
+//! `--frontier BENCH_frontier.json` on column-aware frontier pruning
+//! falling under the required factor (or its final state diverging from
+//! the partition-grained engine's).
 //!
 //! Exit code 2 means a report was missing or incomplete — the gate never
 //! passes silently on missing data.
 
 use std::path::PathBuf;
 use warp_bench::report::{
-    evaluate_commit_gate, evaluate_gate, evaluate_recovery_gate, evaluate_serve_gate,
-    load_commit_records, load_records, load_recovery_records, load_serve_records, COMMIT_FLOOR_MS,
-    COMMIT_MAX_RATIO, GATE_WORKLOAD, RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO,
+    evaluate_commit_gate, evaluate_frontier_gate, evaluate_gate, evaluate_recovery_gate,
+    evaluate_serve_gate, load_commit_records, load_frontier_records, load_records,
+    load_recovery_records, load_serve_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO,
+    FRONTIER_MIN_RATIO, GATE_WORKLOAD, RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO,
 };
 
 /// Default allowed group-commit throughput regression vs the relaxed tier,
@@ -30,7 +34,7 @@ fn usage() {
     println!(
         "usage: bench_gate BENCH_repair.json [MAX_SLOWDOWN_PERCENT] \
          [--recovery BENCH_recovery.json] [--commit BENCH_commit.json] \
-         [--serve BENCH_serve.json]"
+         [--serve BENCH_serve.json] [--frontier BENCH_frontier.json]"
     );
     println!();
     println!("Fails (exit 1) if parallel repair is slower than sequential by more than");
@@ -45,6 +49,9 @@ fn usage() {
     println!(
         "                 PERCENT (default {SERVE_MAX_REGRESSION_PERCENT}) behind the relaxed tier"
     );
+    println!("--frontier PATH  also fail if column-aware repair re-executes less than");
+    println!("                 {FRONTIER_MIN_RATIO}x fewer actions than the partition-grained");
+    println!("                 engine, or their final database states diverge");
     println!("Exit 2: a report is missing or holds no comparable records.");
 }
 
@@ -55,6 +62,7 @@ struct Args {
     commit: Option<PathBuf>,
     serve: Option<PathBuf>,
     serve_max_regression: f64,
+    frontier: Option<PathBuf>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -64,6 +72,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut commit = None;
     let mut serve = None;
     let mut serve_max_regression = SERVE_MAX_REGRESSION_PERCENT;
+    let mut frontier = None;
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
@@ -79,6 +88,13 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .get(i + 1)
                     .ok_or_else(|| "--commit requires a path".to_string())?;
                 commit = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--frontier" => {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| "--frontier requires a path".to_string())?;
+                frontier = Some(PathBuf::from(value));
                 i += 2;
             }
             "--serve" => {
@@ -113,6 +129,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         commit,
         serve,
         serve_max_regression,
+        frontier,
     })
 }
 
@@ -264,6 +281,48 @@ fn main() {
                         "bench_gate: FAIL — group-commit serving throughput regressed more \
                          than {}% against the relaxed tier",
                         args.serve_max_regression
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Gate 5 (optional): column-aware frontier pruning vs the
+    // partition-grained engine, with state equivalence.
+    if let Some(path) = &args.frontier {
+        let records = match load_frontier_records(path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        match evaluate_frontier_gate(&records) {
+            Ok(verdict) => {
+                println!(
+                    "bench_gate: frontier: worst pruning {:.1}x (limit {FRONTIER_MIN_RATIO}x), \
+                     final states {}",
+                    verdict.worst_ratio,
+                    if verdict.dumps_match {
+                        "identical"
+                    } else {
+                        "DIVERGED"
+                    },
+                );
+                if verdict.pass {
+                    println!(
+                        "bench_gate: PASS — column-aware repair pruned the frontier at least \
+                         {FRONTIER_MIN_RATIO}x with identical final state"
+                    );
+                } else {
+                    println!(
+                        "bench_gate: FAIL — column-aware frontier pruning regressed or \
+                         diverged from the partition-grained engine"
                     );
                     failed = true;
                 }

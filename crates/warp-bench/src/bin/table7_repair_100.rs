@@ -3,7 +3,8 @@ fn main() {
     let args = warp_bench::cli::bench_args(
         "table7_repair_100",
         "Regenerates Table 7: repair performance, including the victims-at-start variant. \
-         With --workers, also times sequential vs partitioned parallel repair.",
+         With --workers, also times sequential vs partitioned parallel repair. With \
+         --frontier, also measures column-aware vs partition-grained frontier pruning.",
         "USERS",
         20,
     );
@@ -17,5 +18,11 @@ fn main() {
                 .unwrap_or_else(|e| panic!("writing benchmark report: {e}"));
             println!("wrote {} records to {}", records.len(), path.display());
         }
+    }
+    if let Some(path) = args.frontier {
+        let records = warp_bench::frontier_benchmark("table7_repair_100", args.scale);
+        warp_bench::report::append_frontier_records(&path, &records)
+            .unwrap_or_else(|e| panic!("writing frontier report: {e}"));
+        println!("wrote {} records to {}", records.len(), path.display());
     }
 }

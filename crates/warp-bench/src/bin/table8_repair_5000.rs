@@ -3,7 +3,8 @@ fn main() {
     let args = warp_bench::cli::bench_args(
         "table8_repair_5000",
         "Regenerates Table 8: repair scaling with workload size. \
-         With --workers, also times sequential vs partitioned parallel repair.",
+         With --workers, also times sequential vs partitioned parallel repair. With \
+         --frontier, also measures column-aware vs partition-grained frontier pruning.",
         "MAX_USERS",
         40,
     );
@@ -20,5 +21,11 @@ fn main() {
                 .unwrap_or_else(|e| panic!("writing benchmark report: {e}"));
             println!("wrote {} records to {}", records.len(), path.display());
         }
+    }
+    if let Some(path) = args.frontier {
+        let records = warp_bench::frontier_benchmark("table8_repair_5000", args.scale);
+        warp_bench::report::append_frontier_records(&path, &records)
+            .unwrap_or_else(|e| panic!("writing frontier report: {e}"));
+        println!("wrote {} records to {}", records.len(), path.display());
     }
 }

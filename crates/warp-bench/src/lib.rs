@@ -992,6 +992,147 @@ pub fn table11_serve(scale: usize) -> Vec<report::ServeBenchRecord> {
     records
 }
 
+/// The corrected `deface.wasl` used by the frontier benchmark's repair:
+/// identical to the buggy source except for the skin it applies.
+pub const DEFACE_FIXED: &str = "db_query(\"UPDATE page SET style = 'clean-skin' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+     echo(\"<p>themed</p>\");";
+
+/// The wiki used by the frontier benchmark: like [`recovery_bench_app`]
+/// but pages carry a second independent column (`style`) so a surgical
+/// attack can dirty one column while the bulk of the traffic reads the
+/// other.
+fn frontier_bench_app(users: usize) -> warp_core::AppConfig {
+    let mut config = warp_core::AppConfig::new("frontier-bench");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT, style TEXT)",
+        warp_ttdb::TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    // Page0 is the shared landing page everyone reads; each user also owns
+    // a page of their own.
+    for p in 0..=users {
+        config.seed(format!(
+            "INSERT INTO page (page_id, title, body, style) VALUES ({}, 'Page{p}', 'seed body {p}', 'clean-skin')",
+            p + 1
+        ));
+    }
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); } else { echo(\"<div>\" . rows[0][\"body\"] . \"</div>\"); }",
+    );
+    config.add_source(
+        "style.wasl",
+        "let rows = db_query(\"SELECT style FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); } else { echo(\"<span class='\" . rows[0][\"style\"] . \"'>themed</span>\"); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+    );
+    // The buggy admin action: applies the wrong skin. The repair patches
+    // this file to DEFACE_FIXED, which touches only the `style` column.
+    config.add_source(
+        "deface.wasl",
+        "db_query(\"UPDATE page SET style = 'defaced-skin' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>themed</p>\");",
+    );
+    config
+}
+
+/// Deterministic frontier-benchmark traffic: per-user own-page edits and
+/// Page0 body reads, one surgical `deface.wasl` run dirtying Page0's
+/// `style` column, then a post-attack read mix where almost everyone reads
+/// Page0's *body* and only a few readers touch the dirtied *style* column.
+/// Crucially there are no post-attack writes to Page0: rollback wipes whole
+/// row versions, so any such write would (soundly) drag its columns into
+/// the dirty set and shrink the demonstrated pruning.
+fn frontier_traffic<H: WarpHost>(server: &mut H, users: usize, style_readers: usize) {
+    for u in 0..users {
+        let own = u + 1;
+        server.send(HttpRequest::post(
+            "/edit.wasl",
+            [
+                ("title", format!("Page{own}").as_str()),
+                ("body", format!("user {u} draft").as_str()),
+            ],
+        ));
+        server.send(HttpRequest::get("/view.wasl?title=Page0"));
+    }
+    server.send(HttpRequest::post("/deface.wasl", [("title", "Page0")]));
+    for _ in 0..users {
+        server.send(HttpRequest::get("/view.wasl?title=Page0"));
+        server.send(HttpRequest::get("/view.wasl?title=Page0"));
+    }
+    for _ in 0..style_readers {
+        server.send(HttpRequest::get("/style.wasl?title=Page0"));
+    }
+}
+
+/// Measures frontier pruning from the static column footprints: the same
+/// surgical single-column attack (a buggy skin change to Page0's `style`)
+/// is repaired twice — once with column-aware frontier pruning and once
+/// with the column-oblivious partition-grained engine
+/// ([`warp_core::WarpServer::column_oblivious_repair`]). The column-aware
+/// engine re-executes only the deface run and the few `style.wasl` readers;
+/// the partition-grained engine also re-executes every post-attack
+/// `view.wasl` read of Page0, because those share the page's partition even
+/// though they read a disjoint column. Both final states must be
+/// byte-identical — pruning may only skip re-executions that cannot change
+/// the outcome. Returns the records for `BENCH_frontier.json`.
+pub fn frontier_benchmark(workload: &str, users: usize) -> Vec<report::FrontierBenchRecord> {
+    // Below ~12 users the fixed cost of the repair itself (the deface
+    // re-run and the style readers, revisited in both modes) dominates and
+    // the pruning ratio drops under the gate's 5x bar.
+    let users = users.max(12);
+    let style_readers = (users / 16).max(1);
+    let patch = warp_core::Patch::new("deface.wasl", DEFACE_FIXED, "use the clean skin");
+    println!("=== {workload} frontier: column-aware vs partition-grained repair ===");
+    println!(
+        "{:<18} {:>6} {:>8} {:>12} {:>12} {:>12}",
+        "mode", "users", "actions", "reexec runs", "reexec qs", "repair (ms)"
+    );
+    let mut records = Vec::new();
+    for mode in ["column_aware", "partition_grained"] {
+        let oblivious = mode == "partition_grained";
+        let mut warp = Warp::builder().app(frontier_bench_app(users)).start();
+        frontier_traffic(&mut warp, users, style_readers);
+        warp.with_server(move |s| s.column_oblivious_repair = oblivious);
+        let total_actions = warp.with_server(|s| s.history.len());
+        let outcome = warp
+            .repair(RepairRequest::RetroactivePatch {
+                patch: patch.clone(),
+                from_time: 0,
+            })
+            .join();
+        assert!(!outcome.aborted, "frontier benchmark repair must commit");
+        let dump = warp.with_server(|s| s.db.canonical_dump());
+        let record = report::FrontierBenchRecord {
+            workload: workload.to_string(),
+            users,
+            mode: mode.to_string(),
+            repair_ms: outcome.stats.time_total.as_secs_f64() * 1e3,
+            total_actions,
+            reexecuted_actions: outcome.stats.app_runs_reexecuted,
+            reexecuted_queries: outcome.stats.queries_reexecuted,
+            dump_checksum: report::fnv1a_hex(&dump),
+        };
+        println!(
+            "{:<18} {:>6} {:>8} {:>12} {:>12} {:>12.2}",
+            record.mode,
+            record.users,
+            record.total_actions,
+            record.reexecuted_actions,
+            record.reexecuted_queries,
+            record.repair_ms,
+        );
+        records.push(record);
+    }
+    records
+}
+
 /// Shared argument handling for the `table*` report binaries so every one
 /// of them supports `--help` (exercised by `tests/bin_smoke.rs`, which keeps
 /// the report binaries from silently rotting).
@@ -1042,28 +1183,35 @@ pub mod cli {
         /// `--json PATH`: append the timing records to the machine-readable
         /// report at `PATH` (implies `--workers 4` unless given).
         pub json: Option<std::path::PathBuf>,
+        /// `--frontier PATH`: also run the column-aware vs partition-grained
+        /// frontier benchmark and append its records to the report at `PATH`.
+        pub frontier: Option<std::path::PathBuf>,
     }
 
-    /// Handles `--help`/`-h` and parses the scale plus `--workers`/`--json`.
+    /// Handles `--help`/`-h` and parses the scale plus
+    /// `--workers`/`--json`/`--frontier`.
     pub fn bench_args(bin: &str, about: &str, arg_name: &str, default: usize) -> BenchArgs {
         let args: Vec<String> = std::env::args().skip(1).collect();
         if args.iter().any(|a| a == "--help" || a == "-h") {
-            println!("usage: {bin} [{arg_name}] [--workers N] [--json PATH]");
+            println!("usage: {bin} [{arg_name}] [--workers N] [--json PATH] [--frontier PATH]");
             println!("\n{about}");
             println!("\n{arg_name} scales the workload; the default finishes in seconds.");
             println!("--workers N  also time sequential vs partitioned repair (N threads)");
             println!("--json PATH  append timing records to the BENCH_repair.json report");
+            println!("--frontier PATH  also run the column-aware vs partition-grained");
+            println!("                 frontier benchmark into the BENCH_frontier.json report");
             std::process::exit(0);
         }
         let usage_error = |message: String| -> ! {
             eprintln!("{bin}: {message}");
-            eprintln!("usage: {bin} [{arg_name}] [--workers N] [--json PATH]");
+            eprintln!("usage: {bin} [{arg_name}] [--workers N] [--json PATH] [--frontier PATH]");
             std::process::exit(2);
         };
         let mut parsed = BenchArgs {
             scale: default,
             workers: None,
             json: None,
+            frontier: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -1082,6 +1230,13 @@ pub mod cli {
                         .get(i + 1)
                         .unwrap_or_else(|| usage_error("--json requires a path".into()));
                     parsed.json = Some(std::path::PathBuf::from(value));
+                    i += 2;
+                }
+                "--frontier" => {
+                    let value = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| usage_error("--frontier requires a path".into()));
+                    parsed.frontier = Some(std::path::PathBuf::from(value));
                     i += 2;
                 }
                 flag if flag.starts_with('-') => {

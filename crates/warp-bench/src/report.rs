@@ -604,6 +604,177 @@ pub fn evaluate_serve_gate(
     })
 }
 
+/// One frontier measurement (`BENCH_frontier.json`), produced by the
+/// `table7_repair_100` / `table8_repair_5000` binaries under `--frontier`:
+/// the same surgical single-column attack repaired twice, once with
+/// column-aware frontier pruning and once with the column-oblivious
+/// (partition-grained) engine, so the report shows exactly how much of the
+/// re-execution frontier the static column footprints removed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierBenchRecord {
+    /// Which table binary produced the record.
+    pub workload: String,
+    /// Users in the workload (frontier size scales with users).
+    pub users: usize,
+    /// Frontier mode: `column_aware` or `partition_grained`.
+    pub mode: String,
+    /// Repair wall-clock time in milliseconds (`RepairStats::time_total`).
+    pub repair_ms: f64,
+    /// Actions in the history when repair started.
+    pub total_actions: usize,
+    /// Application runs re-executed. Stays small even for the oblivious
+    /// engine on this workload: a re-executed read whose result is
+    /// unchanged does not cascade into an application re-run.
+    pub reexecuted_actions: usize,
+    /// Queries re-executed. This is where frontier pruning shows: the
+    /// gate compares `reexecuted_actions + reexecuted_queries`, the total
+    /// history nodes each engine had to revisit.
+    pub reexecuted_queries: usize,
+    /// FNV-1a 64-bit checksum (hex) of the post-repair canonical dump.
+    /// Both modes must agree — pruning may only skip no-effect work.
+    pub dump_checksum: String,
+}
+
+impl FrontierBenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("users".into(), Json::Num(self.users as f64)),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("repair_ms".into(), Json::Num(self.repair_ms)),
+            ("total_actions".into(), Json::Num(self.total_actions as f64)),
+            (
+                "reexecuted_actions".into(),
+                Json::Num(self.reexecuted_actions as f64),
+            ),
+            (
+                "reexecuted_queries".into(),
+                Json::Num(self.reexecuted_queries as f64),
+            ),
+            (
+                "dump_checksum".into(),
+                Json::Str(self.dump_checksum.clone()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<FrontierBenchRecord> {
+        Some(FrontierBenchRecord {
+            workload: value.get("workload")?.as_str()?.to_string(),
+            users: value.get("users")?.as_usize()?,
+            mode: value.get("mode")?.as_str()?.to_string(),
+            repair_ms: value.get("repair_ms")?.as_f64()?,
+            total_actions: value.get("total_actions")?.as_usize()?,
+            reexecuted_actions: value.get("reexecuted_actions")?.as_usize()?,
+            reexecuted_queries: value.get("reexecuted_queries")?.as_usize()?,
+            dump_checksum: value.get("dump_checksum")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash of a string, as fixed-width hex. Used to compare
+/// canonical database dumps across frontier modes without storing the
+/// dumps themselves in the report.
+pub fn fnv1a_hex(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Reads every frontier record from a report file. Missing file → empty.
+pub fn load_frontier_records(path: &Path) -> Result<Vec<FrontierBenchRecord>, String> {
+    Ok(load_record_array(path)?
+        .iter()
+        .filter_map(FrontierBenchRecord::from_json)
+        .collect())
+}
+
+/// Writes frontier records to a report file (replacing any previous run of
+/// the same workload, like [`append_records`] does for repair records).
+pub fn append_frontier_records(path: &Path, new: &[FrontierBenchRecord]) -> Result<(), String> {
+    let existing = load_frontier_records(path)?
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    let workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    write_record_array(
+        path,
+        existing,
+        new.iter().map(|r| r.to_json()).collect(),
+        &workloads,
+    )
+}
+
+/// The frontier gate's verdict: worst pruning ratio across comparable
+/// mode pairs, and whether every pair's final states matched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierGateVerdict {
+    /// Lowest `partition_grained / column_aware` re-executed-node ratio
+    /// (application runs + queries) across all (workload, users) pairs in
+    /// the report.
+    pub worst_ratio: f64,
+    /// True if every pair's canonical-dump checksums were identical.
+    pub dumps_match: bool,
+    /// True if the worst ratio met [`FRONTIER_MIN_RATIO`] and dumps matched.
+    pub pass: bool,
+}
+
+/// Minimum frontier-pruning factor the gate demands: on the surgical
+/// single-column attack, the partition-grained engine must re-execute at
+/// least this many times more history nodes (application runs + queries)
+/// than the column-aware engine. The attack dirties one column read by
+/// almost nobody, so the column-aware frontier is a handful of nodes while
+/// the partition-grained frontier is every post-attack reader of the
+/// page — well past 5× at bench scale.
+pub const FRONTIER_MIN_RATIO: f64 = 5.0;
+
+/// Evaluates the frontier gate over `BENCH_frontier.json`: every
+/// (workload, users) pair must hold both a `column_aware` and a
+/// `partition_grained` record, the partition-grained record must re-execute
+/// at least [`FRONTIER_MIN_RATIO`] times as many history nodes
+/// (`reexecuted_actions + reexecuted_queries`), and both modes' canonical
+/// dump checksums must be byte-identical (pruning may only skip
+/// re-executions that could not change the final state). Returns an error
+/// when the report holds no comparable pair.
+pub fn evaluate_frontier_gate(
+    records: &[FrontierBenchRecord],
+) -> Result<FrontierGateVerdict, String> {
+    let mut verdict = FrontierGateVerdict {
+        worst_ratio: f64::MAX,
+        dumps_match: true,
+        pass: true,
+    };
+    let mut pairs = 0usize;
+    for aware in records.iter().filter(|r| r.mode == "column_aware") {
+        let Some(oblivious) = records.iter().find(|r| {
+            r.mode == "partition_grained" && r.workload == aware.workload && r.users == aware.users
+        }) else {
+            return Err(format!(
+                "workload `{}` ({} users) has a column_aware record but no \
+                 partition_grained counterpart",
+                aware.workload, aware.users
+            ));
+        };
+        pairs += 1;
+        let nodes = |r: &FrontierBenchRecord| (r.reexecuted_actions + r.reexecuted_queries) as f64;
+        let ratio = nodes(oblivious) / nodes(aware).max(1e-9);
+        verdict.worst_ratio = verdict.worst_ratio.min(ratio);
+        if oblivious.dump_checksum != aware.dump_checksum {
+            verdict.dumps_match = false;
+        }
+    }
+    if pairs == 0 {
+        return Err(
+            "no frontier records (run table7_repair_100 with --frontier PATH first)".to_string(),
+        );
+    }
+    verdict.pass = verdict.dumps_match && verdict.worst_ratio >= FRONTIER_MIN_RATIO;
+    Ok(verdict)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,6 +983,85 @@ mod tests {
         append_serve_records(&path, &records).unwrap();
         assert_eq!(load_serve_records(&path).unwrap().len(), 2);
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn frontier_record(
+        mode: &str,
+        reexecuted: usize,
+        checksum: &str,
+        users: usize,
+    ) -> FrontierBenchRecord {
+        FrontierBenchRecord {
+            workload: "table7_repair_100".into(),
+            users,
+            mode: mode.into(),
+            repair_ms: 12.0,
+            total_actions: 200,
+            reexecuted_actions: reexecuted,
+            reexecuted_queries: reexecuted * 3,
+            dump_checksum: checksum.into(),
+        }
+    }
+
+    #[test]
+    fn frontier_gate_demands_pruning_and_matching_dumps() {
+        let records = vec![
+            frontier_record("column_aware", 4, "abcd", 20),
+            frontier_record("partition_grained", 44, "abcd", 20),
+        ];
+        let verdict = evaluate_frontier_gate(&records).unwrap();
+        assert!(verdict.pass, "11x pruning passes the 5x gate: {verdict:?}");
+        assert!((verdict.worst_ratio - 11.0).abs() < 1e-9);
+        assert!(verdict.dumps_match);
+        // Too little pruning fails.
+        let records = vec![
+            frontier_record("column_aware", 20, "abcd", 20),
+            frontier_record("partition_grained", 44, "abcd", 20),
+        ];
+        assert!(!evaluate_frontier_gate(&records).unwrap().pass);
+        // Diverging final states fail even with strong pruning.
+        let records = vec![
+            frontier_record("column_aware", 4, "abcd", 20),
+            frontier_record("partition_grained", 44, "ffff", 20),
+        ];
+        let verdict = evaluate_frontier_gate(&records).unwrap();
+        assert!(!verdict.dumps_match);
+        assert!(!verdict.pass);
+        // A column-aware frontier of zero passes (nothing to re-execute
+        // beats everything): ratio uses a tiny denominator floor.
+        let records = vec![
+            frontier_record("column_aware", 0, "abcd", 20),
+            frontier_record("partition_grained", 44, "abcd", 20),
+        ];
+        assert!(evaluate_frontier_gate(&records).unwrap().pass);
+        // Missing a mode is an error, not a silent pass.
+        assert!(evaluate_frontier_gate(&[frontier_record("column_aware", 4, "abcd", 20)]).is_err());
+        assert!(evaluate_frontier_gate(&[]).is_err());
+    }
+
+    #[test]
+    fn frontier_report_round_trips() {
+        let dir = std::env::temp_dir().join(format!("warp-bench-frontier-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_frontier.json");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            frontier_record("column_aware", 4, "abcd", 20),
+            frontier_record("partition_grained", 44, "abcd", 20),
+        ];
+        append_frontier_records(&path, &records).unwrap();
+        assert_eq!(load_frontier_records(&path).unwrap(), records);
+        // Re-running the workload replaces, not duplicates.
+        append_frontier_records(&path, &records).unwrap();
+        assert_eq!(load_frontier_records(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_distinguishes() {
+        assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex("warp"), fnv1a_hex("warp"));
+        assert_ne!(fnv1a_hex("warp"), fnv1a_hex("wasp"));
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::collections::BTreeMap;
 use warp_browser::{ConflictReason, EventKind, PageVisitRecord, RecordedEvent, RecordedRequest};
 use warp_http::{CookieJar, HttpRequest, HttpResponse, Method, WarpHeaders};
 use warp_script::Value as ScriptValue;
+use warp_sql::ColumnSet;
 use warp_sql::Value as SqlValue;
 use warp_store::{CodecError, Decoder, DurableStore, Encoder, StoreError, StoreResult};
 use warp_ttdb::{PartitionKey, PartitionSet, QueryDependency, TableAnnotation};
@@ -523,6 +524,25 @@ fn dec_partition_set(d: &mut Decoder) -> DecResult<PartitionSet> {
     })
 }
 
+fn enc_column_set(e: &mut Encoder, c: &ColumnSet) {
+    match c {
+        ColumnSet::All => e.u8(0),
+        ColumnSet::Named(names) => {
+            e.u8(1);
+            let names: Vec<&String> = names.iter().collect();
+            e.seq(&names, |e, n| e.str(n));
+        }
+    }
+}
+
+fn dec_column_set(d: &mut Decoder) -> DecResult<ColumnSet> {
+    Ok(match d.u8()? {
+        0 => ColumnSet::All,
+        1 => ColumnSet::Named(d.seq(|d| d.str())?.into_iter().collect()),
+        t => return Err(bad(format!("unknown column set tag {t}"))),
+    })
+}
+
 fn enc_dependency(e: &mut Encoder, dep: &QueryDependency) {
     e.str(&dep.table);
     e.bool(dep.is_read);
@@ -530,6 +550,8 @@ fn enc_dependency(e: &mut Encoder, dep: &QueryDependency) {
     enc_partition_set(e, &dep.read_partitions);
     enc_partition_set(e, &dep.write_partitions);
     e.seq(&dep.written_row_ids, enc_sql_value);
+    enc_column_set(e, &dep.read_columns);
+    enc_column_set(e, &dep.write_columns);
 }
 
 fn dec_dependency(d: &mut Decoder) -> DecResult<QueryDependency> {
@@ -540,6 +562,8 @@ fn dec_dependency(d: &mut Decoder) -> DecResult<QueryDependency> {
         read_partitions: dec_partition_set(d)?,
         write_partitions: dec_partition_set(d)?,
         written_row_ids: d.seq(dec_sql_value)?,
+        read_columns: dec_column_set(d)?,
+        write_columns: dec_column_set(d)?,
     })
 }
 

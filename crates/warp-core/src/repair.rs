@@ -182,6 +182,7 @@ impl WarpServer {
                 router: &self.router,
                 history: &self.history,
                 replay_config: self.replay_config,
+                column_oblivious: self.column_oblivious_repair,
             };
             match strategy {
                 RepairStrategy::Sequential => {
@@ -193,7 +194,8 @@ impl WarpServer {
                         });
                         ids
                     };
-                    let session = RepairSession::begin(&mut self.db);
+                    let mut session = RepairSession::begin(&mut self.db);
+                    session.set_column_oblivious(self.column_oblivious_repair);
                     execute_actions(
                         &env,
                         &mut self.db,

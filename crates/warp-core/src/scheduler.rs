@@ -100,6 +100,9 @@ pub(crate) struct RepairEnv<'a> {
     pub router: &'a Router,
     pub history: &'a HistoryGraph,
     pub replay_config: ReplayConfig,
+    /// Mirrors [`crate::server::WarpServer::column_oblivious_repair`]: when
+    /// true every repair session widens its dirty columns to `All`.
+    pub column_oblivious: bool,
 }
 
 /// Everything one repair pass (sequential, or one partition group) produced.
@@ -264,7 +267,10 @@ pub(crate) fn execute_actions(
             if q.is_write && !matched {
                 let _ = session.rollback_rows(db, &q.dependency.table, &q.written_row_ids, q.time);
                 run.stats.rows_rolled_back += q.written_row_ids.len();
-                session.note_modified(&q.dependency.write_partitions);
+                session.note_modified_columns(
+                    &q.dependency.write_partitions,
+                    &q.dependency.write_columns,
+                );
                 run.touched_tables.insert(q.dependency.table.clone());
             }
         }
@@ -485,7 +491,8 @@ fn cancel_action(
         if q.is_write {
             let _ = session.rollback_rows(db, &q.dependency.table, &q.written_row_ids, q.time);
             run.stats.rows_rolled_back += q.written_row_ids.len();
-            session.note_modified(&q.dependency.write_partitions);
+            session
+                .note_modified_columns(&q.dependency.write_partitions, &q.dependency.write_columns);
             run.touched_tables.insert(q.dependency.table.clone());
         }
     }
@@ -852,7 +859,8 @@ pub(crate) fn run_partitioned(
         // is re-run.
         let in_place = units.len() <= 1;
         let batches = if in_place {
-            let session = RepairSession::begin_precise(db);
+            let mut session = RepairSession::begin_precise(db);
+            session.set_column_oblivious(env.column_oblivious);
             let runs = match units.first() {
                 Some(unit) => vec![(
                     0usize,
@@ -1101,7 +1109,8 @@ fn run_round(
         clone.raise_synthetic_id_watermark(start);
         let mut runs = Vec::with_capacity(unit_ids.len());
         for &u in unit_ids {
-            let session = RepairSession::begin_precise(&mut clone);
+            let mut session = RepairSession::begin_precise(&mut clone);
+            session.set_column_oblivious(env.column_oblivious);
             let run = execute_actions(
                 env,
                 &mut clone,

@@ -59,6 +59,11 @@ pub struct WarpServer {
     /// equivalence tests can prove both paths produce byte-identical
     /// persisted commits. Production servers leave this `false`.
     pub reference_snapshot_commit: bool,
+    /// Disables column-aware frontier pruning: every repair dirty region is
+    /// widened to all columns, reproducing the paper's row/partition-grained
+    /// re-execution rule exactly. Used as the baseline side of the frontier
+    /// benchmark and as a kill switch if a static footprint is ever doubted.
+    pub column_oblivious_repair: bool,
     pub(crate) rng_counter: u64,
     pub(crate) session_counter: u64,
     /// The durable action log, when the server was opened with a storage
@@ -104,6 +109,7 @@ impl WarpServer {
             replay_config: ReplayConfig::default(),
             pending_cookie_invalidations: BTreeSet::new(),
             reference_snapshot_commit: false,
+            column_oblivious_repair: false,
             rng_counter: 0,
             session_counter: 0,
             store: None,

@@ -13,6 +13,8 @@ pub fn eval_expr(expr: &Expr, schema: &TableSchema, row: &Row) -> SqlResult<Valu
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(name) => {
+            #[cfg(debug_assertions)]
+            crate::observer::record(name);
             let idx = schema
                 .column_index(name)
                 .ok_or_else(|| SqlError::NoSuchColumn(name.clone()))?;

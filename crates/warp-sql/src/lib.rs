@@ -36,16 +36,22 @@
 //! assert_eq!(result.rows[0][0], Value::text("hello"));
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod engine;
 pub mod error;
 pub mod expr;
 pub mod lexer;
+#[cfg(debug_assertions)]
+pub mod observer;
 pub mod parser;
 pub mod schema;
 pub mod storage;
 pub mod value;
 
+pub use analysis::{
+    analyze, lint_statement, ColumnSet, KeyCatalog, Lint, Precision, StatementFootprint,
+};
 pub use ast::{
     Assignment, ColumnConstraint, ColumnDef, Expr, OrderBy, SelectItem, Statement, TableConstraint,
 };

@@ -1,0 +1,64 @@
+//! Debug-build observer of dynamically read columns.
+//!
+//! The static analysis in [`crate::analysis`] claims its footprints are
+//! conservative: every column a statement actually reads at runtime is in
+//! its static read set. This module lets the time-travel layer check that
+//! claim in debug/test builds: it arms a thread-local recorder around a
+//! statement's execution, [`eval_expr`](crate::expr::eval_expr) reports
+//! every column it resolves, and the caller asserts the observed set is a
+//! subset of the static footprint. Analyzer bugs then surface as panics in
+//! the ordinary test suites instead of silent wrong repairs.
+//!
+//! The whole module only exists under `cfg(debug_assertions)`; release
+//! builds carry no recording overhead.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+thread_local! {
+    static OBSERVED: RefCell<Option<BTreeSet<String>>> = const { RefCell::new(None) };
+}
+
+/// Starts recording column reads on this thread, discarding any prior
+/// recording state.
+pub fn arm() {
+    OBSERVED.with(|o| *o.borrow_mut() = Some(BTreeSet::new()));
+}
+
+/// Stops recording and returns the (lower-cased) columns observed since
+/// [`arm`], or `None` if the recorder was not armed.
+pub fn take() -> Option<BTreeSet<String>> {
+    OBSERVED.with(|o| o.borrow_mut().take())
+}
+
+/// Reports one column resolution. No-op unless armed.
+pub(crate) fn record(name: &str) {
+    OBSERVED.with(|o| {
+        if let Some(set) = o.borrow_mut().as_mut() {
+            set.insert(name.to_ascii_lowercase());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_while_armed() {
+        record("ghost");
+        assert_eq!(take(), None);
+        arm();
+        record("Title");
+        record("body");
+        record("title");
+        let got = take().unwrap();
+        assert_eq!(
+            got.into_iter().collect::<Vec<_>>(),
+            vec!["body".to_string(), "title".to_string()]
+        );
+        // Recorder is disarmed after take().
+        record("late");
+        assert_eq!(take(), None);
+    }
+}

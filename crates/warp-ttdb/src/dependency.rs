@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use warp_sql::Value;
+use warp_sql::{ColumnSet, Value};
 
 /// A single partition of a table: a partition column pinned to a value.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -114,10 +114,18 @@ pub struct QueryDependency {
     pub write_partitions: PartitionSet,
     /// Row IDs of all rows the query created, ended or superseded.
     pub written_row_ids: Vec<Value>,
+    /// Columns whose stored values the query's result or effect can depend
+    /// on (from the static footprint of its statement). `All` when unknown.
+    pub read_columns: ColumnSet,
+    /// Columns the query can change; `All` for membership writes
+    /// (INSERT/DELETE) and when unknown.
+    pub write_columns: ColumnSet,
 }
 
 impl QueryDependency {
-    /// A dependency record for a pure read.
+    /// A dependency record for a pure read. Column sets default to the
+    /// conservative `All`; refine them with
+    /// [`QueryDependency::with_columns`].
     pub fn read(table: &str, partitions: PartitionSet) -> Self {
         QueryDependency {
             table: table.to_ascii_lowercase(),
@@ -126,10 +134,14 @@ impl QueryDependency {
             read_partitions: partitions,
             write_partitions: PartitionSet::empty(),
             written_row_ids: Vec::new(),
+            read_columns: ColumnSet::All,
+            write_columns: ColumnSet::empty(),
         }
     }
 
-    /// A dependency record for a write.
+    /// A dependency record for a write. Column sets default to the
+    /// conservative `All`; refine them with
+    /// [`QueryDependency::with_columns`].
     pub fn write(
         table: &str,
         read_partitions: PartitionSet,
@@ -143,7 +155,16 @@ impl QueryDependency {
             read_partitions,
             write_partitions,
             written_row_ids,
+            read_columns: ColumnSet::All,
+            write_columns: ColumnSet::All,
         }
+    }
+
+    /// Attaches statically-derived column footprints.
+    pub fn with_columns(mut self, read: ColumnSet, write: ColumnSet) -> Self {
+        self.read_columns = read;
+        self.write_columns = write;
+        self
     }
 }
 

@@ -39,7 +39,7 @@ pub mod versioned;
 pub use annotations::TableAnnotation;
 pub use delta::{row_diff, RepairDelta, TableDelta};
 pub use dependency::{PartitionKey, PartitionSet, QueryDependency};
-pub use repair::RepairSession;
+pub use repair::{DirtyRegion, RepairSession};
 pub use versioned::{
     Generation, RowScope, StorageStats, TimeTravelDb, Timestamp, INF_GEN, INF_TIME,
 };

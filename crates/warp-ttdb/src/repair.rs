@@ -9,15 +9,30 @@
 use crate::dependency::{PartitionSet, QueryDependency};
 use crate::versioned::{Generation, LoggedExecution, TimeTravelDb, Timestamp};
 use serde::{Deserialize, Serialize};
-use warp_sql::{SqlResult, Statement, Value};
+use warp_sql::{ColumnSet, SqlResult, Statement, Value};
+
+/// One contiguous piece of repair-dirtied state: a set of partitions paired
+/// with the columns whose visible values changed inside those partitions.
+///
+/// `columns` is [`ColumnSet::All`] whenever the change involved row
+/// membership (INSERT/DELETE, row resurrection) or the columns could not be
+/// bounded — in which case the region behaves exactly like the classic
+/// partition-grained dirty set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirtyRegion {
+    /// The partitions the repair modified.
+    pub partitions: PartitionSet,
+    /// The columns whose values changed within those partitions.
+    pub columns: ColumnSet,
+}
 
 /// State for one in-progress repair of the database.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RepairSession {
     /// The generation this repair builds.
     pub generation: Generation,
-    /// Partitions modified so far during this repair.
-    modified: Vec<PartitionSet>,
+    /// Regions (partitions × columns) modified so far during this repair.
+    modified: Vec<DirtyRegion>,
     /// Number of queries re-executed through this session (reported in the
     /// Table 7/8 "re-executed actions" columns).
     pub reexecuted_queries: usize,
@@ -29,6 +44,10 @@ pub struct RepairSession {
     /// partitions stay independent, and so cross-partition escalation can be
     /// detected from the modified set alone.
     precise_rollback: bool,
+    /// When true, every dirty region's column set is widened to `All`,
+    /// reproducing the paper's row/partition-grained frontier exactly (used
+    /// as the baseline in the frontier benchmark and as a kill switch).
+    column_oblivious: bool,
 }
 
 impl RepairSession {
@@ -41,6 +60,7 @@ impl RepairSession {
             reexecuted_queries: 0,
             rolled_back_rows: 0,
             precise_rollback: false,
+            column_oblivious: false,
         }
     }
 
@@ -53,23 +73,57 @@ impl RepairSession {
         session
     }
 
-    /// The partitions this session has modified so far (rollbacks plus
-    /// re-executed and new writes).
-    pub fn modified_partitions(&self) -> &[PartitionSet] {
-        &self.modified
+    /// Disables column-aware frontier pruning for this session (see
+    /// [`RepairSession`]'s `column_oblivious` field).
+    pub fn set_column_oblivious(&mut self, oblivious: bool) {
+        self.column_oblivious = oblivious;
     }
 
-    /// Records that the given partitions have been modified during repair.
+    /// The partitions this session has modified so far (rollbacks plus
+    /// re-executed and new writes) — the partition projection of the dirty
+    /// regions, which is what the partitioned scheduler's escalation logic
+    /// consumes.
+    pub fn modified_partitions(&self) -> Vec<PartitionSet> {
+        self.modified.iter().map(|r| r.partitions.clone()).collect()
+    }
+
+    /// Records that the given partitions have been modified during repair,
+    /// with an unknown column set (conservatively `All`).
     pub fn note_modified(&mut self, partitions: &PartitionSet) {
+        self.note_modified_columns(partitions, &ColumnSet::All);
+    }
+
+    /// Records a dirty region: the given partitions were modified, and only
+    /// the given columns changed within them.
+    pub fn note_modified_columns(&mut self, partitions: &PartitionSet, columns: &ColumnSet) {
         if !partitions.is_empty() {
-            self.modified.push(partitions.clone());
+            let columns = if self.column_oblivious {
+                ColumnSet::All
+            } else {
+                columns.clone()
+            };
+            self.modified.push(DirtyRegion {
+                partitions: partitions.clone(),
+                columns,
+            });
         }
     }
 
     /// True if a query that depends on `partitions` may have been affected by
     /// the repair so far and therefore must be re-executed (paper §4.1).
+    /// Ignores columns, so it is the conservative partition-grained check.
     pub fn is_affected(&self, partitions: &PartitionSet) -> bool {
-        self.modified.iter().any(|m| m.intersects(partitions))
+        self.modified
+            .iter()
+            .any(|m| m.partitions.intersects(partitions))
+    }
+
+    /// Column-aware affectedness: true if some dirty region overlaps the
+    /// given partitions *and* its changed columns overlap `columns`.
+    pub fn is_affected_columns(&self, partitions: &PartitionSet, columns: &ColumnSet) -> bool {
+        self.modified
+            .iter()
+            .any(|m| m.partitions.intersects(partitions) && m.columns.intersects(columns))
     }
 
     /// Rolls back the given rows to just before `to_time` and records their
@@ -90,12 +144,10 @@ impl RepairSession {
         } else {
             None
         };
-        db.rollback_rows(table, row_ids, to_time, self.generation)?;
+        let dirty_columns = db.rollback_rows(table, row_ids, to_time, self.generation)?;
         self.rolled_back_rows += row_ids.len();
-        match touched {
-            Some(parts) => self.note_modified(&parts),
-            None => self.modified.push(PartitionSet::whole(table)),
-        }
+        let partitions = touched.unwrap_or_else(|| PartitionSet::whole(table));
+        self.note_modified_columns(&partitions, &dirty_columns);
         Ok(())
     }
 
@@ -152,9 +204,12 @@ impl RepairSession {
             self.rolled_back_rows += union.len();
         }
         // Phase 3: execute the write at its original time in the repair
-        // generation and record the partitions it touched.
+        // generation and record the partitions and columns it touched.
         let out = db.execute_stmt_logged(stmt, original_time, self.generation)?;
-        self.note_modified(&out.dependency.write_partitions);
+        self.note_modified_columns(
+            &out.dependency.write_partitions,
+            &out.dependency.write_columns,
+        );
         Ok(out)
     }
 
@@ -169,7 +224,10 @@ impl RepairSession {
     ) -> SqlResult<LoggedExecution> {
         self.reexecuted_queries += 1;
         let out = db.execute_stmt_logged(stmt, time, self.generation)?;
-        self.note_modified(&out.dependency.write_partitions);
+        self.note_modified_columns(
+            &out.dependency.write_partitions,
+            &out.dependency.write_columns,
+        );
         Ok(out)
     }
 
@@ -184,9 +242,15 @@ impl RepairSession {
     }
 
     /// Checks whether a previously recorded dependency would be affected by
-    /// this repair (helper combining read and write partition checks).
+    /// this repair: some dirty region must overlap it in *both* partitions
+    /// and columns. An action whose statically-derived read columns are
+    /// provably disjoint from every region's dirty columns is skipped
+    /// without re-execution; `All` on either side (imprecise footprints,
+    /// membership changes, column-oblivious mode) degrades the check to the
+    /// paper's partition-grained rule.
     pub fn dependency_affected(&self, dep: &QueryDependency) -> bool {
-        self.is_affected(&dep.read_partitions) || self.is_affected(&dep.write_partitions)
+        self.is_affected_columns(&dep.read_partitions, &dep.read_columns)
+            || self.is_affected_columns(&dep.write_partitions, &dep.write_columns)
     }
 
     fn matching_row_ids(

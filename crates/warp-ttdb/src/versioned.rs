@@ -9,7 +9,7 @@ use warp_sql::ast::{
     Assignment, ColumnConstraint, ColumnDef, Expr, SelectItem, SelectStatement, Statement,
 };
 use warp_sql::expr::eval_expr;
-use warp_sql::{ColumnType, Database, QueryResult, SqlError, SqlResult, Value};
+use warp_sql::{ColumnSet, ColumnType, Database, QueryResult, SqlError, SqlResult, Value};
 
 /// Logical timestamps. The Warp server owns a monotonically increasing
 /// logical clock and stamps every action with it.
@@ -292,13 +292,20 @@ impl TimeTravelDb {
         let table = stmt.table_name().unwrap_or_default().to_string();
         let cfg = self.config(&table)?.clone();
         let partitions = read_partitions(stmt, &table, &cfg.annotation.partition_columns);
+        let static_read = warp_sql::analysis::read_columns(stmt);
         let mut rewritten = stmt.clone();
         restrict_to_valid(&mut rewritten, time, gen);
-        let mut result = self.db.execute(&rewritten)?;
+        #[cfg(debug_assertions)]
+        warp_sql::observer::arm();
+        let executed = self.db.execute(&rewritten);
+        #[cfg(debug_assertions)]
+        assert_observed_subset("SELECT", warp_sql::observer::take(), &static_read);
+        let mut result = executed?;
         strip_warp_columns(&mut result);
         Ok(LoggedExecution {
             result,
-            dependency: QueryDependency::read(&table, partitions),
+            dependency: QueryDependency::read(&table, partitions)
+                .with_columns(static_read, ColumnSet::empty()),
         })
     }
 
@@ -372,6 +379,17 @@ impl TimeTravelDb {
             &cfg.annotation.partition_columns,
             written_rows.iter().map(|r| r.as_slice()),
         );
+        // Static footprint: value expressions are the only reads; the write
+        // set is `All` because an INSERT changes row membership, which every
+        // reader of the table implicitly depends on.
+        let mut static_read = ColumnSet::empty();
+        for row_exprs in values {
+            for expr in row_exprs {
+                for col in expr.referenced_columns() {
+                    static_read.insert(&col);
+                }
+            }
+        }
         Ok(LoggedExecution {
             result,
             dependency: QueryDependency::write(
@@ -379,7 +397,8 @@ impl TimeTravelDb {
                 PartitionSet::empty(),
                 write_partitions,
                 row_ids,
-            ),
+            )
+            .with_columns(static_read, ColumnSet::All),
         })
     }
 
@@ -463,16 +482,20 @@ impl TimeTravelDb {
         gen: Generation,
     ) -> SqlResult<LoggedExecution> {
         let cfg = self.config(table)?.clone();
-        let read_parts = read_partitions(
-            &Statement::Update {
-                table: table.to_string(),
-                assignments: assignments.to_vec(),
-                where_clause: where_clause.cloned(),
-            },
-            table,
-            &cfg.annotation.partition_columns,
-        );
-        let (columns, rows) = self.matching_versions(table, where_clause, time, gen)?;
+        let update_stmt = Statement::Update {
+            table: table.to_string(),
+            assignments: assignments.to_vec(),
+            where_clause: where_clause.cloned(),
+        };
+        let read_parts = read_partitions(&update_stmt, table, &cfg.annotation.partition_columns);
+        let static_read = warp_sql::analysis::read_columns(&update_stmt);
+        let static_write = warp_sql::analysis::write_columns(&update_stmt);
+        #[cfg(debug_assertions)]
+        warp_sql::observer::arm();
+        let matched = self.matching_versions(table, where_clause, time, gen);
+        #[cfg(debug_assertions)]
+        assert_observed_subset("UPDATE", warp_sql::observer::take(), &static_read);
+        let (columns, rows) = matched?;
         let schema = self.db.schema(table).expect("table exists").clone();
         let mut row_ids = Vec::new();
         let mut written_rows: Vec<Vec<(String, Value)>> = Vec::new();
@@ -572,7 +595,8 @@ impl TimeTravelDb {
                 affected: rows.len() as u64,
                 ordered: false,
             },
-            dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids),
+            dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids)
+                .with_columns(static_read, static_write),
         })
     }
 
@@ -584,15 +608,18 @@ impl TimeTravelDb {
         gen: Generation,
     ) -> SqlResult<LoggedExecution> {
         let cfg = self.config(table)?.clone();
-        let read_parts = read_partitions(
-            &Statement::Delete {
-                table: table.to_string(),
-                where_clause: where_clause.cloned(),
-            },
-            table,
-            &cfg.annotation.partition_columns,
-        );
-        let (columns, rows) = self.matching_versions(table, where_clause, time, gen)?;
+        let delete_stmt = Statement::Delete {
+            table: table.to_string(),
+            where_clause: where_clause.cloned(),
+        };
+        let read_parts = read_partitions(&delete_stmt, table, &cfg.annotation.partition_columns);
+        let static_read = warp_sql::analysis::read_columns(&delete_stmt);
+        #[cfg(debug_assertions)]
+        warp_sql::observer::arm();
+        let matched = self.matching_versions(table, where_clause, time, gen);
+        #[cfg(debug_assertions)]
+        assert_observed_subset("DELETE", warp_sql::observer::take(), &static_read);
+        let (columns, rows) = matched?;
         let mut row_ids = Vec::new();
         let mut written_rows: Vec<Vec<(String, Value)>> = Vec::new();
         for row in &rows {
@@ -639,7 +666,8 @@ impl TimeTravelDb {
                 affected: rows.len() as u64,
                 ordered: false,
             },
-            dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids),
+            dependency: QueryDependency::write(table, read_parts, write_partitions, row_ids)
+                .with_columns(static_read, ColumnSet::All),
         })
     }
 
@@ -718,14 +746,21 @@ impl TimeTravelDb {
 
     /// Rolls back the listed rows of `table` to their state just before
     /// `to_time`, within the repair generation `gen` (paper §4.2).
+    ///
+    /// Returns the *dirty column set* of the rollback: the application
+    /// columns whose visible values actually changed for any affected row.
+    /// The set escalates to [`ColumnSet::All`] whenever row membership
+    /// changed (a row created after `to_time` disappears, or a deleted row
+    /// is resurrected), since membership affects every reader.
     pub fn rollback_rows(
         &mut self,
         table: &str,
         row_ids: &[Value],
         to_time: Timestamp,
         gen: Generation,
-    ) -> SqlResult<()> {
+    ) -> SqlResult<ColumnSet> {
         let cfg = self.config(table)?.clone();
+        let mut dirty = ColumnSet::empty();
         for row_id in row_ids {
             let (columns, versions) =
                 self.versions_of_row(table, &cfg.row_id_column, row_id, gen)?;
@@ -733,9 +768,15 @@ impl TimeTravelDb {
             // repair generation (but stay visible to the current generation
             // if they predate the repair).
             let mut best_keep: Option<Vec<Value>> = None;
+            let mut wiped: Vec<Vec<Value>> = Vec::new();
+            let mut wiped_was_current = false;
             for v in &versions {
                 let start = col_val(&columns, v, COL_START_TIME).as_int().unwrap_or(0);
                 if start >= to_time {
+                    if col_val(&columns, v, COL_END_TIME).as_int() == Some(INF_TIME) {
+                        wiped_was_current = true;
+                    }
+                    wiped.push(v.clone());
                     let start_gen = col_val(&columns, v, COL_START_GEN).as_int().unwrap_or(0);
                     let ident = version_identity(&columns, v);
                     if start_gen <= self.current_gen && gen > self.current_gen {
@@ -764,6 +805,38 @@ impl TimeTravelDb {
                         .unwrap_or(i64::MIN);
                     if end > best_end {
                         best_keep = Some(v.clone());
+                    }
+                }
+            }
+            // Account the columns this rollback visibly changed.
+            match &best_keep {
+                None => {
+                    if !wiped.is_empty() {
+                        // The row did not exist before `to_time`: rolling it
+                        // back deletes it (membership change).
+                        dirty = ColumnSet::All;
+                    }
+                }
+                Some(baseline) => {
+                    let baseline_end = col_val(&columns, baseline, COL_END_TIME)
+                        .as_int()
+                        .unwrap_or(0);
+                    if baseline_end != INF_TIME && !wiped_was_current {
+                        // The row was deleted and the rollback resurrects it
+                        // (membership change).
+                        dirty = ColumnSet::All;
+                    }
+                    if !dirty.is_all() {
+                        for v in &wiped {
+                            for (i, name) in columns.iter().enumerate() {
+                                if name.to_ascii_lowercase().starts_with("warp_") {
+                                    continue;
+                                }
+                                if v.get(i) != baseline.get(i) {
+                                    dirty.insert(name);
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -829,7 +902,7 @@ impl TimeTravelDb {
                 }
             }
         }
-        Ok(())
+        Ok(dirty)
     }
 
     /// All stored versions of a logical row that are visible in `gen`.
@@ -1253,6 +1326,29 @@ fn version_identity(columns: &[String], row: &[Value]) -> Expr {
         });
     }
     pred.expect("at least the warp columns exist")
+}
+
+/// Soundness guard (debug builds only): every column the engine actually
+/// resolved while evaluating an application statement's read phase must be
+/// in the statement's static read footprint. Warp's own bookkeeping columns
+/// are injected by query rewriting and are exempt.
+#[cfg(debug_assertions)]
+fn assert_observed_subset(
+    what: &str,
+    observed: Option<std::collections::BTreeSet<String>>,
+    static_read: &ColumnSet,
+) {
+    let Some(observed) = observed else { return };
+    for col in observed {
+        if col.starts_with("warp_") {
+            continue;
+        }
+        assert!(
+            static_read.contains(&col),
+            "column-footprint soundness violation: {what} dynamically read column `{col}`, \
+             which is missing from its static read set {static_read}"
+        );
+    }
 }
 
 /// Removes Warp's bookkeeping columns from an application-visible result.

@@ -1,0 +1,144 @@
+//! End-to-end check of column-aware frontier pruning (static column
+//! footprints, `warp-sql/src/analysis.rs` threaded through the repair
+//! frontier): a surgical attack that dirties a single column must make
+//! the column-aware engine revisit a strictly and substantially smaller
+//! slice of the history than the column-oblivious (partition-grained)
+//! engine, while producing a byte-identical final database — pruning may
+//! only skip re-executions that cannot change the outcome.
+
+use warp_core::{AppConfig, Patch, RepairRequest, RepairStrategy, WarpServer};
+use warp_http::HttpRequest;
+use warp_ttdb::TableAnnotation;
+
+const USERS: usize = 12;
+
+/// A wiki whose pages carry two independent columns: `body` (read by the
+/// bulk of the traffic) and `style` (read by almost nobody, written by the
+/// buggy admin action below).
+fn frontier_app() -> AppConfig {
+    let mut config = AppConfig::new("frontier-e2e");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT, style TEXT)",
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    for p in 0..=USERS {
+        config.seed(format!(
+            "INSERT INTO page (page_id, title, body, style) VALUES ({}, 'Page{p}', 'seed {p}', 'clean-skin')",
+            p + 1
+        ));
+    }
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"missing\"); } else { echo(rows[0][\"body\"]); }",
+    );
+    config.add_source(
+        "style.wasl",
+        "let rows = db_query(\"SELECT style FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"missing\"); } else { echo(rows[0][\"style\"]); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"saved\");",
+    );
+    config.add_source(
+        "deface.wasl",
+        "db_query(\"UPDATE page SET style = 'defaced-skin' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"themed\");",
+    );
+    config
+}
+
+fn deface_patch() -> Patch {
+    Patch::new(
+        "deface.wasl",
+        "db_query(\"UPDATE page SET style = 'clean-skin' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"themed\");",
+        "use the clean skin",
+    )
+}
+
+/// Per-user own-page edits and shared Page0 body reads, one surgical
+/// `style`-column attack on Page0, then a post-attack read mix dominated
+/// by Page0 *body* reads. No post-attack writes touch Page0 (rollback
+/// wipes whole row versions, so such a write would soundly widen the
+/// dirty column set).
+fn drive(server: &mut WarpServer) {
+    for u in 0..USERS {
+        server.handle(HttpRequest::post(
+            "/edit.wasl",
+            [
+                ("title", format!("Page{}", u + 1).as_str()),
+                ("body", format!("user {u} draft").as_str()),
+            ],
+        ));
+        server.handle(HttpRequest::get("/view.wasl?title=Page0"));
+    }
+    server.handle(HttpRequest::post("/deface.wasl", [("title", "Page0")]));
+    for _ in 0..USERS {
+        server.handle(HttpRequest::get("/view.wasl?title=Page0"));
+        server.handle(HttpRequest::get("/view.wasl?title=Page0"));
+    }
+    server.handle(HttpRequest::get("/style.wasl?title=Page0"));
+}
+
+struct FrontierRun {
+    dump: String,
+    /// History nodes revisited: full application re-runs + query
+    /// re-executions.
+    nodes: usize,
+    app_runs: usize,
+}
+
+fn run(oblivious: bool, strategy: RepairStrategy) -> FrontierRun {
+    let mut server = WarpServer::new(frontier_app());
+    drive(&mut server);
+    server.column_oblivious_repair = oblivious;
+    let outcome = server.repair_with(
+        RepairRequest::RetroactivePatch {
+            patch: deface_patch(),
+            from_time: 0,
+        },
+        strategy,
+    );
+    assert!(!outcome.aborted, "frontier repair must commit");
+    FrontierRun {
+        dump: server.db.canonical_dump(),
+        nodes: outcome.stats.app_runs_reexecuted + outcome.stats.queries_reexecuted,
+        app_runs: outcome.stats.app_runs_reexecuted,
+    }
+}
+
+fn assert_pruning(strategy: RepairStrategy) {
+    let aware = run(false, strategy);
+    let oblivious = run(true, strategy);
+    assert_eq!(
+        aware.dump, oblivious.dump,
+        "pruning must not change the repaired database state"
+    );
+    assert!(aware.dump.contains("clean-skin") && !aware.dump.contains("defaced-skin"));
+    // The set of full application re-runs is identical by construction —
+    // column pruning only skips re-executions whose inputs cannot have
+    // changed, and those never cascade.
+    assert_eq!(aware.app_runs, oblivious.app_runs);
+    assert!(
+        oblivious.nodes as f64 >= 5.0 * aware.nodes as f64,
+        "column-aware repair must revisit at least 5x fewer history nodes \
+         (aware {}, oblivious {})",
+        aware.nodes,
+        oblivious.nodes
+    );
+}
+
+#[test]
+fn single_column_attack_prunes_frontier_sequential() {
+    assert_pruning(RepairStrategy::Sequential);
+}
+
+#[test]
+fn single_column_attack_prunes_frontier_partitioned() {
+    assert_pruning(RepairStrategy::Partitioned { workers: 4 });
+}

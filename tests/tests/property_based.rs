@@ -83,3 +83,116 @@ proptest! {
         prop_assert_eq!(out, SVal::Int(a + b * 2));
     }
 }
+
+/// Footprint soundness: for random generated statements, the static read
+/// footprint computed by `warp_sql::analysis` must be a superset of the
+/// columns the engine dynamically resolves while executing the statement.
+/// Only meaningful in debug builds, where the column observer exists (the
+/// same recorder backs the runtime soundness guard in warp-ttdb).
+#[cfg(debug_assertions)]
+mod footprint_soundness {
+    use proptest::prelude::*;
+    use warp_sql::{analysis, observer, parse, Database};
+
+    const COLUMNS: [&str; 5] = ["id", "a", "b", "c", "d"];
+
+    fn fresh_db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, a TEXT, b TEXT, c INTEGER, d TEXT)",
+        )
+        .unwrap();
+        for i in 1..6 {
+            db.execute_sql(&format!(
+                "INSERT INTO t (id, a, b, c, d) VALUES ({i}, 'a{i}', 'b{i}', {}, 'd{i}')",
+                i * 10
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    fn predicate(pred: usize, k: i64, s: &str) -> String {
+        match pred % 6 {
+            0 => String::new(),
+            1 => format!(" WHERE id = {k}"),
+            2 => format!(" WHERE a = '{s}'"),
+            3 => format!(" WHERE c < {k}"),
+            4 => format!(" WHERE id = {k} AND b = '{s}'"),
+            _ => format!(" WHERE c + id > {k}"),
+        }
+    }
+
+    fn statement(kind: usize, proj: usize, pred: usize, k: i64, s: &str) -> String {
+        let filter = predicate(pred, k, s);
+        match kind % 4 {
+            0 => {
+                let cols = match proj % 6 {
+                    0 => "*".to_string(),
+                    1 => "a".to_string(),
+                    2 => "a, c".to_string(),
+                    3 => "id, d".to_string(),
+                    4 => "COUNT(*)".to_string(),
+                    _ => "MAX(c)".to_string(),
+                };
+                let order = if proj.is_multiple_of(2) {
+                    " ORDER BY c"
+                } else {
+                    ""
+                };
+                format!("SELECT {cols} FROM t{filter}{order}")
+            }
+            1 => {
+                let set = match proj % 3 {
+                    0 => format!("a = '{s}'"),
+                    1 => "c = c + 1".to_string(),
+                    _ => format!("b = a, d = '{s}'"),
+                };
+                format!("UPDATE t SET {set}{filter}")
+            }
+            2 => format!("DELETE FROM t{filter}"),
+            _ => format!(
+                "INSERT INTO t (id, a, c) VALUES ({}, '{s}', {k})",
+                100 + (k % 50)
+            ),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// static read footprint ⊇ dynamically observed reads, for random
+        /// SELECT / UPDATE / DELETE / INSERT statements.
+        #[test]
+        fn static_footprint_covers_dynamic_reads(
+            kind in 0usize..4,
+            proj in 0usize..6,
+            pred in 0usize..6,
+            k in 0i64..20,
+            s in "[a-z]{1,6}",
+        ) {
+            let sql = statement(kind, proj, pred, k, &s);
+            let stmt = parse(&sql).unwrap();
+            let static_reads = analysis::read_columns(&stmt);
+
+            let mut db = fresh_db();
+            observer::arm();
+            // Execution errors (e.g. duplicate INSERT keys) are fine: any
+            // columns read before the failure must still be covered.
+            let _ = db.execute_sql(&sql);
+            let observed = observer::take().unwrap();
+
+            for col in &observed {
+                prop_assert!(
+                    static_reads.contains(col),
+                    "query `{sql}` read column `{col}` not in static footprint {static_reads}"
+                );
+            }
+            // Sanity: the generated columns are real, so anything observed
+            // is one of the table's columns.
+            for col in &observed {
+                prop_assert!(COLUMNS.contains(&col.as_str()));
+            }
+        }
+    }
+}

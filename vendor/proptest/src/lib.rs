@@ -12,13 +12,16 @@
 //! Sampling is deterministic: the RNG is a xorshift64* seeded from the test
 //! function's name, so a failing case reproduces on every run.
 //!
-//! Shrinking: integer-range and `collection::vec` strategies implement
-//! basic halving shrinkers ([`Strategy::shrink`]). When a case fails, the
-//! harness greedily applies shrink candidates while the failure reproduces
-//! (panic output is suppressed during the search), then reports the
-//! original and minimal failing inputs and re-runs the minimal case so the
-//! test fails with its real assertion message. String/pattern strategies do
-//! not shrink (their failing inputs are short already).
+//! Shrinking: integer-range, `collection::vec`, and string/pattern
+//! strategies implement shrinkers ([`Strategy::shrink`]). When a case
+//! fails, the harness greedily applies shrink candidates while the failure
+//! reproduces (panic output is suppressed during the search), then reports
+//! the original and minimal failing inputs and re-runs the minimal case so
+//! the test fails with its real assertion message. String candidates —
+//! halving, single-character removals, and per-position simplification
+//! toward each character class's simplest member — are validated against a
+//! backtracking matcher for the originating pattern, so every shrunk
+//! string is still a value the strategy could have generated.
 
 use std::ops::Range;
 
@@ -126,12 +129,58 @@ impl Strategy for &str {
         }
         out
     }
+
+    /// String shrinking: halving, single-character removals, and
+    /// per-position simplification toward each atom's simplest character.
+    /// Every candidate is validated against the pattern's backtracking
+    /// matcher, so shrinking never leaves the strategy's value space
+    /// (removals stay within `{m,n}` bounds, literals stay intact).
+    fn shrink(&self, value: &String) -> Vec<String> {
+        let atoms = parse_pattern(self);
+        let chars: Vec<char> = value.chars().collect();
+        let mut out: Vec<String> = Vec::new();
+        let push = |candidate: Vec<char>, out: &mut Vec<String>| {
+            if candidate != chars && matches_pattern(&atoms, &candidate) {
+                let s: String = candidate.iter().collect();
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        };
+        // Most aggressive first: keep either half.
+        if chars.len() > 1 {
+            push(chars[..chars.len() / 2].to_vec(), &mut out);
+            push(chars[chars.len() / 2..].to_vec(), &mut out);
+        }
+        // Single-character removals.
+        for i in 0..chars.len() {
+            let mut candidate = chars.clone();
+            candidate.remove(i);
+            push(candidate, &mut out);
+        }
+        // Per-position simplification toward a class representative.
+        let representatives: std::collections::BTreeSet<char> =
+            atoms.iter().map(|a| a.class.representative()).collect();
+        for i in 0..chars.len() {
+            for &rep in &representatives {
+                if chars[i] != rep {
+                    let mut candidate = chars.clone();
+                    candidate[i] = rep;
+                    push(candidate, &mut out);
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Strategy for String {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
         self.as_str().generate(rng)
+    }
+    fn shrink(&self, value: &String) -> Vec<String> {
+        self.as_str().shrink(value)
     }
 }
 
@@ -220,6 +269,49 @@ impl CharClass {
             }
         }
     }
+}
+
+impl CharClass {
+    /// True if this class can produce `c`.
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharClass::Lit(l) => *l == c,
+            CharClass::Set(set) => set.contains(&c),
+            CharClass::Any => c != '\n',
+        }
+    }
+
+    /// The simplest character this class can produce — the shrink target
+    /// for per-position simplification.
+    fn representative(&self) -> char {
+        match self {
+            CharClass::Lit(c) => *c,
+            CharClass::Set(set) => set.iter().copied().min().unwrap_or('a'),
+            CharClass::Any => 'a',
+        }
+    }
+}
+
+/// Backtracking matcher: true if `chars` is a string the atom sequence
+/// could have generated. Used to validate shrink candidates.
+fn matches_pattern(atoms: &[Atom], chars: &[char]) -> bool {
+    let Some((atom, rest)) = atoms.split_first() else {
+        return chars.is_empty();
+    };
+    if chars.len() < atom.min || !chars[..atom.min].iter().all(|&c| atom.class.matches(c)) {
+        return false;
+    }
+    for n in atom.min..=atom.max.min(chars.len()) {
+        // A prefix that fails at its last character fails for every longer
+        // repetition count too.
+        if n > atom.min && !atom.class.matches(chars[n - 1]) {
+            break;
+        }
+        if matches_pattern(rest, &chars[n..]) {
+            return true;
+        }
+    }
+    false
 }
 
 fn parse_pattern(pat: &str) -> Vec<Atom> {
@@ -536,6 +628,67 @@ mod tests {
         // The second component is already at the range start, so every
         // candidate shrinks the first and leaves the second untouched.
         assert!(candidates.iter().all(|&(a, b)| a < 8 && b == 0));
+    }
+
+    #[test]
+    fn pattern_matcher_accepts_generated_strings() {
+        for pattern in ["[a-z]{1,8}", "x[0-9]{2}y", ".{0,12}", "a{3}[b-d ]{1,4}"] {
+            let mut rng = TestRng::from_name(pattern);
+            for _ in 0..200 {
+                let value = pattern.generate(&mut rng);
+                let chars: Vec<char> = value.chars().collect();
+                assert!(
+                    matches_pattern(&parse_pattern(pattern), &chars),
+                    "{pattern:?} generated non-matching {value:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_matcher_rejects_out_of_space_strings() {
+        let atoms = parse_pattern("[a-z]{2,4}");
+        assert!(!matches_pattern(&atoms, &['a']));
+        assert!(!matches_pattern(&atoms, &['a', 'B']));
+        assert!(!matches_pattern(&atoms, &['a'; 5]));
+        assert!(matches_pattern(&atoms, &['a', 'z']));
+    }
+
+    #[test]
+    fn string_failure_shrinks_to_the_hostile_character() {
+        // Property "contains no quote": the minimal failing string is just
+        // the quote itself (the pattern allows the empty string).
+        let strat = "[a-z' ]{0,20}";
+        let failing = "hello wo'rld stuff".to_string();
+        let (minimal, steps) = shrink_to_minimal(&strat, failing, |v| v.contains('\''));
+        assert_eq!(minimal, "'");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn string_shrink_respects_literals_and_minimums() {
+        // `SELECT ` is literal and the identifier must keep ≥ 1 char:
+        // shrinking a failing 8-char identifier bottoms out at one 'a'.
+        let strat = "SELECT [a-z]{1,8}";
+        let failing = "SELECT zyxwvuts".to_string();
+        let (minimal, _) = shrink_to_minimal(&strat, failing, |v| v.starts_with("SELECT "));
+        assert_eq!(minimal, "SELECT a");
+    }
+
+    #[test]
+    fn string_shrink_candidates_stay_in_the_value_space() {
+        let pattern = "x[0-9]{2,4}y";
+        let atoms = parse_pattern(pattern);
+        let value = "x9418y".to_string();
+        let candidates = Strategy::shrink(&pattern, &value);
+        assert!(!candidates.is_empty());
+        for candidate in &candidates {
+            let chars: Vec<char> = candidate.chars().collect();
+            assert!(
+                matches_pattern(&atoms, &chars),
+                "candidate {candidate:?} escapes pattern {pattern:?}"
+            );
+        }
     }
 
     /// The macro-facing harness: a seeded failing case is shrunk and the
