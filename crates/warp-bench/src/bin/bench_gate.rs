@@ -10,7 +10,10 @@
 //! `--commit BENCH_commit.json` on repair-commit cost that grows with
 //! database size instead of with the repair's write set, with
 //! `--serve BENCH_serve.json` on group-commit serving throughput falling
-//! more than 10% behind the relaxed (ack-before-durable) tier, and with
+//! more than 10% behind the relaxed (ack-before-durable) tier or on the
+//! partition-sharded engine failing its speedup floor (4 shards must reach
+//! 1.5x single-shard throughput on the conflict-free workload; skipped
+//! loudly when the measuring host has fewer than 4 CPUs), and with
 //! `--frontier BENCH_frontier.json` on column-aware frontier pruning
 //! falling under the required factor (or its final state diverging from
 //! the partition-grained engine's).
@@ -21,9 +24,10 @@
 use std::path::PathBuf;
 use warp_bench::report::{
     evaluate_commit_gate, evaluate_frontier_gate, evaluate_gate, evaluate_recovery_gate,
-    evaluate_serve_gate, load_commit_records, load_frontier_records, load_records,
-    load_recovery_records, load_serve_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO,
+    evaluate_serve_gate, evaluate_shard_gate, load_commit_records, load_frontier_records,
+    load_records, load_recovery_records, load_serve_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO,
     FRONTIER_MIN_RATIO, GATE_WORKLOAD, RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO,
+    SHARD_GATE_SHARDS, SHARD_MIN_HOST_CPUS, SHARD_MIN_SPEEDUP,
 };
 
 /// Default allowed group-commit throughput regression vs the relaxed tier,
@@ -47,7 +51,14 @@ fn usage() {
     println!("                 {COMMIT_MAX_RATIO}x across the report's database sizes (floor {COMMIT_FLOOR_MS} ms)");
     println!("--serve PATH [PERCENT]  also fail if group-commit throughput falls more than");
     println!(
-        "                 PERCENT (default {SERVE_MAX_REGRESSION_PERCENT}) behind the relaxed tier"
+        "                 PERCENT (default {SERVE_MAX_REGRESSION_PERCENT}) behind the relaxed tier,"
+    );
+    println!(
+        "                 or if {SHARD_GATE_SHARDS} engine shards miss {SHARD_MIN_SPEEDUP}x \
+         single-shard throughput on the"
+    );
+    println!(
+        "                 conflict-free workload (skipped on hosts with < {SHARD_MIN_HOST_CPUS} cpus)"
     );
     println!("--frontier PATH  also fail if column-aware repair re-executes less than");
     println!("                 {FRONTIER_MIN_RATIO}x fewer actions than the partition-grained");
@@ -281,6 +292,42 @@ fn main() {
                         "bench_gate: FAIL — group-commit serving throughput regressed more \
                          than {}% against the relaxed tier",
                         args.serve_max_regression
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+
+        // Gate 4b: shard scaling on the same report — the partition-sharded
+        // engine must actually buy parallel throughput.
+        match evaluate_shard_gate(&records) {
+            Ok(verdict) => {
+                println!(
+                    "bench_gate: shards: 1-shard {:.0} rps, {SHARD_GATE_SHARDS}-shard {:.0} rps \
+                     (speedup {:.2}x, floor {SHARD_MIN_SPEEDUP}x, host cpus {})",
+                    verdict.baseline_rps, verdict.sharded_rps, verdict.speedup, verdict.host_cpus,
+                );
+                if verdict.skipped {
+                    println!(
+                        "bench_gate: SKIP — shard speedup floor not enforced: the measuring \
+                         host has {} cpu(s), fewer than the {SHARD_MIN_HOST_CPUS} needed to \
+                         exhibit parallel speedup (CI runners enforce this gate)",
+                        verdict.host_cpus
+                    );
+                } else if verdict.pass {
+                    println!(
+                        "bench_gate: PASS — {SHARD_GATE_SHARDS} engine shards reached \
+                         {SHARD_MIN_SPEEDUP}x single-shard throughput"
+                    );
+                } else {
+                    println!(
+                        "bench_gate: FAIL — {SHARD_GATE_SHARDS} engine shards below \
+                         {SHARD_MIN_SPEEDUP}x single-shard throughput on the conflict-free \
+                         workload"
                     );
                     failed = true;
                 }

@@ -873,17 +873,92 @@ pub fn table10_commit(scale: usize) -> Vec<report::CommitBenchRecord> {
     records
 }
 
+/// CPUs available to this process — recorded into serving records so the
+/// shard-scaling gate can tell "sharding broke" from "the host had one
+/// core" when judging speedup.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Topics for the shard-scaling sweep, chosen deterministically so that at
+/// the gated shard count ([`report::SHARD_GATE_SHARDS`]) every shard owns
+/// exactly two of them — full shard utilization never depends on hash luck.
+fn shard_bench_topics() -> Vec<String> {
+    use warp_sql::Value;
+    use warp_ttdb::PartitionKey;
+    const PER_SHARD: usize = 2;
+    let shards = report::SHARD_GATE_SHARDS;
+    let mut per_bucket = vec![0usize; shards];
+    let mut topics = Vec::with_capacity(shards * PER_SHARD);
+    let mut i = 0;
+    while topics.len() < shards * PER_SHARD {
+        let candidate = format!("topic{i}");
+        let owner = PartitionKey::new("note", "topic", &Value::text(&candidate)).shard(shards);
+        if per_bucket[owner] < PER_SHARD {
+            per_bucket[owner] += 1;
+            topics.push(candidate);
+        }
+        i += 1;
+    }
+    topics
+}
+
+/// The app for the shard-scaling sweep. Its `note` table is
+/// partition-clone-safe (no unique constraints, natural row ids), so the
+/// static router can prove that edits and reads of one topic are safe to
+/// run on that topic's shard — nothing in this workload escalates. The
+/// edit page is deliberately script-heavy: shard workers execute
+/// application code in parallel while recording stays serialized on the
+/// engine thread, so speedup shows only where script work dominates.
+fn shard_bench_app(topics: &[String]) -> warp_core::AppConfig {
+    let mut config = warp_core::AppConfig::new("shard-bench");
+    config.add_table(
+        "CREATE TABLE note (note_id INTEGER, topic TEXT, body TEXT)",
+        warp_ttdb::TableAnnotation::new()
+            .row_id("note_id")
+            .partitions(["topic"]),
+    );
+    for (i, topic) in topics.iter().enumerate() {
+        config.seed(format!(
+            "INSERT INTO note (note_id, topic, body) VALUES ({}, '{topic}', 'seed')",
+            i + 1
+        ));
+    }
+    config.add_source(
+        "edit.wasl",
+        "let n = 0; let digest = \"\"; \
+         while (n < 96) { digest = digest . \"-\" . n; n = n + 1; } \
+         db_query(\"UPDATE note SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); \
+         echo(\"saved \" . n);",
+    );
+    config.add_source(
+        "read.wasl",
+        "let rows = db_query(\"SELECT body FROM note WHERE topic = '\" . sql_escape(param(\"topic\")) . \"'\"); \
+         echo(\"<div>\" . rows[0][\"body\"] . \"</div>\");",
+    );
+    config
+}
+
 /// Regenerates "Table 11" (an addition over the paper): serving throughput
 /// and latency through the concurrent `Warp` façade, across the durability
 /// tiers (`relaxed` / `group` / `immediate`) and client-thread counts.
 /// `relaxed` acknowledges before durability and bounds what the serve path
 /// can do; `group` must stay close to it (the CI gate enforces within 10%)
 /// while still guaranteeing acked-implies-recoverable; `immediate` pays one
-/// backend write per action and shows what group commit buys. Returns the
-/// machine-readable records for `BENCH_serve.json`.
+/// backend write per action and shows what group commit buys.
+///
+/// A second sweep ("Table 11b") serves the conflict-free clone-safe
+/// workload at 1/2/4/8 engine shards; its records carry
+/// [`report::SHARD_WORKLOAD`] and feed the shard-scaling gate (4 shards
+/// must reach [`report::SHARD_MIN_SPEEDUP`]x single-shard throughput on
+/// hosts with enough CPUs). Returns the machine-readable records for
+/// `BENCH_serve.json`.
 pub fn table11_serve(scale: usize) -> Vec<report::ServeBenchRecord> {
     use warp_core::{Durability, MemoryBackend, StoreOptions};
     let per_thread = scale.max(40);
+    let cpus = host_cpus();
     let options = StoreOptions {
         segment_bytes: 1024 * 1024,
         checkpoint_interval: 0,
@@ -965,6 +1040,8 @@ pub fn table11_serve(scale: usize) -> Vec<report::ServeBenchRecord> {
                     p99_us: percentile(0.99),
                     writer_batches: writer.batches,
                     largest_batch: writer.largest_batch,
+                    shards: 1,
+                    host_cpus: cpus,
                 };
                 let better = best
                     .as_ref()
@@ -988,6 +1065,99 @@ pub fn table11_serve(scale: usize) -> Vec<report::ServeBenchRecord> {
             );
             records.push(record);
         }
+    }
+
+    // Table 11b: shard scaling. Each client thread stays on its own topic,
+    // every topic routes to a fixed shard, and no request escalates — the
+    // sweep isolates what partition sharding buys over funneling all script
+    // execution through one engine thread.
+    let topics = shard_bench_topics();
+    let threads = topics.len();
+    println!();
+    println!(
+        "=== Table 11b (serving): shard scaling, conflict-free workload \
+         ({threads} client threads, host cpus: {cpus}) ==="
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>10}",
+        "shards", "requests", "rps", "p50 (us)", "p99 (us)"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let mut best: Option<report::ServeBenchRecord> = None;
+        for _ in 0..REPEATS {
+            let warp = Warp::builder()
+                .app(shard_bench_app(&topics))
+                .engine_shards(shards)
+                .start();
+            let t = Instant::now();
+            let workers: Vec<_> = topics
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(client, topic)| {
+                    let warp = warp.clone();
+                    std::thread::spawn(move || {
+                        let mut latencies = Vec::with_capacity(per_thread);
+                        for i in 0..per_thread {
+                            let request = if i % 4 == 3 {
+                                HttpRequest::get(&format!("/read.wasl?topic={topic}"))
+                            } else {
+                                HttpRequest::post(
+                                    "/edit.wasl",
+                                    [
+                                        ("topic", topic.as_str()),
+                                        ("body", format!("client {client} rev {i}").as_str()),
+                                    ],
+                                )
+                            };
+                            let t0 = Instant::now();
+                            let response = warp.serve(request);
+                            latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                            assert_ne!(response.status, 503, "engine must stay up");
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            let mut latencies: Vec<f64> = Vec::new();
+            for worker in workers {
+                latencies.extend(worker.join().expect("serve thread"));
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let percentile = |p: f64| -> f64 {
+                let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+                latencies[idx]
+            };
+            let record = report::ServeBenchRecord {
+                workload: report::SHARD_WORKLOAD.to_string(),
+                durability: Durability::Relaxed.name().to_string(),
+                threads,
+                requests: latencies.len(),
+                throughput_rps: latencies.len() as f64 / elapsed.max(1e-9),
+                p50_us: percentile(0.50),
+                p99_us: percentile(0.99),
+                // No storage backend: the sweep measures execution
+                // parallelism, not the log writer.
+                writer_batches: 0,
+                largest_batch: 0,
+                shards,
+                host_cpus: cpus,
+            };
+            let better = best
+                .as_ref()
+                .map(|b| record.throughput_rps > b.throughput_rps)
+                .unwrap_or(true);
+            if better {
+                best = Some(record);
+            }
+        }
+        let record = best.expect("at least one repeat ran");
+        println!(
+            "{:<8} {:>10} {:>12.0} {:>10.1} {:>10.1}",
+            record.shards, record.requests, record.throughput_rps, record.p50_us, record.p99_us,
+        );
+        records.push(record);
     }
     records
 }

@@ -326,6 +326,14 @@ pub struct ServeBenchRecord {
     pub writer_batches: u64,
     /// Largest batch the writer flushed.
     pub largest_batch: usize,
+    /// Engine shards the deployment ran with (1 = the classic single-shard
+    /// engine; the [`SHARD_WORKLOAD`] sweeps this axis).
+    pub shards: usize,
+    /// CPUs available on the measuring host. The shard-scaling gate only
+    /// enforces its speedup floor when this is at least
+    /// [`SHARD_MIN_HOST_CPUS`] — a single-core container cannot exhibit
+    /// parallel speedup, however correct the sharding is.
+    pub host_cpus: usize,
 }
 
 impl ServeBenchRecord {
@@ -343,6 +351,8 @@ impl ServeBenchRecord {
                 Json::Num(self.writer_batches as f64),
             ),
             ("largest_batch".into(), Json::Num(self.largest_batch as f64)),
+            ("shards".into(), Json::Num(self.shards as f64)),
+            ("host_cpus".into(), Json::Num(self.host_cpus as f64)),
         ])
     }
 
@@ -357,6 +367,10 @@ impl ServeBenchRecord {
             p99_us: value.get("p99_us")?.as_f64()?,
             writer_batches: value.get("writer_batches")?.as_f64().map(|b| b as u64)?,
             largest_batch: value.get("largest_batch")?.as_usize()?,
+            // Reports written before the sharded engine existed measured the
+            // classic single-shard engine and said nothing about the host.
+            shards: value.get("shards").and_then(Json::as_usize).unwrap_or(1),
+            host_cpus: value.get("host_cpus").and_then(Json::as_usize).unwrap_or(0),
         })
     }
 }
@@ -586,7 +600,10 @@ pub fn evaluate_serve_gate(
     let best = |tier: &str| -> Option<f64> {
         records
             .iter()
-            .filter(|r| r.durability == tier)
+            // The shard-scaling sweep reuses the record shape but measures a
+            // different workload; it has its own gate (`evaluate_shard_gate`)
+            // and must not move the relaxed ceiling here.
+            .filter(|r| r.workload != SHARD_WORKLOAD && r.durability == tier)
             .map(|r| r.throughput_rps)
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     };
@@ -601,6 +618,80 @@ pub fn evaluate_serve_gate(
         group_rps,
         ratio,
         pass: ratio >= 1.0 - max_regression_percent / 100.0,
+    })
+}
+
+/// Workload name of the shard-scaling sweep appended to `BENCH_serve.json`
+/// by `table11_serve`: the conflict-free clone-safe workload served at
+/// 1/2/4/8 engine shards.
+pub const SHARD_WORKLOAD: &str = "table11_serve_shards";
+
+/// Required throughput speedup of [`SHARD_GATE_SHARDS`] engine shards over
+/// the single-shard baseline on the conflict-free workload.
+pub const SHARD_MIN_SPEEDUP: f64 = 1.5;
+
+/// The shard count whose speedup the gate enforces.
+pub const SHARD_GATE_SHARDS: usize = 4;
+
+/// Minimum CPUs on the measuring host for the speedup floor to be
+/// enforceable; below this the gate reports `skipped` instead of failing.
+pub const SHARD_MIN_HOST_CPUS: usize = 4;
+
+/// The shard-scaling gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardGateVerdict {
+    /// Best single-shard throughput on the shard workload (rps).
+    pub baseline_rps: f64,
+    /// Best [`SHARD_GATE_SHARDS`]-shard throughput (rps).
+    pub sharded_rps: f64,
+    /// `sharded_rps / baseline_rps`.
+    pub speedup: f64,
+    /// CPUs on the host that produced the records.
+    pub host_cpus: usize,
+    /// True when the host had fewer than [`SHARD_MIN_HOST_CPUS`] CPUs, so
+    /// the speedup floor was not enforced (`pass` is then true, loudly).
+    pub skipped: bool,
+    /// True if the gate holds (or was skipped on an undersized host).
+    pub pass: bool,
+}
+
+/// Evaluates the shard-scaling gate over `BENCH_serve.json`: on the
+/// conflict-free [`SHARD_WORKLOAD`], serving with [`SHARD_GATE_SHARDS`]
+/// engine shards must reach at least [`SHARD_MIN_SPEEDUP`]x the
+/// single-shard throughput. Parallel speedup physically requires parallel
+/// hardware, so on hosts with fewer than [`SHARD_MIN_HOST_CPUS`] CPUs the
+/// verdict is `skipped` (and passes) rather than a meaningless failure;
+/// CI runners have enough cores and are always enforced. Returns an error
+/// when the sweep is missing from the report.
+pub fn evaluate_shard_gate(records: &[ServeBenchRecord]) -> Result<ShardGateVerdict, String> {
+    let best = |shards: usize| -> Option<f64> {
+        records
+            .iter()
+            .filter(|r| r.workload == SHARD_WORKLOAD && r.shards == shards)
+            .map(|r| r.throughput_rps)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    };
+    let (Some(baseline_rps), Some(sharded_rps)) = (best(1), best(SHARD_GATE_SHARDS)) else {
+        return Err(format!(
+            "no {SHARD_WORKLOAD} records at 1 and {SHARD_GATE_SHARDS} shards \
+             (run table11_serve with --json first)"
+        ));
+    };
+    let host_cpus = records
+        .iter()
+        .filter(|r| r.workload == SHARD_WORKLOAD)
+        .map(|r| r.host_cpus)
+        .max()
+        .unwrap_or(0);
+    let speedup = sharded_rps / baseline_rps.max(1e-9);
+    let skipped = host_cpus < SHARD_MIN_HOST_CPUS;
+    Ok(ShardGateVerdict {
+        baseline_rps,
+        sharded_rps,
+        speedup,
+        host_cpus,
+        skipped,
+        pass: skipped || speedup >= SHARD_MIN_SPEEDUP,
     })
 }
 
@@ -938,6 +1029,17 @@ mod tests {
             p99_us: 900.0,
             writer_batches: 40,
             largest_batch: 8,
+            shards: 1,
+            host_cpus: 8,
+        }
+    }
+
+    fn shard_record(shards: usize, rps: f64, host_cpus: usize) -> ServeBenchRecord {
+        ServeBenchRecord {
+            workload: SHARD_WORKLOAD.into(),
+            shards,
+            host_cpus,
+            ..serve_record("relaxed", 8, rps)
         }
     }
 
@@ -965,6 +1067,59 @@ mod tests {
         // Missing a tier is an error, not a silent pass.
         assert!(evaluate_serve_gate(&[serve_record("relaxed", 1, 1.0)], 10.0).is_err());
         assert!(evaluate_serve_gate(&[], 10.0).is_err());
+        // The shard sweep's (faster) relaxed records must not raise the
+        // ceiling the group tier is judged against.
+        let records = vec![
+            serve_record("relaxed", 4, 10_000.0),
+            serve_record("group", 4, 9_500.0),
+            shard_record(4, 30_000.0, 8),
+        ];
+        assert!(evaluate_serve_gate(&records, 10.0).unwrap().pass);
+    }
+
+    #[test]
+    fn shard_gate_enforces_speedup_on_multicore_hosts_only() {
+        // 2x at 4 shards on an 8-cpu host passes the 1.5x floor.
+        let records = vec![
+            shard_record(1, 5_000.0, 8),
+            shard_record(2, 8_000.0, 8),
+            shard_record(4, 10_000.0, 8),
+            shard_record(8, 11_000.0, 8),
+        ];
+        let verdict = evaluate_shard_gate(&records).unwrap();
+        assert!(verdict.pass && !verdict.skipped, "{verdict:?}");
+        assert!((verdict.speedup - 2.0).abs() < 1e-9);
+        // No speedup on a multicore host fails.
+        let records = vec![shard_record(1, 5_000.0, 8), shard_record(4, 5_500.0, 8)];
+        let verdict = evaluate_shard_gate(&records).unwrap();
+        assert!(!verdict.pass && !verdict.skipped, "{verdict:?}");
+        // The identical measurement on a single-core host is skipped, not
+        // failed: there is no parallel hardware to exhibit speedup on.
+        let records = vec![shard_record(1, 5_000.0, 1), shard_record(4, 5_500.0, 1)];
+        let verdict = evaluate_shard_gate(&records).unwrap();
+        assert!(verdict.pass && verdict.skipped, "{verdict:?}");
+        // Missing the sweep (or half of it) is an error, not a silent pass.
+        assert!(evaluate_shard_gate(&[shard_record(1, 5_000.0, 8)]).is_err());
+        assert!(evaluate_shard_gate(&[serve_record("relaxed", 4, 1.0)]).is_err());
+        assert!(evaluate_shard_gate(&[]).is_err());
+    }
+
+    #[test]
+    fn serve_records_without_shard_fields_load_as_single_shard() {
+        // A report written before the sharded engine existed.
+        let legacy = r#"{"records": [{"workload": "table11_serve",
+            "durability": "group", "threads": 4, "requests": 400,
+            "throughput_rps": 9000, "p50_us": 100, "p99_us": 900,
+            "writer_batches": 40, "largest_batch": 8}]}"#;
+        let dir = std::env::temp_dir().join(format!("warp-bench-legacy-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        std::fs::write(&path, legacy).unwrap();
+        let records = load_serve_records(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].shards, 1);
+        assert_eq!(records[0].host_cpus, 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

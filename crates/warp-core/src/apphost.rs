@@ -11,18 +11,44 @@ use crate::clock::LogicalClock;
 use crate::history::{ActionRecord, NondetRecord, QueryRecord};
 use crate::sourcefs::SourceStore;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 use warp_http::{generate_session_id, HttpRequest, HttpResponse};
 use warp_script::{Host, Interpreter, ScriptError, ScriptResult, Value as SVal};
 use warp_sql::Value as DVal;
 use warp_ttdb::{RepairSession, TimeTravelDb};
+
+/// How an application run reaches the time-travel database.
+///
+/// The classic serving path and all repair paths own the database outright
+/// (`Exclusive`). Engine shards executing non-conflicting requests in
+/// parallel share one database behind a mutex (`Shared`) and hold the lock
+/// only for the duration of each individual query — script interpretation,
+/// the dominant cost, runs outside the lock.
+pub enum DbAccess<'a> {
+    /// Sole ownership of the database for the whole run.
+    Exclusive(&'a mut TimeTravelDb),
+    /// Per-query locking against a database shared between engine shards.
+    Shared(&'a Mutex<TimeTravelDb>),
+}
+
+impl DbAccess<'_> {
+    /// Runs `f` with exclusive access to the database, acquiring the shard
+    /// lock around the call if the database is shared.
+    pub fn with<R>(&mut self, f: impl FnOnce(&mut TimeTravelDb) -> R) -> R {
+        match self {
+            DbAccess::Exclusive(db) => f(db),
+            DbAccess::Shared(shared) => f(&mut shared.lock().expect("shard db lock poisoned")),
+        }
+    }
+}
 
 /// How the application run interacts with the database and non-determinism.
 pub enum ExecMode<'a> {
     /// Normal execution: queries run in the current generation at fresh
     /// clock ticks; non-determinism is generated and recorded.
     Normal {
-        /// The server's logical clock.
-        clock: &'a mut LogicalClock,
+        /// The server's logical clock (a shared handle; ticking is atomic).
+        clock: &'a LogicalClock,
         /// Deterministic randomness counter.
         rng_counter: &'a mut u64,
         /// Session-ID counter.
@@ -51,8 +77,8 @@ pub struct AppRunContext<'a> {
     pub sources: &'a SourceStore,
     /// The logical time of this run.
     pub action_time: i64,
-    /// The time-travel database.
-    pub db: &'a mut TimeTravelDb,
+    /// The time-travel database (exclusive, or shared between shards).
+    pub db: DbAccess<'a>,
     /// Normal vs repair execution.
     pub mode: ExecMode<'a>,
 }
@@ -152,7 +178,7 @@ struct AppHost<'a> {
     request: &'a HttpRequest,
     sources: &'a SourceStore,
     action_time: i64,
-    db: &'a mut TimeTravelDb,
+    db: DbAccess<'a>,
     mode: ExecMode<'a>,
     output: String,
     headers: Vec<(String, String)>,
@@ -260,9 +286,11 @@ impl AppHost<'_> {
         let execution = match &mut self.mode {
             ExecMode::Normal { clock, .. } => {
                 let time = clock.tick();
-                let gen = self.db.current_generation();
                 self.db
-                    .execute_stmt_logged(&stmt, time, gen)
+                    .with(|db| {
+                        let gen = db.current_generation();
+                        db.execute_stmt_logged(&stmt, time, gen)
+                    })
                     .map(|out| (out, time))
             }
             ExecMode::Repair { session, original } => {
@@ -286,12 +314,14 @@ impl AppHost<'_> {
                 self.queries_reexecuted += 1;
                 let result = if is_write {
                     if original_rows.is_empty() && matched.is_none() {
-                        session.execute_new_write(self.db, &stmt, time)
+                        self.db
+                            .with(|db| session.execute_new_write(db, &stmt, time))
                     } else {
-                        session.reexecute_write(self.db, &stmt, time, &original_rows)
+                        self.db
+                            .with(|db| session.reexecute_write(db, &stmt, time, &original_rows))
                     }
                 } else {
-                    session.reexecute_read(self.db, &stmt, time)
+                    self.db.with(|db| session.reexecute_read(db, &stmt, time))
                 };
                 result.map(|out| (out, time))
             }
@@ -511,7 +541,7 @@ mod tests {
 
     fn normal_run(
         db: &mut TimeTravelDb,
-        clock: &mut LogicalClock,
+        clock: &LogicalClock,
         sources: &SourceStore,
         entry: &str,
         request: &HttpRequest,
@@ -524,7 +554,7 @@ mod tests {
             entry_script: entry.to_string(),
             sources,
             action_time: time,
-            db,
+            db: DbAccess::Exclusive(db),
             mode: ExecMode::Normal {
                 clock,
                 rng_counter: &mut rng,
@@ -536,7 +566,7 @@ mod tests {
     #[test]
     fn echo_params_and_headers() {
         let mut db = test_db();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let mut sources = SourceStore::new();
         sources.install(
             "index.wasl",
@@ -544,7 +574,7 @@ mod tests {
              echo(\"<p>\" . param(\"q\") . \"</p>\");",
         );
         let req = HttpRequest::get("/index.wasl?q=hello");
-        let out = normal_run(&mut db, &mut clock, &sources, "index.wasl", &req);
+        let out = normal_run(&mut db, &clock, &sources, "index.wasl", &req);
         assert_eq!(out.response.status, 200);
         assert_eq!(out.response.body, "<p>hello</p>");
         assert_eq!(out.response.header("X-App"), Some("wiki"));
@@ -555,7 +585,7 @@ mod tests {
     #[test]
     fn db_queries_are_recorded_with_dependencies() {
         let mut db = test_db();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let mut sources = SourceStore::new();
         sources.install(
             "edit.wasl",
@@ -564,7 +594,7 @@ mod tests {
              echo(rows[0][\"body\"]);",
         );
         let req = HttpRequest::get("/edit.wasl");
-        let out = normal_run(&mut db, &mut clock, &sources, "edit.wasl", &req);
+        let out = normal_run(&mut db, &clock, &sources, "edit.wasl", &req);
         assert_eq!(out.response.body, "hi");
         assert_eq!(out.queries.len(), 2);
         assert!(out.queries[0].is_write);
@@ -579,12 +609,12 @@ mod tests {
     #[test]
     fn includes_are_tracked_as_loaded_files() {
         let mut db = test_db();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let mut sources = SourceStore::new();
         sources.install("common.wasl", "fn wrap(x) { return \"[\" . x . \"]\"; }");
         sources.install("view.wasl", "include \"common.wasl\"; echo(wrap(\"ok\"));");
         let req = HttpRequest::get("/view.wasl");
-        let out = normal_run(&mut db, &mut clock, &sources, "view.wasl", &req);
+        let out = normal_run(&mut db, &clock, &sources, "view.wasl", &req);
         assert_eq!(out.response.body, "[ok]");
         assert_eq!(
             out.loaded_files,
@@ -595,14 +625,14 @@ mod tests {
     #[test]
     fn missing_script_is_404_and_script_error_is_500() {
         let mut db = test_db();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let sources = SourceStore::new();
         let req = HttpRequest::get("/nope.wasl");
-        let out = normal_run(&mut db, &mut clock, &sources, "nope.wasl", &req);
+        let out = normal_run(&mut db, &clock, &sources, "nope.wasl", &req);
         assert_eq!(out.response.status, 404);
         let mut sources = SourceStore::new();
         sources.install("bad.wasl", "this is not valid wasl");
-        let out = normal_run(&mut db, &mut clock, &sources, "bad.wasl", &req);
+        let out = normal_run(&mut db, &clock, &sources, "bad.wasl", &req);
         assert_eq!(out.response.status, 500);
         assert!(out.script_error.is_some());
     }
@@ -610,14 +640,14 @@ mod tests {
     #[test]
     fn nondeterminism_is_recorded_and_replayed() {
         let mut db = test_db();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let mut sources = SourceStore::new();
         sources.install(
             "r.wasl",
             "echo(rand() . \",\" . rand() . \",\" . session_start());",
         );
         let req = HttpRequest::get("/r.wasl");
-        let original = normal_run(&mut db, &mut clock, &sources, "r.wasl", &req);
+        let original = normal_run(&mut db, &clock, &sources, "r.wasl", &req);
         assert_eq!(original.nondet.len(), 3);
         // Build an action record and re-execute it in repair mode; the output
         // must be identical because the recorded values are replayed.
@@ -639,7 +669,7 @@ mod tests {
             entry_script: "r.wasl".to_string(),
             sources: &sources,
             action_time: 1,
-            db: &mut db,
+            db: DbAccess::Exclusive(&mut db),
             mode: ExecMode::Repair {
                 session: &mut session,
                 original: Some(&action),
@@ -651,22 +681,22 @@ mod tests {
     #[test]
     fn redirect_and_status() {
         let mut db = test_db();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let mut sources = SourceStore::new();
         sources.install("go.wasl", "redirect(\"/index.wasl\");");
         sources.install("forbidden.wasl", "http_status(403); echo(\"no\");");
         let req = HttpRequest::get("/go.wasl");
-        let out = normal_run(&mut db, &mut clock, &sources, "go.wasl", &req);
+        let out = normal_run(&mut db, &clock, &sources, "go.wasl", &req);
         assert_eq!(out.response.status, 302);
         assert_eq!(out.response.redirect_location(), Some("/index.wasl"));
-        let out = normal_run(&mut db, &mut clock, &sources, "forbidden.wasl", &req);
+        let out = normal_run(&mut db, &clock, &sources, "forbidden.wasl", &req);
         assert_eq!(out.response.status, 403);
     }
 
     #[test]
     fn repair_write_matching_rolls_back_original_rows() {
         let mut db = test_db();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         let mut sources = SourceStore::new();
         // The vulnerable script stores the raw parameter; the patched one
         // sanitises it.
@@ -680,7 +710,7 @@ mod tests {
         )
         .unwrap();
         let req = HttpRequest::post("/save.wasl", [("body", "<script>evil</script>")]);
-        let original = normal_run(&mut db, &mut clock, &sources, "save.wasl", &req);
+        let original = normal_run(&mut db, &clock, &sources, "save.wasl", &req);
         assert!(original.queries[0].is_write);
         // Retroactively "patch" by changing what gets stored, then re-execute.
         sources.update(
@@ -706,7 +736,7 @@ mod tests {
             entry_script: "save.wasl".to_string(),
             sources: &sources,
             action_time: action.time,
-            db: &mut db,
+            db: DbAccess::Exclusive(&mut db),
             mode: ExecMode::Repair {
                 session: &mut session,
                 original: Some(&action),

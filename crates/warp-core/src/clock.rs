@@ -4,45 +4,51 @@
 //! is stamped from a single monotonically increasing logical clock. Using a
 //! logical clock (rather than wall-clock time) keeps workloads, logs and
 //! repairs fully deterministic, which the evaluation harness relies on.
+//!
+//! The clock is a shared atomic cell: cloning a `LogicalClock` yields a
+//! handle onto the *same* timeline, so engine shards can stamp queries
+//! concurrently while the server keeps one global notion of "now". All
+//! methods take `&self`; `tick` is a single `fetch_add`.
 
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
-/// A monotonically increasing logical clock.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// A monotonically increasing logical clock. Clones share the underlying
+/// counter.
+#[derive(Debug, Clone, Default)]
 pub struct LogicalClock {
-    now: i64,
+    now: Arc<AtomicI64>,
 }
 
 impl LogicalClock {
     /// Creates a clock starting at zero.
     pub fn new() -> Self {
-        LogicalClock { now: 0 }
+        LogicalClock {
+            now: Arc::new(AtomicI64::new(0)),
+        }
     }
 
     /// Returns the current time without advancing.
     pub fn now(&self) -> i64 {
-        self.now
+        self.now.load(Ordering::SeqCst)
     }
 
     /// Advances the clock and returns the new time.
-    pub fn tick(&mut self) -> i64 {
-        self.now += 1;
-        self.now
+    pub fn tick(&self) -> i64 {
+        self.now.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Advances the clock by `n` ticks and returns the new time.
-    pub fn advance(&mut self, n: i64) -> i64 {
-        self.now += n.max(0);
-        self.now
+    pub fn advance(&self, n: i64) -> i64 {
+        let n = n.max(0);
+        self.now.fetch_add(n, Ordering::SeqCst) + n
     }
 
     /// Fast-forwards the clock to `to` if that is ahead of the current
     /// time; never moves backwards. Recovery uses this to restore the
     /// clock recorded by a checkpoint or log record.
-    pub fn fast_forward(&mut self, to: i64) {
-        if to > self.now {
-            self.now = to;
-        }
+    pub fn fast_forward(&self, to: i64) {
+        self.now.fetch_max(to, Ordering::SeqCst);
     }
 }
 
@@ -52,7 +58,7 @@ mod tests {
 
     #[test]
     fn ticks_are_monotonic() {
-        let mut c = LogicalClock::new();
+        let c = LogicalClock::new();
         assert_eq!(c.now(), 0);
         let a = c.tick();
         let b = c.tick();
@@ -62,10 +68,24 @@ mod tests {
 
     #[test]
     fn advance_ignores_negative() {
-        let mut c = LogicalClock::new();
+        let c = LogicalClock::new();
         c.advance(10);
         assert_eq!(c.now(), 10);
         c.advance(-5);
         assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let a = LogicalClock::new();
+        let b = a.clone();
+        a.tick();
+        b.tick();
+        assert_eq!(a.now(), 2);
+        assert_eq!(b.now(), 2);
+        b.fast_forward(50);
+        assert_eq!(a.now(), 50);
+        a.fast_forward(10);
+        assert_eq!(b.now(), 50);
     }
 }

@@ -14,6 +14,17 @@
 //!   processes messages in arrival order, so the recorded history is a
 //!   single serializable timeline no matter how many front-end threads are
 //!   pushing requests.
+//! * With [`WarpBuilder::engine_shards`], the engine adds a pool of **shard
+//!   workers** and becomes a router: each request's partition footprint is
+//!   predicted statically (see `crate::shard`), requests whose partitions
+//!   all hash to one shard execute on that shard's worker concurrently with
+//!   other shards, and everything else — imprecise footprints,
+//!   cross-partition requests, repairs, administrative closures — escalates
+//!   to the serialized **global lane**, which first drains every shard to a
+//!   barrier. Action ids and times are still assigned at the single engine
+//!   thread and results are recorded in dispatch order, so the history
+//!   stays byte-for-byte the serializable timeline the classic engine
+//!   produces.
 //! * The **group-commit writer** (in `warp-store`) owns the durable log.
 //!   Under [`Durability::Group`] and [`Durability::Immediate`], a response
 //!   is released to the caller only after its log record is durable —
@@ -28,18 +39,24 @@
 //! No async runtime: plain `std` threads and mpsc channels, matching the
 //! repair scheduler's worker-pool style.
 
+use crate::apphost::{run_application, AppRunContext, AppRunResult, DbAccess, ExecMode};
+use crate::clock::LogicalClock;
 use crate::config::{AppConfig, ServerConfig};
 use crate::persist::RecoveryReport;
 use crate::repair::{RepairOutcome, RepairRequest};
 use crate::scheduler::RepairStrategy;
 use crate::server::WarpServer;
+use crate::shard::{classify, plan_entry, Route, RoutePlan, ShardSchema};
+use crate::sourcefs::SourceStore;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Duration;
 use warp_browser::PageVisitRecord;
 use warp_http::{HttpRequest, HttpResponse, Transport};
 use warp_store::{BatchPolicy, StorageBackend, StoreOptions, StoreResult, WriterStats};
+use warp_ttdb::{Generation, TimeTravelDb};
 
 /// How durable an acknowledged request is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +142,7 @@ pub struct WarpBuilder {
     store_options: StoreOptions,
     durability: Durability,
     repair_workers: usize,
+    engine_shards: usize,
 }
 
 impl WarpBuilder {
@@ -161,6 +179,59 @@ impl WarpBuilder {
         self
     }
 
+    /// Shard normal execution across `shards` engine worker threads.
+    ///
+    /// `0` or `1` (the default) keeps the classic single-threaded engine.
+    /// With more shards, each request whose statically-predicted partition
+    /// footprint lands on one shard executes on that shard's worker,
+    /// concurrently with other shards; requests with imprecise or
+    /// cross-shard footprints (and all repairs and administrative calls)
+    /// escalate to a serialized global lane that first drains every shard
+    /// to a barrier. The recorded action history is identical to the
+    /// single-shard engine's, whatever the shard count:
+    ///
+    /// ```
+    /// use warp_core::{AppConfig, Warp};
+    /// use warp_http::HttpRequest;
+    /// use warp_ttdb::TableAnnotation;
+    ///
+    /// fn app() -> AppConfig {
+    ///     let mut app = AppConfig::new("notes");
+    ///     app.add_table(
+    ///         "CREATE TABLE note (note_id INTEGER, topic TEXT, body TEXT)",
+    ///         TableAnnotation::new().row_id("note_id").partitions(["topic"]),
+    ///     );
+    ///     app.add_source(
+    ///         "post.wasl",
+    ///         "db_query(\"INSERT INTO note (note_id, topic, body) VALUES (\" \
+    ///          . int(param(\"id\")) . \", '\" . sql_escape(param(\"topic\")) \
+    ///          . \"', '\" . sql_escape(param(\"body\")) . \"')\"); echo(\"ok\");",
+    ///     );
+    ///     app
+    /// }
+    ///
+    /// let sharded = Warp::builder().app(app()).engine_shards(4).start();
+    /// let classic = Warp::builder().app(app()).start();
+    /// for (warp, label) in [(&sharded, "sharded"), (&classic, "classic")] {
+    ///     for i in 0..8 {
+    ///         let target = format!("/post.wasl?id={i}&topic=t{}&body={label}-{i}", i % 3);
+    ///         assert!(warp.serve(HttpRequest::get(&target)).body.contains("ok"));
+    ///     }
+    /// }
+    /// // Same requests, same recorded history and database — shard count is
+    /// // invisible in the outcome (bodies differ only by the label we wrote).
+    /// let dump = |w: &Warp| w.with_server(|s| s.db.canonical_dump());
+    /// assert_eq!(
+    ///     dump(&sharded).replace("sharded", "x"),
+    ///     dump(&classic).replace("classic", "x"),
+    /// );
+    /// assert_eq!(sharded.with_server(|s| s.history.len()), 8);
+    /// ```
+    pub fn engine_shards(mut self, shards: usize) -> Self {
+        self.engine_shards = shards;
+        self
+    }
+
     /// The repair strategy the configured worker count selects.
     fn repair_strategy(&self) -> RepairStrategy {
         if self.repair_workers == 0 {
@@ -183,20 +254,35 @@ impl WarpBuilder {
         if let Some(backend) = self.backend {
             config = config.with_backend(backend);
         }
+        let shards = self.engine_shards.max(1);
         let (mut server, report) = WarpServer::open(config)?;
         server.enable_group_commit(durability.batch_policy());
         let (tx, rx) = channel();
+        // Liveness token: the sharded engine cannot rely on channel
+        // disconnect to notice that every public handle is gone (its own
+        // workers hold senders), so it watches this Arc instead.
+        let alive = Arc::new(());
+        let watch = Arc::downgrade(&alive);
+        let worker_tx = tx.clone();
         let engine = std::thread::Builder::new()
             .name("warp-engine".into())
-            .spawn(move || engine_loop(server, durability, strategy, rx))
+            .spawn(move || {
+                if shards <= 1 {
+                    drop(worker_tx);
+                    engine_loop(server, durability, strategy, rx)
+                } else {
+                    sharded_engine_loop(server, durability, strategy, rx, worker_tx, shards, watch)
+                }
+            })
             .expect("spawning the warp engine thread");
         // The engine thread is detached: it exits when every handle is
-        // dropped (channel disconnect) or on `Warp::close`.
+        // dropped (channel disconnect / liveness token) or on `Warp::close`.
         drop(engine);
         Ok((
             Warp {
                 tx,
                 durable_acks: durability.acks_after_durability(),
+                _alive: alive,
             },
             report,
         ))
@@ -241,6 +327,16 @@ enum EngineMsg {
     /// Stop the engine and hand the server back (writer flushed and folded
     /// back into the inline sink).
     Close { reply: Sender<Box<WarpServer>> },
+    /// A shard worker finished executing a dispatched request (sharded
+    /// engine only — workers send this back on the engine's own channel).
+    ShardDone {
+        seq: u64,
+        time: i64,
+        request: HttpRequest,
+        entry: String,
+        result: Box<AppRunResult>,
+        reply: Sender<HttpResponse>,
+    },
 }
 
 const STATUS_QUEUED: u8 = 0;
@@ -341,6 +437,10 @@ pub struct Warp {
     /// durability (everything but [`Durability::Relaxed`]). Administrative
     /// writes routed through the handle honor the same contract.
     durable_acks: bool,
+    /// Liveness token watched by the sharded engine (whose workers hold
+    /// channel senders, masking disconnect): when the last public handle
+    /// drops, the engine drains and exits.
+    _alive: Arc<()>,
 }
 
 // Compile-time guarantee of the concurrency contract: the handle is Send +
@@ -519,6 +619,86 @@ fn engine_stopped_response() -> HttpResponse {
     response
 }
 
+/// Serves one request on the engine thread (the classic path and the
+/// sharded engine's global lane) and releases the response per the
+/// durability contract.
+fn classic_serve(
+    server: &mut WarpServer,
+    durable_acks: bool,
+    request: HttpRequest,
+    reply: Sender<HttpResponse>,
+) {
+    let response = server.handle(request);
+    release_response(server, durable_acks, response, reply);
+}
+
+/// Releases a response to its caller: under durable acks it is handed to
+/// the log writer, which fires the callback only after the action's record
+/// is durable — the engine moves on immediately, so durability waits happen
+/// off the serving path.
+fn release_response(
+    server: &WarpServer,
+    durable_acks: bool,
+    response: HttpResponse,
+    reply: Sender<HttpResponse>,
+) {
+    if durable_acks {
+        if let Some(sink) = &server.store {
+            sink.notify_durable(move || {
+                let _ = reply.send(response);
+            });
+            return;
+        }
+    }
+    let _ = reply.send(response);
+}
+
+/// Runs a queued repair to completion and reports the outcome (shared by
+/// both engine flavors; the sharded engine barriers first).
+fn run_repair_msg(
+    server: &mut WarpServer,
+    durable_acks: bool,
+    strategy: RepairStrategy,
+    request: RepairRequest,
+    state: &AtomicU8,
+    outcome: Sender<RepairOutcome>,
+) {
+    state.store(STATUS_RUNNING, Ordering::Release);
+    let result = server.repair_with(request, strategy);
+    if durable_acks {
+        // The commit/abort record must be durable before the outcome is
+        // reported.
+        server.flush_durable();
+    }
+    state.store(STATUS_COMPLETED, Ordering::Release);
+    let _ = outcome.send(result);
+}
+
+/// Resumes the crash-interrupted repair, if one is pending.
+fn run_resume_msg(
+    server: &mut WarpServer,
+    durable_acks: bool,
+    strategy: RepairStrategy,
+    state: &AtomicU8,
+    outcome: Sender<RepairOutcome>,
+    accepted: Sender<bool>,
+) {
+    if server.pending_repair().is_none() {
+        let _ = accepted.send(false);
+        return;
+    }
+    let _ = accepted.send(true);
+    state.store(STATUS_RUNNING, Ordering::Release);
+    let result = server
+        .resume_pending_repair(strategy)
+        .expect("pending repair checked above");
+    if durable_acks {
+        server.flush_durable();
+    }
+    state.store(STATUS_COMPLETED, Ordering::Release);
+    let _ = outcome.send(result);
+}
+
 fn engine_loop(
     mut server: WarpServer,
     durability: Durability,
@@ -529,21 +709,7 @@ fn engine_loop(
     while let Ok(msg) = rx.recv() {
         match msg {
             EngineMsg::Serve { request, reply } => {
-                let response = server.handle(request);
-                if durable_acks {
-                    // Hand the response to the log writer: it fires the
-                    // callback only after the action's record (submitted by
-                    // `handle` just above) is durable. The engine moves on
-                    // to the next request immediately — durability waits
-                    // happen off the serving path.
-                    if let Some(sink) = &server.store {
-                        sink.notify_durable(move || {
-                            let _ = reply.send(response);
-                        });
-                        continue;
-                    }
-                }
-                let _ = reply.send(response);
+                classic_serve(&mut server, durable_acks, request, reply);
             }
             EngineMsg::With(f) => f(&mut server),
             EngineMsg::Repair {
@@ -551,46 +717,467 @@ fn engine_loop(
                 strategy,
                 state,
                 outcome,
-            } => {
-                state.store(STATUS_RUNNING, Ordering::Release);
-                let result = server.repair_with(request, strategy.unwrap_or(default_strategy));
-                if durable_acks {
-                    // The commit/abort record must be durable before the
-                    // outcome is reported.
-                    server.flush_durable();
+            } => run_repair_msg(
+                &mut server,
+                durable_acks,
+                strategy.unwrap_or(default_strategy),
+                request,
+                &state,
+                outcome,
+            ),
+            EngineMsg::ResumeRepair {
+                state,
+                outcome,
+                accepted,
+            } => run_resume_msg(
+                &mut server,
+                durable_acks,
+                default_strategy,
+                &state,
+                outcome,
+                accepted,
+            ),
+            EngineMsg::Close { reply } => {
+                server.disable_group_commit();
+                let _ = reply.send(Box::new(server));
+                return;
+            }
+            EngineMsg::ShardDone { .. } => {
+                unreachable!("classic engine has no shard workers")
+            }
+        }
+    }
+    // Every handle dropped: dropping the server flushes and stops the
+    // group-commit writer, so nothing submitted is lost.
+}
+
+// ---------------------------------------------------------------------------
+// The sharded engine
+// ---------------------------------------------------------------------------
+
+/// The state a shard epoch shares with its workers: the database (checked
+/// out of the engine's server for the epoch's duration), the logical clock
+/// (atomic; workers tick it per query), and the source tree snapshot.
+struct ShardEpoch {
+    db: Mutex<TimeTravelDb>,
+    clock: LogicalClock,
+    sources: SourceStore,
+}
+
+/// One request dispatched to a shard worker.
+struct ShardJob {
+    /// Position in the serialized timeline (recording happens in `seq`
+    /// order regardless of shard completion order).
+    seq: u64,
+    /// Pre-assigned action time, ticked at dispatch on the engine thread.
+    time: i64,
+    request: HttpRequest,
+    entry: String,
+    epoch: Arc<ShardEpoch>,
+    reply: Sender<HttpResponse>,
+}
+
+/// A finished shard execution parked in the reorder buffer until every
+/// earlier `seq` has been recorded.
+struct DoneAction {
+    time: i64,
+    request: HttpRequest,
+    entry: String,
+    result: AppRunResult,
+    reply: Sender<HttpResponse>,
+}
+
+fn shard_worker(jobs: Receiver<ShardJob>, engine: Sender<EngineMsg>) {
+    while let Ok(job) = jobs.recv() {
+        let ShardJob {
+            seq,
+            time,
+            request,
+            entry,
+            epoch,
+            reply,
+        } = job;
+        // The router guarantees shardable entries are deterministic, so
+        // these counters are never consulted; dummies keep the engine's
+        // real counters out of the concurrent path.
+        let mut rng_counter = 0u64;
+        let mut session_counter = 0u64;
+        let result = run_application(AppRunContext {
+            request: &request,
+            entry_script: entry.clone(),
+            sources: &epoch.sources,
+            action_time: time,
+            db: DbAccess::Shared(&epoch.db),
+            mode: ExecMode::Normal {
+                clock: &epoch.clock,
+                rng_counter: &mut rng_counter,
+                session_counter: &mut session_counter,
+            },
+        });
+        debug_assert!(
+            result.nondet.is_empty() && rng_counter == 0 && session_counter == 0,
+            "the shard router must escalate nondeterministic entries"
+        );
+        // Release the epoch BEFORE handing the result back, so a barrier's
+        // `Arc::try_unwrap` succeeds once every result is recorded.
+        drop(epoch);
+        if engine
+            .send(EngineMsg::ShardDone {
+                seq,
+                time,
+                request,
+                entry,
+                result: Box::new(result),
+                reply,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+struct ShardedEngine {
+    server: WarpServer,
+    durable_acks: bool,
+    shards: usize,
+    workers: Vec<Sender<ShardJob>>,
+    /// Round-robin cursor for [`Route::Any`] requests.
+    rr_next: usize,
+    /// The active epoch plus the generation and synthetic-id watermark
+    /// captured when the database was checked out (constant for the epoch:
+    /// repairs are barriers and sharded inserts carry explicit row ids).
+    epoch: Option<(Arc<ShardEpoch>, Generation, i64)>,
+    /// Schema snapshot the router plans against; captured while the
+    /// database is home, invalidated at every barrier.
+    schema: Option<ShardSchema>,
+    /// Per-entry route plans, invalidated at every barrier (source changes
+    /// and DDL all pass through barriers).
+    plans: BTreeMap<String, RoutePlan>,
+    next_seq: u64,
+    next_record: u64,
+    in_flight: usize,
+    pending: BTreeMap<u64, DoneAction>,
+    /// Messages that arrived while a barrier was draining, replayed FIFO.
+    backlog: VecDeque<EngineMsg>,
+}
+
+impl ShardedEngine {
+    /// Routes one request: shardable footprints dispatch to their owner
+    /// worker, everything else drains to a barrier and runs on the global
+    /// lane (the classic serve path).
+    fn serve(
+        &mut self,
+        request: HttpRequest,
+        reply: Sender<HttpResponse>,
+        rx: &Receiver<EngineMsg>,
+    ) {
+        let entry = self.server.router.resolve(&request.path);
+        // Clients with a queued cookie invalidation need the classic
+        // pre-processing in `WarpServer::handle`; unrouted paths record a
+        // 404 through the same path.
+        let classic_only = entry.is_none()
+            || request
+                .warp
+                .client_id
+                .as_ref()
+                .is_some_and(|c| self.server.pending_cookie_invalidations.contains(c));
+        let route = match (classic_only, &entry) {
+            (false, Some(entry)) => {
+                let plan = self.plan_for(entry);
+                classify(&plan, &request, self.shards)
+            }
+            _ => Route::Global,
+        };
+        match route {
+            Route::Global => {
+                self.barrier(rx);
+                classic_serve(&mut self.server, self.durable_acks, request, reply);
+            }
+            Route::Shard(shard) => self.dispatch(shard, entry.expect("routed"), request, reply),
+            Route::Any => {
+                let shard = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.shards;
+                self.dispatch(shard, entry.expect("routed"), request, reply);
+            }
+        }
+    }
+
+    /// The cached route plan for an entry script, planning it now if new.
+    /// Planning reads the schema snapshot, which is captured while the
+    /// database is home (before the first checkout of an epoch).
+    fn plan_for(&mut self, entry: &str) -> RoutePlan {
+        if self.schema.is_none() {
+            debug_assert!(self.epoch.is_none(), "schema outlives its epoch");
+            self.schema = Some(ShardSchema::capture(&self.server.db));
+        }
+        if let Some(plan) = self.plans.get(entry) {
+            return plan.clone();
+        }
+        let plan = plan_entry(
+            entry,
+            &self.server.sources,
+            self.server.clock.now(),
+            self.schema.as_ref().expect("captured above"),
+        );
+        self.plans.insert(entry.to_string(), plan.clone());
+        plan
+    }
+
+    /// Sends a request to a shard worker, checking the database out into a
+    /// new epoch first if none is active.
+    fn dispatch(
+        &mut self,
+        shard: usize,
+        entry: String,
+        request: HttpRequest,
+        reply: Sender<HttpResponse>,
+    ) {
+        if self.epoch.is_none() {
+            let db = std::mem::replace(&mut self.server.db, TimeTravelDb::new());
+            let gen = db.current_generation();
+            let watermark = db.synthetic_id_watermark();
+            let epoch = Arc::new(ShardEpoch {
+                db: Mutex::new(db),
+                clock: self.server.clock.clone(),
+                sources: self.server.sources.clone(),
+            });
+            self.epoch = Some((epoch, gen, watermark));
+        }
+        let (epoch, _, _) = self.epoch.as_ref().expect("epoch just ensured");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let time = self.server.clock.tick();
+        self.in_flight += 1;
+        self.workers[shard]
+            .send(ShardJob {
+                seq,
+                time,
+                request,
+                entry,
+                epoch: epoch.clone(),
+                reply,
+            })
+            .expect("shard worker died");
+    }
+
+    /// Parks a finished execution and records the contiguous prefix of the
+    /// timeline, releasing each response per the durability contract.
+    fn record_ready(&mut self, seq: u64, done: DoneAction) {
+        self.pending.insert(seq, done);
+        while let Some(done) = self.pending.remove(&self.next_record) {
+            self.next_record += 1;
+            self.in_flight -= 1;
+            let (_, gen, watermark) = *self.epoch.as_ref().expect("epoch active");
+            let response = done.result.response.clone();
+            self.server.record_served(
+                done.time,
+                &done.request,
+                &response,
+                &done.entry,
+                done.result,
+                Some((gen, watermark)),
+            );
+            release_response(&self.server, self.durable_acks, response, done.reply);
+        }
+    }
+
+    /// Drains every in-flight shard execution, reclaims the database, and
+    /// invalidates the router caches. Messages arriving mid-drain are
+    /// backlogged in order. This is the serialization point the global lane
+    /// and every administrative operation go through.
+    fn barrier(&mut self, rx: &Receiver<EngineMsg>) {
+        while self.in_flight > 0 {
+            match rx.recv().expect("shard workers hold a sender") {
+                EngineMsg::ShardDone {
+                    seq,
+                    time,
+                    request,
+                    entry,
+                    result,
+                    reply,
+                } => self.record_ready(
+                    seq,
+                    DoneAction {
+                        time,
+                        request,
+                        entry,
+                        result: *result,
+                        reply,
+                    },
+                ),
+                other => self.backlog.push_back(other),
+            }
+        }
+        if let Some((epoch, _, _)) = self.epoch.take() {
+            let mut epoch = epoch;
+            let db = loop {
+                // Workers drop their Arc before sending ShardDone, so once
+                // everything in flight is recorded the engine's clone is the
+                // last one — modulo a send/drop race worth a yield.
+                match Arc::try_unwrap(epoch) {
+                    Ok(e) => break e.db.into_inner().expect("shard db lock poisoned"),
+                    Err(back) => {
+                        epoch = back;
+                        std::thread::yield_now();
+                    }
                 }
-                state.store(STATUS_COMPLETED, Ordering::Release);
-                let _ = outcome.send(result);
+            };
+            self.server.db = db;
+            self.plans.clear();
+            self.schema = None;
+            // Checkpointing was deferred while the database was checked out.
+            self.server.maybe_checkpoint();
+        }
+    }
+}
+
+/// The sharded engine loop: `shards` workers execute partition-disjoint
+/// requests concurrently against a shared database epoch; the engine thread
+/// remains the single sequencing point (action ids, times, log records).
+fn sharded_engine_loop(
+    server: WarpServer,
+    durability: Durability,
+    default_strategy: RepairStrategy,
+    rx: Receiver<EngineMsg>,
+    engine_tx: Sender<EngineMsg>,
+    shards: usize,
+    alive: Weak<()>,
+) {
+    let durable_acks = durability.acks_after_durability() && server.is_persistent();
+    let mut workers = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let (job_tx, job_rx) = channel::<ShardJob>();
+        let engine = engine_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("warp-shard-{i}"))
+            .spawn(move || shard_worker(job_rx, engine))
+            .expect("spawning a shard worker thread");
+        workers.push(job_tx);
+    }
+    drop(engine_tx);
+    let mut engine = ShardedEngine {
+        server,
+        durable_acks,
+        shards,
+        workers,
+        rr_next: 0,
+        epoch: None,
+        schema: None,
+        plans: BTreeMap::new(),
+        next_seq: 0,
+        next_record: 0,
+        in_flight: 0,
+        pending: BTreeMap::new(),
+        backlog: VecDeque::new(),
+    };
+    let close_reply = loop {
+        let msg = match engine.backlog.pop_front() {
+            Some(msg) => msg,
+            // The workers' engine senders mask channel disconnect, so idle
+            // ticks watch the liveness token to notice that every public
+            // handle is gone.
+            None => match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    if alive.strong_count() == 0 && engine.in_flight == 0 {
+                        engine.barrier(&rx);
+                        break None;
+                    }
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    engine.barrier(&rx);
+                    break None;
+                }
+            },
+        };
+        match msg {
+            EngineMsg::Serve { request, reply } => engine.serve(request, reply, &rx),
+            EngineMsg::ShardDone {
+                seq,
+                time,
+                request,
+                entry,
+                result,
+                reply,
+            } => {
+                engine.record_ready(
+                    seq,
+                    DoneAction {
+                        time,
+                        request,
+                        entry,
+                        result: *result,
+                        reply,
+                    },
+                );
+                // Checkpoints are barriers (they need the database home);
+                // take one between epochs when the log asks for it.
+                if engine.in_flight == 0
+                    && engine
+                        .server
+                        .store
+                        .as_ref()
+                        .is_some_and(|sink| sink.checkpoint_due())
+                {
+                    engine.barrier(&rx);
+                }
+            }
+            EngineMsg::With(f) => {
+                engine.barrier(&rx);
+                f(&mut engine.server);
+            }
+            EngineMsg::Repair {
+                request,
+                strategy,
+                state,
+                outcome,
+            } => {
+                engine.barrier(&rx);
+                run_repair_msg(
+                    &mut engine.server,
+                    durable_acks,
+                    strategy.unwrap_or(default_strategy),
+                    request,
+                    &state,
+                    outcome,
+                );
             }
             EngineMsg::ResumeRepair {
                 state,
                 outcome,
                 accepted,
             } => {
-                if server.pending_repair().is_none() {
-                    let _ = accepted.send(false);
-                    continue;
-                }
-                let _ = accepted.send(true);
-                state.store(STATUS_RUNNING, Ordering::Release);
-                let result = server
-                    .resume_pending_repair(default_strategy)
-                    .expect("pending repair checked above");
-                if durable_acks {
-                    server.flush_durable();
-                }
-                state.store(STATUS_COMPLETED, Ordering::Release);
-                let _ = outcome.send(result);
+                engine.barrier(&rx);
+                run_resume_msg(
+                    &mut engine.server,
+                    durable_acks,
+                    default_strategy,
+                    &state,
+                    outcome,
+                    accepted,
+                );
             }
             EngineMsg::Close { reply } => {
-                server.disable_group_commit();
-                let _ = reply.send(Box::new(server));
-                return;
+                engine.barrier(&rx);
+                break Some(reply);
             }
         }
+    };
+    let ShardedEngine {
+        mut server,
+        workers,
+        ..
+    } = engine;
+    // Dropping the job senders stops the workers.
+    drop(workers);
+    if let Some(reply) = close_reply {
+        server.disable_group_commit();
+        let _ = reply.send(Box::new(server));
     }
-    // Every handle dropped: dropping the server flushes and stops the
-    // group-commit writer, so nothing submitted is lost.
+    // Otherwise dropping the server flushes and stops the group-commit
+    // writer, so nothing submitted is lost.
 }
 
 /// Uniform access to a serving Warp deployment, implemented by both the

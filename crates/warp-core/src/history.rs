@@ -187,6 +187,11 @@ pub struct HistoryGraph {
     by_visit: BTreeMap<(String, u64), Vec<ActionId>>,
     /// Index: table → partition usage (readers/writers per partition).
     by_partition: BTreeMap<String, TablePartitionIndex>,
+    /// Incremental union-find forest over action IDs: two actions share a
+    /// root iff they are dependency-linked (same page visit, or reader/writer
+    /// of a common written partition, transitively). Maintained as actions
+    /// arrive, so partition planning no longer rescans the whole history.
+    partition_parent: Vec<ActionId>,
     /// Per-client uploaded browser logs, keyed by client then visit.
     client_logs: BTreeMap<String, BTreeMap<u64, PageVisitRecord>>,
     /// Per-client storage quota in bytes for uploaded logs (paper §5.2).
@@ -216,6 +221,12 @@ impl HistoryGraph {
     pub fn record_action(&mut self, mut action: ActionRecord) -> ActionId {
         let id = self.actions.len() as ActionId;
         action.id = id;
+        // Link the new action into the incremental dependency forest first:
+        // the links are derived from the indices *before* this action is
+        // added to them.
+        debug_assert_eq!(self.partition_parent.len() as ActionId, id);
+        self.partition_parent.push(id);
+        self.link_action(id, &action);
         for f in &action.loaded_files {
             self.by_file.entry(f.clone()).or_default().push(id);
         }
@@ -228,6 +239,136 @@ impl HistoryGraph {
         self.index_partitions(id, &action);
         self.actions.push(action);
         id
+    }
+
+    /// Unions the arriving action with every earlier action the batch
+    /// partition rules would link it to, using only the indices (no history
+    /// rescan):
+    ///
+    /// * the previous action of the same page visit (visits form a chain);
+    /// * any whole-table writer of a table it touches;
+    /// * when it *is* a whole-table write: every earlier toucher of the table;
+    /// * a writer of any partition key it reads or writes;
+    /// * when it is the *first* writer of a key: that key's earlier readers
+    ///   and the table's whole-table readers;
+    /// * when it reads a whole table: one writer of each written key.
+    ///
+    /// Each rule unions with one representative where earlier arrivals
+    /// already connected the rest, so for cancellation-free histories the
+    /// resulting components are exactly the batch plan's. Cancelled actions
+    /// stay in the forest (their links are kept conservatively), which can
+    /// only coarsen groups, never split ones the batch plan would join.
+    fn link_action(&mut self, id: ActionId, action: &ActionRecord) {
+        if let Some(client) = &action.client {
+            let key = (client.client_id.clone(), client.visit_id);
+            if let Some(prev) = self.by_visit.get(&key).and_then(|ids| ids.last()) {
+                pl_union(&mut self.partition_parent, id, *prev);
+            }
+        }
+        for q in &action.queries {
+            let (read, write) = normalized_dependency_partitions(&q.dependency);
+            if let Some(read) = read {
+                self.link_partition_set(id, read, false);
+            }
+            if let Some(write) = write {
+                self.link_partition_set(id, &write, true);
+            }
+        }
+    }
+
+    /// Links one normalized partition set of the arriving action (see
+    /// [`HistoryGraph::link_action`] for the rules).
+    fn link_partition_set(&mut self, id: ActionId, set: &PartitionSet, as_writer: bool) {
+        let parent = &mut self.partition_parent;
+        match set {
+            PartitionSet::Whole { table } => {
+                let Some(index) = self.by_partition.get(table) else {
+                    return;
+                };
+                if as_writer {
+                    // A whole-table write conflicts with everything recorded
+                    // on the table so far.
+                    for other in index
+                        .whole_writers
+                        .iter()
+                        .chain(index.whole_readers.iter())
+                        .chain(
+                            index
+                                .keys
+                                .values()
+                                .flat_map(|h| h.writers.iter().chain(h.readers.iter())),
+                        )
+                    {
+                        pl_union(parent, id, *other);
+                    }
+                } else {
+                    // A whole-table read joins every written partition (and
+                    // any whole-table writer).
+                    if let Some(w) = index.whole_writers.last() {
+                        pl_union(parent, id, *w);
+                    }
+                    for hub in index.keys.values() {
+                        if let Some(w) = hub.writers.last() {
+                            pl_union(parent, id, *w);
+                        }
+                    }
+                }
+            }
+            PartitionSet::Keys(keys) => {
+                for key in keys {
+                    let Some(index) = self.by_partition.get(&key.table) else {
+                        continue;
+                    };
+                    // An earlier whole-table write conflicts with any touch.
+                    if let Some(w) = index.whole_writers.last() {
+                        pl_union(parent, id, *w);
+                    }
+                    let hub = index.keys.get(&(key.column.clone(), key.value.clone()));
+                    let last_writer = hub.and_then(|h| h.writers.last()).copied();
+                    match (as_writer, last_writer) {
+                        // The key already has a writer: it is connected to
+                        // every reader/writer of the key, so one union does.
+                        (_, Some(w)) => pl_union(parent, id, w),
+                        // First writer of this key: adopt the key's earlier
+                        // readers and the table's whole-table readers.
+                        (true, None) => {
+                            if let Some(h) = hub {
+                                for r in &h.readers {
+                                    pl_union(parent, id, *r);
+                                }
+                            }
+                            for r in &index.whole_readers {
+                                pl_union(parent, id, *r);
+                            }
+                        }
+                        // A read of a never-written key links nothing —
+                        // read-sharing is harmless.
+                        (false, None) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// The dependency components of the live (non-cancelled) actions,
+    /// computed from the incrementally-maintained forest. Each component is
+    /// in ascending action-ID order; components are ordered by their
+    /// smallest member.
+    pub fn partition_components(&self) -> Vec<Vec<ActionId>> {
+        let mut parent = self.partition_parent.clone();
+        let mut members: BTreeMap<ActionId, Vec<ActionId>> = BTreeMap::new();
+        for action in &self.actions {
+            if action.cancelled {
+                continue;
+            }
+            let root = pl_find(&mut parent, action.id);
+            members.entry(root).or_default().push(action.id);
+        }
+        let mut components: Vec<Vec<ActionId>> = members.into_values().collect();
+        // A component's root can be a cancelled action; order by the
+        // smallest *live* member (the first, since IDs were pushed in order).
+        components.sort_by_key(|c| c[0]);
+        components
     }
 
     /// Indexes one action's queries into the partition index.
@@ -442,6 +583,32 @@ impl HistoryGraph {
     }
 }
 
+/// Finds the root of `i` in the partition forest, with path compression.
+fn pl_find(parent: &mut [ActionId], i: ActionId) -> ActionId {
+    let mut root = i;
+    while parent[root as usize] != root {
+        root = parent[root as usize];
+    }
+    let mut cur = i;
+    while parent[cur as usize] != root {
+        let next = parent[cur as usize];
+        parent[cur as usize] = root;
+        cur = next;
+    }
+    root
+}
+
+/// Unions two sets in the partition forest; the smaller ID becomes the
+/// representative, which keeps component numbering deterministic.
+fn pl_union(parent: &mut [ActionId], a: ActionId, b: ActionId) {
+    let (ra, rb) = (pl_find(parent, a), pl_find(parent, b));
+    if ra == rb {
+        return;
+    }
+    let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+    parent[hi as usize] = lo;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +705,106 @@ mod tests {
         assert!(stats.app_bytes > 0);
         assert!(stats.db_bytes > 0);
         assert!(stats.browser_bytes > 0);
+    }
+
+    fn action_with_dep(time: i64, dep: QueryDependency) -> ActionRecord {
+        let mut a = action(time, &["x.wasl"], None);
+        a.queries = vec![QueryRecord {
+            sql: "...".into(),
+            time,
+            result_fingerprint: 0,
+            is_write: dep.is_write,
+            written_row_ids: dep.written_row_ids.clone(),
+            dependency: dep,
+        }];
+        a
+    }
+
+    fn keys(table: &str, col: &str, v: &str) -> PartitionSet {
+        PartitionSet::Keys(
+            [warp_ttdb::PartitionKey::new(
+                table,
+                col,
+                &warp_sql::Value::text(v),
+            )]
+            .into_iter()
+            .collect(),
+        )
+    }
+
+    #[test]
+    fn incremental_components_link_writers_readers_and_scans() {
+        let mut g = HistoryGraph::new();
+        // 0: write t0 · 1: read t0 · 2: read t1 · 3: write t2
+        g.record_action(action_with_dep(
+            1,
+            QueryDependency::write(
+                "note",
+                keys("note", "topic", "t0"),
+                keys("note", "topic", "t0"),
+                vec![warp_sql::Value::Int(1)],
+            ),
+        ));
+        g.record_action(action_with_dep(
+            2,
+            QueryDependency::read("note", keys("note", "topic", "t0")),
+        ));
+        g.record_action(action_with_dep(
+            3,
+            QueryDependency::read("note", keys("note", "topic", "t1")),
+        ));
+        g.record_action(action_with_dep(
+            4,
+            QueryDependency::write(
+                "note",
+                keys("note", "topic", "t2"),
+                keys("note", "topic", "t2"),
+                vec![warp_sql::Value::Int(2)],
+            ),
+        ));
+        assert_eq!(g.partition_components(), vec![vec![0, 1], vec![2], vec![3]]);
+        // 4: a whole-table read joins every written partition.
+        g.record_action(action_with_dep(
+            5,
+            QueryDependency::read("note", PartitionSet::whole("note")),
+        ));
+        assert_eq!(g.partition_components(), vec![vec![0, 1, 3, 4], vec![2]]);
+    }
+
+    #[test]
+    fn cancelled_actions_leave_components_but_keep_links() {
+        let mut g = HistoryGraph::new();
+        let w = g.record_action(action_with_dep(
+            1,
+            QueryDependency::write(
+                "note",
+                keys("note", "topic", "t0"),
+                keys("note", "topic", "t0"),
+                vec![warp_sql::Value::Int(1)],
+            ),
+        ));
+        g.record_action(action_with_dep(
+            2,
+            QueryDependency::read("note", keys("note", "topic", "t0")),
+        ));
+        g.record_action(action_with_dep(
+            3,
+            QueryDependency::read("note", keys("note", "topic", "t0")),
+        ));
+        g.action_mut(w).unwrap().cancelled = true;
+        // The cancelled writer is dropped from the emitted components, but
+        // the readers it connected stay together (conservative coarsening).
+        assert_eq!(g.partition_components(), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn union_by_smallest_id_keeps_roots_deterministic() {
+        let mut parent: Vec<ActionId> = (0..5).collect();
+        pl_union(&mut parent, 4, 2);
+        pl_union(&mut parent, 2, 3);
+        assert_eq!(pl_find(&mut parent, 4), 2);
+        assert_eq!(pl_find(&mut parent, 3), 2);
+        assert_eq!(pl_find(&mut parent, 0), 0);
     }
 
     #[test]

@@ -24,8 +24,13 @@
 //! The public entry point is the [`Warp`] handle: configure a deployment
 //! with [`Warp::builder`] (application, storage backend, [`Durability`]
 //! tier, repair workers), then serve requests through the cloneable handle
-//! from as many threads as you like — they funnel into one engine thread,
-//! so the recorded history stays a single serializable timeline.
+//! from as many threads as you like — they funnel into one engine, so the
+//! recorded history stays a single serializable timeline. With
+//! [`WarpBuilder::engine_shards`] the engine additionally fans request
+//! *execution* out to shard workers by statically-predicted partition
+//! footprint; actions are still sequenced, recorded and logged at a single
+//! point, so everything downstream (durability, recovery, repair) is
+//! unchanged.
 //!
 //! ```
 //! use warp_core::{AppConfig, Warp};
@@ -61,6 +66,7 @@ pub mod persist;
 pub mod repair;
 pub mod scheduler;
 pub mod server;
+pub(crate) mod shard;
 pub mod sourcefs;
 pub mod stats;
 

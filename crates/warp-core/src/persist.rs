@@ -9,16 +9,16 @@
 //!
 //! Every state transition of a persistent server appends one record:
 //!
-//! * [`LogEvent::Action`] — one handled HTTP request: the full
+//! * `LogEvent::Action` — one handled HTTP request: the full
 //!   [`ActionRecord`] (request, response, dependencies, non-determinism)
 //!   plus the generation it executed in and the clock / RNG / session /
 //!   synthetic-row-ID counters after it. Replaying the record re-executes
 //!   the action's *write* queries at their original times, which rebuilds
 //!   the time-travel database's row versions exactly (normal-execution
 //!   writes are deterministic given SQL text, time and generation).
-//! * [`LogEvent::ClientLog`] — an uploaded browser page-visit log.
-//! * [`LogEvent::RepairBegin`] / [`LogEvent::RepairCommit`] /
-//!   [`LogEvent::RepairAbort`] — repair is *not* replayed on recovery
+//! * `LogEvent::ClientLog` — an uploaded browser page-visit log.
+//! * `LogEvent::RepairBegin` / `LogEvent::RepairCommit` /
+//!   `LogEvent::RepairAbort` — repair is *not* replayed on recovery
 //!   (re-running it would need patched sources and browser replay mid
 //!   recovery); instead the commit record carries the repair's physical
 //!   effect: per-table row-version deltas (produced by the time-travel
@@ -28,10 +28,10 @@
 //!   `RepairBegin` with no matching commit or abort marks an interrupted
 //!   repair; recovery surfaces it as [`WarpServer::pending_repair`] so the
 //!   administrator can re-run it.
-//! * [`LogEvent::Gc`] — a garbage-collection cut-off, replayed as-is (GC
+//! * `LogEvent::Gc` — a garbage-collection cut-off, replayed as-is (GC
 //!   renumbers action IDs, so it must happen at the same point of the
 //!   replayed history).
-//! * [`LogEvent::CreateTable`] — a table installed after initial deployment.
+//! * `LogEvent::CreateTable` — a table installed after initial deployment.
 //!
 //! # Recovery
 //!

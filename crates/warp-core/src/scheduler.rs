@@ -6,17 +6,17 @@
 //! re-execution order is irrelevant and they can be repaired concurrently.
 //! This module makes that argument operational:
 //!
-//! 1. [`plan_partitions`] builds an explicit partition graph over the action
+//! 1. `plan_partitions` builds an explicit partition graph over the action
 //!    history using the partition index ([`HistoryGraph::partition_index`])
 //!    and groups actions into independent dependency components (union-find
 //!    over partition hubs, whole-table hubs and page-visit links).
-//! 2. [`execute_actions`] is the repair loop itself — rollback, selective
+//! 2. `execute_actions` is the repair loop itself — rollback, selective
 //!    query re-execution, full application re-execution and browser replay —
 //!    extracted from the classic controller so the same code drives both the
 //!    sequential engine (one pass over the whole history, in place) and each
 //!    per-partition worker (a pass over one group, against a cloned
 //!    database).
-//! 3. [`run_partitioned`] re-executes the seeded groups concurrently on a
+//! 3. `run_partitioned` re-executes the seeded groups concurrently on a
 //!    scoped `std::thread` worker pool, detects cross-partition conflicts
 //!    (re-execution that touched partitions outside its own group), escalates
 //!    by merging the conflicting groups and re-running them, and finally
@@ -436,7 +436,7 @@ fn reexecute_action(
         entry_script: entry,
         sources: env.sources,
         action_time: action.time,
-        db,
+        db: crate::apphost::DbAccess::Exclusive(db),
         mode: ExecMode::Repair {
             session,
             original: Some(action),
@@ -472,7 +472,7 @@ fn run_fresh_in_repair(
         entry_script: entry,
         sources: env.sources,
         action_time: time,
-        db,
+        db: crate::apphost::DbAccess::Exclusive(db),
         mode: ExecMode::Repair {
             session,
             original: None,
@@ -540,7 +540,8 @@ fn replay_client_visit(
 // Partition planning
 // ---------------------------------------------------------------------------
 
-/// Deterministic union-find over dense indices.
+/// Deterministic union-find over dense indices (used to cluster partition
+/// groups into worker-sized rounds).
 struct UnionFind {
     parent: Vec<usize>,
 }
@@ -597,81 +598,22 @@ pub(crate) struct PartitionPlan {
 /// * a whole-table *write* links everything touching the table; a
 ///   whole-table *read* links with every written partition of the table;
 /// * partitions nobody writes link nothing — read-sharing is harmless.
+///
+/// The link structure itself is maintained *incrementally* by the history
+/// graph as actions are recorded ([`HistoryGraph::partition_components`]),
+/// so planning a repair no longer rescans every recorded query — it only
+/// reads off the components and concatenates their footprints.
 pub(crate) fn plan_partitions(history: &HistoryGraph) -> PartitionPlan {
-    let live: Vec<&ActionRecord> = history.actions().iter().filter(|a| !a.cancelled).collect();
-    let slot_of: BTreeMap<ActionId, usize> =
-        live.iter().enumerate().map(|(i, a)| (a.id, i)).collect();
-    let mut uf = UnionFind::new(live.len());
-    let link_all = |uf: &mut UnionFind, ids: &mut dyn Iterator<Item = ActionId>| {
-        let mut first: Option<usize> = None;
-        for id in ids {
-            let Some(&slot) = slot_of.get(&id) else {
-                continue;
-            };
-            match first {
-                Some(f) => uf.union(f, slot),
-                None => first = Some(slot),
-            }
-        }
-    };
-
-    for visit in history.visit_action_groups() {
-        link_all(&mut uf, &mut visit.iter().copied());
-    }
-    for index in history.partition_index().values() {
-        let live_whole_writer = index
-            .whole_writers
-            .iter()
-            .any(|id| slot_of.contains_key(id));
-        if live_whole_writer {
-            // A whole-table write conflicts with everything on the table.
-            link_all(
-                &mut uf,
-                &mut index
-                    .whole_writers
-                    .iter()
-                    .chain(index.whole_readers.iter())
-                    .chain(
-                        index
-                            .keys
-                            .values()
-                            .flat_map(|h| h.readers.iter().chain(h.writers.iter())),
-                    )
-                    .copied(),
-            );
-            continue;
-        }
-        for hub in index.keys.values() {
-            let live_writer = hub.writers.iter().any(|id| slot_of.contains_key(id));
-            if live_writer {
-                // Whole-table readers see every written partition, so they
-                // join (and transitively connect) each written partition.
-                link_all(
-                    &mut uf,
-                    &mut hub
-                        .writers
-                        .iter()
-                        .chain(hub.readers.iter())
-                        .chain(index.whole_readers.iter())
-                        .copied(),
-                );
-            }
-        }
-    }
-
-    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for slot in 0..live.len() {
-        let root = uf.find(slot);
-        members.entry(root).or_default().push(slot);
-    }
-    let mut groups = Vec::with_capacity(members.len());
-    let mut footprints = Vec::with_capacity(members.len());
-    for slots in members.values() {
-        let mut ids: Vec<ActionId> = slots.iter().map(|&s| live[s].id).collect();
+    let components = history.partition_components();
+    let mut groups = Vec::with_capacity(components.len());
+    let mut footprints = Vec::with_capacity(components.len());
+    for mut ids in components {
         ids.sort_by_key(|&id| (history.action(id).map(|a| a.time).unwrap_or(0), id));
         let mut footprint = Vec::new();
-        for &slot in slots {
-            footprint.extend(live[slot].partition_footprint());
+        for &id in &ids {
+            if let Some(action) = history.action(id) {
+                footprint.extend(action.partition_footprint());
+            }
         }
         groups.push(ids);
         footprints.push(footprint);
@@ -1701,15 +1643,5 @@ mod tests {
         // Other tables stay out of scope; empty sets are always contained.
         assert!(!scope_contains(&scope, &PartitionSet::whole("audit")));
         assert!(scope_contains(&scope, &PartitionSet::empty()));
-    }
-
-    #[test]
-    fn union_find_picks_smallest_representative() {
-        let mut uf = UnionFind::new(5);
-        uf.union(4, 2);
-        uf.union(2, 3);
-        assert_eq!(uf.find(4), 2);
-        assert_eq!(uf.find(3), 2);
-        assert_eq!(uf.find(0), 0);
     }
 }

@@ -22,14 +22,17 @@ use warp_ttdb::{StorageStats, TableAnnotation, TimeTravelDb};
 
 /// The Warp-enabled application server (Figure 1's server side).
 ///
-/// This is the single-threaded serving *engine*. Applications should build
-/// a [`crate::Warp`] handle with [`crate::Warp::builder`] and serve through
+/// This is the serving *engine state*: the database, clock, history graph
+/// and durable log behind one application. Applications should build a
+/// [`crate::Warp`] handle with [`crate::Warp::builder()`] and serve through
 /// it — the handle is cloneable and callable from many threads, and it owns
-/// an engine thread running this struct. Constructing a `WarpServer`
-/// directly ([`WarpServer::new`] / [`WarpServer::open`]) is the deprecated
-/// synchronous path, kept for one release as a migration shim; it behaves
-/// exactly like a `Warp` built with [`crate::Durability::Immediate`], minus
-/// the concurrency.
+/// an engine thread (plus, with
+/// [`crate::WarpBuilder::engine_shards`], a pool of shard workers) running
+/// against this struct. Constructing a `WarpServer` directly
+/// ([`WarpServer::new`] / [`WarpServer::open`]) is deprecated: it is the
+/// synchronous single-caller path, equivalent to a `Warp` built with
+/// [`crate::Durability::Immediate`] and one shard, minus the concurrency —
+/// use [`crate::Warp::builder()`] instead.
 #[derive(Debug)]
 pub struct WarpServer {
     /// Application name.
@@ -88,7 +91,7 @@ impl WarpServer {
             sources.install(name.clone(), content.clone());
         }
         let mut db = TimeTravelDb::new();
-        let mut clock = LogicalClock::new();
+        let clock = LogicalClock::new();
         for (create_sql, annotation) in &config.tables {
             db.create_table(create_sql, annotation.clone())
                 .unwrap_or_else(|e| panic!("installing table failed: {e}"));
@@ -171,9 +174,9 @@ impl WarpServer {
             entry_script: entry.clone(),
             sources: &self.sources,
             action_time: time,
-            db: &mut self.db,
+            db: crate::apphost::DbAccess::Exclusive(&mut self.db),
             mode: ExecMode::Normal {
-                clock: &mut self.clock,
+                clock: &self.clock,
                 rng_counter: &mut self.rng_counter,
                 session_counter: &mut self.session_counter,
             },
@@ -193,6 +196,24 @@ impl WarpServer {
         response: &HttpResponse,
         entry: &str,
         result: AppRunResult,
+    ) -> ActionId {
+        self.record_served(time, request, response, entry, result, None)
+    }
+
+    /// Records one served action in the history graph (and the durable log,
+    /// if any). The sharded engine calls this directly with `shard_meta =
+    /// Some((gen, watermark))` captured at epoch start, because during a
+    /// shard epoch `self.db` is checked out to the worker pool; it also
+    /// defers checkpointing to the next epoch barrier, where the database is
+    /// back in place.
+    pub(crate) fn record_served(
+        &mut self,
+        time: i64,
+        request: &HttpRequest,
+        response: &HttpResponse,
+        entry: &str,
+        result: AppRunResult,
+        shard_meta: Option<(warp_ttdb::Generation, i64)>,
     ) -> ActionId {
         let client = match (
             &request.warp.client_id,
@@ -224,15 +245,24 @@ impl WarpServer {
                 .action(id)
                 .expect("action just recorded")
                 .clone();
+            let (gen, watermark) = match shard_meta {
+                Some(meta) => meta,
+                None => (
+                    self.db.current_generation(),
+                    self.db.synthetic_id_watermark(),
+                ),
+            };
             self.log_event(&crate::persist::LogEvent::Action {
-                gen: self.db.current_generation(),
+                gen,
                 clock_after: self.clock.now(),
                 rng_after: self.rng_counter,
                 session_after: self.session_counter,
-                watermark_after: self.db.synthetic_id_watermark(),
+                watermark_after: watermark,
                 action: Box::new(action),
             });
-            self.maybe_checkpoint();
+            if shard_meta.is_none() {
+                self.maybe_checkpoint();
+            }
         }
         id
     }

@@ -24,6 +24,28 @@ impl PartitionKey {
             value: value.as_display_string(),
         }
     }
+
+    /// The engine shard that owns this partition, out of `shards`.
+    ///
+    /// Ownership is a pure function of `(table, column, value)` — a stable
+    /// FNV-1a hash, so every component of the system (request router, shard
+    /// workers, benchmarks) agrees on the owner without coordination, and
+    /// assignments survive restarts. `shards = 0` is treated as 1.
+    pub fn shard(&self, shards: usize) -> usize {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for part in [&self.table, &self.column, &self.value] {
+            for b in part.as_bytes() {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+            // Separator byte so ("ab","c") and ("a","bc") hash differently.
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        (hash % shards.max(1) as u64) as usize
+    }
 }
 
 /// The set of partitions of one table that a query touches.
@@ -232,5 +254,22 @@ mod tests {
     fn partition_keys_are_case_insensitive_on_names() {
         assert_eq!(key("Page", "Title", "Main"), key("page", "title", "Main"));
         assert_ne!(key("page", "title", "main"), key("page", "title", "Main"));
+    }
+
+    #[test]
+    fn shard_ownership_is_stable_and_in_range() {
+        let k = key("page", "title", "Main");
+        for shards in [1usize, 2, 4, 8] {
+            let s = k.shard(shards);
+            assert!(s < shards);
+            assert_eq!(s, k.shard(shards), "ownership must be deterministic");
+        }
+        assert_eq!(k.shard(1), 0);
+        assert_eq!(k.shard(0), 0, "zero shards degrades to one");
+        // Distinct values spread across shards (not all on shard 0).
+        let spread: std::collections::BTreeSet<usize> = (0..32)
+            .map(|i| key("page", "title", &format!("t{i}")).shard(8))
+            .collect();
+        assert!(spread.len() > 1, "hash should not collapse to one shard");
     }
 }

@@ -20,7 +20,9 @@
 //!   added transparently) used for fine-grained rollback, and a set of
 //!   partitioning columns used to compute which slices of a table a query
 //!   read or wrote. Partition-level dependencies are what keep re-execution
-//!   localised during repair.
+//!   localised during repair, and each partition has a stable engine-shard
+//!   owner ([`PartitionKey::shard`]) that the serving engine's request
+//!   router uses to run non-conflicting requests concurrently.
 //!
 //! The main entry point is [`TimeTravelDb`]. During normal execution the
 //! Warp server calls [`TimeTravelDb::execute_logged`], which rewrites the
