@@ -16,7 +16,10 @@
 //! loudly when the measuring host has fewer than 4 CPUs), and with
 //! `--frontier BENCH_frontier.json` on column-aware frontier pruning
 //! falling under the required factor (or its final state diverging from
-//! the partition-grained engine's).
+//! the partition-grained engine's), and with `--storage BENCH_storage.json`
+//! on serving p99 under concurrent checkpoint maintenance inflating past
+//! its quiescent ratio, or the incremental checkpoint losing its required
+//! advantage over the whole-state encode at the largest database size.
 //!
 //! Exit code 2 means a report was missing or incomplete — the gate never
 //! passes silently on missing data.
@@ -24,10 +27,11 @@
 use std::path::PathBuf;
 use warp_bench::report::{
     evaluate_commit_gate, evaluate_frontier_gate, evaluate_gate, evaluate_recovery_gate,
-    evaluate_serve_gate, evaluate_shard_gate, load_commit_records, load_frontier_records,
-    load_records, load_recovery_records, load_serve_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO,
-    FRONTIER_MIN_RATIO, GATE_WORKLOAD, RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO,
-    SHARD_GATE_SHARDS, SHARD_MIN_HOST_CPUS, SHARD_MIN_SPEEDUP,
+    evaluate_serve_gate, evaluate_shard_gate, evaluate_storage_gate, load_commit_records,
+    load_frontier_records, load_records, load_recovery_records, load_serve_records,
+    load_storage_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO, FRONTIER_MIN_RATIO, GATE_WORKLOAD,
+    RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO, SHARD_GATE_SHARDS,
+    SHARD_MIN_HOST_CPUS, SHARD_MIN_SPEEDUP, STORAGE_MAX_P99_RATIO, STORAGE_MIN_CKPT_ADVANTAGE,
 };
 
 /// Default allowed group-commit throughput regression vs the relaxed tier,
@@ -38,7 +42,8 @@ fn usage() {
     println!(
         "usage: bench_gate BENCH_repair.json [MAX_SLOWDOWN_PERCENT] \
          [--recovery BENCH_recovery.json] [--commit BENCH_commit.json] \
-         [--serve BENCH_serve.json] [--frontier BENCH_frontier.json]"
+         [--serve BENCH_serve.json] [--frontier BENCH_frontier.json] \
+         [--storage BENCH_storage.json]"
     );
     println!();
     println!("Fails (exit 1) if parallel repair is slower than sequential by more than");
@@ -63,6 +68,9 @@ fn usage() {
     println!("--frontier PATH  also fail if column-aware repair re-executes less than");
     println!("                 {FRONTIER_MIN_RATIO}x fewer actions than the partition-grained");
     println!("                 engine, or their final database states diverge");
+    println!("--storage PATH   also fail if serving p99 under concurrent maintenance exceeds");
+    println!("                 {STORAGE_MAX_P99_RATIO}x quiescent, or the incremental checkpoint is less than");
+    println!("                 {STORAGE_MIN_CKPT_ADVANTAGE}x cheaper than whole-state at the largest database size");
     println!("Exit 2: a report is missing or holds no comparable records.");
 }
 
@@ -74,6 +82,7 @@ struct Args {
     serve: Option<PathBuf>,
     serve_max_regression: f64,
     frontier: Option<PathBuf>,
+    storage: Option<PathBuf>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -84,6 +93,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut serve = None;
     let mut serve_max_regression = SERVE_MAX_REGRESSION_PERCENT;
     let mut frontier = None;
+    let mut storage = None;
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
@@ -106,6 +116,13 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .get(i + 1)
                     .ok_or_else(|| "--frontier requires a path".to_string())?;
                 frontier = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--storage" => {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| "--storage requires a path".to_string())?;
+                storage = Some(PathBuf::from(value));
                 i += 2;
             }
             "--serve" => {
@@ -141,6 +158,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         serve,
         serve_max_regression,
         frontier,
+        storage,
     })
 }
 
@@ -370,6 +388,51 @@ fn main() {
                     println!(
                         "bench_gate: FAIL — column-aware frontier pruning regressed or \
                          diverged from the partition-grained engine"
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Gate 6 (optional): serving under concurrent checkpoint maintenance,
+    // and incremental-vs-whole-state checkpoint scaling.
+    if let Some(path) = &args.storage {
+        let records = match load_storage_records(path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        match evaluate_storage_gate(&records) {
+            Ok(verdict) => {
+                println!(
+                    "bench_gate: storage: p99 quiescent {:.1} us, maintained {:.1} us \
+                     (ratio {:.2}, limit {STORAGE_MAX_P99_RATIO}x); checkpoint at {} rows: \
+                     whole-state {:.3} ms, incremental {:.3} ms (advantage {:.1}x, \
+                     floor {STORAGE_MIN_CKPT_ADVANTAGE}x)",
+                    verdict.quiescent_p99_us,
+                    verdict.maintained_p99_us,
+                    verdict.p99_ratio,
+                    verdict.large_rows,
+                    verdict.whole_state_ms,
+                    verdict.incremental_ms,
+                    verdict.ckpt_advantage,
+                );
+                if verdict.pass {
+                    println!(
+                        "bench_gate: PASS — maintenance stays off the serve path and \
+                         incremental checkpoints stay O(rows changed)"
+                    );
+                } else {
+                    println!(
+                        "bench_gate: FAIL — concurrent maintenance inflated serve p99 or \
+                         incremental checkpoints lost their advantage over whole-state"
                     );
                     failed = true;
                 }

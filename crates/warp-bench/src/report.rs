@@ -866,6 +866,208 @@ pub fn evaluate_frontier_gate(
     Ok(verdict)
 }
 
+/// One storage measurement (`BENCH_storage.json`), produced by
+/// `table12_storage`. Two kinds share the record shape:
+///
+/// * `kind == "serve"` — sustained group-commit serving throughput and
+///   latency, with (`maintenance == true`) and without a concurrent
+///   background maintenance worker folding the checkpoint chain and
+///   retiring segments under the workload.
+/// * `kind == "checkpoint"` — wall-clock cost of one checkpoint as the
+///   database grows: `mode == "incremental"` writes a delta (O(rows
+///   changed since the last checkpoint)), `mode == "whole_state"` encodes
+///   a full base image (O(database)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageBenchRecord {
+    /// Which binary produced the record (`table12_storage`).
+    pub workload: String,
+    /// Measurement kind: `serve` or `checkpoint`.
+    pub kind: String,
+    /// Serve records: was the background maintenance worker running?
+    pub maintenance: bool,
+    /// Serve records: concurrent client threads.
+    pub threads: usize,
+    /// Serve records: requests served.
+    pub requests: usize,
+    /// Serve records: aggregate throughput (requests per second).
+    pub throughput_rps: f64,
+    /// Serve records: median per-request latency, microseconds.
+    pub p50_us: f64,
+    /// Serve records: 99th-percentile per-request latency, microseconds.
+    pub p99_us: f64,
+    /// Serve records: chain folds the maintenance worker completed during
+    /// the run (0 when quiescent).
+    pub folds: u64,
+    /// Checkpoint records: `incremental` or `whole_state` (empty for serve).
+    pub mode: String,
+    /// Checkpoint records: stored row versions when the checkpoint ran.
+    pub db_rows: usize,
+    /// Checkpoint records: wall-clock checkpoint time (ms).
+    pub checkpoint_ms: f64,
+    /// Bytes held by the durable store after the measurement.
+    pub store_bytes: u64,
+}
+
+impl StorageBenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("maintenance".into(), Json::Bool(self.maintenance)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("throughput_rps".into(), Json::Num(self.throughput_rps)),
+            ("p50_us".into(), Json::Num(self.p50_us)),
+            ("p99_us".into(), Json::Num(self.p99_us)),
+            ("folds".into(), Json::Num(self.folds as f64)),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("db_rows".into(), Json::Num(self.db_rows as f64)),
+            ("checkpoint_ms".into(), Json::Num(self.checkpoint_ms)),
+            ("store_bytes".into(), Json::Num(self.store_bytes as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<StorageBenchRecord> {
+        Some(StorageBenchRecord {
+            workload: value.get("workload")?.as_str()?.to_string(),
+            kind: value.get("kind")?.as_str()?.to_string(),
+            maintenance: matches!(value.get("maintenance"), Some(Json::Bool(true))),
+            threads: value.get("threads")?.as_usize()?,
+            requests: value.get("requests")?.as_usize()?,
+            throughput_rps: value.get("throughput_rps")?.as_f64()?,
+            p50_us: value.get("p50_us")?.as_f64()?,
+            p99_us: value.get("p99_us")?.as_f64()?,
+            folds: value.get("folds")?.as_f64().map(|f| f as u64)?,
+            mode: value.get("mode")?.as_str()?.to_string(),
+            db_rows: value.get("db_rows")?.as_usize()?,
+            checkpoint_ms: value.get("checkpoint_ms")?.as_f64()?,
+            store_bytes: value.get("store_bytes")?.as_f64().map(|b| b as u64)?,
+        })
+    }
+}
+
+/// Reads every storage record from a report file. Missing file → empty.
+pub fn load_storage_records(path: &Path) -> Result<Vec<StorageBenchRecord>, String> {
+    Ok(load_record_array(path)?
+        .iter()
+        .filter_map(StorageBenchRecord::from_json)
+        .collect())
+}
+
+/// Writes storage records to a report file (replacing any previous run of
+/// the same workload, like [`append_records`] does for repair records).
+pub fn append_storage_records(path: &Path, new: &[StorageBenchRecord]) -> Result<(), String> {
+    let existing = load_storage_records(path)?
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    let workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    write_record_array(
+        path,
+        existing,
+        new.iter().map(|r| r.to_json()).collect(),
+        &workloads,
+    )
+}
+
+/// Highest p99 inflation the storage gate tolerates when the background
+/// maintenance worker (chain folds, segment retirement, cold-tier moves)
+/// runs concurrently with serving: maintained p99 must stay within this
+/// factor of quiescent p99.
+pub const STORAGE_MAX_P99_RATIO: f64 = 2.0;
+
+/// Absolute p99 (µs) under which the maintained serve run always passes —
+/// a sub-millisecond p99 is a healthy serve path whatever its ratio to an
+/// even-smaller quiescent number.
+pub const STORAGE_P99_FLOOR_US: f64 = 1000.0;
+
+/// Minimum factor by which an incremental (delta) checkpoint must beat a
+/// whole-state (base) checkpoint at the largest database size in the
+/// report. The delta encodes only rows changed since the last checkpoint,
+/// so on a grown database with a fixed write footprint the advantage is
+/// large; this floor catches the delta path silently degrading to
+/// O(database).
+pub const STORAGE_MIN_CKPT_ADVANTAGE: f64 = 5.0;
+
+/// Whole-state checkpoint time (ms) under which the advantage check is
+/// skipped: when even the full base encode is timer noise, the ratio says
+/// nothing about scaling.
+pub const STORAGE_CKPT_FLOOR_MS: f64 = 2.0;
+
+/// The storage gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageGateVerdict {
+    /// Best (lowest) quiescent serve p99 (µs).
+    pub quiescent_p99_us: f64,
+    /// Best (lowest) serve p99 with concurrent maintenance (µs).
+    pub maintained_p99_us: f64,
+    /// `maintained_p99_us / quiescent_p99_us`.
+    pub p99_ratio: f64,
+    /// Incremental checkpoint time at the largest database size (ms).
+    pub incremental_ms: f64,
+    /// Whole-state checkpoint time at the largest database size (ms).
+    pub whole_state_ms: f64,
+    /// `whole_state_ms / incremental_ms`.
+    pub ckpt_advantage: f64,
+    /// Stored rows at the largest measured size.
+    pub large_rows: usize,
+    /// True if both checks held (or bottomed out in their noise floors).
+    pub pass: bool,
+}
+
+/// Evaluates the storage gate over `BENCH_storage.json`: serving p99 under
+/// concurrent maintenance must stay within [`STORAGE_MAX_P99_RATIO`] of
+/// quiescent p99 (best-of across records, skipped under
+/// [`STORAGE_P99_FLOOR_US`]), and at the largest database size the
+/// incremental checkpoint must be at least [`STORAGE_MIN_CKPT_ADVANTAGE`]
+/// times cheaper than the whole-state checkpoint (skipped when the
+/// whole-state time is under [`STORAGE_CKPT_FLOOR_MS`]). Returns an error
+/// when either measurement pair is missing.
+pub fn evaluate_storage_gate(records: &[StorageBenchRecord]) -> Result<StorageGateVerdict, String> {
+    let best_p99 = |maintenance: bool| -> Option<f64> {
+        records
+            .iter()
+            .filter(|r| r.kind == "serve" && r.maintenance == maintenance)
+            .map(|r| r.p99_us)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    };
+    let (Some(quiescent_p99_us), Some(maintained_p99_us)) = (best_p99(false), best_p99(true))
+    else {
+        return Err(
+            "no quiescent/maintained serve record pair (run table12_storage with --json first)"
+                .to_string(),
+        );
+    };
+    let largest = |mode: &str| -> Option<&StorageBenchRecord> {
+        records
+            .iter()
+            .filter(|r| r.kind == "checkpoint" && r.mode == mode)
+            .max_by_key(|r| r.db_rows)
+    };
+    let (Some(incremental), Some(whole)) = (largest("incremental"), largest("whole_state")) else {
+        return Err(
+            "no incremental/whole_state checkpoint record pair (run table12_storage with \
+             --json first)"
+                .to_string(),
+        );
+    };
+    let p99_ratio = maintained_p99_us / quiescent_p99_us.max(1e-9);
+    let ckpt_advantage = whole.checkpoint_ms / incremental.checkpoint_ms.max(1e-9);
+    let p99_ok = maintained_p99_us <= STORAGE_P99_FLOOR_US || p99_ratio <= STORAGE_MAX_P99_RATIO;
+    let ckpt_ok = whole.checkpoint_ms <= STORAGE_CKPT_FLOOR_MS
+        || ckpt_advantage >= STORAGE_MIN_CKPT_ADVANTAGE;
+    Ok(StorageGateVerdict {
+        quiescent_p99_us,
+        maintained_p99_us,
+        p99_ratio,
+        incremental_ms: incremental.checkpoint_ms,
+        whole_state_ms: whole.checkpoint_ms,
+        ckpt_advantage,
+        large_rows: whole.db_rows,
+        pass: p99_ok && ckpt_ok,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1217,6 +1419,121 @@ mod tests {
         assert_eq!(fnv1a_hex(""), "cbf29ce484222325");
         assert_eq!(fnv1a_hex("warp"), fnv1a_hex("warp"));
         assert_ne!(fnv1a_hex("warp"), fnv1a_hex("wasp"));
+    }
+
+    fn storage_serve_record(maintenance: bool, p99_us: f64) -> StorageBenchRecord {
+        StorageBenchRecord {
+            workload: "table12_storage".into(),
+            kind: "serve".into(),
+            maintenance,
+            threads: 4,
+            requests: 1600,
+            throughput_rps: 8_000.0,
+            p50_us: p99_us / 4.0,
+            p99_us,
+            folds: if maintenance { 3 } else { 0 },
+            mode: String::new(),
+            db_rows: 0,
+            checkpoint_ms: 0.0,
+            store_bytes: 100_000,
+        }
+    }
+
+    fn storage_ckpt_record(mode: &str, db_rows: usize, checkpoint_ms: f64) -> StorageBenchRecord {
+        StorageBenchRecord {
+            workload: "table12_storage".into(),
+            kind: "checkpoint".into(),
+            maintenance: false,
+            threads: 0,
+            requests: 0,
+            throughput_rps: 0.0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            folds: 0,
+            mode: mode.into(),
+            db_rows,
+            checkpoint_ms,
+            store_bytes: db_rows as u64 * 100,
+        }
+    }
+
+    #[test]
+    fn storage_gate_bounds_maintained_p99_and_demands_delta_advantage() {
+        let healthy = vec![
+            storage_serve_record(false, 2_000.0),
+            storage_serve_record(true, 3_000.0),
+            storage_ckpt_record("incremental", 1_000, 0.5),
+            storage_ckpt_record("whole_state", 1_000, 4.0),
+            storage_ckpt_record("incremental", 10_000, 0.6),
+            storage_ckpt_record("whole_state", 10_000, 40.0),
+        ];
+        let verdict = evaluate_storage_gate(&healthy).unwrap();
+        assert!(verdict.pass, "{verdict:?}");
+        assert_eq!(verdict.large_rows, 10_000);
+        assert!((verdict.p99_ratio - 1.5).abs() < 1e-9);
+        assert!((verdict.ckpt_advantage - 40.0 / 0.6).abs() < 1e-9);
+        // Maintenance tripling p99 fails.
+        let slow_serve = vec![
+            storage_serve_record(false, 2_000.0),
+            storage_serve_record(true, 6_500.0),
+            storage_ckpt_record("incremental", 10_000, 0.6),
+            storage_ckpt_record("whole_state", 10_000, 40.0),
+        ];
+        assert!(!evaluate_storage_gate(&slow_serve).unwrap().pass);
+        // ...unless the maintained p99 is under the absolute floor.
+        let tiny_serve = vec![
+            storage_serve_record(false, 100.0),
+            storage_serve_record(true, 800.0),
+            storage_ckpt_record("incremental", 10_000, 0.6),
+            storage_ckpt_record("whole_state", 10_000, 40.0),
+        ];
+        assert!(evaluate_storage_gate(&tiny_serve).unwrap().pass);
+        // An incremental checkpoint degrading to O(database) fails.
+        let flat_delta = vec![
+            storage_serve_record(false, 2_000.0),
+            storage_serve_record(true, 2_500.0),
+            storage_ckpt_record("incremental", 10_000, 25.0),
+            storage_ckpt_record("whole_state", 10_000, 40.0),
+        ];
+        assert!(!evaluate_storage_gate(&flat_delta).unwrap().pass);
+        // ...unless even the whole-state encode is timer noise.
+        let tiny_ckpt = vec![
+            storage_serve_record(false, 2_000.0),
+            storage_serve_record(true, 2_500.0),
+            storage_ckpt_record("incremental", 10_000, 1.0),
+            storage_ckpt_record("whole_state", 10_000, 1.5),
+        ];
+        assert!(evaluate_storage_gate(&tiny_ckpt).unwrap().pass);
+        // The advantage is judged at the LARGEST size only: a small-db
+        // whole-state time never stands in for the grown database.
+        let verdict = evaluate_storage_gate(&healthy).unwrap();
+        assert!((verdict.whole_state_ms - 40.0).abs() < 1e-9);
+        // Missing either pair is an error, not a silent pass.
+        assert!(evaluate_storage_gate(&[storage_serve_record(false, 1.0)]).is_err());
+        assert!(evaluate_storage_gate(&[
+            storage_serve_record(false, 1.0),
+            storage_serve_record(true, 1.0),
+        ])
+        .is_err());
+        assert!(evaluate_storage_gate(&[]).is_err());
+    }
+
+    #[test]
+    fn storage_report_round_trips() {
+        let dir = std::env::temp_dir().join(format!("warp-bench-storage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_storage.json");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            storage_serve_record(true, 2_000.0),
+            storage_ckpt_record("incremental", 1_000, 0.5),
+        ];
+        append_storage_records(&path, &records).unwrap();
+        assert_eq!(load_storage_records(&path).unwrap(), records);
+        // Re-running the workload replaces, not duplicates.
+        append_storage_records(&path, &records).unwrap();
+        assert_eq!(load_storage_records(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

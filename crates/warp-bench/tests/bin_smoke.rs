@@ -20,6 +20,7 @@ const BINS: &[(&str, &[&str])] = &[
     (env!("CARGO_BIN_EXE_table9_recovery"), &["6"]),
     (env!("CARGO_BIN_EXE_table10_commit"), &["50"]),
     (env!("CARGO_BIN_EXE_table11_serve"), &["40"]),
+    (env!("CARGO_BIN_EXE_table12_storage"), &["40"]),
     (env!("CARGO_BIN_EXE_bench_gate"), &["--help"]),
 ];
 
@@ -117,9 +118,14 @@ fn bench_report_and_gate_flow() {
         "warp-bench-smoke-{}-BENCH_serve.json",
         std::process::id()
     ));
+    let storage = std::env::temp_dir().join(format!(
+        "warp-bench-smoke-{}-BENCH_storage.json",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&recovery);
     let _ = std::fs::remove_file(&commit);
     let _ = std::fs::remove_file(&serve);
+    let _ = std::fs::remove_file(&storage);
     let out = Command::new(env!("CARGO_BIN_EXE_table9_recovery"))
         .arg("6")
         .arg("--json")
@@ -159,6 +165,21 @@ fn bench_report_and_gate_flow() {
             "serve report missing tier {tier}: {text}"
         );
     }
+    let out = Command::new(env!("CARGO_BIN_EXE_table12_storage"))
+        .arg("40")
+        .arg("--json")
+        .arg(&storage)
+        .output()
+        .expect("spawn table12");
+    assert!(
+        out.status.success(),
+        "table12 timing run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&storage).expect("storage report written");
+    assert!(text.contains("\"kind\":\"serve\""));
+    assert!(text.contains("\"mode\":\"incremental\""));
+    assert!(text.contains("\"mode\":\"whole_state\""));
     let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
         .arg(&report)
         .arg("100000")
@@ -170,17 +191,20 @@ fn bench_report_and_gate_flow() {
         .arg(&serve)
         // Plumbing check only: tolerance opened wide, CI runs the real 10%.
         .arg("1000")
+        .arg("--storage")
+        .arg(&storage)
         .output()
         .expect("spawn bench_gate");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         out.status.success(),
-        "four-gate bench_gate failed: stdout={stdout} stderr={}",
+        "five-gate bench_gate failed: stdout={stdout} stderr={}",
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(stdout.contains("recovery: worst overhead"));
     assert!(stdout.contains("commit: delta"));
     assert!(stdout.contains("serve: relaxed"));
+    assert!(stdout.contains("storage: p99 quiescent"));
 
     // A missing side report is an error too.
     let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
@@ -194,4 +218,6 @@ fn bench_report_and_gate_flow() {
     let _ = std::fs::remove_file(&report);
     let _ = std::fs::remove_file(&recovery);
     let _ = std::fs::remove_file(&commit);
+    let _ = std::fs::remove_file(&serve);
+    let _ = std::fs::remove_file(&storage);
 }

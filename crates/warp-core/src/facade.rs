@@ -143,6 +143,7 @@ pub struct WarpBuilder {
     durability: Durability,
     repair_workers: usize,
     engine_shards: usize,
+    background_maintenance: bool,
 }
 
 impl WarpBuilder {
@@ -232,6 +233,19 @@ impl WarpBuilder {
         self
     }
 
+    /// Run checkpoint-chain compaction on a background maintenance worker:
+    /// once the delta chain grows past
+    /// [`StoreOptions::fold_after_deltas`] links, the worker folds it into
+    /// a fresh base and retires the log segments the base subsumes — off
+    /// the serve path, over its own handle onto the backend. Off by
+    /// default; without it the engine folds inline by writing a full base
+    /// checkpoint at the same threshold. No effect on in-memory
+    /// deployments or backends that cannot hand out a second handle.
+    pub fn background_maintenance(mut self, enabled: bool) -> Self {
+        self.background_maintenance = enabled;
+        self
+    }
+
     /// The repair strategy the configured worker count selects.
     fn repair_strategy(&self) -> RepairStrategy {
         if self.repair_workers == 0 {
@@ -256,6 +270,12 @@ impl WarpBuilder {
         }
         let shards = self.engine_shards.max(1);
         let (mut server, report) = WarpServer::open(config)?;
+        if self.background_maintenance {
+            // Must start while the store is still inline: the worker needs
+            // its own backend handle, which the group-commit writer thread
+            // cannot hand out once it owns the store.
+            server.start_maintenance();
+        }
         server.enable_group_commit(durability.batch_policy());
         let (tx, rx) = channel();
         // Liveness token: the sharded engine cannot rely on channel

@@ -159,6 +159,32 @@ fn corrupt(msg: impl Into<String>) -> StoreError {
     StoreError::Corrupt(msg.into())
 }
 
+/// What changed since the last checkpoint, beyond what the database's
+/// mutation tracker captures: the bookkeeping the server keeps so an
+/// incremental checkpoint can be encoded without walking the full state.
+///
+/// Row changes are tracked by the time-travel database itself
+/// ([`warp_ttdb::TimeTravelDb::drain_checkpoint_delta`]); everything here is
+/// the history-graph side — which actions are new (a floor index, since
+/// action IDs are append-order indices), which old actions were cancelled by
+/// a repair, which client logs arrived, which tables were installed.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CheckpointMarks {
+    /// History length at the last checkpoint; `actions()[floor..]` are new.
+    pub actions_floor: usize,
+    /// Actions below the floor whose `cancelled` flag flipped since (repair
+    /// commits mutate history in place).
+    pub cancelled: Vec<ActionId>,
+    /// `(client_id, visit_id)` of client logs uploaded since.
+    pub new_logs: Vec<(String, u64)>,
+    /// Tables installed since — their schema must ride in the next delta,
+    /// even with zero row changes, or a fold would lose the `CREATE TABLE`.
+    pub new_tables: Vec<String>,
+    /// The next automatic checkpoint must be a full base. Set when action
+    /// IDs are renumbered (GC), which invalidates the floor/ID bookkeeping.
+    pub needs_base: bool,
+}
+
 // ---------------------------------------------------------------------------
 // The log sink: where a persistent server's records go
 // ---------------------------------------------------------------------------
@@ -186,6 +212,12 @@ pub(crate) enum LogSink {
         /// [`StoreOptions::checkpoint_interval`] captured before the store
         /// moved onto the writer thread.
         checkpoint_interval: u64,
+        /// Delta links written since the last base, mirrored from the store
+        /// for the same reason as `since_checkpoint`.
+        deltas_since_base: usize,
+        /// [`StoreOptions::fold_after_deltas`] captured before the store
+        /// moved onto the writer thread.
+        fold_after_deltas: usize,
     },
 }
 
@@ -256,11 +288,76 @@ impl LogSink {
             LogSink::Writer {
                 writer,
                 since_checkpoint,
+                deltas_since_base,
                 ..
             } => {
                 writer.write_checkpoint(payload);
                 *since_checkpoint = 0;
+                *deltas_since_base = 0;
             }
+        }
+    }
+
+    /// Writes a delta checkpoint chained onto the current tip (flushing
+    /// pending records first on the writer path). Returns `false` when the
+    /// store declined because no records landed since the last checkpoint —
+    /// in which case nothing could have changed and the payload was empty
+    /// anyway (every server state transition appends a record).
+    pub(crate) fn write_delta_checkpoint(&mut self, payload: Vec<u8>) -> bool {
+        match self {
+            LogSink::Inline(store) => store
+                .write_delta_checkpoint(&payload)
+                .unwrap_or_else(|e| panic!("delta checkpoint write failed: {e}"))
+                .is_some(),
+            LogSink::Writer {
+                writer,
+                since_checkpoint,
+                deltas_since_base,
+                ..
+            } => {
+                let written = writer.write_delta_checkpoint(payload).is_some();
+                *since_checkpoint = 0;
+                if written {
+                    *deltas_since_base += 1;
+                }
+                written
+            }
+        }
+    }
+
+    /// True once any checkpoint chain exists on disk (a delta needs a
+    /// parent to name). A message round-trip on the writer path — callers
+    /// are on the checkpoint cadence, not the per-record path.
+    pub(crate) fn has_checkpoint(&self) -> bool {
+        match self {
+            LogSink::Inline(store) => store.has_checkpoint(),
+            LogSink::Writer { writer, .. } => writer.has_checkpoint(),
+        }
+    }
+
+    /// True once the delta chain is long enough that the next automatic
+    /// checkpoint should fold it into a fresh base (the inline fallback for
+    /// servers running without a background maintenance worker).
+    pub(crate) fn should_fold(&self) -> bool {
+        match self {
+            LogSink::Inline(store) => {
+                let fold = store.options().fold_after_deltas;
+                fold > 0 && store.deltas_since_base() >= fold
+            }
+            LogSink::Writer {
+                deltas_since_base,
+                fold_after_deltas,
+                ..
+            } => *fold_after_deltas > 0 && *deltas_since_base >= *fold_after_deltas,
+        }
+    }
+
+    /// Deletes every cold blob, returning bytes freed. Best-effort: cold
+    /// blobs are an archival tier, so a backend hiccup here is not fatal.
+    pub(crate) fn prune_cold(&mut self) -> u64 {
+        match self {
+            LogSink::Inline(store) => store.prune_cold_blobs().unwrap_or(0),
+            LogSink::Writer { writer, .. } => writer.prune_cold_blobs(),
         }
     }
 
@@ -1072,6 +1169,416 @@ fn restore_checkpoint(server: &mut WarpServer, payload: &[u8]) -> StoreResult<()
 }
 
 // ---------------------------------------------------------------------------
+// Delta checkpoints: what changed since the previous chain link
+// ---------------------------------------------------------------------------
+//
+// A delta checkpoint carries the *small* server state wholesale (counters,
+// pending repair, conflicts, cookie invalidations, source versions — all
+// O(1) or bounded by active repairs, not by database size) and the *large*
+// state incrementally: new actions above the history floor, cancelled-flag
+// flips below it, client logs uploaded since, and per-table row-version
+// changes from the database's mutation tracker. Encoding cost is therefore
+// O(rows and actions changed since the last checkpoint), which is what lets
+// the chain keep checkpoint latency flat as the database grows.
+
+/// Encodes a delta checkpoint payload. Drains the database's checkpoint
+/// tracker; the caller resets [`CheckpointMarks`] only once the store
+/// accepts the write (a declined write means nothing changed — the drained
+/// delta and the marks were all empty).
+fn encode_checkpoint_delta(server: &mut WarpServer) -> Vec<u8> {
+    let delta = server.db.drain_checkpoint_delta();
+    let floor = server.ckpt_marks.actions_floor.min(server.history.len());
+    let mut e = Encoder::new();
+    e.u32(FORMAT_VERSION);
+    e.i64(server.clock.now());
+    e.u64(server.rng_counter);
+    e.u64(server.session_counter);
+    e.i64(server.db.current_generation());
+    e.i64(server.db.synthetic_id_watermark());
+    e.option(server.pending_repair.as_ref(), enc_repair_request);
+    let invalidations: Vec<String> = server
+        .pending_cookie_invalidations
+        .iter()
+        .cloned()
+        .collect();
+    e.seq(&invalidations, |e, s| e.str(s));
+    e.seq(server.conflicts.all(), enc_conflict);
+    e.seq(
+        &server.sources.export_versions(),
+        |e, (name, time, content, retro)| {
+            e.str(name);
+            e.i64(*time);
+            e.str(content);
+            e.bool(*retro);
+        },
+    );
+    e.u64(server.history.client_log_quota_bytes as u64);
+    // History: the floor anchors ID continuity (validated on apply, like
+    // per-record action IDs), new actions sit above it, cancellations
+    // reference below it.
+    e.u64(floor as u64);
+    e.seq(&server.history.actions()[floor..], enc_action);
+    let cancelled: std::collections::BTreeSet<ActionId> = server
+        .ckpt_marks
+        .cancelled
+        .iter()
+        .copied()
+        .filter(|&id| (id as usize) < floor)
+        .collect();
+    let cancelled: Vec<ActionId> = cancelled.into_iter().collect();
+    e.seq(&cancelled, |e, id| e.u64(*id));
+    // Client logs: fetch the current record per uploaded (client, visit) —
+    // a later upload for the same visit replaces the earlier one, and the
+    // quota may have evicted some entirely.
+    let mut log_keys: Vec<(String, u64)> = server.ckpt_marks.new_logs.clone();
+    log_keys.sort();
+    log_keys.dedup();
+    let logs: Vec<&PageVisitRecord> = log_keys
+        .iter()
+        .filter_map(|(c, v)| server.history.client_log(c, *v))
+        .collect();
+    e.u32(logs.len() as u32);
+    for log in &logs {
+        enc_page_visit(&mut e, log);
+    }
+    // Tables: every table with row changes, plus tables installed since the
+    // last checkpoint even when untouched — a fold must not lose their
+    // schema once the CreateTable log record is compacted away.
+    let schemas = server.db.table_create_statements();
+    let mut names: std::collections::BTreeSet<&str> = delta.keys().map(|s| s.as_str()).collect();
+    names.extend(server.ckpt_marks.new_tables.iter().map(|s| s.as_str()));
+    let included: Vec<&(String, String, TableAnnotation)> = schemas
+        .iter()
+        .filter(|(name, _, _)| names.contains(name.as_str()))
+        .collect();
+    e.u32(included.len() as u32);
+    let empty = warp_ttdb::TableDelta::default();
+    for (name, create_sql, annotation) in included {
+        e.str(name);
+        e.str(create_sql);
+        enc_annotation(&mut e, annotation);
+        let columns: Vec<String> = server
+            .db
+            .raw()
+            .schema(name)
+            .map(|s| s.columns.iter().map(|c| c.name.clone()).collect())
+            .unwrap_or_default();
+        e.seq(&columns, |e, c| e.str(c));
+        let d = delta.get(name).unwrap_or(&empty);
+        e.seq(&d.remove, |e, row| enc_row(e, row));
+        e.seq(&d.add, |e, row| enc_row(e, row));
+    }
+    e.into_bytes()
+}
+
+/// Applies one delta checkpoint payload to a server that already restored
+/// the base (and any earlier deltas) of the same chain.
+fn apply_checkpoint_delta(server: &mut WarpServer, payload: &[u8]) -> StoreResult<()> {
+    let mut d = Decoder::new(payload);
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "delta checkpoint format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let clock = d.i64()?;
+    server.rng_counter = d.u64()?;
+    server.session_counter = d.u64()?;
+    let current_gen = d.i64()?;
+    let watermark = d.i64()?;
+    server.pending_repair = d.option(dec_repair_request)?;
+    let invalidations = d.seq(|d| d.str())?;
+    let conflicts = d.seq(dec_conflict)?;
+    let sources = d.seq(|d| Ok((d.str()?, d.i64()?, d.str()?, d.bool()?)))?;
+    server.sources = crate::sourcefs::SourceStore::import_versions(sources);
+    server.history.client_log_quota_bytes = d.u64()? as usize;
+    let floor = d.u64()? as usize;
+    if server.history.len() != floor {
+        return Err(corrupt(format!(
+            "delta checkpoint continues a history of {floor} actions, found {}; the chain \
+             links do not fit together",
+            server.history.len()
+        )));
+    }
+    for action in d.seq(dec_action)? {
+        let expected = action.id;
+        let assigned = server.history.record_action(action);
+        if assigned != expected {
+            return Err(corrupt(format!(
+                "delta checkpoint action {expected} restored with ID {assigned}"
+            )));
+        }
+    }
+    for id in d.seq(|d| d.u64())? {
+        match server.history.action_mut(id) {
+            Some(a) => a.cancelled = true,
+            None => {
+                return Err(corrupt(format!(
+                    "delta checkpoint cancels unknown action {id}"
+                )))
+            }
+        }
+    }
+    let n_logs = d.u32()?;
+    for _ in 0..n_logs {
+        server.history.upload_client_log(dec_page_visit(&mut d)?);
+    }
+    let n_tables = d.u32()?;
+    for _ in 0..n_tables {
+        let name = d.str()?;
+        let create_sql = d.str()?;
+        let annotation = dec_annotation(&mut d)?;
+        let columns = d.seq(|d| d.str())?;
+        let remove = d.seq(dec_row)?;
+        let add = d.seq(dec_row)?;
+        if server.db.row_id_column(&name).is_none() {
+            server
+                .db
+                .create_table(&create_sql, annotation)
+                .map_err(|e| corrupt(format!("re-creating table {name}: {e}")))?;
+        }
+        let actual: Vec<String> = server
+            .db
+            .raw()
+            .schema(&name)
+            .map(|s| s.columns.iter().map(|c| c.name.clone()).collect())
+            .unwrap_or_default();
+        if actual != columns {
+            return Err(corrupt(format!(
+                "table {name}: delta checkpoint columns {columns:?} do not match the installed \
+                 schema {actual:?} (recovery requires the AppConfig the data was written with)"
+            )));
+        }
+        server
+            .db
+            .apply_row_diff(&name, &remove, &add)
+            .map_err(|e| corrupt(format!("applying delta checkpoint to {name}: {e}")))?;
+    }
+    d.finish()?;
+    server.clock.fast_forward(clock);
+    server.db.force_current_generation(current_gen);
+    server.db.raise_synthetic_id_watermark(watermark);
+    server.pending_cookie_invalidations = invalidations.into_iter().collect();
+    server.conflicts = crate::conflict::ConflictQueue::new();
+    for c in conflicts {
+        server.conflicts.push(c);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Payload-level chain folding (the maintenance worker's folder)
+// ---------------------------------------------------------------------------
+//
+// The background maintenance worker compacts a long chain by folding base +
+// deltas into one new base *without* a server: the payloads are decoded
+// structurally, the deltas applied image-to-image, and the result re-encoded
+// in exactly the base format `restore_checkpoint` reads. Folding in payload
+// space (rather than booting a throwaway server) keeps the worker free of
+// any `AppConfig` and makes the fold a pure function of the blobs.
+
+/// One table of a decoded checkpoint image.
+struct ImageTable {
+    name: String,
+    create_sql: String,
+    annotation: TableAnnotation,
+    columns: Vec<String>,
+    rows: Vec<Vec<SqlValue>>,
+}
+
+/// A base checkpoint payload, decoded into its sections.
+struct CheckpointImage {
+    clock: i64,
+    rng: u64,
+    session: u64,
+    current_gen: i64,
+    watermark: i64,
+    pending_repair: Option<RepairRequest>,
+    invalidations: Vec<String>,
+    conflicts: Vec<Conflict>,
+    sources: Vec<(String, i64, String, bool)>,
+    quota: u64,
+    actions: Vec<ActionRecord>,
+    logs: Vec<PageVisitRecord>,
+    tables: Vec<ImageTable>,
+}
+
+fn decode_checkpoint_image(payload: &[u8]) -> DecResult<CheckpointImage> {
+    let mut d = Decoder::new(payload);
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!("checkpoint format version {version}")));
+    }
+    let clock = d.i64()?;
+    let rng = d.u64()?;
+    let session = d.u64()?;
+    let current_gen = d.i64()?;
+    let watermark = d.i64()?;
+    let pending_repair = d.option(dec_repair_request)?;
+    let invalidations = d.seq(|d| d.str())?;
+    let conflicts = d.seq(dec_conflict)?;
+    let sources = d.seq(|d| Ok((d.str()?, d.i64()?, d.str()?, d.bool()?)))?;
+    let quota = d.u64()?;
+    let actions = d.seq(dec_action)?;
+    let n_logs = d.u32()?;
+    let mut logs = Vec::with_capacity(n_logs as usize);
+    for _ in 0..n_logs {
+        logs.push(dec_page_visit(&mut d)?);
+    }
+    let n_tables = d.u32()?;
+    let mut tables = Vec::with_capacity(n_tables as usize);
+    for _ in 0..n_tables {
+        tables.push(ImageTable {
+            name: d.str()?,
+            create_sql: d.str()?,
+            annotation: dec_annotation(&mut d)?,
+            columns: d.seq(|d| d.str())?,
+            rows: d.seq(dec_row)?,
+        });
+    }
+    d.finish()?;
+    Ok(CheckpointImage {
+        clock,
+        rng,
+        session,
+        current_gen,
+        watermark,
+        pending_repair,
+        invalidations,
+        conflicts,
+        sources,
+        quota,
+        actions,
+        logs,
+        tables,
+    })
+}
+
+/// Re-encodes an image in the base checkpoint format — the inverse of
+/// [`decode_checkpoint_image`] and byte-compatible with what
+/// [`restore_checkpoint`] reads.
+fn encode_checkpoint_image(img: &CheckpointImage) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u32(FORMAT_VERSION);
+    e.i64(img.clock);
+    e.u64(img.rng);
+    e.u64(img.session);
+    e.i64(img.current_gen);
+    e.i64(img.watermark);
+    e.option(img.pending_repair.as_ref(), enc_repair_request);
+    e.seq(&img.invalidations, |e, s| e.str(s));
+    e.seq(&img.conflicts, enc_conflict);
+    e.seq(&img.sources, |e, (name, time, content, retro)| {
+        e.str(name);
+        e.i64(*time);
+        e.str(content);
+        e.bool(*retro);
+    });
+    e.u64(img.quota);
+    e.seq(&img.actions, enc_action);
+    e.u32(img.logs.len() as u32);
+    for log in &img.logs {
+        enc_page_visit(&mut e, log);
+    }
+    e.u32(img.tables.len() as u32);
+    for t in &img.tables {
+        e.str(&t.name);
+        e.str(&t.create_sql);
+        enc_annotation(&mut e, &t.annotation);
+        e.seq(&t.columns, |e, c| e.str(c));
+        e.seq(&t.rows, |e, row| enc_row(e, row));
+    }
+    e.into_bytes()
+}
+
+/// Applies one delta payload to a decoded image — the payload-space twin of
+/// [`apply_checkpoint_delta`], with identical semantics (order-preserving
+/// first-match row removal, replace-or-append client logs by visit).
+fn apply_delta_to_image(img: &mut CheckpointImage, payload: &[u8]) -> DecResult<()> {
+    let mut d = Decoder::new(payload);
+    let version = d.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!("delta checkpoint format version {version}")));
+    }
+    img.clock = d.i64()?;
+    img.rng = d.u64()?;
+    img.session = d.u64()?;
+    img.current_gen = d.i64()?;
+    img.watermark = d.i64()?;
+    img.pending_repair = d.option(dec_repair_request)?;
+    img.invalidations = d.seq(|d| d.str())?;
+    img.conflicts = d.seq(dec_conflict)?;
+    img.sources = d.seq(|d| Ok((d.str()?, d.i64()?, d.str()?, d.bool()?)))?;
+    img.quota = d.u64()?;
+    let floor = d.u64()? as usize;
+    if img.actions.len() != floor {
+        return Err(bad(format!(
+            "delta continues {floor} actions, image has {}",
+            img.actions.len()
+        )));
+    }
+    img.actions.extend(d.seq(dec_action)?);
+    for id in d.seq(|d| d.u64())? {
+        img.actions
+            .get_mut(id as usize)
+            .ok_or_else(|| bad(format!("delta cancels unknown action {id}")))?
+            .cancelled = true;
+    }
+    let n_logs = d.u32()?;
+    for _ in 0..n_logs {
+        let log = dec_page_visit(&mut d)?;
+        match img
+            .logs
+            .iter_mut()
+            .find(|l| l.client_id == log.client_id && l.visit_id == log.visit_id)
+        {
+            Some(existing) => *existing = log,
+            None => img.logs.push(log),
+        }
+    }
+    let n_tables = d.u32()?;
+    for _ in 0..n_tables {
+        let name = d.str()?;
+        let create_sql = d.str()?;
+        let annotation = dec_annotation(&mut d)?;
+        let columns = d.seq(|d| d.str())?;
+        let remove = d.seq(dec_row)?;
+        let add = d.seq(dec_row)?;
+        match img.tables.iter_mut().find(|t| t.name == name) {
+            Some(t) => {
+                for gone in &remove {
+                    if let Some(pos) = t.rows.iter().position(|r| r == gone) {
+                        t.rows.remove(pos);
+                    }
+                }
+                t.rows.extend(add);
+            }
+            None => img.tables.push(ImageTable {
+                name,
+                create_sql,
+                annotation,
+                columns,
+                rows: add,
+            }),
+        }
+    }
+    d.finish()?;
+    Ok(())
+}
+
+/// Folds a base checkpoint payload and its delta payloads (oldest first)
+/// into a single equivalent base payload. `None` when any payload fails to
+/// decode — the maintenance worker then leaves the chain alone rather than
+/// writing a wrong base over a recoverable one.
+pub(crate) fn fold_checkpoint_chain(base: &[u8], deltas: &[Vec<u8>]) -> Option<Vec<u8>> {
+    let mut img = decode_checkpoint_image(base).ok()?;
+    for delta in deltas {
+        apply_delta_to_image(&mut img, delta).ok()?;
+    }
+    Some(encode_checkpoint_image(&img))
+}
+
+// ---------------------------------------------------------------------------
 // The persistent server: open / replay / write path
 // ---------------------------------------------------------------------------
 
@@ -1204,12 +1711,25 @@ impl WarpServer {
         if let Some(payload) = &recovered.checkpoint {
             restore_checkpoint(&mut server, payload)?;
         }
+        // Fold the delta chain onto the base, oldest link first, then replay
+        // the log tail at or after the chain tip.
+        for payload in &recovered.deltas {
+            apply_checkpoint_delta(&mut server, payload)?;
+        }
         for (lsn, kind, payload) in &recovered.records {
             let event = LogEvent::decode(*kind, payload)
                 .map_err(|e| corrupt(format!("log record {lsn}: {e}")))?;
             apply_event(&mut server, event)?;
         }
         report.pending_repair = server.pending_repair.is_some();
+        // Arm the incremental-checkpoint tracker: from here on the database
+        // records row changes so the next automatic checkpoint can be a
+        // delta instead of a whole-state write.
+        server.db.enable_checkpoint_capture();
+        server.ckpt_marks = CheckpointMarks {
+            actions_floor: server.history.len(),
+            ..CheckpointMarks::default()
+        };
         server.store = Some(LogSink::Inline(store));
         Ok((server, report))
     }
@@ -1237,11 +1757,15 @@ impl WarpServer {
                 unreachable!("matched above");
             };
             let checkpoint_interval = store.options().checkpoint_interval;
+            let fold_after_deltas = store.options().fold_after_deltas;
             let since_checkpoint = store.tail_len();
+            let deltas_since_base = store.deltas_since_base();
             self.store = Some(LogSink::Writer {
                 writer: warp_store::GroupCommitWriter::spawn(store, policy),
                 since_checkpoint,
                 checkpoint_interval,
+                deltas_since_base,
+                fold_after_deltas,
             });
         }
     }
@@ -1275,9 +1799,55 @@ impl WarpServer {
         let payload = encode_checkpoint(self);
         let sink = self.store.as_mut().expect("checked above");
         sink.write_checkpoint(payload);
+        self.reset_checkpoint_marks();
     }
 
-    /// Takes a checkpoint if the configured interval has elapsed.
+    /// Takes an *incremental* checkpoint: a delta link chained onto the
+    /// newest checkpoint, carrying only what changed since — O(rows and
+    /// actions changed), independent of database size. Falls back to a full
+    /// base checkpoint when the chain has no base yet, when GC renumbered
+    /// action IDs, or when the chain grew past
+    /// [`warp_store::StoreOptions::fold_after_deltas`] links on a server
+    /// with no background maintenance worker to fold it. No-op for
+    /// in-memory servers.
+    pub fn checkpoint_incremental(&mut self) {
+        let Some(sink) = self.store.as_ref() else {
+            return;
+        };
+        if self.ckpt_marks.needs_base || !sink.has_checkpoint() {
+            self.checkpoint();
+            return;
+        }
+        if self.maintenance.is_none() && sink.should_fold() {
+            self.checkpoint();
+            return;
+        }
+        let payload = encode_checkpoint_delta(self);
+        let sink = self.store.as_mut().expect("checked above");
+        if sink.write_delta_checkpoint(payload) {
+            self.reset_checkpoint_marks();
+            if let Some(worker) = &self.maintenance {
+                worker.nudge();
+            }
+        }
+    }
+
+    /// Resets the incremental-checkpoint bookkeeping after any checkpoint
+    /// write: the marks restart from the current history length and the
+    /// database's tracker restarts empty.
+    fn reset_checkpoint_marks(&mut self) {
+        if self.db.checkpoint_capture_enabled() {
+            let _ = self.db.drain_checkpoint_delta();
+        }
+        self.ckpt_marks = CheckpointMarks {
+            actions_floor: self.history.len(),
+            ..CheckpointMarks::default()
+        };
+    }
+
+    /// Takes a checkpoint if the configured interval has elapsed — an
+    /// incremental one on the automatic cadence; see
+    /// [`WarpServer::checkpoint_incremental`].
     pub(crate) fn maybe_checkpoint(&mut self) {
         if self
             .store
@@ -1285,8 +1855,56 @@ impl WarpServer {
             .map(|s| s.checkpoint_due())
             .unwrap_or(false)
         {
-            self.checkpoint();
+            self.checkpoint_incremental();
         }
+    }
+
+    /// Starts the background maintenance worker: over its own handle onto
+    /// the same backend, it folds delta-checkpoint chains into fresh bases
+    /// and retires (or cold-stores, with
+    /// [`warp_store::StoreOptions::cold_retention`]) the log segments a
+    /// base subsumes — so compaction never runs on the serve path. Returns
+    /// `false` for in-memory servers, for backends that cannot hand out a
+    /// second handle, or once the store has moved onto the group-commit
+    /// writer (start maintenance before enabling group commit, as
+    /// [`crate::WarpBuilder`] does). Idempotent once running.
+    pub fn start_maintenance(&mut self) -> bool {
+        if self.maintenance.is_some() {
+            return true;
+        }
+        let Some(LogSink::Inline(store)) = &self.store else {
+            return false;
+        };
+        let Some(backend) = store.clone_backend() else {
+            return false;
+        };
+        let config = warp_store::MaintenanceConfig::from_options(&store.options());
+        let folder: warp_store::ChainFolder = Box::new(fold_checkpoint_chain);
+        self.maintenance = Some(warp_store::MaintenanceWorker::spawn(
+            backend, folder, config,
+        ));
+        true
+    }
+
+    /// Stops the background maintenance worker after one final pass,
+    /// returning its lifetime counters. `None` when it was not running.
+    pub fn stop_maintenance(&mut self) -> Option<warp_store::MaintenanceStats> {
+        self.maintenance.take().map(|w| w.close())
+    }
+
+    /// The maintenance worker's lifetime counters so far (`None` when it is
+    /// not running).
+    pub fn maintenance_stats(&self) -> Option<warp_store::MaintenanceStats> {
+        self.maintenance.as_ref().map(|w| w.stats())
+    }
+
+    /// Runs one maintenance pass synchronously — fold the chain if it is
+    /// long enough, then retire covered segments — and returns the worker's
+    /// counters afterwards. `None` when the worker is not running. Mostly
+    /// for tests and administrative tooling; production deployments let the
+    /// worker pace itself.
+    pub fn run_maintenance_pass(&self) -> Option<warp_store::MaintenanceStats> {
+        self.maintenance.as_ref().map(|w| w.run_once())
     }
 
     /// Blocks until every log record appended so far is durable. Immediate
@@ -1524,6 +2142,292 @@ mod tests {
             "commit record must clear the marker"
         );
         let _ = after;
+    }
+
+    fn count_blobs(mem: &MemoryBackend) -> (usize, usize, usize) {
+        use warp_store::StorageBackend;
+        let names = mem.list().expect("list blobs");
+        (
+            names.iter().filter(|n| n.starts_with("ckpt-base-")).count(),
+            names
+                .iter()
+                .filter(|n| n.starts_with("ckpt-delta-"))
+                .count(),
+            names.iter().filter(|n| n.starts_with("seg-")).count(),
+        )
+    }
+
+    fn open_with(
+        mem: &MemoryBackend,
+        options: warp_store::StoreOptions,
+    ) -> (WarpServer, RecoveryReport) {
+        WarpServer::open(
+            ServerConfig::new(tiny_app())
+                .with_backend(Box::new(mem.clone()))
+                .with_store_options(options),
+        )
+        .expect("open persistent server")
+    }
+
+    fn edit(server: &mut WarpServer, body: &str) {
+        server.send(warp_http::HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Main"), ("body", body)],
+        ));
+    }
+
+    #[test]
+    fn automatic_checkpoints_grow_a_delta_chain_and_recover() {
+        let mem = MemoryBackend::new();
+        let options = warp_store::StoreOptions {
+            checkpoint_interval: 2,
+            fold_after_deltas: 100,
+            ..warp_store::StoreOptions::default()
+        };
+        let mut server = open_with(&mem, options).0;
+        for i in 0..7 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        // Interval 2: the first due checkpoint is a base (no chain yet),
+        // the following ones are delta links; deltas delete nothing.
+        let (bases, deltas, _) = count_blobs(&mem);
+        assert_eq!(bases, 1);
+        assert_eq!(deltas, 2);
+        let mut expected_db = server.db.clone();
+        let expected_dump = expected_db.canonical_dump();
+        let expected_clock = server.clock.now();
+        drop(server); // crash
+        let (mut recovered, report) = open_with(&mem, options);
+        assert!(report.from_checkpoint);
+        assert_eq!(report.records_replayed, 1, "one action after the tip");
+        assert_eq!(recovered.history.len(), 7);
+        assert_eq!(recovered.clock.now(), expected_clock);
+        assert_eq!(recovered.db.canonical_dump(), expected_dump);
+        let r = recovered.send(warp_http::HttpRequest::get("/view.wasl?title=Main"));
+        assert!(r.body.contains("rev 6"));
+    }
+
+    #[test]
+    fn folding_the_chain_in_payload_space_matches_applying_the_deltas() {
+        let mem = MemoryBackend::new();
+        let options = warp_store::StoreOptions {
+            checkpoint_interval: 2,
+            fold_after_deltas: 100,
+            ..warp_store::StoreOptions::default()
+        };
+        let mut server = open_with(&mem, options).0;
+        for i in 0..3 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        // The upload is the interval's second record, so the delta cut here
+        // carries the client log.
+        server.upload_client_logs(vec![warp_browser::PageVisitRecord::new(
+            "c1",
+            1,
+            "/view.wasl",
+        )]);
+        for i in 3..7 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        drop(server);
+        let (_, recovered) =
+            DurableStore::open(Box::new(mem.clone()), options).expect("reopen raw store");
+        let base = recovered.checkpoint.expect("a base on disk");
+        assert!(!recovered.deltas.is_empty(), "deltas on disk");
+        let folded =
+            fold_checkpoint_chain(&base, &recovered.deltas).expect("chain payloads decode");
+        // Restoring the folded base must land exactly where restoring the
+        // base and then applying each delta lands.
+        let mut via_fold = WarpServer::new(tiny_app());
+        restore_checkpoint(&mut via_fold, &folded).expect("restore folded base");
+        let mut via_chain = WarpServer::new(tiny_app());
+        restore_checkpoint(&mut via_chain, &base).expect("restore base");
+        for delta in &recovered.deltas {
+            apply_checkpoint_delta(&mut via_chain, delta).expect("apply delta");
+        }
+        assert_eq!(via_fold.history.len(), via_chain.history.len());
+        assert_eq!(via_fold.db.canonical_dump(), via_chain.db.canonical_dump());
+        assert_eq!(via_fold.clock.now(), via_chain.clock.now());
+        assert!(via_fold.history.client_log("c1", 1).is_some());
+    }
+
+    #[test]
+    fn repair_commit_between_two_deltas_recovers_exactly() {
+        let mem = MemoryBackend::new();
+        let options = warp_store::StoreOptions {
+            checkpoint_interval: 2,
+            fold_after_deltas: 100,
+            ..warp_store::StoreOptions::default()
+        };
+        let mut server = open_with(&mem, options).0;
+        edit(&mut server, "<script>evil</script>");
+        for i in 0..4 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        let (_, deltas_before, _) = count_blobs(&mem);
+        assert!(deltas_before >= 1, "a delta precedes the repair");
+        let patch = crate::sourcefs::Patch::new(
+            "edit.wasl",
+            "db_query(\"UPDATE page SET body = '[' . sql_escape(param(\"body\")) . ']' \
+             WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); echo(\"saved\");",
+            "bracket bodies",
+        );
+        let _ = patch; // the undo path exercises cancellation instead
+        let outcome = server.repair_with(
+            RepairRequest::UndoVisit {
+                client_id: "nobody".into(),
+                visit_id: 99,
+                initiated_by_admin: true,
+            },
+            crate::scheduler::RepairStrategy::Sequential,
+        );
+        assert!(!outcome.aborted);
+        for i in 4..8 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        let (_, deltas_after, _) = count_blobs(&mem);
+        assert!(
+            deltas_after > deltas_before,
+            "a delta follows the repair commit"
+        );
+        let mut expected_db = server.db.clone();
+        let expected_dump = expected_db.canonical_dump();
+        let expected_gen = server.db.current_generation();
+        let expected_len = server.history.len();
+        drop(server);
+        let (mut recovered, _) = open_with(&mem, options);
+        assert_eq!(recovered.history.len(), expected_len);
+        assert_eq!(recovered.db.current_generation(), expected_gen);
+        assert_eq!(recovered.db.canonical_dump(), expected_dump);
+    }
+
+    #[test]
+    fn cancelled_actions_ride_the_next_delta_checkpoint() {
+        let mem = MemoryBackend::new();
+        let options = warp_store::StoreOptions {
+            checkpoint_interval: 2,
+            fold_after_deltas: 100,
+            ..warp_store::StoreOptions::default()
+        };
+        let mut server = open_with(&mem, options).0;
+        // Action 0 belongs to a client visit; several more actions push it
+        // below the next checkpoint floor.
+        let mut req =
+            warp_http::HttpRequest::post("/edit.wasl", [("title", "Main"), ("body", "undo me")]);
+        req.warp.client_id = Some("mallory".into());
+        req.warp.visit_id = Some(7);
+        req.warp.request_id = Some(0);
+        server.handle(req);
+        for i in 0..4 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        let outcome = server.repair_with(
+            RepairRequest::UndoVisit {
+                client_id: "mallory".into(),
+                visit_id: 7,
+                initiated_by_admin: true,
+            },
+            crate::scheduler::RepairStrategy::Sequential,
+        );
+        assert!(outcome.cancelled_actions.contains(&0));
+        // More traffic cuts another delta carrying the cancellation flip.
+        for i in 4..8 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        drop(server);
+        let (recovered, _) = open_with(&mem, options);
+        assert!(
+            recovered.history.action(0).expect("action 0").cancelled,
+            "the cancellation flip must survive via the delta chain"
+        );
+    }
+
+    #[test]
+    fn servers_without_a_worker_fold_inline_at_the_threshold() {
+        let mem = MemoryBackend::new();
+        let options = warp_store::StoreOptions {
+            checkpoint_interval: 1,
+            fold_after_deltas: 2,
+            ..warp_store::StoreOptions::default()
+        };
+        let mut server = open_with(&mem, options).0;
+        for i in 0..4 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        // Interval 1: base, delta, delta, then the chain is past the fold
+        // threshold and — with no maintenance worker — the engine compacts
+        // inline with a fresh full base.
+        let (bases, deltas, _) = count_blobs(&mem);
+        assert_eq!((bases, deltas), (1, 0), "inline fold compacts the chain");
+        drop(server);
+        let (recovered, report) = open_with(&mem, options);
+        assert!(report.from_checkpoint);
+        assert_eq!(recovered.history.len(), 4);
+    }
+
+    #[test]
+    fn background_maintenance_folds_the_chain_off_the_serve_path() {
+        let mem = MemoryBackend::new();
+        let options = warp_store::StoreOptions {
+            checkpoint_interval: 1,
+            fold_after_deltas: 2,
+            ..warp_store::StoreOptions::default()
+        };
+        let mut server = open_with(&mem, options).0;
+        assert!(server.start_maintenance(), "memory backends clone");
+        for i in 0..5 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        let stats = server
+            .maintenance
+            .as_ref()
+            .expect("worker running")
+            .run_once();
+        assert!(stats.folds >= 1, "the worker folded the chain: {stats:?}");
+        let mut expected_db = server.db.clone();
+        let expected_dump = expected_db.canonical_dump();
+        let stats = server.stop_maintenance().expect("worker was running");
+        assert_eq!(stats.errors, 0, "no failed passes: {stats:?}");
+        drop(server);
+        let (recovered, report) = open_with(&mem, options);
+        assert!(report.from_checkpoint);
+        assert_eq!(recovered.history.len(), 5);
+        let mut db = recovered.db.clone();
+        assert_eq!(db.canonical_dump(), expected_dump);
+    }
+
+    #[test]
+    fn gc_forces_a_base_checkpoint_and_prunes_the_cold_tier() {
+        let mem = MemoryBackend::new();
+        let options = warp_store::StoreOptions {
+            checkpoint_interval: 2,
+            fold_after_deltas: 100,
+            cold_retention: true,
+            ..warp_store::StoreOptions::default()
+        };
+        let mut server = open_with(&mem, options).0;
+        for i in 0..6 {
+            edit(&mut server, &format!("rev {i}"));
+        }
+        drop(server);
+        let mut server = open_with(&mem, options).0;
+        // GC renumbers action IDs: the checkpoint that follows must be a
+        // full base, and the cold archive loses its last reader.
+        let cutoff = server.clock.now();
+        edit(&mut server, "after gc");
+        server.garbage_collect(cutoff);
+        use warp_store::StorageBackend;
+        let names = mem.list().expect("list blobs");
+        assert!(
+            !names.iter().any(|n| n.starts_with("cold-")),
+            "GC prunes cold blobs: {names:?}"
+        );
+        let (bases, deltas, _) = count_blobs(&mem);
+        assert_eq!((bases, deltas), (1, 0));
+        drop(server);
+        let (recovered, report) = open_with(&mem, options);
+        assert!(report.from_checkpoint);
+        assert_eq!(recovered.history.len(), 1);
     }
 
     #[test]

@@ -33,6 +33,25 @@ pub trait StorageBackend: std::fmt::Debug + Send {
     /// Deletes a blob (no-op if it does not exist).
     fn delete(&mut self, name: &str) -> StoreResult<()>;
 
+    /// Forces previously written data — blob contents *and* the namespace
+    /// entries created by renames — down to durable storage. The checkpoint
+    /// path calls this between writing a new checkpoint blob and deleting
+    /// the segments it subsumes, so a crash in between can never strand the
+    /// store with neither. Backends with no volatile cache (memory) keep
+    /// the default no-op.
+    fn sync(&mut self) -> StoreResult<()> {
+        Ok(())
+    }
+
+    /// A second independent handle onto the *same* stored blobs, if the
+    /// backend supports one. The background maintenance thread uses this to
+    /// fold checkpoint chains and cold-store segments without ever touching
+    /// the writer's handle. `None` (the default) disables background
+    /// maintenance for the store.
+    fn try_clone(&self) -> Option<Box<dyn StorageBackend>> {
+        None
+    }
+
     /// Total bytes currently stored, for accounting and tests. Backends
     /// should override this when they can size blobs without reading them.
     fn total_bytes(&self) -> StoreResult<u64> {
@@ -117,6 +136,12 @@ impl StorageBackend for MemoryBackend {
         Ok(())
     }
 
+    fn try_clone(&self) -> Option<Box<dyn StorageBackend>> {
+        // Handles share contents (see the type docs), which is exactly what
+        // the maintenance thread needs.
+        Some(Box::new(self.clone()))
+    }
+
     fn total_bytes(&self) -> StoreResult<u64> {
         Ok(self.with(|blobs| blobs.values().map(|b| b.len() as u64).sum()))
     }
@@ -189,8 +214,17 @@ impl StorageBackend for FileBackend {
     }
 
     fn write_atomic(&mut self, name: &str, data: &[u8]) -> StoreResult<()> {
+        // Write + fsync the temporary, then rename over the target. The
+        // rename itself only becomes durable once the *directory* is
+        // synced, which is what [`StorageBackend::sync`] does — callers
+        // that are about to delete data the new blob subsumes must call it
+        // in between.
         let tmp = self.path(&format!(".{name}.tmp"));
-        std::fs::write(&tmp, data)?;
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(data)?;
+            file.sync_all()?;
+        }
         std::fs::rename(&tmp, self.path(name))?;
         Ok(())
     }
@@ -201,6 +235,18 @@ impl StorageBackend for FileBackend {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e.into()),
         }
+    }
+
+    fn sync(&mut self) -> StoreResult<()> {
+        // fsync the directory so renames and unlinks are durable.
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn StorageBackend>> {
+        FileBackend::open(&self.dir)
+            .ok()
+            .map(|b| Box::new(b) as Box<dyn StorageBackend>)
     }
 
     fn total_bytes(&self) -> StoreResult<u64> {
@@ -229,6 +275,7 @@ mod tests {
             vec!["a.log".to_string(), "b.bin".to_string()]
         );
         assert_eq!(backend.total_bytes().unwrap(), 9);
+        backend.sync().unwrap();
         backend.delete("a.log").unwrap();
         backend.delete("a.log").unwrap(); // idempotent
         assert_eq!(backend.list().unwrap(), vec!["b.bin".to_string()]);
@@ -259,6 +306,26 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         exercise(&mut FileBackend::open(&dir).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn try_clone_yields_a_handle_onto_the_same_blobs() {
+        let mem = MemoryBackend::new();
+        let mut clone = mem.try_clone().expect("memory backends clone");
+        clone.append("shared", b"via clone").unwrap();
+        assert_eq!(mem.read("shared").unwrap().unwrap(), b"via clone");
+
+        let dir = std::env::temp_dir().join(format!(
+            "warp-store-clone-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut file = FileBackend::open(&dir).unwrap();
+        file.write_atomic("blob", b"original").unwrap();
+        let clone = file.try_clone().expect("file backends clone");
+        assert_eq!(clone.read("blob").unwrap().unwrap(), b"original");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -259,11 +259,44 @@ const CRC_TABLE: [u32; 256] = {
 
 /// Computes the CRC-32 (IEEE) checksum of a byte slice.
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.finish()
+}
+
+/// A streaming CRC-32 (IEEE) state, for checksumming data that is built
+/// in pieces — the record frame writer hashes `kind` and `payload` without
+/// first concatenating them into a scratch `Vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
     }
-    !crc
+
+    /// Folds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
 }
 
 #[cfg(test)]
@@ -333,5 +366,17 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"warp"), crc32(b"warq"));
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot() {
+        let data = b"123456789";
+        for split in 0..=data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), crc32(data), "split at {split}");
+        }
+        assert_eq!(Crc32::default().finish(), 0);
     }
 }

@@ -1,0 +1,260 @@
+//! A small, dependency-free LZ77 frame compressor for cold log segments.
+//!
+//! The cold retention tier re-encodes log segments that a base checkpoint
+//! has subsumed. The workspace deliberately vendors no compression crate,
+//! so this module hand-rolls a byte-oriented LZ77 variant tuned for log
+//! segments (long runs of similar record framing compress well; the code
+//! stays small enough to audit):
+//!
+//! * the compressor slides a window of up to 64 KiB and finds matches with
+//!   a single-probe hash table over 4-byte prefixes (greedy, no chains);
+//! * the token stream is a sequence of control bytes: top bit clear means
+//!   a literal run (`len = ctrl + 1`, 1..=128 bytes follow), top bit set
+//!   means a back-reference (`len = (ctrl & 0x7F) + 4`, 4..=131 bytes,
+//!   followed by a little-endian u16 distance 1..=65535).
+//!
+//! Decompression is bounds-checked everywhere and verifies the declared
+//! raw length, so corrupt cold blobs surface as errors, never panics or
+//! unbounded allocations. The caller (`log.rs`) additionally frames cold
+//! blobs with a CRC32 of the raw bytes.
+
+use crate::codec::{CodecError, CodecResult};
+
+/// Shortest back-reference worth emitting (also the hash-probe width).
+const MIN_MATCH: usize = 4;
+/// Longest back-reference one token can encode.
+const MAX_MATCH: usize = 0x7F + MIN_MATCH;
+/// Longest literal run one token can encode.
+const MAX_LITERALS: usize = 128;
+/// Farthest back a match may reach (u16 distance).
+const MAX_DISTANCE: usize = u16::MAX as usize;
+/// log2 of the hash table size (32 KiB of `usize` slots).
+const HASH_BITS: u32 = 15;
+
+fn hash4(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
+    while !literals.is_empty() {
+        let n = literals.len().min(MAX_LITERALS);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&literals[..n]);
+        literals = &literals[n..];
+    }
+}
+
+/// Compresses `data` into the token stream described in the module docs.
+/// Incompressible input degrades gracefully to literal runs (~0.8% framing
+/// overhead), never an error.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // `usize::MAX` marks an empty slot; positions are absolute offsets.
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0;
+    let mut i = 0;
+    while i + MIN_MATCH <= data.len() {
+        let slot = hash4(&data[i..]);
+        let candidate = table[slot];
+        table[slot] = i;
+        let mut len = 0;
+        if candidate != usize::MAX && i - candidate <= MAX_DISTANCE {
+            let limit = (data.len() - i).min(MAX_MATCH);
+            while len < limit && data[candidate + len] == data[i + len] {
+                len += 1;
+            }
+        }
+        if len >= MIN_MATCH {
+            flush_literals(&mut out, &data[literal_start..i]);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            out.extend_from_slice(&((i - candidate) as u16).to_le_bytes());
+            i += len;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &data[literal_start..]);
+    out
+}
+
+/// Decompresses a token stream produced by [`compress`]. `raw_len` is the
+/// expected size of the original data (carried in the cold blob header);
+/// any disagreement — truncated stream, distance beyond the output written
+/// so far, over- or under-long result — is a [`CodecError`].
+pub fn decompress(data: &[u8], raw_len: usize) -> CodecResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0;
+    while pos < data.len() {
+        let ctrl = data[pos];
+        pos += 1;
+        if ctrl & 0x80 == 0 {
+            let n = ctrl as usize + 1;
+            if data.len() - pos < n {
+                return Err(CodecError(format!(
+                    "literal run of {n} bytes overruns the compressed stream"
+                )));
+            }
+            if out.len() + n > raw_len {
+                return Err(CodecError("decompressed past declared length".into()));
+            }
+            out.extend_from_slice(&data[pos..pos + n]);
+            pos += n;
+        } else {
+            let len = (ctrl & 0x7F) as usize + MIN_MATCH;
+            if data.len() - pos < 2 {
+                return Err(CodecError("truncated back-reference distance".into()));
+            }
+            let distance = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+            pos += 2;
+            if distance == 0 || distance > out.len() {
+                return Err(CodecError(format!(
+                    "back-reference distance {distance} with only {} bytes produced",
+                    out.len()
+                )));
+            }
+            if out.len() + len > raw_len {
+                return Err(CodecError("decompressed past declared length".into()));
+            }
+            // Matches may overlap their own output (distance < len encodes
+            // a repeating pattern), so copy byte-by-byte.
+            let start = out.len() - distance;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(CodecError(format!(
+            "decompressed to {} bytes, header declared {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let packed = compress(data);
+        decompress(&packed, data.len()).expect("round trip")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_round_trip() {
+        assert_eq!(round_trip(b""), b"");
+        assert_eq!(round_trip(b"a"), b"a");
+        assert_eq!(round_trip(b"abc"), b"abc");
+        assert_eq!(round_trip(b"abcd"), b"abcd");
+    }
+
+    #[test]
+    fn repetitive_input_round_trips_and_shrinks() {
+        let data: Vec<u8> = b"record-frame-0123456789"
+            .iter()
+            .copied()
+            .cycle()
+            .take(8192)
+            .collect();
+        let packed = compress(&data);
+        assert!(
+            packed.len() * 4 < data.len(),
+            "repetitive data must compress well: {} -> {}",
+            data.len(),
+            packed.len()
+        );
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_matches_round_trip() {
+        // A run of one byte forces distance-1 matches longer than the
+        // distance — the overlapping-copy case.
+        let data = vec![0x41u8; 1000];
+        assert_eq!(round_trip(&data), data);
+        // Short period just above MIN_MATCH.
+        let data: Vec<u8> = b"abcde".iter().copied().cycle().take(977).collect();
+        assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
+    fn pseudorandom_input_round_trips() {
+        // Deterministic xorshift stream: essentially incompressible, which
+        // exercises long literal runs and the MAX_LITERALS split.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut data = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            data.push(state as u8);
+        }
+        let packed = compress(&data);
+        // Framing overhead stays bounded even on incompressible input.
+        assert!(packed.len() <= data.len() + data.len() / 64 + 8);
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_structured_input_round_trips() {
+        // Simulated segment bytes: varied frames with shared structure.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"WARPSEG1");
+        for i in 0..500u32 {
+            data.extend_from_slice(&(12u32).to_le_bytes());
+            data.extend_from_slice(&i.to_le_bytes());
+            data.push(3);
+            data.extend_from_slice(b"payload");
+            data.extend_from_slice(&i.to_le_bytes());
+        }
+        let packed = compress(&data);
+        assert!(packed.len() < data.len());
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_streams_error_instead_of_panicking() {
+        let data: Vec<u8> = (0..200u8).cycle().take(4000).collect();
+        let packed = compress(&data);
+        // Truncations at every prefix length must fail cleanly (either a
+        // decode error or a length mismatch), never panic.
+        for cut in 0..packed.len() {
+            assert!(
+                decompress(&packed[..cut], data.len()).is_err(),
+                "truncation to {cut} bytes must not round-trip"
+            );
+        }
+        // Wrong declared length.
+        assert!(decompress(&packed, data.len() + 1).is_err());
+        assert!(decompress(&packed, data.len().saturating_sub(1)).is_err());
+        // A back-reference before any output exists.
+        assert!(decompress(&[0x80, 0x01, 0x00], 4).is_err());
+        // Distance of zero.
+        assert!(decompress(&[0x00, 0x41, 0x80, 0x00, 0x00], 5).is_err());
+    }
+
+    #[test]
+    fn every_byte_flip_is_rejected_or_changes_the_output() {
+        // The decompressor itself cannot detect every corruption (that is
+        // the CRC's job), but it must never panic and must never return
+        // the original bytes for a corrupted stream that decodes.
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .iter()
+            .copied()
+            .cycle()
+            .take(2000)
+            .collect();
+        let packed = compress(&data);
+        for i in 0..packed.len() {
+            let mut bad = packed.clone();
+            bad[i] ^= 0xFF;
+            if let Ok(out) = decompress(&bad, data.len()) {
+                assert_ne!(out, data, "flipping byte {i} must not be a no-op");
+            }
+        }
+    }
+}

@@ -80,11 +80,23 @@ enum WriterMsg {
     Record { kind: u8, payload: Vec<u8> },
     /// Run this callback once every record submitted before it is durable.
     Notify(Box<dyn FnOnce() + Send>),
-    /// Flush pending records, then write a checkpoint (compacting the log).
+    /// Flush pending records, then write a *base* checkpoint (compacting
+    /// the log).
     Checkpoint {
         payload: Vec<u8>,
         reply: Sender<u64>,
     },
+    /// Flush pending records, then write a *delta* checkpoint chained on
+    /// the current tip (compacting nothing).
+    DeltaCheckpoint {
+        payload: Vec<u8>,
+        reply: Sender<Option<u64>>,
+    },
+    /// Flush, then delete every cold blob (the GC path); replies with
+    /// bytes freed.
+    PruneCold(Sender<u64>),
+    /// Flush, then report whether any checkpoint chain exists on disk.
+    HasCheckpoint(Sender<bool>),
     /// Flush, then report the backend's total stored bytes.
     TotalBytes(Sender<u64>),
     /// Report batching counters.
@@ -141,11 +153,36 @@ impl GroupCommitWriter {
         rx.recv().expect("group-commit writer thread died");
     }
 
-    /// Flushes pending records, then writes `payload` as a checkpoint
-    /// (compacting the log). Returns the checkpoint LSN.
+    /// Flushes pending records, then writes `payload` as a *base*
+    /// checkpoint (compacting the log). Returns the checkpoint LSN.
     pub fn write_checkpoint(&self, payload: Vec<u8>) -> u64 {
         let (reply, rx) = channel();
         self.send(WriterMsg::Checkpoint { payload, reply });
+        rx.recv().expect("group-commit writer thread died")
+    }
+
+    /// Flushes pending records, then writes `payload` as a *delta*
+    /// checkpoint chained on the current tip. Returns the delta's LSN, or
+    /// `None` when no records landed since the last checkpoint (nothing
+    /// was written).
+    pub fn write_delta_checkpoint(&self, payload: Vec<u8>) -> Option<u64> {
+        let (reply, rx) = channel();
+        self.send(WriterMsg::DeltaCheckpoint { payload, reply });
+        rx.recv().expect("group-commit writer thread died")
+    }
+
+    /// Flushes, then deletes every cold blob. Returns bytes freed.
+    pub fn prune_cold_blobs(&self) -> u64 {
+        let (reply, rx) = channel();
+        self.send(WriterMsg::PruneCold(reply));
+        rx.recv().expect("group-commit writer thread died")
+    }
+
+    /// Flushes, then reports whether a checkpoint chain exists on disk
+    /// (deltas need a base to chain onto).
+    pub fn has_checkpoint(&self) -> bool {
+        let (reply, rx) = channel();
+        self.send(WriterMsg::HasCheckpoint(reply));
         rx.recv().expect("group-commit writer thread died")
     }
 
@@ -290,6 +327,21 @@ fn writer_loop(mut store: DurableStore, policy: BatchPolicy, rx: Receiver<Writer
                     .unwrap_or_else(|e| panic!("checkpoint write failed: {e}"));
                 let _ = reply.send(lsn);
             }
+            Some(WriterMsg::DeltaCheckpoint { payload, reply }) => {
+                let lsn = store
+                    .write_delta_checkpoint(&payload)
+                    .unwrap_or_else(|e| panic!("delta checkpoint write failed: {e}"));
+                let _ = reply.send(lsn);
+            }
+            Some(WriterMsg::PruneCold(reply)) => {
+                let freed = store
+                    .prune_cold_blobs()
+                    .unwrap_or_else(|e| panic!("cold blob pruning failed: {e}"));
+                let _ = reply.send(freed);
+            }
+            Some(WriterMsg::HasCheckpoint(reply)) => {
+                let _ = reply.send(store.has_checkpoint());
+            }
             Some(WriterMsg::TotalBytes(reply)) => {
                 let _ = reply.send(store.total_bytes().unwrap_or(0));
             }
@@ -408,6 +460,29 @@ mod tests {
         assert_eq!(recovered.checkpoint.as_deref(), Some(b"STATE@2".as_slice()));
         assert_eq!(recovered.records, vec![(2, 1, b"c".to_vec())]);
         assert!(mem.list().unwrap().iter().any(|n| n.starts_with("ckpt-")));
+    }
+
+    #[test]
+    fn delta_checkpoint_through_the_writer_chains_on_the_base() {
+        let mem = MemoryBackend::new();
+        let writer = GroupCommitWriter::spawn(store(&mem), BatchPolicy::default());
+        assert!(!writer.has_checkpoint());
+        writer.submit(1, b"a".to_vec());
+        let base = writer.write_checkpoint(b"BASE@1".to_vec());
+        assert_eq!(base, 1);
+        assert!(writer.has_checkpoint());
+        writer.submit(1, b"b".to_vec());
+        // The delta flushes the pending record first, so it covers LSN 2.
+        assert_eq!(writer.write_delta_checkpoint(b"D@2".to_vec()), Some(2));
+        // Nothing new: the delta is skipped.
+        assert_eq!(writer.write_delta_checkpoint(b"noop".to_vec()), None);
+        writer.submit(1, b"c".to_vec());
+        drop(writer);
+        let (_, recovered) = DurableStore::open(Box::new(mem), StoreOptions::default()).unwrap();
+        assert_eq!(recovered.checkpoint.as_deref(), Some(b"BASE@1".as_slice()));
+        assert_eq!(recovered.deltas, vec![b"D@2".to_vec()]);
+        assert_eq!(recovered.checkpoint_lsn, 2);
+        assert_eq!(recovered.records, vec![(2, 1, b"c".to_vec())]);
     }
 
     #[test]

@@ -106,6 +106,15 @@ pub struct TimeTravelDb {
     current_gen: Generation,
     repair_gen: Option<Generation>,
     next_synthetic_row_id: i64,
+    /// True while the incremental-checkpoint mutation tracker is armed
+    /// (see [`TimeTravelDb::enable_checkpoint_capture`]).
+    ckpt_capture: bool,
+    /// Changes parked for the next incremental checkpoint. The engine has a
+    /// single live capture slot, shared with repair-delta tracking; whenever
+    /// the slot has to be handed to a repair generation (or drained for a
+    /// repair commit), the checkpoint-bound changes accumulated so far are
+    /// swept in here and netted only when the checkpoint is actually cut.
+    ckpt_changes: BTreeMap<String, warp_sql::TableChanges>,
 }
 
 impl Default for TimeTravelDb {
@@ -123,6 +132,8 @@ impl TimeTravelDb {
             current_gen: 0,
             repair_gen: None,
             next_synthetic_row_id: 1,
+            ckpt_capture: false,
+            ckpt_changes: BTreeMap::new(),
         }
     }
 
@@ -685,6 +696,13 @@ impl TimeTravelDb {
     /// engine re-begins the generation on worker clones per repair unit).
     pub fn begin_repair_generation(&mut self) -> Generation {
         let next = self.current_gen + 1;
+        if self.repair_gen.is_none() && self.ckpt_capture {
+            // The live capture slot holds normal-execution changes destined
+            // for the next incremental checkpoint; park them so the repair's
+            // capture starts clean and drains only the repair's own effect.
+            let raw = self.db.take_change_capture();
+            merge_changes(&mut self.ckpt_changes, raw);
+        }
         self.repair_gen = Some(next);
         self.db.begin_change_capture();
         next
@@ -706,7 +724,15 @@ impl TimeTravelDb {
     /// byte-identical to what diffing a pre-repair snapshot against the
     /// post-repair rows would produce, at O(rows changed) cost.
     pub fn drain_repair_delta(&mut self) -> crate::delta::RepairDelta {
-        crate::delta::net_changes(self.db.take_change_capture())
+        let raw = self.db.take_change_capture();
+        if self.ckpt_capture {
+            // The repair's physical changes are also changes since the last
+            // checkpoint: mirror them into the checkpoint tracker and re-arm
+            // the capture slot for normal execution.
+            merge_changes(&mut self.ckpt_changes, raw.clone());
+            self.db.begin_change_capture();
+        }
+        crate::delta::net_changes(raw)
     }
 
     /// Aborts an in-progress repair, discarding every change made in the
@@ -714,7 +740,13 @@ impl TimeTravelDb {
     /// conflicts for other users, paper §5.5). The tracked delta is
     /// discarded with it (the abort's own cleanup is not a repair effect).
     pub fn abort_repair_generation(&mut self) -> SqlResult<()> {
-        self.db.discard_change_capture();
+        if !self.ckpt_capture {
+            self.db.discard_change_capture();
+        }
+        // With checkpoint capture armed, the slot stays live through the
+        // cleanup below: the repair's physical churn plus its own undoing
+        // nets to nothing, so the checkpoint tracker stays exact without
+        // special-casing the abort path.
         let Some(next) = self.repair_gen.take() else {
             return Ok(());
         };
@@ -742,6 +774,57 @@ impl TimeTravelDb {
             self.db.execute(&update)?;
         }
         Ok(())
+    }
+
+    /// Arms the incremental-checkpoint mutation tracker: from here on,
+    /// every stored-row mutation is captured so cutting a checkpoint costs
+    /// O(rows changed since the last one) instead of O(database). The
+    /// tracker multiplexes the engine's single capture slot with repair
+    /// deltas — see the sweep logic in
+    /// [`TimeTravelDb::begin_repair_generation`] and
+    /// [`TimeTravelDb::drain_repair_delta`]. Idempotent.
+    pub fn enable_checkpoint_capture(&mut self) {
+        self.ckpt_capture = true;
+        if self.repair_gen.is_none() {
+            self.db.begin_change_capture();
+        }
+        // With a repair in flight the slot already belongs to the repair
+        // delta; drain_repair_delta re-arms it on our behalf.
+    }
+
+    /// True if the incremental-checkpoint tracker is armed.
+    pub fn checkpoint_capture_enabled(&self) -> bool {
+        self.ckpt_capture
+    }
+
+    /// Drains everything the checkpoint tracker captured since the last
+    /// drain as a canonical netted delta (same representation as
+    /// [`TimeTravelDb::drain_repair_delta`]) and re-arms the tracker.
+    ///
+    /// While a repair generation is in flight, the live capture belongs to
+    /// the repair and is *not* swept: an uncommitted repair's mutations are
+    /// invisible to normal execution and absent from the durable log, so a
+    /// checkpoint cut mid-repair must not contain them. They reach the
+    /// tracker when the repair commits (via the drain's mirroring) — or
+    /// cancel out if it aborts.
+    pub fn drain_checkpoint_delta(&mut self) -> crate::delta::RepairDelta {
+        if self.repair_gen.is_none() {
+            let raw = self.db.take_change_capture();
+            merge_changes(&mut self.ckpt_changes, raw);
+            if self.ckpt_capture {
+                self.db.begin_change_capture();
+            }
+        }
+        crate::delta::net_changes(std::mem::take(&mut self.ckpt_changes))
+    }
+
+    /// Disarms the checkpoint tracker, dropping whatever it held.
+    pub fn discard_checkpoint_delta(&mut self) {
+        self.ckpt_capture = false;
+        self.ckpt_changes.clear();
+        if self.repair_gen.is_none() {
+            self.db.discard_change_capture();
+        }
     }
 
     /// Rolls back the listed rows of `table` to their state just before
@@ -1149,6 +1232,10 @@ impl TimeTravelDb {
             current_gen: self.current_gen,
             repair_gen: self.repair_gen,
             next_synthetic_row_id: self.next_synthetic_row_id,
+            // Worker clones never cut checkpoints; their mutations reach the
+            // master's trackers through the merged row diffs.
+            ckpt_capture: false,
+            ckpt_changes: BTreeMap::new(),
         }
     }
 
@@ -1268,6 +1355,19 @@ impl TimeTravelDb {
 
 fn norm(name: &str) -> String {
     name.to_ascii_lowercase()
+}
+
+/// Appends raw engine capture into a parked change map (both sides stay
+/// un-netted; netting happens once, at drain time).
+fn merge_changes(
+    into: &mut BTreeMap<String, warp_sql::TableChanges>,
+    from: BTreeMap<String, warp_sql::TableChanges>,
+) {
+    for (table, changes) in from {
+        let entry = into.entry(table).or_default();
+        entry.removed.extend(changes.removed);
+        entry.added.extend(changes.added);
+    }
 }
 
 /// Looks up a named column in a materialised row.
@@ -1857,6 +1957,142 @@ mod tests {
         assert!(matches!(scope, RowScope::AllRows));
         scope.union_with(&RowScope::Partitions(key("C")));
         assert!(matches!(scope, RowScope::AllRows));
+    }
+
+    /// The checkpoint tracker must produce exactly the delta that
+    /// snapshot-diffing the stored rows across the same span would.
+    #[test]
+    fn checkpoint_capture_matches_snapshot_diff() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        db.enable_checkpoint_capture();
+        let before = db.table_rows_snapshot("page");
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE page_id = 1", 20)
+            .unwrap();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (2, 'Help', 'bob', 'h1')",
+            30,
+        )
+        .unwrap();
+        let delta = db.drain_checkpoint_delta();
+        let after = db.table_rows_snapshot("page");
+        let reference = crate::delta::row_diff(&before, &after);
+        assert_eq!(delta.get("page"), Some(&reference));
+        // Draining re-arms: the next span is tracked independently.
+        assert!(db.drain_checkpoint_delta().is_empty());
+        db.execute_logged("DELETE FROM page WHERE page_id = 2", 40)
+            .unwrap();
+        assert!(!db.drain_checkpoint_delta().is_empty());
+    }
+
+    /// A committed repair's physical changes land in the checkpoint delta
+    /// alongside normal-execution changes from the same span.
+    #[test]
+    fn checkpoint_capture_includes_committed_repairs() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1'), (2, 'Help', 'bob', 'h1')",
+            10,
+        )
+        .unwrap();
+        db.execute_logged("UPDATE page SET body = 'attacked' WHERE page_id = 1", 20)
+            .unwrap();
+        db.enable_checkpoint_capture();
+        let before = db.table_rows_snapshot("page");
+        // Normal-execution change before the repair begins.
+        db.execute_logged("UPDATE page SET body = 'h2' WHERE page_id = 2", 25)
+            .unwrap();
+        let gen = db.begin_repair_generation();
+        db.rollback_rows("page", &[Value::Int(1)], 20, gen).unwrap();
+        db.finalize_repair_generation();
+        let repair_delta = db.drain_repair_delta();
+        // The repair delta holds only the repair's effect (page 1)...
+        assert!(repair_delta["page"]
+            .add
+            .iter()
+            .chain(&repair_delta["page"].remove)
+            .all(|r| r[0] == Value::Int(1)));
+        // ...while the checkpoint delta covers the whole span.
+        let delta = db.drain_checkpoint_delta();
+        let after = db.table_rows_snapshot("page");
+        let reference = crate::delta::row_diff(&before, &after);
+        assert_eq!(delta.get("page"), Some(&reference));
+    }
+
+    /// An aborted repair's churn nets out of the checkpoint delta: the
+    /// capture stays armed through the abort cleanup, so the mutations and
+    /// their undoing cancel.
+    #[test]
+    fn aborted_repair_nets_out_of_the_checkpoint_delta() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        db.enable_checkpoint_capture();
+        let before = db.table_rows_snapshot("page");
+        let gen = db.begin_repair_generation();
+        let stmt = warp_sql::parse("UPDATE page SET body = 'edit' WHERE page_id = 1").unwrap();
+        db.execute_stmt_logged(&stmt, 20, gen).unwrap();
+        db.abort_repair_generation().unwrap();
+        assert!(db.drain_repair_delta().is_empty());
+        let delta = db.drain_checkpoint_delta();
+        let after = db.table_rows_snapshot("page");
+        let reference = crate::delta::row_diff(&before, &after);
+        assert!(reference.is_empty(), "abort restores the stored rows");
+        assert!(
+            delta.is_empty(),
+            "nothing net survives the abort: {delta:?}"
+        );
+        // The tracker is still armed afterwards.
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE page_id = 1", 30)
+            .unwrap();
+        assert!(!db.drain_checkpoint_delta().is_empty());
+    }
+
+    /// A checkpoint cut while a repair is in flight must not contain the
+    /// uncommitted repair's mutations (they are absent from the durable
+    /// log the checkpoint summarises).
+    #[test]
+    fn checkpoint_cut_mid_repair_excludes_uncommitted_changes() {
+        let mut db = page_db();
+        db.execute_logged(
+            "INSERT INTO page (page_id, title, owner, body) VALUES (1, 'Main', 'alice', 'v1')",
+            10,
+        )
+        .unwrap();
+        db.enable_checkpoint_capture();
+        db.execute_logged("UPDATE page SET body = 'v2' WHERE page_id = 1", 20)
+            .unwrap();
+        let pre_repair = db.table_rows_snapshot("page");
+        let gen = db.begin_repair_generation();
+        let stmt = warp_sql::parse("UPDATE page SET body = 'repaired' WHERE page_id = 1").unwrap();
+        db.execute_stmt_logged(&stmt, 15, gen).unwrap();
+        // Cut mid-repair: only the pre-repair normal change is present.
+        let delta = db.drain_checkpoint_delta();
+        let all_versions: Vec<Vec<Value>> = delta["page"].add.to_vec();
+        assert!(
+            all_versions
+                .iter()
+                .all(|r| r.iter().all(|v| v != &Value::text("repaired"))),
+            "uncommitted repair rows leaked into the checkpoint: {delta:?}"
+        );
+        assert!(!delta.is_empty(), "the pre-repair change is present");
+        // Once committed and drained, the repair reaches the next checkpoint.
+        db.finalize_repair_generation();
+        let _ = db.drain_repair_delta();
+        let delta = db.drain_checkpoint_delta();
+        let after = db.table_rows_snapshot("page");
+        // Folding both checkpoint deltas over the pre-repair snapshot is not
+        // directly expressible here; it suffices that the second delta turns
+        // the mid-repair state into the final state.
+        let reference = crate::delta::row_diff(&pre_repair, &after);
+        assert_eq!(delta.get("page"), Some(&reference));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! in-memory run — both before and after a retroactive-patch repair.
 //!
 //! ```text
-//! usage: crash_recovery [DIR] [--phase crash|recover|all] [--kill-after N]
+//! usage: crash_recovery [DIR] [--phase crash|recover|all] [--kill-after N] [--kill-mode actions|checkpoint]
 //! ```
 //!
 //! * `--phase crash`   — serve the scenario against a file-backed store in
@@ -14,10 +14,19 @@
 //!   *reference* server by re-serving the recovered history's requests, and
 //!   compare canonical dumps and repair outcomes. Prints `RECOVERY OK`.
 //! * `--phase all` (default) — spawn itself for the crash phase (expecting
-//!   the abnormal exit), then recover in-process. This is what CI runs.
+//!   the abnormal exit), then recover in-process — once killing between
+//!   actions and once killing in the middle of a checkpoint. This is what
+//!   CI runs.
+//!
+//! `--kill-mode checkpoint` arms the store's kill point instead of counting
+//! actions: the process aborts right after a base checkpoint blob is
+//! written and synced but *before* the now-subsumed log segments and older
+//! checkpoints are deleted — the exact window the store's write/sync/delete
+//! ordering promises is safe. Recovery must come from that checkpoint.
 
 use warp_core::{
-    AppConfig, FileBackend, Patch, RepairRequest, RepairStrategy, Warp, WarpHost, WarpServer,
+    AppConfig, FileBackend, Patch, RepairRequest, RepairStrategy, StoreOptions, Warp, WarpHost,
+    WarpServer, KILL_AFTER_CKPT_WRITE_ENV,
 };
 use warp_http::HttpRequest;
 use warp_ttdb::TableAnnotation;
@@ -123,7 +132,31 @@ fn drive<H: WarpHost>(server: &mut H, kill_after: Option<usize>) {
     }
 }
 
-fn open_persistent(dir: &str) -> (Warp, warp_core::RecoveryReport) {
+/// How the crash phase goes down.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum KillMode {
+    /// `abort()` once `kill_after` actions are logged.
+    Actions,
+    /// Arm the store's kill point: `abort()` right after a base checkpoint
+    /// blob is written and synced, before any subsumed blob is deleted.
+    Checkpoint,
+}
+
+/// A checkpoint interval small enough that the mid-checkpoint kill fires
+/// well inside the workload.
+const CKPT_KILL_INTERVAL: u64 = 10;
+
+fn store_options(mode: KillMode) -> StoreOptions {
+    match mode {
+        KillMode::Actions => StoreOptions::default(),
+        KillMode::Checkpoint => StoreOptions {
+            checkpoint_interval: CKPT_KILL_INTERVAL,
+            ..StoreOptions::default()
+        },
+    }
+}
+
+fn open_persistent(dir: &str, options: StoreOptions) -> (Warp, warp_core::RecoveryReport) {
     let backend = FileBackend::open(format!("{dir}/store"))
         .unwrap_or_else(|e| panic!("opening store in {dir}: {e}"));
     // Group commit: responses are acknowledged only once their log record
@@ -131,20 +164,41 @@ fn open_persistent(dir: &str) -> (Warp, warp_core::RecoveryReport) {
     Warp::builder()
         .app(app())
         .backend(Box::new(backend))
+        .store_options(options)
         .build()
         .unwrap_or_else(|e| panic!("recovering from {dir}: {e}"))
 }
 
-fn phase_crash(dir: &str, kill_after: usize) {
+fn phase_crash(dir: &str, kill_after: usize, mode: KillMode) {
     let _ = std::fs::remove_dir_all(dir);
-    let (mut warp, report) = open_persistent(dir);
+    if mode == KillMode::Checkpoint {
+        // The store aborts this process inside its next base checkpoint
+        // write, between the blob sync and the cleanup deletes.
+        std::env::set_var(KILL_AFTER_CKPT_WRITE_ENV, "1");
+    }
+    let (mut warp, report) = open_persistent(dir, store_options(mode));
     assert!(!report.recovered, "crash phase must start from empty store");
-    drive(&mut warp, Some(kill_after));
-    unreachable!("kill_after {kill_after} never reached in {TOTAL_STEPS} steps");
+    match mode {
+        KillMode::Actions => {
+            drive(&mut warp, Some(kill_after));
+            unreachable!("kill_after {kill_after} never reached in {TOTAL_STEPS} steps");
+        }
+        KillMode::Checkpoint => {
+            drive(&mut warp, None);
+            unreachable!(
+                "checkpoint kill point never fired in {TOTAL_STEPS} steps \
+                 (interval {CKPT_KILL_INTERVAL})"
+            );
+        }
+    }
 }
 
-fn phase_recover(dir: &str) -> bool {
-    let (warp, report) = open_persistent(dir);
+fn phase_recover(dir: &str, mode: KillMode) -> bool {
+    let (warp, report) = open_persistent(dir, store_options(mode));
+    if mode == KillMode::Checkpoint && !report.from_checkpoint {
+        eprintln!("FAIL: mid-checkpoint kill must leave a recoverable checkpoint");
+        return false;
+    }
     let mut recovered = warp.close();
     println!(
         "recovered: checkpoint={} records_replayed={} torn_tail={} actions={}",
@@ -224,15 +278,21 @@ fn phase_recover(dir: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: crash_recovery [DIR] [--phase crash|recover|all] [--kill-after N]");
+        println!(
+            "usage: crash_recovery [DIR] [--phase crash|recover|all] [--kill-after N] \
+             [--kill-mode actions|checkpoint]"
+        );
         println!("\nRuns a persistent wiki scenario, kills it mid-flight, recovers from the");
         println!("on-disk store, and verifies canonical state and repair outcome match an");
         println!("uninterrupted in-memory run. Default DIR is a temp directory.");
+        println!("\n--kill-mode checkpoint aborts inside a base checkpoint write, after the");
+        println!("blob is synced but before subsumed segments are deleted.");
         return;
     }
     let mut dir: Option<String> = None;
     let mut phase = "all".to_string();
     let mut kill_after = 13usize;
+    let mut kill_mode = KillMode::Actions;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -253,6 +313,17 @@ fn main() {
                     });
                 i += 2;
             }
+            "--kill-mode" => {
+                kill_mode = match args.get(i + 1).map(String::as_str) {
+                    Some("actions") => KillMode::Actions,
+                    Some("checkpoint") => KillMode::Checkpoint,
+                    _ => {
+                        eprintln!("--kill-mode requires actions|checkpoint");
+                        std::process::exit(2);
+                    }
+                };
+                i += 2;
+            }
             other => {
                 dir = Some(other.to_string());
                 i += 1;
@@ -266,35 +337,43 @@ fn main() {
             .into_owned()
     });
     match phase.as_str() {
-        "crash" => phase_crash(&dir, kill_after),
+        "crash" => phase_crash(&dir, kill_after, kill_mode),
         "recover" => {
-            if !phase_recover(&dir) {
+            if !phase_recover(&dir, kill_mode) {
                 std::process::exit(1);
             }
         }
         "all" => {
             // Crash in a subprocess (abort() must not take this process
-            // down), then recover here.
+            // down), then recover here — once per kill mode.
             let me = std::env::current_exe().expect("current_exe");
-            let status = std::process::Command::new(me)
-                .args([
-                    dir.as_str(),
-                    "--phase",
-                    "crash",
-                    "--kill-after",
-                    &kill_after.to_string(),
-                ])
-                .status()
-                .expect("spawn crash phase");
-            if status.success() {
-                eprintln!("FAIL: crash phase exited cleanly instead of aborting");
-                std::process::exit(1);
-            }
-            println!("crash phase aborted as intended ({status})");
-            let ok = phase_recover(&dir);
-            let _ = std::fs::remove_dir_all(&dir);
-            if !ok {
-                std::process::exit(1);
+            for (mode, mode_name) in [
+                (KillMode::Actions, "actions"),
+                (KillMode::Checkpoint, "checkpoint"),
+            ] {
+                let round_dir = format!("{dir}-{mode_name}");
+                let status = std::process::Command::new(&me)
+                    .args([
+                        round_dir.as_str(),
+                        "--phase",
+                        "crash",
+                        "--kill-after",
+                        &kill_after.to_string(),
+                        "--kill-mode",
+                        mode_name,
+                    ])
+                    .status()
+                    .expect("spawn crash phase");
+                if status.success() {
+                    eprintln!("FAIL: {mode_name} crash phase exited cleanly instead of aborting");
+                    std::process::exit(1);
+                }
+                println!("{mode_name} crash phase aborted as intended ({status})");
+                let ok = phase_recover(&round_dir, mode);
+                let _ = std::fs::remove_dir_all(&round_dir);
+                if !ok {
+                    std::process::exit(1);
+                }
             }
         }
         other => {

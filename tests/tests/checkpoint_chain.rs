@@ -1,0 +1,346 @@
+//! Crash-point tests for the incremental checkpoint chain: random workloads
+//! against small checkpoint intervals so real base + delta chains form, then
+//! a crash with the backend torn or a chain blob corrupted at a random
+//! point — including mid-chain links and mid-compaction images — followed by
+//! recovery and an equality check against an uninterrupted in-memory replay.
+
+use proptest::prelude::*;
+use warp_browser::Browser;
+use warp_core::{
+    AppConfig, MemoryBackend, RepairRequest, RepairStrategy, ServerConfig, StorageBackend,
+    StoreOptions, WarpServer,
+};
+use warp_http::HttpRequest;
+use warp_ttdb::TableAnnotation;
+
+/// The same small wiki the plain persistence tests use: five partitioned
+/// pages, a view page, and an edit page.
+fn wiki() -> AppConfig {
+    let mut config = AppConfig::new("chain-wiki");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    for p in 0..5 {
+        config.seed(format!(
+            "INSERT INTO page (page_id, title, body) VALUES ({}, 'Page{p}', 'seed {p}')",
+            p + 1
+        ));
+    }
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"<p>missing</p>\"); } else { echo(\"<div>\" . rows[0][\"body\"] . \"</div>\"); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"<p>saved</p>\");",
+    );
+    config
+}
+
+fn open_wiki(
+    backend: &MemoryBackend,
+    options: StoreOptions,
+) -> (WarpServer, warp_core::RecoveryReport) {
+    WarpServer::open(
+        ServerConfig::new(wiki())
+            .with_backend(Box::new(backend.clone()))
+            .with_store_options(options),
+    )
+    .expect("open persistent wiki")
+}
+
+/// Applies one encoded workload operation: an edit, a view, or a browser
+/// visit followed by a client-log upload.
+fn apply_op(server: &mut WarpServer, browser: &mut Browser, op: usize) {
+    let page = (op / 3) % 5;
+    match op % 3 {
+        0 => {
+            server.handle(HttpRequest::post(
+                "/edit.wasl",
+                [
+                    ("title", format!("Page{page}").as_str()),
+                    ("body", format!("body {op}").as_str()),
+                ],
+            ));
+        }
+        1 => {
+            server.handle(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+        }
+        _ => {
+            let visit = browser.visit(&format!("/view.wasl?title=Page{page}"), server);
+            let _ = visit;
+            server.upload_client_logs(browser.take_logs());
+        }
+    }
+}
+
+/// Rebuilds an uninterrupted in-memory server equivalent to the recovered
+/// one: re-serves exactly the requests the recovered history holds and
+/// uploads the recovered client logs.
+fn reference_for(recovered: &WarpServer) -> WarpServer {
+    let mut reference = WarpServer::new(wiki());
+    for action in recovered.history.actions().to_vec() {
+        reference.handle(action.request);
+    }
+    for client in recovered.history.client_ids() {
+        let logs: Vec<_> = recovered
+            .history
+            .client_visits(&client)
+            .into_iter()
+            .cloned()
+            .collect();
+        reference.upload_client_logs(logs);
+    }
+    reference
+}
+
+/// Backend blob names matching a prefix, sorted.
+fn blobs_with_prefix(backend: &MemoryBackend, prefix: &str) -> Vec<String> {
+    backend
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with(prefix))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chain-shaped crash property. A random workload with a small
+    /// checkpoint interval grows a base + delta chain; then the crash takes
+    /// one of three shapes:
+    ///
+    /// * mode 0 — a torn tail: the final log segment is truncated at a
+    ///   random byte offset. Recovery may lose a suffix but must equal an
+    ///   uninterrupted replay of exactly the surviving prefix.
+    /// * mode 1 — a corrupted mid-chain link: one delta checkpoint blob is
+    ///   truncated at a random offset. Base checkpoints delete log segments
+    ///   but deltas never do, so recovery must fall back past the torn link
+    ///   and rebuild the FULL pre-crash state from earlier links plus the
+    ///   log.
+    /// * mode 2 — mid-compaction: the maintenance worker folds the chain
+    ///   into a new base, and the crash image is taken right after the new
+    ///   base blob hits the backend but before any old link is deleted (the
+    ///   write/sync/delete ordering the store promises). Recovery from both
+    ///   that image and the fully-folded backend must rebuild the full
+    ///   state.
+    #[test]
+    fn chain_recovery_equals_replaying_the_surviving_prefix(
+        ops in proptest::collection::vec(0usize..1000, 6..30),
+        interval in 1u64..4,
+        mode in 0usize..3,
+        cut in 0usize..100_000,
+    ) {
+        // A small checkpoint interval and (without a worker) a high fold
+        // threshold so delta chains actually persist; small segments for
+        // multi-segment logs. Mode 2 runs the maintenance worker with an
+        // aggressive fold threshold CONCURRENTLY with the workload instead.
+        let options = StoreOptions {
+            segment_bytes: 2048,
+            checkpoint_interval: interval,
+            fold_after_deltas: if mode == 2 { 2 } else { 1000 },
+            ..StoreOptions::default()
+        };
+        let backend = MemoryBackend::new();
+        let (mut server, _) = open_wiki(&backend, options);
+        if mode == 2 {
+            prop_assert!(server.start_maintenance());
+        }
+        let mut browser = Browser::new("chain-client");
+        for &op in &ops {
+            apply_op(&mut server, &mut browser, op);
+        }
+
+        let mut mid_compaction: Option<MemoryBackend> = None;
+        if mode == 2 {
+            // One final synchronous pass. The pre-pass snapshot plus the
+            // base blobs written afterwards is exactly the image a crash
+            // between the fold's base write/sync and its old-link deletes
+            // would leave behind.
+            let pre_fold = backend.snapshot();
+            let stats = server.run_maintenance_pass().expect("worker running");
+            prop_assert_eq!(stats.errors, 0);
+            let mut image = pre_fold.snapshot();
+            for name in blobs_with_prefix(&backend, "ckpt-base-") {
+                let data = backend.read(&name).unwrap().unwrap();
+                image.write_atomic(&name, &data).unwrap();
+            }
+            mid_compaction = Some(image);
+        }
+
+        let full_len = server.history.len();
+        let full_clock = server.clock.now();
+        let full_dump = server.db.canonical_dump();
+        drop(server); // crash
+
+        match mode {
+            0 => {
+                // Tear the tail of the final log segment, if any survives
+                // the last checkpoint.
+                let segments = blobs_with_prefix(&backend, "seg-");
+                if let Some(last) = segments.last() {
+                    let blob_len = backend.read(last).unwrap().unwrap().len();
+                    backend.truncate_blob(last, cut % (blob_len + 1));
+                }
+            }
+            1 => {
+                // Corrupt one delta checkpoint link somewhere in the chain.
+                let deltas = blobs_with_prefix(&backend, "ckpt-delta-");
+                if !deltas.is_empty() {
+                    let victim = &deltas[cut % deltas.len()];
+                    let blob_len = backend.read(victim).unwrap().unwrap().len();
+                    backend.truncate_blob(victim, cut % blob_len.max(1));
+                }
+            }
+            _ => {}
+        }
+
+        let (mut recovered, _report) = open_wiki(&backend, options);
+        prop_assert!(recovered.history.len() <= full_len);
+        if mode != 0 {
+            // Deltas never delete log records and folds keep every record
+            // the chain tip covers, so these crashes lose nothing.
+            prop_assert_eq!(recovered.history.len(), full_len);
+            prop_assert_eq!(recovered.clock.now(), full_clock);
+            prop_assert_eq!(recovered.db.canonical_dump(), full_dump.clone());
+        }
+        let mut reference = reference_for(&recovered);
+        prop_assert_eq!(recovered.history.len(), reference.history.len());
+        prop_assert_eq!(recovered.clock.now(), reference.clock.now());
+        prop_assert_eq!(recovered.db.canonical_dump(), reference.db.canonical_dump());
+
+        if let Some(image) = mid_compaction {
+            // The mid-compaction image — new base written, old links still
+            // present — must recover the same full state.
+            let (mut from_image, _report) = open_wiki(&image, options);
+            prop_assert_eq!(from_image.history.len(), full_len);
+            prop_assert_eq!(from_image.clock.now(), full_clock);
+            prop_assert_eq!(from_image.db.canonical_dump(), full_dump.clone());
+        }
+
+        // The recovered server keeps serving.
+        let response = recovered.handle(HttpRequest::get("/view.wasl?title=Page0"));
+        prop_assert!(response.body.contains("<div>") || response.body.contains("missing"));
+    }
+}
+
+/// A repair commit that lands between two delta checkpoints, followed by the
+/// loss of the newer delta: recovery must fall back to the older link and
+/// replay the repair commit (and everything after it) from the log, ending
+/// in exactly the pre-crash state with the cancelled flags intact.
+#[test]
+fn repair_between_deltas_survives_losing_the_newer_delta() {
+    let options = StoreOptions {
+        segment_bytes: 4096,
+        checkpoint_interval: 2,
+        fold_after_deltas: 1000,
+        ..StoreOptions::default()
+    };
+    let backend = MemoryBackend::new();
+    let (mut server, _) = open_wiki(&backend, options);
+    let mut browser = Browser::new("repair-client");
+
+    // Grow a chain: base plus at least one delta before the repair. The
+    // browser visit is the action the repair will undo.
+    for op in [0usize, 3, 6] {
+        apply_op(&mut server, &mut browser, op);
+    }
+    let visit = browser.visit("/view.wasl?title=Page2", &mut server);
+    let visit_id = visit.visit_id;
+    server.upload_client_logs(browser.take_logs());
+    apply_op(&mut server, &mut browser, 9);
+
+    // An admin repair cancels the browser's visit; its commit record lands
+    // in the log between two delta cuts.
+    let outcome = server.repair_with(
+        RepairRequest::UndoVisit {
+            client_id: "repair-client".to_string(),
+            visit_id,
+            initiated_by_admin: true,
+        },
+        RepairStrategy::Partitioned { workers: 2 },
+    );
+    assert!(!outcome.aborted);
+    assert!(!outcome.cancelled_actions.is_empty());
+
+    // More traffic after the repair cuts at least one further delta.
+    for op in [12usize, 15, 4, 18] {
+        apply_op(&mut server, &mut browser, op);
+    }
+
+    let full_len = server.history.len();
+    let full_gen = server.db.current_generation();
+    let full_dump = server.db.canonical_dump();
+    let cancelled: Vec<bool> = server
+        .history
+        .actions()
+        .iter()
+        .map(|a| a.cancelled)
+        .collect();
+    drop(server); // crash
+
+    let deltas = blobs_with_prefix(&backend, "ckpt-delta-");
+    assert!(
+        deltas.len() >= 2,
+        "workload should cut at least two deltas, got {deltas:?}"
+    );
+    // Lose the newest delta — the link that carries the repair's effects.
+    let newest = deltas.last().unwrap();
+    let blob_len = backend.read(newest).unwrap().unwrap().len();
+    backend.truncate_blob(newest, blob_len / 2);
+
+    let (mut recovered, _report) = open_wiki(&backend, options);
+    assert_eq!(recovered.history.len(), full_len);
+    assert_eq!(recovered.db.current_generation(), full_gen);
+    assert_eq!(recovered.db.canonical_dump(), full_dump);
+    let recovered_cancelled: Vec<bool> = recovered
+        .history
+        .actions()
+        .iter()
+        .map(|a| a.cancelled)
+        .collect();
+    assert_eq!(recovered_cancelled, cancelled);
+    assert!(
+        recovered_cancelled.iter().any(|&c| c),
+        "repair cancelled an action"
+    );
+}
+
+/// Losing every delta link still recovers the full state: the base plus the
+/// untouched log segments cover the whole history.
+#[test]
+fn losing_the_entire_delta_chain_falls_back_to_the_base_plus_log() {
+    let options = StoreOptions {
+        segment_bytes: 2048,
+        checkpoint_interval: 2,
+        fold_after_deltas: 1000,
+        ..StoreOptions::default()
+    };
+    let backend = MemoryBackend::new();
+    let (mut server, _) = open_wiki(&backend, options);
+    let mut browser = Browser::new("fallback-client");
+    for op in 0usize..11 {
+        apply_op(&mut server, &mut browser, op * 7);
+    }
+    let full_len = server.history.len();
+    let full_dump = server.db.canonical_dump();
+    drop(server);
+
+    let deltas = blobs_with_prefix(&backend, "ckpt-delta-");
+    assert!(!deltas.is_empty(), "workload should cut deltas");
+    let mut handle = backend.clone();
+    for name in &deltas {
+        handle.delete(name).unwrap();
+    }
+
+    let (mut recovered, report) = open_wiki(&backend, options);
+    assert_eq!(recovered.history.len(), full_len);
+    assert_eq!(recovered.db.canonical_dump(), full_dump);
+    assert!(report.recovered);
+}

@@ -27,6 +27,7 @@ fn store_options() -> StoreOptions {
         segment_bytes: 4 * 1024 * 1024,
         // No automatic checkpoints: the test wants the full record log.
         checkpoint_interval: 0,
+        ..StoreOptions::default()
     }
 }
 

@@ -109,7 +109,7 @@ proptest! {
     ) {
         // Small segments so multi-segment logs are exercised; no automatic
         // checkpoints so the whole history lives in the log.
-        let options = StoreOptions { segment_bytes: 2048, checkpoint_interval: 0 };
+        let options = StoreOptions { segment_bytes: 2048, checkpoint_interval: 0, ..StoreOptions::default() };
         let backend = MemoryBackend::new();
         let (mut server, _) = open_wiki(&backend, options);
         let mut browser = Browser::new("prop-client");
@@ -167,7 +167,7 @@ proptest! {
         tear in 0usize..100_000,
     ) {
         const CLIENTS: usize = 3;
-        let options = StoreOptions { segment_bytes: 2048, checkpoint_interval: 0 };
+        let options = StoreOptions { segment_bytes: 2048, checkpoint_interval: 0, ..StoreOptions::default() };
         let backend = MemoryBackend::new();
         let (warp, _) = Warp::builder()
             .app(wiki())
@@ -280,6 +280,7 @@ fn checkpoint_then_tail_recovers_across_restart() {
     let options = StoreOptions {
         segment_bytes: 64 * 1024,
         checkpoint_interval: 7,
+        ..StoreOptions::default()
     };
     let backend = MemoryBackend::new();
     let (mut server, _) = open_wiki(&backend, options);
@@ -308,6 +309,7 @@ fn garbage_collect_compacts_the_durable_log() {
     let options = StoreOptions {
         segment_bytes: 1024,
         checkpoint_interval: 0,
+        ..StoreOptions::default()
     };
     let backend = MemoryBackend::new();
     let (mut server, _) = open_wiki(&backend, options);

@@ -120,6 +120,7 @@ fn group_commit_acks_survive_crash_image_under_concurrency() {
         .store_options(StoreOptions {
             segment_bytes: 2048,
             checkpoint_interval: 0,
+            ..StoreOptions::default()
         })
         .durability(Durability::Group {
             max_batch: 8,

@@ -202,6 +202,7 @@ fn group_commit_acks_survive_crash_image_under_sharding() {
         .store_options(StoreOptions {
             segment_bytes: 2048,
             checkpoint_interval: 0,
+            ..StoreOptions::default()
         })
         .durability(Durability::Group {
             max_batch: 8,
