@@ -19,7 +19,10 @@
 //! the partition-grained engine's), and with `--storage BENCH_storage.json`
 //! on serving p99 under concurrent checkpoint maintenance inflating past
 //! its quiescent ratio, or the incremental checkpoint losing its required
-//! advantage over the whole-state encode at the largest database size.
+//! advantage over the whole-state encode at the largest database size,
+//! and with `--replication BENCH_replication.json` on the standby's
+//! steady-state lag p99 exceeding its bound or warm promotion losing its
+//! required advantage over cold log-replay at the largest history.
 //!
 //! Exit code 2 means a report was missing or incomplete — the gate never
 //! passes silently on missing data.
@@ -27,11 +30,13 @@
 use std::path::PathBuf;
 use warp_bench::report::{
     evaluate_commit_gate, evaluate_frontier_gate, evaluate_gate, evaluate_recovery_gate,
-    evaluate_serve_gate, evaluate_shard_gate, evaluate_storage_gate, load_commit_records,
-    load_frontier_records, load_records, load_recovery_records, load_serve_records,
-    load_storage_records, COMMIT_FLOOR_MS, COMMIT_MAX_RATIO, FRONTIER_MIN_RATIO, GATE_WORKLOAD,
-    RECOVERY_MAX_OVERHEAD_PERCENT, RECOVERY_MAX_RECOVER_RATIO, SHARD_GATE_SHARDS,
-    SHARD_MIN_HOST_CPUS, SHARD_MIN_SPEEDUP, STORAGE_MAX_P99_RATIO, STORAGE_MIN_CKPT_ADVANTAGE,
+    evaluate_replication_gate, evaluate_serve_gate, evaluate_shard_gate, evaluate_storage_gate,
+    load_commit_records, load_frontier_records, load_records, load_recovery_records,
+    load_replication_records, load_serve_records, load_storage_records, COMMIT_FLOOR_MS,
+    COMMIT_MAX_RATIO, FRONTIER_MIN_RATIO, GATE_WORKLOAD, RECOVERY_MAX_OVERHEAD_PERCENT,
+    RECOVERY_MAX_RECOVER_RATIO, REPLICATION_COLD_FLOOR_MS, REPLICATION_MAX_LAG_P99,
+    REPLICATION_MIN_FAILOVER_ADVANTAGE, SHARD_GATE_SHARDS, SHARD_MIN_HOST_CPUS, SHARD_MIN_SPEEDUP,
+    STORAGE_MAX_P99_RATIO, STORAGE_MIN_CKPT_ADVANTAGE,
 };
 
 /// Default allowed group-commit throughput regression vs the relaxed tier,
@@ -43,7 +48,7 @@ fn usage() {
         "usage: bench_gate BENCH_repair.json [MAX_SLOWDOWN_PERCENT] \
          [--recovery BENCH_recovery.json] [--commit BENCH_commit.json] \
          [--serve BENCH_serve.json] [--frontier BENCH_frontier.json] \
-         [--storage BENCH_storage.json]"
+         [--storage BENCH_storage.json] [--replication BENCH_replication.json]"
     );
     println!();
     println!("Fails (exit 1) if parallel repair is slower than sequential by more than");
@@ -71,6 +76,15 @@ fn usage() {
     println!("--storage PATH   also fail if serving p99 under concurrent maintenance exceeds");
     println!("                 {STORAGE_MAX_P99_RATIO}x quiescent, or the incremental checkpoint is less than");
     println!("                 {STORAGE_MIN_CKPT_ADVANTAGE}x cheaper than whole-state at the largest database size");
+    println!("--replication PATH  also fail if standby lag p99 exceeds {REPLICATION_MAX_LAG_P99} records, or");
+    println!(
+        "                 promoting the warm standby is less than \
+         {REPLICATION_MIN_FAILOVER_ADVANTAGE}x faster than cold log-replay"
+    );
+    println!(
+        "                 at the largest history (skipped when cold replay \
+         takes <= {REPLICATION_COLD_FLOOR_MS} ms)"
+    );
     println!("Exit 2: a report is missing or holds no comparable records.");
 }
 
@@ -83,6 +97,7 @@ struct Args {
     serve_max_regression: f64,
     frontier: Option<PathBuf>,
     storage: Option<PathBuf>,
+    replication: Option<PathBuf>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -94,6 +109,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     let mut serve_max_regression = SERVE_MAX_REGRESSION_PERCENT;
     let mut frontier = None;
     let mut storage = None;
+    let mut replication = None;
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
@@ -123,6 +139,13 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     .get(i + 1)
                     .ok_or_else(|| "--storage requires a path".to_string())?;
                 storage = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--replication" => {
+                let value = raw
+                    .get(i + 1)
+                    .ok_or_else(|| "--replication requires a path".to_string())?;
+                replication = Some(PathBuf::from(value));
                 i += 2;
             }
             "--serve" => {
@@ -159,6 +182,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         serve_max_regression,
         frontier,
         storage,
+        replication,
     })
 }
 
@@ -433,6 +457,57 @@ fn main() {
                     println!(
                         "bench_gate: FAIL — concurrent maintenance inflated serve p99 or \
                          incremental checkpoints lost their advantage over whole-state"
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Gate 7 (optional): replication — standby lag and warm-promotion
+    // advantage over cold log-replay.
+    if let Some(path) = &args.replication {
+        let records = match load_replication_records(path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        };
+        match evaluate_replication_gate(&records) {
+            Ok(verdict) => {
+                println!(
+                    "bench_gate: replication: lag p99 {:.1} records \
+                     (limit {REPLICATION_MAX_LAG_P99}); at {} actions: promote {:.2} ms, \
+                     cold replay {:.2} ms (advantage {:.1}x, floor \
+                     {REPLICATION_MIN_FAILOVER_ADVANTAGE}x)",
+                    verdict.lag_p99_records,
+                    verdict.history_actions,
+                    verdict.failover_ms,
+                    verdict.cold_ms,
+                    verdict.advantage,
+                );
+                if verdict.advantage_skipped {
+                    println!(
+                        "bench_gate: SKIP — failover advantage floor not enforced: cold \
+                         replay took {:.2} ms, inside the {REPLICATION_COLD_FLOOR_MS} ms \
+                         noise floor (CI runs a history large enough to enforce it)",
+                        verdict.cold_ms
+                    );
+                }
+                if verdict.pass {
+                    println!(
+                        "bench_gate: PASS — standby lag bounded and warm promotion beats \
+                         cold log-replay"
+                    );
+                } else {
+                    println!(
+                        "bench_gate: FAIL — standby lag p99 exceeded its bound or warm \
+                         promotion lost its advantage over cold log-replay"
                     );
                     failed = true;
                 }

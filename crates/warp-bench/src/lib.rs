@@ -1536,6 +1536,265 @@ pub fn frontier_benchmark(workload: &str, users: usize) -> Vec<report::FrontierB
     records
 }
 
+/// Regenerates "Table 13" (a replication addition over the paper):
+/// steady-state replication lag while a warm standby pumps the shipped log
+/// under the table11 serving workload, and failover time — promoting the
+/// standby after the primary dies — against cold log-replay over the
+/// primary's full (never checkpointed) log as the history grows. The
+/// standby checkpoints as it applies, so promotion replays only the tail
+/// past its own chain; the gap to cold replay is what the warm standby
+/// buys. Returns the machine-readable records for
+/// `BENCH_replication.json`.
+pub fn table13_replication(scale: usize) -> Vec<report::ReplicationBenchRecord> {
+    use warp_core::{Durability, MemoryBackend, ServerConfig, StoreOptions, WarpServer};
+    use warp_replica::{channel_pair, LogShipper, Standby};
+
+    // The primary never checkpoints, so its log holds the whole history
+    // and the cold open below replays all of it.
+    let primary_options = StoreOptions {
+        segment_bytes: 1024 * 1024,
+        checkpoint_interval: 0,
+        ..StoreOptions::default()
+    };
+    // The standby checkpoints on a short cadence while applying — the
+    // warm store promotion recovers from. The cadence bounds the tail
+    // promotion must replay, so the warm/cold gap holds even at the
+    // smallest measured history.
+    let standby_options = StoreOptions {
+        segment_bytes: 1024 * 1024,
+        checkpoint_interval: 64,
+        ..StoreOptions::default()
+    };
+    let group = Durability::Group {
+        max_batch: 64,
+        max_delay: std::time::Duration::from_micros(500),
+    };
+    let mut records = Vec::new();
+
+    // Part 1: lag distribution. Client threads hammer the primary with the
+    // table11 workload while the main thread pumps the standby, sampling
+    // its lag (primary durable LSN minus applied LSN) once per pump.
+    const THREADS: usize = 4;
+    let per_thread = scale.max(40);
+    println!("=== Table 13 (replication): standby lag under the serving workload ===");
+    let (to_standby, to_primary) = channel_pair();
+    let mut standby = Standby::attach(
+        recovery_bench_app(),
+        Box::new(MemoryBackend::new()),
+        standby_options,
+        to_primary,
+    )
+    .expect("attach standby");
+    let warp = Warp::builder()
+        .app(recovery_bench_app())
+        .backend(Box::new(MemoryBackend::new()))
+        .store_options(primary_options)
+        .durability(group)
+        .ship_log_to(Box::new(LogShipper::new(to_standby)))
+        .start();
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let warp = warp.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let page = t % 8;
+                    let request = if i % 3 == 2 {
+                        HttpRequest::get(&format!("/view.wasl?title=Page{page}"))
+                    } else {
+                        HttpRequest::post(
+                            "/edit.wasl",
+                            [
+                                ("title", format!("Page{page}").as_str()),
+                                ("body", format!("thread {t} rev {i}").as_str()),
+                            ],
+                        )
+                    };
+                    let response = warp.serve(request);
+                    assert_ne!(response.status, 503, "engine must stay up");
+                }
+            })
+        })
+        .collect();
+    let mut lags: Vec<f64> = Vec::new();
+    loop {
+        standby
+            .pump(std::time::Duration::from_millis(1))
+            .expect("pump");
+        let durable = warp.durable_lsn();
+        lags.push(durable.saturating_sub(standby.applied_lsn()) as f64);
+        if workers.iter().all(|w| w.is_finished()) {
+            break;
+        }
+    }
+    for worker in workers {
+        worker.join().expect("serve thread");
+    }
+    warp.flush();
+    let target = warp.durable_lsn();
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    while standby.applied_lsn() < target {
+        standby
+            .pump(std::time::Duration::from_millis(5))
+            .expect("pump");
+        assert!(Instant::now() < deadline, "standby never converged");
+    }
+    drop(warp);
+    drop(standby);
+    lags.sort_by(|a, b| a.partial_cmp(b).expect("finite lags"));
+    let percentile = |p: f64| -> f64 {
+        let idx = ((lags.len() as f64 - 1.0) * p).round() as usize;
+        lags[idx]
+    };
+    let lag_record = report::ReplicationBenchRecord {
+        workload: "table13_replication".to_string(),
+        kind: "lag".to_string(),
+        threads: THREADS,
+        requests: THREADS * per_thread,
+        samples: lags.len(),
+        lag_p50_records: percentile(0.50),
+        lag_p99_records: percentile(0.99),
+        lag_max_records: *lags.last().expect("at least one sample"),
+        history_actions: 0,
+        replicated_records: 0,
+        failover_ms: 0.0,
+        failover_replayed: 0,
+        cold_ms: 0.0,
+        cold_replayed: 0,
+    };
+    println!(
+        "{:<10} {:>8} {:>8} {:>14} {:>14} {:>14}",
+        "threads", "requests", "samples", "lag p50 (rec)", "lag p99 (rec)", "lag max (rec)"
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>14.1} {:>14.1} {:>14.1}",
+        lag_record.threads,
+        lag_record.requests,
+        lag_record.samples,
+        lag_record.lag_p50_records,
+        lag_record.lag_p99_records,
+        lag_record.lag_max_records,
+    );
+    records.push(lag_record);
+
+    // Part 2: failover vs cold log-replay, at two history sizes. Best-of-N
+    // to shed scheduler noise; the two recoveries must agree byte for byte.
+    const REPEATS: usize = 3;
+    let base = scale.max(100);
+    println!();
+    println!("=== Table 13b (replication): promote vs cold log-replay ===");
+    println!(
+        "{:<10} {:>9} {:>13} {:>13} {:>11} {:>13}",
+        "actions", "records", "promote (ms)", "replayed", "cold (ms)", "cold replayed"
+    );
+    for actions in [base, base * 4] {
+        let mut best: Option<report::ReplicationBenchRecord> = None;
+        for _ in 0..REPEATS {
+            let primary_backend = MemoryBackend::new();
+            let (to_standby, to_primary) = channel_pair();
+            let mut standby = Standby::attach(
+                recovery_bench_app(),
+                Box::new(MemoryBackend::new()),
+                standby_options,
+                to_primary,
+            )
+            .expect("attach standby");
+            let warp = Warp::builder()
+                .app(recovery_bench_app())
+                .backend(Box::new(primary_backend.clone()))
+                .store_options(primary_options)
+                .durability(group)
+                .ship_log_to(Box::new(LogShipper::new(to_standby)))
+                .start();
+            for i in 0..actions {
+                let page = i % 8;
+                if i % 3 == 2 {
+                    warp.serve(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+                } else {
+                    warp.serve(HttpRequest::post(
+                        "/edit.wasl",
+                        [
+                            ("title", format!("Page{page}").as_str()),
+                            ("body", format!("rev {i}").as_str()),
+                        ],
+                    ));
+                }
+            }
+            warp.flush();
+            let target = warp.durable_lsn();
+            let deadline = Instant::now() + std::time::Duration::from_secs(30);
+            while standby.applied_lsn() < target {
+                standby
+                    .pump(std::time::Duration::from_millis(5))
+                    .expect("pump");
+                assert!(Instant::now() < deadline, "standby never converged");
+            }
+            // The primary dies; the standby drains the stream's tail.
+            drop(warp);
+            while !standby
+                .pump(std::time::Duration::from_millis(5))
+                .expect("pump")
+                .closed
+            {
+                assert!(Instant::now() < deadline, "transport never closed");
+            }
+            let replicated = standby.applied_lsn();
+
+            let t = Instant::now();
+            let (mut promoted, promote_report) = standby.promote().expect("promote");
+            let failover_ms = t.elapsed().as_secs_f64() * 1e3;
+
+            let t = Instant::now();
+            let (mut cold, cold_report) = WarpServer::open(
+                ServerConfig::new(recovery_bench_app())
+                    .with_backend(Box::new(primary_backend.clone()))
+                    .with_store_options(primary_options),
+            )
+            .expect("cold open");
+            let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                promoted.db.canonical_dump(),
+                cold.db.canonical_dump(),
+                "warm promotion and cold replay must agree byte for byte"
+            );
+            let record = report::ReplicationBenchRecord {
+                workload: "table13_replication".to_string(),
+                kind: "failover".to_string(),
+                threads: 0,
+                requests: 0,
+                samples: 0,
+                lag_p50_records: 0.0,
+                lag_p99_records: 0.0,
+                lag_max_records: 0.0,
+                history_actions: promoted.history.len(),
+                replicated_records: replicated,
+                failover_ms,
+                failover_replayed: promote_report.records_replayed as u64,
+                cold_ms,
+                cold_replayed: cold_report.records_replayed as u64,
+            };
+            let better = best
+                .as_ref()
+                .map(|b| record.failover_ms < b.failover_ms)
+                .unwrap_or(true);
+            if better {
+                best = Some(record);
+            }
+        }
+        let record = best.expect("at least one repeat ran");
+        println!(
+            "{:<10} {:>9} {:>13.2} {:>13} {:>11.2} {:>13}",
+            record.history_actions,
+            record.replicated_records,
+            record.failover_ms,
+            record.failover_replayed,
+            record.cold_ms,
+            record.cold_replayed,
+        );
+        records.push(record);
+    }
+    records
+}
+
 /// Shared argument handling for the `table*` report binaries so every one
 /// of them supports `--help` (exercised by `tests/bin_smoke.rs`, which keeps
 /// the report binaries from silently rotting).

@@ -1068,6 +1068,208 @@ pub fn evaluate_storage_gate(records: &[StorageBenchRecord]) -> Result<StorageGa
     })
 }
 
+/// One replication measurement (`BENCH_replication.json`), produced by
+/// `table13_replication`. Two kinds share the record shape:
+///
+/// * `kind == "lag"` — steady-state replication lag while a standby pumps
+///   the shipped log under the table11 serving workload. Lag is measured
+///   in *records*: the primary's durable LSN minus the standby's applied
+///   LSN, sampled once per pump iteration.
+/// * `kind == "failover"` — promoting a warm standby after the primary
+///   dies, against cold log-replay over the primary's full (never
+///   checkpointed) log at the same history size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationBenchRecord {
+    /// Which binary produced the record (`table13_replication`).
+    pub workload: String,
+    /// Measurement kind: `lag` or `failover`.
+    pub kind: String,
+    /// Lag records: concurrent client threads on the primary.
+    pub threads: usize,
+    /// Lag records: requests the primary served during the run.
+    pub requests: usize,
+    /// Lag records: lag samples taken (one per standby pump).
+    pub samples: usize,
+    /// Lag records: median lag, in records behind the primary.
+    pub lag_p50_records: f64,
+    /// Lag records: 99th-percentile lag, in records.
+    pub lag_p99_records: f64,
+    /// Lag records: worst sampled lag, in records.
+    pub lag_max_records: f64,
+    /// Failover records: actions in the replicated history.
+    pub history_actions: usize,
+    /// Failover records: log records the standby applied before the kill.
+    pub replicated_records: u64,
+    /// Failover records: wall-clock promote time (ms) — crash recovery
+    /// over the standby's warm, checkpointed store.
+    pub failover_ms: f64,
+    /// Failover records: log records the promote replayed (the tail past
+    /// the standby's own checkpoint chain).
+    pub failover_replayed: u64,
+    /// Failover records: wall-clock cold open (ms) — replaying the
+    /// primary's full log from scratch.
+    pub cold_ms: f64,
+    /// Failover records: log records the cold open replayed.
+    pub cold_replayed: u64,
+}
+
+impl ReplicationBenchRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::Str(self.workload.clone())),
+            ("kind".into(), Json::Str(self.kind.clone())),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("requests".into(), Json::Num(self.requests as f64)),
+            ("samples".into(), Json::Num(self.samples as f64)),
+            ("lag_p50_records".into(), Json::Num(self.lag_p50_records)),
+            ("lag_p99_records".into(), Json::Num(self.lag_p99_records)),
+            ("lag_max_records".into(), Json::Num(self.lag_max_records)),
+            (
+                "history_actions".into(),
+                Json::Num(self.history_actions as f64),
+            ),
+            (
+                "replicated_records".into(),
+                Json::Num(self.replicated_records as f64),
+            ),
+            ("failover_ms".into(), Json::Num(self.failover_ms)),
+            (
+                "failover_replayed".into(),
+                Json::Num(self.failover_replayed as f64),
+            ),
+            ("cold_ms".into(), Json::Num(self.cold_ms)),
+            ("cold_replayed".into(), Json::Num(self.cold_replayed as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Option<ReplicationBenchRecord> {
+        Some(ReplicationBenchRecord {
+            workload: value.get("workload")?.as_str()?.to_string(),
+            kind: value.get("kind")?.as_str()?.to_string(),
+            threads: value.get("threads")?.as_usize()?,
+            requests: value.get("requests")?.as_usize()?,
+            samples: value.get("samples")?.as_usize()?,
+            lag_p50_records: value.get("lag_p50_records")?.as_f64()?,
+            lag_p99_records: value.get("lag_p99_records")?.as_f64()?,
+            lag_max_records: value.get("lag_max_records")?.as_f64()?,
+            history_actions: value.get("history_actions")?.as_usize()?,
+            replicated_records: value
+                .get("replicated_records")?
+                .as_f64()
+                .map(|v| v as u64)?,
+            failover_ms: value.get("failover_ms")?.as_f64()?,
+            failover_replayed: value.get("failover_replayed")?.as_f64().map(|v| v as u64)?,
+            cold_ms: value.get("cold_ms")?.as_f64()?,
+            cold_replayed: value.get("cold_replayed")?.as_f64().map(|v| v as u64)?,
+        })
+    }
+}
+
+/// Reads every replication record from a report file. Missing file → empty.
+pub fn load_replication_records(path: &Path) -> Result<Vec<ReplicationBenchRecord>, String> {
+    Ok(load_record_array(path)?
+        .iter()
+        .filter_map(ReplicationBenchRecord::from_json)
+        .collect())
+}
+
+/// Writes replication records to a report file (replacing any previous run
+/// of the same workload, like [`append_records`] does for repair records).
+pub fn append_replication_records(
+    path: &Path,
+    new: &[ReplicationBenchRecord],
+) -> Result<(), String> {
+    let existing = load_replication_records(path)?
+        .iter()
+        .map(|r| r.to_json())
+        .collect();
+    let workloads: Vec<&str> = new.iter().map(|r| r.workload.as_str()).collect();
+    write_record_array(
+        path,
+        existing,
+        new.iter().map(|r| r.to_json()).collect(),
+        &workloads,
+    )
+}
+
+/// Loudest steady-state lag p99 (in records) the replication gate accepts.
+/// The bound is deliberately loud: the standby applies on one thread while
+/// the primary serves from many, so transient spikes are expected — but a
+/// p99 past this says the standby cannot keep up with the workload at all,
+/// which breaks both bounded-staleness reads and fast failover.
+pub const REPLICATION_MAX_LAG_P99: f64 = 1024.0;
+
+/// Minimum factor by which promoting a warm standby must beat cold
+/// log-replay at the largest measured history. The standby checkpointed as
+/// it applied, so promotion replays only the tail past its chain; cold
+/// open replays the primary's whole (never checkpointed) log.
+pub const REPLICATION_MIN_FAILOVER_ADVANTAGE: f64 = 3.0;
+
+/// Cold-open time (ms) under which the failover-advantage check is
+/// skipped: when even full log replay is a few milliseconds, the ratio is
+/// timer noise, not a scaling statement.
+pub const REPLICATION_COLD_FLOOR_MS: f64 = 20.0;
+
+/// The replication gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationGateVerdict {
+    /// Best (lowest) steady-state lag p99 across lag records, in records.
+    pub lag_p99_records: f64,
+    /// History size (actions) of the largest failover measurement.
+    pub history_actions: usize,
+    /// Promote time at that size (ms).
+    pub failover_ms: f64,
+    /// Cold log-replay time at that size (ms).
+    pub cold_ms: f64,
+    /// `cold_ms / failover_ms`.
+    pub advantage: f64,
+    /// True if the advantage check bottomed out in its noise floor.
+    pub advantage_skipped: bool,
+    /// True if both checks held (or bottomed out in their noise floors).
+    pub pass: bool,
+}
+
+/// Evaluates the replication gate over `BENCH_replication.json`:
+/// steady-state lag p99 must stay under [`REPLICATION_MAX_LAG_P99`]
+/// records (best-of across lag records), and at the largest measured
+/// history, promoting the warm standby must be at least
+/// [`REPLICATION_MIN_FAILOVER_ADVANTAGE`] times faster than cold
+/// log-replay (skipped when the cold open is under
+/// [`REPLICATION_COLD_FLOOR_MS`]). Returns an error when either
+/// measurement kind is missing.
+pub fn evaluate_replication_gate(
+    records: &[ReplicationBenchRecord],
+) -> Result<ReplicationGateVerdict, String> {
+    let lag_p99_records = records
+        .iter()
+        .filter(|r| r.kind == "lag")
+        .map(|r| r.lag_p99_records)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
+        .ok_or_else(|| "no lag record (run table13_replication with --json first)".to_string())?;
+    let largest = records
+        .iter()
+        .filter(|r| r.kind == "failover")
+        .max_by_key(|r| r.history_actions)
+        .ok_or_else(|| {
+            "no failover record (run table13_replication with --json first)".to_string()
+        })?;
+    let advantage = largest.cold_ms / largest.failover_ms.max(1e-9);
+    let lag_ok = lag_p99_records <= REPLICATION_MAX_LAG_P99;
+    let advantage_skipped = largest.cold_ms <= REPLICATION_COLD_FLOOR_MS;
+    let advantage_ok = advantage_skipped || advantage >= REPLICATION_MIN_FAILOVER_ADVANTAGE;
+    Ok(ReplicationGateVerdict {
+        lag_p99_records,
+        history_actions: largest.history_actions,
+        failover_ms: largest.failover_ms,
+        cold_ms: largest.cold_ms,
+        advantage,
+        advantage_skipped,
+        pass: lag_ok && advantage_ok,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1533,6 +1735,104 @@ mod tests {
         // Re-running the workload replaces, not duplicates.
         append_storage_records(&path, &records).unwrap();
         assert_eq!(load_storage_records(&path).unwrap().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn replication_lag_record(lag_p99: f64) -> ReplicationBenchRecord {
+        ReplicationBenchRecord {
+            workload: "table13_replication".into(),
+            kind: "lag".into(),
+            threads: 4,
+            requests: 2_000,
+            samples: 500,
+            lag_p50_records: lag_p99 / 4.0,
+            lag_p99_records: lag_p99,
+            lag_max_records: lag_p99 * 2.0,
+            history_actions: 0,
+            replicated_records: 0,
+            failover_ms: 0.0,
+            failover_replayed: 0,
+            cold_ms: 0.0,
+            cold_replayed: 0,
+        }
+    }
+
+    fn replication_failover_record(
+        actions: usize,
+        failover_ms: f64,
+        cold_ms: f64,
+    ) -> ReplicationBenchRecord {
+        ReplicationBenchRecord {
+            workload: "table13_replication".into(),
+            kind: "failover".into(),
+            threads: 0,
+            requests: 0,
+            samples: 0,
+            lag_p50_records: 0.0,
+            lag_p99_records: 0.0,
+            lag_max_records: 0.0,
+            history_actions: actions,
+            replicated_records: actions as u64 + 10,
+            failover_ms,
+            failover_replayed: 12,
+            cold_ms,
+            cold_replayed: actions as u64 + 10,
+        }
+    }
+
+    #[test]
+    fn replication_gate_checks_lag_and_failover_advantage() {
+        let healthy = vec![
+            replication_lag_record(12.0),
+            replication_failover_record(500, 8.0, 120.0),
+            replication_failover_record(2_000, 10.0, 400.0),
+        ];
+        let verdict = evaluate_replication_gate(&healthy).unwrap();
+        assert!(verdict.pass, "{verdict:?}");
+        // The advantage is judged at the LARGEST history only.
+        assert_eq!(verdict.history_actions, 2_000);
+        assert!((verdict.advantage - 40.0).abs() < 1e-9);
+        // A standby that cannot keep up fails the lag bound.
+        let lagging = vec![
+            replication_lag_record(REPLICATION_MAX_LAG_P99 * 3.0),
+            replication_failover_record(2_000, 10.0, 400.0),
+        ];
+        assert!(!evaluate_replication_gate(&lagging).unwrap().pass);
+        // A promote no faster than cold replay fails the advantage floor...
+        let slow_promote = vec![
+            replication_lag_record(12.0),
+            replication_failover_record(2_000, 200.0, 400.0),
+        ];
+        assert!(!evaluate_replication_gate(&slow_promote).unwrap().pass);
+        // ...unless even the cold open is timer noise.
+        let tiny = vec![
+            replication_lag_record(12.0),
+            replication_failover_record(100, 6.0, 8.0),
+        ];
+        let verdict = evaluate_replication_gate(&tiny).unwrap();
+        assert!(verdict.pass && verdict.advantage_skipped);
+        // Missing either kind is an error, not a silent pass.
+        assert!(evaluate_replication_gate(&[replication_lag_record(1.0)]).is_err());
+        assert!(evaluate_replication_gate(&[replication_failover_record(100, 1.0, 50.0)]).is_err());
+        assert!(evaluate_replication_gate(&[]).is_err());
+    }
+
+    #[test]
+    fn replication_report_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("warp-bench-replication-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_replication.json");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            replication_lag_record(9.0),
+            replication_failover_record(300, 5.0, 60.0),
+        ];
+        append_replication_records(&path, &records).unwrap();
+        assert_eq!(load_replication_records(&path).unwrap(), records);
+        // Re-running the workload replaces, not duplicates.
+        append_replication_records(&path, &records).unwrap();
+        assert_eq!(load_replication_records(&path).unwrap().len(), 2);
         let _ = std::fs::remove_file(&path);
     }
 

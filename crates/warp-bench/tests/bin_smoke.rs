@@ -21,6 +21,7 @@ const BINS: &[(&str, &[&str])] = &[
     (env!("CARGO_BIN_EXE_table10_commit"), &["50"]),
     (env!("CARGO_BIN_EXE_table11_serve"), &["40"]),
     (env!("CARGO_BIN_EXE_table12_storage"), &["40"]),
+    (env!("CARGO_BIN_EXE_table13_replication"), &["40"]),
     (env!("CARGO_BIN_EXE_bench_gate"), &["--help"]),
 ];
 
@@ -103,9 +104,9 @@ fn bench_report_and_gate_flow() {
         .expect("spawn bench_gate");
     assert_eq!(out.status.code(), Some(2));
 
-    // The recovery, commit and serve gates plug into the same binary:
-    // generate the reports at trivial scale and run the full four-gate
-    // check.
+    // The recovery, commit, serve, storage and replication gates plug into
+    // the same binary: generate the reports at trivial scale and run the
+    // full multi-gate check.
     let recovery = std::env::temp_dir().join(format!(
         "warp-bench-smoke-{}-BENCH_recovery.json",
         std::process::id()
@@ -122,10 +123,15 @@ fn bench_report_and_gate_flow() {
         "warp-bench-smoke-{}-BENCH_storage.json",
         std::process::id()
     ));
+    let replication = std::env::temp_dir().join(format!(
+        "warp-bench-smoke-{}-BENCH_replication.json",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&recovery);
     let _ = std::fs::remove_file(&commit);
     let _ = std::fs::remove_file(&serve);
     let _ = std::fs::remove_file(&storage);
+    let _ = std::fs::remove_file(&replication);
     let out = Command::new(env!("CARGO_BIN_EXE_table9_recovery"))
         .arg("6")
         .arg("--json")
@@ -180,6 +186,20 @@ fn bench_report_and_gate_flow() {
     assert!(text.contains("\"kind\":\"serve\""));
     assert!(text.contains("\"mode\":\"incremental\""));
     assert!(text.contains("\"mode\":\"whole_state\""));
+    let out = Command::new(env!("CARGO_BIN_EXE_table13_replication"))
+        .arg("40")
+        .arg("--json")
+        .arg(&replication)
+        .output()
+        .expect("spawn table13");
+    assert!(
+        out.status.success(),
+        "table13 timing run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&replication).expect("replication report written");
+    assert!(text.contains("\"kind\":\"lag\""));
+    assert!(text.contains("\"kind\":\"failover\""));
     let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
         .arg(&report)
         .arg("100000")
@@ -193,18 +213,21 @@ fn bench_report_and_gate_flow() {
         .arg("1000")
         .arg("--storage")
         .arg(&storage)
+        .arg("--replication")
+        .arg(&replication)
         .output()
         .expect("spawn bench_gate");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         out.status.success(),
-        "five-gate bench_gate failed: stdout={stdout} stderr={}",
+        "six-gate bench_gate failed: stdout={stdout} stderr={}",
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(stdout.contains("recovery: worst overhead"));
     assert!(stdout.contains("commit: delta"));
     assert!(stdout.contains("serve: relaxed"));
     assert!(stdout.contains("storage: p99 quiescent"));
+    assert!(stdout.contains("replication: lag p99"));
 
     // A missing side report is an error too.
     let out = Command::new(env!("CARGO_BIN_EXE_bench_gate"))
@@ -220,4 +243,5 @@ fn bench_report_and_gate_flow() {
     let _ = std::fs::remove_file(&commit);
     let _ = std::fs::remove_file(&serve);
     let _ = std::fs::remove_file(&storage);
+    let _ = std::fs::remove_file(&replication);
 }

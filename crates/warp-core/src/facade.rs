@@ -135,7 +135,7 @@ impl Durability {
 /// app.add_source("index.wasl", "echo(\"hi\");");
 /// let warp = Warp::builder().app(app).start();
 /// ```
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct WarpBuilder {
     app: AppConfig,
     backend: Option<Box<dyn StorageBackend>>,
@@ -144,6 +144,22 @@ pub struct WarpBuilder {
     repair_workers: usize,
     engine_shards: usize,
     background_maintenance: bool,
+    shipper: Option<Box<dyn warp_store::ShipperHook>>,
+}
+
+impl std::fmt::Debug for WarpBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarpBuilder")
+            .field("app", &self.app)
+            .field("backend", &self.backend)
+            .field("store_options", &self.store_options)
+            .field("durability", &self.durability)
+            .field("repair_workers", &self.repair_workers)
+            .field("engine_shards", &self.engine_shards)
+            .field("background_maintenance", &self.background_maintenance)
+            .field("shipper", &self.shipper.as_ref().map(|_| "attached"))
+            .finish()
+    }
 }
 
 impl WarpBuilder {
@@ -233,6 +249,22 @@ impl WarpBuilder {
         self
     }
 
+    /// Ship every durable log batch to a replica. The hook runs on the
+    /// group-commit writer thread, after each batch commits and *before*
+    /// its durability callbacks fire — by the time a client's ack
+    /// releases, the batch is already on the wire. The `warp-replica`
+    /// crate provides the hook (`LogShipper`) and the standby that
+    /// consumes the stream; any [`warp_store::ShipperHook`] works.
+    ///
+    /// Shipping requires the group-commit writer, which every
+    /// [`Durability`] tier of a persistent deployment uses; on an
+    /// in-memory deployment (no [`WarpBuilder::backend`]) the hook is
+    /// silently dropped along with the rest of the persistence machinery.
+    pub fn ship_log_to(mut self, shipper: Box<dyn warp_store::ShipperHook>) -> Self {
+        self.shipper = Some(shipper);
+        self
+    }
+
     /// Run checkpoint-chain compaction on a background maintenance worker:
     /// once the delta chain grows past
     /// [`StoreOptions::fold_after_deltas`] links, the worker folds it into
@@ -276,7 +308,10 @@ impl WarpBuilder {
             // cannot hand out once it owns the store.
             server.start_maintenance();
         }
-        server.enable_group_commit(durability.batch_policy());
+        match self.shipper {
+            None => server.enable_group_commit(durability.batch_policy()),
+            Some(hook) => server.enable_group_commit_with_shipper(durability.batch_policy(), hook),
+        }
         let (tx, rx) = channel();
         // Liveness token: the sharded engine cannot rely on channel
         // disconnect to notice that every public handle is gone (its own
@@ -607,6 +642,15 @@ impl Warp {
     /// The group-commit writer's batching counters.
     pub fn writer_stats(&self) -> WriterStats {
         self.with_server(|server| server.writer_stats())
+    }
+
+    /// The durable LSN watermark: the next LSN the log will assign, with
+    /// every record below it on disk by the time this returns. The ack
+    /// metadata the log shipper keys on, surfaced for observability
+    /// (compare against a standby's applied LSN to measure lag). Always 0
+    /// for in-memory deployments.
+    pub fn durable_lsn(&self) -> u64 {
+        self.with_server(|server| server.durable_lsn())
     }
 
     /// Stops the engine and returns the underlying [`WarpServer`] with

@@ -83,6 +83,6 @@ pub use stats::{LoggingStats, RepairStats};
 // Re-export the storage subsystem so applications and binaries can
 // configure backends without depending on `warp-store` directly.
 pub use warp_store::{
-    BatchPolicy, FileBackend, MaintenanceStats, MemoryBackend, StorageBackend, StoreError,
-    StoreOptions, WriterStats, KILL_AFTER_CKPT_WRITE_ENV,
+    BatchPolicy, FileBackend, MaintenanceStats, MemoryBackend, ShipFrame, ShipperHook,
+    StorageBackend, StoreError, StoreOptions, WriterStats, KILL_AFTER_CKPT_WRITE_ENV,
 };

@@ -376,6 +376,16 @@ impl LogSink {
             LogSink::Writer { writer, .. } => writer.stats(),
         }
     }
+
+    /// The durable LSN watermark: the next LSN to be assigned, with every
+    /// record below it on disk. On the writer path this flushes first, so
+    /// the returned watermark covers everything appended before the call.
+    pub(crate) fn durable_lsn(&self) -> u64 {
+        match self {
+            LogSink::Inline(store) => store.next_lsn(),
+            LogSink::Writer { writer, .. } => writer.durable_lsn(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1752,6 +1762,26 @@ impl WarpServer {
     /// is already active. Used by the [`crate::Warp`] engine; the classic
     /// synchronous [`WarpServer`] keeps the inline sink.
     pub(crate) fn enable_group_commit(&mut self, policy: warp_store::BatchPolicy) {
+        self.enable_group_commit_inner(policy, None);
+    }
+
+    /// Like [`enable_group_commit`](WarpServer::enable_group_commit), but
+    /// attaches a replication hook to the writer thread: every durable
+    /// batch is handed to `shipper` before its durability callbacks run
+    /// (the log-shipping entry point; see [`crate::WarpBuilder::ship_log_to`]).
+    pub(crate) fn enable_group_commit_with_shipper(
+        &mut self,
+        policy: warp_store::BatchPolicy,
+        shipper: Box<dyn warp_store::ShipperHook>,
+    ) {
+        self.enable_group_commit_inner(policy, Some(shipper));
+    }
+
+    fn enable_group_commit_inner(
+        &mut self,
+        policy: warp_store::BatchPolicy,
+        shipper: Option<Box<dyn warp_store::ShipperHook>>,
+    ) {
         if matches!(self.store, Some(LogSink::Inline(_))) {
             let Some(LogSink::Inline(store)) = self.store.take() else {
                 unreachable!("matched above");
@@ -1760,8 +1790,14 @@ impl WarpServer {
             let fold_after_deltas = store.options().fold_after_deltas;
             let since_checkpoint = store.tail_len();
             let deltas_since_base = store.deltas_since_base();
+            let writer = match shipper {
+                None => warp_store::GroupCommitWriter::spawn(store, policy),
+                Some(hook) => {
+                    warp_store::GroupCommitWriter::spawn_with_shipper(store, policy, hook)
+                }
+            };
             self.store = Some(LogSink::Writer {
-                writer: warp_store::GroupCommitWriter::spawn(store, policy),
+                writer,
                 since_checkpoint,
                 checkpoint_interval,
                 deltas_since_base,
@@ -1932,6 +1968,64 @@ impl WarpServer {
     ) -> Option<crate::repair::RepairOutcome> {
         let request = self.pending_repair.take()?;
         Some(self.repair_with(request, strategy))
+    }
+
+    /// The durable LSN watermark: the next LSN the log will assign, with
+    /// every record below it on disk. On the group-commit path this
+    /// flushes first, so the watermark covers everything appended before
+    /// the call — the ack metadata a log shipper keys on. Always 0 for
+    /// in-memory servers.
+    pub fn durable_lsn(&self) -> u64 {
+        self.store.as_ref().map(|s| s.durable_lsn()).unwrap_or(0)
+    }
+
+    /// Applies one replicated log record — the standby apply path used by
+    /// `warp-replica`. The record is appended to this server's own durable
+    /// log (keeping its LSNs aligned with the primary's), its effects are
+    /// applied exactly as crash recovery would apply them, and the
+    /// incremental-checkpoint bookkeeping the live path would have kept is
+    /// maintained — so the standby builds its *own* checkpoint chain and a
+    /// later promotion replays only a short tail. Takes a checkpoint when
+    /// the configured interval elapses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the record does not decode or does not continue this
+    /// server's history — the replication stream and the local state have
+    /// diverged, which is a bug, not a recoverable condition.
+    pub fn apply_replicated(&mut self, kind: u8, payload: &[u8]) -> StoreResult<()> {
+        let event = LogEvent::decode(kind, payload)
+            .map_err(|e| corrupt(format!("replicated record: {e}")))?;
+        // Mirror the live path's incremental-checkpoint bookkeeping: a
+        // delta checkpoint on the standby must carry cancelled flags, new
+        // client logs and new tables, and a GC forces the next checkpoint
+        // to be a full base (action IDs were renumbered).
+        match &event {
+            LogEvent::ClientLog(log) => self
+                .ckpt_marks
+                .new_logs
+                .push((log.client_id.clone(), log.visit_id)),
+            LogEvent::RepairCommit(commit) => self
+                .ckpt_marks
+                .cancelled
+                .extend(commit.cancelled.iter().copied()),
+            LogEvent::Gc { .. } => self.ckpt_marks.needs_base = true,
+            LogEvent::CreateTable { sql, .. } => {
+                if let Some(name) = warp_sql::parse(sql)
+                    .ok()
+                    .and_then(|stmt| stmt.table_name().map(|n| n.to_string()))
+                {
+                    self.ckpt_marks.new_tables.push(name);
+                }
+            }
+            _ => {}
+        }
+        if let Some(sink) = &mut self.store {
+            sink.append(kind, payload.to_vec());
+        }
+        apply_event(self, event)?;
+        self.maybe_checkpoint();
+        Ok(())
     }
 
     /// Bytes currently held by the durable store (segments + checkpoints);

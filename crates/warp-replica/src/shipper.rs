@@ -1,0 +1,181 @@
+//! The primary-side shipper: a [`warp_store::ShipperHook`] that turns the
+//! group-commit writer's durable batches into a replication stream.
+
+use crate::transport::{Received, ReplicaTransport};
+use std::time::Duration;
+use warp_store::{DurableStore, ShipFrame, ShipperHook};
+
+/// Catch-up reads are chunked into frames of at most this many records,
+/// so a standby resyncing a long gap never receives one giant frame.
+const CATCHUP_CHUNK: usize = 1024;
+
+/// Ships every durable batch to one standby over a
+/// [`ReplicaTransport`]. Attach it with
+/// [`warp_core::WarpBuilder::ship_log_to`] (or directly via
+/// [`warp_store::GroupCommitWriter::spawn_with_shipper`]); it then runs
+/// on the group-commit writer thread, which is what makes the resync
+/// paths cheap and race-free — between batches the hook holds `&mut
+/// DurableStore` and reads a perfectly consistent log.
+///
+/// Protocol, from this side:
+///
+/// * Nothing ships until the standby's hello — a
+///   [`ShipFrame::Restart`] carrying its durable watermark — arrives.
+/// * A restart from LSN `f` is served from the live segments
+///   ([`DurableStore::read_records_from`]) when they still cover `f`, or
+///   by a full [`ShipFrame::Bootstrap`] copy when a base checkpoint
+///   already compacted the gap away.
+/// * Once caught up, every durable batch ships as a
+///   [`ShipFrame::Records`] the moment it commits — before the batch's
+///   durability callbacks fire, so an acknowledged request is already on
+///   the wire to the standby.
+/// * While idle, the writer polls the hook every few milliseconds: queued
+///   restarts are answered and a [`ShipFrame::Watermark`] heartbeat goes
+///   out whenever the durable LSN moved, keeping the standby's lag
+///   measurable with no record traffic.
+///
+/// A dead transport (peer gone) stops shipping but never disturbs the
+/// primary: the hook goes quiet and the writer keeps committing.
+pub struct LogShipper {
+    transport: Box<dyn ReplicaTransport>,
+    /// The next LSN the standby expects, once its hello arrived.
+    peer_next: Option<u64>,
+    /// The durable LSN last advertised via a watermark heartbeat.
+    advertised: Option<u64>,
+    /// The transport died; the shipper is permanently quiet.
+    dead: bool,
+}
+
+impl LogShipper {
+    /// Wraps a transport end. The shipper stays quiet until the standby's
+    /// hello arrives on it.
+    pub fn new(transport: impl ReplicaTransport + 'static) -> LogShipper {
+        LogShipper {
+            transport: Box::new(transport),
+            peer_next: None,
+            advertised: None,
+            dead: false,
+        }
+    }
+
+    fn send(&mut self, frame: &ShipFrame) -> bool {
+        if self.dead {
+            return false;
+        }
+        if !self.transport.send(frame.encode()) {
+            self.dead = true;
+            self.peer_next = None;
+        }
+        !self.dead
+    }
+
+    /// Drains queued control frames (restarts) without blocking.
+    fn drain_control(&mut self, store: &mut DurableStore) {
+        while !self.dead {
+            match self.transport.recv(Duration::ZERO) {
+                Received::Frame(bytes) => {
+                    if let Some(ShipFrame::Restart { from }) = ShipFrame::decode(&bytes) {
+                        self.serve_restart(store, from);
+                    }
+                    // Anything else (torn or non-control) is ignored: the
+                    // standby re-sends its restart until records flow.
+                }
+                Received::Idle => return,
+                Received::Closed => {
+                    self.dead = true;
+                    self.peer_next = None;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Answers a restart request: catch the standby up from `from` to the
+    /// current durable LSN, from the segments when they still cover the
+    /// gap, by a full store copy when they no longer do.
+    fn serve_restart(&mut self, store: &mut DurableStore, from: u64) {
+        let served = store
+            .read_records_from(from)
+            .unwrap_or_else(|e| panic!("replication resync read failed: {e}"));
+        match served {
+            Some(records) => {
+                let mut next = from;
+                for chunk in records.chunks(CATCHUP_CHUNK) {
+                    let frame = ShipFrame::Records {
+                        first_lsn: chunk[0].0,
+                        records: chunk.iter().map(|(_, k, p)| (*k, p.clone())).collect(),
+                    };
+                    if !self.send(&frame) {
+                        return;
+                    }
+                    next = chunk.last().expect("non-empty chunk").0 + 1;
+                }
+                self.peer_next = Some(next.max(from));
+            }
+            None => {
+                // The segments no longer reach back to `from`: ship the
+                // whole store. The copy is consistent because this thread
+                // owns the store — nothing commits mid-copy.
+                let blobs = store
+                    .export_blobs()
+                    .unwrap_or_else(|e| panic!("replication bootstrap read failed: {e}"));
+                let frame = ShipFrame::Bootstrap {
+                    blobs,
+                    next_lsn: store.next_lsn(),
+                };
+                if self.send(&frame) {
+                    self.peer_next = Some(store.next_lsn());
+                }
+            }
+        }
+        // The catch-up already tells the standby where the primary is.
+        self.advertised = Some(store.next_lsn());
+    }
+
+    fn heartbeat(&mut self, store: &DurableStore) {
+        let durable = store.next_lsn();
+        if self.advertised == Some(durable) {
+            return;
+        }
+        if self.send(&ShipFrame::Watermark {
+            durable_lsn: durable,
+        }) {
+            self.advertised = Some(durable);
+        }
+    }
+}
+
+impl ShipperHook for LogShipper {
+    fn batch_durable(
+        &mut self,
+        store: &mut DurableStore,
+        first_lsn: u64,
+        records: &[(u8, Vec<u8>)],
+    ) {
+        self.drain_control(store);
+        let Some(next) = self.peer_next else {
+            return; // no hello yet — the restart will catch these records up
+        };
+        if first_lsn == next {
+            let frame = ShipFrame::Records {
+                first_lsn,
+                records: records.to_vec(),
+            };
+            if self.send(&frame) {
+                self.peer_next = Some(first_lsn + records.len() as u64);
+                self.advertised = Some(store.next_lsn());
+            }
+        } else {
+            // The stream and the log disagree (a restart raced the
+            // batch): re-serve from where the standby actually is.
+            self.serve_restart(store, next);
+        }
+    }
+
+    fn poll(&mut self, store: &mut DurableStore) {
+        self.drain_control(store);
+        if self.peer_next.is_some() {
+            self.heartbeat(store);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The standby: a warm replica continuously applying the shipped log.
+
+use crate::transport::{Received, ReplicaTransport};
+use crate::{ReplicaError, ReplicaResult};
+use std::time::Duration;
+use warp_core::{AppConfig, RecoveryReport, ServerConfig, WarpServer};
+use warp_store::{ShipFrame, StorageBackend, StoreOptions};
+
+/// What one [`Standby::pump`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pumped {
+    /// Log records applied (after overlap trimming).
+    pub applied: usize,
+    /// The transport is closed and fully drained — the primary is gone;
+    /// the only moves left are serving stale reads and
+    /// [`Standby::promote`].
+    pub closed: bool,
+}
+
+/// A warm standby replica of one Warp deployment.
+///
+/// The standby owns its *own* store over its own backend and a live
+/// [`WarpServer`] kept warm by applying every shipped record exactly as
+/// crash recovery would ([`WarpServer::apply_replicated`]): re-executed
+/// writes, fast-forwarded counters, repair commits and cancellation
+/// flags. Each applied record is also appended to the standby's log, and
+/// the standby runs its own checkpoint cadence over it — so promotion
+/// replays only a short tail, not the whole history.
+///
+/// Stream discipline: the standby says hello (and recovers from any torn
+/// or lost frame) with a [`ShipFrame::Restart`] carrying its durable
+/// watermark; the shipper answers with the gap, or with a full
+/// [`ShipFrame::Bootstrap`] store copy when the primary's segments no
+/// longer reach back that far. Frames that arrive torn — a CRC mismatch,
+/// or a gap where records are missing — never corrupt the standby: the
+/// bad frame is dropped and a restart is requested from the exact record
+/// after the last one durably applied.
+pub struct Standby {
+    app: AppConfig,
+    options: StoreOptions,
+    backend: Box<dyn StorageBackend>,
+    server: WarpServer,
+    transport: Box<dyn ReplicaTransport>,
+    primary_durable: u64,
+    closed: bool,
+}
+
+impl Standby {
+    /// Opens (or re-opens — any state already in `backend` is recovered
+    /// and resumed from) a standby over its own backend and announces
+    /// itself to the shipper. The backend must support a second handle
+    /// ([`StorageBackend::try_clone`]); both built-in backends do.
+    pub fn attach(
+        app: AppConfig,
+        backend: Box<dyn StorageBackend>,
+        options: StoreOptions,
+        transport: impl ReplicaTransport + 'static,
+    ) -> ReplicaResult<Standby> {
+        let server_backend = backend.try_clone().ok_or_else(|| {
+            ReplicaError::Unsupported("standby backend cannot hand out a second handle".into())
+        })?;
+        let config = ServerConfig::new(app.clone())
+            .with_backend(server_backend)
+            .with_store_options(options);
+        let (server, _) = WarpServer::open(config)?;
+        let mut standby = Standby {
+            app,
+            options,
+            backend,
+            server,
+            transport: Box::new(transport),
+            primary_durable: 0,
+            closed: false,
+        };
+        standby.request_restart();
+        Ok(standby)
+    }
+
+    /// Processes incoming frames: waits up to `timeout` for the first,
+    /// then drains and applies everything already buffered. Call it in a
+    /// loop (or from a dedicated thread) to keep the standby warm.
+    pub fn pump(&mut self, timeout: Duration) -> ReplicaResult<Pumped> {
+        let mut summary = Pumped::default();
+        let mut wait = timeout;
+        loop {
+            if self.closed {
+                summary.closed = true;
+                return Ok(summary);
+            }
+            match self.transport.recv(wait) {
+                Received::Frame(bytes) => self.handle_frame(&bytes, &mut summary)?,
+                Received::Idle => return Ok(summary),
+                Received::Closed => {
+                    self.closed = true;
+                    summary.closed = true;
+                    return Ok(summary);
+                }
+            }
+            wait = Duration::ZERO;
+        }
+    }
+
+    fn handle_frame(&mut self, bytes: &[u8], summary: &mut Pumped) -> ReplicaResult<()> {
+        let Some(frame) = ShipFrame::decode(bytes) else {
+            // Torn in transit: drop it and restart from the last record
+            // durably applied. Nothing bad reached the store.
+            self.request_restart();
+            return Ok(());
+        };
+        match frame {
+            ShipFrame::Records { first_lsn, records } => {
+                let expect = self.server.durable_lsn();
+                if first_lsn > expect {
+                    // A frame went missing: resync rather than apply a
+                    // stream that skips records.
+                    self.request_restart();
+                    return Ok(());
+                }
+                // Overlap (a resync re-served records we already have) is
+                // trimmed; the rest applies in order.
+                let skip = (expect - first_lsn) as usize;
+                for (kind, payload) in records.iter().skip(skip) {
+                    self.server.apply_replicated(*kind, payload)?;
+                    summary.applied += 1;
+                }
+                let end = first_lsn + records.len() as u64;
+                self.primary_durable = self.primary_durable.max(end);
+            }
+            ShipFrame::Watermark { durable_lsn } => {
+                self.primary_durable = self.primary_durable.max(durable_lsn);
+            }
+            ShipFrame::Bootstrap { blobs, next_lsn } => {
+                self.rebuild_from(blobs)?;
+                self.primary_durable = self.primary_durable.max(next_lsn);
+            }
+            // Wrong direction; a self-connected loopback is a bug, not
+            // corruption.
+            ShipFrame::Restart { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Replaces the standby's store wholesale with a shipped copy of the
+    /// primary's and re-opens the warm server over it.
+    fn rebuild_from(&mut self, blobs: Vec<(String, Vec<u8>)>) -> ReplicaResult<()> {
+        for name in self.backend.list()? {
+            self.backend.delete(&name)?;
+        }
+        for (name, bytes) in &blobs {
+            self.backend.write_atomic(name, bytes)?;
+        }
+        self.backend.sync()?;
+        let server_backend = self.backend.try_clone().ok_or_else(|| {
+            ReplicaError::Unsupported("standby backend cannot hand out a second handle".into())
+        })?;
+        let config = ServerConfig::new(self.app.clone())
+            .with_backend(server_backend)
+            .with_store_options(self.options);
+        let (server, _) = WarpServer::open(config)?;
+        self.server = server;
+        Ok(())
+    }
+
+    fn request_restart(&mut self) {
+        let frame = ShipFrame::Restart {
+            from: self.server.durable_lsn(),
+        };
+        if !self.transport.send(frame.encode()) {
+            self.closed = true;
+        }
+    }
+
+    /// The LSN up to which this standby has durably applied the stream.
+    pub fn applied_lsn(&self) -> u64 {
+        self.server.durable_lsn()
+    }
+
+    /// The primary's durable LSN as last heard (records or heartbeat).
+    pub fn primary_durable_lsn(&self) -> u64 {
+        self.primary_durable
+    }
+
+    /// How far behind the primary this standby *knows* itself to be:
+    /// the last-heard primary watermark minus the applied LSN.
+    pub fn lag(&self) -> u64 {
+        self.primary_durable.saturating_sub(self.applied_lsn())
+    }
+
+    /// True once the transport is closed and drained (the primary is
+    /// gone).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Serves a read against the warm server if the standby is at most
+    /// `max_lag` records behind the primary's last-heard watermark — the
+    /// explicit staleness bound for read offloading. The closure gets
+    /// `&mut WarpServer` because the query APIs take `&mut self`; the
+    /// contract is read-only (serve GETs, dump state, inspect history) —
+    /// writes belong on the primary, and a written-to standby will
+    /// diverge and force a resync.
+    ///
+    /// The bound is on *known* lag: a standby that has not heard from the
+    /// primary recently may be further behind than it knows. Pump first
+    /// for a fresh bound.
+    pub fn read_at_most_behind<R>(
+        &mut self,
+        max_lag: u64,
+        f: impl FnOnce(&mut WarpServer) -> R,
+    ) -> ReplicaResult<R> {
+        let lag = self.lag();
+        if lag > max_lag {
+            return Err(ReplicaError::TooStale { lag, max_lag });
+        }
+        Ok(f(&mut self.server))
+    }
+
+    /// Promotes this standby into a full primary: detaches from the
+    /// stream, discards the warm apply server, and runs normal crash
+    /// recovery over the standby's own store — fast, because the standby
+    /// checkpointed as it applied, so only a short tail replays. The
+    /// returned [`WarpServer`] serves and *repairs*: replicated repair
+    /// commits, cancellation flags and pending-repair markers all
+    /// survived the failover in the standby's log.
+    pub fn promote(self) -> ReplicaResult<(WarpServer, RecoveryReport)> {
+        let Standby {
+            app,
+            options,
+            backend,
+            server,
+            transport,
+            ..
+        } = self;
+        drop(transport);
+        drop(server);
+        let config = ServerConfig::new(app)
+            .with_backend(backend)
+            .with_store_options(options);
+        Ok(WarpServer::open(config)?)
+    }
+}

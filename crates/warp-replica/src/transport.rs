@@ -1,0 +1,235 @@
+//! Pluggable transports for the replication stream.
+//!
+//! A transport moves whole encoded [`warp_store::ShipFrame`]s between a
+//! primary's [`LogShipper`](crate::LogShipper) and a
+//! [`Standby`](crate::Standby), in both directions. Two implementations:
+//!
+//! * [`channel_pair`] — an in-process pair over [`std::sync::mpsc`], for
+//!   tests and single-process deployments. Sends buffer without bound and
+//!   survive the peer's handle being dropped mid-drain, which is exactly
+//!   the TCP-like property the failover tests rely on: a standby can
+//!   still drain the acked prefix after the primary process object is
+//!   gone.
+//! * [`StreamTransport`] — a length-prefixed byte stream over any
+//!   `Read`/`Write` pair: process pipes, socketpairs, or anything
+//!   socket-shaped. A background thread reassembles frames off the read
+//!   half; a torn stream (EOF mid-frame, or a garbage length) closes the
+//!   receive side.
+
+use std::io::{Read, Write};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::time::Duration;
+use warp_store::{FRAME_HEADER, MAX_FRAME_BODY};
+
+/// Environment variable enabling the mid-frame kill point: when set, a
+/// [`StreamTransport`] aborts the process partway through writing a frame
+/// — after the number of complete frames the variable names (`""` or a
+/// non-number means zero). This simulates a primary dying mid-ship, which
+/// must leave the receiving standby with a cleanly detectable torn stream
+/// rather than a corrupt store.
+pub const KILL_MID_FRAME_ENV: &str = "WARP_REPLICA_KILL_MID_FRAME";
+
+/// What a [`ReplicaTransport::recv`] call produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Received {
+    /// One whole frame (header + body, as encoded by
+    /// [`warp_store::ShipFrame::encode`] — possibly corrupted in transit;
+    /// the consumer validates the CRC).
+    Frame(Vec<u8>),
+    /// Nothing arrived within the timeout; the peer may still be alive.
+    Idle,
+    /// The peer is gone and every buffered frame has been drained.
+    Closed,
+}
+
+/// A bidirectional, frame-oriented link between a shipper and a standby.
+pub trait ReplicaTransport: Send {
+    /// Sends one encoded frame. `false` means the peer is gone — the
+    /// caller stops shipping; it must not panic the primary.
+    fn send(&mut self, frame: Vec<u8>) -> bool;
+
+    /// Receives the next frame, waiting up to `timeout`.
+    fn recv(&mut self, timeout: Duration) -> Received;
+}
+
+/// The in-process transport: one end of a crosswired channel pair.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Builds a connected in-process transport pair `(a, b)`: frames sent on
+/// one end arrive on the other, in order, buffered without bound.
+pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        ChannelTransport { tx: a_tx, rx: a_rx },
+        ChannelTransport { tx: b_tx, rx: b_rx },
+    )
+}
+
+impl ReplicaTransport for ChannelTransport {
+    fn send(&mut self, frame: Vec<u8>) -> bool {
+        self.tx.send(frame).is_ok()
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Received {
+        if timeout.is_zero() {
+            return match self.rx.try_recv() {
+                Ok(frame) => Received::Frame(frame),
+                Err(TryRecvError::Empty) => Received::Idle,
+                Err(TryRecvError::Disconnected) => Received::Closed,
+            };
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Received::Frame(frame),
+            Err(RecvTimeoutError::Timeout) => Received::Idle,
+            Err(RecvTimeoutError::Disconnected) => Received::Closed,
+        }
+    }
+}
+
+/// A length-prefixed byte-stream transport over any `Read`/`Write` pair —
+/// the socket-shaped path. The write half is written directly (one frame
+/// per [`send`](ReplicaTransport::send), flushed); the read half is
+/// drained by a background thread that reassembles whole frames.
+pub struct StreamTransport {
+    writer: Box<dyn Write + Send>,
+    frames: Receiver<Vec<u8>>,
+    write_ok: bool,
+    sent: u64,
+    kill_after: Option<u64>,
+}
+
+impl StreamTransport {
+    /// Wraps a `Read`/`Write` pair. Spawns the frame-reassembly thread,
+    /// which runs until the read half hits EOF or a malformed length.
+    pub fn new(
+        reader: impl Read + Send + 'static,
+        writer: impl Write + Send + 'static,
+    ) -> StreamTransport {
+        let (tx, frames) = channel();
+        std::thread::Builder::new()
+            .name("warp-replica-reader".into())
+            .spawn(move || read_frames(reader, tx))
+            .expect("spawning the replica stream reader");
+        let kill_after = std::env::var(KILL_MID_FRAME_ENV)
+            .ok()
+            .map(|v| v.parse().unwrap_or(0));
+        StreamTransport {
+            writer: Box::new(writer),
+            frames,
+            write_ok: true,
+            sent: 0,
+            kill_after,
+        }
+    }
+}
+
+impl ReplicaTransport for StreamTransport {
+    fn send(&mut self, frame: Vec<u8>) -> bool {
+        if !self.write_ok {
+            return false;
+        }
+        if let Some(after) = self.kill_after {
+            if self.sent >= after && frame.len() > FRAME_HEADER {
+                // The kill point: half the frame reaches the wire, then
+                // the process dies — the torn-stream shape a real primary
+                // crash produces.
+                let cut = FRAME_HEADER + (frame.len() - FRAME_HEADER) / 2;
+                let _ = self.writer.write_all(&frame[..cut]);
+                let _ = self.writer.flush();
+                std::process::abort();
+            }
+        }
+        let ok = self.writer.write_all(&frame).is_ok() && self.writer.flush().is_ok();
+        self.write_ok = ok;
+        self.sent += 1;
+        ok
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Received {
+        if timeout.is_zero() {
+            return match self.frames.try_recv() {
+                Ok(frame) => Received::Frame(frame),
+                Err(TryRecvError::Empty) => Received::Idle,
+                Err(TryRecvError::Disconnected) => Received::Closed,
+            };
+        }
+        match self.frames.recv_timeout(timeout) {
+            Ok(frame) => Received::Frame(frame),
+            Err(RecvTimeoutError::Timeout) => Received::Idle,
+            Err(RecvTimeoutError::Disconnected) => Received::Closed,
+        }
+    }
+}
+
+/// Reassembles `[len][crc][body]` frames off a byte stream until EOF or a
+/// malformed header. Frames are forwarded whole (header included) without
+/// CRC validation — the consumer validates, so a flipped bit surfaces as
+/// a torn frame there, not silent loss here.
+fn read_frames(mut reader: impl Read, tx: Sender<Vec<u8>>) {
+    loop {
+        let mut header = [0u8; FRAME_HEADER];
+        if read_exact_or_eof(&mut reader, &mut header).is_none() {
+            return;
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BODY {
+            // Garbage length: the stream is unrecoverable (framing is
+            // lost), so close rather than misread gigabytes.
+            return;
+        }
+        let mut frame = vec![0u8; FRAME_HEADER + len];
+        frame[..FRAME_HEADER].copy_from_slice(&header);
+        if read_exact_or_eof(&mut reader, &mut frame[FRAME_HEADER..]).is_none() {
+            return;
+        }
+        if tx.send(frame).is_err() {
+            return;
+        }
+    }
+}
+
+/// `read_exact` that treats EOF (and any read error) as `None`.
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Option<()> {
+    reader.read_exact(buf).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warp_store::ShipFrame;
+
+    #[test]
+    fn channel_pair_is_crosswired_and_buffers_past_peer_drop() {
+        let (mut a, mut b) = channel_pair();
+        assert!(a.send(vec![1, 2, 3]));
+        assert!(b.send(vec![4]));
+        assert_eq!(b.recv(Duration::ZERO), Received::Frame(vec![1, 2, 3]));
+        assert_eq!(a.recv(Duration::ZERO), Received::Frame(vec![4]));
+        assert!(a.send(vec![9]));
+        drop(a);
+        // The buffered frame survives the peer's death; then Closed.
+        assert_eq!(b.recv(Duration::ZERO), Received::Frame(vec![9]));
+        assert_eq!(b.recv(Duration::ZERO), Received::Closed);
+    }
+
+    #[test]
+    fn stream_transport_reassembles_frames_and_closes_on_torn_tail() {
+        let frame_a = ShipFrame::Watermark { durable_lsn: 7 }.encode();
+        let frame_b = ShipFrame::Restart { from: 3 }.encode();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&frame_a);
+        bytes.extend_from_slice(&frame_b);
+        // A torn third frame: header promising more bytes than exist.
+        bytes.extend_from_slice(&frame_a[..FRAME_HEADER + 2]);
+        let mut t = StreamTransport::new(std::io::Cursor::new(bytes), std::io::sink());
+        let wait = Duration::from_secs(5);
+        assert_eq!(t.recv(wait), Received::Frame(frame_a));
+        assert_eq!(t.recv(wait), Received::Frame(frame_b));
+        assert_eq!(t.recv(wait), Received::Closed);
+    }
+}

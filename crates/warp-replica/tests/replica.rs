@@ -1,0 +1,273 @@
+//! Integration tests: shipper + standby over the in-process transport,
+//! driven through the `Warp` facade exactly as a deployment would wire it.
+
+use std::time::{Duration, Instant};
+use warp_core::{AppConfig, Durability, MemoryBackend, StoreOptions, Warp};
+use warp_http::HttpRequest;
+use warp_replica::{channel_pair, LogShipper, Received, ReplicaError, ReplicaTransport, Standby};
+use warp_store::ShipFrame;
+use warp_ttdb::TableAnnotation;
+
+fn tiny_app() -> AppConfig {
+    let mut config = AppConfig::new("tiny");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    config.seed("INSERT INTO page (page_id, title, body) VALUES (1, 'Main', 'welcome')");
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"missing\"); } else { echo(rows[0][\"body\"]); }",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"saved\");",
+    );
+    config
+}
+
+fn edit(warp: &Warp, body: &str) {
+    let response = warp.serve(HttpRequest::post(
+        "/edit.wasl",
+        [("title", "Main"), ("body", body)],
+    ));
+    assert!(response.body.contains("saved"));
+}
+
+/// Pumps the standby until it has applied everything the primary made
+/// durable (or the deadline passes — the shipper heartbeats every few
+/// milliseconds, so convergence is fast).
+fn converge(standby: &mut Standby, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while standby.applied_lsn() < target {
+        standby.pump(Duration::from_millis(20)).expect("pump");
+        assert!(
+            Instant::now() < deadline,
+            "standby stuck at {} of {target}",
+            standby.applied_lsn()
+        );
+    }
+}
+
+#[test]
+fn standby_converges_and_dumps_match() {
+    let (to_standby, to_primary) = channel_pair();
+    let mut standby = Standby::attach(
+        tiny_app(),
+        Box::new(MemoryBackend::new()),
+        StoreOptions::default(),
+        to_primary,
+    )
+    .expect("attach standby");
+
+    let (warp, _) = Warp::builder()
+        .app(tiny_app())
+        .backend(Box::new(MemoryBackend::new()))
+        .durability(Durability::Immediate)
+        .ship_log_to(Box::new(LogShipper::new(to_standby)))
+        .build()
+        .expect("build primary");
+
+    for i in 0..10 {
+        edit(&warp, &format!("rev {i}"));
+    }
+    warp.flush();
+    let durable = warp.durable_lsn();
+    assert_eq!(durable, 10, "one log record per edit");
+    converge(&mut standby, durable);
+
+    let primary_dump = warp.with_server(|s| s.db.canonical_dump());
+    let standby_dump = standby
+        .read_at_most_behind(0, |s| s.db.canonical_dump())
+        .expect("standby is caught up");
+    assert_eq!(primary_dump, standby_dump);
+    // The standby's reads serve the latest replicated state.
+    let body = standby
+        .read_at_most_behind(0, |s| {
+            use warp_http::Transport;
+            s.send(HttpRequest::get("/view.wasl?title=Main")).body
+        })
+        .expect("read");
+    assert!(body.contains("rev 9"));
+}
+
+#[test]
+fn durable_lsn_watermark_counts_records() {
+    let (warp, _) = Warp::builder()
+        .app(tiny_app())
+        .backend(Box::new(MemoryBackend::new()))
+        .build()
+        .expect("build");
+    assert_eq!(warp.durable_lsn(), 0);
+    for i in 0..5 {
+        edit(&warp, &format!("r{i}"));
+    }
+    assert_eq!(warp.durable_lsn(), 5);
+    // In-memory deployments have no log and report 0.
+    let memory = Warp::builder().app(tiny_app()).start();
+    assert_eq!(memory.durable_lsn(), 0);
+}
+
+/// A transport wrapper that corrupts the body of selected outgoing
+/// frames — the "bit flipped in transit" shape of a torn stream.
+struct Corrupting<T> {
+    inner: T,
+    corrupt_nth: u64,
+    sent: u64,
+}
+
+impl<T: ReplicaTransport> ReplicaTransport for Corrupting<T> {
+    fn send(&mut self, mut frame: Vec<u8>) -> bool {
+        self.sent += 1;
+        if self.sent == self.corrupt_nth {
+            if let Some(last) = frame.last_mut() {
+                *last ^= 0xff;
+            }
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Received {
+        self.inner.recv(timeout)
+    }
+}
+
+#[test]
+fn torn_frame_resyncs_from_the_watermark() {
+    let (to_standby, to_primary) = channel_pair();
+    let corrupting = Corrupting {
+        inner: to_standby,
+        corrupt_nth: 3,
+        sent: 0,
+    };
+    let mut standby = Standby::attach(
+        tiny_app(),
+        Box::new(MemoryBackend::new()),
+        StoreOptions::default(),
+        to_primary,
+    )
+    .expect("attach standby");
+    let (warp, _) = Warp::builder()
+        .app(tiny_app())
+        .backend(Box::new(MemoryBackend::new()))
+        .durability(Durability::Immediate)
+        .ship_log_to(Box::new(LogShipper::new(corrupting)))
+        .build()
+        .expect("build primary");
+
+    for i in 0..8 {
+        edit(&warp, &format!("rev {i}"));
+    }
+    warp.flush();
+    converge(&mut standby, warp.durable_lsn());
+    let primary_dump = warp.with_server(|s| s.db.canonical_dump());
+    let standby_dump = standby
+        .read_at_most_behind(0, |s| s.db.canonical_dump())
+        .expect("caught up after resync");
+    assert_eq!(primary_dump, standby_dump);
+}
+
+#[test]
+fn attach_after_compaction_bootstraps_a_full_copy() {
+    let (to_standby, to_primary) = channel_pair();
+    let (warp, _) = Warp::builder()
+        .app(tiny_app())
+        .backend(Box::new(MemoryBackend::new()))
+        .durability(Durability::Immediate)
+        .ship_log_to(Box::new(LogShipper::new(to_standby)))
+        .build()
+        .expect("build primary");
+    for i in 0..6 {
+        edit(&warp, &format!("pre {i}"));
+    }
+    // A base checkpoint deletes every log segment: the records the
+    // standby will ask for are no longer servable from the log.
+    warp.checkpoint();
+
+    let mut standby = Standby::attach(
+        tiny_app(),
+        Box::new(MemoryBackend::new()),
+        StoreOptions::default(),
+        to_primary,
+    )
+    .expect("attach standby");
+    for i in 0..3 {
+        edit(&warp, &format!("post {i}"));
+    }
+    warp.flush();
+    converge(&mut standby, warp.durable_lsn());
+    let primary_dump = warp.with_server(|s| s.db.canonical_dump());
+    let standby_dump = standby
+        .read_at_most_behind(0, |s| s.db.canonical_dump())
+        .expect("caught up after bootstrap");
+    assert_eq!(primary_dump, standby_dump);
+}
+
+#[test]
+fn reads_beyond_the_staleness_bound_are_refused() {
+    let (mut fake_shipper, to_primary) = channel_pair();
+    let mut standby = Standby::attach(
+        tiny_app(),
+        Box::new(MemoryBackend::new()),
+        StoreOptions::default(),
+        to_primary,
+    )
+    .expect("attach standby");
+    // The "primary" claims 5 durable records without shipping them.
+    assert!(fake_shipper.send(ShipFrame::Watermark { durable_lsn: 5 }.encode()));
+    standby.pump(Duration::from_millis(200)).expect("pump");
+    assert_eq!(standby.lag(), 5);
+    match standby.read_at_most_behind(3, |_| ()) {
+        Err(ReplicaError::TooStale { lag: 5, max_lag: 3 }) => {}
+        other => panic!("expected TooStale, got {other:?}"),
+    }
+    assert!(standby.read_at_most_behind(5, |_| ()).is_ok());
+}
+
+#[test]
+fn promote_after_primary_death_serves_the_replicated_state() {
+    let (to_standby, to_primary) = channel_pair();
+    let mut standby = Standby::attach(
+        tiny_app(),
+        Box::new(MemoryBackend::new()),
+        StoreOptions::default(),
+        to_primary,
+    )
+    .expect("attach standby");
+    let (warp, _) = Warp::builder()
+        .app(tiny_app())
+        .backend(Box::new(MemoryBackend::new()))
+        .durability(Durability::Immediate)
+        .ship_log_to(Box::new(LogShipper::new(to_standby)))
+        .build()
+        .expect("build primary");
+    for i in 0..7 {
+        edit(&warp, &format!("rev {i}"));
+    }
+    warp.flush();
+    let expected = warp.with_server(|s| s.db.canonical_dump());
+    // The primary dies. The channel buffers whatever was already shipped
+    // — the TCP-like property a real socket gives a surviving standby.
+    drop(warp);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !standby
+        .pump(Duration::from_millis(20))
+        .expect("pump")
+        .closed
+    {
+        assert!(Instant::now() < deadline, "transport never closed");
+    }
+    let (mut promoted, report) = standby.promote().expect("promote");
+    assert_eq!(promoted.history.len(), 7);
+    assert!(report.recovered);
+    assert_eq!(promoted.db.canonical_dump(), expected);
+    // The promoted server serves — and keeps logging to its own store.
+    use warp_http::Transport;
+    let response = promoted.send(HttpRequest::get("/view.wasl?title=Main"));
+    assert!(response.body.contains("rev 6"));
+    assert_eq!(promoted.durable_lsn(), 8);
+}

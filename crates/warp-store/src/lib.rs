@@ -74,12 +74,14 @@ pub mod codec;
 pub mod compress;
 pub mod log;
 pub mod maintenance;
+pub mod ship;
 pub mod writer;
 
 pub use backend::{FileBackend, MemoryBackend, StorageBackend};
 pub use codec::{crc32, CodecError, Crc32, Decoder, Encoder};
-pub use log::{DurableStore, Recovered, StoreOptions, KILL_AFTER_CKPT_WRITE_ENV};
+pub use log::{DurableStore, NumberedRecord, Recovered, StoreOptions, KILL_AFTER_CKPT_WRITE_ENV};
 pub use maintenance::{ChainFolder, MaintenanceConfig, MaintenanceStats, MaintenanceWorker};
+pub use ship::{ShipFrame, ShipperHook, FRAME_HEADER, MAX_FRAME_BODY};
 pub use writer::{BatchPolicy, GroupCommitWriter, WriterStats};
 
 /// Errors surfaced by the storage subsystem.

@@ -86,6 +86,11 @@ pub struct Recovered {
     pub torn_tail: bool,
 }
 
+/// A `(lsn, kind, payload)` triple as re-read from the live segments by
+/// [`DurableStore::read_records_from`] — the shape a log-shipping resync
+/// serves to a standby.
+pub type NumberedRecord = (u64, u8, Vec<u8>);
+
 /// A segmented, checksummed, append-only record log with incremental
 /// checkpoint chains, over any [`StorageBackend`]. See the crate docs for
 /// the layout and recovery semantics.
@@ -733,6 +738,79 @@ impl DurableStore {
     /// Total bytes currently stored (segments, checkpoints, cold blobs).
     pub fn total_bytes(&self) -> StoreResult<u64> {
         self.backend.total_bytes()
+    }
+
+    /// Re-reads every record with LSN ≥ `from` out of the live segments —
+    /// the log-shipping resync path: a standby that lost frames asks to
+    /// restart from its durable watermark, and the shipper serves the gap
+    /// from here. Returns `Ok(None)` when the segments can no longer serve
+    /// `from` (a base checkpoint compacted them away); the caller falls
+    /// back to a full bootstrap. `from ≥ next_lsn` yields an empty batch.
+    ///
+    /// Only call on a quiescent store (the group-commit writer thread owns
+    /// the store, so its shipper hook reads a consistent log).
+    pub fn read_records_from(&self, from: u64) -> StoreResult<Option<Vec<NumberedRecord>>> {
+        if from >= self.next_lsn {
+            return Ok(Some(Vec::new()));
+        }
+        let names = self.backend.list()?;
+        let mut seg_lsns: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_name(n, "seg-", ".log"))
+            .collect();
+        seg_lsns.sort_unstable();
+        // The segments serve `from` only if some segment starts at or
+        // below it; anything older was compacted by a base checkpoint.
+        if seg_lsns.first().is_none_or(|&first| first > from) {
+            return Ok(None);
+        }
+        let mut records = Vec::new();
+        for &first_lsn in &seg_lsns {
+            let name = segment_name(first_lsn);
+            let blob = self
+                .backend
+                .read(&name)?
+                .ok_or_else(|| StoreError::Corrupt(format!("segment {name} vanished")))?;
+            if blob.len() < SEGMENT_MAGIC.len() || &blob[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+                return Err(StoreError::Corrupt(format!("segment {name}: bad magic")));
+            }
+            let mut lsn = first_lsn;
+            let mut pos = SEGMENT_MAGIC.len();
+            loop {
+                match scan_record(&blob, pos) {
+                    Scan::Record { kind, payload, end } => {
+                        if lsn >= from {
+                            records.push((lsn, kind, payload));
+                        }
+                        lsn += 1;
+                        pos = end;
+                    }
+                    Scan::End => break,
+                    Scan::Torn { valid_end } => {
+                        // A live store truncated any torn tail at open and
+                        // has only written whole frames since.
+                        return Err(StoreError::Corrupt(format!(
+                            "segment {name}: corrupt record at byte {valid_end} in a live store"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Some(records))
+    }
+
+    /// A consistent copy of every blob in the backend, for bootstrapping a
+    /// standby whose restart LSN predates what the segments can serve.
+    /// Consistency comes from *where* this runs: the group-commit writer
+    /// thread owns the store, so nothing mutates the backend mid-copy.
+    pub fn export_blobs(&self) -> StoreResult<Vec<(String, Vec<u8>)>> {
+        let mut blobs = Vec::new();
+        for name in self.backend.list()? {
+            if let Some(bytes) = self.backend.read(&name)? {
+                blobs.push((name, bytes));
+            }
+        }
+        Ok(blobs)
     }
 }
 

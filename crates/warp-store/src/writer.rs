@@ -24,9 +24,14 @@
 //! repair scheduler's worker-pool style.
 
 use crate::log::DurableStore;
+use crate::ship::ShipperHook;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often an idle writer with a shipper attached wakes to let the
+/// shipper service standby control traffic (restarts, heartbeats).
+const SHIPPER_POLL_INTERVAL: Duration = Duration::from_millis(5);
 
 /// When the writer flushes a pending batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +104,9 @@ enum WriterMsg {
     HasCheckpoint(Sender<bool>),
     /// Flush, then report the backend's total stored bytes.
     TotalBytes(Sender<u64>),
+    /// Flush, then report the durable LSN watermark (the next LSN to be
+    /// assigned; every record below it is on disk).
+    DurableLsn(Sender<u64>),
     /// Report batching counters.
     Stats(Sender<WriterStats>),
     /// Flush and hand the store back (used to shut the writer down).
@@ -123,10 +131,31 @@ pub struct GroupCommitWriter {
 impl GroupCommitWriter {
     /// Moves `store` onto a new writer thread governed by `policy`.
     pub fn spawn(store: DurableStore, policy: BatchPolicy) -> GroupCommitWriter {
+        Self::spawn_inner(store, policy, None)
+    }
+
+    /// Like [`spawn`](GroupCommitWriter::spawn), but with a replication
+    /// hook attached: after every durable batch the writer calls
+    /// [`ShipperHook::batch_durable`] (before durability callbacks run),
+    /// and while idle it calls [`ShipperHook::poll`] every few
+    /// milliseconds so the hook can answer standby control frames.
+    pub fn spawn_with_shipper(
+        store: DurableStore,
+        policy: BatchPolicy,
+        shipper: Box<dyn ShipperHook>,
+    ) -> GroupCommitWriter {
+        Self::spawn_inner(store, policy, Some(shipper))
+    }
+
+    fn spawn_inner(
+        store: DurableStore,
+        policy: BatchPolicy,
+        shipper: Option<Box<dyn ShipperHook>>,
+    ) -> GroupCommitWriter {
         let (tx, rx) = channel();
         let thread = std::thread::Builder::new()
             .name("warp-log-writer".into())
-            .spawn(move || writer_loop(store, policy, rx))
+            .spawn(move || writer_loop(store, policy, rx, shipper))
             .expect("spawning the group-commit log writer");
         GroupCommitWriter {
             tx,
@@ -193,6 +222,15 @@ impl GroupCommitWriter {
         rx.recv().expect("group-commit writer thread died")
     }
 
+    /// Flushes, then reports the durable LSN watermark: the next LSN to
+    /// be assigned. Every record submitted before this call is on disk
+    /// below the returned LSN by the time it returns.
+    pub fn durable_lsn(&self) -> u64 {
+        let (reply, rx) = channel();
+        self.send(WriterMsg::DurableLsn(reply));
+        rx.recv().expect("group-commit writer thread died")
+    }
+
     /// The writer's batching counters so far.
     pub fn stats(&self) -> WriterStats {
         let (reply, rx) = channel();
@@ -234,7 +272,12 @@ impl Drop for GroupCommitWriter {
     }
 }
 
-fn writer_loop(mut store: DurableStore, policy: BatchPolicy, rx: Receiver<WriterMsg>) {
+fn writer_loop(
+    mut store: DurableStore,
+    policy: BatchPolicy,
+    rx: Receiver<WriterMsg>,
+    mut shipper: Option<Box<dyn ShipperHook>>,
+) {
     let max_batch = policy.max_batch.max(1);
     let mut stats = WriterStats::default();
     let mut records: Vec<(u8, Vec<u8>)> = Vec::new();
@@ -260,10 +303,24 @@ fn writer_loop(mut store: DurableStore, policy: BatchPolicy, rx: Receiver<Writer
     }
 
     loop {
-        let Ok(first) = rx.recv() else {
-            // Every handle dropped without Close (the engine panicked);
-            // nothing is pending — each iteration flushes before looping.
-            return;
+        // With a shipper attached, an idle writer still wakes periodically
+        // so the hook can answer standby control frames (a restart request
+        // must not wait for the next durable batch).
+        let first = match shipper.as_mut() {
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                // Every handle dropped without Close (the engine
+                // panicked); nothing is pending — each iteration flushes
+                // before looping.
+                Err(_) => return,
+            },
+            Some(hook) => loop {
+                match rx.recv_timeout(SHIPPER_POLL_INTERVAL) {
+                    Ok(msg) => break msg,
+                    Err(RecvTimeoutError::Timeout) => hook.poll(&mut store),
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            },
         };
         let mut control = enqueue(first, &mut records, &mut notifies);
 
@@ -307,12 +364,17 @@ fn writer_loop(mut store: DurableStore, policy: BatchPolicy, rx: Receiver<Writer
         // message has been drained (and is about to be appended) by the
         // time the control message is handled.
         if !records.is_empty() {
-            store
+            let first_lsn = store
                 .append_batch(&records)
                 .unwrap_or_else(|e| panic!("durable log append failed: {e}"));
             stats.records += records.len() as u64;
             stats.batches += 1;
             stats.largest_batch = stats.largest_batch.max(records.len());
+            // Ship before the durability callbacks run: by the time a
+            // client's ack fires, the batch is already on the wire.
+            if let Some(hook) = shipper.as_mut() {
+                hook.batch_durable(&mut store, first_lsn, &records);
+            }
             records.clear();
         }
         for notify in notifies.drain(..) {
@@ -345,10 +407,19 @@ fn writer_loop(mut store: DurableStore, policy: BatchPolicy, rx: Receiver<Writer
             Some(WriterMsg::TotalBytes(reply)) => {
                 let _ = reply.send(store.total_bytes().unwrap_or(0));
             }
+            Some(WriterMsg::DurableLsn(reply)) => {
+                let _ = reply.send(store.next_lsn());
+            }
             Some(WriterMsg::Stats(reply)) => {
                 let _ = reply.send(stats);
             }
             Some(WriterMsg::Close(reply)) => {
+                // One last poll so the shipper can flush watermarks and
+                // answer any queued control frames before the store moves.
+                if let Some(hook) = shipper.as_mut() {
+                    hook.poll(&mut store);
+                }
+                drop(shipper);
                 let _ = reply.send((store, stats));
                 return;
             }

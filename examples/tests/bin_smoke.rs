@@ -10,6 +10,7 @@ const BINS: &[&str] = &[
     env!("CARGO_BIN_EXE_admin_undo"),
     env!("CARGO_BIN_EXE_concurrent_repair"),
     env!("CARGO_BIN_EXE_crash_recovery"),
+    env!("CARGO_BIN_EXE_failover"),
 ];
 
 #[test]
@@ -29,12 +30,18 @@ fn every_example_answers_help() {
 fn every_example_runs_to_completion() {
     for bin in BINS {
         // attack_recovery takes an optional USERS argument; 2 keeps it
-        // fast. crash_recovery gets a scratch directory for its store.
-        let scratch = std::env::temp_dir().join(format!("warp-smoke-crash-{}", std::process::id()));
+        // fast. crash_recovery and failover get scratch directories for
+        // their stores.
+        let name = std::path::Path::new(bin)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let scratch =
+            std::env::temp_dir().join(format!("warp-smoke-{name}-{}", std::process::id()));
         let scratch = scratch.to_string_lossy().into_owned();
         let args: &[&str] = if bin.ends_with("attack_recovery") {
             &["2"]
-        } else if bin.ends_with("crash_recovery") {
+        } else if bin.ends_with("crash_recovery") || bin.ends_with("failover") {
             &[scratch.as_str()]
         } else {
             &[]

@@ -1,0 +1,331 @@
+//! Cross-crate replication tests: a primary `Warp` shipping its log to a
+//! `warp_replica::Standby`, checked for byte-identity at every shipped
+//! batch boundary and through a full promoted-standby attack recovery.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use warp_core::{
+    AppConfig, Durability, MemoryBackend, Patch, RepairRequest, RepairStrategy, StoreOptions, Warp,
+    WarpServer,
+};
+use warp_http::HttpRequest;
+use warp_replica::{channel_pair, LogShipper, Received, ReplicaTransport, Standby};
+use warp_ttdb::TableAnnotation;
+
+/// The wiki used throughout: three pages, a view with a stored-XSS hole,
+/// an edit endpoint.
+fn app() -> AppConfig {
+    let mut config = AppConfig::new("replica-wiki");
+    config.add_table(
+        "CREATE TABLE page (page_id INTEGER PRIMARY KEY, title TEXT UNIQUE, body TEXT)",
+        TableAnnotation::new()
+            .row_id("page_id")
+            .partitions(["title"]),
+    );
+    config.seed(
+        "INSERT INTO page (page_id, title, body) VALUES \
+         (1, 'Page0', 'p0'), (2, 'Page1', 'p1'), (3, 'Secret', 'secret data')",
+    );
+    config.add_source(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"missing\"); return; } \
+         echo(\"<div>\" . rows[0][\"body\"] . \"</div>\");",
+    );
+    config.add_source(
+        "edit.wasl",
+        "db_query(\"UPDATE page SET body = '\" . sql_escape(param(\"body\")) . \"' WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         echo(\"saved\");",
+    );
+    config
+}
+
+/// The retroactive fix for the view's stored-XSS hole.
+fn patch() -> Patch {
+    Patch::new(
+        "view.wasl",
+        "let rows = db_query(\"SELECT body FROM page WHERE title = '\" . sql_escape(param(\"title\")) . \"'\"); \
+         if (len(rows) == 0) { echo(\"missing\"); return; } \
+         echo(\"<div>\" . htmlspecialchars(rows[0][\"body\"]) . \"</div>\");",
+        "sanitise page bodies",
+    )
+}
+
+/// Pumps the standby until it has applied every record the primary made
+/// durable.
+fn converge(standby: &mut Standby, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while standby.applied_lsn() < target {
+        standby.pump(Duration::from_millis(20)).expect("pump");
+        assert!(
+            Instant::now() < deadline,
+            "standby stuck at {} of {target}",
+            standby.applied_lsn()
+        );
+    }
+}
+
+/// A transport wrapper with an armable corruption point: while armed, the
+/// next outgoing frame loses its last byte's integrity — the torn-frame
+/// shape a crash mid-write or a flipped bit in transit produces.
+struct TearNext<T> {
+    inner: T,
+    armed: Arc<AtomicBool>,
+}
+
+impl<T: ReplicaTransport> ReplicaTransport for TearNext<T> {
+    fn send(&mut self, mut frame: Vec<u8>) -> bool {
+        if self.armed.swap(false, Ordering::SeqCst) {
+            if let Some(last) = frame.last_mut() {
+                *last ^= 0xff;
+            }
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Received {
+        self.inner.recv(timeout)
+    }
+}
+
+/// One step of the random replicated workload, decoded from a generated
+/// `(code, page, body)` tuple (the vendored proptest shim has no
+/// `prop_oneof`/`prop_map` combinators):
+///
+/// * codes 0–3 — edit `page` (bodies include markup, so repairs have
+///   work to do),
+/// * codes 4–5 — view `page` (an action the retroactive patch
+///   re-executes),
+/// * code 6 — run a retroactive-patch repair on the primary mid-stream
+///   (its begin/commit records replicate like any other),
+/// * code 7 — fold the primary's checkpoint chain (a base checkpoint
+///   deletes every shipped segment — the stream must not care).
+#[derive(Debug, Clone)]
+enum Op {
+    Edit { page: usize, body: String },
+    View { page: usize },
+    Repair,
+    Checkpoint,
+}
+
+fn decode_op((code, page, body): (u32, usize, String)) -> Op {
+    match code {
+        0..=3 => Op::Edit { page, body },
+        4..=5 => Op::View { page },
+        6 => Op::Repair,
+        _ => Op::Checkpoint,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The standby's canonical dump is byte-identical to the primary's at
+    /// *every* shipped-batch boundary — under random workloads, repair
+    /// commits mid-stream, checkpoint folds on the primary, and a torn
+    /// final frame. With [`Durability::Immediate`] each acknowledged
+    /// request is its own durable batch, so checking after every op checks
+    /// every boundary.
+    #[test]
+    fn standby_matches_primary_at_every_batch_boundary(
+        raw_ops in proptest::collection::vec((0..8u32, 0..2usize, "[a-z<>\"']{0,12}"), 1..10),
+    ) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(decode_op).collect();
+        let (to_standby, to_primary) = channel_pair();
+        let armed = Arc::new(AtomicBool::new(false));
+        let tearing = TearNext { inner: to_standby, armed: Arc::clone(&armed) };
+        // A short checkpoint cadence so the standby folds its own chain
+        // mid-stream.
+        let standby_options = StoreOptions {
+            checkpoint_interval: 4,
+            fold_after_deltas: 2,
+            ..StoreOptions::default()
+        };
+        let mut standby = Standby::attach(
+            app(),
+            Box::new(MemoryBackend::new()),
+            standby_options,
+            to_primary,
+        )
+        .expect("attach standby");
+        let (warp, _) = Warp::builder()
+            .app(app())
+            .backend(Box::new(MemoryBackend::new()))
+            .durability(Durability::Immediate)
+            .repair_workers(2)
+            .ship_log_to(Box::new(LogShipper::new(tearing)))
+            .build()
+            .expect("build primary");
+
+        for op in &ops {
+            match op {
+                Op::Edit { page, body } => {
+                    warp.serve(HttpRequest::post(
+                        "/edit.wasl",
+                        [
+                            ("title", format!("Page{page}").as_str()),
+                            ("body", body.as_str()),
+                        ],
+                    ));
+                }
+                Op::View { page } => {
+                    warp.serve(HttpRequest::get(&format!("/view.wasl?title=Page{page}")));
+                }
+                Op::Repair => {
+                    warp.repair(RepairRequest::RetroactivePatch {
+                        patch: patch(),
+                        from_time: 0,
+                    })
+                    .join();
+                }
+                Op::Checkpoint => {
+                    warp.checkpoint();
+                }
+            }
+            warp.flush();
+            converge(&mut standby, warp.durable_lsn());
+            let primary_dump = warp.with_server(|s| s.db.canonical_dump());
+            let standby_dump = standby
+                .read_at_most_behind(0, |s| s.db.canonical_dump())
+                .expect("standby caught up");
+            prop_assert_eq!(primary_dump, standby_dump, "diverged after {:?}", op);
+        }
+
+        // The torn final frame: the next shipped frame arrives corrupted;
+        // the standby must detect it, resync, and still end identical.
+        armed.store(true, Ordering::SeqCst);
+        warp.serve(HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Page0"), ("body", "after the tear")],
+        ));
+        warp.flush();
+        converge(&mut standby, warp.durable_lsn());
+        let primary_dump = warp.with_server(|s| s.db.canonical_dump());
+        let standby_dump = standby
+            .read_at_most_behind(0, |s| s.db.canonical_dump())
+            .expect("standby caught up after torn frame");
+        prop_assert_eq!(primary_dump, standby_dump);
+    }
+}
+
+/// The acceptance scenario end to end, in process: a stored-XSS attack is
+/// recorded on the primary, the primary dies mid-traffic, the standby
+/// promotes, and a retroactive-patch repair on the *promoted* server
+/// removes exactly the attack's effects — with a final state
+/// byte-identical to a single-node run that never failed.
+#[test]
+fn promoted_standby_recovers_from_a_replicated_attack() {
+    use warp_browser::Browser;
+    use warp_core::WarpHost;
+
+    let (to_standby, to_primary) = channel_pair();
+    let mut standby = Standby::attach(
+        app(),
+        Box::new(MemoryBackend::new()),
+        StoreOptions::default(),
+        to_primary,
+    )
+    .expect("attach standby");
+    let (mut warp, _) = Warp::builder()
+        .app(app())
+        .backend(Box::new(MemoryBackend::new()))
+        .durability(Durability::Immediate)
+        .ship_log_to(Box::new(LogShipper::new(to_standby)))
+        .build()
+        .expect("build primary");
+
+    // Normal traffic, then the attack, then a victim's browser executes
+    // the payload (defacing Secret) and uploads its logs.
+    let mut victim = Browser::new("victim");
+    for i in 0..3 {
+        warp.serve(HttpRequest::post(
+            "/edit.wasl",
+            [("title", "Page1"), ("body", format!("rev {i}").as_str())],
+        ));
+    }
+    let payload =
+        "<script>http_post(\"/edit.wasl\", {\"title\": \"Secret\", \"body\": \"DEFACED\"});</script>";
+    warp.serve(HttpRequest::post(
+        "/edit.wasl",
+        [("title", "Page0"), ("body", payload)],
+    ));
+    let _ = victim.visit("/view.wasl?title=Page0", &mut warp);
+    warp.upload_logs(victim.take_logs());
+    warp.serve(HttpRequest::post(
+        "/edit.wasl",
+        [("title", "Page1"), ("body", "post-attack rev")],
+    ));
+    warp.flush();
+
+    // The primary dies mid-traffic. The channel (like a socket) still
+    // holds the acked tail; the standby drains it and sees the close.
+    drop(warp);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !standby
+        .pump(Duration::from_millis(20))
+        .expect("pump")
+        .closed
+    {
+        assert!(Instant::now() < deadline, "transport never closed");
+    }
+
+    let (mut promoted, report) = standby.promote().expect("promote");
+    assert!(report.recovered);
+    let defaced = "Secret\u{1f}DEFACED";
+    assert!(
+        promoted.db.canonical_dump().contains(defaced),
+        "the attack must have replicated before the crash"
+    );
+
+    // The single-node run that never failed: re-serve the promoted
+    // history's requests and logs against a fresh in-memory server.
+    let mut reference = WarpServer::new(app());
+    for action in promoted.history.actions().to_vec() {
+        reference.handle(action.request);
+    }
+    for client in promoted.history.client_ids() {
+        let logs: Vec<_> = promoted
+            .history
+            .client_visits(&client)
+            .into_iter()
+            .cloned()
+            .collect();
+        reference.upload_client_logs(logs);
+    }
+    assert_eq!(
+        promoted.db.canonical_dump(),
+        reference.db.canonical_dump(),
+        "promoted state must match the never-failed run before repair"
+    );
+
+    // Repair both identically: the promoted standby must remove exactly
+    // the attack's effects and end byte-identical.
+    let request = |patch| RepairRequest::RetroactivePatch {
+        patch,
+        from_time: 0,
+    };
+    let strategy = RepairStrategy::Partitioned { workers: 2 };
+    let out_promoted = promoted.repair_with(request(patch()), strategy);
+    let out_reference = reference.repair_with(request(patch()), strategy);
+    assert_eq!(
+        out_promoted.reexecuted_actions,
+        out_reference.reexecuted_actions
+    );
+    assert_eq!(
+        out_promoted.cancelled_actions,
+        out_reference.cancelled_actions
+    );
+    assert!(
+        !out_promoted.cancelled_actions.is_empty(),
+        "the scripted defacement must be cancelled"
+    );
+    let dump = promoted.db.canonical_dump();
+    assert_eq!(dump, reference.db.canonical_dump());
+    assert!(!dump.contains(defaced), "repair must undo the defacement");
+    assert!(
+        dump.contains("Secret\u{1f}secret data"),
+        "Secret must be restored"
+    );
+}
